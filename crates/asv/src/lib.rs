@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # magshield-asv
+//!
+//! An automatic speaker verification (ASV) stack standing in for the
+//! Spear/Bob toolbox the paper uses as its fourth verification component
+//! (§IV-C): "We further choose the Gaussian Mixture Model (GMM) and
+//! Inter-Session Variability (ISV) techniques."
+//!
+//! Pipeline:
+//!
+//! 1. [`frontend`] — VAD-trimmed MFCC + delta features with cepstral mean
+//!    normalization;
+//! 2. [`ubm`] — EM-trained universal background model;
+//! 3. [`model`] — MAP-adapted per-speaker models and LLR scoring
+//!    (the "UBM" row of Table I);
+//! 4. [`isv`] — feature-domain inter-session variability compensation: a
+//!    session subspace estimated from within-speaker between-session
+//!    variation, removed at both enrollment and test time (the "ISV" row
+//!    of Table I);
+//! 5. [`eval`] — trial protocols and FAR/FRR/EER evaluation.
+
+pub mod eval;
+pub mod frontend;
+pub mod isv;
+pub mod model;
+pub mod replay_baseline;
+pub mod ubm;
+
+pub use eval::{TrialOutcome, VerificationReport};
+pub use replay_baseline::ReplayDetector;
+pub use frontend::FeatureExtractor;
+pub use isv::IsvBackend;
+pub use model::{SpeakerModel, UbmBackend};

@@ -1,0 +1,314 @@
+//! Speaker enrollment and GMM–UBM verification with Z-norm score
+//! normalization.
+//!
+//! Raw log-likelihood-ratio scores carry speaker-dependent offsets (some
+//! models score *everyone* higher), which makes a single global threshold
+//! unreliable. Spear — the toolbox the paper uses — applies Z-norm: each
+//! enrolled model is scored against an impostor cohort, and verification
+//! scores are reported in standard deviations above that cohort. We do the
+//! same, drawing the cohort from the UBM training corpus.
+
+use crate::frontend::FeatureExtractor;
+use magshield_ml::gmm::DiagonalGmm;
+
+/// MAP relevance factor (Reynolds' classic value).
+pub const RELEVANCE_FACTOR: f64 = 16.0;
+
+/// Maximum cohort utterances used for Z-norm statistics.
+const MAX_COHORT: usize = 24;
+
+/// An enrolled speaker: a MAP-adapted GMM plus Z-norm statistics.
+#[derive(Debug, Clone)]
+pub struct SpeakerModel {
+    /// Claimed identity this model verifies.
+    pub speaker_id: u32,
+    /// The adapted mixture.
+    pub gmm: DiagonalGmm,
+    /// Z-norm statistics `(mean, std)` of the model's impostor-cohort raw
+    /// scores; `None` when no cohort was available (raw scores returned).
+    pub znorm: Option<(f64, f64)>,
+    /// Expected genuine score (normalized units), estimated at enrollment
+    /// by leave-one-out scoring of the enrollment utterances. Per-user
+    /// threshold calibration — standard practice for text-dependent voice
+    /// authentication — anchors the operating point to this value.
+    pub genuine_ref: Option<f64>,
+}
+
+impl SpeakerModel {
+    /// Applies Z-norm (identity when no statistics are present).
+    pub fn normalize(&self, raw: f64) -> f64 {
+        match self.znorm {
+            Some((mu, sigma)) => (raw - mu) / sigma,
+            None => raw,
+        }
+    }
+
+    /// The calibrated per-user acceptance threshold: a fraction of the
+    /// expected genuine score, floored at `floor` (normalized units).
+    pub fn calibrated_threshold(&self, floor: f64) -> f64 {
+        match self.genuine_ref {
+            Some(g) => (0.7 * g).max(floor),
+            None => floor,
+        }
+    }
+}
+
+/// The GMM–UBM verification backend (the "UBM" system of Table I).
+#[derive(Debug, Clone)]
+pub struct UbmBackend {
+    /// Shared front end.
+    pub extractor: FeatureExtractor,
+    /// The background model.
+    pub ubm: DiagonalGmm,
+    /// Pre-extracted cohort utterance frames for Z-norm.
+    cohort: Vec<Vec<Vec<f64>>>,
+}
+
+impl UbmBackend {
+    /// Creates a backend from a trained UBM (no Z-norm cohort).
+    pub fn new(extractor: FeatureExtractor, ubm: DiagonalGmm) -> Self {
+        Self {
+            extractor,
+            ubm,
+            cohort: Vec::new(),
+        }
+    }
+
+    /// Attaches a Z-norm cohort (typically utterances from the UBM
+    /// training corpus); at most [`MAX_COHORT`] are kept.
+    pub fn with_cohort(mut self, utterances: &[&[f64]]) -> Self {
+        self.cohort = utterances
+            .iter()
+            .take(MAX_COHORT)
+            .map(|audio| self.extractor.extract(audio))
+            .filter(|f| !f.is_empty())
+            .collect();
+        self
+    }
+
+    /// Number of cohort utterances held.
+    pub fn cohort_size(&self) -> usize {
+        self.cohort.len()
+    }
+
+    /// The cohort frame sets (ISV reuses them, compensated).
+    pub fn cohort_frames(&self) -> &[Vec<Vec<f64>>] {
+        &self.cohort
+    }
+
+    /// Enrolls a speaker from one or more utterances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no feature frames can be extracted.
+    pub fn enroll(&self, speaker_id: u32, utterances: &[&[f64]]) -> SpeakerModel {
+        let per_utt: Vec<Vec<Vec<f64>>> = utterances
+            .iter()
+            .map(|audio| self.extractor.extract(audio))
+            .collect();
+        let frames: Vec<Vec<f64>> = per_utt.iter().flatten().cloned().collect();
+        assert!(!frames.is_empty(), "enrollment produced no frames");
+        let gmm = self.ubm.map_adapt_means(&frames, RELEVANCE_FACTOR);
+        let znorm = znorm_stats(&gmm, &self.ubm, self.cohort.iter());
+        let genuine_ref = genuine_reference(&self.ubm, &per_utt, self.cohort.iter().collect());
+        SpeakerModel {
+            speaker_id,
+            gmm,
+            znorm,
+            genuine_ref,
+        }
+    }
+
+    /// Verification score of `audio` against `model`: Z-normalized average
+    /// per-frame log-likelihood ratio (higher = more likely genuine).
+    pub fn score(&self, model: &SpeakerModel, audio: &[f64]) -> f64 {
+        let frames = self.extractor.extract(audio);
+        self.score_frames(model, &frames)
+    }
+
+    /// Scores pre-extracted frames (used by the ISV backend after
+    /// compensation).
+    pub fn score_frames(&self, model: &SpeakerModel, frames: &[Vec<f64>]) -> f64 {
+        model.normalize(model.gmm.llr_score(&self.ubm, frames))
+    }
+}
+
+/// Leave-one-out genuine-score estimate: each enrollment utterance is
+/// scored (normalized) against a model adapted from the *other*
+/// utterances. Needs at least two utterances; returns the mean LOO score.
+pub fn genuine_reference(
+    ubm: &DiagonalGmm,
+    per_utterance_frames: &[Vec<Vec<f64>>],
+    cohort: Vec<&Vec<Vec<f64>>>,
+) -> Option<f64> {
+    let usable: Vec<&Vec<Vec<f64>>> = per_utterance_frames
+        .iter()
+        .filter(|f| !f.is_empty())
+        .collect();
+    if usable.len() < 2 {
+        return None;
+    }
+    let mut scores = Vec::new();
+    for i in 0..usable.len() {
+        let rest: Vec<Vec<f64>> = usable
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .flat_map(|(_, f)| (*f).clone())
+            .collect();
+        let sub = ubm.map_adapt_means(&rest, RELEVANCE_FACTOR);
+        let raw = sub.llr_score(ubm, usable[i]);
+        let z = match znorm_stats(&sub, ubm, cohort.iter().copied()) {
+            Some((mu, sigma)) => (raw - mu) / sigma,
+            None => raw,
+        };
+        if z.is_finite() {
+            scores.push(z);
+        }
+    }
+    if scores.is_empty() {
+        return None;
+    }
+    Some(scores.iter().sum::<f64>() / scores.len() as f64)
+}
+
+/// Computes Z-norm statistics of a model against cohort frame sets.
+pub fn znorm_stats<'a>(
+    model: &DiagonalGmm,
+    ubm: &DiagonalGmm,
+    cohort: impl Iterator<Item = &'a Vec<Vec<f64>>>,
+) -> Option<(f64, f64)> {
+    let scores: Vec<f64> = cohort
+        .map(|frames| model.llr_score(ubm, frames))
+        .filter(|s| s.is_finite())
+        .collect();
+    if scores.len() < 3 {
+        return None;
+    }
+    let mu = scores.iter().sum::<f64>() / scores.len() as f64;
+    let var = scores.iter().map(|s| (s - mu).powi(2)).sum::<f64>() / scores.len() as f64;
+    Some((mu, var.sqrt().max(1e-3)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ubm::{train_ubm, UbmConfig};
+    use magshield_simkit::rng::SimRng;
+    use magshield_voice::corpus::{build_corpus, CorpusConfig};
+    use magshield_voice::synth::VOICE_SAMPLE_RATE;
+
+    fn small_setup() -> (UbmBackend, magshield_voice::corpus::Corpus) {
+        let rng = SimRng::from_seed(21);
+        let corpus = build_corpus(
+            &CorpusConfig {
+                num_speakers: 4,
+                sessions_per_speaker: 2,
+                utterances_per_session: 2,
+                passphrase_len: 4,
+                session_strength: 0.6,
+                corpus_tilt_db_per_oct: 0.0,
+                first_speaker_id: 0,
+            },
+            &rng,
+        );
+        let fx = FeatureExtractor::new(VOICE_SAMPLE_RATE);
+        let utts: Vec<&[f64]> = corpus.utterances.iter().map(|u| u.audio.as_slice()).collect();
+        let ubm = train_ubm(
+            &fx,
+            &utts,
+            UbmConfig {
+                components: 16,
+                em_iters: 6,
+                max_frames: 6000,
+            },
+            &rng,
+        );
+        let backend = UbmBackend::new(fx, ubm).with_cohort(&utts);
+        (backend, corpus)
+    }
+
+    #[test]
+    fn genuine_scores_beat_impostor_scores() {
+        let (backend, corpus) = small_setup();
+        let mut genuine = Vec::new();
+        let mut impostor = Vec::new();
+        for sp in &corpus.speakers {
+            let utts = corpus.of_speaker(sp.id);
+            let enroll: Vec<&[f64]> = utts[..2].iter().map(|u| u.audio.as_slice()).collect();
+            let model = backend.enroll(sp.id, &enroll);
+            for u in &utts[2..] {
+                genuine.push(backend.score(&model, &u.audio));
+            }
+            for other in &corpus.speakers {
+                if other.id != sp.id {
+                    let u = corpus.of_speaker(other.id)[2];
+                    impostor.push(backend.score(&model, &u.audio));
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&genuine) > mean(&impostor) + 0.5,
+            "genuine {} vs impostor {} (z-scores)",
+            mean(&genuine),
+            mean(&impostor)
+        );
+        let eer = magshield_ml::metrics::equal_error_rate(&genuine, &impostor);
+        assert!(eer < 0.25, "EER {eer} too high for a clean synthetic corpus");
+    }
+
+    #[test]
+    fn znorm_centers_impostor_scores() {
+        let (backend, corpus) = small_setup();
+        let sp = &corpus.speakers[0];
+        let utts = corpus.of_speaker(sp.id);
+        let enroll: Vec<&[f64]> = utts[..2].iter().map(|u| u.audio.as_slice()).collect();
+        let model = backend.enroll(sp.id, &enroll);
+        assert!(model.znorm.is_some(), "cohort attached → znorm computed");
+        // Impostor z-scores should hover near 0 with unit-ish scale.
+        let mut imp = Vec::new();
+        for other in &corpus.speakers[1..] {
+            for u in corpus.of_speaker(other.id) {
+                imp.push(backend.score(&model, &u.audio));
+            }
+        }
+        let mean = imp.iter().sum::<f64>() / imp.len() as f64;
+        assert!(mean.abs() < 1.5, "impostor z-mean {mean}");
+    }
+
+    #[test]
+    fn no_cohort_means_raw_scores() {
+        let (backend, corpus) = small_setup();
+        let bare = UbmBackend::new(backend.extractor.clone(), backend.ubm.clone());
+        let sp = &corpus.speakers[0];
+        let utts = corpus.of_speaker(sp.id);
+        let enroll: Vec<&[f64]> = utts[..2].iter().map(|u| u.audio.as_slice()).collect();
+        let model = bare.enroll(sp.id, &enroll);
+        assert!(model.znorm.is_none());
+    }
+
+    #[test]
+    fn adaptation_moves_model_toward_speaker() {
+        let (backend, corpus) = small_setup();
+        let sp = &corpus.speakers[0];
+        let utts = corpus.of_speaker(sp.id);
+        let enroll: Vec<&[f64]> = utts[..2].iter().map(|u| u.audio.as_slice()).collect();
+        let model = backend.enroll(sp.id, &enroll);
+        let moved = model
+            .gmm
+            .means()
+            .iter()
+            .zip(backend.ubm.means())
+            .any(|(a, b)| a.iter().zip(b).any(|(x, y)| (x - y).abs() > 1e-6));
+        assert!(moved, "MAP adaptation should move at least one mean");
+        assert!(backend.score(&model, &utts[0].audio) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames")]
+    fn enroll_rejects_empty_audio() {
+        let (backend, _) = small_setup();
+        backend.enroll(0, &[&[]]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Acoustic replay-detection baseline.
+//!
+//! §II of the paper surveys prior replay countermeasures (\[30\], \[38\],
+//! \[46\], \[47\], \[50\]) that detect playback from the *audio alone* —
+//! channel pattern noise, far-field spectral statistics, score
+//! normalization — and notes that "all these systems suffer from high
+//! false acceptance rate (FAR) compared to the respective baselines."
+//!
+//! This module implements such a baseline so the claim can be measured:
+//! a linear classifier over spectral artifacts that playback chains leave
+//! in the signal:
+//!
+//! 1. low-band deficit — small drivers cannot reproduce speech lows;
+//! 2. high-band deficit — recording + playback band-limits the top octave;
+//! 3. spectral flatness deviations — resonances of cheap cones color the
+//!    spectrum;
+//! 4. pause-floor noise — the covert recording's noise floor plays back
+//!    in the gaps between digits;
+//! 5. frame-rate modulation energy — vocoder artifacts (for synthetic
+//!    speech).
+//!
+//! Against band-limited playback (phone/laptop speakers) these features
+//! work; against a flat, full-range loudspeaker they have nothing to hold
+//! on to — which is exactly the paper's argument for moving the decision
+//! to the magnetometer.
+
+use crate::eval::VerificationReport;
+use magshield_dsp::fft::magnitude_spectrum;
+use magshield_ml::scaler::StandardScaler;
+use magshield_ml::svm::{LinearSvm, SvmConfig};
+use magshield_simkit::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Number of features extracted per utterance.
+pub const BASELINE_FEATURE_DIM: usize = 8;
+
+/// Extracts the replay-artifact feature vector from an utterance.
+///
+/// Returns `None` for audio too short to analyze (< 0.25 s).
+pub fn replay_features(audio: &[f64], sample_rate: f64) -> Option<Vec<f64>> {
+    if audio.len() < (sample_rate * 0.25) as usize {
+        return None;
+    }
+    // Band energies over the whole utterance.
+    let (freqs, mags) = magnitude_spectrum(audio, sample_rate);
+    let band_energy = |lo: f64, hi: f64| -> f64 {
+        freqs
+            .iter()
+            .zip(&mags)
+            .filter(|(f, _)| **f >= lo && **f < hi)
+            .map(|(_, m)| m * m)
+            .sum::<f64>()
+            .max(1e-12)
+    };
+    let total = band_energy(50.0, sample_rate * 0.45);
+    let low_ratio = (band_energy(50.0, 250.0) / total).ln();
+    let mid_ratio = (band_energy(250.0, 2500.0) / total).ln();
+    let high_ratio = (band_energy(5000.0, 7500.0) / total).ln();
+
+    // Spectral flatness of the speech band.
+    let speech_bins: Vec<f64> = freqs
+        .iter()
+        .zip(&mags)
+        .filter(|(f, _)| **f >= 250.0 && **f < 4000.0)
+        .map(|(_, m)| (m * m).max(1e-12))
+        .collect();
+    let flatness = {
+        let log_mean = speech_bins.iter().map(|p| p.ln()).sum::<f64>() / speech_bins.len() as f64;
+        let mean = speech_bins.iter().sum::<f64>() / speech_bins.len() as f64;
+        (log_mean - mean.ln()).exp()
+    };
+
+    // Pause-floor: 5th-percentile frame RMS vs overall RMS.
+    let frame = (sample_rate * 0.02) as usize;
+    let mut frame_rms: Vec<f64> = audio
+        .chunks(frame.max(1))
+        .map(|c| (c.iter().map(|x| x * x).sum::<f64>() / c.len() as f64).sqrt())
+        .collect();
+    frame_rms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let floor = frame_rms[(0.05 * (frame_rms.len() - 1) as f64) as usize].max(1e-9);
+    let overall = frame_rms[frame_rms.len() / 2].max(1e-9);
+    let pause_floor_db = 20.0 * (floor / overall).log10();
+
+    // Envelope modulation energy near the 100 Hz vocoder frame rate.
+    let env: Vec<f64> = audio
+        .chunks(frame.max(1))
+        .map(|c| c.iter().map(|x| x.abs()).sum::<f64>() / c.len() as f64)
+        .collect();
+    let env_rate = sample_rate / frame.max(1) as f64; // ~50 Hz envelope rate
+    let (efreqs, emags) = magnitude_spectrum(&env, env_rate);
+    let mod_total: f64 = emags.iter().skip(1).map(|m| m * m).sum::<f64>().max(1e-12);
+    let mod_hi: f64 = efreqs
+        .iter()
+        .zip(&emags)
+        .filter(|(f, _)| **f >= 15.0)
+        .map(|(_, m)| m * m)
+        .sum::<f64>()
+        .max(1e-12);
+    let mod_ratio = (mod_hi / mod_total).ln();
+
+    // Crest factor — compression in playback chains lowers it.
+    let peak = audio.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+    let rms = (audio.iter().map(|x| x * x).sum::<f64>() / audio.len() as f64).sqrt();
+    let crest_db = 20.0 * (peak / rms.max(1e-9)).log10();
+
+    Some(vec![
+        low_ratio,
+        mid_ratio,
+        high_ratio,
+        flatness,
+        pause_floor_db,
+        mod_ratio,
+        crest_db,
+        (audio.len() as f64 / sample_rate).ln(),
+    ])
+}
+
+/// A trained acoustic replay detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayDetector {
+    svm: LinearSvm,
+    scaler: StandardScaler,
+}
+
+impl ReplayDetector {
+    /// Trains on labeled utterances (`genuine` = live speech, `replayed` =
+    /// loudspeaker playback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class yields no usable feature vectors.
+    pub fn train(
+        genuine: &[&[f64]],
+        replayed: &[&[f64]],
+        sample_rate: f64,
+        rng: &SimRng,
+    ) -> Self {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for audio in genuine {
+            if let Some(v) = replay_features(audio, sample_rate) {
+                data.push(v);
+                labels.push(1.0);
+            }
+        }
+        let n_pos = data.len();
+        for audio in replayed {
+            if let Some(v) = replay_features(audio, sample_rate) {
+                data.push(v);
+                labels.push(-1.0);
+            }
+        }
+        assert!(
+            n_pos > 0 && data.len() > n_pos,
+            "need usable genuine and replayed training audio"
+        );
+        let scaler = StandardScaler::fit(&data);
+        let scaled = scaler.transform_batch(&data);
+        let svm = LinearSvm::train(&scaled, &labels, SvmConfig::default(), &rng.fork("replay"));
+        Self { svm, scaler }
+    }
+
+    /// Liveness score: positive = live speech, negative = playback.
+    ///
+    /// Returns `-1.0` (reject) for audio too short to featurize.
+    pub fn score(&self, audio: &[f64], sample_rate: f64) -> f64 {
+        match replay_features(audio, sample_rate) {
+            Some(v) => self.svm.decision(&self.scaler.transform(&v)),
+            None => -1.0,
+        }
+    }
+
+    /// Evaluates FAR/FRR/EER over labeled test sets.
+    pub fn evaluate(
+        &self,
+        genuine: &[&[f64]],
+        replayed: &[&[f64]],
+        sample_rate: f64,
+    ) -> VerificationReport {
+        VerificationReport {
+            genuine_scores: genuine
+                .iter()
+                .map(|a| self.score(a, sample_rate))
+                .collect(),
+            impostor_scores: replayed
+                .iter()
+                .map(|a| self.score(a, sample_rate))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_simkit::rng::SimRng;
+    use magshield_voice::attacks::{apply_device_response, attack_audio, AttackKind};
+    use magshield_voice::devices::table_iv_catalog;
+    use magshield_voice::profile::SpeakerProfile;
+    use magshield_voice::synth::{FormantSynthesizer, SessionEffects, VOICE_SAMPLE_RATE};
+
+    fn corpus(device_filter: &str, n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let rng = SimRng::from_seed(808);
+        let synth = FormantSynthesizer::default();
+        let dev = table_iv_catalog()
+            .into_iter()
+            .find(|d| d.name.contains(device_filter))
+            .unwrap();
+        let mut genuine = Vec::new();
+        let mut replayed = Vec::new();
+        for i in 0..n as u32 {
+            let sp = SpeakerProfile::sample(i, &rng);
+            let fx = SessionEffects::sample(&rng.fork_indexed("fx", u64::from(i)), 0.8);
+            genuine.push(synth.render_digits(&sp, "314159", fx, &rng.fork_indexed("g", u64::from(i))));
+            let attacker = SpeakerProfile::sample(100 + i, &rng);
+            let mut atk = attack_audio(
+                AttackKind::Replay,
+                &attacker,
+                &sp,
+                "314159",
+                &rng.fork_indexed("a", u64::from(i)),
+            );
+            apply_device_response(&mut atk, VOICE_SAMPLE_RATE, &dev);
+            replayed.push(atk);
+        }
+        (genuine, replayed)
+    }
+
+    #[test]
+    fn features_are_finite_and_sized() {
+        let (g, _) = corpus("iPhone 6", 2);
+        let v = replay_features(&g[0], VOICE_SAMPLE_RATE).unwrap();
+        assert_eq!(v.len(), BASELINE_FEATURE_DIM);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn short_audio_yields_none() {
+        assert!(replay_features(&[0.1; 100], VOICE_SAMPLE_RATE).is_none());
+    }
+
+    #[test]
+    fn detects_bandlimited_phone_speaker_replay() {
+        // Phone internal speakers cut everything below ~300 Hz: the
+        // low-band deficit is a strong cue.
+        let (g, r) = corpus("iPhone 4S", 10);
+        let gr: Vec<&[f64]> = g.iter().map(|v| v.as_slice()).collect();
+        let rr: Vec<&[f64]> = r.iter().map(|v| v.as_slice()).collect();
+        let det = ReplayDetector::train(
+            &gr[..6],
+            &rr[..6],
+            VOICE_SAMPLE_RATE,
+            &SimRng::from_seed(1),
+        );
+        let report = det.evaluate(&gr[6..], &rr[6..], VOICE_SAMPLE_RATE);
+        assert!(
+            report.eer() < 0.3,
+            "band-limited replay should be detectable: EER {}",
+            report.eer()
+        );
+    }
+
+    #[test]
+    fn struggles_against_full_range_speaker() {
+        // The paper's point: a flat floor-standing speaker leaves few
+        // acoustic artifacts, so audio-only detection degrades — while the
+        // magnetometer channel is indifferent to audio quality.
+        let (g, r) = corpus("Pioneer", 10);
+        let gr: Vec<&[f64]> = g.iter().map(|v| v.as_slice()).collect();
+        let rr: Vec<&[f64]> = r.iter().map(|v| v.as_slice()).collect();
+        let det = ReplayDetector::train(
+            &gr[..6],
+            &rr[..6],
+            VOICE_SAMPLE_RATE,
+            &SimRng::from_seed(2),
+        );
+        let full_range = det.evaluate(&gr[6..], &rr[6..], VOICE_SAMPLE_RATE);
+
+        let (g2, r2) = corpus("iPhone 4S", 10);
+        let gr2: Vec<&[f64]> = g2.iter().map(|v| v.as_slice()).collect();
+        let rr2: Vec<&[f64]> = r2.iter().map(|v| v.as_slice()).collect();
+        let det2 = ReplayDetector::train(
+            &gr2[..6],
+            &rr2[..6],
+            VOICE_SAMPLE_RATE,
+            &SimRng::from_seed(2),
+        );
+        let band_limited = det2.evaluate(&gr2[6..], &rr2[6..], VOICE_SAMPLE_RATE);
+        assert!(
+            full_range.eer() >= band_limited.eer(),
+            "full-range replay ({}) should be at least as hard as band-limited ({})",
+            full_range.eer(),
+            band_limited.eer()
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (g, r) = corpus("Logitech", 4);
+        let gr: Vec<&[f64]> = g.iter().map(|v| v.as_slice()).collect();
+        let rr: Vec<&[f64]> = r.iter().map(|v| v.as_slice()).collect();
+        let a = ReplayDetector::train(&gr, &rr, VOICE_SAMPLE_RATE, &SimRng::from_seed(3));
+        let b = ReplayDetector::train(&gr, &rr, VOICE_SAMPLE_RATE, &SimRng::from_seed(3));
+        assert_eq!(a.score(&g[0], VOICE_SAMPLE_RATE), b.score(&g[0], VOICE_SAMPLE_RATE));
+    }
+
+    #[test]
+    #[should_panic(expected = "usable genuine and replayed")]
+    fn rejects_empty_training() {
+        ReplayDetector::train(&[], &[], VOICE_SAMPLE_RATE, &SimRng::from_seed(1));
+    }
+}

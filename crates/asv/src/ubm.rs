@@ -1,0 +1,105 @@
+//! Universal background model training.
+
+use crate::frontend::FeatureExtractor;
+use magshield_ml::gmm::DiagonalGmm;
+use magshield_simkit::rng::SimRng;
+
+/// UBM training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UbmConfig {
+    /// Mixture components (Spear defaults are 256–512; the synthetic
+    /// corpora here separate well with fewer).
+    pub components: usize,
+    /// EM iterations.
+    pub em_iters: usize,
+    /// Maximum frames pooled for training (subsampled beyond this).
+    pub max_frames: usize,
+}
+
+impl Default for UbmConfig {
+    fn default() -> Self {
+        Self {
+            components: 64,
+            em_iters: 12,
+            max_frames: 20_000,
+        }
+    }
+}
+
+/// Trains a UBM on pooled feature frames from many utterances.
+///
+/// # Panics
+///
+/// Panics if fewer frames than components are available.
+pub fn train_ubm(
+    extractor: &FeatureExtractor,
+    utterances: &[&[f64]],
+    config: UbmConfig,
+    rng: &SimRng,
+) -> DiagonalGmm {
+    let mut pool: Vec<Vec<f64>> = Vec::new();
+    for audio in utterances {
+        pool.extend(extractor.extract(audio));
+    }
+    assert!(
+        pool.len() >= config.components,
+        "need at least {} frames, got {}",
+        config.components,
+        pool.len()
+    );
+    if pool.len() > config.max_frames {
+        // Deterministic stride subsampling keeps coverage across speakers.
+        let stride = pool.len() as f64 / config.max_frames as f64;
+        pool = (0..config.max_frames)
+            .map(|i| pool[(i as f64 * stride) as usize].clone())
+            .collect();
+    }
+    DiagonalGmm::train(&pool, config.components, config.em_iters, 1e-4, &rng.fork("ubm"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_voice::corpus::voxforge_like;
+    use magshield_voice::synth::VOICE_SAMPLE_RATE;
+
+    #[test]
+    fn ubm_trains_on_synthetic_corpus() {
+        let rng = SimRng::from_seed(1);
+        let corpus = voxforge_like(3, &rng);
+        let fx = FeatureExtractor::new(VOICE_SAMPLE_RATE);
+        let utts: Vec<&[f64]> = corpus.utterances.iter().map(|u| u.audio.as_slice()).collect();
+        let ubm = train_ubm(
+            &fx,
+            &utts,
+            UbmConfig {
+                components: 8,
+                em_iters: 4,
+                max_frames: 3000,
+            },
+            &rng,
+        );
+        assert_eq!(ubm.num_components(), 8);
+        assert_eq!(ubm.dim(), fx.dim());
+        // The UBM should assign reasonable likelihood to corpus frames.
+        let frames = fx.extract(&corpus.utterances[0].audio);
+        assert!(ubm.mean_log_likelihood(&frames).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn rejects_insufficient_data() {
+        let fx = FeatureExtractor::new(16_000.0);
+        let silence = vec![0.0; 800];
+        train_ubm(
+            &fx,
+            &[silence.as_slice()],
+            UbmConfig {
+                components: 512,
+                em_iters: 1,
+                max_frames: 1000,
+            },
+            &SimRng::from_seed(1),
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the ASV stack: GMM scoring, MAP adaptation
+//! and SVM/PCA kernels — the server-side compute of Table I / Fig. 15.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magshield_ml::gmm::DiagonalGmm;
+use magshield_ml::pca::Pca;
+use magshield_ml::svm::{LinearSvm, SvmConfig};
+use magshield_simkit::rng::SimRng;
+
+fn frames(rng: &SimRng, n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut r = rng.fork("frames");
+    (0..n)
+        .map(|_| (0..dim).map(|_| r.gauss(0.0, 1.0)).collect())
+        .collect()
+}
+
+fn bench_gmm_score(c: &mut Criterion) {
+    let rng = SimRng::from_seed(1);
+    let data = frames(&rng, 2000, 26);
+    let gmm = DiagonalGmm::train(&data, 32, 5, 1e-4, &rng);
+    let test = frames(&rng.fork("test"), 200, 26);
+    c.bench_function("gmm32_llk_200_frames", |b| {
+        b.iter(|| gmm.mean_log_likelihood(black_box(&test)))
+    });
+}
+
+fn bench_map_adapt(c: &mut Criterion) {
+    let rng = SimRng::from_seed(2);
+    let data = frames(&rng, 2000, 26);
+    let gmm = DiagonalGmm::train(&data, 32, 5, 1e-4, &rng);
+    let enroll = frames(&rng.fork("enroll"), 300, 26);
+    c.bench_function("map_adapt_300_frames", |b| {
+        b.iter(|| gmm.map_adapt_means(black_box(&enroll), 16.0))
+    });
+}
+
+fn bench_gmm_train(c: &mut Criterion) {
+    let rng = SimRng::from_seed(3);
+    let data = frames(&rng, 1000, 26);
+    c.bench_function("gmm16_train_1000_frames", |b| {
+        b.iter(|| DiagonalGmm::train(black_box(&data), 16, 3, 1e-4, &rng))
+    });
+}
+
+fn bench_svm_train(c: &mut Criterion) {
+    let rng = SimRng::from_seed(4);
+    let mut r = rng.fork("svm");
+    let data: Vec<Vec<f64>> = (0..200)
+        .map(|i| {
+            let c = if i % 2 == 0 { 1.0 } else { -1.0 };
+            (0..5).map(|_| r.gauss(c, 1.0)).collect()
+        })
+        .collect();
+    let labels: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    c.bench_function("svm_train_200x5", |b| {
+        b.iter(|| LinearSvm::train(black_box(&data), &labels, SvmConfig::default(), &rng))
+    });
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let rng = SimRng::from_seed(5);
+    let data = frames(&rng, 100, 13);
+    c.bench_function("pca_fit_100x13", |b| b.iter(|| Pca::fit(black_box(&data), 2)));
+}
+
+criterion_group!(
+    benches,
+    bench_gmm_score,
+    bench_map_adapt,
+    bench_gmm_train,
+    bench_svm_train,
+    bench_pca
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks for the DSP kernels on the verification hot
+//! path: FFT, Goertzel pilot tracking, MFCC extraction and STFT.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magshield_dsp::complex::Complex;
+use magshield_dsp::fft::fft;
+use magshield_dsp::goertzel::goertzel;
+use magshield_dsp::mel::MfccExtractor;
+use magshield_dsp::phase::PhaseTracker;
+use magshield_dsp::stft::{Spectrogram, StftConfig};
+
+fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (std::f64::consts::TAU * freq * i as f64 / fs).sin())
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let base: Vec<Complex> = (0..4096)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+        .collect();
+    c.bench_function("fft_4096", |b| {
+        b.iter(|| {
+            let mut buf = base.clone();
+            fft(black_box(&mut buf));
+            buf
+        })
+    });
+}
+
+fn bench_goertzel(c: &mut Criterion) {
+    let sig = tone(18_000.0, 48_000.0, 96);
+    c.bench_function("goertzel_96_samples", |b| {
+        b.iter(|| goertzel(black_box(&sig), 18_000.0, 48_000.0))
+    });
+}
+
+fn bench_phase_tracker(c: &mut Criterion) {
+    // One second of pilot at the audio rate — the per-session ranging cost.
+    let sig = tone(18_000.0, 48_000.0, 48_000);
+    let tracker = PhaseTracker::new(18_000.0, 48_000.0);
+    c.bench_function("phase_track_1s_48k", |b| {
+        b.iter(|| tracker.track(black_box(&sig), 48_000.0))
+    });
+}
+
+fn bench_mfcc(c: &mut Criterion) {
+    let sig = tone(220.0, 16_000.0, 16_000);
+    let ex = MfccExtractor::new(16_000.0);
+    c.bench_function("mfcc_1s_16k", |b| b.iter(|| ex.extract(black_box(&sig))));
+}
+
+fn bench_spectrogram(c: &mut Criterion) {
+    let sig = tone(1000.0, 48_000.0, 48_000);
+    c.bench_function("spectrogram_1s_48k", |b| {
+        b.iter(|| Spectrogram::compute(black_box(&sig), 48_000.0, StftConfig::default()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_goertzel,
+    bench_phase_tracker,
+    bench_mfcc,
+    bench_spectrogram
+);
+criterion_main!(benches);

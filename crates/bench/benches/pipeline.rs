@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the end-to-end pipeline: session capture,
+//! full four-component verification, and the wire protocol — the numbers
+//! behind Fig. 15's compute component.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magshield_core::pipeline::{BootstrapConfig, DefenseSystem};
+use magshield_core::scenario::{bootstrap_with, ScenarioBuilder, UserContext};
+use magshield_core::server::protocol::{decode_frame, encode_request};
+use magshield_simkit::rng::SimRng;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (DefenseSystem, UserContext) {
+    static F: OnceLock<(DefenseSystem, UserContext)> = OnceLock::new();
+    F.get_or_init(|| bootstrap_with(&SimRng::from_seed(99), BootstrapConfig::tiny()))
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let (_, user) = fixture();
+    let rng = SimRng::from_seed(7);
+    c.bench_function("session_capture", |b| {
+        b.iter(|| ScenarioBuilder::genuine(black_box(user)).capture(&rng))
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let (system, user) = fixture();
+    let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(8));
+    c.bench_function("full_verify", |b| {
+        b.iter(|| system.verify(black_box(&session)))
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let (_, user) = fixture();
+    let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(9));
+    c.bench_function("protocol_encode", |b| {
+        b.iter(|| encode_request(1, black_box(&session)))
+    });
+    let frame = encode_request(1, &session);
+    c.bench_function("protocol_decode", |b| {
+        b.iter(|| decode_frame(black_box(&frame)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_capture, bench_verify, bench_protocol
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Fig. 14 — Environmental magnetic interference: (a) near a computer
+//! (iMac 27" at 30 cm) and (b) in a car's front seat.
+//!
+//! Paper shape: near the computer FAR stays ~0 and FRR spikes at 8 cm
+//! (the longer trajectories pass closer to the screen); in the car FRR is
+//! 29–50 % at every distance while EER stays ≈ 0 (the detector *can*
+//! separate, the fixed thresholds are just miscalibrated for the noise —
+//! motivating §VII adaptive thresholding, see exp_adaptive).
+//!
+//! ```sh
+//! cargo run --release -p magshield-bench --bin exp_fig14
+//! ```
+
+use magshield_bench::*;
+use magshield_core::scenario::ScenarioBuilder;
+use magshield_physics::magnetics::interference::EmfEnvironment;
+use magshield_simkit::vec3::Vec3;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::table_iv_catalog;
+use magshield_voice::profile::SpeakerProfile;
+
+fn main() {
+    let (system, user, rng) = experiment_system();
+    let catalog = table_iv_catalog();
+    let devices: Vec<_> = [0usize, 7, 18].iter().map(|&i| catalog[i].clone()).collect();
+    let attacker = SpeakerProfile::sample(902, &rng.fork("attacker"));
+    let distances_cm = [4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+    let mut rows = Vec::new();
+
+    let environments: [(&str, &str, Box<dyn Fn(f64) -> EmfEnvironment>); 2] = [
+        (
+            "fig14a (near computer)",
+            "fig14a",
+            // The iMac sits 30 cm to the side of the test location; the
+            // sweep arc at larger sound-source distances swings the phone
+            // closer to the screen (paper: "the moving trajectories ...
+            // become closer to the computer screen").
+            Box::new(|_d| EmfEnvironment::near_computer(Vec3::new(0.30, 0.0, 0.0))),
+        ),
+        (
+            "fig14b (in car)",
+            "fig14b",
+            Box::new(|_d| EmfEnvironment::in_car()),
+        ),
+    ];
+
+    for (label, id, env_of) in &environments {
+        print_header(label, &["d (cm)", "FAR %", "FRR %", "EER %"]);
+        for &d_cm in &distances_cm {
+            let d = d_cm / 100.0;
+            let mut config = system.config;
+            config.distance_threshold_m = d + 0.02;
+            let erng = rng.fork_indexed(label, d_cm as u64);
+            let env = env_of(d_cm);
+
+            let genuine: Vec<_> = (0..18)
+                .map(|i| {
+                    let s = ScenarioBuilder::genuine(&user)
+                        .at_distance(d)
+                        .in_environment(env.clone())
+                        .capture(&erng.fork_indexed("g", i));
+                    system.verify_with_config(&s, &config)
+                })
+                .collect();
+            let attacks: Vec<_> = devices
+                .iter()
+                .enumerate()
+                .flat_map(|(di, dev)| {
+                    let erng = erng.fork_indexed("a", di as u64);
+                    let env = env.clone();
+                    let user = &user;
+                    let system = &system;
+                    let attacker = attacker.clone();
+                    let dev = dev.clone();
+                    (0..4)
+                        .map(move |i| {
+                            let s = ScenarioBuilder::machine_attack(
+                                user,
+                                AttackKind::Replay,
+                                dev.clone(),
+                                attacker.clone(),
+                            )
+                            .at_distance(d)
+                            .in_environment(env.clone())
+                            .capture(&erng.fork_indexed("s", i));
+                            system.verify_with_config(&s, &config)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let (far, frr, eer) = rates(&genuine, &attacks);
+            print_row(&format!("{d_cm}"), &[far, frr, eer]);
+            rows.push(ResultRow {
+                experiment: (*id).into(),
+                condition: format!("d={d_cm}cm"),
+                metrics: vec![
+                    ("far_pct".into(), far),
+                    ("frr_pct".into(), frr),
+                    ("eer_pct".into(), eer),
+                ],
+            });
+        }
+    }
+    write_results("fig14", &rows);
+    println!("\npaper (a): FAR 0 up to 12 cm; FRR spike 27.8 % at 8 cm; EER ~0 at ≤6 cm.");
+    println!("paper (b): FRR 29–50 % at all distances, FAR 0, EER ≈ 0 — fixed thresholds");
+    println!("           are miscalibrated for car EMF; adaptive thresholding (exp_adaptive) fixes it.");
+}

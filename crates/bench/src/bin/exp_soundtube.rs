@@ -1,0 +1,83 @@
+//! §VII "Sound-tube Attacks" — plastic tubes of several sizes deliver the
+//! loudspeaker's sound from a distance while a mouth-sized opening sits at
+//! the protocol position. The paper: "all their attempts failed".
+//!
+//! ```sh
+//! cargo run --release -p magshield-bench --bin exp_soundtube
+//! ```
+
+use magshield_bench::*;
+use magshield_core::scenario::{ScenarioBuilder, SourceKind};
+use magshield_core::verdict::Component;
+use magshield_physics::acoustics::tube::SoundTube;
+use magshield_simkit::rng::SimRng;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::table_iv_catalog;
+use magshield_voice::profile::SpeakerProfile;
+
+fn main() {
+    let (system, user, rng) = experiment_system();
+    let attacker = SpeakerProfile::sample(905, &rng.fork("attacker"));
+    let speaker = table_iv_catalog()[0].clone();
+    let trials = 4;
+
+    print_header(
+        "sound-tube attacks (Logitech LS21 behind a CAB tube)",
+        &["tube", "rejected %", "by-field %", "by-magnet %"],
+    );
+    let mut rows = Vec::new();
+    for (len_cm, bore_mm) in [(10.0, 12.5), (20.0, 12.5), (30.0, 12.5), (40.0, 12.5), (30.0, 20.0)]
+    {
+        let tube = SoundTube::new(len_cm / 100.0, bore_mm / 2000.0);
+        let mut rejected = 0;
+        let mut by_field = 0;
+        let mut by_magnet = 0;
+        for t in 0..trials {
+            let mut b = ScenarioBuilder::machine_attack(
+                &user,
+                AttackKind::Replay,
+                speaker.clone(),
+                attacker.clone(),
+            )
+            .at_distance(0.05);
+            b.source = SourceKind::DeviceViaTube {
+                device: speaker.clone(),
+                tube,
+            };
+            let s = b.capture(&SimRng::from_seed(
+                EXPERIMENT_SEED ^ ((len_cm as u64) << 16 | (bore_mm as u64) << 4 | t as u64),
+            ));
+            let v = system.verify(&s);
+            if !v.accepted() {
+                rejected += 1;
+            }
+            if v.result_of(Component::SoundField)
+                .is_some_and(|r| r.attack_score >= 1.0)
+            {
+                by_field += 1;
+            }
+            if v.result_of(Component::Loudspeaker)
+                .is_some_and(|r| r.attack_score >= 1.0)
+            {
+                by_magnet += 1;
+            }
+        }
+        let pct = |x: i32| x as f64 / trials as f64 * 100.0;
+        print_row(
+            &format!("{len_cm}cm/{bore_mm}mm"),
+            &[pct(rejected), pct(by_field), pct(by_magnet)],
+        );
+        rows.push(ResultRow {
+            experiment: "soundtube".into(),
+            condition: format!("len={len_cm}cm bore={bore_mm}mm"),
+            metrics: vec![
+                ("rejected_pct".into(), pct(rejected)),
+                ("by_field_pct".into(), pct(by_field)),
+                ("by_magnet_pct".into(), pct(by_magnet)),
+            ],
+        });
+    }
+    println!("\npaper: every sound-tube attempt failed — replicating a human sound");
+    println!("field with a mechanical waveguide needs structure the attacker lacks.");
+    write_results("soundtube", &rows);
+}

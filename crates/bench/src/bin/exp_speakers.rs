@@ -1,0 +1,83 @@
+//! §VI "Various Classes of Speakers" — replay attacks through *all 25*
+//! Table IV devices at the protocol distance must be detected.
+//!
+//! The paper: "our method can detect all of these loudspeakers owing to
+//! the same structure they share, all containing a permanent magnet."
+//!
+//! ```sh
+//! cargo run --release -p magshield-bench --bin exp_speakers
+//! ```
+
+use magshield_bench::*;
+use magshield_core::scenario::ScenarioBuilder;
+use magshield_core::verdict::Component;
+use magshield_simkit::rng::SimRng;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::table_iv_catalog;
+use magshield_voice::profile::SpeakerProfile;
+
+fn main() {
+    let (system, user, rng) = experiment_system();
+    let attacker = SpeakerProfile::sample(904, &rng.fork("attacker"));
+    let trials_per_device = 3;
+
+    println!(
+        "{:<44} {:>7} {:>9} {:>10}",
+        "device", "magnet", "detected", "by-magnet"
+    );
+    println!("{}", "-".repeat(74));
+    let mut rows = Vec::new();
+    let mut total_detected = 0;
+    let mut total = 0;
+    for (di, dev) in table_iv_catalog().into_iter().enumerate() {
+        let mut detected = 0;
+        let mut by_magnet = 0;
+        for t in 0..trials_per_device {
+            let s = ScenarioBuilder::machine_attack(
+                &user,
+                AttackKind::Replay,
+                dev.clone(),
+                attacker.clone(),
+            )
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(
+                EXPERIMENT_SEED ^ ((di as u64) << 8 | t as u64),
+            ));
+            let v = system.verify(&s);
+            if !v.accepted() {
+                detected += 1;
+            }
+            if v.result_of(Component::Loudspeaker)
+                .is_some_and(|r| r.attack_score >= 1.0)
+            {
+                by_magnet += 1;
+            }
+        }
+        total_detected += detected;
+        total += trials_per_device;
+        println!(
+            "{:<44} {:>5.0}µT {:>6}/{} {:>8}/{}",
+            dev.name, dev.magnet_ut_at_3cm, detected, trials_per_device, by_magnet, trials_per_device
+        );
+        rows.push(ResultRow {
+            experiment: "speakers25".into(),
+            condition: dev.name.into(),
+            metrics: vec![
+                (
+                    "detect_rate_pct".into(),
+                    detected as f64 / trials_per_device as f64 * 100.0,
+                ),
+                (
+                    "magnet_detect_rate_pct".into(),
+                    by_magnet as f64 / trials_per_device as f64 * 100.0,
+                ),
+            ],
+        });
+    }
+    println!(
+        "\noverall: {total_detected}/{total} attack sessions rejected ({:.1} %)",
+        total_detected as f64 / total as f64 * 100.0
+    );
+    println!("paper: 100 % — every conventional loudspeaker detected.");
+    write_results("speakers25", &rows);
+}

@@ -1,0 +1,81 @@
+//! §VII "Unconventional Loudspeakers" — electrostatic panels (no
+//! permanent magnet, but metal grids that perturb the field, and a large
+//! radiating surface) and piezoelectric tweeters (no magnet, poor voice
+//! band).
+//!
+//! ```sh
+//! cargo run --release -p magshield-bench --bin exp_unconventional
+//! ```
+
+use magshield_bench::*;
+use magshield_core::scenario::ScenarioBuilder;
+use magshield_core::verdict::Component;
+use magshield_simkit::rng::SimRng;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::unconventional_catalog;
+use magshield_voice::profile::SpeakerProfile;
+
+fn main() {
+    let (system, user, rng) = experiment_system();
+    let attacker = SpeakerProfile::sample(906, &rng.fork("attacker"));
+    let trials = 6;
+
+    print_header(
+        "unconventional loudspeakers (replay at 5 cm)",
+        &["device", "rejected %", "field %", "mag %", "asv %"],
+    );
+    let mut rows = Vec::new();
+    for (di, dev) in unconventional_catalog().into_iter().enumerate() {
+        let mut rejected = 0;
+        let (mut by_field, mut by_mag, mut by_asv) = (0, 0, 0);
+        for t in 0..trials {
+            let s = ScenarioBuilder::machine_attack(
+                &user,
+                AttackKind::Replay,
+                dev.clone(),
+                attacker.clone(),
+            )
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(
+                EXPERIMENT_SEED ^ 0xE51 ^ ((di as u64) << 8 | t as u64),
+            ));
+            let v = system.verify(&s);
+            if !v.accepted() {
+                rejected += 1;
+            }
+            let hit = |c: Component| v.result_of(c).is_some_and(|r| r.attack_score >= 1.0);
+            if hit(Component::SoundField) {
+                by_field += 1;
+            }
+            if hit(Component::Loudspeaker) {
+                by_mag += 1;
+            }
+            if hit(Component::SpeakerIdentity) {
+                by_asv += 1;
+            }
+        }
+        let pct = |x: i32| x as f64 / trials as f64 * 100.0;
+        let label = if dev.name.contains("electro") {
+            "ESL"
+        } else {
+            "piezo"
+        };
+        print_row(
+            label,
+            &[pct(rejected), pct(by_field), pct(by_mag), pct(by_asv)],
+        );
+        rows.push(ResultRow {
+            experiment: "unconventional".into(),
+            condition: dev.name.into(),
+            metrics: vec![
+                ("rejected_pct".into(), pct(rejected)),
+                ("by_field_pct".into(), pct(by_field)),
+                ("by_magnet_pct".into(), pct(by_mag)),
+                ("by_asv_pct".into(), pct(by_asv)),
+            ],
+        });
+    }
+    println!("\npaper: the ESL is still caught (grid interference + panel size);");
+    println!("piezo tweeters lack voice-band quality and trip the other stages.");
+    write_results("unconventional", &rows);
+}

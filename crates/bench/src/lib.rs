@@ -1,0 +1,143 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (§VI) — see DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for recorded results.
+
+use magshield_core::pipeline::{BootstrapConfig, DefenseSystem};
+use magshield_core::scenario::{bootstrap_with, ScenarioBuilder, UserContext};
+use magshield_core::verdict::DefenseVerdict;
+use magshield_ml::metrics::equal_error_rate;
+use magshield_simkit::rng::SimRng;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::PlaybackDevice;
+use magshield_voice::profile::SpeakerProfile;
+use serde::Serialize;
+use std::io::Write;
+
+/// Master seed shared by all experiments so EXPERIMENTS.md is regenerable.
+pub const EXPERIMENT_SEED: u64 = 20170605;
+
+/// Builds the standard experiment system (moderate sizing) and its user.
+pub fn experiment_system() -> (DefenseSystem, UserContext, SimRng) {
+    let rng = SimRng::from_seed(EXPERIMENT_SEED);
+    let (system, user) = bootstrap_with(&rng, BootstrapConfig::default());
+    (system, user, rng)
+}
+
+/// Runs `n` genuine sessions at final distance `d_m`; returns verdicts.
+pub fn genuine_verdicts(
+    system: &DefenseSystem,
+    user: &UserContext,
+    d_m: f64,
+    n: usize,
+    rng: &SimRng,
+    config: &magshield_core::config::DefenseConfig,
+) -> Vec<DefenseVerdict> {
+    (0..n)
+        .map(|i| {
+            let s = ScenarioBuilder::genuine(user)
+                .at_distance(d_m)
+                .capture(&rng.fork_indexed("genuine", i as u64));
+            system.verify_with_config(&s, config)
+        })
+        .collect()
+}
+
+/// Runs replay attacks at distance `d_m` through each device in
+/// `devices`, `per_device` times; returns verdicts.
+#[allow(clippy::too_many_arguments)]
+pub fn attack_verdicts(
+    system: &DefenseSystem,
+    user: &UserContext,
+    devices: &[PlaybackDevice],
+    d_m: f64,
+    per_device: usize,
+    shielded: bool,
+    rng: &SimRng,
+    config: &magshield_core::config::DefenseConfig,
+) -> Vec<DefenseVerdict> {
+    let attacker = SpeakerProfile::sample(901, &rng.fork("gauntlet-attacker"));
+    let mut out = Vec::new();
+    for (di, dev) in devices.iter().enumerate() {
+        for i in 0..per_device {
+            let mut b = ScenarioBuilder::machine_attack(
+                user,
+                AttackKind::Replay,
+                dev.clone(),
+                attacker.clone(),
+            )
+            .at_distance(d_m);
+            if shielded {
+                b = b.with_shielding();
+            }
+            let s = b.capture(&rng.fork_indexed("attack", (di * 1000 + i) as u64));
+            out.push(system.verify_with_config(&s, config));
+        }
+    }
+    out
+}
+
+/// FAR/FRR/EER from verdict sets: decisions at the nominal boundary, EER
+/// from sweeping the boundary multiplier over the combined scores.
+pub fn rates(genuine: &[DefenseVerdict], attacks: &[DefenseVerdict]) -> (f64, f64, f64) {
+    let frr = if genuine.is_empty() {
+        0.0
+    } else {
+        genuine.iter().filter(|v| !v.accepted()).count() as f64 / genuine.len() as f64
+    };
+    let far = if attacks.is_empty() {
+        0.0
+    } else {
+        attacks.iter().filter(|v| v.accepted()).count() as f64 / attacks.len() as f64
+    };
+    // EER over "genuineness" scores = negative combined attack score.
+    let g: Vec<f64> = genuine.iter().map(|v| -v.combined_score()).collect();
+    let a: Vec<f64> = attacks.iter().map(|v| -v.combined_score()).collect();
+    let eer = equal_error_rate(&g, &a);
+    (far * 100.0, frr * 100.0, eer * 100.0)
+}
+
+/// One emitted result row (also serialized to JSON for EXPERIMENTS.md).
+#[derive(Debug, Serialize)]
+pub struct ResultRow {
+    /// Experiment id, e.g. "fig12a".
+    pub experiment: String,
+    /// Condition label, e.g. "d=6cm".
+    pub condition: String,
+    /// Metric name → value (percent unless noted).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Writes rows as JSON lines under `results/<experiment>.jsonl`.
+pub fn write_results(experiment: &str, rows: &[ResultRow]) {
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{experiment}.jsonl"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        for r in rows {
+            if let Ok(line) = serde_json::to_string(r) {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+        eprintln!("(wrote {})", path.display());
+    }
+}
+
+/// Prints a fixed-width header.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    let mut line = String::new();
+    for c in cols {
+        line.push_str(&format!("{c:>14}"));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(14 * cols.len()));
+}
+
+/// Prints a row of f64 cells after a label cell.
+pub fn print_row(label: &str, values: &[f64]) {
+    let mut line = format!("{label:>14}");
+    for v in values {
+        line.push_str(&format!("{v:>14.1}"));
+    }
+    println!("{line}");
+}

@@ -1,0 +1,129 @@
+//! Adaptive thresholding — the §VII extension.
+//!
+//! "When encountering high environmental EMF radiation, we ask users to
+//! calibrate the smartphone by monitoring the environment for a few
+//! seconds; we calculate the average environmental magnetic interference
+//! level and adjust the threshold for each verification component
+//! adaptively."
+//!
+//! The calibration measures the ambient magnitude noise before the
+//! session and scales the magnetometer thresholds (`Mt`, `βt`) so the
+//! quiet-environment operating point is preserved. As the paper warns,
+//! adaptation is clamped: an attacker must not be able to train the
+//! system in a noisy place and then replay in a quiet one, so thresholds
+//! only scale *up* to a bounded factor and never below the factory floor.
+
+use crate::config::DefenseConfig;
+use magshield_simkit::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Result of a pre-session environment calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvironmentCalibration {
+    /// RMS magnitude noise of the stationary magnetometer (µT).
+    pub noise_rms_ut: f64,
+    /// Peak-to-peak wander of the smoothed magnitude (µT).
+    pub wander_ut: f64,
+}
+
+/// Measures the environment from a few seconds of stationary magnetometer
+/// readings (body frame is irrelevant for magnitudes).
+pub fn calibrate(stationary_readings: &[Vec3]) -> EnvironmentCalibration {
+    if stationary_readings.len() < 4 {
+        return EnvironmentCalibration {
+            noise_rms_ut: 0.0,
+            wander_ut: 0.0,
+        };
+    }
+    let mags: Vec<f64> = stationary_readings.iter().map(|r| r.norm()).collect();
+    let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+    let rms = (mags.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / mags.len() as f64).sqrt();
+    let smoothed = magshield_dsp::filter::moving_average(&mags, 5);
+    let (lo, hi) = smoothed
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &m| {
+            (l.min(m), h.max(m))
+        });
+    EnvironmentCalibration {
+        noise_rms_ut: rms,
+        wander_ut: hi - lo,
+    }
+}
+
+/// Headroom factor between the ambient magnitude-noise RMS and the
+/// deviation threshold: the detector takes a *maximum* over hundreds of
+/// smoothed samples, whose expected extreme sits several sigma above the
+/// RMS.
+const NOISE_HEADROOM: f64 = 8.0;
+/// Upper bound on adaptive scaling — the anti-gaming clamp.
+const MAX_SCALE: f64 = 4.0;
+
+/// Produces thresholds adapted to a measured environment.
+///
+/// The deviation threshold is raised to `NOISE_HEADROOM ×` the measured
+/// ambient noise RMS when that exceeds the factory value; scaling is
+/// clamped to [`MAX_SCALE`] and never drops below the factory floor.
+pub fn adapted_config(base: DefenseConfig, cal: EnvironmentCalibration) -> DefenseConfig {
+    let target = cal.noise_rms_ut * NOISE_HEADROOM;
+    let scale = (target / base.mag_deviation_ut).clamp(1.0, MAX_SCALE);
+    base.with_mag_scale(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_physics::magnetics::interference::EmfEnvironment;
+    use magshield_physics::magnetics::scene::MagneticScene;
+    use magshield_simkit::rng::SimRng;
+
+    fn stationary_readings(env: EmfEnvironment, seed: u64) -> Vec<Vec3> {
+        let scene = MagneticScene::quiet().with_environment(env);
+        let pos = vec![Vec3::new(0.05, 0.0, 0.0); 300];
+        scene.sample_along(&pos, 100.0, &SimRng::from_seed(seed))
+    }
+
+    #[test]
+    fn quiet_environment_keeps_factory_thresholds() {
+        let cal = calibrate(&stationary_readings(EmfEnvironment::quiet(), 1));
+        let cfg = adapted_config(DefenseConfig::default(), cal);
+        assert!((cfg.mag_deviation_ut - DefenseConfig::default().mag_deviation_ut).abs() < 0.5);
+    }
+
+    #[test]
+    fn car_environment_raises_thresholds() {
+        let cal = calibrate(&stationary_readings(EmfEnvironment::in_car(), 2));
+        assert!(cal.noise_rms_ut > 0.4, "car noise {}", cal.noise_rms_ut);
+        let cfg = adapted_config(DefenseConfig::default(), cal);
+        assert!(
+            cfg.mag_deviation_ut > DefenseConfig::default().mag_deviation_ut * 1.3,
+            "Mt {}",
+            cfg.mag_deviation_ut
+        );
+    }
+
+    #[test]
+    fn adaptation_is_clamped() {
+        let cal = EnvironmentCalibration {
+            noise_rms_ut: 1e6,
+            wander_ut: 1e6,
+        };
+        let cfg = adapted_config(DefenseConfig::default(), cal);
+        assert!(cfg.mag_deviation_ut <= DefenseConfig::default().mag_deviation_ut * MAX_SCALE + 1e-9);
+    }
+
+    #[test]
+    fn never_adapts_below_factory() {
+        let cal = EnvironmentCalibration {
+            noise_rms_ut: 0.0,
+            wander_ut: 0.0,
+        };
+        let cfg = adapted_config(DefenseConfig::default(), cal);
+        assert_eq!(cfg.mag_deviation_ut, DefenseConfig::default().mag_deviation_ut);
+    }
+
+    #[test]
+    fn short_calibration_is_neutral() {
+        let cal = calibrate(&[Vec3::ZERO; 2]);
+        assert_eq!(cal.noise_rms_ut, 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Sound source distance verification (§IV-B1).
+//!
+//! Reconstructs the phone trajectory from the session's IMU streams,
+//! fits the sweep arc with a least-squares circle to estimate the absolute
+//! phone–source distance, and cross-checks the pilot-tone phase track:
+//! the approach must have actually closed in on the source, and the sweep
+//! must hold constant range (a genuine source sits at the sweep pivot).
+
+use crate::config::DefenseConfig;
+use crate::session::SessionData;
+use crate::verdict::{Component, ComponentResult};
+use magshield_trajectory::ranging;
+use magshield_trajectory::reconstruct::{reconstruct, TrajectoryEstimate};
+
+/// Detailed distance-verification output.
+#[derive(Debug, Clone)]
+pub struct DistanceAnalysis {
+    /// Trajectory reconstruction.
+    pub trajectory: TrajectoryEstimate,
+    /// Pilot ranging results.
+    pub ranging: ranging::RangingAnalysis,
+    /// The component verdict.
+    pub result: ComponentResult,
+}
+
+/// Runs the component on a session.
+pub fn verify(session: &SessionData, config: &DefenseConfig) -> DistanceAnalysis {
+    let trajectory = reconstruct(
+        &session.accel_readings,
+        &session.gyro_readings,
+        &session.mag_heading_observations(),
+        session.sweep_start_index(),
+        session.imu_rate,
+    );
+    let rng_analysis = ranging::analyze(
+        &session.audio,
+        session.audio_rate,
+        session.pilot_hz,
+        session.sweep_start_s,
+    );
+
+    // Score pieces (each normalized to boundary = 1):
+    // 1) absolute distance. Primary estimate: pilot amplitude ranging
+    //    (the phone knows its own emission level, so the received sweep
+    //    amplitude maps to range); cross-checked against the circle-fit
+    //    radius of the sweep arc. The circle fit must exist — its absence
+    //    means the protocol arc was never performed — and agree within a
+    //    generous factor (dead-reckoning drift), but the amplitude
+    //    estimate carries the threshold comparison.
+    let d_amp = if rng_analysis.sweep_amplitude > 1e-6 {
+        Some(config.pilot_ranging_gain_m / rng_analysis.sweep_amplitude)
+    } else {
+        None
+    };
+    let bound = config.distance_threshold_m * config.distance_tolerance;
+    let distance_score = match (d_amp, trajectory.distance_m) {
+        (Some(da), Some(dc)) => {
+            let amp_score = da / bound;
+            // Circle-fit disagreement beyond 4× the bound flags a faked
+            // geometry even when the amplitude looks close.
+            let consistency = dc / (4.0 * bound);
+            amp_score.max(consistency)
+        }
+        // Arc fit failed but the gyro confirms a protocol-scale sweep
+        // actually happened: dead reckoning was too noisy this session.
+        // Amplitude ranging carries the decision at reduced confidence.
+        (Some(da), None) if trajectory.sweep_direction_change.abs() > 0.5 => {
+            (da / bound).max(0.8)
+        }
+        _ => 2.0,
+    };
+    // 2) approach displacement: the phase track must show the phone closed
+    //    in by at least min_approach_m (score < 1 when satisfied);
+    let approach = -rng_analysis.approach_displacement_m; // positive = closed in
+    let approach_score = if approach >= config.min_approach_m {
+        0.5 * config.min_approach_m / approach.max(1e-6)
+    } else {
+        1.0 + (config.min_approach_m - approach) / config.min_approach_m
+    };
+    // 3) sweep ripple vs the off-center bound.
+    let ripple_score = rng_analysis.sweep_ripple_m / config.max_sweep_ripple_m;
+
+    let attack_score = distance_score.max(approach_score).max(ripple_score);
+    let detail = format!(
+        "amp-range {:?} m, arc {:?} m (Dt {} m), approach {:.3} m, sweep ripple {:.4} m",
+        d_amp.map(|d| (d * 1000.0).round() / 1000.0),
+        trajectory.distance_m.map(|d| (d * 1000.0).round() / 1000.0),
+        config.distance_threshold_m,
+        approach,
+        rng_analysis.sweep_ripple_m
+    );
+    DistanceAnalysis {
+        result: ComponentResult {
+            component: Component::Distance,
+            attack_score,
+            detail,
+        },
+        trajectory,
+        ranging: rng_analysis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioBuilder, UserContext};
+    use magshield_simkit::rng::SimRng;
+    use magshield_simkit::vec3::Vec3;
+
+    fn user() -> UserContext {
+        UserContext::sample(&SimRng::from_seed(77))
+    }
+
+    #[test]
+    fn genuine_close_session_passes() {
+        let s = ScenarioBuilder::genuine(&user()).capture(&SimRng::from_seed(1));
+        let a = verify(&s, &DefenseConfig::default());
+        assert!(a.result.attack_score < 1.0, "{}", a.result.detail);
+        // The amplitude range should be near the true 5 cm.
+        assert!(a.ranging.sweep_amplitude > 0.0);
+    }
+
+    #[test]
+    fn genuine_far_session_rejected() {
+        // A compliant motion ending 14 cm out violates Dt.
+        let s = ScenarioBuilder::genuine(&user())
+            .at_distance(0.14)
+            .capture(&SimRng::from_seed(2));
+        let a = verify(&s, &DefenseConfig::default());
+        assert!(a.result.attack_score > 1.0, "{}", a.result.detail);
+    }
+
+    #[test]
+    fn amplitude_ranging_tracks_true_distance() {
+        for (seed, d) in [(3u64, 0.04), (4, 0.08), (5, 0.12)] {
+            let s = ScenarioBuilder::genuine(&user())
+                .at_distance(d)
+                .capture(&SimRng::from_seed(seed));
+            let a = verify(&s, &DefenseConfig::default());
+            let est = DefenseConfig::default().pilot_ranging_gain_m / a.ranging.sweep_amplitude;
+            assert!(
+                (est - d).abs() < 0.25 * d + 0.005,
+                "true {d} m, amplitude-ranged {est} m"
+            );
+        }
+    }
+
+    #[test]
+    fn off_center_pivot_flagged() {
+        let s = ScenarioBuilder::genuine(&user())
+            .at_distance(0.25)
+            .with_off_center_pivot(Vec3::new(0.0, -0.20, 0.0))
+            .capture(&SimRng::from_seed(6));
+        let a = verify(&s, &DefenseConfig::default());
+        assert!(
+            a.result.attack_score > 1.0,
+            "fake pivot must be flagged: {}",
+            a.result.detail
+        );
+        // Specifically, the sweep ripple (distance to the real source
+        // varies during the fake arc) should be large.
+        assert!(
+            a.ranging.sweep_ripple_m > DefenseConfig::default().max_sweep_ripple_m,
+            "ripple {}",
+            a.ranging.sweep_ripple_m
+        );
+    }
+
+    #[test]
+    fn missing_approach_flagged() {
+        // Truncate the session to the sweep only: no approach displacement.
+        let mut s = ScenarioBuilder::genuine(&user()).capture(&SimRng::from_seed(7));
+        let cut_audio = (s.sweep_start_s * s.audio_rate) as usize;
+        let cut_imu = s.sweep_start_index();
+        s.audio.drain(..cut_audio);
+        s.mag_readings.drain(..cut_imu);
+        s.accel_readings.drain(..cut_imu);
+        s.gyro_readings.drain(..cut_imu);
+        s.sweep_start_s = 0.0;
+        let a = verify(&s, &DefenseConfig::default());
+        assert!(
+            a.result.attack_score > 1.0,
+            "no approach must reject: {}",
+            a.result.detail
+        );
+    }
+}

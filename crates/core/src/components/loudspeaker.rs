@@ -1,0 +1,181 @@
+//! Loudspeaker detection (§IV-B3).
+//!
+//! "We jointly use the absolute value and the changing rate of magnetic
+//! readings to detect the speaker. We set a magnetic strength threshold
+//! Mt and a changing rate threshold βt."
+//!
+//! The magnitude of the magnetometer reading is rotation-invariant, so the
+//! detector works on |B|: the *deviation* of the close-range segment from
+//! the session's opening baseline (the Earth field plus device bias)
+//! exposes the permanent magnet (1/r³ ramp as the phone approaches), and
+//! the changing rate of the smoothed magnitude exposes both that ramp and
+//! the audio-driven voice-coil modulation.
+
+use crate::config::DefenseConfig;
+use crate::session::SessionData;
+use crate::verdict::{Component, ComponentResult};
+use magshield_dsp::filter::moving_average;
+
+/// Detailed loudspeaker-detection output.
+#[derive(Debug, Clone)]
+pub struct LoudspeakerAnalysis {
+    /// Session baseline magnitude (µT).
+    pub baseline_ut: f64,
+    /// Maximum |deviation| from baseline over the close-range segment (µT).
+    pub max_deviation_ut: f64,
+    /// Maximum changing rate of the smoothed magnitude (µT/s).
+    pub max_rate_ut_per_s: f64,
+    /// The component verdict.
+    pub result: ComponentResult,
+}
+
+/// Smoothing window (samples at the IMU rate) applied before rate
+/// estimation, suppressing quantization/white noise.
+const SMOOTH_WINDOW: usize = 5;
+/// Gap (samples) over which the rate is measured (50 ms at 100 Hz).
+const RATE_GAP: usize = 5;
+
+/// Runs the detector on a session.
+pub fn verify(session: &SessionData, config: &DefenseConfig) -> LoudspeakerAnalysis {
+    let magnitude = session.mag_magnitude();
+    let smoothed = moving_average(&magnitude, SMOOTH_WINDOW);
+
+    // Baseline: median of the first 20 % of the session (phone still far
+    // from the source).
+    let head = (smoothed.len() / 5).max(1).min(smoothed.len());
+    let mut opening: Vec<f64> = smoothed[..head].to_vec();
+    opening.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let baseline = opening[opening.len() / 2];
+
+    // Deviation over the close-range segment: the second half of the
+    // approach onward (the phone is nearest the source there).
+    let close_start = (session.sweep_start_index() / 2).min(smoothed.len());
+    let max_deviation = smoothed[close_start..]
+        .iter()
+        .map(|&m| (m - baseline).abs())
+        .fold(0.0f64, f64::max);
+
+    // Changing rate on the smoothed magnitude over a RATE_GAP stride.
+    let dt = RATE_GAP as f64 / session.imu_rate;
+    let max_rate = if smoothed.len() > RATE_GAP {
+        (0..smoothed.len() - RATE_GAP)
+            .map(|i| (smoothed[i + RATE_GAP] - smoothed[i]).abs() / dt)
+            .fold(0.0f64, f64::max)
+    } else {
+        0.0
+    };
+
+    let attack_score = (max_deviation / config.mag_deviation_ut)
+        .max(max_rate / config.mag_rate_ut_per_s);
+    let detail = format!(
+        "baseline {baseline:.1} µT, max deviation {max_deviation:.2} µT (Mt {}), max rate {max_rate:.1} µT/s (βt {})",
+        config.mag_deviation_ut, config.mag_rate_ut_per_s
+    );
+    LoudspeakerAnalysis {
+        baseline_ut: baseline,
+        max_deviation_ut: max_deviation,
+        max_rate_ut_per_s: max_rate,
+        result: ComponentResult {
+            component: Component::Loudspeaker,
+            attack_score,
+            detail,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_simkit::vec3::Vec3;
+
+    fn session_with_mag(mag: Vec<Vec3>) -> SessionData {
+        let n = mag.len();
+        SessionData {
+            claimed_speaker: 0,
+            audio: vec![0.0; 4800],
+            audio2: None,
+            audio_rate: 48_000.0,
+            pilot_hz: 18_000.0,
+            mag_readings: mag,
+            accel_readings: vec![Vec3::ZERO; n],
+            gyro_readings: vec![Vec3::ZERO; n],
+            imu_rate: 100.0,
+            sweep_start_s: n as f64 / 200.0,
+            earth_reference: Vec3::new(0.0, 28.0, -39.0),
+        }
+    }
+
+    #[test]
+    fn quiet_field_passes() {
+        let earth = Vec3::new(0.0, 28.0, -39.0);
+        let s = session_with_mag(vec![earth; 200]);
+        let a = verify(&s, &DefenseConfig::default());
+        assert!(a.result.attack_score < 1.0, "score {}", a.result.attack_score);
+        assert!(a.max_deviation_ut < 0.5);
+    }
+
+    #[test]
+    fn magnet_ramp_detected() {
+        let earth = Vec3::new(0.0, 28.0, -39.0);
+        // Approach ramp: deviation grows to 60 µT in the second half.
+        let mag: Vec<Vec3> = (0..200)
+            .map(|i| {
+                let ramp = if i > 100 {
+                    (i - 100) as f64 / 100.0 * 60.0
+                } else {
+                    0.0
+                };
+                earth + Vec3::new(0.0, ramp, 0.0)
+            })
+            .collect();
+        let a = verify(&session_with_mag(mag), &DefenseConfig::default());
+        assert!(a.result.attack_score > 1.0, "score {}", a.result.attack_score);
+        assert!(a.max_deviation_ut > 20.0);
+    }
+
+    #[test]
+    fn coil_modulation_detected_by_rate() {
+        let earth = Vec3::new(0.0, 28.0, -39.0);
+        // Small static offset but fast 5 µT oscillation (voice coil).
+        let mag: Vec<Vec3> = (0..200)
+            .map(|i| earth + Vec3::new(0.0, 2.0 + 5.0 * (i as f64 * 0.9).sin(), 0.0))
+            .collect();
+        let a = verify(&session_with_mag(mag), &DefenseConfig::default());
+        assert!(
+            a.max_rate_ut_per_s > DefenseConfig::default().mag_rate_ut_per_s,
+            "rate {}",
+            a.max_rate_ut_per_s
+        );
+        assert!(a.result.attack_score > 1.0);
+    }
+
+    #[test]
+    fn interference_inflates_score() {
+        // Heavy broadband noise (car) pushes the score up — the FRR
+        // mechanism of Fig. 14(b).
+        let earth = Vec3::new(0.0, 28.0, -39.0);
+        let mag: Vec<Vec3> = (0..200)
+            .map(|i| {
+                let wobble = 4.0 * ((i * i % 17) as f64 / 17.0 - 0.5);
+                earth + Vec3::new(wobble, -wobble, 0.5 * wobble)
+            })
+            .collect();
+        let quiet_score = verify(
+            &session_with_mag(vec![earth; 200]),
+            &DefenseConfig::default(),
+        )
+        .result
+        .attack_score;
+        let noisy_score = verify(&session_with_mag(mag), &DefenseConfig::default())
+            .result
+            .attack_score;
+        assert!(noisy_score > quiet_score * 2.0);
+    }
+
+    #[test]
+    fn short_session_is_safe() {
+        let s = session_with_mag(vec![Vec3::new(0.0, 28.0, -39.0); 3]);
+        let a = verify(&s, &DefenseConfig::default());
+        assert!(a.result.attack_score.is_finite());
+    }
+}

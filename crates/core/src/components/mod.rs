@@ -1,0 +1,7 @@
+//! The four verification components of the defense cascade (Fig. 4).
+
+pub mod distance;
+pub mod loudspeaker;
+pub mod sld;
+pub mod sound_field;
+pub mod speaker_id;

@@ -1,0 +1,177 @@
+//! Dual-microphone sound-level-difference verification — the §VII
+//! "Dual Microphones" extension.
+//!
+//! "The main idea is to measure the sound level difference (SLD) feature
+//! between the two microphones of the device. We then use sound volumes
+//! information with the SLD feature to perform sound field verification."
+//!
+//! Physics: the two mics sit one phone-length apart (~9 cm on a Nexus 4).
+//! For a sound source `d` meters from the primary mic, spherical spreading
+//! gives `SLD = 20·log10((d + Δ)/d)` dB — a *single-shot absolute range
+//! cue*. At 5 cm the SLD is ≈ 9 dB; at 30 cm it collapses to ≈ 1 dB. A
+//! distant loudspeaker therefore cannot fake the near-field SLD of a
+//! mouth at the protocol distance, no matter how loud it plays — which is
+//! what lets the dual-mic check shorten (or skip) the approach segment.
+
+use crate::config::DefenseConfig;
+use crate::session::SessionData;
+use crate::verdict::{Component, ComponentResult};
+
+/// Microphone separation assumed for SLD ranging (m). Nexus-4 class body.
+pub const MIC_SPACING_M: f64 = 0.09;
+
+/// Measured SLD statistics for one session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SldAnalysis {
+    /// Median speech-band level difference, primary − secondary (dB).
+    pub sld_db: f64,
+    /// The distance (m) implied by the SLD under spherical spreading.
+    pub implied_distance_m: f64,
+}
+
+/// Measures the speech-band SLD over the sweep segment.
+///
+/// Returns `None` when the session has no second microphone or no usable
+/// speech frames.
+pub fn measure(session: &SessionData) -> Option<SldAnalysis> {
+    let audio2 = session.audio2.as_ref()?;
+    let dt = 1.0 / session.imu_rate;
+    let band_levels = |audio: &[f64]| -> Vec<f64> {
+        let mut lp = magshield_dsp::filter::Biquad::lowpass(
+            session.audio_rate,
+            6000.0_f64.min(session.audio_rate * 0.45),
+            std::f64::consts::FRAC_1_SQRT_2,
+        );
+        let filtered: Vec<f64> = audio.iter().map(|&x| lp.process(x)).collect();
+        magshield_dsp::level::level_track(&filtered, session.audio_rate, dt).1
+    };
+    let l1 = band_levels(&session.audio);
+    let l2 = band_levels(audio2);
+    let start = session.sweep_start_index();
+    let n = l1.len().min(l2.len());
+    if start + 4 > n {
+        return None;
+    }
+    // Speech-active frames of the primary mic.
+    let peak = l1[start..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let floor = peak - 20.0;
+    let mut diffs: Vec<f64> = (start..n)
+        .filter(|&i| l1[i] >= floor)
+        .map(|i| l1[i] - l2[i])
+        .collect();
+    if diffs.len() < 10 {
+        return None;
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sld_db = diffs[diffs.len() / 2];
+    // Invert SLD = 20 log10((d+Δ)/d)  →  d = Δ / (10^(SLD/20) − 1).
+    let ratio = 10f64.powf(sld_db / 20.0);
+    let implied_distance_m = if ratio > 1.001 {
+        MIC_SPACING_M / (ratio - 1.0)
+    } else {
+        f64::INFINITY
+    };
+    Some(SldAnalysis {
+        sld_db,
+        implied_distance_m,
+    })
+}
+
+/// Runs the dual-mic range check: the SLD-implied distance must satisfy
+/// the same `Dt × tolerance` bound as the trajectory estimate.
+///
+/// Sessions without a second microphone return a *neutral* result (score
+/// 0): the check is an §VII extension, not a requirement — single-mic
+/// phones rely on the standard distance component.
+pub fn verify(session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+    match measure(session) {
+        Some(a) => {
+            let bound = config.distance_threshold_m * config.distance_tolerance;
+            let attack_score = (a.implied_distance_m / bound).min(10.0);
+            ComponentResult {
+                component: Component::Distance,
+                attack_score,
+                detail: format!(
+                    "SLD {:.1} dB → implied distance {:.3} m (bound {:.3} m)",
+                    a.sld_db, a.implied_distance_m, bound
+                ),
+            }
+        }
+        None => ComponentResult {
+            component: Component::Distance,
+            attack_score: 0.0,
+            detail: "no dual-microphone data; SLD check skipped".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioBuilder, UserContext};
+    use magshield_sensors::phone::PhoneModel;
+    use magshield_simkit::rng::SimRng;
+    use magshield_voice::attacks::AttackKind;
+    use magshield_voice::devices::table_iv_catalog;
+    use magshield_voice::profile::SpeakerProfile;
+
+    fn dual_mic_user() -> UserContext {
+        let mut u = UserContext::sample(&SimRng::from_seed(88));
+        u.phone = PhoneModel::Nexus4;
+        u
+    }
+
+    #[test]
+    fn close_genuine_session_has_large_sld() {
+        let s = ScenarioBuilder::genuine(&dual_mic_user()).capture(&SimRng::from_seed(1));
+        let a = measure(&s).expect("dual-mic session");
+        // 5 cm with 9 cm spacing → SLD ≈ 20·log10(14/5) ≈ 8.9 dB.
+        assert!(a.sld_db > 5.0, "SLD {} dB", a.sld_db);
+        assert!(
+            a.implied_distance_m < 0.09,
+            "implied distance {} m",
+            a.implied_distance_m
+        );
+        let r = verify(&s, &DefenseConfig::default());
+        assert!(r.attack_score < 1.0, "{}", r.detail);
+    }
+
+    #[test]
+    fn distant_source_has_small_sld() {
+        let s = ScenarioBuilder::genuine(&dual_mic_user())
+            .at_distance(0.25)
+            .capture(&SimRng::from_seed(2));
+        let a = measure(&s).expect("dual-mic session");
+        assert!(a.sld_db < 4.0, "SLD {} dB at 25 cm", a.sld_db);
+        let r = verify(&s, &DefenseConfig::default());
+        assert!(r.attack_score > 1.0, "{}", r.detail);
+    }
+
+    #[test]
+    fn replay_attack_at_protocol_distance_matches_geometry() {
+        // SLD is a *range* check: a loudspeaker placed at 5 cm produces a
+        // legitimate near-field SLD (and is caught by the magnetometer
+        // instead); one at 25 cm fails the SLD no matter the volume.
+        let attacker = SpeakerProfile::sample(5, &SimRng::from_seed(3));
+        let dev = table_iv_catalog()[0].clone();
+        let far = ScenarioBuilder::machine_attack(
+            &dual_mic_user(),
+            AttackKind::Replay,
+            dev,
+            attacker,
+        )
+        .at_distance(0.30)
+        .capture(&SimRng::from_seed(4));
+        let r = verify(&far, &DefenseConfig::default());
+        assert!(r.attack_score > 1.0, "{}", r.detail);
+    }
+
+    #[test]
+    fn single_mic_sessions_are_neutral() {
+        let u = UserContext::sample(&SimRng::from_seed(9)); // Nexus 5: one mic
+        let s = ScenarioBuilder::genuine(&u).capture(&SimRng::from_seed(5));
+        assert!(measure(&s).is_none());
+        let r = verify(&s, &DefenseConfig::default());
+        assert_eq!(r.attack_score, 0.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Sound field verification (§IV-B2).
+//!
+//! During the sweep the phone samples the source's spatial field:
+//! "each dataset is composed by a tuple of volumes (dB) and the rotation
+//! angle (degree)". The tuples are binned by rotation angle into a fixed-
+//! length feature vector (mean-removed, so absolute loudness cancels) and
+//! classified by a linear SVM trained on human-mouth fields (positive)
+//! versus machine sources (negative). Fig. 8 shows the two classes
+//! separating under PCA.
+
+use crate::config::DefenseConfig;
+use crate::session::SessionData;
+use crate::verdict::{Component, ComponentResult};
+use magshield_dsp::level::level_track;
+use magshield_ml::scaler::StandardScaler;
+use magshield_ml::svm::{LinearSvm, SvmConfig};
+use magshield_sensors::orientation::HeadingFilter;
+use magshield_simkit::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Number of features produced by [`feature_vector`].
+pub const FEATURE_DIM: usize = 5;
+
+/// Extracts the sound-field feature vector from a session.
+///
+/// The raw observations are the paper's (volume dB, rotation angle)
+/// tuples over the sweep; we summarize them with level-profile statistics
+/// that are invariant to absolute loudness and to which exact frames the
+/// speech-activity mask keeps:
+///
+/// 1. slope of level vs. angle (dB/rad) — directivity tilt,
+/// 2. curvature of level vs. angle (dB/rad²) — beaming/off-center bow,
+/// 3. residual std around the quadratic fit (dB),
+/// 4. level spread (90th − 10th percentile, dB),
+/// 5. speech-active fraction of the sweep.
+///
+/// Returns `None` when the sweep has too little rotation or no speech
+/// (protocol violation — treated as rejecting by the caller).
+pub fn feature_vector(session: &SessionData, bins: usize) -> Option<Vec<f64>> {
+    // Heading per IMU sample (gyro + magnetometer fusion).
+    let mut filter = HeadingFilter::new(0.02);
+    let dt = 1.0 / session.imu_rate;
+    let mag_obs = session.mag_heading_observations();
+    let headings: Vec<f64> = session
+        .gyro_readings
+        .iter()
+        .enumerate()
+        .map(|(i, g)| filter.update(g.z, dt, mag_obs.get(i).copied().flatten()))
+        .collect();
+
+    // Volume track at the IMU frame rate, band-limited to the speech band
+    // so the (always-on) ranging pilot above 16 kHz does not masquerade as
+    // sound-field level after the utterance ends.
+    let mut lp = magshield_dsp::filter::Biquad::lowpass(
+        session.audio_rate,
+        6000.0_f64.min(session.audio_rate * 0.45),
+        std::f64::consts::FRAC_1_SQRT_2,
+    );
+    let speech_only: Vec<f64> = session.audio.iter().map(|&x| lp.process(x)).collect();
+    let (_times, levels) = level_track(&speech_only, session.audio_rate, dt);
+
+    let start = session.sweep_start_index();
+    let n = headings.len().min(levels.len());
+    if start + 4 > n {
+        return None;
+    }
+    let sweep_headings = &headings[start..n];
+    let sweep_levels = &levels[start..n];
+    let h0 = sweep_headings[0];
+    let span = sweep_headings
+        .iter()
+        .map(|&h| h - h0)
+        .fold(0.0f64, f64::max);
+    if span < 0.15 {
+        return None; // barely rotated: no field was sampled
+    }
+
+    // Only speech-active frames carry sound-field information: the gaps
+    // between digits (and post-utterance silence) would otherwise alias
+    // the speech envelope into the spatial profile. Frames more than
+    // 20 dB below the sweep peak are masked.
+    let peak_level = sweep_levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let floor = peak_level - 20.0;
+    let mut active_count = 0usize;
+    let mut bin_max = vec![f64::NEG_INFINITY; bins.max(4)];
+    for (&h, &l) in sweep_headings.iter().zip(sweep_levels) {
+        if l < floor {
+            continue;
+        }
+        active_count += 1;
+        let frac = ((h - h0) / span).clamp(0.0, 1.0);
+        let b = ((frac * bin_max.len() as f64) as usize).min(bin_max.len() - 1);
+        bin_max[b] = bin_max[b].max(l);
+    }
+    // The syllable *peaks* per angle bin track the spatial gain; frame
+    // means would re-import the temporal speech envelope.
+    let active: Vec<(f64, f64)> = bin_max
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l.is_finite())
+        .map(|(b, &l)| ((b as f64 + 0.5) / bin_max.len() as f64, l))
+        .collect();
+    if active.len() < 5 || active_count < 10 {
+        return None; // no usable speech during the sweep
+    }
+
+    // Center levels so absolute loudness cancels, then fit
+    // level = a·x + b·x² + c by least squares over x ∈ [0, 1] angles.
+    let mean_level = active.iter().map(|(_, l)| l).sum::<f64>() / active.len() as f64;
+    let (mut sx, mut sx2, mut sx3, mut sx4) = (0.0, 0.0, 0.0, 0.0);
+    let (mut sy, mut sxy, mut sx2y) = (0.0, 0.0, 0.0);
+    for &(x, l) in &active {
+        let y = l - mean_level;
+        sx += x;
+        sx2 += x * x;
+        sx3 += x * x * x;
+        sx4 += x * x * x * x;
+        sy += y;
+        sxy += x * y;
+        sx2y += x * x * y;
+    }
+    let n = active.len() as f64;
+    let m = [[sx2, sx3, sx], [sx3, sx4, sx2], [sx, sx2, n]];
+    let rhs = [sxy, sx2y, sy];
+    let (a, b, c) = solve3(m, rhs)?;
+    // Convert slopes from per-unit-span to per-radian.
+    let slope = a / span;
+    let curvature = b / (span * span);
+    let residual_std = (active
+        .iter()
+        .map(|&(x, l)| {
+            let y = l - mean_level;
+            (y - (a * x + b * x * x + c)).powi(2)
+        })
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    let mut levels: Vec<f64> = active.iter().map(|(_, l)| *l).collect();
+    levels.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    let spread = levels[(0.9 * (levels.len() - 1) as f64) as usize]
+        - levels[(0.1 * (levels.len() - 1) as f64) as usize];
+    let active_fraction = active_count as f64 / sweep_levels.len() as f64;
+    Some(vec![slope, curvature, residual_std, spread, active_fraction])
+}
+
+/// 3×3 Gaussian elimination; `None` when singular.
+fn solve3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<(f64, f64, f64)> {
+    for col in 0..3 {
+        let pivot =
+            (col..3).max_by(|&p, &q| m[p][col].abs().partial_cmp(&m[q][col].abs()).unwrap())?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = m[row][col] / m[col][col];
+            for k in col..3 {
+                m[row][k] -= f * m[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in row + 1..3 {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some((x[0], x[1], x[2]))
+}
+
+/// A trained sound-field classifier: standardization + linear SVM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoundFieldModel {
+    svm: LinearSvm,
+    scaler: StandardScaler,
+    bins: usize,
+}
+
+impl SoundFieldModel {
+    /// Trains on labeled feature vectors (`true` = human mouth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class is empty or dimensions are inconsistent.
+    pub fn train(
+        positives: &[Vec<f64>],
+        negatives: &[Vec<f64>],
+        bins: usize,
+        rng: &SimRng,
+    ) -> Self {
+        assert!(
+            !positives.is_empty() && !negatives.is_empty(),
+            "need both classes"
+        );
+        let mut data = Vec::with_capacity(positives.len() + negatives.len());
+        let mut labels = Vec::with_capacity(positives.len() + negatives.len());
+        for p in positives {
+            data.push(p.clone());
+            labels.push(1.0);
+        }
+        for n in negatives {
+            data.push(n.clone());
+            labels.push(-1.0);
+        }
+        let scaler = StandardScaler::fit(&data);
+        let scaled = scaler.transform_batch(&data);
+        let svm = LinearSvm::train(&scaled, &labels, SvmConfig::default(), &rng.fork("sf-svm"));
+        Self { svm, scaler, bins }
+    }
+
+    /// Number of angle bins the model expects.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Signed margin (positive = mouth-like).
+    pub fn margin(&self, features: &[f64]) -> f64 {
+        self.svm.decision(&self.scaler.transform(features))
+    }
+}
+
+/// Runs the component on a session.
+pub fn verify(
+    session: &SessionData,
+    model: &SoundFieldModel,
+    _config: &DefenseConfig,
+) -> ComponentResult {
+    match feature_vector(session, model.bins()) {
+        Some(features) => {
+            let margin = model.margin(&features);
+            // Map the margin to an attack score with boundary at 0 margin:
+            // margin +1 (confident mouth) → 0.5; margin 0 → 1; margin −1 → 1.5.
+            let attack_score = (1.0 - 0.5 * margin).max(0.0);
+            ComponentResult {
+                component: Component::SoundField,
+                attack_score,
+                detail: format!("SVM margin {margin:.3}"),
+            }
+        }
+        None => ComponentResult {
+            component: Component::SoundField,
+            attack_score: 2.0,
+            detail: "sweep too short to sample the sound field".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_simkit::vec3::Vec3;
+
+    /// Builds a synthetic session whose sweep rotates 80° while the audio
+    /// level follows `level_of(angle_frac)` (dBFS).
+    fn session_with_profile(level_of: impl Fn(f64) -> f64) -> SessionData {
+        let imu_rate = 100.0;
+        let audio_rate = 8000.0;
+        let n_app = 50;
+        let n_swp = 100;
+        let mut gyro = vec![Vec3::ZERO; n_app];
+        let w = 80f64.to_radians() / (n_swp as f64 / imu_rate);
+        gyro.extend(vec![Vec3::new(0.0, 0.0, w); n_swp]);
+        let n = gyro.len();
+        // Audio: per-IMU-frame amplitude from the level profile.
+        let mut audio = Vec::new();
+        for i in 0..n {
+            let frac = if i < n_app {
+                0.0
+            } else {
+                (i - n_app) as f64 / n_swp as f64
+            };
+            let amp = 10f64.powf(level_of(frac) / 20.0);
+            let frame = (audio_rate / imu_rate) as usize;
+            for k in 0..frame {
+                audio.push(amp * (std::f64::consts::TAU * 440.0 * k as f64 / audio_rate).sin());
+            }
+        }
+        SessionData {
+            claimed_speaker: 0,
+            audio,
+            audio2: None,
+            audio_rate,
+            pilot_hz: 18_000.0,
+            mag_readings: vec![Vec3::new(0.0, 28.0, -39.0); n],
+            accel_readings: vec![Vec3::ZERO; n],
+            gyro_readings: gyro,
+            imu_rate,
+            sweep_start_s: n_app as f64 / imu_rate,
+            earth_reference: Vec3::new(0.0, 28.0, -39.0),
+        }
+    }
+
+    fn mouthish(frac: f64) -> f64 {
+        // Gentle 4 dB variation over the sweep.
+        -20.0 - 4.0 * frac
+    }
+
+    fn conish(frac: f64) -> f64 {
+        // Strong beaming: 14 dB rolloff.
+        -18.0 - 14.0 * frac
+    }
+
+    #[test]
+    fn feature_vector_shape() {
+        let s = session_with_profile(mouthish);
+        let v = feature_vector(&s, 12).expect("features");
+        assert_eq!(v.len(), FEATURE_DIM);
+        assert!(v.iter().all(|x| x.is_finite()));
+        // The mouthish profile drops ~4 dB over the sweep → negative slope.
+        assert!(v[0] < 0.0, "slope {}", v[0]);
+        // Active fraction is high (continuous tone).
+        assert!(v[4] > 0.8, "active fraction {}", v[4]);
+    }
+
+    #[test]
+    fn feature_is_loudness_invariant() {
+        let a = feature_vector(&session_with_profile(mouthish), 12).unwrap();
+        let b = feature_vector(&session_with_profile(|f| mouthish(f) - 6.0), 12).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.3, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn slope_separates_aperture_classes() {
+        let mouth = feature_vector(&session_with_profile(mouthish), 12).unwrap();
+        let cone = feature_vector(&session_with_profile(conish), 12).unwrap();
+        assert!(
+            cone[0] < mouth[0] - 2.0,
+            "cone slope {} should be steeper than mouth slope {}",
+            cone[0],
+            mouth[0]
+        );
+    }
+
+    #[test]
+    fn no_rotation_yields_none() {
+        let mut s = session_with_profile(mouthish);
+        for g in s.gyro_readings.iter_mut() {
+            *g = Vec3::ZERO;
+        }
+        assert!(feature_vector(&s, 12).is_none());
+    }
+
+    #[test]
+    fn svm_separates_profiles() {
+        let rng = SimRng::from_seed(31);
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for k in 0..8 {
+            let off = k as f64 * 0.3;
+            pos.push(
+                feature_vector(&session_with_profile(|f| mouthish(f) - off), 12).unwrap(),
+            );
+            neg.push(feature_vector(&session_with_profile(|f| conish(f) - off), 12).unwrap());
+        }
+        let model = SoundFieldModel::train(&pos, &neg, 12, &rng);
+        let mouth = verify(
+            &session_with_profile(|f| mouthish(f) - 1.0),
+            &model,
+            &DefenseConfig::default(),
+        );
+        let cone = verify(
+            &session_with_profile(|f| conish(f) - 1.0),
+            &model,
+            &DefenseConfig::default(),
+        );
+        assert!(mouth.attack_score < 1.0, "mouth score {}", mouth.attack_score);
+        assert!(cone.attack_score > 1.0, "cone score {}", cone.attack_score);
+    }
+
+    #[test]
+    fn missing_sweep_rejects() {
+        let mut s = session_with_profile(mouthish);
+        for g in s.gyro_readings.iter_mut() {
+            *g = Vec3::ZERO;
+        }
+        let rng = SimRng::from_seed(5);
+        let model = SoundFieldModel::train(
+            &[vec![0.0; 13], vec![0.1; 13]],
+            &[vec![1.0; 13], vec![1.1; 13]],
+            12,
+            &rng,
+        );
+        let r = verify(&s, &model, &DefenseConfig::default());
+        assert!(r.attack_score >= 2.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Speaker identity verification (§IV-C) — the ASV component.
+//!
+//! Wraps the GMM–UBM / ISV backends of `magshield-asv` behind the
+//! cascade's normalized-score interface.
+
+use crate::config::DefenseConfig;
+use crate::session::SessionData;
+use crate::verdict::{Component, ComponentResult};
+use magshield_asv::isv::IsvBackend;
+use magshield_asv::model::{SpeakerModel, UbmBackend};
+
+/// Which verification technique to run — the two rows of Table I.
+#[derive(Debug, Clone)]
+pub enum AsvEngine {
+    /// Plain GMM–UBM with MAP-adapted speaker models.
+    Ubm(UbmBackend),
+    /// GMM–UBM on session-compensated features.
+    Isv(IsvBackend),
+}
+
+impl AsvEngine {
+    /// Enrolls a speaker.
+    pub fn enroll(&self, speaker_id: u32, utterances: &[&[f64]]) -> SpeakerModel {
+        match self {
+            AsvEngine::Ubm(b) => b.enroll(speaker_id, utterances),
+            AsvEngine::Isv(b) => b.enroll(speaker_id, utterances),
+        }
+    }
+
+    /// Raw verification score (average log-likelihood ratio).
+    pub fn score(&self, model: &SpeakerModel, audio: &[f64]) -> f64 {
+        match self {
+            AsvEngine::Ubm(b) => b.score(model, audio),
+            AsvEngine::Isv(b) => b.score(model, audio),
+        }
+    }
+}
+
+/// Extracts the ASV-ready speech from a session: the ranging pilot is
+/// removed with a steep low-pass (it would otherwise alias into the
+/// speech band at the 16 kHz ASV rate), then the audio is resampled to
+/// the voice rate.
+///
+/// Enrollment and verification **must** share this path — the paper's
+/// design enrolls from on-device captures ("the voice samples are also
+/// used for the sound source verification"), which keeps the channel
+/// matched.
+pub fn asv_audio(session: &SessionData) -> Vec<f64> {
+    let voice_rate = magshield_voice::synth::VOICE_SAMPLE_RATE;
+    let cutoff = 7000.0_f64.min(session.audio_rate * 0.45);
+    let mut lp = magshield_dsp::filter::Biquad::lowpass(
+        session.audio_rate,
+        cutoff,
+        std::f64::consts::FRAC_1_SQRT_2,
+    );
+    let mut lp2 = magshield_dsp::filter::Biquad::lowpass(
+        session.audio_rate,
+        cutoff,
+        std::f64::consts::FRAC_1_SQRT_2,
+    );
+    let filtered: Vec<f64> = session
+        .audio
+        .iter()
+        .map(|&x| lp2.process(lp.process(x)))
+        .collect();
+    magshield_simkit::series::TimeSeries::from_samples(session.audio_rate, filtered)
+        .resampled(voice_rate)
+        .into_samples()
+}
+
+/// Runs the component: scores the session audio against the claimed
+/// speaker's model.
+pub fn verify(
+    session: &SessionData,
+    engine: &AsvEngine,
+    model: &SpeakerModel,
+    config: &DefenseConfig,
+) -> ComponentResult {
+    let audio = asv_audio(session);
+    let z = engine.score(model, &audio);
+    // Per-user calibrated threshold (floored at the config value), in
+    // Z-norm units; the score hits the cascade boundary (1.0) at the
+    // threshold and decreases with margin above it.
+    let threshold = model.calibrated_threshold(config.asv_threshold);
+    let attack_score = if z.is_finite() {
+        (1.0 - (z - threshold) / config.asv_scale).max(0.0)
+    } else {
+        2.0
+    };
+    ComponentResult {
+        component: Component::SpeakerIdentity,
+        attack_score,
+        detail: format!("z-score {z:.2} (threshold {threshold:.2})"),
+    }
+}

@@ -1,0 +1,113 @@
+//! Defense thresholds and tuning.
+
+use serde::{Deserialize, Serialize};
+
+/// All tunable thresholds of the four verification components.
+///
+/// Each component produces a normalized *attack score* where 1.0 marks its
+/// decision boundary; the cascade accepts when every score is below the
+/// boundary. Sweeping a global multiplier over the boundaries generates
+/// the FAR/FRR trade-off curves of Figs. 12 and 14.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefenseConfig {
+    /// Sound-source distance threshold `Dt` (m). Paper: 6 cm.
+    pub distance_threshold_m: f64,
+    /// Multiplicative slack on `Dt` absorbing the trajectory estimator's
+    /// ~2 cm error (the gate rejects when the *estimate* exceeds
+    /// `Dt × distance_tolerance`).
+    pub distance_tolerance: f64,
+    /// Minimum approach displacement (m) the pilot phase must confirm
+    /// (the user really moved the phone in).
+    pub min_approach_m: f64,
+    /// Pilot amplitude-ranging calibration `K` (m·amplitude): the phone
+    /// emits the pilot at a factory-known level, so the received sweep
+    /// amplitude maps to absolute distance as `d ≈ K / amp`. Calibrated
+    /// per device model at manufacture.
+    pub pilot_ranging_gain_m: f64,
+    /// Maximum pilot distance-ripple during the sweep (m) before the
+    /// session is flagged as an off-center (attack-geometry) source.
+    pub max_sweep_ripple_m: f64,
+    /// Magnetometer magnitude-deviation threshold `Mt` (µT above the
+    /// session baseline).
+    pub mag_deviation_ut: f64,
+    /// Magnetometer changing-rate threshold `βt` (µT/s on the smoothed
+    /// magnitude).
+    pub mag_rate_ut_per_s: f64,
+    /// ASV acceptance threshold in Z-norm units (standard deviations
+    /// above the model's impostor-cohort score distribution).
+    pub asv_threshold: f64,
+    /// Scale for mapping ASV score margins into normalized attack scores.
+    pub asv_scale: f64,
+    /// Number of angle bins in the sound-field feature vector.
+    pub sound_field_bins: usize,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        Self {
+            distance_threshold_m: 0.06,
+            distance_tolerance: 1.5,
+            min_approach_m: 0.05,
+            pilot_ranging_gain_m: 0.0068,
+            max_sweep_ripple_m: 0.012,
+            mag_deviation_ut: 2.5,
+            mag_rate_ut_per_s: 25.0,
+            asv_threshold: 1.5,
+            asv_scale: 1.5,
+            sound_field_bins: 12,
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// Returns a copy with the magnetometer thresholds scaled by `k` —
+    /// the knob the adaptive-thresholding extension (§VII) turns.
+    pub fn with_mag_scale(mut self, k: f64) -> Self {
+        self.mag_deviation_ut *= k;
+        self.mag_rate_ut_per_s *= k;
+        self
+    }
+
+    /// Sanity-checks threshold values.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.distance_threshold_m <= 0.0 {
+            return Err("distance threshold must be positive".into());
+        }
+        if self.mag_deviation_ut <= 0.0 || self.mag_rate_ut_per_s <= 0.0 {
+            return Err("magnetometer thresholds must be positive".into());
+        }
+        if self.sound_field_bins < 4 {
+            return Err("need at least 4 sound-field bins".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = DefenseConfig::default();
+        assert!((c.distance_threshold_m - 0.06).abs() < 1e-12, "Dt = 6 cm");
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn mag_scale_scales_both_thresholds() {
+        let c = DefenseConfig::default().with_mag_scale(2.0);
+        assert!((c.mag_deviation_ut - 5.0).abs() < 1e-12);
+        assert!((c.mag_rate_ut_per_s - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = DefenseConfig::default();
+        c.distance_threshold_m = 0.0;
+        assert!(c.validate().is_err());
+        let mut c2 = DefenseConfig::default();
+        c2.sound_field_bins = 1;
+        assert!(c2.validate().is_err());
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! # magshield-core
+//!
+//! The paper's contribution: a software-only defense against voice
+//! impersonation attacks on smartphones (ICDCS 2017, "You Can Hear But You
+//! Cannot Steal"). Four verification components run as a cascade (Fig. 4):
+//!
+//! 1. **sound source distance verification** ([`components::distance`]) —
+//!    trajectory reconstruction + circle fit bounds the phone–source
+//!    distance by `Dt` (6 cm);
+//! 2. **sound field verification** ([`components::sound_field`]) — an SVM
+//!    over (volume, rotation-angle) features rejects sources whose
+//!    aperture/geometry differs from a human mouth;
+//! 3. **loudspeaker detection** ([`components::loudspeaker`]) —
+//!    magnetometer magnitude-deviation and changing-rate thresholds
+//!    (`Mt`, `βt`) expose the magnet+coil signature;
+//! 4. **speaker identity verification** ([`components::speaker_id`]) —
+//!    GMM–UBM / ISV ASV rejects human imitators.
+//!
+//! [`scenario`] simulates complete verification sessions (genuine and
+//! attacks) on the physics/sensor substrates; [`pipeline`] assembles the
+//! trained system; [`server`] provides the client–server deployment of
+//! §V with a binary wire protocol; [`adaptive`] implements the §VII
+//! adaptive-thresholding extension.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use magshield_core::pipeline::DefenseSystem;
+//! use magshield_core::scenario::{self, ScenarioBuilder};
+//! use magshield_simkit::rng::SimRng;
+//!
+//! let rng = SimRng::from_seed(7);
+//! let (system, user) = scenario::bootstrap_system(&rng);
+//! let session = ScenarioBuilder::genuine(&user).capture(&rng.fork("session"));
+//! let verdict = system.verify(&session);
+//! assert!(verdict.accepted());
+//! ```
+
+pub mod adaptive;
+pub mod components;
+pub mod config;
+pub mod pipeline;
+pub mod scenario;
+pub mod server;
+pub mod session;
+pub mod verdict;
+
+pub use config::DefenseConfig;
+pub use pipeline::DefenseSystem;
+pub use session::SessionData;
+pub use verdict::{DefenseVerdict, Decision};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures: bootstrapping a system is the most expensive step
+    //! in the test suite, so unit tests share one tiny instance.
+    use crate::pipeline::{BootstrapConfig, DefenseSystem};
+    use crate::scenario::{bootstrap_with, UserContext};
+    use magshield_simkit::rng::SimRng;
+    use std::sync::OnceLock;
+
+    static SHARED: OnceLock<(DefenseSystem, UserContext)> = OnceLock::new();
+
+    /// A lazily built, shared tiny system + user.
+    pub fn shared_tiny_system() -> &'static (DefenseSystem, UserContext) {
+        SHARED.get_or_init(|| bootstrap_with(&SimRng::from_seed(42), BootstrapConfig::tiny()))
+    }
+}

@@ -1,0 +1,352 @@
+//! The assembled defense system (Fig. 4): training, enrollment and the
+//! four-component cascade verification.
+
+use crate::components::sound_field::{feature_vector, SoundFieldModel};
+use crate::components::speaker_id::AsvEngine;
+use crate::components::{distance, loudspeaker, sound_field, speaker_id};
+use crate::config::DefenseConfig;
+use crate::scenario::{ScenarioBuilder, UserContext};
+use crate::session::SessionData;
+use crate::verdict::{Component, ComponentResult, DefenseVerdict};
+use magshield_asv::frontend::FeatureExtractor;
+use magshield_asv::isv::{IsvBackend, SessionSubspace};
+use magshield_asv::model::{SpeakerModel, UbmBackend};
+use magshield_asv::ubm::{train_ubm, UbmConfig};
+use magshield_physics::acoustics::tube::SoundTube;
+use magshield_simkit::rng::SimRng;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::table_iv_catalog;
+use magshield_voice::profile::SpeakerProfile;
+use magshield_voice::synth::VOICE_SAMPLE_RATE;
+use std::collections::HashMap;
+
+/// Sizing of the bootstrap training run.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapConfig {
+    /// Speakers in the UBM training corpus.
+    pub ubm_speakers: usize,
+    /// UBM mixture components.
+    pub ubm_components: usize,
+    /// EM iterations.
+    pub em_iters: usize,
+    /// Use the ISV backend instead of plain GMM–UBM.
+    pub use_isv: bool,
+    /// Session-subspace rank for ISV.
+    pub isv_rank: usize,
+    /// Genuine sessions captured for sound-field training.
+    pub sound_field_positives: usize,
+    /// Enrollment utterances for the user's speaker model.
+    pub enrollment_utterances: usize,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            ubm_speakers: 6,
+            ubm_components: 32,
+            em_iters: 8,
+            use_isv: false,
+            isv_rank: 2,
+            sound_field_positives: 10,
+            enrollment_utterances: 3,
+        }
+    }
+}
+
+impl BootstrapConfig {
+    /// A minimal configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            ubm_speakers: 3,
+            ubm_components: 8,
+            em_iters: 4,
+            use_isv: false,
+            isv_rank: 2,
+            sound_field_positives: 6,
+            enrollment_utterances: 2,
+        }
+    }
+}
+
+/// The trained defense system.
+#[derive(Debug, Clone)]
+pub struct DefenseSystem {
+    /// Cascade thresholds.
+    pub config: DefenseConfig,
+    engine: AsvEngine,
+    speakers: HashMap<u32, SpeakerModel>,
+    sound_field: SoundFieldModel,
+}
+
+impl DefenseSystem {
+    /// Trains a complete system for `user`:
+    ///
+    /// 1. a UBM (and optionally an ISV subspace) on a background corpus;
+    /// 2. the user's MAP-adapted speaker model from enrollment utterances;
+    /// 3. the sound-field SVM from genuine enrollment sessions (positive)
+    ///    and synthetic machine-source sessions (negative) — the negative
+    ///    templates ship with the system, no attacker data required.
+    pub fn bootstrap(user: &UserContext, cfg: BootstrapConfig, rng: &SimRng) -> Self {
+        // --- ASV backend ---
+        let extractor = FeatureExtractor::new(VOICE_SAMPLE_RATE);
+        let corpus = magshield_voice::corpus::voxforge_like(cfg.ubm_speakers, &rng.fork("ubm-corpus"));
+        let utts: Vec<&[f64]> = corpus.utterances.iter().map(|u| u.audio.as_slice()).collect();
+        let ubm = train_ubm(
+            &extractor,
+            &utts,
+            UbmConfig {
+                components: cfg.ubm_components,
+                em_iters: cfg.em_iters,
+                max_frames: 20_000,
+            },
+            &rng.fork("ubm-train"),
+        );
+        let ubm_backend = UbmBackend::new(extractor.clone(), ubm).with_cohort(&utts);
+        let engine = if cfg.use_isv {
+            let groups: Vec<(u32, u32, Vec<Vec<f64>>)> = corpus
+                .utterances
+                .iter()
+                .map(|u| (u.speaker_id, u.session, extractor.extract(&u.audio)))
+                .collect();
+            let subspace = SessionSubspace::estimate(&ubm_backend.ubm, &groups, cfg.isv_rank);
+            AsvEngine::Isv(IsvBackend::new(ubm_backend, subspace))
+        } else {
+            AsvEngine::Ubm(ubm_backend)
+        };
+
+        // --- enrollment sessions ---
+        // The genuine enrollment captures serve double duty, exactly as in
+        // the paper ("the voice samples are also used for the sound source
+        // verification"): their pilot-filtered, channel-matched audio
+        // enrolls the speaker model, and their sound-field features are
+        // the SVM positives. Enrolling through the same capture chain as
+        // verification keeps the ASV channel matched.
+        let config = DefenseConfig::default();
+        let n_sessions = cfg.sound_field_positives.max(cfg.enrollment_utterances);
+        let mut positives = Vec::new();
+        let mut enrollment_audio: Vec<Vec<f64>> = Vec::new();
+        for i in 0..n_sessions {
+            let d = 0.04 + 0.02 * (i as f64 / n_sessions.max(1) as f64);
+            let s = ScenarioBuilder::genuine(user)
+                .at_distance(d)
+                .capture(&rng.fork_indexed("sf-pos", i as u64));
+            if i < cfg.sound_field_positives {
+                if let Some(v) = feature_vector(&s, config.sound_field_bins) {
+                    positives.push(v);
+                }
+            }
+            if i < cfg.enrollment_utterances {
+                enrollment_audio.push(speaker_id::asv_audio(&s));
+            }
+        }
+        let refs: Vec<&[f64]> = enrollment_audio.iter().map(|u| u.as_slice()).collect();
+        let model = engine.enroll(user.profile.id, &refs);
+        let mut speakers = HashMap::new();
+        speakers.insert(user.profile.id, model);
+        let mut negatives = Vec::new();
+        let catalog = table_iv_catalog();
+        let attacker = SpeakerProfile::sample(999, &rng.fork("sf-attacker"));
+        let negative_devices = [
+            "Apple EarPods",
+            "Samsung Galaxy S Headset",
+            "Logitech LS21",
+            "Pioneer SP-FS52",
+        ];
+        for (i, key) in negative_devices.iter().enumerate() {
+            if let Some(dev) = catalog.iter().find(|d| d.name.contains(key)) {
+                for take in 0..2u64 {
+                    let s = ScenarioBuilder::machine_attack(
+                        user,
+                        AttackKind::Replay,
+                        dev.clone(),
+                        attacker.clone(),
+                    )
+                    .at_distance(0.05)
+                    .capture(&rng.fork_indexed("sf-neg", (i as u64) << 8 | take));
+                    if let Some(v) = feature_vector(&s, config.sound_field_bins) {
+                        negatives.push(v);
+                    }
+                }
+            }
+        }
+        // Large-panel negatives (electrostatic-class aperture), covering
+        // both replayed and synthesized audio — the spatial signature must
+        // be learned independently of the audio's temporal structure.
+        if let Some(esl) = magshield_voice::devices::unconventional_catalog().first() {
+            for (k, kind) in [AttackKind::Replay, AttackKind::Synthesis].iter().enumerate() {
+                for take in 0..2u64 {
+                    let s = ScenarioBuilder::machine_attack(
+                        user,
+                        *kind,
+                        esl.clone(),
+                        attacker.clone(),
+                    )
+                    .at_distance(0.05)
+                    .capture(&rng.fork_indexed("sf-neg-esl", (k as u64) << 8 | take));
+                    if let Some(v) = feature_vector(&s, config.sound_field_bins) {
+                        negatives.push(v);
+                    }
+                }
+            }
+        }
+        // Tube negative.
+        {
+            let dev = catalog[0].clone();
+            let mut s = ScenarioBuilder::machine_attack(
+                user,
+                AttackKind::Replay,
+                dev.clone(),
+                attacker.clone(),
+            )
+            .at_distance(0.05);
+            s.source = crate::scenario::SourceKind::DeviceViaTube {
+                device: dev,
+                tube: SoundTube::new(0.30, 0.0125),
+            };
+            if let Some(v) =
+                feature_vector(&s.capture(&rng.fork("sf-neg-tube")), config.sound_field_bins)
+            {
+                negatives.push(v);
+            }
+        }
+        let sound_field = SoundFieldModel::train(
+            &positives,
+            &negatives,
+            config.sound_field_bins,
+            &rng.fork("sf-train"),
+        );
+
+        Self {
+            config,
+            engine,
+            speakers,
+            sound_field,
+        }
+    }
+
+    /// Enrolls an additional user from raw utterances.
+    pub fn enroll_speaker(&mut self, speaker_id: u32, utterances: &[&[f64]]) {
+        let model = self.engine.enroll(speaker_id, utterances);
+        self.speakers.insert(speaker_id, model);
+    }
+
+    /// Whether a speaker id has an enrolled model.
+    pub fn is_enrolled(&self, speaker_id: u32) -> bool {
+        self.speakers.contains_key(&speaker_id)
+    }
+
+    /// The ASV engine (for experiment harnesses comparing backends).
+    pub fn engine(&self) -> &AsvEngine {
+        &self.engine
+    }
+
+    /// Runs the full cascade at the nominal thresholds.
+    pub fn verify(&self, session: &SessionData) -> DefenseVerdict {
+        self.verify_with_config(session, &self.config)
+    }
+
+    /// Runs the cascade under explicit thresholds (adaptive thresholding
+    /// and FAR/FRR sweeps use this).
+    pub fn verify_with_config(
+        &self,
+        session: &SessionData,
+        config: &DefenseConfig,
+    ) -> DefenseVerdict {
+        if let Err(e) = session.validate() {
+            return DefenseVerdict::rejected_invalid(e.to_string());
+        }
+        let mut results = Vec::with_capacity(5);
+        results.push(distance::verify(session, config).result);
+        // Dual-microphone devices contribute the §VII SLD range check as
+        // extra (free) evidence; single-mic sessions skip it.
+        if session.audio2.is_some() {
+            results.push(crate::components::sld::verify(session, config));
+        }
+        results.push(sound_field::verify(session, &self.sound_field, config));
+        results.push(loudspeaker::verify(session, config).result);
+        match self.speakers.get(&session.claimed_speaker) {
+            Some(model) => {
+                results.push(speaker_id::verify(session, &self.engine, model, config));
+            }
+            None => results.push(ComponentResult {
+                component: Component::SpeakerIdentity,
+                attack_score: 2.0,
+                detail: format!("unknown speaker id {}", session.claimed_speaker),
+            }),
+        }
+        DefenseVerdict::from_results(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_voice::devices::table_iv_catalog;
+    use magshield_voice::synth::{FormantSynthesizer, SessionEffects};
+
+    fn system() -> &'static (DefenseSystem, UserContext) {
+        crate::test_support::shared_tiny_system()
+    }
+
+    #[test]
+    fn genuine_session_accepted() {
+        let (sys, user) = system();
+        let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(100));
+        let v = sys.verify(&s);
+        assert!(
+            v.accepted(),
+            "genuine session rejected: {:#?}",
+            v.results
+                .iter()
+                .map(|r| format!("{:?}: {:.2} ({})", r.component, r.attack_score, r.detail))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn replay_attack_rejected_by_loudspeaker_detector() {
+        let (sys, user) = system();
+        let attacker = SpeakerProfile::sample(7, &SimRng::from_seed(1));
+        let dev = table_iv_catalog()[0].clone();
+        let s = ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev, attacker)
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(101));
+        let v = sys.verify(&s);
+        assert!(!v.accepted());
+        let ld = v.result_of(Component::Loudspeaker).unwrap();
+        assert!(ld.attack_score > 1.0, "loudspeaker score {}", ld.attack_score);
+    }
+
+    #[test]
+    fn unknown_speaker_rejected() {
+        let (sys, user) = system();
+        let mut s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(102));
+        s.claimed_speaker = 4242;
+        assert!(!sys.verify(&s).accepted());
+    }
+
+    #[test]
+    fn malformed_session_rejected() {
+        let (sys, user) = system();
+        let mut s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(103));
+        s.audio.clear();
+        let v = sys.verify(&s);
+        assert!(!v.accepted());
+    }
+
+    #[test]
+    fn extra_enrollment_works() {
+        let mut sys = system().0.clone();
+        let other = SpeakerProfile::sample(5, &SimRng::from_seed(9));
+        let synth = FormantSynthesizer::default();
+        let utt = synth.render_digits(
+            &other,
+            "123456",
+            SessionEffects::neutral(),
+            &SimRng::from_seed(10),
+        );
+        sys.enroll_speaker(5, &[&utt]);
+        assert!(sys.is_enrolled(5));
+        assert!(!sys.is_enrolled(77));
+    }
+}

@@ -1,0 +1,582 @@
+//! End-to-end session simulation: genuine users and attackers captured
+//! through the physics and sensor substrates.
+//!
+//! This module is the testbed stand-in (§V/§VI of the paper): it places a
+//! sound source (human mouth, loudspeaker, shielded loudspeaker, tube
+//! outlet, ESL...) in a magnetic/acoustic scene, runs the protocol motion,
+//! and records what the phone's microphone, magnetometer and IMU would
+//! see. The output [`SessionData`] feeds the defense pipeline exactly as
+//! an Android capture would.
+
+use crate::pipeline::{BootstrapConfig, DefenseSystem};
+use crate::session::SessionData;
+use magshield_physics::acoustics::field::speech_band;
+use magshield_physics::acoustics::source::AcousticSource;
+use magshield_physics::acoustics::tube::SoundTube;
+use magshield_physics::magnetics::dipole::MagneticDipole;
+use magshield_physics::magnetics::interference::EmfEnvironment;
+use magshield_physics::magnetics::scene::{DrivenDipole, MagneticScene};
+use magshield_physics::magnetics::shielding::Shield;
+use magshield_sensors::phone::{Phone, PhoneModel};
+use magshield_simkit::rng::SimRng;
+use magshield_simkit::series::TimeSeries;
+use magshield_simkit::units::DbSpl;
+use magshield_simkit::vec3::Vec3;
+use magshield_trajectory::motion::{MotionParams, SessionMotion};
+use magshield_voice::attacks::{apply_device_response, attack_audio, AttackKind};
+use magshield_voice::devices::PlaybackDevice;
+use magshield_voice::profile::SpeakerProfile;
+use magshield_voice::synth::{FormantSynthesizer, SessionEffects, VOICE_SAMPLE_RATE};
+
+/// The genuine user of the system.
+#[derive(Debug, Clone)]
+pub struct UserContext {
+    /// The user's voice.
+    pub profile: SpeakerProfile,
+    /// The enrolled passphrase.
+    pub passphrase: String,
+    /// The user's phone.
+    pub phone: PhoneModel,
+}
+
+impl UserContext {
+    /// Samples a user.
+    pub fn sample(rng: &SimRng) -> Self {
+        let mut prng = rng.fork("user-passphrase");
+        Self {
+            profile: SpeakerProfile::sample(0, rng),
+            passphrase: magshield_voice::corpus::random_passphrase(6, &mut prng),
+            phone: PhoneModel::Nexus5,
+        }
+    }
+}
+
+/// What is physically producing the sound.
+#[derive(Debug, Clone)]
+pub enum SourceKind {
+    /// A live human mouth.
+    HumanMouth,
+    /// A playback device, optionally inside a Mu-metal shield.
+    Device {
+        /// The loudspeaker.
+        device: PlaybackDevice,
+        /// Whether a Mu-metal shield encloses it.
+        shielded: bool,
+    },
+    /// A loudspeaker feeding a sound tube whose outlet sits at the source
+    /// position (the §VII sound-tube attack). The speaker body (and its
+    /// magnet) sits `tube.length_m` behind the outlet.
+    DeviceViaTube {
+        /// The loudspeaker.
+        device: PlaybackDevice,
+        /// The tube.
+        tube: SoundTube,
+    },
+}
+
+/// What is being said (and by whom).
+#[derive(Debug, Clone)]
+pub enum SpeechKind {
+    /// The genuine user speaking the passphrase live.
+    Genuine,
+    /// An impersonation attack on the user's passphrase.
+    Attack {
+        /// Attack type.
+        kind: AttackKind,
+        /// The human attacker's own voice (morph source / mimic).
+        attacker: SpeakerProfile,
+    },
+}
+
+/// A fully specified verification scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    /// The (claimed) user.
+    pub user: UserContext,
+    /// The physical sound source.
+    pub source: SourceKind,
+    /// The speech content.
+    pub speech: SpeechKind,
+    /// EMF environment.
+    pub environment: EmfEnvironment,
+    /// Protocol motion parameters.
+    pub motion: MotionParams,
+    /// When set, the hand motion pivots around this point instead of the
+    /// sound source (attacker faking closeness to a distant speaker).
+    pub off_center_pivot: Option<Vec3>,
+}
+
+impl ScenarioBuilder {
+    /// A compliant genuine session at the default 5 cm final distance.
+    pub fn genuine(user: &UserContext) -> Self {
+        Self {
+            user: user.clone(),
+            source: SourceKind::HumanMouth,
+            speech: SpeechKind::Genuine,
+            environment: EmfEnvironment::quiet(),
+            motion: MotionParams {
+                approach_s: 1.0,
+                // Long enough for the six-digit passphrase to span the
+                // sweep at any speaker rate.
+                sweep_s: 2.0,
+                ..MotionParams::default()
+            },
+            off_center_pivot: None,
+        }
+    }
+
+    /// A machine-based attack: `kind` played through `device`, the phone
+    /// operated compliantly at the same distances as a genuine session.
+    pub fn machine_attack(
+        user: &UserContext,
+        kind: AttackKind,
+        device: PlaybackDevice,
+        attacker: SpeakerProfile,
+    ) -> Self {
+        let mut s = Self::genuine(user);
+        s.source = SourceKind::Device {
+            device,
+            shielded: false,
+        };
+        s.speech = SpeechKind::Attack { kind, attacker };
+        s
+    }
+
+    /// A human mimicry attack (live voice, no loudspeaker).
+    pub fn mimicry_attack(user: &UserContext, attacker: SpeakerProfile) -> Self {
+        let mut s = Self::genuine(user);
+        s.speech = SpeechKind::Attack {
+            kind: AttackKind::HumanMimicry,
+            attacker,
+        };
+        s
+    }
+
+    /// Sets the final phone–source distance (m).
+    pub fn at_distance(mut self, final_distance_m: f64) -> Self {
+        self.motion.end_distance_m = final_distance_m;
+        if self.motion.start_distance_m <= final_distance_m {
+            self.motion.start_distance_m = final_distance_m + 0.15;
+        }
+        self
+    }
+
+    /// Wraps the playback device in a Mu-metal shield.
+    pub fn with_shielding(mut self) -> Self {
+        if let SourceKind::Device { shielded, .. } = &mut self.source {
+            *shielded = true;
+        }
+        self
+    }
+
+    /// Replaces the EMF environment.
+    pub fn in_environment(mut self, env: EmfEnvironment) -> Self {
+        self.environment = env;
+        self
+    }
+
+    /// Pivot the sweep around a fake center (attack-geometry motion).
+    pub fn with_off_center_pivot(mut self, pivot: Vec3) -> Self {
+        self.off_center_pivot = Some(pivot);
+        self
+    }
+
+    /// Runs the capture simulation.
+    pub fn capture(&self, rng: &SimRng) -> SessionData {
+        let motion = match self.off_center_pivot {
+            Some(pivot) => SessionMotion::generate_off_center(self.motion, pivot),
+            None => SessionMotion::generate(self.motion),
+        };
+        let mut phone = Phone::new(self.user.phone, &rng.fork("phone"));
+        let imu_rate = self.motion.sample_rate_hz;
+        let audio_rate = phone.microphone.sample_rate();
+        let duration = motion.duration();
+        let n_audio = (duration * audio_rate) as usize;
+
+        // ------------- speech content -------------
+        let speech16k = self.render_speech(rng);
+        let speech = TimeSeries::from_samples(VOICE_SAMPLE_RATE, speech16k)
+            .resampled(audio_rate)
+            .into_samples();
+
+        // ------------- acoustic scene -------------
+        let acoustic_source = self.acoustic_source();
+        let band = speech_band();
+        let positions = motion.positions();
+        // Amplitude gain from source to phone per IMU sample.
+        let gains: Vec<f64> = positions
+            .iter()
+            .map(|&p| {
+                let e: f64 = band
+                    .iter()
+                    .map(|&f| acoustic_source.gain_at(p, f).powi(2))
+                    .sum::<f64>()
+                    / band.len() as f64;
+                e.sqrt()
+            })
+            .collect();
+        let gain_ts = TimeSeries::from_samples(imu_rate, gains);
+
+        // Distance (m) from phone to the *physical* source per IMU sample,
+        // for the pilot path (the pilot reflects off the sound-emitting
+        // object in front of the phone).
+        let dist_ts = TimeSeries::from_samples(imu_rate, motion.distances());
+
+        // Protocol timing: the spoken command accompanies the *sweep* (the
+        // sound-field verification needs speech while the phone crosses the
+        // field; the approach segment is covered by the pilot alone).
+        let speech_delay = (self.motion.approach_s * audio_rate) as usize;
+        let mut mix = vec![0.0f64; n_audio];
+        for (j, slot) in mix.iter_mut().enumerate() {
+            let t = j as f64 / audio_rate;
+            let s = j
+                .checked_sub(speech_delay)
+                .and_then(|k| speech.get(k))
+                .copied()
+                .unwrap_or(0.0);
+            *slot = s * gain_ts.value_at(t) * 0.5;
+        }
+        // Received pilot: the phone emits it; the echo path follows the
+        // phone–source distance.
+        let dists_audio: Vec<f64> = (0..n_audio)
+            .map(|j| dist_ts.value_at(j as f64 / audio_rate).max(0.01))
+            .collect();
+        let pilot = magshield_trajectory::ranging::render_received_pilot(
+            phone.pilot_hz,
+            audio_rate,
+            &dists_audio,
+        );
+        for (slot, p) in mix.iter_mut().zip(&pilot) {
+            *slot += 0.08 * p;
+        }
+        // Room noise.
+        let mut nrng = rng.fork("room-noise");
+        for slot in mix.iter_mut() {
+            *slot += nrng.gauss(0.0, 0.002);
+        }
+        let audio = phone.microphone.record(&mix);
+        // Secondary (noise-cancellation) microphone for dual-mic devices
+        // (§VII): it sits at the top of the phone, one body length
+        // (~9 cm) farther from the sound source, so it hears the speech
+        // quieter and the pilot echo over a longer path.
+        let audio2 = if self.user.phone.has_dual_microphones() {
+            const MIC_SPACING_M: f64 = 0.09;
+            let gains2: Vec<f64> = positions
+                .iter()
+                .map(|&p| {
+                    let away = (p - self.motion.source).normalized() * MIC_SPACING_M;
+                    let e: f64 = band
+                        .iter()
+                        .map(|&f| acoustic_source.gain_at(p + away, f).powi(2))
+                        .sum::<f64>()
+                        / band.len() as f64;
+                    e.sqrt()
+                })
+                .collect();
+            let gain2_ts = TimeSeries::from_samples(imu_rate, gains2);
+            let mut mix2 = vec![0.0f64; n_audio];
+            for (j, slot) in mix2.iter_mut().enumerate() {
+                let t = j as f64 / audio_rate;
+                let s = j
+                    .checked_sub(speech_delay)
+                    .and_then(|k| speech.get(k))
+                    .copied()
+                    .unwrap_or(0.0);
+                *slot = s * gain2_ts.value_at(t) * 0.5;
+            }
+            let dists2: Vec<f64> = (0..n_audio)
+                .map(|j| dist_ts.value_at(j as f64 / audio_rate).max(0.01) + MIC_SPACING_M)
+                .collect();
+            let pilot2 = magshield_trajectory::ranging::render_received_pilot(
+                phone.pilot_hz,
+                audio_rate,
+                &dists2,
+            );
+            for (slot, p) in mix2.iter_mut().zip(&pilot2) {
+                *slot += 0.08 * p;
+            }
+            let mut nrng2 = rng.fork("room-noise-2");
+            for slot in mix2.iter_mut() {
+                *slot += nrng2.gauss(0.0, 0.002);
+            }
+            let mut mic2 = magshield_sensors::microphone::Microphone::new(
+                magshield_sensors::microphone::MicrophoneSpec::default(),
+                rng.fork("mic2"),
+            );
+            Some(mic2.record(&mix2))
+        } else {
+            None
+        };
+
+        // ------------- magnetic scene -------------
+        let mut scene = MagneticScene::quiet().with_environment(self.environment.clone());
+        let drive_env = envelope_at_rate(&speech, audio_rate, imu_rate, motion.samples.len());
+        match &self.source {
+            SourceKind::HumanMouth => {}
+            SourceKind::Device { device, shielded } => {
+                if let Some(driver) =
+                    device_driver(device, self.motion.source, drive_env.clone(), *shielded)
+                {
+                    scene = scene.with_driver(driver);
+                }
+            }
+            SourceKind::DeviceViaTube { device, tube } => {
+                // The speaker body sits tube.length_m behind the outlet,
+                // away from the phone (+y).
+                let body = self.motion.source + Vec3::new(0.0, tube.length_m, 0.0);
+                if let Some(driver) = device_driver(device, body, drive_env.clone(), false) {
+                    scene = scene.with_driver(driver);
+                }
+            }
+        }
+        let world_fields = scene.sample_along(&positions, imu_rate, &rng.fork("mag-scene"));
+        // Rotate into the body frame using the true heading, then sensor-ize.
+        let body_fields: Vec<Vec3> = world_fields
+            .iter()
+            .zip(&motion.samples)
+            .map(|(&b, s)| b.rotated_z(-s.heading))
+            .collect();
+        let mag_readings = phone.magnetometer.read_series(&body_fields);
+
+        // ------------- inertial readings -------------
+        let accel_readings = phone.accelerometer.read_series(&motion.body_accelerations());
+        let gyro_readings = phone.gyroscope.read_series(&motion.angular_rates());
+
+        SessionData {
+            claimed_speaker: self.user.profile.id,
+            audio,
+            audio2,
+            audio_rate,
+            pilot_hz: phone.pilot_hz,
+            mag_readings,
+            accel_readings,
+            gyro_readings,
+            imu_rate,
+            sweep_start_s: self.motion.approach_s,
+            earth_reference: scene.earth.field_at(),
+        }
+    }
+
+    /// Renders the raw speech (voice rate) for this scenario.
+    fn render_speech(&self, rng: &SimRng) -> Vec<f64> {
+        let digits = &self.user.passphrase;
+        let mut audio = match &self.speech {
+            SpeechKind::Genuine => {
+                let synth = FormantSynthesizer::default();
+                let fx = SessionEffects::sample(&rng.fork("live-session"), 0.5);
+                synth.render_digits(&self.user.profile, digits, fx, &rng.fork("live"))
+            }
+            SpeechKind::Attack { kind, attacker } => {
+                attack_audio(*kind, attacker, &self.user.profile, digits, &rng.fork("attack"))
+            }
+        };
+        // Playback-device coloration applies to machine-delivered audio.
+        match &self.source {
+            SourceKind::Device { device, .. } => {
+                apply_device_response(&mut audio, VOICE_SAMPLE_RATE, device)
+            }
+            SourceKind::DeviceViaTube { device, tube } => {
+                apply_device_response(&mut audio, VOICE_SAMPLE_RATE, device);
+                apply_tube_coloration(&mut audio, VOICE_SAMPLE_RATE, tube);
+            }
+            SourceKind::HumanMouth => {}
+        }
+        audio
+    }
+
+    /// The piston source model for this scenario's emitter.
+    fn acoustic_source(&self) -> AcousticSource {
+        let pos = self.motion.source;
+        let axis = Vec3::new(0.0, -1.0, 0.0); // facing the user/phone side
+        match &self.source {
+            SourceKind::HumanMouth => AcousticSource::human_mouth(pos, axis),
+            SourceKind::Device { device, .. } => {
+                AcousticSource::speaker(pos, axis, device.aperture_radius_m, DbSpl(70.0))
+            }
+            // The tube outlet radiates with the bore aperture; the speaker
+            // body (and its magnet) is placed separately in the magnetic
+            // scene, a tube-length behind.
+            SourceKind::DeviceViaTube { tube, .. } => {
+                AcousticSource::speaker(pos, axis, tube.bore_radius_m, DbSpl(66.0))
+            }
+        }
+    }
+}
+
+/// Builds the magnetic driver for a playback device, or `None` for
+/// devices with no magnetic signature at all.
+fn device_driver(
+    device: &PlaybackDevice,
+    position: Vec3,
+    drive: Vec<f64>,
+    shielded: bool,
+) -> Option<DrivenDipole> {
+    let field = if device.has_magnet() {
+        device.magnet_ut_at_3cm
+    } else {
+        device.residual_interference_ut()
+    };
+    if field <= 0.0 {
+        return None;
+    }
+    let magnet = MagneticDipole::calibrated(position, Vec3::new(0.0, -1.0, 0.0), field, 0.03);
+    let mut driver = DrivenDipole::new(magnet, drive);
+    if !device.has_magnet() {
+        // Grid/wiring interference fluctuates with the drive more than a
+        // permanent magnet does.
+        driver.coil_fraction = 0.3;
+    }
+    if shielded {
+        driver = driver.shielded(Shield::mu_metal());
+    }
+    Some(driver)
+}
+
+/// Crude tube coloration: boost the first resonances, low-pass the rest.
+fn apply_tube_coloration(audio: &mut [f64], sample_rate: f64, tube: &SoundTube) {
+    for f in tube.resonances(3500.0).into_iter().take(4) {
+        let gain_db = 20.0 * tube.transmission_gain(f).log10() + 6.0;
+        let mut biquad = magshield_dsp::filter::Biquad::peaking(sample_rate, f, 6.0, gain_db);
+        for x in audio.iter_mut() {
+            *x = biquad.process(*x);
+        }
+    }
+    let mut lp = magshield_dsp::filter::Biquad::lowpass(sample_rate, 4000.0, 0.7);
+    for x in audio.iter_mut() {
+        *x = lp.process(*x);
+    }
+}
+
+/// |audio| envelope decimated to the IMU rate, normalized to ±1 drive.
+fn envelope_at_rate(audio: &[f64], audio_rate: f64, imu_rate: f64, n_out: usize) -> Vec<f64> {
+    let window = (audio_rate / imu_rate) as usize;
+    let mut env: Vec<f64> = audio
+        .chunks(window.max(1))
+        .map(|c| c.iter().map(|x| x.abs()).sum::<f64>() / c.len() as f64)
+        .collect();
+    env.resize(n_out, 0.0);
+    let peak = env.iter().cloned().fold(0.0f64, f64::max);
+    if peak > 1e-9 {
+        for e in &mut env {
+            *e = *e / peak * 2.0 - 1.0; // oscillate the coil around zero
+        }
+    }
+    env
+}
+
+/// Builds a ready-to-use, fully trained defense system plus its enrolled
+/// user — the entry point for examples, tests and benchmarks.
+pub fn bootstrap_system(rng: &SimRng) -> (DefenseSystem, UserContext) {
+    bootstrap_with(rng, BootstrapConfig::default())
+}
+
+/// [`bootstrap_system`] with explicit sizing (tests use smaller models).
+pub fn bootstrap_with(rng: &SimRng, config: BootstrapConfig) -> (DefenseSystem, UserContext) {
+    let user = UserContext::sample(&rng.fork("user"));
+    let system = DefenseSystem::bootstrap(&user, config, &rng.fork("bootstrap"));
+    (system, user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_voice::devices::table_iv_catalog;
+
+    fn user() -> UserContext {
+        UserContext::sample(&SimRng::from_seed(1))
+    }
+
+    #[test]
+    fn genuine_capture_is_valid_and_reproducible() {
+        let u = user();
+        let rng = SimRng::from_seed(2);
+        let a = ScenarioBuilder::genuine(&u).capture(&rng);
+        assert!(a.validate().is_ok());
+        let b = ScenarioBuilder::genuine(&u).capture(&rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn genuine_magnetometer_is_quiet() {
+        let u = user();
+        let s = ScenarioBuilder::genuine(&u).capture(&SimRng::from_seed(3));
+        let mags = s.mag_magnitude();
+        let earth = s.earth_reference.norm();
+        for &m in &mags {
+            assert!((m - earth).abs() < 8.0, "genuine |B| {m} vs earth {earth}");
+        }
+    }
+
+    #[test]
+    fn replay_attack_magnetometer_spikes_close() {
+        let u = user();
+        let device = table_iv_catalog()[0].clone(); // Logitech LS21
+        let attacker = SpeakerProfile::sample(9, &SimRng::from_seed(4));
+        let s = ScenarioBuilder::machine_attack(&u, AttackKind::Replay, device, attacker)
+            .at_distance(0.04)
+            .capture(&SimRng::from_seed(5));
+        let mags = s.mag_magnitude();
+        let earth = s.earth_reference.norm();
+        // The magnet field adds *vectorially* to the Earth field, so the
+        // magnitude anomaly is smaller than the raw dipole field — but it
+        // must still tower over the 2.5 µT detection threshold.
+        let peak = mags.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            peak > earth + 10.0,
+            "speaker magnet should dominate close-in: peak {peak}, earth {earth}"
+        );
+    }
+
+    #[test]
+    fn attack_at_long_distance_is_magnetically_quieter() {
+        let u = user();
+        let attacker = SpeakerProfile::sample(9, &SimRng::from_seed(4));
+        let peak_at = |d: f64| {
+            let device = table_iv_catalog()[0].clone();
+            let s = ScenarioBuilder::machine_attack(
+                &u,
+                AttackKind::Replay,
+                device,
+                attacker.clone(),
+            )
+            .at_distance(d)
+            .capture(&SimRng::from_seed(6));
+            s.mag_magnitude().iter().cloned().fold(0.0f64, f64::max)
+        };
+        assert!(peak_at(0.04) > peak_at(0.12) + 10.0);
+    }
+
+    #[test]
+    fn audio_contains_speech_and_pilot() {
+        use magshield_dsp::goertzel::tone_power;
+        let u = user();
+        let s = ScenarioBuilder::genuine(&u).capture(&SimRng::from_seed(7));
+        let rms = (s.audio.iter().map(|x| x * x).sum::<f64>() / s.audio.len() as f64).sqrt();
+        assert!(rms > 0.01, "audio rms {rms}");
+        let pilot_pw = tone_power(
+            &s.audio[s.audio.len() / 2..],
+            s.pilot_hz,
+            s.audio_rate,
+        );
+        assert!(pilot_pw > 1e-6, "pilot power {pilot_pw}");
+    }
+
+    #[test]
+    fn earphone_attack_has_weak_magnet_signature() {
+        let u = user();
+        let attacker = SpeakerProfile::sample(9, &SimRng::from_seed(4));
+        let earphone = table_iv_catalog()
+            .into_iter()
+            .find(|d| d.name.contains("EarPods"))
+            .unwrap();
+        let s = ScenarioBuilder::machine_attack(&u, AttackKind::Replay, earphone, attacker)
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(8));
+        let earth = s.earth_reference.norm();
+        let peak = s.mag_magnitude().iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            peak < earth + 30.0,
+            "earphone signature should be weak: peak {peak}"
+        );
+    }
+}

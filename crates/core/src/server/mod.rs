@@ -1,0 +1,300 @@
+//! Client–server deployment (§V of the paper).
+//!
+//! The paper's prototype splits into an Android client that captures
+//! sensor data and a Tornado server backend that runs the verification
+//! pipeline over a secure socket. This module reproduces that
+//! decomposition in-process: [`protocol`] defines the binary wire format
+//! (length-prefixed frames), and [`VerificationServer`] runs a worker pool
+//! that decodes, verifies and replies — concurrency via `crossbeam`
+//! channels, shared state via `parking_lot`.
+
+pub mod protocol;
+
+use crate::pipeline::DefenseSystem;
+use crate::session::SessionData;
+use crate::verdict::DefenseVerdict;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+use protocol::{decode_frame, encode_response, Message};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Work item flowing to the pool.
+struct Job {
+    frame: Vec<u8>,
+    reply: Sender<Vec<u8>>,
+}
+
+/// Aggregate server statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Requests fully processed.
+    pub processed: u64,
+    /// Requests rejected at the protocol layer.
+    pub protocol_errors: u64,
+    /// Total verification compute time.
+    pub total_latency: Duration,
+}
+
+impl ServerStats {
+    /// Mean verification latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.processed == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.processed as u32
+        }
+    }
+}
+
+/// A running verification server with a worker pool.
+pub struct VerificationServer {
+    tx: Option<Sender<Job>>,
+    /// Dropping this closes the shutdown channel the workers select on.
+    /// (Clients hold clones of `tx`, so closing `tx` alone would not stop
+    /// the pool.)
+    shutdown_tx: Option<Sender<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<Mutex<ServerStats>>,
+}
+
+impl VerificationServer {
+    /// Spawns the server with `workers` threads sharing `system`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn(system: DefenseSystem, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let system = Arc::new(system);
+        let stats = Arc::new(Mutex::new(ServerStats::default()));
+        let (tx, rx) = unbounded::<Job>();
+        let (shutdown_tx, shutdown_rx) = unbounded::<()>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let shutdown_rx = shutdown_rx.clone();
+                let system = Arc::clone(&system);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    loop {
+                        let job = crossbeam::channel::select! {
+                            recv(rx) -> job => match job {
+                                Ok(job) => job,
+                                Err(_) => break,
+                            },
+                            recv(shutdown_rx) -> _ => break,
+                        };
+                        let response = match decode_frame(&job.frame) {
+                            Ok(Message::VerifyRequest {
+                                request_id,
+                                session,
+                            }) => {
+                                let start = Instant::now();
+                                let verdict = system.verify(&session);
+                                let elapsed = start.elapsed();
+                                {
+                                    let mut s = stats.lock();
+                                    s.processed += 1;
+                                    s.total_latency += elapsed;
+                                }
+                                encode_response(request_id, &verdict)
+                            }
+                            Ok(other) => {
+                                stats.lock().protocol_errors += 1;
+                                protocol::encode_error(
+                                    other.request_id(),
+                                    "unexpected message type",
+                                )
+                            }
+                            Err(e) => {
+                                stats.lock().protocol_errors += 1;
+                                protocol::encode_error(0, &format!("decode error: {e}"))
+                            }
+                        };
+                        // The client may have given up; ignore send errors.
+                        let _ = job.reply.send(response);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            shutdown_tx: Some(shutdown_tx),
+            workers: handles,
+            stats,
+        }
+    }
+
+    /// A client handle for submitting sessions.
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self.tx.as_ref().expect("server running").clone(),
+            next_id: Arc::new(Mutex::new(1)),
+        }
+    }
+
+    /// Snapshot of server statistics.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// Stops the workers and waits for them to drain. In-flight requests
+    /// complete; queued-but-unstarted requests are dropped (their clients
+    /// see [`ClientError::Disconnected`]).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shutdown_tx.take(); // closing the shutdown channel stops the pool
+        self.tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for VerificationServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A client handle (cheaply cloneable).
+#[derive(Clone)]
+pub struct Client {
+    tx: Sender<Job>,
+    next_id: Arc<Mutex<u64>>,
+}
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Server is gone.
+    Disconnected,
+    /// Server replied with a protocol-level error.
+    Server(String),
+    /// Reply could not be decoded.
+    BadReply(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Disconnected => write!(f, "server disconnected"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::BadReply(m) => write!(f, "bad reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl Client {
+    /// Sends a session for verification and waits for the verdict,
+    /// exercising the full encode → wire → decode path.
+    pub fn verify(&self, session: &SessionData) -> Result<DefenseVerdict, ClientError> {
+        let id = {
+            let mut n = self.next_id.lock();
+            let id = *n;
+            *n += 1;
+            id
+        };
+        let frame = protocol::encode_request(id, session);
+        let raw = self.send_raw(frame)?;
+        match decode_frame(&raw) {
+            Ok(Message::VerifyResponse {
+                request_id,
+                verdict,
+            }) => {
+                if request_id != id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {id}"
+                    )));
+                }
+                Ok(verdict)
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
+    }
+
+    /// Sends a raw frame (tests use this for failure injection).
+    pub fn send_raw(&self, frame: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Job {
+                frame,
+                reply: reply_tx,
+            })
+            .map_err(|_| ClientError::Disconnected)?;
+        reply_rx.recv().map_err(|_| ClientError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use magshield_simkit::rng::SimRng;
+
+    fn server() -> (VerificationServer, crate::scenario::UserContext) {
+        let (system, user) = crate::test_support::shared_tiny_system();
+        (VerificationServer::spawn(system.clone(), 2), user.clone())
+    }
+
+    #[test]
+    fn round_trip_verification() {
+        let (srv, user) = server();
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(51));
+        let verdict = client.verify(&session).expect("verdict");
+        assert!(verdict.accepted());
+        assert_eq!(srv.stats().processed, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (srv, user) = server();
+        let sessions: Vec<_> = (0..6)
+            .map(|i| ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(60 + i)))
+            .collect();
+        let mut joins = Vec::new();
+        for s in sessions {
+            let c = srv.client();
+            joins.push(std::thread::spawn(move || c.verify(&s).unwrap().accepted()));
+        }
+        for j in joins {
+            assert!(j.join().unwrap());
+        }
+        assert_eq!(srv.stats().processed, 6);
+        assert!(srv.stats().mean_latency() > Duration::ZERO);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_yields_protocol_error() {
+        let (srv, _user) = server();
+        let client = srv.client();
+        let raw = client.send_raw(vec![1, 2, 3]).expect("reply");
+        match decode_frame(&raw) {
+            Ok(Message::Error { .. }) => {}
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        assert_eq!(srv.stats().protocol_errors, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_disconnects_clients() {
+        let (srv, user) = server();
+        let client = srv.client();
+        srv.shutdown();
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(52));
+        assert_eq!(client.verify(&session), Err(ClientError::Disconnected));
+    }
+}

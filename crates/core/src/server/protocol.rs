@@ -1,0 +1,477 @@
+//! Binary wire protocol between client and server.
+//!
+//! Frames are `[magic u16][version u8][type u8][payload …]`; all integers
+//! little-endian, floats IEEE-754 bits. The format is hand-rolled on the
+//! `bytes` crate so the session payload (hundreds of kilobytes of sensor
+//! samples) serializes without intermediate allocations or text overhead.
+
+use crate::session::SessionData;
+use crate::verdict::{Component, ComponentResult, Decision, DefenseVerdict};
+use bytes::{Buf, BufMut, BytesMut};
+use magshield_simkit::vec3::Vec3;
+
+/// Frame magic.
+const MAGIC: u16 = 0x4D53; // "MS"
+/// Protocol version.
+const VERSION: u8 = 1;
+
+/// Message type tags.
+const T_VERIFY_REQUEST: u8 = 1;
+const T_VERIFY_RESPONSE: u8 = 2;
+const T_ERROR: u8 = 3;
+
+/// Upper bound on vector lengths (guards against hostile frames).
+const MAX_LEN: usize = 16 << 20;
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: verify a session.
+    VerifyRequest {
+        /// Request correlation id.
+        request_id: u64,
+        /// The captured session.
+        session: SessionData,
+    },
+    /// Server → client: the verdict.
+    VerifyResponse {
+        /// Request correlation id.
+        request_id: u64,
+        /// The verdict.
+        verdict: DefenseVerdict,
+    },
+    /// Server → client: protocol failure.
+    Error {
+        /// Request correlation id (0 if unknown).
+        request_id: u64,
+        /// Description.
+        message: String,
+    },
+}
+
+impl Message {
+    /// The correlation id of any message kind.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Message::VerifyRequest { request_id, .. }
+            | Message::VerifyResponse { request_id, .. }
+            | Message::Error { request_id, .. } => *request_id,
+        }
+    }
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Frame shorter than a header.
+    Truncated,
+    /// Magic mismatch.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u8),
+    /// Unknown message type tag.
+    BadType(u8),
+    /// A declared length exceeds limits or the remaining bytes.
+    BadLength,
+    /// String payload not UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated frame"),
+            DecodeError::BadMagic => write!(f, "bad magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadType(t) => write!(f, "unknown message type {t}"),
+            DecodeError::BadLength => write!(f, "invalid length field"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a verify request.
+pub fn encode_request(request_id: u64, session: &SessionData) -> Vec<u8> {
+    let mut b = header(T_VERIFY_REQUEST);
+    b.put_u64_le(request_id);
+    put_session(&mut b, session);
+    b.to_vec()
+}
+
+/// Encodes a verify response.
+pub fn encode_response(request_id: u64, verdict: &DefenseVerdict) -> Vec<u8> {
+    let mut b = header(T_VERIFY_RESPONSE);
+    b.put_u64_le(request_id);
+    b.put_u8(match verdict.decision {
+        Decision::Accept => 1,
+        Decision::Reject => 0,
+    });
+    b.put_u32_le(verdict.results.len() as u32);
+    for r in &verdict.results {
+        b.put_u8(component_tag(r.component));
+        b.put_f64_le(r.attack_score);
+        put_string(&mut b, &r.detail);
+    }
+    b.to_vec()
+}
+
+/// Encodes a protocol error.
+pub fn encode_error(request_id: u64, message: &str) -> Vec<u8> {
+    let mut b = header(T_ERROR);
+    b.put_u64_le(request_id);
+    put_string(&mut b, message);
+    b.to_vec()
+}
+
+/// Decodes any frame.
+pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
+    let mut buf = frame;
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    if buf.get_u16_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let ty = buf.get_u8();
+    match ty {
+        T_VERIFY_REQUEST => {
+            let request_id = get_u64(&mut buf)?;
+            let session = get_session(&mut buf)?;
+            Ok(Message::VerifyRequest {
+                request_id,
+                session,
+            })
+        }
+        T_VERIFY_RESPONSE => {
+            let request_id = get_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let accepted = buf.get_u8() == 1;
+            let n = get_len(&mut buf)?;
+            let mut results = Vec::with_capacity(n.min(16));
+            for _ in 0..n {
+                if buf.remaining() < 9 {
+                    return Err(DecodeError::Truncated);
+                }
+                let tag = buf.get_u8();
+                let score = buf.get_f64_le();
+                let detail = get_string(&mut buf)?;
+                results.push(ComponentResult {
+                    component: component_from_tag(tag)?,
+                    attack_score: score,
+                    detail,
+                });
+            }
+            let verdict = DefenseVerdict {
+                results,
+                decision: if accepted {
+                    Decision::Accept
+                } else {
+                    Decision::Reject
+                },
+            };
+            Ok(Message::VerifyResponse {
+                request_id,
+                verdict,
+            })
+        }
+        T_ERROR => {
+            let request_id = get_u64(&mut buf)?;
+            let message = get_string(&mut buf)?;
+            Ok(Message::Error {
+                request_id,
+                message,
+            })
+        }
+        other => Err(DecodeError::BadType(other)),
+    }
+}
+
+// ---------- helpers ----------
+
+fn header(ty: u8) -> BytesMut {
+    let mut b = BytesMut::with_capacity(64);
+    b.put_u16_le(MAGIC);
+    b.put_u8(VERSION);
+    b.put_u8(ty);
+    b
+}
+
+fn component_tag(c: Component) -> u8 {
+    match c {
+        Component::Distance => 0,
+        Component::SoundField => 1,
+        Component::Loudspeaker => 2,
+        Component::SpeakerIdentity => 3,
+    }
+}
+
+fn component_from_tag(t: u8) -> Result<Component, DecodeError> {
+    Ok(match t {
+        0 => Component::Distance,
+        1 => Component::SoundField,
+        2 => Component::Loudspeaker,
+        3 => Component::SpeakerIdentity,
+        other => return Err(DecodeError::BadType(other)),
+    })
+}
+
+fn put_string(b: &mut BytesMut, s: &str) {
+    b.put_u32_le(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn put_f64s(b: &mut BytesMut, v: &[f64]) {
+    b.put_u32_le(v.len() as u32);
+    for &x in v {
+        b.put_f64_le(x);
+    }
+}
+
+fn put_vec3s(b: &mut BytesMut, v: &[Vec3]) {
+    b.put_u32_le(v.len() as u32);
+    for x in v {
+        b.put_f64_le(x.x);
+        b.put_f64_le(x.y);
+        b.put_f64_le(x.z);
+    }
+}
+
+fn put_session(b: &mut BytesMut, s: &SessionData) {
+    b.put_u32_le(s.claimed_speaker);
+    b.put_f64_le(s.audio_rate);
+    b.put_f64_le(s.pilot_hz);
+    b.put_f64_le(s.imu_rate);
+    b.put_f64_le(s.sweep_start_s);
+    b.put_f64_le(s.earth_reference.x);
+    b.put_f64_le(s.earth_reference.y);
+    b.put_f64_le(s.earth_reference.z);
+    put_f64s(b, &s.audio);
+    match &s.audio2 {
+        Some(a2) => {
+            b.put_u8(1);
+            put_f64s(b, a2);
+        }
+        None => b.put_u8(0),
+    }
+    put_vec3s(b, &s.mag_readings);
+    put_vec3s(b, &s.accel_readings);
+    put_vec3s(b, &s.gyro_readings);
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn get_len(buf: &mut &[u8]) -> Result<usize, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if n > MAX_LEN {
+        return Err(DecodeError::BadLength);
+    }
+    Ok(n)
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, DecodeError> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n {
+        return Err(DecodeError::Truncated);
+    }
+    let bytes = buf[..n].to_vec();
+    buf.advance(n);
+    String::from_utf8(bytes).map_err(|_| DecodeError::BadString)
+}
+
+fn get_f64s(buf: &mut &[u8]) -> Result<Vec<f64>, DecodeError> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n * 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+}
+
+fn get_vec3s(buf: &mut &[u8]) -> Result<Vec<Vec3>, DecodeError> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n * 24 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((0..n)
+        .map(|_| Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le()))
+        .collect())
+}
+
+fn get_session(buf: &mut &[u8]) -> Result<SessionData, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let claimed_speaker = buf.get_u32_le();
+    let audio_rate = get_f64(buf)?;
+    let pilot_hz = get_f64(buf)?;
+    let imu_rate = get_f64(buf)?;
+    let sweep_start_s = get_f64(buf)?;
+    let earth_reference = Vec3::new(get_f64(buf)?, get_f64(buf)?, get_f64(buf)?);
+    let audio = get_f64s(buf)?;
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let audio2 = match buf.get_u8() {
+        0 => None,
+        1 => Some(get_f64s(buf)?),
+        other => return Err(DecodeError::BadType(other)),
+    };
+    let mag_readings = get_vec3s(buf)?;
+    let accel_readings = get_vec3s(buf)?;
+    let gyro_readings = get_vec3s(buf)?;
+    Ok(SessionData {
+        claimed_speaker,
+        audio,
+        audio2,
+        audio_rate,
+        pilot_hz,
+        mag_readings,
+        accel_readings,
+        gyro_readings,
+        imu_rate,
+        sweep_start_s,
+        earth_reference,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_session() -> SessionData {
+        SessionData {
+            claimed_speaker: 7,
+            audio: vec![0.25, -0.5, 0.125],
+            audio2: Some(vec![0.1, 0.0, -0.1]),
+            audio_rate: 48_000.0,
+            pilot_hz: 18_500.0,
+            mag_readings: vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(-1.0, 0.5, 2.5)],
+            accel_readings: vec![Vec3::new(0.1, 0.2, 0.3)],
+            gyro_readings: vec![Vec3::new(0.0, 0.0, 0.7)],
+            imu_rate: 100.0,
+            sweep_start_s: 1.0,
+            earth_reference: Vec3::new(0.0, 28.0, -39.0),
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let s = sample_session();
+        let frame = encode_request(42, &s);
+        match decode_frame(&frame).unwrap() {
+            Message::VerifyRequest {
+                request_id,
+                session,
+            } => {
+                assert_eq!(request_id, 42);
+                assert_eq!(session, s);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let verdict = DefenseVerdict::from_results(vec![
+            ComponentResult {
+                component: Component::Loudspeaker,
+                attack_score: 1.25,
+                detail: "deviation 40 µT".into(),
+            },
+            ComponentResult {
+                component: Component::SpeakerIdentity,
+                attack_score: 0.5,
+                detail: "LLR 0.25".into(),
+            },
+        ]);
+        let frame = encode_response(9, &verdict);
+        match decode_frame(&frame).unwrap() {
+            Message::VerifyResponse {
+                request_id,
+                verdict: v,
+            } => {
+                assert_eq!(request_id, 9);
+                assert_eq!(v, verdict);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_round_trip() {
+        let frame = encode_error(3, "boom");
+        assert_eq!(
+            decode_frame(&frame).unwrap(),
+            Message::Error {
+                request_id: 3,
+                message: "boom".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut frame = encode_error(1, "x");
+        frame[0] = 0xFF;
+        assert_eq!(decode_frame(&frame), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut frame = encode_error(1, "x");
+        frame[2] = 99;
+        assert_eq!(decode_frame(&frame), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let frame = encode_request(1, &sample_session());
+        // Every prefix must fail cleanly, never panic.
+        for cut in 0..frame.len() {
+            let r = decode_frame(&frame[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_hostile_length() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_ERROR);
+        b.put_u64_le(1);
+        b.put_u32_le(u32::MAX); // absurd string length
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(200);
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadType(200)));
+    }
+}

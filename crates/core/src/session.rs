@@ -1,0 +1,215 @@
+//! Captured sensor data for one verification session.
+
+use magshield_simkit::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Everything the phone records during one verification attempt — the
+/// payload the mobile client uploads to the server backend (§V).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionData {
+    /// Claimed user identity.
+    pub claimed_speaker: u32,
+    /// Microphone recording (speech + received pilot tone + noise).
+    pub audio: Vec<f64>,
+    /// Secondary (noise-cancellation) microphone recording, when the
+    /// device has one (§VII "Dual Microphones", e.g. Nexus 4). Same rate
+    /// and length as `audio`.
+    pub audio2: Option<Vec<f64>>,
+    /// Audio sample rate (Hz).
+    pub audio_rate: f64,
+    /// The pilot frequency this phone calibrated (Hz).
+    pub pilot_hz: f64,
+    /// Magnetometer readings, body frame (µT).
+    pub mag_readings: Vec<Vec3>,
+    /// Accelerometer readings, body frame, gravity-free (m/s²).
+    pub accel_readings: Vec<Vec3>,
+    /// Gyroscope readings, body frame (rad/s).
+    pub gyro_readings: Vec<Vec3>,
+    /// IMU sample rate (Hz).
+    pub imu_rate: f64,
+    /// Time (s) where the sweep segment begins.
+    pub sweep_start_s: f64,
+    /// Pre-session ambient field calibration: the Earth-field vector the
+    /// phone measured before motion began (world frame, µT).
+    pub earth_reference: Vec3,
+}
+
+impl SessionData {
+    /// Sample index in the IMU streams where the sweep begins.
+    pub fn sweep_start_index(&self) -> usize {
+        (self.sweep_start_s * self.imu_rate).round() as usize
+    }
+
+    /// Session duration (s) by the IMU clock.
+    pub fn duration(&self) -> f64 {
+        self.mag_readings.len() as f64 / self.imu_rate
+    }
+
+    /// Magnetometer magnitude trace (µT).
+    pub fn mag_magnitude(&self) -> Vec<f64> {
+        self.mag_readings.iter().map(|r| r.norm()).collect()
+    }
+
+    /// Per-sample magnetometer heading observations against the calibrated
+    /// reference (None where the field is unusable).
+    pub fn mag_heading_observations(&self) -> Vec<Option<f64>> {
+        use magshield_sensors::orientation::HeadingFilter;
+        self.mag_readings
+            .iter()
+            .map(|&r| HeadingFilter::mag_heading(r, self.earth_reference))
+            .collect()
+    }
+
+    /// Basic integrity check: non-empty streams, consistent rates.
+    pub fn validate(&self) -> Result<(), SessionError> {
+        if self.audio.is_empty() {
+            return Err(SessionError::EmptyAudio);
+        }
+        if self.mag_readings.is_empty()
+            || self.accel_readings.is_empty()
+            || self.gyro_readings.is_empty()
+        {
+            return Err(SessionError::EmptySensorStream);
+        }
+        if !(self.audio_rate > 0.0) || !(self.imu_rate > 0.0) {
+            return Err(SessionError::BadRate);
+        }
+        if self.pilot_hz <= 16_000.0 {
+            return Err(SessionError::PilotTooLow(self.pilot_hz));
+        }
+        if self.sweep_start_s < 0.0 || self.sweep_start_s > self.duration() {
+            return Err(SessionError::BadSweepMark);
+        }
+        if let Some(a2) = &self.audio2 {
+            if a2.len() != self.audio.len() {
+                return Err(SessionError::SecondMicMismatch);
+            }
+            if !a2.iter().all(|x| x.is_finite()) {
+                return Err(SessionError::NonFiniteData);
+            }
+        }
+        let finite = self.audio.iter().all(|x| x.is_finite())
+            && self.mag_readings.iter().all(|v| v.is_finite())
+            && self.accel_readings.iter().all(|v| v.is_finite())
+            && self.gyro_readings.iter().all(|v| v.is_finite());
+        if !finite {
+            return Err(SessionError::NonFiniteData);
+        }
+        Ok(())
+    }
+}
+
+/// Session integrity errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionError {
+    /// No audio captured.
+    EmptyAudio,
+    /// A sensor stream is empty.
+    EmptySensorStream,
+    /// A sample rate is non-positive.
+    BadRate,
+    /// Pilot below the paper's 16 kHz floor.
+    PilotTooLow(f64),
+    /// Sweep marker outside the session.
+    BadSweepMark,
+    /// NaN/inf in the data.
+    NonFiniteData,
+    /// Secondary microphone stream length does not match the primary.
+    SecondMicMismatch,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::EmptyAudio => write!(f, "session has no audio"),
+            SessionError::EmptySensorStream => write!(f, "a sensor stream is empty"),
+            SessionError::BadRate => write!(f, "non-positive sample rate"),
+            SessionError::PilotTooLow(hz) => {
+                write!(f, "pilot {hz} Hz is below the 16 kHz inaudibility floor")
+            }
+            SessionError::BadSweepMark => write!(f, "sweep marker outside the session"),
+            SessionError::NonFiniteData => write!(f, "non-finite samples in session data"),
+            SessionError::SecondMicMismatch => {
+                write!(f, "secondary microphone stream length mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> SessionData {
+        SessionData {
+            claimed_speaker: 1,
+            audio: vec![0.0; 480],
+            audio2: None,
+            audio_rate: 48_000.0,
+            pilot_hz: 18_000.0,
+            mag_readings: vec![Vec3::new(0.0, 28.0, -39.0); 10],
+            accel_readings: vec![Vec3::ZERO; 10],
+            gyro_readings: vec![Vec3::ZERO; 10],
+            imu_rate: 100.0,
+            sweep_start_s: 0.05,
+            earth_reference: Vec3::new(0.0, 28.0, -39.0),
+        }
+    }
+
+    #[test]
+    fn valid_session_passes() {
+        assert!(minimal().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_audio() {
+        let mut s = minimal();
+        s.audio.clear();
+        assert_eq!(s.validate(), Err(SessionError::EmptyAudio));
+    }
+
+    #[test]
+    fn rejects_low_pilot() {
+        let mut s = minimal();
+        s.pilot_hz = 12_000.0;
+        assert!(matches!(s.validate(), Err(SessionError::PilotTooLow(_))));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut s = minimal();
+        s.audio[3] = f64::NAN;
+        assert_eq!(s.validate(), Err(SessionError::NonFiniteData));
+    }
+
+    #[test]
+    fn rejects_bad_sweep_mark() {
+        let mut s = minimal();
+        s.sweep_start_s = 99.0;
+        assert_eq!(s.validate(), Err(SessionError::BadSweepMark));
+    }
+
+    #[test]
+    fn heading_observations_present_in_clean_field() {
+        let s = minimal();
+        let obs = s.mag_heading_observations();
+        assert!(obs.iter().all(|o| o.is_some()));
+        assert!(obs[0].unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_index_conversion() {
+        assert_eq!(minimal().sweep_start_index(), 5);
+    }
+
+    #[test]
+    fn second_mic_length_checked() {
+        let mut s = minimal();
+        s.audio2 = Some(vec![0.0; 10]);
+        assert_eq!(s.validate(), Err(SessionError::SecondMicMismatch));
+        s.audio2 = Some(vec![0.0; s.audio.len()]);
+        assert!(s.validate().is_ok());
+    }
+}

@@ -1,0 +1,179 @@
+//! Verification verdicts — the Table III decision matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// Which component produced a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Sound source distance verification (§IV-B1).
+    Distance,
+    /// Sound field verification (§IV-B2).
+    SoundField,
+    /// Loudspeaker detection (§IV-B3).
+    Loudspeaker,
+    /// Speaker identity verification (§IV-C).
+    SpeakerIdentity,
+}
+
+impl Component {
+    /// All components in cascade order.
+    pub fn all() -> [Component; 4] {
+        [
+            Component::Distance,
+            Component::SoundField,
+            Component::Loudspeaker,
+            Component::SpeakerIdentity,
+        ]
+    }
+}
+
+/// One component's normalized result.
+///
+/// `attack_score` is normalized so 1.0 is the decision boundary: < 1
+/// passes, ≥ 1 rejects. This lets a single sweep of the boundary generate
+/// FAR/FRR curves per Figs. 12/14.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentResult {
+    /// The component.
+    pub component: Component,
+    /// Normalized attack score (1.0 = boundary).
+    pub attack_score: f64,
+    /// Human-readable detail for logs.
+    pub detail: String,
+}
+
+impl ComponentResult {
+    /// Whether the component passes at boundary multiplier `t`.
+    pub fn passes_at(&self, t: f64) -> bool {
+        self.attack_score < t
+    }
+}
+
+/// Final decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Session verified as the genuine user speaking live.
+    Accept,
+    /// Session rejected.
+    Reject,
+}
+
+/// The cascade verdict with per-component evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseVerdict {
+    /// Per-component results, cascade order.
+    pub results: Vec<ComponentResult>,
+    /// Decision at the nominal boundary (t = 1).
+    pub decision: Decision,
+}
+
+impl DefenseVerdict {
+    /// Builds a verdict from component results (decision at t = 1).
+    pub fn from_results(results: Vec<ComponentResult>) -> Self {
+        let decision = if results.iter().all(|r| r.passes_at(1.0)) {
+            Decision::Accept
+        } else {
+            Decision::Reject
+        };
+        Self { results, decision }
+    }
+
+    /// A rejection produced before any component ran (malformed session).
+    pub fn rejected_invalid(reason: String) -> Self {
+        Self {
+            results: vec![ComponentResult {
+                component: Component::Distance,
+                attack_score: f64::INFINITY,
+                detail: format!("session invalid: {reason}"),
+            }],
+            decision: Decision::Reject,
+        }
+    }
+
+    /// Whether the session was accepted at the nominal boundary.
+    pub fn accepted(&self) -> bool {
+        self.decision == Decision::Accept
+    }
+
+    /// The worst (largest) attack score — the cascade's combined score.
+    pub fn combined_score(&self) -> f64 {
+        self.results
+            .iter()
+            .map(|r| r.attack_score)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Decision at boundary multiplier `t` (sweeping `t` traces FAR/FRR).
+    pub fn decision_at(&self, t: f64) -> Decision {
+        if self.results.iter().all(|r| r.passes_at(t)) {
+            Decision::Accept
+        } else {
+            Decision::Reject
+        }
+    }
+
+    /// The result of a specific component, if present.
+    pub fn result_of(&self, c: Component) -> Option<&ComponentResult> {
+        self.results.iter().find(|r| r.component == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(c: Component, s: f64) -> ComponentResult {
+        ComponentResult {
+            component: c,
+            attack_score: s,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn accepts_when_all_pass() {
+        let v = DefenseVerdict::from_results(vec![
+            result(Component::Distance, 0.5),
+            result(Component::Loudspeaker, 0.2),
+        ]);
+        assert!(v.accepted());
+        assert_eq!(v.combined_score(), 0.5);
+    }
+
+    #[test]
+    fn rejects_when_any_fails() {
+        let v = DefenseVerdict::from_results(vec![
+            result(Component::Distance, 0.5),
+            result(Component::Loudspeaker, 3.0),
+        ]);
+        assert!(!v.accepted());
+        assert_eq!(v.combined_score(), 3.0);
+    }
+
+    #[test]
+    fn threshold_sweep_flips_decision() {
+        let v = DefenseVerdict::from_results(vec![result(Component::SoundField, 1.5)]);
+        assert_eq!(v.decision_at(1.0), Decision::Reject);
+        assert_eq!(v.decision_at(2.0), Decision::Accept);
+    }
+
+    #[test]
+    fn boundary_is_rejecting() {
+        let v = DefenseVerdict::from_results(vec![result(Component::Distance, 1.0)]);
+        assert!(!v.accepted(), "score exactly at the boundary rejects");
+    }
+
+    #[test]
+    fn invalid_session_rejects() {
+        let v = DefenseVerdict::rejected_invalid("empty audio".into());
+        assert!(!v.accepted());
+        assert_eq!(v.decision_at(1e9), Decision::Reject);
+    }
+
+    #[test]
+    fn result_lookup() {
+        let v = DefenseVerdict::from_results(vec![result(Component::SpeakerIdentity, 0.3)]);
+        assert!(v.result_of(Component::SpeakerIdentity).is_some());
+        assert!(v.result_of(Component::Loudspeaker).is_none());
+    }
+}

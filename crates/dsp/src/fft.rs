@@ -1,0 +1,204 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use crate::complex::Complex;
+
+/// In-place forward FFT.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two (zero-pad first; see
+/// [`next_pow2`]).
+///
+/// # Example
+///
+/// ```
+/// use magshield_dsp::fft::{fft, ifft};
+/// use magshield_dsp::complex::Complex;
+/// let orig: Vec<Complex> = (0..16).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+/// let mut buf = orig.clone();
+/// fft(&mut buf);
+/// ifft(&mut buf);
+/// for (a, b) in orig.iter().zip(&buf) {
+///     assert!((a.re - b.re).abs() < 1e-9);
+/// }
+/// ```
+pub fn fft(buf: &mut [Complex]) {
+    fft_dir(buf, false);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn ifft(buf: &mut [Complex]) {
+    fft_dir(buf, true);
+    let n = buf.len() as f64;
+    for z in buf.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+fn fft_dir(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Smallest power of two `>= n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// Forward FFT of a real signal, zero-padded to a power of two.
+///
+/// Returns the full complex spectrum of length `next_pow2(signal.len())`.
+pub fn rfft(signal: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(signal.len());
+    let mut buf = vec![Complex::ZERO; n];
+    for (slot, &x) in buf.iter_mut().zip(signal) {
+        *slot = Complex::new(x, 0.0);
+    }
+    fft(&mut buf);
+    buf
+}
+
+/// Magnitude spectrum of a real signal: bins `0..=n/2` with their center
+/// frequencies, for a given sample rate.
+///
+/// Returns `(frequencies_hz, magnitudes)`.
+pub fn magnitude_spectrum(signal: &[f64], sample_rate: f64) -> (Vec<f64>, Vec<f64>) {
+    let spec = rfft(signal);
+    let n = spec.len();
+    let half = n / 2 + 1;
+    let freqs = (0..half).map(|k| k as f64 * sample_rate / n as f64).collect();
+    let mags = spec[..half].iter().map(|z| z.abs()).collect();
+    (freqs, mags)
+}
+
+/// Reference O(n²) DFT used to validate the FFT in tests.
+pub fn naive_dft(signal: &[Complex]) -> Vec<Complex> {
+    let n = signal.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in signal.iter().enumerate() {
+                let ang = -std::f64::consts::TAU * (k * j) as f64 / n as f64;
+                acc += x * Complex::from_polar(1.0, ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_dft() {
+        let signal: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let expected = naive_dft(&signal);
+        let mut got = signal.clone();
+        fft(&mut got);
+        for (e, g) in expected.iter().zip(&got) {
+            assert!((e.re - g.re).abs() < 1e-9 && (e.im - g.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let orig: Vec<Complex> = (0..64).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let mut buf = orig.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in orig.iter().zip(&buf) {
+            assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 256;
+        let fs = 1024.0;
+        let f = 64.0; // exactly bin 16
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / fs).sin())
+            .collect();
+        let (freqs, mags) = magnitude_spectrum(&signal, fs);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(freqs[peak], 64.0);
+        // Tone amplitude 1 over n samples → bin magnitude ≈ n/2.
+        assert!((mags[peak] - n as f64 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = rfft(&signal);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        let mut buf = vec![Complex::ZERO; 3];
+        fft(&mut buf);
+    }
+
+    #[test]
+    fn dc_signal_concentrates_at_bin_zero() {
+        let mut buf = vec![Complex::ONE; 16];
+        fft(&mut buf);
+        assert!((buf[0].re - 16.0).abs() < 1e-12);
+        for z in &buf[1..] {
+            assert!(z.abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Mel filterbank and MFCC extraction.
+//!
+//! The ASV stack (Spear stand-in, §IV-C of the paper) verifies speakers on
+//! spectral features; MFCCs are the standard front end for GMM–UBM systems.
+//! This implementation follows the conventional pipeline: pre-emphasis →
+//! Hamming-windowed frames → power spectrum → triangular mel filterbank →
+//! log → DCT-II, with optional delta features.
+
+use crate::fft::rfft;
+use crate::filter::pre_emphasis;
+use crate::window::WindowKind;
+
+/// Converts frequency in Hz to mel (O'Shaughnessy formula).
+pub fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts mel back to Hz.
+pub fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// Triangular mel filterbank over FFT bins.
+#[derive(Debug, Clone)]
+pub struct MelFilterbank {
+    /// filters[m][k] = weight of FFT bin k in mel band m.
+    filters: Vec<Vec<f64>>,
+}
+
+impl MelFilterbank {
+    /// Builds `num_filters` triangular filters spanning `[lo_hz, hi_hz]` for
+    /// an FFT of `nfft` points at `sample_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi_hz <= lo_hz`, `hi_hz > sample_rate / 2`, or
+    /// `num_filters == 0`.
+    pub fn new(num_filters: usize, nfft: usize, sample_rate: f64, lo_hz: f64, hi_hz: f64) -> Self {
+        assert!(num_filters > 0, "need at least one mel filter");
+        assert!(hi_hz > lo_hz, "hi_hz must exceed lo_hz");
+        assert!(
+            hi_hz <= sample_rate / 2.0 + 1e-9,
+            "hi_hz {hi_hz} exceeds Nyquist {}",
+            sample_rate / 2.0
+        );
+        let half = nfft / 2 + 1;
+        let mel_lo = hz_to_mel(lo_hz);
+        let mel_hi = hz_to_mel(hi_hz);
+        // num_filters + 2 breakpoints, evenly spaced in mel.
+        let points: Vec<f64> = (0..num_filters + 2)
+            .map(|i| {
+                let mel = mel_lo + (mel_hi - mel_lo) * i as f64 / (num_filters + 1) as f64;
+                mel_to_hz(mel)
+            })
+            .collect();
+        let bin_freq = |k: usize| k as f64 * sample_rate / nfft as f64;
+        let filters = (0..num_filters)
+            .map(|m| {
+                let (f_lo, f_c, f_hi) = (points[m], points[m + 1], points[m + 2]);
+                (0..half)
+                    .map(|k| {
+                        let f = bin_freq(k);
+                        if f <= f_lo || f >= f_hi {
+                            0.0
+                        } else if f <= f_c {
+                            (f - f_lo) / (f_c - f_lo)
+                        } else {
+                            (f_hi - f) / (f_hi - f_c)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { filters }
+    }
+
+    /// Number of mel bands.
+    pub fn num_filters(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Applies the bank to a power spectrum (length must be ≥ bin count).
+    pub fn apply(&self, power_spectrum: &[f64]) -> Vec<f64> {
+        self.filters
+            .iter()
+            .map(|f| {
+                f.iter()
+                    .zip(power_spectrum)
+                    .map(|(w, p)| w * p)
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+/// Orthonormal DCT-II of `input`, keeping `num_coeffs` coefficients.
+pub fn dct2(input: &[f64], num_coeffs: usize) -> Vec<f64> {
+    let n = input.len();
+    if n == 0 {
+        return vec![0.0; num_coeffs];
+    }
+    (0..num_coeffs)
+        .map(|k| {
+            let scale = if k == 0 {
+                (1.0 / n as f64).sqrt()
+            } else {
+                (2.0 / n as f64).sqrt()
+            };
+            scale
+                * input
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &x)| {
+                        x * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos()
+                    })
+                    .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Configurable MFCC extraction pipeline.
+#[derive(Debug, Clone)]
+pub struct MfccExtractor {
+    /// Audio sample rate (Hz).
+    pub sample_rate: f64,
+    /// Frame length in samples (25 ms default).
+    pub frame_len: usize,
+    /// Hop in samples (10 ms default).
+    pub hop: usize,
+    /// Number of cepstral coefficients (including C0).
+    pub num_coeffs: usize,
+    /// Number of mel bands.
+    pub num_filters: usize,
+    /// Pre-emphasis coefficient.
+    pub pre_emphasis: f64,
+    filterbank: MelFilterbank,
+    window: Vec<f64>,
+}
+
+impl MfccExtractor {
+    /// Creates an extractor with speech-standard defaults (25 ms frames,
+    /// 10 ms hop, 26 mel bands, 13 coefficients, 0.97 pre-emphasis).
+    pub fn new(sample_rate: f64) -> Self {
+        Self::with_config(sample_rate, 0.025, 0.010, 13, 26)
+    }
+
+    /// Creates an extractor with explicit frame/hop durations (s) and sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durations are non-positive or `num_coeffs > num_filters`.
+    pub fn with_config(
+        sample_rate: f64,
+        frame_s: f64,
+        hop_s: f64,
+        num_coeffs: usize,
+        num_filters: usize,
+    ) -> Self {
+        assert!(frame_s > 0.0 && hop_s > 0.0, "frame and hop must be positive");
+        assert!(
+            num_coeffs <= num_filters,
+            "cannot keep more cepstra than mel bands"
+        );
+        let frame_len = (sample_rate * frame_s).round() as usize;
+        let hop = (sample_rate * hop_s).round() as usize;
+        let nfft = frame_len.next_power_of_two();
+        let filterbank = MelFilterbank::new(num_filters, nfft, sample_rate, 80.0, sample_rate / 2.0);
+        let window = WindowKind::Hamming.generate(frame_len);
+        Self {
+            sample_rate,
+            frame_len,
+            hop,
+            num_coeffs,
+            num_filters,
+            pre_emphasis: 0.97,
+            filterbank,
+            window,
+        }
+    }
+
+    /// Extracts MFCC frames from `signal`. Each row has `num_coeffs` values.
+    pub fn extract(&self, signal: &[f64]) -> Vec<Vec<f64>> {
+        let emphasized = pre_emphasis(signal, self.pre_emphasis);
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + self.frame_len <= emphasized.len() {
+            let mut frame: Vec<f64> = emphasized[start..start + self.frame_len].to_vec();
+            for (x, w) in frame.iter_mut().zip(&self.window) {
+                *x *= w;
+            }
+            let spec = rfft(&frame);
+            let half = spec.len() / 2 + 1;
+            let power: Vec<f64> = spec[..half]
+                .iter()
+                .map(|z| z.norm_sqr() / self.frame_len as f64)
+                .collect();
+            let mel_energies = self.filterbank.apply(&power);
+            let log_mel: Vec<f64> = mel_energies.iter().map(|&e| (e.max(1e-12)).ln()).collect();
+            out.push(dct2(&log_mel, self.num_coeffs));
+            start += self.hop;
+        }
+        out
+    }
+
+    /// Extracts MFCCs and appends delta (first-difference) features,
+    /// doubling the dimensionality.
+    pub fn extract_with_deltas(&self, signal: &[f64]) -> Vec<Vec<f64>> {
+        let base = self.extract(signal);
+        append_deltas(&base)
+    }
+}
+
+/// Appends two-frame-window delta features to each frame.
+pub fn append_deltas(frames: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = frames.len();
+    (0..n)
+        .map(|t| {
+            let prev = if t > 0 { &frames[t - 1] } else { &frames[t] };
+            let next = if t + 1 < n { &frames[t + 1] } else { &frames[t] };
+            let mut row = frames[t].clone();
+            row.extend(prev.iter().zip(next).map(|(p, nx)| (nx - p) / 2.0));
+            row
+        })
+        .collect()
+}
+
+/// Cepstral mean normalization: subtracts the per-dimension mean over the
+/// utterance, removing stationary channel coloration.
+pub fn cepstral_mean_normalize(frames: &mut [Vec<f64>]) {
+    if frames.is_empty() {
+        return;
+    }
+    let dim = frames[0].len();
+    let n = frames.len() as f64;
+    for d in 0..dim {
+        let mean = frames.iter().map(|f| f[d]).sum::<f64>() / n;
+        for f in frames.iter_mut() {
+            f[d] -= mean;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mel_scale_round_trip() {
+        for &hz in &[0.0, 100.0, 1000.0, 8000.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mel_1000hz_is_about_1000mel() {
+        assert!((hz_to_mel(1000.0) - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn filterbank_partitions_energy() {
+        let fb = MelFilterbank::new(20, 512, 16_000.0, 80.0, 8000.0);
+        assert_eq!(fb.num_filters(), 20);
+        // A flat spectrum should produce all-positive band energies.
+        let flat = vec![1.0; 257];
+        let e = fb.apply(&flat);
+        assert!(e.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn dct2_constant_input_concentrates_in_c0() {
+        let c = dct2(&[3.0; 16], 4);
+        assert!(c[0] > 1.0);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dct2_orthonormal_energy() {
+        // Orthonormal DCT preserves energy when all coeffs kept.
+        let x = [1.0, -2.0, 0.5, 3.0, -1.0, 0.0, 2.0, 1.5];
+        let c = dct2(&x, 8);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        assert!((ex - ec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mfcc_output_shape() {
+        let fs = 16_000.0;
+        let sig: Vec<f64> = (0..16_000)
+            .map(|i| (std::f64::consts::TAU * 300.0 * i as f64 / fs).sin())
+            .collect();
+        let ex = MfccExtractor::new(fs);
+        let frames = ex.extract(&sig);
+        // 1 s at 10 ms hop with 25 ms frames → about 98 frames.
+        assert!(frames.len() >= 95 && frames.len() <= 99, "{}", frames.len());
+        assert!(frames.iter().all(|f| f.len() == 13));
+        assert!(frames.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mfcc_distinguishes_spectra() {
+        let fs = 16_000.0;
+        let mk = |f0: f64| -> Vec<f64> {
+            (0..8000)
+                .map(|i| {
+                    let t = i as f64 / fs;
+                    (std::f64::consts::TAU * f0 * t).sin()
+                        + 0.5 * (std::f64::consts::TAU * 2.0 * f0 * t).sin()
+                })
+                .collect()
+        };
+        let ex = MfccExtractor::new(fs);
+        let a = ex.extract(&mk(200.0));
+        let b = ex.extract(&mk(800.0));
+        let mean = |fr: &[Vec<f64>]| -> Vec<f64> {
+            let mut m = vec![0.0; fr[0].len()];
+            for f in fr {
+                for (mi, v) in m.iter_mut().zip(f) {
+                    *mi += v;
+                }
+            }
+            m.iter().map(|v| v / fr.len() as f64).collect()
+        };
+        let (ma, mb) = (mean(&a), mean(&b));
+        let dist: f64 = ma
+            .iter()
+            .zip(&mb)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 1.0, "MFCC means too close: {dist}");
+    }
+
+    #[test]
+    fn deltas_double_dimension() {
+        let frames = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let with = append_deltas(&frames);
+        assert_eq!(with[0].len(), 4);
+        // Delta of middle frame dim 0: (5−1)/2 = 2.
+        assert_eq!(with[1][2], 2.0);
+    }
+
+    #[test]
+    fn cmn_zeroes_means() {
+        let mut frames = vec![vec![1.0, 10.0], vec![3.0, 20.0]];
+        cepstral_mean_normalize(&mut frames);
+        assert_eq!(frames[0][0] + frames[1][0], 0.0);
+        assert_eq!(frames[0][1] + frames[1][1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more cepstra")]
+    fn rejects_too_many_coeffs() {
+        MfccExtractor::with_config(16_000.0, 0.025, 0.01, 30, 20);
+    }
+}

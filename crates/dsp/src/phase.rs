@@ -1,0 +1,208 @@
+//! Frame-wise phase tracking of a narrowband pilot tone.
+//!
+//! The paper's sound-source distance verification (§IV-B1) emits an
+//! inaudible tone above 16 kHz from the phone speaker and tracks the phase
+//! of the received tone: moving the phone by Δd changes the acoustic path
+//! length and therefore the phase by `2π·Δd/λ`. With λ < 2 cm, centimetre
+//! motion produces multiple full cycles, so the phase must be unwrapped.
+//!
+//! [`PhaseTracker`] produces per-frame unwrapped phase; converting to
+//! displacement is `Δd = −Δφ·λ/(2π)` for a direct path (the paper's §IV-B1,
+//! following LLAP-style phase ranging \[49\]).
+
+use crate::goertzel::goertzel;
+
+/// Per-frame phase measurements of a pilot tone.
+#[derive(Debug, Clone)]
+pub struct PhaseTrack {
+    /// Frame start times (s).
+    pub times: Vec<f64>,
+    /// Unwrapped phase (radians) per frame.
+    pub phase: Vec<f64>,
+    /// Tone amplitude per frame (for confidence gating).
+    pub amplitude: Vec<f64>,
+}
+
+/// Extracts framed, unwrapped pilot-tone phase from a signal.
+#[derive(Debug, Clone)]
+pub struct PhaseTracker {
+    /// Pilot frequency (Hz).
+    pub pilot_hz: f64,
+    /// Frame length in samples.
+    pub frame_len: usize,
+    /// Hop between frames in samples.
+    pub hop: usize,
+}
+
+impl PhaseTracker {
+    /// Creates a tracker with frame/hop sized for ~1 ms resolution at `fs`.
+    pub fn new(pilot_hz: f64, sample_rate: f64) -> Self {
+        // ~2 ms frames, 1 ms hop: enough cycles of an 18 kHz pilot for a
+        // stable phase estimate, fast enough to keep Δφ per hop ≪ π for
+        // hand-speed motion.
+        let frame_len = (sample_rate * 0.002).round() as usize;
+        let hop = (sample_rate * 0.001).round() as usize;
+        Self {
+            pilot_hz,
+            frame_len: frame_len.max(8),
+            hop: hop.max(1),
+        }
+    }
+
+    /// Tracks the pilot through `signal`, returning unwrapped phase frames.
+    ///
+    /// The phase of frame `t` is measured relative to the pilot oscillator,
+    /// by mixing down with the frame's start offset so that a static scene
+    /// yields constant phase.
+    pub fn track(&self, signal: &[f64], sample_rate: f64) -> PhaseTrack {
+        let mut times = Vec::new();
+        let mut raw_phase = Vec::new();
+        let mut amplitude = Vec::new();
+        let mut start = 0;
+        while start + self.frame_len <= signal.len() {
+            let frame = &signal[start..start + self.frame_len];
+            let z = goertzel(frame, self.pilot_hz, sample_rate);
+            // Remove the carrier phase accumulated up to the frame start so
+            // consecutive frames of a static tone agree.
+            let carrier = std::f64::consts::TAU * self.pilot_hz * start as f64 / sample_rate;
+            let corrected = z.arg() - carrier;
+            times.push(start as f64 / sample_rate);
+            raw_phase.push(wrap(corrected));
+            amplitude.push(z.abs() * 2.0 / self.frame_len as f64);
+            start += self.hop;
+        }
+        PhaseTrack {
+            times,
+            phase: unwrap_phase(&raw_phase),
+            amplitude,
+        }
+    }
+}
+
+/// Unwraps a sequence of wrapped phases (each in `(-π, π]`) into a
+/// continuous phase curve.
+pub fn unwrap_phase(wrapped: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(wrapped.len());
+    let mut offset = 0.0;
+    let mut prev = None;
+    for &p in wrapped {
+        if let Some(pr) = prev {
+            let mut d: f64 = p + offset - pr;
+            while d > std::f64::consts::PI {
+                offset -= std::f64::consts::TAU;
+                d -= std::f64::consts::TAU;
+            }
+            while d < -std::f64::consts::PI {
+                offset += std::f64::consts::TAU;
+                d += std::f64::consts::TAU;
+            }
+        }
+        let v = p + offset;
+        out.push(v);
+        prev = Some(v);
+    }
+    out
+}
+
+/// Converts an unwrapped phase change to a path-length change (meters) for a
+/// one-way acoustic path.
+///
+/// `Δd = −Δφ · λ / 2π` where `λ = c / f`.
+pub fn phase_to_displacement(delta_phase: f64, pilot_hz: f64, speed_of_sound: f64) -> f64 {
+    let lambda = speed_of_sound / pilot_hz;
+    -delta_phase * lambda / std::f64::consts::TAU
+}
+
+fn wrap(a: f64) -> f64 {
+    let mut a = a % std::f64::consts::TAU;
+    if a > std::f64::consts::PI {
+        a -= std::f64::consts::TAU;
+    } else if a <= -std::f64::consts::PI {
+        a += std::f64::consts::TAU;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{PI, TAU};
+
+    #[test]
+    fn unwrap_recovers_linear_ramp() {
+        let true_phase: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap(p)).collect();
+        let un = unwrap_phase(&wrapped);
+        for (t, u) in true_phase.iter().zip(&un) {
+            assert!((t - u).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_handles_negative_ramp() {
+        let true_phase: Vec<f64> = (0..100).map(|i| -(i as f64) * 0.7).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap(p)).collect();
+        let un = unwrap_phase(&wrapped);
+        for (t, u) in true_phase.iter().zip(&un) {
+            assert!((t - u).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn static_tone_has_flat_phase() {
+        let fs = 48_000.0;
+        let pilot = 18_000.0;
+        let sig: Vec<f64> = (0..48_00)
+            .map(|i| (TAU * pilot * i as f64 / fs + 0.3).cos())
+            .collect();
+        let track = PhaseTracker::new(pilot, fs).track(&sig, fs);
+        assert!(track.phase.len() > 50);
+        let spread = track
+            .phase
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+                (lo.min(p), hi.max(p))
+            });
+        assert!(spread.1 - spread.0 < 0.05, "phase drifted: {spread:?}");
+    }
+
+    #[test]
+    fn moving_source_phase_matches_displacement() {
+        // Simulate a received tone whose path length shrinks at 10 cm/s.
+        let fs = 48_000.0;
+        let pilot = 18_000.0;
+        let c = 343.0;
+        let v = -0.10; // m/s (approaching)
+        let sig: Vec<f64> = (0..48_000)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let d = 0.20 + v * t; // path length in meters
+                (TAU * pilot * (t - d / c)).cos()
+            })
+            .collect();
+        let track = PhaseTracker::new(pilot, fs).track(&sig, fs);
+        let dphi = track.phase.last().unwrap() - track.phase[0];
+        let dt = track.times.last().unwrap() - track.times[0];
+        let dd = phase_to_displacement(dphi, pilot, c);
+        let expected = v * dt;
+        assert!(
+            (dd - expected).abs() < 0.005,
+            "estimated {dd:.4} m vs true {expected:.4} m"
+        );
+    }
+
+    #[test]
+    fn phase_to_displacement_sign() {
+        // Approaching source (path shrinks) ⇒ phase grows ⇒ negative Δd.
+        let d = phase_to_displacement(TAU, 17_150.0, 343.0);
+        assert!((d + 0.02).abs() < 1e-9, "one cycle at λ=2 cm is −2 cm, got {d}");
+    }
+
+    #[test]
+    fn wrap_stays_in_range() {
+        for k in -20..20 {
+            let a = wrap(0.1 + k as f64 * 1.3);
+            assert!(a > -PI - 1e-12 && a <= PI + 1e-12);
+        }
+    }
+}

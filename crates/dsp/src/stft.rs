@@ -1,0 +1,246 @@
+//! Short-time Fourier transform and spectrogram.
+//!
+//! Fig. 6 of the paper shows the received spectrograph of the >16 kHz pilot
+//! tone while the phone moves; [`Spectrogram`] regenerates that view, and
+//! the trajectory stack consumes per-frame complex bins for phase ranging.
+
+use crate::complex::Complex;
+use crate::fft::fft;
+use crate::window::WindowKind;
+
+/// Configuration for STFT analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct StftConfig {
+    /// Samples per analysis frame (will be zero-padded to a power of two).
+    pub frame_len: usize,
+    /// Samples between frame starts.
+    pub hop: usize,
+    /// Analysis window.
+    pub window: WindowKind,
+}
+
+impl Default for StftConfig {
+    fn default() -> Self {
+        Self {
+            frame_len: 1024,
+            hop: 256,
+            window: WindowKind::Hann,
+        }
+    }
+}
+
+/// A time–frequency magnitude map of a real signal.
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    /// Magnitudes: `frames[t][k]` is the magnitude of bin `k` at frame `t`.
+    frames: Vec<Vec<f64>>,
+    /// Center frequency of each bin, Hz.
+    bin_freqs: Vec<f64>,
+    /// Start time (s) of each frame.
+    frame_times: Vec<f64>,
+}
+
+impl Spectrogram {
+    /// Computes the spectrogram of `signal` at `sample_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.frame_len == 0` or `config.hop == 0`.
+    pub fn compute(signal: &[f64], sample_rate: f64, config: StftConfig) -> Self {
+        let complex_frames = stft(signal, config);
+        let nfft = config.frame_len.next_power_of_two();
+        let half = nfft / 2 + 1;
+        let bin_freqs = (0..half)
+            .map(|k| k as f64 * sample_rate / nfft as f64)
+            .collect();
+        let frame_times = (0..complex_frames.len())
+            .map(|t| (t * config.hop) as f64 / sample_rate)
+            .collect();
+        let frames = complex_frames
+            .into_iter()
+            .map(|f| f[..half].iter().map(|z| z.abs()).collect())
+            .collect();
+        Self {
+            frames,
+            bin_freqs,
+            frame_times,
+        }
+    }
+
+    /// Number of analysis frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of frequency bins per frame.
+    pub fn num_bins(&self) -> usize {
+        self.bin_freqs.len()
+    }
+
+    /// Bin center frequencies (Hz).
+    pub fn bin_freqs(&self) -> &[f64] {
+        &self.bin_freqs
+    }
+
+    /// Frame start times (s).
+    pub fn frame_times(&self) -> &[f64] {
+        &self.frame_times
+    }
+
+    /// Magnitude of bin `k` at frame `t`.
+    pub fn magnitude(&self, t: usize, k: usize) -> f64 {
+        self.frames[t][k]
+    }
+
+    /// All magnitudes for frame `t`.
+    pub fn frame(&self, t: usize) -> &[f64] {
+        &self.frames[t]
+    }
+
+    /// Index of the bin whose center frequency is closest to `freq_hz`.
+    pub fn bin_of(&self, freq_hz: f64) -> usize {
+        self.bin_freqs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - freq_hz)
+                    .abs()
+                    .partial_cmp(&(b.1 - freq_hz).abs())
+                    .unwrap()
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Total energy in `[lo_hz, hi_hz]` for frame `t`.
+    pub fn band_energy(&self, t: usize, lo_hz: f64, hi_hz: f64) -> f64 {
+        self.bin_freqs
+            .iter()
+            .zip(&self.frames[t])
+            .filter(|(f, _)| **f >= lo_hz && **f <= hi_hz)
+            .map(|(_, m)| m * m)
+            .sum()
+    }
+
+    /// The per-frame trace of a single bin's magnitude over time — the view
+    /// Fig. 6 plots for the pilot tone.
+    pub fn bin_trace(&self, freq_hz: f64) -> Vec<f64> {
+        let k = self.bin_of(freq_hz);
+        self.frames.iter().map(|f| f[k]).collect()
+    }
+}
+
+/// Raw STFT: windowed, zero-padded complex frames.
+///
+/// # Panics
+///
+/// Panics if `config.frame_len == 0` or `config.hop == 0`.
+pub fn stft(signal: &[f64], config: StftConfig) -> Vec<Vec<Complex>> {
+    assert!(config.frame_len > 0, "frame_len must be positive");
+    assert!(config.hop > 0, "hop must be positive");
+    let nfft = config.frame_len.next_power_of_two();
+    let win = config.window.generate(config.frame_len);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + config.frame_len <= signal.len() {
+        let mut buf = vec![Complex::ZERO; nfft];
+        for i in 0..config.frame_len {
+            buf[i] = Complex::new(signal[start + i] * win[i], 0.0);
+        }
+        fft(&mut buf);
+        out.push(buf);
+        start += config.hop;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn tone_energy_concentrates_in_bin() {
+        let fs = 8000.0;
+        let sig = tone(1000.0, fs, 4096);
+        let sg = Spectrogram::compute(
+            &sig,
+            fs,
+            StftConfig {
+                frame_len: 512,
+                hop: 256,
+                window: WindowKind::Hann,
+            },
+        );
+        assert!(sg.num_frames() > 10);
+        let k = sg.bin_of(1000.0);
+        for t in 0..sg.num_frames() {
+            let peak = (0..sg.num_bins())
+                .max_by(|&a, &b| sg.magnitude(t, a).partial_cmp(&sg.magnitude(t, b)).unwrap())
+                .unwrap();
+            assert!((peak as i64 - k as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn band_energy_selects_band() {
+        let fs = 8000.0;
+        let mut sig = tone(500.0, fs, 2048);
+        let hi = tone(3000.0, fs, 2048);
+        for (a, b) in sig.iter_mut().zip(&hi) {
+            *a += 0.1 * b;
+        }
+        let sg = Spectrogram::compute(&sig, fs, StftConfig::default());
+        let low = sg.band_energy(0, 400.0, 600.0);
+        let high = sg.band_energy(0, 2900.0, 3100.0);
+        assert!(low > high * 10.0);
+    }
+
+    #[test]
+    fn frame_times_follow_hop() {
+        let fs = 1000.0;
+        let sig = vec![0.0; 1000];
+        let sg = Spectrogram::compute(
+            &sig,
+            fs,
+            StftConfig {
+                frame_len: 100,
+                hop: 50,
+                window: WindowKind::Rectangular,
+            },
+        );
+        assert!((sg.frame_times()[1] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_signal_yields_no_frames() {
+        let sg = Spectrogram::compute(&[0.0; 10], 100.0, StftConfig::default());
+        assert_eq!(sg.num_frames(), 0);
+    }
+
+    #[test]
+    fn bin_trace_length_matches_frames() {
+        let fs = 8000.0;
+        let sig = tone(440.0, fs, 8192);
+        let sg = Spectrogram::compute(&sig, fs, StftConfig::default());
+        assert_eq!(sg.bin_trace(440.0).len(), sg.num_frames());
+    }
+
+    #[test]
+    #[should_panic(expected = "hop must be positive")]
+    fn rejects_zero_hop() {
+        stft(
+            &[0.0; 100],
+            StftConfig {
+                frame_len: 10,
+                hop: 0,
+                window: WindowKind::Hann,
+            },
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the DSP kernels.
+
+use magshield_dsp::filter::{moving_average, pre_emphasis, Biquad, OnePole};
+use magshield_dsp::goertzel::{goertzel, tone_amplitude};
+use magshield_dsp::level::{amplitude_to_dbfs, rms};
+use magshield_dsp::mel::MfccExtractor;
+use magshield_dsp::vad::{detect, VadConfig};
+use magshield_dsp::window::WindowKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Goertzel matches the corresponding FFT bin for on-grid frequencies.
+    #[test]
+    fn goertzel_matches_fft_bin(bin in 1usize..31, phase in 0.0f64..6.28) {
+        let n = 64;
+        let fs = 6400.0;
+        let f = bin as f64 * fs / n as f64;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / fs + phase).cos())
+            .collect();
+        let g = goertzel(&sig, f, fs);
+        let spec = magshield_dsp::fft::rfft(&sig);
+        prop_assert!((g.re - spec[bin].re).abs() < 1e-6);
+        prop_assert!((g.im - spec[bin].im).abs() < 1e-6);
+    }
+
+    /// A unit tone reads amplitude ≈ 1 for any on-grid frequency.
+    #[test]
+    fn tone_amplitude_calibration(bin in 2usize..30) {
+        let n = 256;
+        let fs = 25_600.0;
+        let f = bin as f64 * fs / n as f64;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / fs).sin())
+            .collect();
+        let a = tone_amplitude(&sig, f, fs);
+        prop_assert!((a - 1.0).abs() < 1e-6, "amp {a}");
+    }
+
+    /// Biquad filters are BIBO stable on bounded input.
+    #[test]
+    fn biquad_stability(
+        cutoff in 100.0f64..7000.0,
+        q in 0.2f64..5.0,
+        input in prop::collection::vec(-1.0f64..1.0, 64..256),
+    ) {
+        let mut f = Biquad::lowpass(16_000.0, cutoff, q);
+        for &x in &input {
+            let y = f.process(x);
+            prop_assert!(y.is_finite());
+            prop_assert!(y.abs() < 100.0, "unstable output {y}");
+        }
+    }
+
+    /// A one-pole smoother's output stays within the input's range.
+    #[test]
+    fn one_pole_bounded(
+        tau in 0.001f64..1.0,
+        input in prop::collection::vec(-5.0f64..5.0, 2..128),
+    ) {
+        let mut s = OnePole::with_time_constant(100.0, tau);
+        let lo = input.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = input.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &x in &input {
+            let y = s.process(x);
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        }
+    }
+
+    /// Moving average preserves the mean of a constant signal and stays
+    /// within input bounds.
+    #[test]
+    fn moving_average_bounds(
+        window in 1usize..9,
+        input in prop::collection::vec(-10.0f64..10.0, 1..64),
+    ) {
+        let out = moving_average(&input, window);
+        prop_assert_eq!(out.len(), input.len());
+        let lo = input.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = input.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &y in &out {
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        }
+    }
+
+    /// Pre-emphasis is invertible (it is a FIR with known coefficient).
+    #[test]
+    fn pre_emphasis_invertible(
+        alpha in 0.5f64..0.99,
+        input in prop::collection::vec(-1.0f64..1.0, 1..64),
+    ) {
+        let out = pre_emphasis(&input, alpha);
+        // Reconstruct: x[n] = y[n] + α x[n−1].
+        let mut rec = Vec::with_capacity(out.len());
+        let mut prev = 0.0;
+        for &y in &out {
+            let x = y + alpha * prev;
+            rec.push(x);
+            prev = x;
+        }
+        for (a, b) in rec.iter().zip(&input) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// All analysis windows are bounded in [0, 1].
+    #[test]
+    fn windows_bounded(n in 1usize..200) {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            for c in kind.generate(n) {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&c), "{kind:?}: {c}");
+            }
+        }
+    }
+
+    /// MFCC output is always finite with the expected shape.
+    #[test]
+    fn mfcc_finite(freq in 80.0f64..4000.0, amp in 0.01f64..1.0) {
+        let fs = 16_000.0;
+        let sig: Vec<f64> = (0..4000)
+            .map(|i| amp * (std::f64::consts::TAU * freq * i as f64 / fs).sin())
+            .collect();
+        let frames = MfccExtractor::new(fs).extract(&sig);
+        prop_assert!(!frames.is_empty());
+        for f in &frames {
+            prop_assert_eq!(f.len(), 13);
+            for v in f {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    /// VAD activity is within [0, 1] and silence is always inactive.
+    #[test]
+    fn vad_sane(amp in 0.1f64..1.0) {
+        let fs = 8000.0;
+        let mut sig = vec![0.0; 4000];
+        sig.extend((0..4000).map(|i| amp * (std::f64::consts::TAU * 300.0 * i as f64 / fs).sin()));
+        let v = detect(&sig, fs, VadConfig::default());
+        let r = v.activity_ratio();
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!(r > 0.2 && r < 0.8, "half-speech signal: {r}");
+    }
+
+    /// dBFS conversion is monotone.
+    #[test]
+    fn dbfs_monotone(a in 1e-6f64..10.0, b in 1e-6f64..10.0) {
+        if a < b {
+            prop_assert!(amplitude_to_dbfs(a) <= amplitude_to_dbfs(b));
+        }
+    }
+
+    /// RMS of a scaled signal scales linearly.
+    #[test]
+    fn rms_homogeneous(
+        k in 0.1f64..10.0,
+        input in prop::collection::vec(-1.0f64..1.0, 1..64),
+    ) {
+        let scaled: Vec<f64> = input.iter().map(|x| k * x).collect();
+        prop_assert!((rms(&scaled) - k * rms(&input)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,414 @@
+//! Diagonal-covariance Gaussian mixture models with EM training and MAP
+//! adaptation.
+//!
+//! This is the statistical engine of the GMM–UBM speaker verifier the
+//! paper uses through Spear (§IV-C): a large *universal background model*
+//! (UBM) is EM-trained on many speakers; each enrolled speaker is a
+//! MAP-adapted copy of the UBM (Reynolds-style relevance adaptation of the
+//! means); verification scores are the average per-frame log-likelihood
+//! ratio between the speaker model and the UBM.
+
+use crate::kmeans::kmeans;
+use magshield_simkit::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+const LOG_2PI: f64 = 1.8378770664093453; // ln(2π)
+
+/// Minimum variance floor to keep components from collapsing.
+const VAR_FLOOR: f64 = 1e-4;
+
+/// A diagonal-covariance Gaussian mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagonalGmm {
+    /// Mixture weights (sum to 1).
+    weights: Vec<f64>,
+    /// Component means, `k × dim`.
+    means: Vec<Vec<f64>>,
+    /// Component variances, `k × dim`.
+    variances: Vec<Vec<f64>>,
+}
+
+impl DiagonalGmm {
+    /// Builds a GMM from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent, weights do not sum to ~1, or any
+    /// variance is non-positive.
+    pub fn from_parameters(
+        weights: Vec<f64>,
+        means: Vec<Vec<f64>>,
+        variances: Vec<Vec<f64>>,
+    ) -> Self {
+        let k = weights.len();
+        assert!(k > 0, "mixture needs at least one component");
+        assert_eq!(means.len(), k, "means/weights length mismatch");
+        assert_eq!(variances.len(), k, "variances/weights length mismatch");
+        let dim = means[0].len();
+        assert!(
+            means.iter().all(|m| m.len() == dim) && variances.iter().all(|v| v.len() == dim),
+            "inconsistent dimensions"
+        );
+        let wsum: f64 = weights.iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-6, "weights must sum to 1, got {wsum}");
+        assert!(
+            variances.iter().flatten().all(|&v| v > 0.0),
+            "variances must be positive"
+        );
+        Self {
+            weights,
+            means,
+            variances,
+        }
+    }
+
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.means[0].len()
+    }
+
+    /// Mixture weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component means.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Component variances.
+    pub fn variances(&self) -> &[Vec<f64>] {
+        &self.variances
+    }
+
+    /// Log density of one frame under component `c`.
+    fn component_log_pdf(&self, c: usize, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for ((&m, &v), &xi) in self.means[c].iter().zip(&self.variances[c]).zip(x) {
+            acc += -0.5 * (LOG_2PI + v.ln() + (xi - m) * (xi - m) / v);
+        }
+        acc
+    }
+
+    /// Log density of one frame under the full mixture (log-sum-exp).
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        let logs: Vec<f64> = (0..self.num_components())
+            .map(|c| self.weights[c].max(1e-300).ln() + self.component_log_pdf(c, x))
+            .collect();
+        log_sum_exp(&logs)
+    }
+
+    /// Mean per-frame log-likelihood of a set of frames.
+    pub fn mean_log_likelihood(&self, frames: &[Vec<f64>]) -> f64 {
+        if frames.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        frames.iter().map(|f| self.log_pdf(f)).sum::<f64>() / frames.len() as f64
+    }
+
+    /// Posterior responsibilities of each component for one frame.
+    pub fn responsibilities(&self, x: &[f64]) -> Vec<f64> {
+        let logs: Vec<f64> = (0..self.num_components())
+            .map(|c| self.weights[c].max(1e-300).ln() + self.component_log_pdf(c, x))
+            .collect();
+        let total = log_sum_exp(&logs);
+        logs.iter().map(|&l| (l - total).exp()).collect()
+    }
+
+    /// Trains a GMM with `k` components on `data` via k-means init + EM.
+    ///
+    /// Stops after `max_iters` or when the mean log-likelihood improves by
+    /// less than `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() < k` or rows are inconsistent.
+    pub fn train(data: &[Vec<f64>], k: usize, max_iters: usize, tol: f64, rng: &SimRng) -> Self {
+        assert!(data.len() >= k, "need at least k frames to train");
+        let dim = data[0].len();
+        let km = kmeans(data, k, 25, &rng.fork("gmm-init"));
+
+        // Initialize from k-means clusters.
+        let mut counts = vec![0usize; k];
+        let means = km.centers.clone();
+        let mut variances = vec![vec![0.0; dim]; k];
+        for (p, &a) in data.iter().zip(&km.assignments) {
+            counts[a] += 1;
+            for d in 0..dim {
+                variances[a][d] += (p[d] - means[a][d]).powi(2);
+            }
+        }
+        // Global variance fallback for tiny clusters.
+        let gmean: Vec<f64> = (0..dim)
+            .map(|d| data.iter().map(|p| p[d]).sum::<f64>() / data.len() as f64)
+            .collect();
+        let gvar: Vec<f64> = (0..dim)
+            .map(|d| {
+                (data.iter().map(|p| (p[d] - gmean[d]).powi(2)).sum::<f64>() / data.len() as f64)
+                    .max(VAR_FLOOR)
+            })
+            .collect();
+        let mut weights = vec![0.0; k];
+        for c in 0..k {
+            weights[c] = (counts[c] as f64 / data.len() as f64).max(1e-6);
+            if counts[c] > 1 {
+                for d in 0..dim {
+                    variances[c][d] = (variances[c][d] / counts[c] as f64).max(VAR_FLOOR);
+                }
+            } else {
+                variances[c] = gvar.clone();
+            }
+        }
+        let wsum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= wsum;
+        }
+        let mut gmm = Self {
+            weights,
+            means,
+            variances,
+        };
+
+        // EM iterations.
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..max_iters {
+            let mut nk = vec![0.0; k];
+            let mut sum = vec![vec![0.0; dim]; k];
+            let mut sumsq = vec![vec![0.0; dim]; k];
+            let mut ll = 0.0;
+            for x in data {
+                let logs: Vec<f64> = (0..k)
+                    .map(|c| gmm.weights[c].max(1e-300).ln() + gmm.component_log_pdf(c, x))
+                    .collect();
+                let total = log_sum_exp(&logs);
+                ll += total;
+                for c in 0..k {
+                    let r = (logs[c] - total).exp();
+                    nk[c] += r;
+                    for d in 0..dim {
+                        sum[c][d] += r * x[d];
+                        sumsq[c][d] += r * x[d] * x[d];
+                    }
+                }
+            }
+            ll /= data.len() as f64;
+            for c in 0..k {
+                if nk[c] < 1e-8 {
+                    continue; // leave starved component untouched
+                }
+                gmm.weights[c] = nk[c] / data.len() as f64;
+                for d in 0..dim {
+                    let m = sum[c][d] / nk[c];
+                    gmm.means[c][d] = m;
+                    gmm.variances[c][d] = (sumsq[c][d] / nk[c] - m * m).max(VAR_FLOOR);
+                }
+            }
+            let wsum: f64 = gmm.weights.iter().sum();
+            for w in &mut gmm.weights {
+                *w /= wsum;
+            }
+            if (ll - prev_ll).abs() < tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+        gmm
+    }
+
+    /// Reynolds MAP adaptation of the means toward `data`, with relevance
+    /// factor `r` (typically 16): components with more evidence move
+    /// further toward the data.
+    ///
+    /// Returns the adapted model; weights and variances are kept from the
+    /// prior (standard practice for speaker adaptation).
+    pub fn map_adapt_means(&self, data: &[Vec<f64>], relevance: f64) -> Self {
+        let k = self.num_components();
+        let dim = self.dim();
+        let mut nk = vec![0.0; k];
+        let mut sum = vec![vec![0.0; dim]; k];
+        for x in data {
+            let r = self.responsibilities(x);
+            for c in 0..k {
+                nk[c] += r[c];
+                for d in 0..dim {
+                    sum[c][d] += r[c] * x[d];
+                }
+            }
+        }
+        let mut adapted = self.clone();
+        for c in 0..k {
+            if nk[c] < 1e-10 {
+                continue;
+            }
+            let alpha = nk[c] / (nk[c] + relevance);
+            for d in 0..dim {
+                let ex = sum[c][d] / nk[c];
+                adapted.means[c][d] = alpha * ex + (1.0 - alpha) * self.means[c][d];
+            }
+        }
+        adapted
+    }
+
+    /// Average per-frame log-likelihood ratio of `frames` between `self`
+    /// (speaker model) and `background` (UBM) — the verification score.
+    pub fn llr_score(&self, background: &DiagonalGmm, frames: &[Vec<f64>]) -> f64 {
+        if frames.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        frames
+            .iter()
+            .map(|f| self.log_pdf(f) - background.log_pdf(f))
+            .sum::<f64>()
+            / frames.len() as f64
+    }
+}
+
+/// Numerically stable log(Σ exp(x_i)).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_data(rng: &SimRng, n: usize) -> Vec<Vec<f64>> {
+        let mut r = rng.fork("gmm-data");
+        let mut data = Vec::new();
+        for i in 0..n {
+            if i % 2 == 0 {
+                data.push(vec![r.gauss(-3.0, 0.7), r.gauss(0.0, 0.7)]);
+            } else {
+                data.push(vec![r.gauss(3.0, 0.7), r.gauss(1.0, 0.7)]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn single_gaussian_pdf_matches_closed_form() {
+        let g = DiagonalGmm::from_parameters(vec![1.0], vec![vec![1.0, -1.0]], vec![vec![2.0, 0.5]]);
+        let x = [0.5, 0.0];
+        let expected = -0.5
+            * (2.0 * LOG_2PI
+                + 2.0f64.ln()
+                + 0.5f64.ln()
+                + (0.5 - 1.0f64).powi(2) / 2.0
+                + (0.0 - (-1.0f64)).powi(2) / 0.5);
+        assert!((g.log_pdf(&x) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn em_recovers_two_clusters() {
+        let rng = SimRng::from_seed(11);
+        let data = two_cluster_data(&rng, 600);
+        let gmm = DiagonalGmm::train(&data, 2, 50, 1e-7, &rng);
+        let mut mxs: Vec<f64> = gmm.means().iter().map(|m| m[0]).collect();
+        mxs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((mxs[0] + 3.0).abs() < 0.3, "left mean {}", mxs[0]);
+        assert!((mxs[1] - 3.0).abs() < 0.3, "right mean {}", mxs[1]);
+        for w in gmm.weights() {
+            assert!((w - 0.5).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn em_increases_likelihood() {
+        let rng = SimRng::from_seed(13);
+        let data = two_cluster_data(&rng, 300);
+        let short = DiagonalGmm::train(&data, 4, 1, 0.0, &rng);
+        let long = DiagonalGmm::train(&data, 4, 30, 0.0, &rng);
+        assert!(
+            long.mean_log_likelihood(&data) >= short.mean_log_likelihood(&data) - 1e-9,
+            "more EM must not reduce likelihood"
+        );
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one() {
+        let rng = SimRng::from_seed(17);
+        let data = two_cluster_data(&rng, 200);
+        let gmm = DiagonalGmm::train(&data, 3, 20, 1e-6, &rng);
+        for x in &data[..10] {
+            let r = gmm.responsibilities(x);
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(r.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn map_adaptation_moves_means_toward_data() {
+        let rng = SimRng::from_seed(19);
+        let ubm_data = two_cluster_data(&rng, 400);
+        let ubm = DiagonalGmm::train(&ubm_data, 2, 30, 1e-6, &rng);
+        // Speaker data: only near the left cluster, shifted up in y.
+        let mut r = rng.fork("spk");
+        let spk_data: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![r.gauss(-3.0, 0.5), r.gauss(2.0, 0.5)])
+            .collect();
+        let adapted = ubm.map_adapt_means(&spk_data, 16.0);
+        // The left component's y-mean should move up; weights unchanged.
+        let left = (0..2)
+            .min_by(|&a, &b| ubm.means()[a][0].partial_cmp(&ubm.means()[b][0]).unwrap())
+            .unwrap();
+        assert!(
+            adapted.means()[left][1] > ubm.means()[left][1] + 0.5,
+            "adapted {} vs ubm {}",
+            adapted.means()[left][1],
+            ubm.means()[left][1]
+        );
+        assert_eq!(adapted.weights(), ubm.weights());
+        assert_eq!(adapted.variances(), ubm.variances());
+    }
+
+    #[test]
+    fn llr_separates_matched_and_mismatched_data() {
+        let rng = SimRng::from_seed(23);
+        let ubm_data = two_cluster_data(&rng, 400);
+        let ubm = DiagonalGmm::train(&ubm_data, 2, 30, 1e-6, &rng);
+        let mut r = rng.fork("spk2");
+        let spk: Vec<Vec<f64>> = (0..120)
+            .map(|_| vec![r.gauss(-3.0, 0.5), r.gauss(2.0, 0.5)])
+            .collect();
+        let model = ubm.map_adapt_means(&spk, 16.0);
+        let genuine: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![r.gauss(-3.0, 0.5), r.gauss(2.0, 0.5)])
+            .collect();
+        let impostor: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![r.gauss(3.0, 0.7), r.gauss(1.0, 0.7)])
+            .collect();
+        let g = model.llr_score(&ubm, &genuine);
+        let i = model.llr_score(&ubm, &impostor);
+        assert!(g > i + 0.2, "genuine {g} should beat impostor {i}");
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert!((log_sum_exp(&[-1000.0, -1000.0]) - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert!((log_sum_exp(&[0.0, 0.0]) - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_frames_score_neg_infinity() {
+        let g = DiagonalGmm::from_parameters(vec![1.0], vec![vec![0.0]], vec![vec![1.0]]);
+        assert_eq!(g.mean_log_likelihood(&[]), f64::NEG_INFINITY);
+        assert_eq!(g.llr_score(&g, &[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must sum to 1")]
+    fn rejects_bad_weights() {
+        DiagonalGmm::from_parameters(vec![0.5], vec![vec![0.0]], vec![vec![1.0]]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Verification metrics: FAR, FRR, EER and DET curves.
+//!
+//! Table III of the paper defines the four decision outcomes; the entire
+//! evaluation (Figs. 12 and 14, Table I) is reported in false acceptance
+//! rate (FAR), false rejection rate (FRR), and equal error rate (EER).
+
+use serde::{Deserialize, Serialize};
+
+/// FAR/FRR at a specific operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ErrorRates {
+    /// False acceptance rate: impostors wrongly accepted.
+    pub far: f64,
+    /// False rejection rate: genuine users wrongly rejected.
+    pub frr: f64,
+}
+
+impl ErrorRates {
+    /// Computes FAR/FRR from hard decisions.
+    ///
+    /// `genuine_accepted[i]` is the decision for genuine trial `i`;
+    /// `impostor_accepted[j]` likewise for impostor trials.
+    pub fn from_decisions(genuine_accepted: &[bool], impostor_accepted: &[bool]) -> Self {
+        let frr = if genuine_accepted.is_empty() {
+            0.0
+        } else {
+            genuine_accepted.iter().filter(|&&a| !a).count() as f64
+                / genuine_accepted.len() as f64
+        };
+        let far = if impostor_accepted.is_empty() {
+            0.0
+        } else {
+            impostor_accepted.iter().filter(|&&a| a).count() as f64
+                / impostor_accepted.len() as f64
+        };
+        Self { far, frr }
+    }
+
+    /// FAR and FRR as percentages `(far_pct, frr_pct)`.
+    pub fn as_percent(self) -> (f64, f64) {
+        (self.far * 100.0, self.frr * 100.0)
+    }
+}
+
+/// One point on a DET curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetPoint {
+    /// Decision threshold (accept iff score ≥ threshold).
+    pub threshold: f64,
+    /// Error rates at that threshold.
+    pub rates: ErrorRates,
+}
+
+/// Sweeps the decision threshold over all distinct scores and returns the
+/// DET curve (accept iff `score >= threshold`; higher scores mean more
+/// genuine).
+pub fn det_curve(genuine_scores: &[f64], impostor_scores: &[f64]) -> Vec<DetPoint> {
+    let mut thresholds: Vec<f64> = genuine_scores
+        .iter()
+        .chain(impostor_scores)
+        .copied()
+        .filter(|s| s.is_finite())
+        .collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    thresholds.dedup();
+    // Add sentinels: accept-everything and reject-everything.
+    let mut points = Vec::with_capacity(thresholds.len() + 2);
+    points.push(DetPoint {
+        threshold: f64::NEG_INFINITY,
+        rates: rates_at(genuine_scores, impostor_scores, f64::NEG_INFINITY),
+    });
+    for &t in &thresholds {
+        points.push(DetPoint {
+            threshold: t,
+            rates: rates_at(genuine_scores, impostor_scores, t),
+        });
+    }
+    points.push(DetPoint {
+        threshold: f64::INFINITY,
+        rates: rates_at(genuine_scores, impostor_scores, f64::INFINITY),
+    });
+    points
+}
+
+fn rates_at(genuine: &[f64], impostor: &[f64], threshold: f64) -> ErrorRates {
+    let frr = if genuine.is_empty() {
+        0.0
+    } else {
+        genuine.iter().filter(|&&s| s < threshold).count() as f64 / genuine.len() as f64
+    };
+    let far = if impostor.is_empty() {
+        0.0
+    } else {
+        impostor.iter().filter(|&&s| s >= threshold).count() as f64 / impostor.len() as f64
+    };
+    ErrorRates { far, frr }
+}
+
+/// Equal error rate: the operating point where FAR and FRR cross.
+///
+/// Returns the average of FAR and FRR at the threshold minimizing
+/// `|FAR − FRR|` (the standard discrete-EER estimate).
+pub fn equal_error_rate(genuine_scores: &[f64], impostor_scores: &[f64]) -> f64 {
+    let curve = det_curve(genuine_scores, impostor_scores);
+    curve
+        .iter()
+        .min_by(|a, b| {
+            (a.rates.far - a.rates.frr)
+                .abs()
+                .partial_cmp(&(b.rates.far - b.rates.frr).abs())
+                .unwrap()
+        })
+        .map(|p| (p.rates.far + p.rates.frr) / 2.0)
+        .unwrap_or(0.0)
+}
+
+/// The threshold achieving the EER operating point.
+pub fn eer_threshold(genuine_scores: &[f64], impostor_scores: &[f64]) -> f64 {
+    let curve = det_curve(genuine_scores, impostor_scores);
+    curve
+        .iter()
+        .min_by(|a, b| {
+            (a.rates.far - a.rates.frr)
+                .abs()
+                .partial_cmp(&(b.rates.far - b.rates.frr).abs())
+                .unwrap()
+        })
+        .map(|p| p.threshold)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_zero_eer() {
+        let genuine = [5.0, 6.0, 7.0];
+        let impostor = [-1.0, 0.0, 1.0];
+        assert_eq!(equal_error_rate(&genuine, &impostor), 0.0);
+        let t = eer_threshold(&genuine, &impostor);
+        assert!(t > 1.0 && t <= 5.0, "threshold {t}");
+    }
+
+    #[test]
+    fn fully_overlapping_scores_give_half_eer() {
+        let genuine = [0.0, 1.0, 2.0, 3.0];
+        let impostor = [0.0, 1.0, 2.0, 3.0];
+        let eer = equal_error_rate(&genuine, &impostor);
+        assert!((eer - 0.5).abs() <= 0.13, "EER {eer} should be ≈ 0.5");
+    }
+
+    #[test]
+    fn eer_of_partial_overlap() {
+        // 1 of 4 genuine below the best threshold, 1 of 4 impostors above.
+        let genuine = [1.0, 5.0, 6.0, 7.0];
+        let impostor = [0.0, 0.5, 0.8, 5.5];
+        let eer = equal_error_rate(&genuine, &impostor);
+        assert!((eer - 0.25).abs() < 0.01, "EER {eer}");
+    }
+
+    #[test]
+    fn decisions_to_rates() {
+        let rates = ErrorRates::from_decisions(
+            &[true, true, false, true], // 1 of 4 genuine rejected
+            &[false, false, true],      // 1 of 3 impostors accepted
+        );
+        assert!((rates.frr - 0.25).abs() < 1e-12);
+        assert!((rates.far - 1.0 / 3.0).abs() < 1e-12);
+        let (fp, rp) = rates.as_percent();
+        assert!((fp - 33.333).abs() < 0.01);
+        assert!((rp - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trials_are_zero_rates() {
+        let rates = ErrorRates::from_decisions(&[], &[]);
+        assert_eq!(rates.far, 0.0);
+        assert_eq!(rates.frr, 0.0);
+        assert_eq!(equal_error_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn det_curve_is_monotone() {
+        let genuine = [2.0, 3.0, 4.0, 5.0];
+        let impostor = [0.0, 1.0, 2.5, 3.5];
+        let curve = det_curve(&genuine, &impostor);
+        for w in curve.windows(2) {
+            assert!(w[1].rates.frr >= w[0].rates.frr - 1e-12, "FRR must not decrease");
+            assert!(w[1].rates.far <= w[0].rates.far + 1e-12, "FAR must not increase");
+        }
+        // Sentinels.
+        assert_eq!(curve.first().unwrap().rates.far, 1.0);
+        assert_eq!(curve.first().unwrap().rates.frr, 0.0);
+        assert_eq!(curve.last().unwrap().rates.far, 0.0);
+        assert_eq!(curve.last().unwrap().rates.frr, 1.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Principal component analysis via cyclic Jacobi eigendecomposition.
+//!
+//! Fig. 8 of the paper projects sound-field feature vectors with PCA to
+//! show human-mouth and earphone fields separating cleanly; the same
+//! transform is available here for visualization and feature compaction.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    /// Per-dimension means subtracted before projection.
+    mean: Vec<f64>,
+    /// Principal axes (rows), sorted by decreasing eigenvalue.
+    components: Vec<Vec<f64>>,
+    /// Eigenvalues (variance along each component), same order.
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on `data`, keeping `num_components`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, dimensions are inconsistent, or
+    /// `num_components` exceeds the dimensionality.
+    pub fn fit(data: &[Vec<f64>], num_components: usize) -> Self {
+        assert!(!data.is_empty(), "PCA needs data");
+        let dim = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        assert!(
+            num_components >= 1 && num_components <= dim,
+            "num_components must be in 1..={dim}"
+        );
+        let n = data.len() as f64;
+        let mean: Vec<f64> = (0..dim)
+            .map(|d| data.iter().map(|r| r[d]).sum::<f64>() / n)
+            .collect();
+        // Covariance matrix (population).
+        let mut cov = vec![vec![0.0; dim]; dim];
+        for r in data {
+            for i in 0..dim {
+                let di = r[i] - mean[i];
+                for j in i..dim {
+                    cov[i][j] += di * (r[j] - mean[j]);
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in i..dim {
+                cov[i][j] /= n;
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let (eigvals, eigvecs) = jacobi_eigen(&cov);
+        // Sort by decreasing eigenvalue.
+        let mut order: Vec<usize> = (0..dim).collect();
+        order.sort_by(|&a, &b| eigvals[b].partial_cmp(&eigvals[a]).unwrap());
+        let components: Vec<Vec<f64>> = order[..num_components]
+            .iter()
+            .map(|&k| (0..dim).map(|i| eigvecs[i][k]).collect())
+            .collect();
+        let eigenvalues = order[..num_components].iter().map(|&k| eigvals[k]).collect();
+        Self {
+            mean,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Fits PCA where the dimensionality far exceeds the sample count
+    /// (e.g. GMM supervectors), via the Gram-matrix trick: the top
+    /// eigenvectors of the D×D covariance are recovered from the n×n Gram
+    /// matrix `XXᵀ` of the centered data.
+    ///
+    /// Keeps `min(num_components, n − 1, D)` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has fewer than 2 rows or inconsistent dimensions.
+    pub fn fit_gram(data: &[Vec<f64>], num_components: usize) -> Self {
+        assert!(data.len() >= 2, "Gram PCA needs at least two samples");
+        let n = data.len();
+        let dim = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        let mean: Vec<f64> = (0..dim)
+            .map(|d| data.iter().map(|r| r[d]).sum::<f64>() / n as f64)
+            .collect();
+        let centered: Vec<Vec<f64>> = data
+            .iter()
+            .map(|r| r.iter().zip(&mean).map(|(x, m)| x - m).collect())
+            .collect();
+        // Gram matrix G = X Xᵀ / n.
+        let mut gram = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let g: f64 = centered[i]
+                    .iter()
+                    .zip(&centered[j])
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    / n as f64;
+                gram[i][j] = g;
+                gram[j][i] = g;
+            }
+        }
+        let (eigvals, eigvecs) = jacobi_eigen(&gram);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| eigvals[b].partial_cmp(&eigvals[a]).unwrap());
+        let keep = num_components.min(n.saturating_sub(1)).min(dim).max(1);
+        let mut components = Vec::with_capacity(keep);
+        let mut eigenvalues = Vec::with_capacity(keep);
+        for &k in order.iter().take(keep) {
+            if eigvals[k] <= 1e-12 {
+                break;
+            }
+            // Covariance eigenvector u = Xᵀ v / ‖Xᵀ v‖.
+            let mut u = vec![0.0; dim];
+            for (i, row) in centered.iter().enumerate() {
+                let vi = eigvecs[i][k];
+                for (ud, &x) in u.iter_mut().zip(row) {
+                    *ud += vi * x;
+                }
+            }
+            let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                break;
+            }
+            for ud in &mut u {
+                *ud /= norm;
+            }
+            components.push(u);
+            eigenvalues.push(eigvals[k]);
+        }
+        assert!(!components.is_empty(), "no non-degenerate variance directions");
+        Self {
+            mean,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Projects one vector into component space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(x.iter().zip(&self.mean))
+                    .map(|(ci, (xi, mi))| ci * (xi - mi))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects a batch.
+    pub fn transform_batch(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|x| self.transform(x)).collect()
+    }
+
+    /// Variance captured by each kept component.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The principal axes (unit vectors, rows).
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvectors in columns.
+fn jacobi_eigen(matrix: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = matrix.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off: f64 = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                if a[p][q].abs() < 1e-14 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eig = (0..n).map(|i| a[i][i]).collect();
+    (eig, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_on_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (mut vals, _) = jacobi_eigen(&m);
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn first_component_follows_elongation() {
+        // Data stretched along (1,1).
+        let data: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = (i as f64 - 100.0) / 10.0;
+                let jitter = ((i * 7919) % 13) as f64 / 100.0;
+                vec![t + jitter, t - jitter]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 2);
+        let c0 = &pca.components()[0];
+        let alignment = (c0[0] * std::f64::consts::FRAC_1_SQRT_2
+            + c0[1] * std::f64::consts::FRAC_1_SQRT_2)
+            .abs();
+        assert!(alignment > 0.999, "PC1 alignment {alignment}");
+        assert!(pca.explained_variance()[0] > pca.explained_variance()[1] * 100.0);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = vec![vec![5.0, 1.0], vec![7.0, 3.0], vec![9.0, 5.0]];
+        let pca = Pca::fit(&data, 1);
+        let projected = pca.transform_batch(&data);
+        let mean: f64 = projected.iter().map(|p| p[0]).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-10);
+    }
+
+    #[test]
+    fn projection_preserves_pairwise_order_along_pc1() {
+        let data: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let pca = Pca::fit(&data, 1);
+        let p = pca.transform_batch(&data);
+        let increasing = p.windows(2).all(|w| w[1][0] > w[0][0]);
+        let decreasing = p.windows(2).all(|w| w[1][0] < w[0][0]);
+        assert!(increasing || decreasing, "PC1 should order collinear data");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.3).sin(),
+                    (i as f64 * 0.7).cos(),
+                    (i as f64 * 0.1).sin() * 2.0,
+                ]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 3);
+        for i in 0..3 {
+            let ni: f64 = pca.components()[i].iter().map(|x| x * x).sum();
+            assert!((ni - 1.0).abs() < 1e-9, "component {i} not unit");
+            for j in i + 1..3 {
+                let d: f64 = pca.components()[i]
+                    .iter()
+                    .zip(&pca.components()[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(d.abs() < 1e-9, "components {i},{j} not orthogonal");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_components")]
+    fn rejects_too_many_components() {
+        Pca::fit(&[vec![1.0, 2.0]], 3);
+    }
+
+    #[test]
+    fn gram_pca_matches_covariance_pca_on_small_data() {
+        let data: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                let t = i as f64;
+                vec![t, 2.0 * t + (t * 0.7).sin(), -t + (t * 0.3).cos(), 0.5 * t]
+            })
+            .collect();
+        let a = Pca::fit(&data, 2);
+        let b = Pca::fit_gram(&data, 2);
+        let pa = a.transform_batch(&data);
+        let pb = b.transform_batch(&data);
+        // Components may differ in sign; compare absolute projections.
+        for (x, y) in pa.iter().zip(&pb) {
+            for (u, v) in x.iter().zip(y) {
+                assert!((u.abs() - v.abs()).abs() < 1e-6, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_pca_handles_high_dimension() {
+        // 6 samples in 500 dimensions: covariance PCA would need a 500x500
+        // eigendecomposition; the Gram trick works on 6x6.
+        let data: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..500).map(|d| ((i * d) as f64 * 0.01).sin()).collect())
+            .collect();
+        let pca = Pca::fit_gram(&data, 3);
+        assert!(pca.components().len() <= 3);
+        for c in pca.components() {
+            let n: f64 = c.iter().map(|x| x * x).sum();
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+        let p = pca.transform(&data[0]);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn gram_pca_rejects_single_sample() {
+        Pca::fit_gram(&[vec![1.0, 2.0]], 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Feature standardization (zero mean, unit variance per dimension).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted standard scaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits per-dimension mean and standard deviation.
+    ///
+    /// Dimensions with zero variance get unit std (features pass through
+    /// centered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or dimensions are inconsistent.
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "scaler needs data");
+        let dim = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        let n = data.len() as f64;
+        let mean: Vec<f64> = (0..dim)
+            .map(|d| data.iter().map(|r| r[d]).sum::<f64>() / n)
+            .collect();
+        let std: Vec<f64> = (0..dim)
+            .map(|d| {
+                let v = data.iter().map(|r| (r[d] - mean[d]).powi(2)).sum::<f64>() / n;
+                let s = v.sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Standardizes one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(xi, (m, s))| (xi - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a batch.
+    pub fn transform_batch(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|x| self.transform(x)).collect()
+    }
+
+    /// Inverts the transform.
+    pub fn inverse_transform(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.mean.len(), "dimension mismatch");
+        z.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(zi, (m, s))| zi * s + m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let data: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 3.0 * i as f64 + 7.0]).collect();
+        let sc = StandardScaler::fit(&data);
+        let z = sc.transform_batch(&data);
+        for d in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[d]).sum::<f64>() / 100.0;
+            let var: f64 = z.iter().map(|r| r[d] * r[d]).sum::<f64>() / 100.0;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_passes_through_centered() {
+        let data = vec![vec![4.0], vec![4.0], vec![4.0]];
+        let sc = StandardScaler::fit(&data);
+        assert_eq!(sc.transform(&[4.0]), vec![0.0]);
+        assert_eq!(sc.transform(&[5.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = vec![vec![1.0, -5.0], vec![3.0, 10.0], vec![-2.0, 0.0]];
+        let sc = StandardScaler::fit(&data);
+        for r in &data {
+            let back = sc.inverse_transform(&sc.transform(r));
+            for (a, b) in back.iter().zip(r) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+}

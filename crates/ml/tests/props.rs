@@ -1,0 +1,113 @@
+//! Property-based tests for the ML kernels.
+
+use magshield_ml::circlefit::fit_circle;
+use magshield_ml::gmm::{log_sum_exp, DiagonalGmm};
+use magshield_ml::kmeans::kmeans;
+use magshield_ml::metrics::equal_error_rate;
+use magshield_ml::scaler::StandardScaler;
+use magshield_ml::svm::{LinearSvm, SvmConfig};
+use magshield_simkit::rng::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// K-means inertia never increases when k grows.
+    #[test]
+    fn kmeans_inertia_monotone_in_k(seed in 0u64..1000) {
+        let mut r = SimRng::from_seed(seed);
+        let data: Vec<Vec<f64>> = (0..40)
+            .map(|_| vec![r.gauss(0.0, 3.0), r.gauss(0.0, 3.0)])
+            .collect();
+        let rng = SimRng::from_seed(seed ^ 0xABCD);
+        let i2 = kmeans(&data, 2, 50, &rng).inertia;
+        let i8 = kmeans(&data, 8, 50, &rng).inertia;
+        // k-means++ with more clusters on the same data should fit tighter
+        // (allow a hair of slack for local optima).
+        prop_assert!(i8 <= i2 * 1.05 + 1e-9, "inertia k=8 {i8} vs k=2 {i2}");
+    }
+
+    /// GMM responsibilities always form a probability distribution.
+    #[test]
+    fn gmm_responsibilities_simplex(seed in 0u64..500, x in -10.0f64..10.0, y in -10.0f64..10.0) {
+        let mut r = SimRng::from_seed(seed);
+        let data: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![r.gauss(0.0, 2.0), r.gauss(1.0, 2.0)])
+            .collect();
+        let gmm = DiagonalGmm::train(&data, 3, 8, 1e-6, &SimRng::from_seed(seed));
+        let resp = gmm.responsibilities(&[x, y]);
+        let total: f64 = resp.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(resp.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+    }
+
+    /// log_sum_exp is invariant to additive shifts (up to the shift).
+    #[test]
+    fn log_sum_exp_shift(values in prop::collection::vec(-50.0f64..50.0, 1..16), shift in -100.0f64..100.0) {
+        let base = log_sum_exp(&values);
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        prop_assert!((log_sum_exp(&shifted) - (base + shift)).abs() < 1e-9);
+    }
+
+    /// The SVM never does worse than chance on its own training set when
+    /// classes are balanced and separated.
+    #[test]
+    fn svm_beats_chance(seed in 0u64..500, sep in 1.5f64..5.0) {
+        let mut r = SimRng::from_seed(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let c = if i % 2 == 0 { 1.0 } else { -1.0 };
+            data.push(vec![r.gauss(c * sep, 1.0), r.gauss(0.0, 1.0)]);
+            labels.push(c);
+        }
+        let svm = LinearSvm::train(&data, &labels, SvmConfig::default(), &SimRng::from_seed(seed));
+        prop_assert!(svm.accuracy(&data, &labels) > 0.7);
+    }
+
+    /// Scaler transform/inverse round-trips.
+    #[test]
+    fn scaler_round_trip(rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..20)) {
+        let sc = StandardScaler::fit(&rows);
+        for r in &rows {
+            let back = sc.inverse_transform(&sc.transform(r));
+            for (a, b) in back.iter().zip(r) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    /// Circle fit residual is ~0 for exact circles and the recovered radius
+    /// is invariant to translation.
+    #[test]
+    fn circle_fit_translation_invariant(
+        tx in -100.0f64..100.0,
+        ty in -100.0f64..100.0,
+        r in 0.05f64..5.0,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..24)
+            .map(|i| {
+                let a = 0.3 + 2.0 * i as f64 / 23.0;
+                (r * a.cos(), r * a.sin())
+            })
+            .collect();
+        let moved: Vec<(f64, f64)> = pts.iter().map(|(x, y)| (x + tx, y + ty)).collect();
+        let c0 = fit_circle(&pts).unwrap();
+        let c1 = fit_circle(&moved).unwrap();
+        prop_assert!((c0.radius - c1.radius).abs() < 1e-6 * (1.0 + r));
+    }
+
+    /// EER is symmetric under swapping + negating the score sets.
+    #[test]
+    fn eer_symmetry(
+        genuine in prop::collection::vec(-10.0f64..10.0, 2..20),
+        impostor in prop::collection::vec(-10.0f64..10.0, 2..20),
+    ) {
+        let e1 = equal_error_rate(&genuine, &impostor);
+        // Negate scores and swap roles: acceptance region flips, EER holds.
+        let ng: Vec<f64> = impostor.iter().map(|s| -s).collect();
+        let ni: Vec<f64> = genuine.iter().map(|s| -s).collect();
+        let e2 = equal_error_rate(&ng, &ni);
+        prop_assert!((e1 - e2).abs() < 0.15, "EER {e1} vs swapped {e2}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Sound-field sampling along a phone trajectory.
+//!
+//! The sound-field verification component (§IV-B2) sweeps the phone across
+//! the sound source and records `(volume, rotation-angle)` tuples; this
+//! module produces the physical volume readings those tuples contain, for
+//! any [`AcousticSource`].
+
+use super::source::AcousticSource;
+use magshield_simkit::units::DbSpl;
+use magshield_simkit::vec3::Vec3;
+
+/// One spatial sample of the sound field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldSample {
+    /// Microphone position (m).
+    pub position: Vec3,
+    /// Angle of the mic relative to the source axis (radians).
+    pub angle_rad: f64,
+    /// Received level.
+    pub level: DbSpl,
+}
+
+/// Samples the field of `source` at each `position`, evaluating the level
+/// as the energy sum over the given analysis frequencies (speech band by
+/// default — see [`speech_band`]).
+pub fn sample_field(
+    source: &AcousticSource,
+    positions: &[Vec3],
+    freqs_hz: &[f64],
+) -> Vec<FieldSample> {
+    positions
+        .iter()
+        .map(|&p| {
+            let r_vec = p - source.position;
+            let angle = if r_vec.norm() < 1e-9 {
+                0.0
+            } else {
+                (r_vec.normalized().dot(source.axis)).clamp(-1.0, 1.0).acos()
+            };
+            // Energy-sum over the band, assuming equal per-band source power.
+            let energy: f64 = freqs_hz
+                .iter()
+                .map(|&f| source.gain_at(p, f).powi(2))
+                .sum::<f64>()
+                / freqs_hz.len().max(1) as f64;
+            let level = if energy > 0.0 {
+                DbSpl(source.level_at_ref.value() + 10.0 * energy.log10())
+            } else {
+                DbSpl(-120.0)
+            };
+            FieldSample {
+                position: p,
+                angle_rad: angle,
+                level,
+            }
+        })
+        .collect()
+}
+
+/// Analysis frequencies spanning the speech band, octave-spaced.
+pub fn speech_band() -> Vec<f64> {
+    vec![250.0, 500.0, 1000.0, 2000.0, 4000.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_simkit::units::DbSpl;
+
+    fn arc_positions(radius: f64, n: usize) -> Vec<Vec3> {
+        // Sweep −60°..60° around the source axis (+y) at constant radius.
+        (0..n)
+            .map(|i| {
+                let a = (-60.0 + 120.0 * i as f64 / (n - 1) as f64).to_radians();
+                Vec3::new(radius * a.sin(), radius * a.cos(), 0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mouth_rolls_off_where_earphone_stays_flat() {
+        // The §IV-B2 discriminator: a mouth in a head shadows beyond ~40°
+        // off-axis; a bare earphone driver at the same position does not.
+        let mouth = AcousticSource::human_mouth(Vec3::ZERO, Vec3::Y);
+        let ear = AcousticSource {
+            side_shadow_db_per_rad: 0.0,
+            rear_shadow_db: 0.0,
+            ..AcousticSource::speaker(Vec3::ZERO, Vec3::Y, 0.003, DbSpl(70.0))
+        };
+        let pos = arc_positions(0.08, 21);
+        let band = speech_band();
+        let spread = |src: &AcousticSource| {
+            let s = sample_field(src, &pos, &band);
+            let levels: Vec<f64> = s.iter().map(|x| x.level.value()).collect();
+            levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - levels.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(
+            spread(&mouth) > spread(&ear) + 2.0,
+            "mouth spread {} should exceed earphone spread {}",
+            spread(&mouth),
+            spread(&ear)
+        );
+    }
+
+    #[test]
+    fn angles_are_computed_from_axis() {
+        let src = AcousticSource::human_mouth(Vec3::ZERO, Vec3::Y);
+        let s = sample_field(
+            &src,
+            &[Vec3::new(0.0, 0.1, 0.0), Vec3::new(0.1, 0.0, 0.0)],
+            &speech_band(),
+        );
+        assert!(s[0].angle_rad.abs() < 1e-9);
+        assert!((s[1].angle_rad - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_decays_with_distance() {
+        let src = AcousticSource::human_mouth(Vec3::ZERO, Vec3::Y);
+        let s = sample_field(
+            &src,
+            &[Vec3::new(0.0, 0.05, 0.0), Vec3::new(0.0, 0.20, 0.0)],
+            &speech_band(),
+        );
+        assert!(s[0].level.value() > s[1].level.value() + 10.0);
+    }
+
+    #[test]
+    fn empty_band_gives_floor() {
+        let src = AcousticSource::human_mouth(Vec3::ZERO, Vec3::Y);
+        let s = sample_field(&src, &[Vec3::new(0.0, 0.1, 0.0)], &[]);
+        assert_eq!(s[0].level.value(), -120.0);
+    }
+}

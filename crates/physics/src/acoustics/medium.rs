@@ -1,0 +1,60 @@
+//! Properties of the propagation medium (air).
+
+/// Speed of sound in air at 20 °C (m/s).
+pub const SPEED_OF_SOUND: f64 = 343.0;
+
+/// Air density at 20 °C (kg/m³).
+pub const AIR_DENSITY: f64 = 1.204;
+
+/// Wavelength (m) of a tone at `freq_hz`.
+///
+/// # Panics
+///
+/// Panics if `freq_hz <= 0`.
+pub fn wavelength(freq_hz: f64) -> f64 {
+    assert!(freq_hz > 0.0, "frequency must be positive");
+    SPEED_OF_SOUND / freq_hz
+}
+
+/// Wavenumber `k = 2πf/c` (rad/m).
+pub fn wavenumber(freq_hz: f64) -> f64 {
+    std::f64::consts::TAU * freq_hz / SPEED_OF_SOUND
+}
+
+/// Atmospheric absorption coefficient (dB per meter), simple parametric fit
+/// adequate below 20 kHz at room conditions: absorption grows roughly with
+/// f² and is ~0.1 dB/m at 10 kHz.
+pub fn air_absorption_db_per_m(freq_hz: f64) -> f64 {
+    1.0e-9 * freq_hz * freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pilot_tone_wavelength_under_3cm() {
+        // The paper picks fs > 16 kHz so λ < 3 cm (§IV-B1).
+        assert!(wavelength(16_000.0) < 0.03);
+        assert!(wavelength(18_000.0) < 0.02);
+    }
+
+    #[test]
+    fn wavenumber_consistency() {
+        let f = 1000.0;
+        assert!((wavenumber(f) * wavelength(f) - std::f64::consts::TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorption_grows_with_frequency() {
+        assert!(air_absorption_db_per_m(18_000.0) > air_absorption_db_per_m(1_000.0));
+        // Sub-dB per meter at speech distances.
+        assert!(air_absorption_db_per_m(18_000.0) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn wavelength_rejects_zero() {
+        wavelength(0.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Acoustic models: sources with aperture-dependent directivity, free-field
+//! propagation with exact path-length phase, and sound-tube waveguides.
+
+pub mod field;
+pub mod medium;
+pub mod piston;
+pub mod propagation;
+pub mod source;
+pub mod tube;

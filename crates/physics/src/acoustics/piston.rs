@@ -1,0 +1,154 @@
+//! Baffled circular piston directivity.
+//!
+//! The far-field pressure directivity of a circular piston of radius `a`
+//! at wavenumber `k` is
+//!
+//! ```text
+//! D(θ) = 2 J₁(ka·sinθ) / (ka·sinθ)
+//! ```
+//!
+//! Small apertures (earphone, ~6 mm) are nearly omnidirectional even at
+//! speech frequencies; a mouth-sized aperture (~25 mm) in a head baffle
+//! beams noticeably at high frequencies; a PC loudspeaker cone (40–80 mm)
+//! beams strongly. The sound-field verification component (§IV-B2) exploits
+//! exactly this aperture dependence: sweeping the phone across the source
+//! samples the directivity pattern, and an SVM separates mouth-like
+//! patterns from everything else (Fig. 7/8).
+
+use super::medium::wavenumber;
+
+/// Bessel function of the first kind, order 1 — rational approximations
+/// from Abramowitz & Stegun §9.4 (|error| < 1e-7 over the real line).
+pub fn bessel_j1(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 8.0 {
+        let y = x * x;
+        let p1 = x
+            * (72362614232.0
+                + y * (-7895059235.0
+                    + y * (242396853.1 + y * (-2972611.439 + y * (15704.48260 + y * -30.16036606)))));
+        let p2 = 144725228442.0
+            + y * (2300535178.0
+                + y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
+        p1 / p2
+    } else {
+        let z = 8.0 / ax;
+        let y = z * z;
+        let xx = ax - 2.356194491;
+        let p1 = 1.0
+            + y * (0.183105e-2
+                + y * (-0.3516396496e-4 + y * (0.2457520174e-5 + y * -0.240337019e-6)));
+        let p2 = 0.04687499995
+            + y * (-0.2002690873e-3
+                + y * (0.8449199096e-5 + y * (-0.88228987e-6 + y * 0.105787412e-6)));
+        let ans = (0.636619772 / ax).sqrt() * (xx.cos() * p1 - z * xx.sin() * p2);
+        if x < 0.0 {
+            -ans
+        } else {
+            ans
+        }
+    }
+}
+
+/// Piston pressure directivity `D(θ)` for aperture radius `a` (m) at
+/// `freq_hz`; `theta` is the angle off the piston axis (radians).
+///
+/// Returns 1.0 on axis; values may be negative in sidelobes (pressure
+/// inversion) — callers interested in level should take `abs()`.
+pub fn piston_directivity(aperture_radius_m: f64, freq_hz: f64, theta: f64) -> f64 {
+    let ka = wavenumber(freq_hz) * aperture_radius_m;
+    let arg = ka * theta.sin();
+    if arg.abs() < 1e-9 {
+        return 1.0;
+    }
+    2.0 * bessel_j1(arg) / arg
+}
+
+/// −6 dB half-beamwidth (radians) of a piston: the angle where |D| first
+/// drops to 0.5. Returns `π/2` for apertures too small to beam.
+pub fn half_beamwidth(aperture_radius_m: f64, freq_hz: f64) -> f64 {
+    let mut lo = 0.0f64;
+    let mut hi = std::f64::consts::FRAC_PI_2;
+    if piston_directivity(aperture_radius_m, freq_hz, hi).abs() > 0.5 {
+        return hi;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if piston_directivity(aperture_radius_m, freq_hz, mid).abs() > 0.5 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bessel_j1_reference_values() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (1.0, 0.4400505857),
+            (2.0, 0.5767248078),
+            (5.0, -0.3275791376),
+            (10.0, 0.0434727462),
+        ];
+        for (x, expected) in cases {
+            assert!(
+                (bessel_j1(x) - expected).abs() < 1e-6,
+                "J1({x}) = {} != {expected}",
+                bessel_j1(x)
+            );
+        }
+    }
+
+    #[test]
+    fn bessel_j1_is_odd() {
+        for &x in &[0.5, 1.7, 9.3, 20.0] {
+            assert!((bessel_j1(-x) + bessel_j1(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn on_axis_directivity_is_unity() {
+        assert_eq!(piston_directivity(0.02, 4000.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn small_aperture_is_omnidirectional() {
+        // 6 mm earphone at 2 kHz: nearly flat to 90°.
+        let d = piston_directivity(0.003, 2000.0, std::f64::consts::FRAC_PI_2);
+        assert!(d > 0.95, "earphone should not beam: {d}");
+    }
+
+    #[test]
+    fn large_aperture_beams() {
+        // 6 cm cone at 4 kHz: strong rolloff at 60°.
+        let d = piston_directivity(0.06, 4000.0, 60f64.to_radians()).abs();
+        assert!(d < 0.4, "cone should beam: {d}");
+    }
+
+    #[test]
+    fn beamwidth_shrinks_with_aperture() {
+        let small = half_beamwidth(0.003, 4000.0);
+        let mouth = half_beamwidth(0.0125, 4000.0);
+        let cone = half_beamwidth(0.06, 4000.0);
+        assert!(small >= mouth && mouth > cone, "{small} {mouth} {cone}");
+    }
+
+    #[test]
+    fn beamwidth_shrinks_with_frequency() {
+        // Use a cone-sized aperture so both frequencies actually beam.
+        let lo = half_beamwidth(0.06, 4000.0);
+        let hi = half_beamwidth(0.06, 8000.0);
+        assert!(hi < lo, "beamwidth at 8 kHz {hi} should be under 4 kHz {lo}");
+        // Rayleigh estimate: half-beam ≈ asin(2.2 / ka).
+        let ka = super::super::medium::wavenumber(4000.0) * 0.06;
+        let expected = (2.2 / ka).asin();
+        assert!((lo - expected).abs() < 0.05, "lo {lo} vs expected {expected}");
+    }
+}

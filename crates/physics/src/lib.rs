@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # magshield-physics
+//!
+//! First-principles physical models standing in for the hardware testbed of
+//! the ICDCS 2017 paper:
+//!
+//! * [`magnetics`] — magnetic dipole fields (loudspeaker drivers), Earth's
+//!   field, Mu-metal shielding, environmental EMF interference (computer /
+//!   car, Fig. 14), and scene superposition sampled along a phone
+//!   trajectory;
+//! * [`acoustics`] — baffled-piston sound sources (human mouth vs. earphone
+//!   vs. PC speaker apertures, Fig. 7/8), spherical spreading, air
+//!   absorption, sound-tube waveguides (§VII), and pilot-tone propagation
+//!   with exact path-length phase for the ranging stack.
+//!
+//! The models are deliberately low-order — dipoles, pistons, comb filters —
+//! because the paper's detectors key on low-order structure: 1/r³ field
+//! decay, aperture-dependent directivity, resonant coloration. Calibration
+//! constants are chosen to match the paper's reported magnitudes (30–210 µT
+//! loudspeaker near fields, Fig. 10; detection collapse beyond ~10 cm,
+//! Fig. 12).
+
+pub mod acoustics;
+pub mod magnetics;
+
+pub use acoustics::source::AcousticSource;
+pub use magnetics::dipole::MagneticDipole;
+pub use magnetics::scene::MagneticScene;

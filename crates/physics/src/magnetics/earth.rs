@@ -1,0 +1,77 @@
+//! Earth's geomagnetic field.
+//!
+//! Indoors the Earth field is a quasi-static ~25–65 µT vector; it is the
+//! baseline every magnetometer reading rides on, and the reason the
+//! loudspeaker detector works on *deviation and changing rate* rather than
+//! absolute magnitude alone.
+
+use magshield_simkit::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A locally uniform geomagnetic field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarthField {
+    /// Field vector in µT, in the scene frame (x east, y north, z up).
+    pub field_ut: Vec3,
+}
+
+impl EarthField {
+    /// Mid-latitude default: ~48 µT total, 60° inclination (downward),
+    /// pointing magnetic north.
+    pub fn typical() -> Self {
+        let total = 48.0;
+        let incl = 60f64.to_radians();
+        Self {
+            field_ut: Vec3::new(0.0, total * incl.cos(), -total * incl.sin()),
+        }
+    }
+
+    /// Creates a field with explicit horizontal magnitude, declination from
+    /// the scene +y axis (radians), and vertical (downward-positive)
+    /// component, all in µT.
+    pub fn from_components(horizontal_ut: f64, declination_rad: f64, down_ut: f64) -> Self {
+        Self {
+            field_ut: Vec3::new(
+                horizontal_ut * declination_rad.sin(),
+                horizontal_ut * declination_rad.cos(),
+                -down_ut,
+            ),
+        }
+    }
+
+    /// The (position-independent) field vector in µT.
+    pub fn field_at(&self) -> Vec3 {
+        self.field_ut
+    }
+}
+
+impl Default for EarthField {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_magnitude_in_band() {
+        let e = EarthField::typical();
+        let b = e.field_at().norm();
+        assert!((25.0..=65.0).contains(&b), "Earth field {b} µT out of band");
+    }
+
+    #[test]
+    fn typical_points_down_in_northern_hemisphere() {
+        assert!(EarthField::typical().field_at().z < 0.0);
+    }
+
+    #[test]
+    fn components_constructor() {
+        let e = EarthField::from_components(20.0, 0.0, 40.0);
+        assert!((e.field_at().y - 20.0).abs() < 1e-12);
+        assert!((e.field_at().z + 40.0).abs() < 1e-12);
+        assert!((e.field_at().norm() - (20f64 * 20.0 + 1600.0).sqrt()).abs() < 1e-9);
+    }
+}

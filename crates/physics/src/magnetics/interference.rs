@@ -1,0 +1,235 @@
+//! Environmental EMF interference — §VI "Environmental Magnetic
+//! Interference" (Fig. 14).
+//!
+//! The paper evaluates two hostile environments: next to an iMac (average
+//! exposure 500–2500 µW/m² at 30 cm) and in a car's front seat. For the
+//! magnetometer what matters is the *low-frequency magnetic noise* these
+//! electronics inject, which masks or mimics a loudspeaker signature and
+//! inflates the false-rejection rate. We model an environment as a set of
+//! point interference sources (mains-harmonic + broadband noise whose
+//! amplitude decays as 1/r²) plus an isotropic ambient noise floor.
+
+use magshield_simkit::noise::{MainsHum, NoiseSource, WhiteNoise};
+use magshield_simkit::rng::SimRng;
+use magshield_simkit::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A localized EMF emitter (computer, dashboard electronics, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmfSource {
+    /// Emitter position (meters).
+    pub position: Vec3,
+    /// RMS magnetic noise (µT) measured at the 30 cm reference distance —
+    /// matching how the paper characterizes the iMac with an RF meter at
+    /// 30 cm.
+    pub noise_ut_at_30cm: f64,
+    /// Mains fundamental (Hz); harmonics ride on top.
+    pub mains_hz: f64,
+    /// Fraction of the noise power that is broadband (vs. mains-locked).
+    pub broadband_fraction: f64,
+}
+
+impl EmfSource {
+    /// RMS noise amplitude (µT) at `point`, using 1/r² decay from the 30 cm
+    /// reference (induced near fields of extended circuitry decay slower
+    /// than a dipole).
+    pub fn noise_rms_at(&self, point: Vec3) -> f64 {
+        let r = (point - self.position).norm().max(0.05);
+        self.noise_ut_at_30cm * (0.30 / r).powi(2)
+    }
+}
+
+/// A complete interference environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmfEnvironment {
+    /// Localized emitters.
+    pub sources: Vec<EmfSource>,
+    /// Isotropic ambient magnetic noise floor (µT RMS) — building wiring,
+    /// distant appliances. A quiet lab is ~0.05–0.2 µT.
+    pub ambient_noise_ut: f64,
+}
+
+impl EmfEnvironment {
+    /// A quiet laboratory/office — the paper's baseline test environment.
+    pub fn quiet() -> Self {
+        Self {
+            sources: Vec::new(),
+            ambient_noise_ut: 0.08,
+        }
+    }
+
+    /// "Near a computer": an iMac 27" class emitter at `position`.
+    ///
+    /// Calibrated so the magnetometer sees a few µT of noise when the phone
+    /// trajectory approaches within ~10 cm of the screen, reproducing the
+    /// Fig. 14(a) FRR spike, while 30+ cm away the effect is mild.
+    pub fn near_computer(position: Vec3) -> Self {
+        Self {
+            sources: vec![EmfSource {
+                position,
+                noise_ut_at_30cm: 0.45,
+                mains_hz: 60.0,
+                broadband_fraction: 0.35,
+            }],
+            ambient_noise_ut: 0.1,
+        }
+    }
+
+    /// "In a car's front seat" (Hyundai Sonata class): electronics all
+    /// around, so a high ambient floor plus a dashboard emitter. The paper
+    /// reports FRR of 29–50 % across all distances here (Fig. 14(b)).
+    pub fn in_car() -> Self {
+        Self {
+            sources: vec![
+                EmfSource {
+                    position: Vec3::new(0.0, 0.40, 0.0),
+                    noise_ut_at_30cm: 1.0,
+                    mains_hz: 50.0,
+                    broadband_fraction: 0.6,
+                },
+                EmfSource {
+                    position: Vec3::new(-0.45, 0.0, -0.3),
+                    noise_ut_at_30cm: 0.7,
+                    mains_hz: 50.0,
+                    broadband_fraction: 0.6,
+                },
+            ],
+            ambient_noise_ut: 0.55,
+        }
+    }
+
+    /// Total interference RMS (µT) at a point — used by adaptive
+    /// thresholding to calibrate the environment (§VII).
+    pub fn noise_rms_at(&self, point: Vec3) -> f64 {
+        let source_power: f64 = self
+            .sources
+            .iter()
+            .map(|s| s.noise_rms_at(point).powi(2))
+            .sum();
+        (source_power + self.ambient_noise_ut.powi(2)).sqrt()
+    }
+
+    /// Generates per-sample vector interference (µT) along a trajectory of
+    /// `positions` sampled at `sample_rate`.
+    pub fn noise_along(
+        &self,
+        positions: &[Vec3],
+        sample_rate: f64,
+        rng: &SimRng,
+    ) -> Vec<Vec3> {
+        let mut axes: Vec<(WhiteNoise, MainsHum)> = (0..3)
+            .map(|axis| {
+                let white = WhiteNoise::new(rng.fork_indexed("emf-white", axis), 1.0);
+                // Randomize the hum phase per axis via harmonic amplitudes.
+                let mut hrng = rng.fork_indexed("emf-hum", axis);
+                let fundamental = self.sources.first().map_or(60.0, |s| s.mains_hz);
+                let amps = vec![
+                    1.0,
+                    0.4 + 0.2 * hrng.uniform(0.0, 1.0),
+                    0.2 * hrng.uniform(0.0, 1.0),
+                ];
+                (white, MainsHum::new(fundamental, amps, sample_rate))
+            })
+            .collect();
+        // Mains hum normalization: RMS of the harmonic stack ≈ sqrt(Σa²/2).
+        let hum_rms: f64 = {
+            let a0: f64 = 1.0;
+            (a0 * a0 / 2.0 + 0.25f64 / 2.0 + 0.01 / 2.0).sqrt()
+        };
+        positions
+            .iter()
+            .map(|&p| {
+                let rms = self.noise_rms_at(p);
+                let bb = self
+                    .sources
+                    .first()
+                    .map_or(1.0, |s| s.broadband_fraction.clamp(0.0, 1.0));
+                let bb_amp = rms * bb.sqrt();
+                let hum_amp = rms * (1.0 - bb).sqrt() / hum_rms;
+                let mut v = [0.0; 3];
+                for (axis, slot) in v.iter_mut().enumerate() {
+                    let (white, hum) = &mut axes[axis];
+                    *slot = bb_amp * white.next_sample() + hum_amp * hum.next_sample();
+                }
+                Vec3::new(v[0], v[1], v[2])
+            })
+            .collect()
+    }
+}
+
+impl Default for EmfEnvironment {
+    fn default() -> Self {
+        Self::quiet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_environment_noise_is_small() {
+        let env = EmfEnvironment::quiet();
+        assert!(env.noise_rms_at(Vec3::ZERO) < 0.2);
+    }
+
+    #[test]
+    fn computer_noise_grows_near_screen() {
+        let env = EmfEnvironment::near_computer(Vec3::new(0.0, 0.30, 0.0));
+        let far = env.noise_rms_at(Vec3::new(0.0, -0.2, 0.0));
+        let near = env.noise_rms_at(Vec3::new(0.0, 0.22, 0.0));
+        assert!(near > far * 4.0, "near {near} vs far {far}");
+        assert!(near > 1.0, "near-screen interference should be µT-scale: {near}");
+    }
+
+    #[test]
+    fn car_is_noisy_everywhere() {
+        let env = EmfEnvironment::in_car();
+        for &p in &[
+            Vec3::ZERO,
+            Vec3::new(0.1, 0.1, 0.0),
+            Vec3::new(-0.1, 0.2, 0.1),
+        ] {
+            assert!(env.noise_rms_at(p) > 0.5, "car noise at {p:?}");
+        }
+    }
+
+    #[test]
+    fn noise_series_rms_tracks_prediction() {
+        let env = EmfEnvironment::in_car();
+        let rng = SimRng::from_seed(77);
+        let p = Vec3::new(0.05, 0.1, 0.0);
+        let positions = vec![p; 4000];
+        let noise = env.noise_along(&positions, 100.0, &rng);
+        let rms = (noise.iter().map(|v| v.norm_squared() / 3.0).sum::<f64>()
+            / noise.len() as f64)
+            .sqrt();
+        let predicted = env.noise_rms_at(p);
+        assert!(
+            (rms / predicted - 1.0).abs() < 0.35,
+            "rms {rms} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let env = EmfEnvironment::near_computer(Vec3::new(0.0, 0.3, 0.0));
+        let rng = SimRng::from_seed(5);
+        let pos = vec![Vec3::ZERO; 64];
+        let a = env.noise_along(&pos, 100.0, &rng);
+        let b = env.noise_along(&pos, 100.0, &rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_distance_clamp_prevents_blowup() {
+        let s = EmfSource {
+            position: Vec3::ZERO,
+            noise_ut_at_30cm: 1.0,
+            mains_hz: 60.0,
+            broadband_fraction: 0.5,
+        };
+        assert!(s.noise_rms_at(Vec3::ZERO).is_finite());
+        assert!(s.noise_rms_at(Vec3::ZERO) <= 36.0 + 1e-9);
+    }
+}

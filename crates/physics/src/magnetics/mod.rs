@@ -1,0 +1,11 @@
+//! Magnetic-field models: dipoles, Earth field, shielding, interference,
+//! and scene superposition.
+
+pub mod dipole;
+pub mod earth;
+pub mod interference;
+pub mod scene;
+pub mod shielding;
+
+/// µ0 / 4π in SI units (T·m/A).
+pub const MU0_OVER_4PI: f64 = 1e-7;

@@ -1,0 +1,210 @@
+//! Magnetic scene: superposition of Earth field, driven loudspeaker
+//! dipoles, shielded sources and environmental interference, sampled along
+//! a phone trajectory.
+//!
+//! This is the "world" the magnetometer model observes. A genuine session
+//! has a scene with no driver dipole near the mouth; a machine-based attack
+//! adds a [`DrivenDipole`] at the sound-source position.
+
+use super::dipole::MagneticDipole;
+use super::earth::EarthField;
+use super::interference::EmfEnvironment;
+use super::shielding::Shield;
+use magshield_simkit::rng::SimRng;
+use magshield_simkit::vec3::Vec3;
+
+/// A loudspeaker driver: permanent magnet plus an audio-driven voice coil.
+///
+/// The coil's field is proportional to the drive current, i.e. to the audio
+/// waveform; its magnitude is a small fraction of the permanent magnet's
+/// but it is what makes the reading *fluctuate while sound plays* — the
+/// changing-rate signature the paper thresholds with `βt`.
+#[derive(Debug, Clone)]
+pub struct DrivenDipole {
+    /// The permanent-magnet dipole.
+    pub magnet: MagneticDipole,
+    /// Coil moment amplitude as a fraction of the magnet moment at full
+    /// drive (|audio| = 1).
+    pub coil_fraction: f64,
+    /// Audio drive waveform resampled to the magnetometer rate; empty means
+    /// undriven.
+    pub drive: Vec<f64>,
+    /// Optional shield around the driver.
+    pub shield: Shield,
+}
+
+impl DrivenDipole {
+    /// An unshielded driver with a typical 2 % coil fraction.
+    pub fn new(magnet: MagneticDipole, drive: Vec<f64>) -> Self {
+        Self {
+            magnet,
+            coil_fraction: 0.02,
+            drive,
+            shield: Shield::none(),
+        }
+    }
+
+    /// Wraps the driver in a shield.
+    pub fn shielded(mut self, shield: Shield) -> Self {
+        self.shield = shield;
+        self
+    }
+
+    /// Instantaneous dipole including coil modulation at sample `i`.
+    fn dipole_at_sample(&self, i: usize) -> MagneticDipole {
+        let drive = self.drive.get(i).copied().unwrap_or(0.0);
+        MagneticDipole::new(
+            self.magnet.position,
+            self.magnet.moment * (1.0 + self.coil_fraction * drive),
+        )
+    }
+
+    /// Field (µT) at `point` for sample index `i`, given ambient field for
+    /// the shield's induced moment.
+    pub fn field_at(&self, point: Vec3, i: usize, ambient_ut: Vec3) -> Vec3 {
+        self.shield
+            .field_at(self.dipole_at_sample(i), ambient_ut, point)
+    }
+}
+
+/// The complete magnetic world for one verification session.
+#[derive(Debug, Clone, Default)]
+pub struct MagneticScene {
+    /// Geomagnetic background.
+    pub earth: EarthField,
+    /// Static dipoles (furniture, fixed magnets).
+    pub static_dipoles: Vec<MagneticDipole>,
+    /// Audio-driven loudspeakers (present only in machine-based attacks).
+    pub drivers: Vec<DrivenDipole>,
+    /// Environmental EMF interference.
+    pub environment: EmfEnvironment,
+}
+
+impl MagneticScene {
+    /// A quiet scene with only the Earth field — the genuine-user baseline.
+    pub fn quiet() -> Self {
+        Self {
+            earth: EarthField::typical(),
+            static_dipoles: Vec::new(),
+            drivers: Vec::new(),
+            environment: EmfEnvironment::quiet(),
+        }
+    }
+
+    /// Adds a driven loudspeaker.
+    pub fn with_driver(mut self, driver: DrivenDipole) -> Self {
+        self.drivers.push(driver);
+        self
+    }
+
+    /// Replaces the interference environment.
+    pub fn with_environment(mut self, env: EmfEnvironment) -> Self {
+        self.environment = env;
+        self
+    }
+
+    /// Deterministic (noise-free) field at `point` for sample index `i`.
+    pub fn field_at(&self, point: Vec3, i: usize) -> Vec3 {
+        let ambient = self.earth.field_at();
+        let mut b = ambient;
+        for d in &self.static_dipoles {
+            b += d.field_at(point);
+        }
+        for drv in &self.drivers {
+            b += drv.field_at(point, i, ambient);
+        }
+        b
+    }
+
+    /// Samples the total field (µT), including stochastic interference,
+    /// at each position of a trajectory sampled at `sample_rate`.
+    pub fn sample_along(
+        &self,
+        positions: &[Vec3],
+        sample_rate: f64,
+        rng: &SimRng,
+    ) -> Vec<Vec3> {
+        let noise = self
+            .environment
+            .noise_along(positions, sample_rate, &rng.fork("scene-emf"));
+        positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| self.field_at(p, i) + noise[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approach_trajectory(n: usize, from: Vec3, to: Vec3) -> Vec<Vec3> {
+        (0..n)
+            .map(|i| from.lerp(to, i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn quiet_scene_reads_earth_field() {
+        let scene = MagneticScene::quiet();
+        let b = scene.field_at(Vec3::new(0.1, 0.2, 0.3), 0);
+        assert!((b.norm() - EarthField::typical().field_at().norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approaching_a_speaker_raises_the_reading() {
+        let magnet = MagneticDipole::calibrated(Vec3::ZERO, Vec3::Y, 120.0, 0.03);
+        let scene = MagneticScene::quiet().with_driver(DrivenDipole::new(magnet, Vec::new()));
+        let far = scene.field_at(Vec3::new(0.0, -0.20, 0.0), 0).norm();
+        let near = scene.field_at(Vec3::new(0.0, -0.03, 0.0), 0).norm();
+        let earth = EarthField::typical().field_at().norm();
+        assert!((far - earth).abs() < 3.0, "at 20 cm the speaker is invisible");
+        assert!(near > earth + 50.0, "at 3 cm the speaker dominates: {near}");
+    }
+
+    #[test]
+    fn coil_drive_modulates_field() {
+        let magnet = MagneticDipole::calibrated(Vec3::ZERO, Vec3::Y, 120.0, 0.03);
+        let drive: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+        let scene = MagneticScene::quiet().with_driver(DrivenDipole::new(magnet, drive));
+        let p = Vec3::new(0.0, -0.03, 0.0);
+        let readings: Vec<f64> = (0..100).map(|i| scene.field_at(p, i).norm()).collect();
+        let min = readings.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = readings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 1.0, "coil modulation should be visible: {}", max - min);
+    }
+
+    #[test]
+    fn sample_along_adds_interference() {
+        let scene = MagneticScene::quiet().with_environment(EmfEnvironment::in_car());
+        let traj = approach_trajectory(500, Vec3::new(0.0, -0.2, 0.0), Vec3::new(0.0, -0.04, 0.0));
+        let rng = SimRng::from_seed(3);
+        let samples = scene.sample_along(&traj, 100.0, &rng);
+        let earth = EarthField::typical().field_at();
+        let dev: f64 = samples
+            .iter()
+            .map(|b| (*b - earth).norm_squared())
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(dev.sqrt() > 0.4, "car interference should perturb readings");
+    }
+
+    #[test]
+    fn sample_along_is_reproducible() {
+        let scene = MagneticScene::quiet().with_environment(EmfEnvironment::in_car());
+        let traj = approach_trajectory(64, Vec3::new(0.0, -0.2, 0.0), Vec3::new(0.0, -0.04, 0.0));
+        let a = scene.sample_along(&traj, 100.0, &SimRng::from_seed(10));
+        let b = scene.sample_along(&traj, 100.0, &SimRng::from_seed(10));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drive_shorter_than_trajectory_is_padded() {
+        let magnet = MagneticDipole::calibrated(Vec3::ZERO, Vec3::Y, 100.0, 0.03);
+        let scene = MagneticScene::quiet().with_driver(DrivenDipole::new(magnet, vec![1.0; 3]));
+        // Sample index beyond the drive length must not panic.
+        let b = scene.field_at(Vec3::new(0.0, -0.05, 0.0), 1000);
+        assert!(b.is_finite());
+    }
+}

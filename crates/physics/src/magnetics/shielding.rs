@@ -1,0 +1,121 @@
+//! Magnetic shielding (Mu-metal enclosures) — §VI "Magnetic Field
+//! Shielding" of the paper.
+//!
+//! A high-permeability enclosure routes flux through its walls, reducing
+//! the external dipole field by a *shielding effectiveness* factor. Two
+//! effects keep a shielded loudspeaker detectable at very short range
+//! (which is why Fig. 12(b) still shows zero error at ≤ 6 cm):
+//!
+//! 1. leakage — practical enclosures have openings (the sound must get
+//!    out), so effectiveness is finite (the paper's data at 8 cm implies
+//!    roughly an order of magnitude reduction);
+//! 2. the enclosure itself is a lump of ferromagnetic metal that perturbs
+//!    the ambient (Earth) field — a *soft-iron* induced-moment signature a
+//!    magnetometer notices as an anomaly when it comes close, as the paper
+//!    notes ("the magnetometer can detect both the magnet and the metal").
+
+use super::dipole::MagneticDipole;
+use magshield_simkit::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A Mu-metal (or other) shield placed around a dipole source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shield {
+    /// Field attenuation factor applied to the enclosed dipole's moment
+    /// (e.g. `0.08` = −22 dB leakage).
+    pub leakage: f64,
+    /// Effective induced soft-iron moment per unit ambient field
+    /// (A·m² per µT), modeling the enclosure metal.
+    pub induced_moment_per_ut: f64,
+}
+
+impl Shield {
+    /// A Mu-metal box representative of the paper's experiment.
+    ///
+    /// The leakage factor is calibrated against Fig. 12(b): with shielding,
+    /// FAR at 8 cm rises only from 5.3 % to 8 %, i.e. the *practical*
+    /// enclosure (which must have a sound opening) attenuates the external
+    /// field by a modest factor, not the 40–60 dB of a sealed lab shield.
+    /// A leakage of 0.30 plus the induced soft-iron signature of the box
+    /// reproduces the paper's crossover: detectable at ≤ 6 cm, degrading
+    /// from 8 cm outward.
+    pub fn mu_metal() -> Self {
+        Self {
+            leakage: 0.30,
+            induced_moment_per_ut: 2.4e-5,
+        }
+    }
+
+    /// No shield (identity).
+    pub fn none() -> Self {
+        Self {
+            leakage: 1.0,
+            induced_moment_per_ut: 0.0,
+        }
+    }
+
+    /// The leaked (attenuated) version of `source`.
+    pub fn leaked_dipole(&self, source: MagneticDipole) -> MagneticDipole {
+        MagneticDipole::new(source.position, source.moment * self.leakage)
+    }
+
+    /// The soft-iron dipole induced in the enclosure by `ambient_ut` (µT).
+    pub fn induced_dipole(&self, position: Vec3, ambient_ut: Vec3) -> MagneticDipole {
+        MagneticDipole::new(position, ambient_ut * self.induced_moment_per_ut)
+    }
+
+    /// Total external field (µT) of the shielded source at `point`, given
+    /// the local ambient field `ambient_ut`.
+    pub fn field_at(&self, source: MagneticDipole, ambient_ut: Vec3, point: Vec3) -> Vec3 {
+        self.leaked_dipole(source).field_at(point)
+            + self.induced_dipole(source.position, ambient_ut).field_at(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speaker() -> MagneticDipole {
+        MagneticDipole::calibrated(Vec3::ZERO, Vec3::Z, 120.0, 0.03)
+    }
+
+    #[test]
+    fn shield_attenuates_far_field() {
+        let s = Shield::mu_metal();
+        let p = Vec3::new(0.0, 0.0, 0.10);
+        let bare = speaker().field_at(p).norm();
+        let shielded = s.field_at(speaker(), Vec3::new(0.0, 20.0, -40.0), p).norm();
+        assert!(
+            shielded < bare * 0.45,
+            "shielded {shielded} µT vs bare {bare} µT"
+        );
+    }
+
+    #[test]
+    fn shielded_source_still_detectable_close() {
+        // Fig. 12(b): zero error at ≤ 6 cm because leakage + induced metal
+        // still stand out over the sensor noise (~1 µT) near the box.
+        let s = Shield::mu_metal();
+        let p = Vec3::new(0.0, 0.0, 0.04);
+        let b = s.field_at(speaker(), Vec3::new(0.0, 20.0, -40.0), p).norm();
+        assert!(b > 3.0, "shielded box at 4 cm should still perturb: {b} µT");
+    }
+
+    #[test]
+    fn no_shield_is_identity() {
+        let s = Shield::none();
+        let p = Vec3::new(0.01, 0.02, 0.05);
+        let a = s.field_at(speaker(), Vec3::ZERO, p);
+        let b = speaker().field_at(p);
+        assert!((a - b).norm() < 1e-12);
+    }
+
+    #[test]
+    fn induced_moment_follows_ambient() {
+        let s = Shield::mu_metal();
+        let d = s.induced_dipole(Vec3::ZERO, Vec3::new(0.0, 48.0, 0.0));
+        assert!(d.moment.y > 0.0);
+        assert_eq!(d.moment.x, 0.0);
+    }
+}

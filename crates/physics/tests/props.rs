@@ -1,0 +1,101 @@
+//! Property-based tests for the physics substrates.
+
+use magshield_physics::acoustics::medium::{wavelength, wavenumber, SPEED_OF_SOUND};
+use magshield_physics::acoustics::piston::{bessel_j1, piston_directivity};
+use magshield_physics::acoustics::source::AcousticSource;
+use magshield_physics::acoustics::tube::SoundTube;
+use magshield_physics::magnetics::dipole::MagneticDipole;
+use magshield_physics::magnetics::shielding::Shield;
+use magshield_simkit::units::DbSpl;
+use magshield_simkit::vec3::Vec3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dipole superposition: the field of two dipoles is the sum of the
+    /// fields (linearity of magnetostatics).
+    #[test]
+    fn dipole_superposition(
+        m1 in 0.001f64..0.05, m2 in 0.001f64..0.05,
+        px in -0.3f64..0.3, py in 0.05f64..0.3, pz in -0.3f64..0.3,
+    ) {
+        let a = MagneticDipole::new(Vec3::ZERO, Vec3::Z * m1);
+        let b = MagneticDipole::new(Vec3::new(0.1, 0.0, 0.0), Vec3::Y * m2);
+        let p = Vec3::new(px, py, pz);
+        let sum = a.field_at(p) + b.field_at(p);
+        let combined = MagneticDipole::new(Vec3::ZERO, Vec3::Z * m1).field_at(p)
+            + MagneticDipole::new(Vec3::new(0.1, 0.0, 0.0), Vec3::Y * m2).field_at(p);
+        prop_assert!((sum - combined).norm() < 1e-9);
+        // Field scales linearly with the moment.
+        let double = MagneticDipole::new(Vec3::ZERO, Vec3::Z * (2.0 * m1)).field_at(p);
+        prop_assert!((double - a.field_at(p) * 2.0).norm() < 1e-9 * (1.0 + double.norm()));
+    }
+
+    /// Calibration round-trip: a dipole calibrated to B µT at r reads B at r.
+    #[test]
+    fn dipole_calibration_round_trip(b_ut in 1.0f64..500.0, r in 0.02f64..0.2) {
+        let d = MagneticDipole::calibrated(Vec3::ZERO, Vec3::Y, b_ut, r);
+        let read = d.field_at(Vec3::new(0.0, r, 0.0)).norm();
+        prop_assert!((read - b_ut).abs() < 1e-6 * b_ut);
+    }
+
+    /// Shield leakage is always an attenuation (≤ 1) of the bare far field
+    /// when the ambient field is zero.
+    #[test]
+    fn shield_attenuates(b_ut in 10.0f64..300.0, r in 0.03f64..0.3) {
+        let src = MagneticDipole::calibrated(Vec3::ZERO, Vec3::Y, b_ut, 0.03);
+        let s = Shield::mu_metal();
+        let p = Vec3::new(0.0, r, 0.0);
+        let bare = src.field_at(p).norm();
+        let shielded = s.field_at(src, Vec3::ZERO, p).norm();
+        prop_assert!(shielded <= bare + 1e-9);
+    }
+
+    /// J1 stays bounded (|J1| ≤ 0.59) and the directivity never exceeds 1.
+    #[test]
+    fn piston_directivity_bounded(a in 0.001f64..0.2, f in 100.0f64..20_000.0, theta in 0.0f64..1.57) {
+        prop_assert!(bessel_j1(wavenumber(f) * a).abs() < 0.6);
+        let d = piston_directivity(a, f, theta);
+        prop_assert!(d.abs() <= 1.0 + 1e-9);
+        prop_assert!(piston_directivity(a, f, 0.0) == 1.0);
+    }
+
+    /// Wavelength × frequency = speed of sound.
+    #[test]
+    fn dispersionless_medium(f in 20.0f64..24_000.0) {
+        prop_assert!((wavelength(f) * f - SPEED_OF_SOUND).abs() < 1e-9);
+    }
+
+    /// Source gain decays monotonically with on-axis distance.
+    #[test]
+    fn source_gain_monotone(f in 200.0f64..8000.0) {
+        let s = AcousticSource::human_mouth(Vec3::ZERO, Vec3::Y);
+        let mut prev = f64::INFINITY;
+        for k in 1..10 {
+            let g = s.gain_at(Vec3::new(0.0, 0.03 * k as f64, 0.0), f);
+            prop_assert!(g <= prev + 1e-12);
+            prev = g;
+        }
+    }
+
+    /// Speaker SPL at the reference point equals the configured level at
+    /// low frequency, for any aperture.
+    #[test]
+    fn speaker_reference_level(a in 0.003f64..0.08, level in 50.0f64..90.0) {
+        let s = AcousticSource::speaker(Vec3::ZERO, Vec3::Y, a, DbSpl(level));
+        let spl = s.spl_at(Vec3::new(0.0, 0.10, 0.0), 100.0).value();
+        prop_assert!((spl - level).abs() < 0.5, "spl {spl} vs level {level}");
+    }
+
+    /// Tube transmission gain is in (0, 1] and the resonance count grows
+    /// with length.
+    #[test]
+    fn tube_sanity(len in 0.05f64..0.5, bore in 0.004f64..0.02, f in 100.0f64..4000.0) {
+        let t = SoundTube::new(len, bore);
+        let g = t.transmission_gain(f);
+        prop_assert!(g > 0.0 && g <= 1.0 + 1e-9);
+        let short = SoundTube::new(len / 2.0, bore);
+        prop_assert!(t.resonances(4000.0).len() >= short.resonances(4000.0).len());
+    }
+}

@@ -1,0 +1,208 @@
+//! Inertial sensors: accelerometer and gyroscope.
+//!
+//! The trajectory reconstruction (§IV-B1) jointly uses the magnetometer,
+//! gyroscope and accelerometer to obtain the phone's direction change Δω
+//! and correlate motion with the acoustic phase track. These models add the
+//! error sources that make IMU-only dead reckoning drift: constant bias,
+//! bias random walk, and white noise.
+
+use magshield_simkit::noise::{NoiseSource, RandomWalk};
+use magshield_simkit::rng::SimRng;
+use magshield_simkit::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Standard gravity (m/s²).
+pub const GRAVITY: f64 = 9.80665;
+
+/// Accelerometer behavioral parameters (consumer MEMS class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccelerometerSpec {
+    /// Sample rate (Hz).
+    pub sample_rate_hz: f64,
+    /// White noise std per axis (m/s²).
+    pub noise_std: f64,
+    /// Constant bias magnitude (m/s²).
+    pub bias: f64,
+    /// Bias random-walk step std per sample (m/s²).
+    pub bias_walk_std: f64,
+}
+
+impl Default for AccelerometerSpec {
+    fn default() -> Self {
+        Self {
+            sample_rate_hz: 100.0,
+            noise_std: 0.03,
+            bias: 0.05,
+            bias_walk_std: 2e-5,
+        }
+    }
+}
+
+/// A MEMS accelerometer instance.
+#[derive(Debug, Clone)]
+pub struct Accelerometer {
+    spec: AccelerometerSpec,
+    bias_walks: [RandomWalk; 3],
+    rng: SimRng,
+}
+
+impl Accelerometer {
+    /// Creates an accelerometer with its own bias realization.
+    pub fn new(spec: AccelerometerSpec, rng: SimRng) -> Self {
+        let mut brng = rng.fork("accel-bias");
+        let mk = |i: u64, b: f64| {
+            RandomWalk::new(rng.fork_indexed("accel-walk", i), b, spec.bias_walk_std)
+        };
+        let b0 = brng.gauss(0.0, spec.bias);
+        let b1 = brng.gauss(0.0, spec.bias);
+        let b2 = brng.gauss(0.0, spec.bias);
+        Self {
+            spec,
+            bias_walks: [mk(0, b0), mk(1, b1), mk(2, b2)],
+            rng: rng.fork("accel-noise"),
+        }
+    }
+
+    /// Sample rate (Hz).
+    pub fn sample_rate(&self) -> f64 {
+        self.spec.sample_rate_hz
+    }
+
+    /// Converts a true *specific force* (body acceleration minus gravity
+    /// vector, in the sensor frame) into a reading.
+    pub fn read(&mut self, specific_force: Vec3) -> Vec3 {
+        let b = Vec3::new(
+            self.bias_walks[0].next_sample(),
+            self.bias_walks[1].next_sample(),
+            self.bias_walks[2].next_sample(),
+        );
+        specific_force
+            + b
+            + Vec3::new(
+                self.rng.gauss(0.0, self.spec.noise_std),
+                self.rng.gauss(0.0, self.spec.noise_std),
+                self.rng.gauss(0.0, self.spec.noise_std),
+            )
+    }
+
+    /// Reads a series of true specific forces.
+    pub fn read_series(&mut self, forces: &[Vec3]) -> Vec<Vec3> {
+        forces.iter().map(|&f| self.read(f)).collect()
+    }
+}
+
+/// Gyroscope behavioral parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GyroscopeSpec {
+    /// Sample rate (Hz).
+    pub sample_rate_hz: f64,
+    /// White noise std per axis (rad/s).
+    pub noise_std: f64,
+    /// Constant bias magnitude (rad/s).
+    pub bias: f64,
+}
+
+impl Default for GyroscopeSpec {
+    fn default() -> Self {
+        Self {
+            sample_rate_hz: 100.0,
+            noise_std: 0.002,
+            bias: 0.005,
+        }
+    }
+}
+
+/// A MEMS gyroscope instance.
+#[derive(Debug, Clone)]
+pub struct Gyroscope {
+    spec: GyroscopeSpec,
+    bias: Vec3,
+    rng: SimRng,
+}
+
+impl Gyroscope {
+    /// Creates a gyroscope with its own bias realization.
+    pub fn new(spec: GyroscopeSpec, rng: SimRng) -> Self {
+        let mut brng = rng.fork("gyro-bias");
+        let bias = Vec3::new(
+            brng.gauss(0.0, spec.bias),
+            brng.gauss(0.0, spec.bias),
+            brng.gauss(0.0, spec.bias),
+        );
+        Self {
+            spec,
+            bias,
+            rng: rng.fork("gyro-noise"),
+        }
+    }
+
+    /// Sample rate (Hz).
+    pub fn sample_rate(&self) -> f64 {
+        self.spec.sample_rate_hz
+    }
+
+    /// Converts a true angular rate (rad/s, body frame) into a reading.
+    pub fn read(&mut self, angular_rate: Vec3) -> Vec3 {
+        angular_rate
+            + self.bias
+            + Vec3::new(
+                self.rng.gauss(0.0, self.spec.noise_std),
+                self.rng.gauss(0.0, self.spec.noise_std),
+                self.rng.gauss(0.0, self.spec.noise_std),
+            )
+    }
+
+    /// Reads a series of true angular rates.
+    pub fn read_series(&mut self, rates: &[Vec3]) -> Vec<Vec3> {
+        rates.iter().map(|&r| self.read(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accel_at_rest_reads_bias_plus_noise() {
+        let mut a = Accelerometer::new(AccelerometerSpec::default(), SimRng::from_seed(1));
+        let readings = a.read_series(&vec![Vec3::ZERO; 2000]);
+        let mean = readings.iter().fold(Vec3::ZERO, |x, &y| x + y) / 2000.0;
+        assert!(mean.norm() < 0.3, "bias-dominated mean {}", mean.norm());
+        assert!(mean.norm() > 1e-4, "some bias must be present");
+    }
+
+    #[test]
+    fn gyro_integration_drifts() {
+        // Integrating a stationary gyro accumulates bias — the reason the
+        // paper fuses the magnetometer for heading.
+        let mut g = Gyroscope::new(GyroscopeSpec::default(), SimRng::from_seed(2));
+        let dt = 1.0 / g.sample_rate();
+        let mut angle = 0.0;
+        for r in g.read_series(&vec![Vec3::ZERO; 3000]) {
+            angle += r.z * dt;
+        }
+        assert!(angle.abs() > 1e-3, "expected visible drift, got {angle}");
+        assert!(angle.abs() < 0.6, "drift should stay bounded in 30 s: {angle}");
+    }
+
+    #[test]
+    fn gyro_tracks_true_rotation() {
+        let mut g = Gyroscope::new(GyroscopeSpec::default(), SimRng::from_seed(3));
+        let dt = 1.0 / g.sample_rate();
+        let true_rate = Vec3::new(0.0, 0.0, 0.5);
+        let mut angle = 0.0;
+        for r in g.read_series(&vec![true_rate; 200]) {
+            angle += r.z * dt;
+        }
+        assert!((angle - 1.0).abs() < 0.05, "integrated {angle} rad, expected 1.0");
+    }
+
+    #[test]
+    fn instances_are_reproducible() {
+        let mk = || {
+            let mut a = Accelerometer::new(AccelerometerSpec::default(), SimRng::from_seed(7));
+            a.read_series(&vec![Vec3::new(0.1, 0.0, 0.0); 32])
+        };
+        assert_eq!(mk(), mk());
+    }
+}

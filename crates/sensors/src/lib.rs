@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # magshield-sensors
+//!
+//! Models of the smartphone sensors the paper's defense reads:
+//!
+//! * [`magnetometer`] — an AK8975-class 3-axis magnetometer (the part in
+//!   the paper's Nexus testbeds): 0.3 µT/LSB quantization, ±1200 µT range,
+//!   hard-iron bias, white noise floor, ~100 Hz sampling;
+//! * [`imu`] — accelerometer and gyroscope with bias, drift and noise;
+//! * [`microphone`] — a phone microphone with noise floor, clipping and a
+//!   gentle high-frequency rolloff (phones receive 18 kHz pilots a few dB
+//!   down);
+//! * [`speaker`] — the phone's own speaker emitting the inaudible pilot
+//!   tone, with the per-device maximum-frequency calibration of §IV-B1;
+//! * [`orientation`] — complementary-filter fusion of gyro + accel + mag
+//!   into a heading estimate (the paper jointly uses all three, citing
+//!   \[31\]/\[37\]);
+//! * [`phone`] — presets for the paper's Table II testbed devices
+//!   (Nexus 5, Nexus 4, Galaxy Nexus).
+
+pub mod imu;
+pub mod magnetometer;
+pub mod microphone;
+pub mod orientation;
+pub mod phone;
+pub mod speaker;
+
+pub use magnetometer::Magnetometer;
+pub use microphone::Microphone;
+pub use phone::PhoneModel;

@@ -1,0 +1,126 @@
+//! Phone microphone model.
+//!
+//! Converts incident sound pressure (normalized amplitude) into recorded
+//! samples: adds a thermal/electronic noise floor, applies a gentle
+//! high-frequency rolloff (MEMS mics on phones are a few dB down by
+//! 18–20 kHz, which is why §IV-B1 calibrates the "highest usable"
+//! pilot frequency), and clips at full scale.
+
+use magshield_simkit::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Microphone behavioral parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicrophoneSpec {
+    /// Audio sample rate (Hz).
+    pub sample_rate_hz: f64,
+    /// Noise floor standard deviation (full-scale units).
+    pub noise_std: f64,
+    /// Frequency (Hz) where the response is −3 dB.
+    pub rolloff_hz: f64,
+    /// Full-scale clipping level.
+    pub full_scale: f64,
+}
+
+impl Default for MicrophoneSpec {
+    fn default() -> Self {
+        Self {
+            sample_rate_hz: 48_000.0,
+            noise_std: 2e-4,
+            rolloff_hz: 19_000.0,
+            full_scale: 1.0,
+        }
+    }
+}
+
+/// A phone microphone instance.
+#[derive(Debug, Clone)]
+pub struct Microphone {
+    spec: MicrophoneSpec,
+    rng: SimRng,
+    lp_state: f64,
+    lp_k: f64,
+}
+
+impl Microphone {
+    /// Creates a microphone.
+    pub fn new(spec: MicrophoneSpec, rng: SimRng) -> Self {
+        // One-pole lowpass matching the −3 dB rolloff point.
+        let k = 1.0
+            - (-std::f64::consts::TAU * spec.rolloff_hz / spec.sample_rate_hz).exp();
+        Self {
+            spec,
+            rng: rng.fork("mic-noise"),
+            lp_state: 0.0,
+            lp_k: k.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Audio sample rate (Hz).
+    pub fn sample_rate(&self) -> f64 {
+        self.spec.sample_rate_hz
+    }
+
+    /// Records one incident-pressure sample.
+    pub fn record_sample(&mut self, pressure: f64) -> f64 {
+        self.lp_state += self.lp_k * (pressure - self.lp_state);
+        let noisy = self.lp_state + self.rng.gauss(0.0, self.spec.noise_std);
+        noisy.clamp(-self.spec.full_scale, self.spec.full_scale)
+    }
+
+    /// Records a whole buffer of incident pressure.
+    pub fn record(&mut self, pressure: &[f64]) -> Vec<f64> {
+        pressure.iter().map(|&p| self.record_sample(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mic(seed: u64) -> Microphone {
+        Microphone::new(MicrophoneSpec::default(), SimRng::from_seed(seed))
+    }
+
+    fn tone(f: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn passes_midband_audio() {
+        let mut m = mic(1);
+        let rec = m.record(&tone(1000.0, 48_000.0, 48_000));
+        let rms = (rec.iter().map(|x| x * x).sum::<f64>() / rec.len() as f64).sqrt();
+        assert!((rms - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "rms {rms}");
+    }
+
+    #[test]
+    fn attenuates_pilot_band_mildly() {
+        let fs = 48_000.0;
+        let mut m = mic(2);
+        let low = m.record(&tone(1000.0, fs, 48_000));
+        let mut m2 = mic(2);
+        let high = m2.record(&tone(18_000.0, fs, 48_000));
+        let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+        let ratio = rms(&high) / rms(&low);
+        assert!(ratio > 0.3 && ratio < 0.95, "18 kHz should be a few dB down: {ratio}");
+    }
+
+    #[test]
+    fn clips_at_full_scale() {
+        let mut m = mic(3);
+        let rec = m.record(&vec![10.0; 100]);
+        assert!(rec.iter().all(|&x| x <= 1.0 + 1e-12));
+        assert!(rec[50] > 0.99);
+    }
+
+    #[test]
+    fn noise_floor_on_silence() {
+        let mut m = mic(4);
+        let rec = m.record(&vec![0.0; 20_000]);
+        let rms = (rec.iter().map(|x| x * x).sum::<f64>() / rec.len() as f64).sqrt();
+        assert!((rms - 2e-4).abs() < 1e-4, "noise floor rms {rms}");
+    }
+}

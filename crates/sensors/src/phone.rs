@@ -1,0 +1,149 @@
+//! Testbed phone presets — Table II of the paper.
+
+use crate::imu::{Accelerometer, AccelerometerSpec, Gyroscope, GyroscopeSpec};
+use crate::magnetometer::{Magnetometer, MagnetometerSpec};
+use crate::microphone::{Microphone, MicrophoneSpec};
+use crate::speaker::{PhoneSpeakerSpec, PilotEmitter};
+use magshield_simkit::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The paper's smartphone testbed models (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhoneModel {
+    /// Google (LG) Nexus 5, Android 4.4.
+    Nexus5,
+    /// Google (LG) Nexus 4, Android 4.4 (dual microphones, §VII).
+    Nexus4,
+    /// Samsung Galaxy Nexus, Android 4.4.
+    GalaxyNexus,
+}
+
+impl PhoneModel {
+    /// All testbed models.
+    pub fn all() -> [PhoneModel; 3] {
+        [PhoneModel::Nexus5, PhoneModel::Nexus4, PhoneModel::GalaxyNexus]
+    }
+
+    /// Human-readable maker/model string as in Table II.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhoneModel::Nexus5 => "Google (LG) Nexus 5",
+            PhoneModel::Nexus4 => "Google (LG) Nexus 4",
+            PhoneModel::GalaxyNexus => "Samsung Galaxy Nexus",
+        }
+    }
+
+    /// Magnetometer fitted to this model (all three use AK89xx-class
+    /// parts; noise differs slightly by integration).
+    pub fn magnetometer_spec(self) -> MagnetometerSpec {
+        let base = MagnetometerSpec::ak8975();
+        match self {
+            PhoneModel::Nexus5 => MagnetometerSpec {
+                noise_std_ut: 0.30,
+                ..base
+            },
+            PhoneModel::Nexus4 => base,
+            PhoneModel::GalaxyNexus => MagnetometerSpec {
+                noise_std_ut: 0.45,
+                hard_iron_ut: 4.0,
+                ..base
+            },
+        }
+    }
+
+    /// Speaker spec (pilot-tone upper limit differs per device; the paper
+    /// calibrates the pilot per phone).
+    pub fn speaker_spec(self) -> PhoneSpeakerSpec {
+        match self {
+            PhoneModel::Nexus5 => PhoneSpeakerSpec {
+                upper_limit_hz: 20_000.0,
+                ..Default::default()
+            },
+            PhoneModel::Nexus4 => PhoneSpeakerSpec {
+                upper_limit_hz: 19_000.0,
+                ..Default::default()
+            },
+            PhoneModel::GalaxyNexus => PhoneSpeakerSpec {
+                upper_limit_hz: 18_000.0,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Whether the device exposes a second (noise-cancellation)
+    /// microphone — the §VII "Dual Microphones" extension.
+    pub fn has_dual_microphones(self) -> bool {
+        matches!(self, PhoneModel::Nexus4)
+    }
+}
+
+/// A fully instantiated phone: all sensors with device-specific specs and
+/// per-instance error realizations.
+#[derive(Debug, Clone)]
+pub struct Phone {
+    /// Which model this is.
+    pub model: PhoneModel,
+    /// Magnetometer instance.
+    pub magnetometer: Magnetometer,
+    /// Accelerometer instance.
+    pub accelerometer: Accelerometer,
+    /// Gyroscope instance.
+    pub gyroscope: Gyroscope,
+    /// Primary microphone instance.
+    pub microphone: Microphone,
+    /// Pilot-tone emitter.
+    pub emitter: PilotEmitter,
+    /// Calibrated pilot frequency for this device (Hz).
+    pub pilot_hz: f64,
+}
+
+impl Phone {
+    /// Instantiates a phone of `model`; sensor error realizations are drawn
+    /// from `rng`.
+    pub fn new(model: PhoneModel, rng: &SimRng) -> Self {
+        let emitter = PilotEmitter::new(model.speaker_spec());
+        let pilot_hz = emitter.calibrate_pilot(250.0, 1.0);
+        Self {
+            model,
+            magnetometer: Magnetometer::new(model.magnetometer_spec(), rng.fork("mag")),
+            accelerometer: Accelerometer::new(AccelerometerSpec::default(), rng.fork("accel")),
+            gyroscope: Gyroscope::new(GyroscopeSpec::default(), rng.fork("gyro")),
+            microphone: Microphone::new(MicrophoneSpec::default(), rng.fork("mic")),
+            emitter,
+            pilot_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_instantiate() {
+        for m in PhoneModel::all() {
+            let p = Phone::new(m, &SimRng::from_seed(1));
+            assert!(p.pilot_hz > 16_000.0, "{}: pilot {}", m.label(), p.pilot_hz);
+        }
+    }
+
+    #[test]
+    fn pilot_frequency_is_device_specific() {
+        let n5 = Phone::new(PhoneModel::Nexus5, &SimRng::from_seed(1)).pilot_hz;
+        let gn = Phone::new(PhoneModel::GalaxyNexus, &SimRng::from_seed(1)).pilot_hz;
+        assert!(n5 > gn, "Nexus 5 ({n5}) should support a higher pilot than Galaxy Nexus ({gn})");
+    }
+
+    #[test]
+    fn only_nexus4_has_dual_mics() {
+        assert!(PhoneModel::Nexus4.has_dual_microphones());
+        assert!(!PhoneModel::Nexus5.has_dual_microphones());
+        assert!(!PhoneModel::GalaxyNexus.has_dual_microphones());
+    }
+
+    #[test]
+    fn labels_match_table_ii() {
+        assert_eq!(PhoneModel::Nexus5.label(), "Google (LG) Nexus 5");
+        assert_eq!(PhoneModel::GalaxyNexus.label(), "Samsung Galaxy Nexus");
+    }
+}

@@ -1,0 +1,133 @@
+//! The phone's own loudspeaker as a pilot-tone emitter.
+//!
+//! §IV-B1: "we let the smartphone's speaker generate inaudible tone in a
+//! static high frequency fs (fs > 16 kHz). ... Based on the limitation of
+//! the speaker on commodity smartphones, we select the highest possible
+//! frequency using a calibration method described in \[18\]." We reproduce
+//! that calibration: sweep candidate frequencies, measure emitted level
+//! through the device's response rolloff, and pick the highest frequency
+//! that still clears a level margin.
+
+use magshield_simkit::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Phone-speaker behavioral parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhoneSpeakerSpec {
+    /// Audio sample rate (Hz).
+    pub sample_rate_hz: f64,
+    /// Frequency (Hz) above which output rolls off steeply.
+    pub upper_limit_hz: f64,
+    /// Rolloff steepness (dB per kHz beyond the limit).
+    pub rolloff_db_per_khz: f64,
+}
+
+impl Default for PhoneSpeakerSpec {
+    fn default() -> Self {
+        Self {
+            sample_rate_hz: 48_000.0,
+            upper_limit_hz: 19_500.0,
+            rolloff_db_per_khz: 18.0,
+        }
+    }
+}
+
+/// A pilot-tone emitter.
+#[derive(Debug, Clone)]
+pub struct PilotEmitter {
+    spec: PhoneSpeakerSpec,
+}
+
+impl PilotEmitter {
+    /// Creates an emitter for a given speaker spec.
+    pub fn new(spec: PhoneSpeakerSpec) -> Self {
+        Self { spec }
+    }
+
+    /// Linear output gain at `freq_hz` (1.0 in the flat band).
+    pub fn gain(&self, freq_hz: f64) -> f64 {
+        if freq_hz <= self.spec.upper_limit_hz {
+            1.0
+        } else {
+            let excess_khz = (freq_hz - self.spec.upper_limit_hz) / 1000.0;
+            10f64.powf(-self.spec.rolloff_db_per_khz * excess_khz / 20.0)
+        }
+    }
+
+    /// Calibration from \[18\]: the highest candidate frequency (16 kHz up
+    /// to Nyquist, in `step_hz` steps) whose emitted level is within
+    /// `margin_db` of the flat band. Returns 16 kHz if even that is down.
+    pub fn calibrate_pilot(&self, step_hz: f64, margin_db: f64) -> f64 {
+        let mut best = 16_000.0;
+        let mut f = 16_000.0;
+        let nyquist = self.spec.sample_rate_hz / 2.0;
+        while f < nyquist {
+            if 20.0 * self.gain(f).log10() >= -margin_db {
+                best = f;
+            }
+            f += step_hz;
+        }
+        best
+    }
+
+    /// Renders the pilot tone at `freq_hz` for `n` samples, including the
+    /// speaker's gain at that frequency and slight phase noise.
+    pub fn render(&self, freq_hz: f64, n: usize, rng: &SimRng) -> Vec<f64> {
+        let g = self.gain(freq_hz);
+        let mut prng = rng.fork("pilot-phase");
+        let jitter = prng.gauss(0.0, 0.01);
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / self.spec.sample_rate_hz;
+                g * (std::f64::consts::TAU * freq_hz * t + jitter).cos()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_band_gain_is_unity() {
+        let e = PilotEmitter::new(PhoneSpeakerSpec::default());
+        assert_eq!(e.gain(18_000.0), 1.0);
+    }
+
+    #[test]
+    fn rolloff_beyond_limit() {
+        let e = PilotEmitter::new(PhoneSpeakerSpec::default());
+        assert!(e.gain(21_000.0) < 0.6);
+        assert!(e.gain(23_000.0) < e.gain(21_000.0));
+    }
+
+    #[test]
+    fn calibration_selects_near_limit() {
+        let e = PilotEmitter::new(PhoneSpeakerSpec::default());
+        let f = e.calibrate_pilot(250.0, 1.0);
+        assert!(
+            (19_000.0..=20_000.0).contains(&f),
+            "pilot {f} should sit near the 19.5 kHz device limit"
+        );
+        assert!(f > 16_000.0, "paper requires > 16 kHz");
+    }
+
+    #[test]
+    fn calibration_respects_weak_speakers() {
+        let weak = PilotEmitter::new(PhoneSpeakerSpec {
+            upper_limit_hz: 17_000.0,
+            ..Default::default()
+        });
+        let f = weak.calibrate_pilot(250.0, 1.0);
+        assert!(f <= 17_250.0, "weak speaker pilot {f}");
+    }
+
+    #[test]
+    fn rendered_tone_has_expected_amplitude() {
+        let e = PilotEmitter::new(PhoneSpeakerSpec::default());
+        let sig = e.render(18_000.0, 4800, &SimRng::from_seed(1));
+        let peak = sig.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+        assert!((peak - 1.0).abs() < 0.01);
+    }
+}

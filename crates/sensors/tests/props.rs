@@ -1,0 +1,107 @@
+//! Property-based tests for the sensor models.
+
+use magshield_sensors::imu::{Accelerometer, AccelerometerSpec, Gyroscope, GyroscopeSpec};
+use magshield_sensors::magnetometer::{Magnetometer, MagnetometerSpec};
+use magshield_sensors::microphone::{Microphone, MicrophoneSpec};
+use magshield_sensors::orientation::HeadingFilter;
+use magshield_sensors::speaker::{PhoneSpeakerSpec, PilotEmitter};
+use magshield_simkit::rng::SimRng;
+use magshield_simkit::vec3::Vec3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Magnetometer readings are always on the quantization grid and in
+    /// range, regardless of the true field.
+    #[test]
+    fn magnetometer_quantized_and_clipped(
+        fx in -5000.0f64..5000.0, fy in -5000.0f64..5000.0, fz in -5000.0f64..5000.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = MagnetometerSpec::ak8975();
+        let mut m = Magnetometer::new(spec, SimRng::from_seed(seed));
+        let r = m.read(Vec3::new(fx, fy, fz));
+        for c in [r.x, r.y, r.z] {
+            prop_assert!(c.abs() <= spec.range_ut + 1e-9);
+            let steps = c / spec.resolution_ut;
+            prop_assert!((steps - steps.round()).abs() < 1e-9);
+        }
+    }
+
+    /// Gyro readings differ from truth by bounded bias + noise.
+    #[test]
+    fn gyro_error_bounded(rate in -5.0f64..5.0, seed in 0u64..500) {
+        let spec = GyroscopeSpec::default();
+        let mut g = Gyroscope::new(spec, SimRng::from_seed(seed));
+        let r = g.read(Vec3::new(0.0, 0.0, rate));
+        // 6σ noise + 6σ bias margin.
+        let bound = 6.0 * spec.noise_std + 6.0 * spec.bias;
+        prop_assert!((r.z - rate).abs() < bound, "error {}", (r.z - rate).abs());
+    }
+
+    /// Accelerometer readings are finite for any finite input.
+    #[test]
+    fn accel_finite(ax in -50.0f64..50.0, seed in 0u64..500) {
+        let mut a = Accelerometer::new(AccelerometerSpec::default(), SimRng::from_seed(seed));
+        let r = a.read(Vec3::new(ax, -ax, ax / 2.0));
+        prop_assert!(r.is_finite());
+    }
+
+    /// Microphone output is always within full scale.
+    #[test]
+    fn microphone_clips(
+        input in prop::collection::vec(-10.0f64..10.0, 1..512),
+        seed in 0u64..500,
+    ) {
+        let mut m = Microphone::new(MicrophoneSpec::default(), SimRng::from_seed(seed));
+        for y in m.record(&input) {
+            prop_assert!(y.abs() <= 1.0 + 1e-12);
+            prop_assert!(y.is_finite());
+        }
+    }
+
+    /// Pilot calibration always lands in (16 kHz, Nyquist) and at a
+    /// frequency the speaker can actually emit within the margin.
+    #[test]
+    fn pilot_calibration_valid(limit in 16_500.0f64..23_000.0) {
+        let e = PilotEmitter::new(PhoneSpeakerSpec {
+            upper_limit_hz: limit,
+            ..Default::default()
+        });
+        let pilot = e.calibrate_pilot(250.0, 1.0);
+        prop_assert!(pilot >= 16_000.0);
+        prop_assert!(pilot < 24_000.0);
+        prop_assert!(20.0 * e.gain(pilot).log10() >= -1.0 - 1e-9);
+    }
+
+    /// Heading filter output is always a wrapped angle and follows a pure
+    /// rotation exactly when the magnetometer agrees.
+    #[test]
+    fn heading_filter_tracks(rate in -2.0f64..2.0, n in 10usize..200) {
+        let mut f = HeadingFilter::new(0.02);
+        let dt = 0.01;
+        let mut true_heading: f64 = 0.0;
+        f.update(0.0, dt, Some(0.0));
+        for _ in 0..n {
+            true_heading += rate * dt;
+            // Perfect gyro + perfect mag.
+            let wrapped = {
+                let mut a = true_heading % std::f64::consts::TAU;
+                if a > std::f64::consts::PI { a -= std::f64::consts::TAU; }
+                if a <= -std::f64::consts::PI { a += std::f64::consts::TAU; }
+                a
+            };
+            let h = f.update(rate, dt, Some(wrapped));
+            prop_assert!(h.is_finite());
+            prop_assert!(h.abs() <= std::f64::consts::PI + 1e-9);
+        }
+        let err = {
+            let mut d = (f.heading() - true_heading) % std::f64::consts::TAU;
+            if d > std::f64::consts::PI { d -= std::f64::consts::TAU; }
+            if d <= -std::f64::consts::PI { d += std::f64::consts::TAU; }
+            d
+        };
+        prop_assert!(err.abs() < 0.05, "heading error {err}");
+    }
+}

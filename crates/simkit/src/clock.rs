@@ -1,0 +1,91 @@
+//! Sample clocks: convert between wall time and sample indices.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-rate sample clock.
+///
+/// # Example
+///
+/// ```
+/// use magshield_simkit::clock::SampleClock;
+/// let clk = SampleClock::new(48_000.0);
+/// assert_eq!(clk.samples_for(0.5), 24_000);
+/// assert_eq!(clk.time_of(48_000), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleClock {
+    rate_hz: f64,
+}
+
+impl SampleClock {
+    /// Creates a clock at `rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(rate_hz: f64) -> Self {
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "clock rate must be positive, got {rate_hz}"
+        );
+        Self { rate_hz }
+    }
+
+    /// The clock rate in Hz.
+    pub fn rate(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Number of whole samples in `duration_s` seconds (rounded).
+    pub fn samples_for(&self, duration_s: f64) -> usize {
+        (duration_s * self.rate_hz).round().max(0.0) as usize
+    }
+
+    /// Time (s) of sample index `i`.
+    pub fn time_of(&self, i: usize) -> f64 {
+        i as f64 / self.rate_hz
+    }
+
+    /// Sample period in seconds.
+    pub fn dt(&self) -> f64 {
+        1.0 / self.rate_hz
+    }
+
+    /// Iterator over the sample times of `n` samples.
+    pub fn times(&self, n: usize) -> impl Iterator<Item = f64> + '_ {
+        (0..n).map(move |i| self.time_of(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let c = SampleClock::new(100.0);
+        assert_eq!(c.samples_for(1.0), 100);
+        assert_eq!(c.samples_for(0.255), 26);
+        assert_eq!(c.time_of(50), 0.5);
+        assert_eq!(c.dt(), 0.01);
+    }
+
+    #[test]
+    fn negative_duration_clamps_to_zero() {
+        let c = SampleClock::new(100.0);
+        assert_eq!(c.samples_for(-1.0), 0);
+    }
+
+    #[test]
+    fn times_iterator() {
+        let c = SampleClock::new(10.0);
+        let t: Vec<f64> = c.times(3).collect();
+        assert_eq!(t, vec![0.0, 0.1, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock rate must be positive")]
+    fn rejects_zero_rate() {
+        SampleClock::new(0.0);
+    }
+}

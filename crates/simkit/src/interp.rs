@@ -1,0 +1,98 @@
+//! Interpolation and shaping helpers.
+
+/// Linear interpolation: `a` at `t = 0`, `b` at `t = 1`.
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Clamped smoothstep easing over `[0, 1]` — used for natural hand-motion
+/// velocity profiles (a person accelerates then decelerates the phone).
+pub fn smoothstep(t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Piecewise-linear lookup over sorted `(x, y)` breakpoints.
+///
+/// Out-of-range `x` clamps to the end values.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or the x values are not strictly increasing.
+pub fn piecewise_linear(points: &[(f64, f64)], x: f64) -> f64 {
+    assert!(!points.is_empty(), "breakpoint table must be non-empty");
+    for w in points.windows(2) {
+        assert!(
+            w[1].0 > w[0].0,
+            "breakpoint x values must be strictly increasing"
+        );
+    }
+    if x <= points[0].0 {
+        return points[0].1;
+    }
+    if x >= points[points.len() - 1].0 {
+        return points[points.len() - 1].1;
+    }
+    let idx = points.partition_point(|p| p.0 <= x);
+    let (x0, y0) = points[idx - 1];
+    let (x1, y1) = points[idx];
+    lerp(y0, y1, (x - x0) / (x1 - x0))
+}
+
+/// Wraps an angle to `(-π, π]`.
+pub fn wrap_angle(a: f64) -> f64 {
+    let mut a = a % std::f64::consts::TAU;
+    if a > std::f64::consts::PI {
+        a -= std::f64::consts::TAU;
+    } else if a <= -std::f64::consts::PI {
+        a += std::f64::consts::TAU;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 6.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 6.0, 1.0), 6.0);
+        assert_eq!(lerp(2.0, 6.0, 0.5), 4.0);
+    }
+
+    #[test]
+    fn smoothstep_shape() {
+        assert_eq!(smoothstep(-1.0), 0.0);
+        assert_eq!(smoothstep(2.0), 1.0);
+        assert_eq!(smoothstep(0.5), 0.5);
+        // Derivative is zero at the ends: nearby values stay near the ends.
+        assert!(smoothstep(0.01) < 0.001);
+        assert!(smoothstep(0.99) > 0.999);
+    }
+
+    #[test]
+    fn piecewise_linear_lookup() {
+        let pts = [(0.0, 0.0), (1.0, 10.0), (3.0, 10.0)];
+        assert_eq!(piecewise_linear(&pts, -5.0), 0.0);
+        assert_eq!(piecewise_linear(&pts, 0.5), 5.0);
+        assert_eq!(piecewise_linear(&pts, 2.0), 10.0);
+        assert_eq!(piecewise_linear(&pts, 99.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn piecewise_rejects_unsorted() {
+        piecewise_linear(&[(1.0, 0.0), (0.0, 1.0)], 0.5);
+    }
+
+    #[test]
+    fn wrap_angle_range() {
+        for k in -10..10 {
+            let a = 0.3 + k as f64 * std::f64::consts::TAU;
+            assert!((wrap_angle(a) - 0.3).abs() < 1e-9);
+        }
+        assert!((wrap_angle(PI + 0.1) + PI - 0.1).abs() < 1e-9);
+    }
+}

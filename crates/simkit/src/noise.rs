@@ -1,0 +1,227 @@
+//! Noise processes for sensor and interference modeling.
+//!
+//! * [`WhiteNoise`] — i.i.d. Gaussian samples (magnetometer/mic noise floor);
+//! * [`PinkNoise`] — 1/f noise via the Voss–McCartney algorithm (ambient
+//!   acoustic noise, broadband EMF);
+//! * [`RandomWalk`] — integrated white noise (sensor bias drift);
+//! * [`MainsHum`] — a deterministic mains-harmonic series (computer/car EMF
+//!   interference carriers, Fig. 14).
+
+use crate::rng::SimRng;
+use crate::series::TimeSeries;
+
+/// A source of noise samples at a fixed rate.
+pub trait NoiseSource {
+    /// Draws the next sample.
+    fn next_sample(&mut self) -> f64;
+
+    /// Generates `n` samples into a [`TimeSeries`] at `sample_rate`.
+    fn series(&mut self, sample_rate: f64, n: usize) -> TimeSeries {
+        let samples = (0..n).map(|_| self.next_sample()).collect();
+        TimeSeries::from_samples(sample_rate, samples)
+    }
+}
+
+/// I.i.d. Gaussian noise with a given standard deviation.
+#[derive(Debug, Clone)]
+pub struct WhiteNoise {
+    rng: SimRng,
+    std_dev: f64,
+}
+
+impl WhiteNoise {
+    /// Creates a white-noise source.
+    pub fn new(rng: SimRng, std_dev: f64) -> Self {
+        Self { rng, std_dev }
+    }
+}
+
+impl NoiseSource for WhiteNoise {
+    fn next_sample(&mut self) -> f64 {
+        self.rng.gauss(0.0, self.std_dev)
+    }
+}
+
+/// Pink (1/f) noise via the Voss–McCartney multi-rate algorithm.
+#[derive(Debug, Clone)]
+pub struct PinkNoise {
+    rng: SimRng,
+    rows: Vec<f64>,
+    counter: u64,
+    scale: f64,
+}
+
+impl PinkNoise {
+    /// Creates a pink-noise source with RMS roughly `std_dev`.
+    pub fn new(mut rng: SimRng, std_dev: f64) -> Self {
+        const ROWS: usize = 16;
+        let rows = (0..ROWS).map(|_| rng.gauss(0.0, 1.0)).collect();
+        Self {
+            rng,
+            rows,
+            counter: 0,
+            scale: std_dev / (ROWS as f64).sqrt(),
+        }
+    }
+}
+
+impl NoiseSource for PinkNoise {
+    fn next_sample(&mut self) -> f64 {
+        self.counter = self.counter.wrapping_add(1);
+        // Row k updates every 2^k samples: trailing_zeros picks the row.
+        let k = (self.counter.trailing_zeros() as usize).min(self.rows.len() - 1);
+        self.rows[k] = self.rng.gauss(0.0, 1.0);
+        self.rows.iter().sum::<f64>() * self.scale
+    }
+}
+
+/// Integrated white noise: models slowly drifting sensor bias.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    rng: SimRng,
+    step_std: f64,
+    state: f64,
+}
+
+impl RandomWalk {
+    /// Creates a random walk starting at `start` with per-sample step
+    /// standard deviation `step_std`.
+    pub fn new(rng: SimRng, start: f64, step_std: f64) -> Self {
+        Self { rng, step_std, state: start }
+    }
+}
+
+impl NoiseSource for RandomWalk {
+    fn next_sample(&mut self) -> f64 {
+        self.state += self.rng.gauss(0.0, self.step_std);
+        self.state
+    }
+}
+
+/// Mains-frequency hum with harmonics — the carrier structure of the EMF
+/// interference near a computer or inside a car (Fig. 14).
+#[derive(Debug, Clone)]
+pub struct MainsHum {
+    /// Fundamental (50 or 60 Hz).
+    pub fundamental_hz: f64,
+    /// Amplitude of each harmonic (index 0 = fundamental).
+    pub harmonic_amps: Vec<f64>,
+    phase: f64,
+    sample_rate: f64,
+}
+
+impl MainsHum {
+    /// Creates a hum source rendered at `sample_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not positive.
+    pub fn new(fundamental_hz: f64, harmonic_amps: Vec<f64>, sample_rate: f64) -> Self {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        Self {
+            fundamental_hz,
+            harmonic_amps,
+            phase: 0.0,
+            sample_rate,
+        }
+    }
+}
+
+impl NoiseSource for MainsHum {
+    fn next_sample(&mut self) -> f64 {
+        let t = self.phase;
+        self.phase += 1.0 / self.sample_rate;
+        self.harmonic_amps
+            .iter()
+            .enumerate()
+            .map(|(k, a)| {
+                a * (std::f64::consts::TAU * self.fundamental_hz * (k as f64 + 1.0) * t).sin()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed(1234).fork("noise-tests")
+    }
+
+    #[test]
+    fn white_noise_statistics() {
+        let mut n = WhiteNoise::new(rng(), 2.0);
+        let ts = n.series(100.0, 20_000);
+        assert!(ts.mean().abs() < 0.1);
+        assert!((ts.variance().sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn pink_noise_low_frequency_dominance() {
+        let mut n = PinkNoise::new(rng(), 1.0);
+        let ts = n.series(1000.0, 8192);
+        // Pink noise should have more energy in a low band than an equally
+        // wide high band. Use crude two-bin comparison via block averages.
+        let block = 64;
+        let lows: f64 = ts
+            .samples()
+            .chunks(block)
+            .map(|c| c.iter().sum::<f64>() / block as f64)
+            .map(|m| m * m)
+            .sum();
+        let highs: f64 = ts
+            .samples()
+            .windows(2)
+            .map(|w| (w[1] - w[0]) / 2.0)
+            .map(|d| d * d)
+            .sum::<f64>()
+            / block as f64;
+        assert!(
+            lows > highs * 0.5,
+            "pink noise should carry low-frequency energy (low {lows}, high {highs})"
+        );
+    }
+
+    #[test]
+    fn random_walk_starts_at_start() {
+        let mut w = RandomWalk::new(rng(), 10.0, 0.0);
+        assert_eq!(w.next_sample(), 10.0);
+        assert_eq!(w.next_sample(), 10.0);
+    }
+
+    #[test]
+    fn random_walk_variance_grows() {
+        let trials = 200;
+        let mut early = Vec::new();
+        let mut late = Vec::new();
+        for i in 0..trials {
+            let mut w = RandomWalk::new(SimRng::from_seed(5).fork_indexed("walk", i), 0.0, 1.0);
+            let ts = w.series(1.0, 100);
+            early.push(ts.samples()[9]);
+            late.push(ts.samples()[99]);
+        }
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&late) > var(&early) * 3.0);
+    }
+
+    #[test]
+    fn mains_hum_is_periodic() {
+        let mut hum = MainsHum::new(60.0, vec![1.0, 0.3], 6000.0);
+        let ts = hum.series(6000.0, 200);
+        // One period is 100 samples at 6 kHz.
+        for i in 0..100 {
+            assert!((ts.samples()[i] - ts.samples()[i + 100]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mains_hum_amplitude() {
+        let mut hum = MainsHum::new(50.0, vec![2.0], 5000.0);
+        let ts = hum.series(5000.0, 5000);
+        assert!((ts.peak() - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,327 @@
+//! Uniformly sampled time series.
+//!
+//! Audio, magnetometer traces and IMU channels are all uniform-rate signals;
+//! [`TimeSeries`] is the common container the substrates exchange.
+
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled scalar signal.
+///
+/// # Example
+///
+/// ```
+/// use magshield_simkit::series::TimeSeries;
+/// let ts = TimeSeries::from_samples(100.0, vec![0.0, 1.0, 0.0, -1.0]);
+/// assert_eq!(ts.duration(), 0.04);
+/// assert!((ts.rms() - (0.5f64).sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    sample_rate: f64,
+    samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from a sample rate (Hz) and raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not strictly positive and finite.
+    pub fn from_samples(sample_rate: f64, samples: Vec<f64>) -> Self {
+        assert!(
+            sample_rate.is_finite() && sample_rate > 0.0,
+            "sample rate must be positive, got {sample_rate}"
+        );
+        Self { sample_rate, samples }
+    }
+
+    /// Creates an all-zero series lasting `duration_s` seconds.
+    pub fn zeros(sample_rate: f64, duration_s: f64) -> Self {
+        let n = (duration_s * sample_rate).round().max(0.0) as usize;
+        Self::from_samples(sample_rate, vec![0.0; n])
+    }
+
+    /// Creates a series by evaluating `f(t)` at each sample instant.
+    pub fn from_fn(sample_rate: f64, duration_s: f64, mut f: impl FnMut(f64) -> f64) -> Self {
+        let n = (duration_s * sample_rate).round().max(0.0) as usize;
+        let samples = (0..n).map(|i| f(i as f64 / sample_rate)).collect();
+        Self::from_samples(sample_rate, samples)
+    }
+
+    /// Sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate
+    }
+
+    /// Immutable view of the samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable view of the samples.
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Consumes the series and returns the sample buffer.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// The time (s) of sample `i`.
+    pub fn time_at(&self, i: usize) -> f64 {
+        i as f64 / self.sample_rate
+    }
+
+    /// Linear-interpolated value at time `t` (s); clamps outside the range.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let x = (t * self.sample_rate).clamp(0.0, (self.samples.len() - 1) as f64);
+        let i = x.floor() as usize;
+        let frac = x - i as f64;
+        if i + 1 < self.samples.len() {
+            self.samples[i] * (1.0 - frac) + self.samples[i + 1] * frac
+        } else {
+            self.samples[i]
+        }
+    }
+
+    /// Arithmetic mean (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population variance (0 for an empty series).
+    pub fn variance(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Root-mean-square value.
+    pub fn rms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        (self.samples.iter().map(|x| x * x).sum::<f64>() / self.samples.len() as f64).sqrt()
+    }
+
+    /// Maximum sample value (−inf for an empty series is avoided: returns 0).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_by_empty(self)
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_by_empty(self)
+    }
+
+    /// Peak absolute amplitude.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().fold(0.0f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Maximum absolute sample-to-sample difference times the sample rate —
+    /// the peak *changing rate* in units/second. The loudspeaker detector
+    /// thresholds this (`βt`).
+    pub fn max_rate_of_change(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f64, f64::max)
+            * self.sample_rate
+    }
+
+    /// Extracts `[start_s, end_s)` as a new series (clamped to bounds).
+    pub fn slice_time(&self, start_s: f64, end_s: f64) -> TimeSeries {
+        let a = ((start_s * self.sample_rate).round().max(0.0) as usize).min(self.samples.len());
+        let b = ((end_s * self.sample_rate).round().max(0.0) as usize).clamp(a, self.samples.len());
+        TimeSeries::from_samples(self.sample_rate, self.samples[a..b].to_vec())
+    }
+
+    /// Resamples to `new_rate` Hz with linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_rate` is not strictly positive.
+    pub fn resampled(&self, new_rate: f64) -> TimeSeries {
+        assert!(new_rate > 0.0, "new_rate must be positive");
+        if self.samples.is_empty() {
+            return TimeSeries::from_samples(new_rate, Vec::new());
+        }
+        let n = (self.duration() * new_rate).round() as usize;
+        let samples = (0..n).map(|i| self.value_at(i as f64 / new_rate)).collect();
+        TimeSeries::from_samples(new_rate, samples)
+    }
+
+    /// Adds another series sample-by-sample (rates must match; the shorter
+    /// length wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample rates differ.
+    pub fn mix_in(&mut self, other: &TimeSeries, gain: f64) {
+        assert!(
+            (self.sample_rate - other.sample_rate).abs() < 1e-9,
+            "sample-rate mismatch: {} vs {}",
+            self.sample_rate,
+            other.sample_rate
+        );
+        let n = self.samples.len().min(other.samples.len());
+        for i in 0..n {
+            self.samples[i] += gain * other.samples[i];
+        }
+    }
+
+    /// Applies a gain to every sample.
+    pub fn scaled(mut self, gain: f64) -> TimeSeries {
+        for s in &mut self.samples {
+            *s *= gain;
+        }
+        self
+    }
+
+    /// Appends another series of the same rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample rates differ.
+    pub fn append(&mut self, other: &TimeSeries) {
+        assert!(
+            (self.sample_rate - other.sample_rate).abs() < 1e-9,
+            "sample-rate mismatch"
+        );
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Helper trait so `max()`/`min()` return 0 on empty series instead of ±inf.
+trait EmptyGuard {
+    fn max_by_empty(self, ts: &TimeSeries) -> f64;
+    fn min_by_empty(self, ts: &TimeSeries) -> f64;
+}
+
+impl EmptyGuard for f64 {
+    fn max_by_empty(self, ts: &TimeSeries) -> f64 {
+        if ts.is_empty() {
+            0.0
+        } else {
+            self
+        }
+    }
+    fn min_by_empty(self, ts: &TimeSeries) -> f64 {
+        if ts.is_empty() {
+            0.0
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_stats() {
+        let ts = TimeSeries::from_samples(10.0, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.duration(), 0.4);
+        assert_eq!(ts.mean(), 2.5);
+        assert_eq!(ts.max(), 4.0);
+        assert_eq!(ts.min(), 1.0);
+        assert!((ts.variance() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_stats_are_zero() {
+        let ts = TimeSeries::from_samples(10.0, vec![]);
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.rms(), 0.0);
+        assert_eq!(ts.max(), 0.0);
+        assert_eq!(ts.min(), 0.0);
+        assert_eq!(ts.value_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn from_fn_sine_rms() {
+        let ts = TimeSeries::from_fn(1000.0, 1.0, |t| (std::f64::consts::TAU * 10.0 * t).sin());
+        assert!((ts.rms() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let ts = TimeSeries::from_samples(1.0, vec![0.0, 10.0]);
+        assert_eq!(ts.value_at(0.5), 5.0);
+        assert_eq!(ts.value_at(-3.0), 0.0);
+        assert_eq!(ts.value_at(99.0), 10.0);
+    }
+
+    #[test]
+    fn slice_time_bounds() {
+        let ts = TimeSeries::from_samples(10.0, (0..10).map(|i| i as f64).collect());
+        let s = ts.slice_time(0.2, 0.5);
+        assert_eq!(s.samples(), &[2.0, 3.0, 4.0]);
+        let clamped = ts.slice_time(0.8, 99.0);
+        assert_eq!(clamped.len(), 2);
+    }
+
+    #[test]
+    fn resample_preserves_duration() {
+        let ts = TimeSeries::from_fn(1000.0, 0.5, |t| t);
+        let r = ts.resampled(400.0);
+        assert!((r.duration() - 0.5).abs() < 0.01);
+        assert!((r.value_at(0.25) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn mix_in_adds() {
+        let mut a = TimeSeries::from_samples(10.0, vec![1.0, 1.0, 1.0]);
+        let b = TimeSeries::from_samples(10.0, vec![1.0, 2.0]);
+        a.mix_in(&b, 2.0);
+        assert_eq!(a.samples(), &[3.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn max_rate_of_change() {
+        let ts = TimeSeries::from_samples(100.0, vec![0.0, 0.5, 2.0, 2.1]);
+        // Largest step is 1.5 per sample at 100 Hz → 150 /s.
+        assert!((ts.max_rate_of_change() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must be positive")]
+    fn rejects_bad_rate() {
+        TimeSeries::from_samples(0.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample-rate mismatch")]
+    fn mix_rejects_rate_mismatch() {
+        let mut a = TimeSeries::from_samples(10.0, vec![0.0]);
+        let b = TimeSeries::from_samples(20.0, vec![0.0]);
+        a.mix_in(&b, 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the simulation kernel.
+
+use magshield_simkit::interp::{lerp, piecewise_linear, smoothstep, wrap_angle};
+use magshield_simkit::rng::SimRng;
+use magshield_simkit::series::TimeSeries;
+use magshield_simkit::vec3::Vec3;
+use proptest::prelude::*;
+use rand::RngCore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fork determinism: same seed+label ⇒ identical stream; different
+    /// labels ⇒ (almost surely) different streams.
+    #[test]
+    fn fork_determinism(seed in 0u64..u64::MAX, label in "[a-z]{1,12}") {
+        let mut a = SimRng::from_seed(seed).fork(&label);
+        let mut b = SimRng::from_seed(seed).fork(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Gauss draws are finite and shuffles permute.
+    #[test]
+    fn rng_outputs_sane(seed in 0u64..u64::MAX, std in 0.0f64..100.0) {
+        let mut r = SimRng::from_seed(seed);
+        for _ in 0..16 {
+            prop_assert!(r.gauss(0.0, std).is_finite());
+        }
+        let mut v: Vec<u32> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+    }
+
+    /// Vec3 triangle inequality and norm homogeneity.
+    #[test]
+    fn vec3_norm_properties(
+        ax in -100.0f64..100.0, ay in -100.0f64..100.0, az in -100.0f64..100.0,
+        bx in -100.0f64..100.0, by in -100.0f64..100.0, bz in -100.0f64..100.0,
+        k in -10.0f64..10.0,
+    ) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        prop_assert!(((a * k).norm() - k.abs() * a.norm()).abs() < 1e-6 * (1.0 + a.norm()));
+        // Rotation preserves norms.
+        prop_assert!((a.rotated_z(k).norm() - a.norm()).abs() < 1e-9 * (1.0 + a.norm()));
+    }
+
+    /// wrap_angle lands in (−π, π] and preserves the angle mod 2π.
+    #[test]
+    fn wrap_angle_properties(a in -1000.0f64..1000.0) {
+        let w = wrap_angle(a);
+        prop_assert!(w > -std::f64::consts::PI - 1e-9);
+        prop_assert!(w <= std::f64::consts::PI + 1e-9);
+        let k = (a - w) / std::f64::consts::TAU;
+        prop_assert!((k - k.round()).abs() < 1e-6);
+    }
+
+    /// lerp endpoints and monotonicity in t.
+    #[test]
+    fn lerp_properties(a in -100.0f64..100.0, b in -100.0f64..100.0, t in 0.0f64..1.0) {
+        let v = lerp(a, b, t);
+        let lo = a.min(b);
+        let hi = a.max(b);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// smoothstep is monotone on [0, 1].
+    #[test]
+    fn smoothstep_monotone(t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        if t1 <= t2 {
+            prop_assert!(smoothstep(t1) <= smoothstep(t2) + 1e-12);
+        }
+    }
+
+    /// Piecewise-linear lookup stays within the y-range of its breakpoints.
+    #[test]
+    fn piecewise_bounded(ys in prop::collection::vec(-50.0f64..50.0, 2..8), x in -100.0f64..100.0) {
+        let points: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+        let v = piecewise_linear(&points, x);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// slice_time never panics and yields consistent lengths.
+    #[test]
+    fn slice_time_total(
+        samples in prop::collection::vec(-1.0f64..1.0, 1..100),
+        a in -1.0f64..2.0,
+        b in -1.0f64..2.0,
+    ) {
+        let ts = TimeSeries::from_samples(100.0, samples.clone());
+        let s = ts.slice_time(a, b);
+        prop_assert!(s.len() <= samples.len());
+    }
+
+    /// mix_in is additive: mixing twice with gain g equals once with 2g.
+    #[test]
+    fn mix_additivity(
+        base in prop::collection::vec(-1.0f64..1.0, 1..32),
+        add in prop::collection::vec(-1.0f64..1.0, 1..32),
+        g in -2.0f64..2.0,
+    ) {
+        let b = TimeSeries::from_samples(10.0, base.clone());
+        let a = TimeSeries::from_samples(10.0, add.clone());
+        let mut once = b.clone();
+        once.mix_in(&a, 2.0 * g);
+        let mut twice = b;
+        twice.mix_in(&a, g);
+        twice.mix_in(&a, g);
+        for (x, y) in once.samples().iter().zip(twice.samples()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # magshield-trajectory
+//!
+//! The sound-source distance verification substrate (§IV-B1 of the paper):
+//! reconstruct the phone's motion in the pre-defined 2-D approach plane
+//! from inertial and acoustic data, and estimate the phone-to-source
+//! distance.
+//!
+//! The paper's protocol (Fig. 3): the user holds the phone near the head,
+//! then moves it toward the mouth while speaking, sweeping it across the
+//! sound source. The phone emits an inaudible pilot tone whose received
+//! phase tracks path-length changes (λ < 2 cm, so centimetre motion is
+//! many cycles); the IMU provides heading and translation. The sweep arc's
+//! curvature — recovered by least-squares circle fitting \[17\] — yields
+//! the *absolute* distance to the pivot (the sound source), which relative
+//! phase alone cannot provide.
+//!
+//! * [`motion`] — ground-truth motion scenarios (approach + sweep) with
+//!   exact IMU signals;
+//! * [`reconstruct`] — heading fusion, ZUPT-corrected dead reckoning, and
+//!   circle-fit distance estimation;
+//! * [`ranging`] — pilot-tone phase ranging and the sweep-consistency
+//!   check that exposes off-center (attacker-geometry) sound sources.
+
+pub mod motion;
+pub mod ranging;
+pub mod reconstruct;
+
+pub use motion::SessionMotion;
+pub use ranging::RangingAnalysis;
+pub use reconstruct::TrajectoryEstimate;

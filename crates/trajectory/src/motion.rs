@@ -1,0 +1,280 @@
+//! Ground-truth motion scenarios for verification sessions.
+//!
+//! The protocol motion has two segments:
+//!
+//! 1. **approach** — a straight-line move from the hold position toward
+//!    the sound source, smoothstep velocity profile (hands accelerate and
+//!    decelerate smoothly);
+//! 2. **sweep** — an arc at (approximately) constant range around the
+//!    source, the segment whose curvature encodes absolute distance.
+//!
+//! The scenario produces exact positions, world accelerations, headings
+//! and angular rates at the IMU rate; the sensors crate corrupts them into
+//! realistic readings.
+
+use magshield_simkit::interp::smoothstep;
+use magshield_simkit::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a protocol-compliant session motion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionParams {
+    /// Sound-source position in the scene (m). Motion stays in its z-plane.
+    pub source: Vec3,
+    /// Initial phone–source distance (m), e.g. 0.20 (held near the head).
+    pub start_distance_m: f64,
+    /// Final phone–source distance (m) — the quantity the defense checks
+    /// against the threshold `Dt`.
+    pub end_distance_m: f64,
+    /// Approach duration (s).
+    pub approach_s: f64,
+    /// Sweep arc span (radians).
+    pub sweep_angle_rad: f64,
+    /// Sweep duration (s).
+    pub sweep_s: f64,
+    /// IMU sample rate (Hz).
+    pub sample_rate_hz: f64,
+}
+
+impl Default for MotionParams {
+    fn default() -> Self {
+        Self {
+            source: Vec3::ZERO,
+            start_distance_m: 0.20,
+            end_distance_m: 0.05,
+            approach_s: 1.0,
+            sweep_angle_rad: 80f64.to_radians(),
+            sweep_s: 1.0,
+            sample_rate_hz: 100.0,
+        }
+    }
+}
+
+/// One sample of ground-truth kinematics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionSample {
+    /// Phone position (m).
+    pub position: Vec3,
+    /// Phone velocity (m/s).
+    pub velocity: Vec3,
+    /// Phone acceleration in the world frame (m/s²).
+    pub acceleration: Vec3,
+    /// Phone heading: angle of the facing direction in the plane
+    /// (radians, 0 = facing −y toward the source in the default layout).
+    pub heading: f64,
+    /// Angular rate about +z (rad/s).
+    pub angular_rate: f64,
+}
+
+/// A realized session motion.
+#[derive(Debug, Clone)]
+pub struct SessionMotion {
+    /// Parameters used.
+    pub params: MotionParams,
+    /// Per-sample kinematics.
+    pub samples: Vec<MotionSample>,
+    /// Index where the sweep segment starts.
+    pub sweep_start: usize,
+}
+
+impl SessionMotion {
+    /// Generates the protocol motion: approach along −y toward the source,
+    /// then sweep an arc of `sweep_angle_rad` at the final distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if distances are non-positive or the end distance exceeds
+    /// the start distance.
+    pub fn generate(params: MotionParams) -> Self {
+        assert!(
+            params.end_distance_m > 0.0 && params.start_distance_m > params.end_distance_m,
+            "need start > end > 0 (got {} → {})",
+            params.start_distance_m,
+            params.end_distance_m
+        );
+        let fs = params.sample_rate_hz;
+        let dt = 1.0 / fs;
+        let n_app = (params.approach_s * fs) as usize;
+        let n_swp = (params.sweep_s * fs) as usize;
+        let mut samples = Vec::with_capacity(n_app + n_swp);
+
+        // Approach: radial line below the source (phone at source + (0, -d)).
+        let d0 = params.start_distance_m;
+        let d1 = params.end_distance_m;
+        let radial = |t: f64| d0 + (d1 - d0) * smoothstep(t);
+        for i in 0..n_app {
+            let t = i as f64 / n_app as f64;
+            let d = radial(t);
+            // Derivatives of the smoothstep radius, numerically.
+            let eps = 1e-4;
+            let dd = (radial(t + eps) - radial(t - eps)) / (2.0 * eps) / params.approach_s;
+            let ddd = (radial(t + eps) - 2.0 * d + radial(t - eps)) / (eps * eps)
+                / (params.approach_s * params.approach_s);
+            samples.push(MotionSample {
+                position: params.source + Vec3::new(0.0, -d, 0.0),
+                velocity: Vec3::new(0.0, -dd, 0.0),
+                acceleration: Vec3::new(0.0, -ddd, 0.0),
+                heading: 0.0,
+                angular_rate: 0.0,
+            });
+        }
+
+        // Sweep: arc of radius d1 centered at the source, starting at the
+        // approach end angle (−90° in scene terms), smoothstep angular
+        // profile so the ends have zero velocity (natural pauses → ZUPT).
+        let sweep_start = samples.len();
+        let theta0 = -std::f64::consts::FRAC_PI_2;
+        let theta = |t: f64| theta0 + params.sweep_angle_rad * smoothstep(t);
+        for i in 0..n_swp {
+            let t = i as f64 / n_swp as f64;
+            let th = theta(t);
+            let eps = 1e-4;
+            let w = (theta(t + eps) - theta(t - eps)) / (2.0 * eps) / params.sweep_s;
+            let a = (theta(t + eps) - 2.0 * th + theta(t - eps)) / (eps * eps)
+                / (params.sweep_s * params.sweep_s);
+            let pos = params.source + Vec3::new(d1 * th.cos(), d1 * th.sin(), 0.0);
+            let vel = Vec3::new(-d1 * th.sin(), d1 * th.cos(), 0.0) * w;
+            // a_world = r(θ̈ t̂ − θ̇² r̂)
+            let acc = Vec3::new(-d1 * th.sin(), d1 * th.cos(), 0.0) * a
+                + Vec3::new(d1 * th.cos(), d1 * th.sin(), 0.0) * (-w * w);
+            samples.push(MotionSample {
+                position: pos,
+                velocity: vel,
+                acceleration: acc,
+                // The phone keeps facing the source: heading tracks θ.
+                heading: th - theta0,
+                angular_rate: w,
+            });
+        }
+        let _ = dt;
+        SessionMotion {
+            params,
+            samples,
+            sweep_start,
+        }
+    }
+
+    /// An attacker's rig: the same hand motion executed around a pivot at
+    /// `fake_center`, while the actual sound source sits elsewhere
+    /// (`params.source`). Geometry is identical to a genuine session; only
+    /// the relationship to the sound source differs — which is what the
+    /// ranging consistency check detects.
+    pub fn generate_off_center(params: MotionParams, fake_center: Vec3) -> Self {
+        let shifted = MotionParams {
+            source: fake_center,
+            ..params
+        };
+        let mut m = Self::generate(shifted);
+        m.params.source = params.source;
+        m
+    }
+
+    /// Per-sample positions.
+    pub fn positions(&self) -> Vec<Vec3> {
+        self.samples.iter().map(|s| s.position).collect()
+    }
+
+    /// Per-sample true phone–source distances (m).
+    pub fn distances(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| (s.position - self.params.source).norm())
+            .collect()
+    }
+
+    /// Body-frame specific-force readings the accelerometer would see
+    /// (gravity removed by the platform's linear-acceleration fusion, as
+    /// Android exposes; rotated into the phone frame by heading).
+    pub fn body_accelerations(&self) -> Vec<Vec3> {
+        self.samples
+            .iter()
+            .map(|s| s.acceleration.rotated_z(-s.heading))
+            .collect()
+    }
+
+    /// True angular-rate vectors (rad/s) for the gyroscope.
+    pub fn angular_rates(&self) -> Vec<Vec3> {
+        self.samples
+            .iter()
+            .map(|s| Vec3::new(0.0, 0.0, s.angular_rate))
+            .collect()
+    }
+
+    /// Total duration (s).
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.params.sample_rate_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approach_ends_at_target_distance() {
+        let m = SessionMotion::generate(MotionParams::default());
+        let d = m.distances();
+        assert!((d[0] - 0.20).abs() < 1e-9);
+        assert!((d[m.sweep_start - 1] - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sweep_holds_constance_distance() {
+        let m = SessionMotion::generate(MotionParams::default());
+        for &d in &m.distances()[m.sweep_start..] {
+            assert!((d - 0.05).abs() < 1e-9, "sweep distance {d}");
+        }
+    }
+
+    #[test]
+    fn sweep_spans_requested_angle() {
+        let m = SessionMotion::generate(MotionParams::default());
+        let span = m.samples.last().unwrap().heading - m.samples[m.sweep_start].heading;
+        assert!((span - 80f64.to_radians()).abs() < 0.02, "span {span}");
+    }
+
+    #[test]
+    fn velocities_are_zero_at_segment_ends() {
+        let m = SessionMotion::generate(MotionParams::default());
+        assert!(m.samples[0].velocity.norm() < 1e-3);
+        assert!(m.samples[m.sweep_start].velocity.norm() < 1e-2);
+        assert!(m.samples.last().unwrap().velocity.norm() < 1e-2);
+    }
+
+    #[test]
+    fn positions_integrate_velocities() {
+        let m = SessionMotion::generate(MotionParams::default());
+        let dt = 1.0 / m.params.sample_rate_hz;
+        // Midpoint check on the sweep: finite-difference of position ≈ v.
+        let i = m.sweep_start + 50;
+        let fd = (m.samples[i + 1].position - m.samples[i - 1].position) / (2.0 * dt);
+        assert!((fd - m.samples[i].velocity).norm() < 0.01);
+    }
+
+    #[test]
+    fn off_center_motion_has_same_shape_different_source() {
+        let p = MotionParams::default();
+        let genuine = SessionMotion::generate(p);
+        let off = SessionMotion::generate_off_center(p, Vec3::new(0.0, 0.30, 0.0));
+        assert_eq!(genuine.samples.len(), off.samples.len());
+        // The attack arc pivots around the fake center, so true source
+        // distances vary during the sweep.
+        let d = off.distances();
+        let (lo, hi) = d[off.sweep_start..]
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+                (l.min(x), h.max(x))
+            });
+        assert!(hi - lo > 0.01, "off-center sweep should vary distance: {lo}..{hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need start > end")]
+    fn rejects_bad_distances() {
+        SessionMotion::generate(MotionParams {
+            start_distance_m: 0.05,
+            end_distance_m: 0.10,
+            ..Default::default()
+        });
+    }
+}

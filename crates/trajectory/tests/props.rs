@@ -1,0 +1,97 @@
+//! Property-based tests for the trajectory stack.
+
+use magshield_simkit::vec3::Vec3;
+use magshield_trajectory::motion::{MotionParams, SessionMotion};
+use magshield_trajectory::ranging::{analyze, render_received_pilot};
+use magshield_trajectory::reconstruct::reconstruct;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Motion generation invariants: distances shrink monotonically during
+    /// the approach and stay constant during the sweep, for any protocol
+    /// geometry.
+    #[test]
+    fn motion_invariants(
+        start in 0.12f64..0.35,
+        end in 0.03f64..0.1,
+        sweep_deg in 30.0f64..120.0,
+    ) {
+        prop_assume!(start > end + 0.02);
+        let m = SessionMotion::generate(MotionParams {
+            start_distance_m: start,
+            end_distance_m: end,
+            sweep_angle_rad: sweep_deg.to_radians(),
+            ..MotionParams::default()
+        });
+        let d = m.distances();
+        // Approach is non-increasing.
+        for w in d[..m.sweep_start].windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9);
+        }
+        // Sweep holds the end distance.
+        for &x in &d[m.sweep_start..] {
+            prop_assert!((x - end).abs() < 1e-6);
+        }
+        // Heading spans the requested arc.
+        let span = m.samples.last().unwrap().heading - m.samples[m.sweep_start].heading;
+        prop_assert!((span - sweep_deg.to_radians()).abs() < 0.05);
+    }
+
+    /// Perfect-sensor reconstruction recovers the sweep radius for any
+    /// end distance in the protocol range.
+    #[test]
+    fn reconstruction_recovers_radius(end_cm in 4.0f64..12.0) {
+        let end = end_cm / 100.0;
+        let m = SessionMotion::generate(MotionParams {
+            end_distance_m: end,
+            start_distance_m: end + 0.15,
+            ..MotionParams::default()
+        });
+        let mags: Vec<Option<f64>> = m.samples.iter().map(|s| Some(s.heading)).collect();
+        let est = reconstruct(
+            &m.body_accelerations(),
+            &m.angular_rates(),
+            &mags,
+            m.sweep_start,
+            m.params.sample_rate_hz,
+        );
+        let d = est.distance_m.expect("fit succeeds with perfect sensors");
+        prop_assert!((d - end).abs() < 0.015, "true {end}, est {d}");
+    }
+
+    /// Pilot ranging: the approach displacement estimate matches the
+    /// commanded approach for any pilot in the usable band.
+    #[test]
+    fn ranging_tracks_approach(pilot_khz in 17.0f64..21.0, travel_cm in 5.0f64..18.0) {
+        let fs = 48_000.0;
+        let pilot = pilot_khz * 1000.0;
+        let travel = travel_cm / 100.0;
+        let n = 24_000;
+        let d: Vec<f64> = (0..n)
+            .map(|i| 0.05 + travel * (1.0 - i as f64 / n as f64))
+            .collect();
+        let rec = render_received_pilot(pilot, fs, &d);
+        let a = analyze(&rec, fs, pilot, 0.5);
+        prop_assert!(
+            (a.approach_displacement_m + travel).abs() < 0.01,
+            "travel {travel}, measured {}",
+            a.approach_displacement_m
+        );
+    }
+
+    /// Off-center pivots always create true-distance ripple during the
+    /// sweep proportional to the pivot offset.
+    #[test]
+    fn off_center_ripple_grows(offset_cm in 5.0f64..25.0) {
+        let offset = offset_cm / 100.0;
+        let p = MotionParams::default();
+        let m = SessionMotion::generate_off_center(p, Vec3::new(0.0, -offset, 0.0));
+        let d = m.distances();
+        let (lo, hi) = d[m.sweep_start..]
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| (l.min(x), h.max(x)));
+        prop_assert!(hi - lo > 0.1 * offset, "ripple {} for offset {offset}", hi - lo);
+    }
+}

@@ -1,0 +1,204 @@
+//! Playback device catalog — Appendix A (Table IV) of the paper.
+//!
+//! The paper evaluates 25 conventional loudspeakers "ranging from low-end
+//! to high-end, including PC loudspeakers, mobile phone internal speakers,
+//! laptop internal speakers, and earphones", plus (§VII) unconventional
+//! electrostatic and piezoelectric speakers. Each catalog entry carries the
+//! physical parameters the defense keys on:
+//!
+//! * near-field magnet strength (µT at the 3 cm reference — the paper's
+//!   Fig. 10 band is 30–210 µT),
+//! * radiating aperture radius (sound-field signature),
+//! * passband (affects replayed speech coloration).
+
+use serde::{Deserialize, Serialize};
+
+/// Broad device classes with distinct physical signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Desktop PC / bookshelf / outdoor loudspeakers.
+    PcSpeaker,
+    /// Portable Bluetooth speakers.
+    Bluetooth,
+    /// Laptop internal speakers.
+    LaptopInternal,
+    /// Smartphone internal speakers.
+    PhoneInternal,
+    /// In-ear / earbud drivers.
+    Earphone,
+    /// Electrostatic panel (no permanent magnet; §VII).
+    Electrostatic,
+    /// Piezoelectric tweeter (no magnet, poor audio quality; §VII).
+    Piezoelectric,
+}
+
+/// A concrete playback device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackDevice {
+    /// Maker + model as listed in Table IV.
+    pub name: &'static str,
+    /// Device class.
+    pub class: DeviceClass,
+    /// Permanent-magnet field (µT) at the 3 cm reference distance.
+    /// Zero for electrostatic/piezo devices.
+    pub magnet_ut_at_3cm: f64,
+    /// Radiating aperture radius (m).
+    pub aperture_radius_m: f64,
+    /// Low cutoff of the passband (Hz).
+    pub low_hz: f64,
+    /// High cutoff of the passband (Hz).
+    pub high_hz: f64,
+}
+
+impl PlaybackDevice {
+    /// Whether the device contains a permanent-magnet (dynamic) driver.
+    pub fn has_magnet(&self) -> bool {
+        self.magnet_ut_at_3cm > 0.0
+    }
+
+    /// For unconventional drivers: residual magnetic signature (µT at
+    /// 3 cm) from metal grids / wiring, detectable only very close. The
+    /// paper notes the ESL "can still be detected by magnetometer as the
+    /// metal grids generate the magnetic interference".
+    pub fn residual_interference_ut(&self) -> f64 {
+        match self.class {
+            DeviceClass::Electrostatic => 6.0,
+            DeviceClass::Piezoelectric => 1.5,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The full Table IV catalog (25 conventional loudspeakers and earphones).
+///
+/// Magnet strengths are assigned per device class and size within the
+/// paper's measured 30–210 µT near-field band (Fig. 10); exact per-unit
+/// values were not published, so these are class-calibrated (DESIGN.md §2).
+pub fn table_iv_catalog() -> Vec<PlaybackDevice> {
+    use DeviceClass::*;
+    let d = |name, class, magnet, aperture, low, high| PlaybackDevice {
+        name,
+        class,
+        magnet_ut_at_3cm: magnet,
+        aperture_radius_m: aperture,
+        low_hz: low,
+        high_hz: high,
+    };
+    vec![
+        d("Logitech LS21 2.1 Stereo", PcSpeaker, 150.0, 0.035, 60.0, 18_000.0),
+        d("Klipsch KHO-7 Indoor/Outdoor", PcSpeaker, 210.0, 0.057, 60.0, 19_000.0),
+        d("Insignia NS-OS112 Indoor/Outdoor", PcSpeaker, 170.0, 0.050, 70.0, 18_000.0),
+        d("Sony SRSX2/BLK Portable BT", Bluetooth, 110.0, 0.022, 80.0, 18_000.0),
+        d("Bose SoundLink Mini PINK", Bluetooth, 130.0, 0.025, 70.0, 18_500.0),
+        d("Bose 151 SE Environmental", PcSpeaker, 190.0, 0.055, 60.0, 18_000.0),
+        d("Yamaha NS-AW190BL 5\" Outdoor", PcSpeaker, 180.0, 0.063, 65.0, 19_000.0),
+        d("Pioneer SP-FS52 Floor", PcSpeaker, 205.0, 0.065, 40.0, 20_000.0),
+        d("HP D9J19AT 2.0 System", PcSpeaker, 95.0, 0.025, 90.0, 17_000.0),
+        d("GPX HT12B 2.1 System", PcSpeaker, 120.0, 0.030, 80.0, 17_500.0),
+        d("Coby CSMP67 2.1 Home Audio", PcSpeaker, 115.0, 0.030, 80.0, 17_000.0),
+        d("Acoustic Audio AA2101", PcSpeaker, 140.0, 0.040, 70.0, 18_000.0),
+        d("Macbook Pro A1286 Internal", LaptopInternal, 55.0, 0.012, 150.0, 18_000.0),
+        d("Macbook Air A1466 Internal", LaptopInternal, 45.0, 0.010, 200.0, 17_500.0),
+        d("iMac MB952XX/A Internal", LaptopInternal, 80.0, 0.020, 100.0, 18_000.0),
+        d("HP 6510b GM949 Internal", LaptopInternal, 42.0, 0.010, 250.0, 16_500.0),
+        d("Toshiba Satellite C55-B5101 Internal", LaptopInternal, 40.0, 0.010, 250.0, 16_500.0),
+        d("Dell Inspiron I5558-2571BLK Internal", LaptopInternal, 44.0, 0.011, 220.0, 17_000.0),
+        d("iPhone 6 Plus A1524 Internal", PhoneInternal, 48.0, 0.007, 300.0, 18_000.0),
+        d("iPhone 5S A1533 Internal", PhoneInternal, 40.0, 0.006, 350.0, 18_000.0),
+        d("iPhone 4S A1387 Internal", PhoneInternal, 35.0, 0.006, 400.0, 17_000.0),
+        d("LG Nexus 5 LG-D820 Internal", PhoneInternal, 38.0, 0.006, 350.0, 18_000.0),
+        d("LG Nexus 4 LG-E960 Internal", PhoneInternal, 36.0, 0.006, 350.0, 17_500.0),
+        d("Samsung Galaxy S Headset EHS44", Earphone, 14.0, 0.004, 100.0, 19_000.0),
+        d("Apple EarPods MD827LL/A", Earphone, 16.0, 0.005, 80.0, 19_500.0),
+    ]
+}
+
+/// Unconventional loudspeakers discussed in §VII.
+pub fn unconventional_catalog() -> Vec<PlaybackDevice> {
+    use DeviceClass::*;
+    vec![
+        PlaybackDevice {
+            name: "Generic electrostatic panel (ESL)",
+            class: Electrostatic,
+            magnet_ut_at_3cm: 0.0,
+            aperture_radius_m: 0.15,
+            low_hz: 200.0,
+            high_hz: 20_000.0,
+        },
+        PlaybackDevice {
+            name: "Generic piezoelectric tweeter",
+            class: Piezoelectric,
+            magnet_ut_at_3cm: 0.0,
+            aperture_radius_m: 0.008,
+            low_hz: 1500.0,
+            high_hz: 20_000.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_25_devices() {
+        assert_eq!(table_iv_catalog().len(), 25);
+    }
+
+    #[test]
+    fn conventional_magnets_in_paper_band() {
+        // Fig. 10 / §VI: conventional loudspeaker near fields are
+        // 30–210 µT; earphone drivers are small and fall below.
+        for dev in table_iv_catalog() {
+            if dev.class == DeviceClass::Earphone {
+                assert!(dev.magnet_ut_at_3cm < 30.0, "{}", dev.name);
+            } else {
+                assert!(
+                    (30.0..=210.0).contains(&dev.magnet_ut_at_3cm),
+                    "{}: {} µT",
+                    dev.name,
+                    dev.magnet_ut_at_3cm
+                );
+            }
+            assert!(dev.has_magnet());
+        }
+    }
+
+    #[test]
+    fn class_diversity_present() {
+        use std::collections::HashSet;
+        let classes: HashSet<_> = table_iv_catalog().into_iter().map(|d| d.class).collect();
+        assert!(classes.contains(&DeviceClass::PcSpeaker));
+        assert!(classes.contains(&DeviceClass::LaptopInternal));
+        assert!(classes.contains(&DeviceClass::PhoneInternal));
+        assert!(classes.contains(&DeviceClass::Earphone));
+        assert!(classes.contains(&DeviceClass::Bluetooth));
+    }
+
+    #[test]
+    fn earphones_have_small_apertures() {
+        for dev in table_iv_catalog() {
+            if dev.class == DeviceClass::Earphone {
+                assert!(dev.aperture_radius_m <= 0.005, "{}", dev.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unconventional_devices_lack_magnets_but_interfere() {
+        for dev in unconventional_catalog() {
+            assert!(!dev.has_magnet());
+            assert!(dev.residual_interference_ut() > 0.0);
+        }
+        // Conventional devices report no "residual" channel (the magnet is
+        // the signature).
+        assert_eq!(table_iv_catalog()[0].residual_interference_ut(), 0.0);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = table_iv_catalog().iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), 25);
+    }
+}

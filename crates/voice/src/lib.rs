@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # magshield-voice
+//!
+//! Synthetic speech, speakers, impersonation attacks and playback devices —
+//! the stand-ins for the paper's human subjects and loudspeaker testbed
+//! (DESIGN.md documents each substitution):
+//!
+//! * [`profile`] — parametric speaker profiles (pitch, vocal-tract scale,
+//!   per-formant offsets, glottal character);
+//! * [`synth`] — a source–filter formant synthesizer rendering digit
+//!   passphrases; each synthetic speaker has a distinct, stable spectral
+//!   envelope, which is the property the GMM–UBM verifier measures;
+//! * [`corpus`] — corpus builders: an enrollment/UBM corpus and a
+//!   cross-channel test corpus standing in for Voxforge and CMU Arctic
+//!   (Table I, Test 2);
+//! * [`attacks`] — the paper's four §III-A attack types: voice replay,
+//!   voice morphing, voice synthesis (machine-based, Types 1–3) and human
+//!   mimicry;
+//! * [`devices`] — the playback device catalog of Appendix A (Table IV):
+//!   25 conventional loudspeakers plus earphones, an electrostatic panel
+//!   and a piezo tweeter, each with magnet strength, aperture and
+//!   bandwidth.
+
+pub mod attacks;
+pub mod corpus;
+pub mod devices;
+pub mod profile;
+pub mod synth;
+
+pub use attacks::AttackKind;
+pub use devices::{DeviceClass, PlaybackDevice};
+pub use profile::SpeakerProfile;
+pub use synth::FormantSynthesizer;

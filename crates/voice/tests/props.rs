@@ -1,0 +1,97 @@
+//! Property-based tests for the voice substrate.
+
+use magshield_simkit::rng::SimRng;
+use magshield_voice::attacks::{attack_audio, AttackKind};
+use magshield_voice::corpus::random_passphrase;
+use magshield_voice::devices::table_iv_catalog;
+use magshield_voice::profile::SpeakerProfile;
+use magshield_voice::synth::{FormantSynthesizer, SessionEffects};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any digit passphrase renders to bounded, finite, non-silent audio.
+    #[test]
+    fn synthesis_is_bounded(seed in 0u64..10_000, digits in "[0-9]{1,6}") {
+        let rng = SimRng::from_seed(seed);
+        let sp = SpeakerProfile::sample((seed % 64) as u32, &rng);
+        let audio = FormantSynthesizer::default().render_digits(
+            &sp,
+            &digits,
+            SessionEffects::sample(&rng.fork("fx"), 1.0),
+            &rng.fork("take"),
+        );
+        prop_assert!(!audio.is_empty());
+        prop_assert!(audio.iter().all(|x| x.is_finite() && x.abs() <= 1.0));
+        let rms = (audio.iter().map(|x| x * x).sum::<f64>() / audio.len() as f64).sqrt();
+        prop_assert!(rms > 0.005, "rms {rms}");
+    }
+
+    /// Speaker sampling stays within human parameter ranges.
+    #[test]
+    fn profiles_physiological(id in 0u32..500, seed in 0u64..1000) {
+        let sp = SpeakerProfile::sample(id, &SimRng::from_seed(seed));
+        prop_assert!((80.0..=260.0).contains(&sp.f0_hz));
+        prop_assert!((0.7..=1.4).contains(&sp.vtl_factor));
+        prop_assert!(sp.jitter > 0.0 && sp.jitter < 0.05);
+        for o in sp.formant_offsets {
+            prop_assert!((0.8..=1.2).contains(&o));
+        }
+    }
+
+    /// Morphing is idempotent on the spectral parameters: morphing an
+    /// already-morphed profile toward the same victim changes nothing
+    /// spectral.
+    #[test]
+    fn morph_idempotent(a in 0u32..100, b in 0u32..100, seed in 0u64..100) {
+        let rng = SimRng::from_seed(seed);
+        let attacker = SpeakerProfile::sample(a, &rng);
+        let victim = SpeakerProfile::sample(b, &rng);
+        let once = attacker.morphed_toward(&victim);
+        let twice = once.morphed_toward(&victim);
+        prop_assert_eq!(once.f0_hz, twice.f0_hz);
+        prop_assert_eq!(once.vtl_factor, twice.vtl_factor);
+        prop_assert_eq!(once.formant_offsets, twice.formant_offsets);
+    }
+
+    /// Random passphrases have the requested length and only digits.
+    #[test]
+    fn passphrases_valid(len in 1usize..12, seed in 0u64..1000) {
+        let mut rng = SimRng::from_seed(seed);
+        let p = random_passphrase(len, &mut rng);
+        prop_assert_eq!(p.len(), len);
+        prop_assert!(p.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    /// Attack audio is reproducible and finite for every kind.
+    #[test]
+    fn attacks_deterministic(seed in 0u64..200) {
+        let rng = SimRng::from_seed(seed);
+        let attacker = SpeakerProfile::sample(1, &rng);
+        let victim = SpeakerProfile::sample(2, &rng);
+        for kind in [
+            AttackKind::Replay,
+            AttackKind::Morphing,
+            AttackKind::Synthesis,
+            AttackKind::HumanMimicry,
+        ] {
+            let a = attack_audio(kind, &attacker, &victim, "42", &SimRng::from_seed(seed));
+            let b = attack_audio(kind, &attacker, &victim, "42", &SimRng::from_seed(seed));
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.iter().all(|x| x.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn device_catalog_is_stable() {
+    // Regression guard: device count and class-level calibration bands.
+    let cat = table_iv_catalog();
+    assert_eq!(cat.len(), 25);
+    for d in &cat {
+        assert!(d.aperture_radius_m > 0.0);
+        assert!(d.low_hz < d.high_hz);
+        assert!(d.magnet_ut_at_3cm >= 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Attack gauntlet: run every attack class of §III-A against the trained
+//! defense and report which component stops each one.
+//!
+//! Covers the paper's threat taxonomy end to end: replay / morphing /
+//! synthesis through conventional loudspeakers and earphones, a Mu-metal
+//! shielded speaker, a sound-tube rig, an electrostatic panel, and a live
+//! human imitator.
+//!
+//! ```sh
+//! cargo run --release --example attack_gauntlet
+//! ```
+
+use magshield::core::scenario::{self, ScenarioBuilder, SourceKind};
+use magshield::core::verdict::{Component, DefenseVerdict};
+use magshield::physics::acoustics::tube::SoundTube;
+use magshield::simkit::rng::SimRng;
+use magshield::simkit::vec3::Vec3;
+use magshield::voice::attacks::AttackKind;
+use magshield::voice::devices::{table_iv_catalog, unconventional_catalog};
+use magshield::voice::profile::SpeakerProfile;
+
+fn blocking_components(v: &DefenseVerdict) -> String {
+    let names: Vec<&str> = v
+        .results
+        .iter()
+        .filter(|r| r.attack_score >= 1.0)
+        .map(|r| match r.component {
+            Component::Distance => "distance",
+            Component::SoundField => "sound-field",
+            Component::Loudspeaker => "loudspeaker",
+            Component::SpeakerIdentity => "speaker-id",
+        })
+        .collect();
+    if names.is_empty() {
+        "-".into()
+    } else {
+        names.join("+")
+    }
+}
+
+fn main() {
+    let rng = SimRng::from_seed(1337);
+    println!("training the defense system...");
+    let (system, user) = scenario::bootstrap_system(&rng);
+    let attacker = SpeakerProfile::sample(88, &rng.fork("attacker"));
+    let catalog = table_iv_catalog();
+    let pc_speaker = catalog[0].clone();
+    let earphone = catalog
+        .iter()
+        .find(|d| d.name.contains("EarPods"))
+        .unwrap()
+        .clone();
+    let esl = unconventional_catalog()[0].clone();
+
+    println!(
+        "\n{:<44} {:>8}  {}",
+        "scenario", "verdict", "blocked by"
+    );
+    println!("{}", "-".repeat(76));
+
+    let run = |name: &str, builder: ScenarioBuilder, seed: &str| {
+        let session = builder.capture(&rng.fork(seed));
+        let v = system.verify(&session);
+        println!(
+            "{:<44} {:>8}  {}",
+            name,
+            format!("{:?}", v.decision),
+            blocking_components(&v)
+        );
+        v.accepted()
+    };
+
+    // Genuine baseline.
+    let ok = run("genuine user", ScenarioBuilder::genuine(&user), "genuine");
+    assert!(ok, "genuine baseline must pass");
+
+    // Machine-based attacks through a PC loudspeaker.
+    for kind in AttackKind::machine_based() {
+        let name = format!("{kind:?} via {}", pc_speaker.name);
+        run(
+            &name,
+            ScenarioBuilder::machine_attack(&user, kind, pc_speaker.clone(), attacker.clone())
+                .at_distance(0.05),
+            &format!("atk-{kind:?}"),
+        );
+    }
+
+    // Earphone replay (magnet too small → the sound field must catch it).
+    run(
+        "Replay via Apple EarPods (earphone)",
+        ScenarioBuilder::machine_attack(
+            &user,
+            AttackKind::Replay,
+            earphone.clone(),
+            attacker.clone(),
+        )
+        .at_distance(0.05),
+        "atk-earphone",
+    );
+
+    // Mu-metal shielded loudspeaker (§VI).
+    run(
+        "Replay via shielded Logitech LS21",
+        ScenarioBuilder::machine_attack(
+            &user,
+            AttackKind::Replay,
+            pc_speaker.clone(),
+            attacker.clone(),
+        )
+        .at_distance(0.05)
+        .with_shielding(),
+        "atk-shield",
+    );
+
+    // Sound-tube attack (§VII).
+    {
+        let mut b = ScenarioBuilder::machine_attack(
+            &user,
+            AttackKind::Replay,
+            pc_speaker.clone(),
+            attacker.clone(),
+        )
+        .at_distance(0.05);
+        b.source = SourceKind::DeviceViaTube {
+            device: pc_speaker.clone(),
+            tube: SoundTube::new(0.30, 0.0125),
+        };
+        run("Replay via 30 cm sound tube", b, "atk-tube");
+    }
+
+    // Off-center rig: speaker 25 cm away, hand sweep faking closeness.
+    run(
+        "Replay, speaker 25 cm away, fake pivot",
+        ScenarioBuilder::machine_attack(
+            &user,
+            AttackKind::Replay,
+            pc_speaker.clone(),
+            attacker.clone(),
+        )
+        .at_distance(0.25)
+        .with_off_center_pivot(Vec3::new(0.0, -0.20, 0.0)),
+        "atk-pivot",
+    );
+
+    // Electrostatic panel (§VII).
+    run(
+        "Synthesis via electrostatic panel (ESL)",
+        ScenarioBuilder::machine_attack(&user, AttackKind::Synthesis, esl, attacker.clone())
+            .at_distance(0.05),
+        "atk-esl",
+    );
+
+    // Live human imitator.
+    run(
+        "human mimicry (live voice)",
+        ScenarioBuilder::mimicry_attack(&user, attacker.clone()),
+        "atk-mimic",
+    );
+
+    println!("\nall machine-based deliveries must be rejected; see EXPERIMENTS.md for rates.");
+}

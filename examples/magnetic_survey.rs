@@ -1,0 +1,55 @@
+//! Magnetic survey: reproduce the physics views behind Figs. 10 and 12 —
+//! the polar field pattern of a loudspeaker and the field-vs-distance
+//! decay that sets the 6 cm detection threshold.
+//!
+//! ```sh
+//! cargo run --release --example magnetic_survey
+//! ```
+
+use magshield::physics::magnetics::dipole::MagneticDipole;
+use magshield::physics::magnetics::earth::EarthField;
+use magshield::physics::magnetics::shielding::Shield;
+use magshield::sensors::magnetometer::{Magnetometer, MagnetometerSpec};
+use magshield::simkit::rng::SimRng;
+use magshield::simkit::vec3::Vec3;
+use magshield::voice::devices::table_iv_catalog;
+
+fn bar(value: f64, full_scale: f64, width: usize) -> String {
+    let n = ((value / full_scale) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(n)
+}
+
+fn main() {
+    let catalog = table_iv_catalog();
+    let ls21 = &catalog[0];
+    println!("device: {}  (calibrated {} µT at 3 cm)\n", ls21.name, ls21.magnet_ut_at_3cm);
+    let magnet = MagneticDipole::calibrated(Vec3::ZERO, Vec3::Y, ls21.magnet_ut_at_3cm, 0.03);
+
+    // --- Fig. 10: polar scan at 3 cm -------------------------------------
+    println!("polar field magnitude at 3 cm (Fig. 10 view):");
+    for deg in (0..360).step_by(20) {
+        let a = (deg as f64).to_radians();
+        let p = Vec3::new(0.03 * a.sin(), 0.03 * a.cos(), 0.0);
+        let b = magnet.field_at(p).norm();
+        println!("  {deg:>3}°  {b:7.1} µT  {}", bar(b, 320.0, 40));
+    }
+
+    // --- Fig. 12 driver: |B| vs distance, bare and shielded --------------
+    let earth = EarthField::typical().field_at();
+    let shield = Shield::mu_metal();
+    let mut mag = Magnetometer::new(MagnetometerSpec::ak8975(), SimRng::from_seed(1));
+    println!("\nfield vs distance on-axis (Earth field {:.1} µT, AK8975 noise ~0.4 µT):", earth.norm());
+    println!("{:>6} {:>12} {:>12} {:>14}", "d (cm)", "bare (µT)", "shielded", "sensor reads");
+    for d_cm in [2.0f64, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0] {
+        let p = Vec3::new(0.0, d_cm / 100.0, 0.0);
+        let bare = magnet.field_at(p).norm();
+        let shielded = shield.field_at(magnet, earth, p).norm();
+        let reading = mag.read(magnet.field_at(p) + earth).norm();
+        println!("{d_cm:>6.0} {bare:>12.2} {shielded:>12.2} {reading:>14.2}");
+    }
+    println!(
+        "\nbelow ~{} µT of anomaly the AK8975 noise floor hides the speaker —\n\
+         that is why the paper pins the distance threshold Dt at 6 cm.",
+        2.5
+    );
+}

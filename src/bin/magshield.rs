@@ -1,0 +1,222 @@
+//! The magshield command-line tool: run verification scenarios against the
+//! trained defense without writing code.
+//!
+//! ```text
+//! magshield demo                         quickstart: genuine vs replay
+//! magshield devices                      list the Table IV device catalog
+//! magshield verify [OPTIONS]             run one scenario
+//!   --attack replay|morphing|synthesis|mimicry|none
+//!   --device <substring of a catalog name>     (default: Logitech)
+//!   --distance <cm>                             (default: 5)
+//!   --env quiet|computer|car                    (default: quiet)
+//!   --shielded                                  Mu-metal around the device
+//!   --seed <n>                                  (default: 2017)
+//! ```
+
+use magshield::core::pipeline::DefenseSystem;
+use magshield::core::scenario::{self, ScenarioBuilder, UserContext};
+use magshield::physics::magnetics::interference::EmfEnvironment;
+use magshield::simkit::rng::SimRng;
+use magshield::simkit::vec3::Vec3;
+use magshield::voice::attacks::AttackKind;
+use magshield::voice::devices::table_iv_catalog;
+use magshield::voice::profile::SpeakerProfile;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("demo") => demo(),
+        Some("devices") => devices(),
+        Some("verify") => verify(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "magshield — voice-impersonation defense (ICDCS 2017 reproduction)\n\n\
+         USAGE:\n  magshield demo\n  magshield devices\n  magshield verify [OPTIONS]\n\n\
+         VERIFY OPTIONS:\n  \
+         --attack replay|morphing|synthesis|mimicry|none   (default: none = genuine)\n  \
+         --device <catalog-name substring>                 (default: Logitech)\n  \
+         --distance <cm>                                   (default: 5)\n  \
+         --env quiet|computer|car                          (default: quiet)\n  \
+         --shielded\n  \
+         --seed <n>                                        (default: 2017)"
+    );
+}
+
+fn bootstrap(seed: u64) -> (DefenseSystem, UserContext, SimRng) {
+    eprintln!("training the defense system (seed {seed})...");
+    let rng = SimRng::from_seed(seed);
+    let (system, user) = scenario::bootstrap_system(&rng);
+    (system, user, rng)
+}
+
+fn print_verdict(v: &magshield::core::verdict::DefenseVerdict) {
+    println!("verdict: {:?}", v.decision);
+    for r in &v.results {
+        println!(
+            "  {:<16} score {:>5.2}  {}",
+            format!("{:?}", r.component),
+            r.attack_score,
+            r.detail
+        );
+    }
+}
+
+fn demo() -> ExitCode {
+    let (system, user, rng) = bootstrap(2017);
+    println!("\n--- genuine session ---");
+    let s = ScenarioBuilder::genuine(&user).capture(&rng.fork("cli-genuine"));
+    print_verdict(&system.verify(&s));
+    println!("\n--- replay attack via Logitech LS21 at 5 cm ---");
+    let attacker = SpeakerProfile::sample(99, &rng.fork("cli-attacker"));
+    let s = ScenarioBuilder::machine_attack(
+        &user,
+        AttackKind::Replay,
+        table_iv_catalog()[0].clone(),
+        attacker,
+    )
+    .at_distance(0.05)
+    .capture(&rng.fork("cli-attack"));
+    print_verdict(&system.verify(&s));
+    ExitCode::SUCCESS
+}
+
+fn devices() -> ExitCode {
+    println!("{:<46} {:>8} {:>10} {:>14}", "device", "magnet", "aperture", "passband");
+    println!("{}", "-".repeat(82));
+    for d in table_iv_catalog() {
+        println!(
+            "{:<46} {:>6.0}µT {:>8.0}mm {:>7.0}-{:.0}Hz",
+            d.name,
+            d.magnet_ut_at_3cm,
+            d.aperture_radius_m * 1000.0,
+            d.low_hz,
+            d.high_hz
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn verify(args: &[String]) -> ExitCode {
+    let mut attack = "none".to_string();
+    let mut device = "Logitech".to_string();
+    let mut distance_cm = 5.0f64;
+    let mut env = "quiet".to_string();
+    let mut shielded = false;
+    let mut seed = 2017u64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Option<String> {
+            match it.next() {
+                Some(v) => Some(v.clone()),
+                None => {
+                    eprintln!("{name} needs a value");
+                    None
+                }
+            }
+        };
+        match a.as_str() {
+            "--attack" => match take("--attack") {
+                Some(v) => attack = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--device" => match take("--device") {
+                Some(v) => device = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--distance" => match take("--distance").and_then(|v| v.parse().ok()) {
+                Some(v) => distance_cm = v,
+                None => {
+                    eprintln!("--distance needs a number (cm)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--env" => match take("--env") {
+                Some(v) => env = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--shielded" => shielded = true,
+            "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let kind = match attack.as_str() {
+        "none" => None,
+        "replay" => Some(AttackKind::Replay),
+        "morphing" => Some(AttackKind::Morphing),
+        "synthesis" => Some(AttackKind::Synthesis),
+        "mimicry" => Some(AttackKind::HumanMimicry),
+        other => {
+            eprintln!("unknown attack kind: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let environment = match env.as_str() {
+        "quiet" => EmfEnvironment::quiet(),
+        "computer" => EmfEnvironment::near_computer(Vec3::new(0.30, 0.0, 0.0)),
+        "car" => EmfEnvironment::in_car(),
+        other => {
+            eprintln!("unknown environment: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (system, user, rng) = bootstrap(seed);
+    let builder = match kind {
+        None => ScenarioBuilder::genuine(&user),
+        Some(AttackKind::HumanMimicry) => {
+            let attacker = SpeakerProfile::sample(77, &rng.fork("cli-mimic"));
+            ScenarioBuilder::mimicry_attack(&user, attacker)
+        }
+        Some(k) => {
+            let Some(dev) = table_iv_catalog()
+                .into_iter()
+                .find(|d| d.name.to_lowercase().contains(&device.to_lowercase()))
+            else {
+                eprintln!("no catalog device matches '{device}' (try `magshield devices`)");
+                return ExitCode::FAILURE;
+            };
+            println!("device: {}", dev.name);
+            let attacker = SpeakerProfile::sample(77, &rng.fork("cli-attacker"));
+            let mut b = ScenarioBuilder::machine_attack(&user, k, dev, attacker);
+            if shielded {
+                b = b.with_shielding();
+            }
+            b
+        }
+    };
+    let session = builder
+        .at_distance(distance_cm / 100.0)
+        .in_environment(environment)
+        .capture(&rng.fork("cli-session"));
+    let verdict = system.verify(&session);
+    print_verdict(&verdict);
+    if verdict.accepted() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

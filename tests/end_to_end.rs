@@ -1,0 +1,188 @@
+//! End-to-end integration tests spanning every workspace crate: bootstrap
+//! a trained system, then drive genuine sessions and the full attack
+//! taxonomy through the cascade and the client/server runtime.
+
+use magshield::core::pipeline::{BootstrapConfig, DefenseSystem};
+use magshield::core::scenario::{bootstrap_with, ScenarioBuilder, SourceKind, UserContext};
+use magshield::core::server::VerificationServer;
+use magshield::core::verdict::Component;
+use magshield::physics::acoustics::tube::SoundTube;
+use magshield::physics::magnetics::interference::EmfEnvironment;
+use magshield::simkit::rng::SimRng;
+use magshield::simkit::vec3::Vec3;
+use magshield::voice::attacks::AttackKind;
+use magshield::voice::devices::table_iv_catalog;
+use magshield::voice::profile::SpeakerProfile;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (DefenseSystem, UserContext) {
+    static F: OnceLock<(DefenseSystem, UserContext)> = OnceLock::new();
+    F.get_or_init(|| bootstrap_with(&SimRng::from_seed(2017), BootstrapConfig::tiny()))
+}
+
+fn attacker() -> SpeakerProfile {
+    SpeakerProfile::sample(404, &SimRng::from_seed(9))
+}
+
+#[test]
+fn genuine_sessions_accepted() {
+    let (system, user) = fixture();
+    for i in 0..5u64 {
+        let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(7000 + i));
+        let v = system.verify(&s);
+        assert!(
+            v.accepted(),
+            "genuine session {i} rejected: {:?}",
+            v.results
+                .iter()
+                .map(|r| (r.component, r.attack_score))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn all_machine_attack_types_rejected() {
+    let (system, user) = fixture();
+    let dev = table_iv_catalog()[0].clone();
+    for kind in AttackKind::machine_based() {
+        let s = ScenarioBuilder::machine_attack(user, kind, dev.clone(), attacker())
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(8000));
+        let v = system.verify(&s);
+        assert!(!v.accepted(), "{kind:?} through a PC speaker must be rejected");
+        // The loudspeaker detector specifically must fire (the magnet).
+        assert!(
+            v.result_of(Component::Loudspeaker).unwrap().attack_score >= 1.0,
+            "{kind:?}: loudspeaker detector should flag the magnet"
+        );
+    }
+}
+
+#[test]
+fn shielded_speaker_rejected_close_in() {
+    let (system, user) = fixture();
+    let dev = table_iv_catalog()[0].clone();
+    let s = ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev, attacker())
+        .at_distance(0.05)
+        .with_shielding()
+        .capture(&SimRng::from_seed(8100));
+    assert!(!system.verify(&s).accepted(), "Mu-metal shield at 5 cm must fail");
+}
+
+#[test]
+fn sound_tube_attack_rejected() {
+    let (system, user) = fixture();
+    let dev = table_iv_catalog()[0].clone();
+    let mut b = ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev.clone(), attacker())
+        .at_distance(0.05);
+    b.source = SourceKind::DeviceViaTube {
+        device: dev,
+        tube: SoundTube::new(0.30, 0.0125),
+    };
+    let s = b.capture(&SimRng::from_seed(8200));
+    assert!(!system.verify(&s).accepted(), "sound-tube attack must fail");
+}
+
+#[test]
+fn off_center_pivot_rejected_by_ranging() {
+    let (system, user) = fixture();
+    let dev = table_iv_catalog()[0].clone();
+    let s = ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev, attacker())
+        .at_distance(0.25)
+        .with_off_center_pivot(Vec3::new(0.0, -0.20, 0.0))
+        .capture(&SimRng::from_seed(8300));
+    let v = system.verify(&s);
+    assert!(!v.accepted());
+    assert!(
+        v.result_of(Component::Distance).unwrap().attack_score >= 1.0,
+        "faked sweep geometry should trip the distance/ranging component: {:?}",
+        v.result_of(Component::Distance)
+    );
+}
+
+#[test]
+fn genuine_still_accepted_near_computer() {
+    let (system, user) = fixture();
+    // Computer 40 cm away — the benign end of Fig. 14(a).
+    let env = EmfEnvironment::near_computer(Vec3::new(0.0, 0.40, 0.0));
+    let s = ScenarioBuilder::genuine(user)
+        .in_environment(env)
+        .capture(&SimRng::from_seed(8400));
+    assert!(system.verify(&s).accepted());
+}
+
+#[test]
+fn car_environment_inflates_false_rejections() {
+    let (system, user) = fixture();
+    let mut rejected = 0;
+    for i in 0..8u64 {
+        let s = ScenarioBuilder::genuine(user)
+            .in_environment(EmfEnvironment::in_car())
+            .capture(&SimRng::from_seed(8500 + i));
+        if !system.verify(&s).accepted() {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected >= 2,
+        "car EMF should cause false rejections at fixed thresholds (Fig. 14b), got {rejected}/8"
+    );
+}
+
+#[test]
+fn adaptive_thresholds_recover_car_usability() {
+    let (system, user) = fixture();
+    use magshield::core::adaptive::{adapted_config, calibrate};
+    use magshield::physics::magnetics::scene::MagneticScene;
+    let scene = MagneticScene::quiet().with_environment(EmfEnvironment::in_car());
+    let stationary = scene.sample_along(
+        &vec![Vec3::new(0.05, -0.15, 0.0); 300],
+        100.0,
+        &SimRng::from_seed(8600),
+    );
+    let adapted = adapted_config(system.config, calibrate(&stationary));
+    let mut fixed_rej = 0;
+    let mut adapted_rej = 0;
+    for i in 0..8u64 {
+        let s = ScenarioBuilder::genuine(user)
+            .in_environment(EmfEnvironment::in_car())
+            .capture(&SimRng::from_seed(8700 + i));
+        if !system.verify(&s).accepted() {
+            fixed_rej += 1;
+        }
+        if !system.verify_with_config(&s, &adapted).accepted() {
+            adapted_rej += 1;
+        }
+    }
+    assert!(
+        adapted_rej < fixed_rej,
+        "adaptation should reduce car FRR: fixed {fixed_rej}/8, adapted {adapted_rej}/8"
+    );
+}
+
+#[test]
+fn server_round_trip_matches_local_verdict() {
+    let (system, user) = fixture();
+    let server = VerificationServer::spawn(system.clone(), 2);
+    let client = server.client();
+    let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(8800));
+    let local = system.verify(&session);
+    let remote = client.verify(&session).expect("server reachable");
+    assert_eq!(local.decision, remote.decision);
+    assert_eq!(local.results.len(), remote.results.len());
+    for (l, r) in local.results.iter().zip(&remote.results) {
+        assert_eq!(l.component, r.component);
+        assert!((l.attack_score - r.attack_score).abs() < 1e-9);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn verdicts_are_deterministic() {
+    let (system, user) = fixture();
+    let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(8900));
+    let a = system.verify(&s);
+    let b = system.verify(&s);
+    assert_eq!(a, b);
+}

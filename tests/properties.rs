@@ -1,0 +1,255 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use magshield::dsp::complex::Complex;
+use magshield::dsp::fft::{fft, ifft};
+use magshield::dsp::mel::{dct2, hz_to_mel, mel_to_hz};
+use magshield::dsp::phase::unwrap_phase;
+use magshield::ml::circlefit::fit_circle;
+use magshield::ml::metrics::{det_curve, equal_error_rate};
+use magshield::physics::magnetics::dipole::MagneticDipole;
+use magshield::simkit::series::TimeSeries;
+use magshield::simkit::units::{db_to_ratio, ratio_to_db};
+use magshield::simkit::vec3::Vec3;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT followed by IFFT reproduces the input.
+    #[test]
+    fn fft_round_trip(values in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+        let n = values.len().next_power_of_two();
+        let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        buf.resize(n, Complex::ZERO);
+        let orig = buf.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in orig.iter().zip(&buf) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    /// Parseval: FFT preserves energy (up to the 1/N convention).
+    #[test]
+    fn fft_parseval(values in prop::collection::vec(-10.0f64..10.0, 8..32)) {
+        let n = values.len().next_power_of_two();
+        let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        buf.resize(n, Complex::ZERO);
+        let time_e: f64 = values.iter().map(|v| v * v).sum();
+        fft(&mut buf);
+        let freq_e: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time_e - freq_e).abs() <= 1e-6 * (1.0 + time_e));
+    }
+
+    /// Unwrapped phase differs from each wrapped input by a multiple of 2π
+    /// and never jumps more than π between samples.
+    #[test]
+    fn unwrap_phase_invariants(raw in prop::collection::vec(-20.0f64..20.0, 2..64)) {
+        // Build wrapped inputs from arbitrary phases.
+        let wrapped: Vec<f64> = raw
+            .iter()
+            .map(|&p| {
+                let mut a = p % std::f64::consts::TAU;
+                if a > std::f64::consts::PI { a -= std::f64::consts::TAU; }
+                if a <= -std::f64::consts::PI { a += std::f64::consts::TAU; }
+                a
+            })
+            .collect();
+        let un = unwrap_phase(&wrapped);
+        prop_assert_eq!(un.len(), wrapped.len());
+        for (u, w) in un.iter().zip(&wrapped) {
+            let k = (u - w) / std::f64::consts::TAU;
+            prop_assert!((k - k.round()).abs() < 1e-9, "offset must be a 2π multiple");
+        }
+        for pair in un.windows(2) {
+            prop_assert!((pair[1] - pair[0]).abs() <= std::f64::consts::PI + 1e-9);
+        }
+    }
+
+    /// dB ↔ linear ratio conversions are mutually inverse.
+    #[test]
+    fn db_ratio_round_trip(r in 1e-5f64..1e5) {
+        let back = db_to_ratio(ratio_to_db(r));
+        prop_assert!((back - r).abs() / r < 1e-9);
+    }
+
+    /// Mel scale is monotone and invertible.
+    #[test]
+    fn mel_scale_invertible(hz in 0.0f64..24_000.0) {
+        let m = hz_to_mel(hz);
+        prop_assert!((mel_to_hz(m) - hz).abs() < 1e-6);
+        prop_assert!(hz_to_mel(hz + 1.0) > m);
+    }
+
+    /// DCT-II with all coefficients preserves energy (orthonormality).
+    #[test]
+    fn dct2_energy(values in prop::collection::vec(-10.0f64..10.0, 1..32)) {
+        let c = dct2(&values, values.len());
+        let ev: f64 = values.iter().map(|v| v * v).sum();
+        let ec: f64 = c.iter().map(|v| v * v).sum();
+        prop_assert!((ev - ec).abs() <= 1e-8 * (1.0 + ev));
+    }
+
+    /// EER is bounded by [0, 1] and zero for perfectly separated scores.
+    #[test]
+    fn eer_bounds(
+        genuine in prop::collection::vec(0.0f64..100.0, 1..40),
+        impostor in prop::collection::vec(-100.0f64..0.0, 1..40),
+    ) {
+        let eer = equal_error_rate(&genuine, &impostor);
+        prop_assert!((0.0..=1.0).contains(&eer));
+        // These classes are separated at threshold 0 by construction.
+        prop_assert!(eer.abs() < 1e-12);
+    }
+
+    /// DET curves are monotone in both error axes.
+    #[test]
+    fn det_monotonicity(
+        genuine in prop::collection::vec(-50.0f64..50.0, 1..30),
+        impostor in prop::collection::vec(-50.0f64..50.0, 1..30),
+    ) {
+        let curve = det_curve(&genuine, &impostor);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].rates.frr >= w[0].rates.frr - 1e-12);
+            prop_assert!(w[1].rates.far <= w[0].rates.far + 1e-12);
+        }
+    }
+
+    /// Dipole magnitude decays monotonically along any fixed ray.
+    #[test]
+    fn dipole_monotone_decay(
+        mx in -1.0f64..1.0, my in -1.0f64..1.0, mz in -1.0f64..1.0,
+        dx in -1.0f64..1.0, dy in -1.0f64..1.0, dz in -1.0f64..1.0,
+    ) {
+        prop_assume!(Vec3::new(mx, my, mz).norm() > 0.1);
+        prop_assume!(Vec3::new(dx, dy, dz).norm() > 0.1);
+        let dip = MagneticDipole::new(Vec3::ZERO, Vec3::new(mx, my, mz) * 0.01);
+        let dir = Vec3::new(dx, dy, dz).normalized();
+        let mut prev = f64::INFINITY;
+        for k in 1..8 {
+            let b = dip.field_at(dir * (0.02 * k as f64)).norm();
+            prop_assert!(b <= prev + 1e-12, "field must decay along the ray");
+            prev = b;
+        }
+    }
+
+    /// Circle fitting recovers exact circles regardless of pose.
+    #[test]
+    fn circle_fit_exact(
+        cx in -10.0f64..10.0, cy in -10.0f64..10.0, r in 0.01f64..10.0,
+        from in 0.0f64..3.0, span in 0.8f64..5.0,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let a = from + span * i as f64 / 19.0;
+                (cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect();
+        let c = fit_circle(&pts).expect("non-degenerate arc");
+        prop_assert!((c.radius - r).abs() < 1e-6 * (1.0 + r));
+        prop_assert!((c.cx - cx).abs() < 1e-6 * (1.0 + cx.abs()));
+    }
+
+    /// TimeSeries resampling preserves duration and bounded values.
+    #[test]
+    fn resample_preserves_bounds(
+        values in prop::collection::vec(-1.0f64..1.0, 4..128),
+        factor in 0.3f64..3.0,
+    ) {
+        let ts = TimeSeries::from_samples(100.0, values);
+        let r = ts.resampled(100.0 * factor);
+        prop_assert!((r.duration() - ts.duration()).abs() < 0.05);
+        // Linear interpolation cannot exceed the input range.
+        prop_assert!(r.max() <= ts.max() + 1e-12);
+        prop_assert!(r.min() >= ts.min() - 1e-12);
+    }
+}
+
+mod verdict_monotonicity {
+    use magshield::core::verdict::{Component, ComponentResult, DefenseVerdict};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Raising any component's attack score can never flip a verdict
+        /// from Reject to Accept (cascade monotonicity).
+        #[test]
+        fn raising_scores_never_helps(
+            scores in prop::collection::vec(0.0f64..3.0, 1..4),
+            bump in 0.0f64..2.0,
+            idx in 0usize..4,
+        ) {
+            let mk = |scores: &[f64]| {
+                DefenseVerdict::from_results(
+                    scores
+                        .iter()
+                        .map(|&s| ComponentResult {
+                            component: Component::Distance,
+                            attack_score: s,
+                            detail: String::new(),
+                        })
+                        .collect(),
+                )
+            };
+            let base = mk(&scores);
+            let mut bumped = scores.clone();
+            let i = idx % bumped.len();
+            bumped[i] += bump;
+            let worse = mk(&bumped);
+            if !base.accepted() {
+                prop_assert!(!worse.accepted(), "adding attack evidence must not flip to Accept");
+            }
+            prop_assert!(worse.combined_score() >= base.combined_score() - 1e-12);
+        }
+    }
+}
+
+mod protocol_round_trip {
+    use magshield::core::server::protocol::{decode_frame, encode_request, Message};
+    use magshield::core::session::SessionData;
+    use magshield::simkit::vec3::Vec3;
+    use proptest::prelude::*;
+
+    fn vec3_strategy() -> impl Strategy<Value = Vec3> {
+        (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0)
+            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any session round-trips bit-exactly through the wire protocol.
+        #[test]
+        fn session_round_trip(
+            claimed in 0u32..1000,
+            audio in prop::collection::vec(-1.0f64..1.0, 0..200),
+            mags in prop::collection::vec(vec3_strategy(), 0..50),
+            sweep in 0.0f64..5.0,
+            id in 0u64..u64::MAX,
+        ) {
+            let session = SessionData {
+                claimed_speaker: claimed,
+                audio,
+                audio2: None,
+                audio_rate: 48_000.0,
+                pilot_hz: 18_000.0,
+                mag_readings: mags.clone(),
+                accel_readings: mags.clone(),
+                gyro_readings: mags,
+                imu_rate: 100.0,
+                sweep_start_s: sweep,
+                earth_reference: Vec3::new(0.0, 28.0, -39.0),
+            };
+            let frame = encode_request(id, &session);
+            match decode_frame(&frame).expect("valid frame decodes") {
+                Message::VerifyRequest { request_id, session: s } => {
+                    prop_assert_eq!(request_id, id);
+                    prop_assert_eq!(s, session);
+                }
+                other => prop_assert!(false, "wrong message {:?}", other),
+            }
+        }
+    }
+}
