@@ -56,13 +56,19 @@ impl VerificationReport {
         let frr = if self.genuine_scores.is_empty() {
             0.0
         } else {
-            self.genuine_scores.iter().filter(|&&s| s < threshold).count() as f64
+            self.genuine_scores
+                .iter()
+                .filter(|&&s| s < threshold)
+                .count() as f64
                 / self.genuine_scores.len() as f64
         };
         let far = if self.impostor_scores.is_empty() {
             0.0
         } else {
-            self.impostor_scores.iter().filter(|&&s| s >= threshold).count() as f64
+            self.impostor_scores
+                .iter()
+                .filter(|&&s| s >= threshold)
+                .count() as f64
                 / self.impostor_scores.len() as f64
         };
         ErrorRates { far, frr }
@@ -94,10 +100,26 @@ mod tests {
 
     fn trials() -> Vec<TrialOutcome> {
         vec![
-            TrialOutcome { claimed: 0, actual: 0, score: 2.0 },
-            TrialOutcome { claimed: 0, actual: 0, score: 3.0 },
-            TrialOutcome { claimed: 0, actual: 1, score: -1.0 },
-            TrialOutcome { claimed: 0, actual: 2, score: 0.5 },
+            TrialOutcome {
+                claimed: 0,
+                actual: 0,
+                score: 2.0,
+            },
+            TrialOutcome {
+                claimed: 0,
+                actual: 0,
+                score: 3.0,
+            },
+            TrialOutcome {
+                claimed: 0,
+                actual: 1,
+                score: -1.0,
+            },
+            TrialOutcome {
+                claimed: 0,
+                actual: 2,
+                score: 0.5,
+            },
         ]
     }
 
@@ -121,7 +143,11 @@ mod tests {
         assert_eq!(r.far_at_zero_frr(), 0.0);
         // With a higher-scoring impostor it would not be zero.
         let mut ts = trials();
-        ts.push(TrialOutcome { claimed: 0, actual: 3, score: 2.5 });
+        ts.push(TrialOutcome {
+            claimed: 0,
+            actual: 3,
+            score: 2.5,
+        });
         let r2 = VerificationReport::from_trials(&ts);
         assert!((r2.far_at_zero_frr() - 1.0 / 3.0).abs() < 1e-12);
     }

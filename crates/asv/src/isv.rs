@@ -45,15 +45,13 @@ impl SessionSubspace {
     ///
     /// Panics if `rank == 0` or fewer than two multi-session supervector
     /// deltas are available.
-    pub fn estimate(
-        ubm: &DiagonalGmm,
-        groups: &[(u32, u32, Vec<Vec<f64>>)],
-        rank: usize,
-    ) -> Self {
+    pub fn estimate(ubm: &DiagonalGmm, groups: &[(u32, u32, Vec<Vec<f64>>)], rank: usize) -> Self {
         assert!(rank > 0, "rank must be positive");
         // speaker → (session → supervectors).
-        let mut by_speaker: std::collections::BTreeMap<u32, std::collections::BTreeMap<u32, Vec<Vec<f64>>>> =
-            std::collections::BTreeMap::new();
+        let mut by_speaker: std::collections::BTreeMap<
+            u32,
+            std::collections::BTreeMap<u32, Vec<Vec<f64>>>,
+        > = std::collections::BTreeMap::new();
         for (spk, sess, frames) in groups {
             if frames.is_empty() {
                 continue;
@@ -70,8 +68,7 @@ impl SessionSubspace {
             if sessions.len() < 2 {
                 continue;
             }
-            let session_means: Vec<Vec<f64>> =
-                sessions.values().map(|svs| mean_of(svs)).collect();
+            let session_means: Vec<Vec<f64>> = sessions.values().map(|svs| mean_of(svs)).collect();
             let speaker_mean = mean_of(&session_means);
             for sm in &session_means {
                 deltas.push(sm.iter().zip(&speaker_mean).map(|(a, b)| a - b).collect());
@@ -320,11 +317,9 @@ mod tests {
         let ubm = toy_ubm();
         let sub = SessionSubspace::estimate(&ubm, &toy_groups(&rng), 1);
         let mut frames = session_frames(&rng.fork("test"), 2.0, 0.0, 60);
-        let mean_y_before: f64 =
-            frames.iter().map(|f| f[1]).sum::<f64>() / frames.len() as f64;
+        let mean_y_before: f64 = frames.iter().map(|f| f[1]).sum::<f64>() / frames.len() as f64;
         sub.compensate(&ubm, &mut frames);
-        let mean_y_after: f64 =
-            frames.iter().map(|f| f[1]).sum::<f64>() / frames.len() as f64;
+        let mean_y_after: f64 = frames.iter().map(|f| f[1]).sum::<f64>() / frames.len() as f64;
         assert!(
             mean_y_after.abs() < mean_y_before.abs() * 0.5,
             "session y-shift should shrink: {mean_y_before} → {mean_y_after}"

@@ -28,7 +28,7 @@ pub mod replay_baseline;
 pub mod ubm;
 
 pub use eval::{TrialOutcome, VerificationReport};
-pub use replay_baseline::ReplayDetector;
 pub use frontend::FeatureExtractor;
 pub use isv::IsvBackend;
 pub use model::{SpeakerModel, UbmBackend};
+pub use replay_baseline::ReplayDetector;

@@ -213,7 +213,11 @@ mod tests {
             &rng,
         );
         let fx = FeatureExtractor::new(VOICE_SAMPLE_RATE);
-        let utts: Vec<&[f64]> = corpus.utterances.iter().map(|u| u.audio.as_slice()).collect();
+        let utts: Vec<&[f64]> = corpus
+            .utterances
+            .iter()
+            .map(|u| u.audio.as_slice())
+            .collect();
         let ubm = train_ubm(
             &fx,
             &utts,
@@ -255,7 +259,10 @@ mod tests {
             mean(&impostor)
         );
         let eer = magshield_ml::metrics::equal_error_rate(&genuine, &impostor);
-        assert!(eer < 0.25, "EER {eer} too high for a clean synthetic corpus");
+        assert!(
+            eer < 0.25,
+            "EER {eer} too high for a clean synthetic corpus"
+        );
     }
 
     #[test]

@@ -129,12 +129,7 @@ impl ReplayDetector {
     /// # Panics
     ///
     /// Panics if either class yields no usable feature vectors.
-    pub fn train(
-        genuine: &[&[f64]],
-        replayed: &[&[f64]],
-        sample_rate: f64,
-        rng: &SimRng,
-    ) -> Self {
+    pub fn train(genuine: &[&[f64]], replayed: &[&[f64]], sample_rate: f64, rng: &SimRng) -> Self {
         let mut data = Vec::new();
         let mut labels = Vec::new();
         for audio in genuine {
@@ -178,10 +173,7 @@ impl ReplayDetector {
         sample_rate: f64,
     ) -> VerificationReport {
         VerificationReport {
-            genuine_scores: genuine
-                .iter()
-                .map(|a| self.score(a, sample_rate))
-                .collect(),
+            genuine_scores: genuine.iter().map(|a| self.score(a, sample_rate)).collect(),
             impostor_scores: replayed
                 .iter()
                 .map(|a| self.score(a, sample_rate))
@@ -211,7 +203,12 @@ mod tests {
         for i in 0..n as u32 {
             let sp = SpeakerProfile::sample(i, &rng);
             let fx = SessionEffects::sample(&rng.fork_indexed("fx", u64::from(i)), 0.8);
-            genuine.push(synth.render_digits(&sp, "314159", fx, &rng.fork_indexed("g", u64::from(i))));
+            genuine.push(synth.render_digits(
+                &sp,
+                "314159",
+                fx,
+                &rng.fork_indexed("g", u64::from(i)),
+            ));
             let attacker = SpeakerProfile::sample(100 + i, &rng);
             let mut atk = attack_audio(
                 AttackKind::Replay,
@@ -246,12 +243,8 @@ mod tests {
         let (g, r) = corpus("iPhone 4S", 10);
         let gr: Vec<&[f64]> = g.iter().map(|v| v.as_slice()).collect();
         let rr: Vec<&[f64]> = r.iter().map(|v| v.as_slice()).collect();
-        let det = ReplayDetector::train(
-            &gr[..6],
-            &rr[..6],
-            VOICE_SAMPLE_RATE,
-            &SimRng::from_seed(1),
-        );
+        let det =
+            ReplayDetector::train(&gr[..6], &rr[..6], VOICE_SAMPLE_RATE, &SimRng::from_seed(1));
         let report = det.evaluate(&gr[6..], &rr[6..], VOICE_SAMPLE_RATE);
         assert!(
             report.eer() < 0.3,
@@ -268,12 +261,8 @@ mod tests {
         let (g, r) = corpus("Pioneer", 10);
         let gr: Vec<&[f64]> = g.iter().map(|v| v.as_slice()).collect();
         let rr: Vec<&[f64]> = r.iter().map(|v| v.as_slice()).collect();
-        let det = ReplayDetector::train(
-            &gr[..6],
-            &rr[..6],
-            VOICE_SAMPLE_RATE,
-            &SimRng::from_seed(2),
-        );
+        let det =
+            ReplayDetector::train(&gr[..6], &rr[..6], VOICE_SAMPLE_RATE, &SimRng::from_seed(2));
         let full_range = det.evaluate(&gr[6..], &rr[6..], VOICE_SAMPLE_RATE);
 
         let (g2, r2) = corpus("iPhone 4S", 10);
@@ -301,7 +290,10 @@ mod tests {
         let rr: Vec<&[f64]> = r.iter().map(|v| v.as_slice()).collect();
         let a = ReplayDetector::train(&gr, &rr, VOICE_SAMPLE_RATE, &SimRng::from_seed(3));
         let b = ReplayDetector::train(&gr, &rr, VOICE_SAMPLE_RATE, &SimRng::from_seed(3));
-        assert_eq!(a.score(&g[0], VOICE_SAMPLE_RATE), b.score(&g[0], VOICE_SAMPLE_RATE));
+        assert_eq!(
+            a.score(&g[0], VOICE_SAMPLE_RATE),
+            b.score(&g[0], VOICE_SAMPLE_RATE)
+        );
     }
 
     #[test]

@@ -54,7 +54,13 @@ pub fn train_ubm(
             .map(|i| pool[(i as f64 * stride) as usize].clone())
             .collect();
     }
-    DiagonalGmm::train(&pool, config.components, config.em_iters, 1e-4, &rng.fork("ubm"))
+    DiagonalGmm::train(
+        &pool,
+        config.components,
+        config.em_iters,
+        1e-4,
+        &rng.fork("ubm"),
+    )
 }
 
 #[cfg(test)]
@@ -68,7 +74,11 @@ mod tests {
         let rng = SimRng::from_seed(1);
         let corpus = voxforge_like(3, &rng);
         let fx = FeatureExtractor::new(VOICE_SAMPLE_RATE);
-        let utts: Vec<&[f64]> = corpus.utterances.iter().map(|u| u.audio.as_slice()).collect();
+        let utts: Vec<&[f64]> = corpus
+            .utterances
+            .iter()
+            .map(|u| u.audio.as_slice())
+            .collect();
         let ubm = train_ubm(
             &fx,
             &utts,

@@ -51,7 +51,9 @@ fn bench_svm_train(c: &mut Criterion) {
             (0..5).map(|_| r.gauss(c, 1.0)).collect()
         })
         .collect();
-    let labels: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let labels: Vec<f64> = (0..200)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     c.bench_function("svm_train_200x5", |b| {
         b.iter(|| LinearSvm::train(black_box(&data), &labels, SvmConfig::default(), &rng))
     });
@@ -60,7 +62,9 @@ fn bench_svm_train(c: &mut Criterion) {
 fn bench_pca(c: &mut Criterion) {
     let rng = SimRng::from_seed(5);
     let data = frames(&rng, 100, 13);
-    c.bench_function("pca_fit_100x13", |b| b.iter(|| Pca::fit(black_box(&data), 2)));
+    c.bench_function("pca_fit_100x13", |b| {
+        b.iter(|| Pca::fit(black_box(&data), 2))
+    });
 }
 
 criterion_group!(

@@ -165,7 +165,13 @@ fn main() {
     attack_sets.push((
         "human mimicry",
         (0..n)
-            .map(|i| capture(ScenarioBuilder::mimicry_attack(&user, attacker.clone()), "abl-mimic", i))
+            .map(|i| {
+                capture(
+                    ScenarioBuilder::mimicry_attack(&user, attacker.clone()),
+                    "abl-mimic",
+                    i,
+                )
+            })
             .collect(),
     ));
     let genuine: Vec<DefenseVerdict> = (0..20)

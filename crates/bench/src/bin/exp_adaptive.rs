@@ -101,7 +101,6 @@ fn main() {
             let user = &user;
             let system = &system;
             let attacker = attacker.clone();
-            let adapted = adapted;
             let dev = dev.clone();
             (0..4)
                 .map(move |i| {

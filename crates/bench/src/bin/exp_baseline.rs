@@ -28,23 +28,14 @@ use magshield_voice::profile::SpeakerProfile;
 use magshield_voice::synth::{FormantSynthesizer, SessionEffects, VOICE_SAMPLE_RATE};
 
 /// Renders genuine and replayed audio through `device`.
-fn audio_corpus(
-    device: &PlaybackDevice,
-    n: usize,
-    rng: &SimRng,
-) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+fn audio_corpus(device: &PlaybackDevice, n: usize, rng: &SimRng) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let synth = FormantSynthesizer::default();
     let mut genuine = Vec::new();
     let mut replayed = Vec::new();
     for i in 0..n as u32 {
         let sp = SpeakerProfile::sample(i, &rng.fork("speakers"));
         let fx = SessionEffects::sample(&rng.fork_indexed("fx", u64::from(i)), 0.8);
-        genuine.push(synth.render_digits(
-            &sp,
-            "271828",
-            fx,
-            &rng.fork_indexed("g", u64::from(i)),
-        ));
+        genuine.push(synth.render_digits(&sp, "271828", fx, &rng.fork_indexed("g", u64::from(i))));
         let attacker = SpeakerProfile::sample(500 + i, &rng.fork("attackers"));
         let mut atk = attack_audio(
             AttackKind::Replay,
@@ -110,7 +101,7 @@ fn main() {
         }
         let mag_pct = detected as f64 / trials as f64 * 100.0;
         print_row(
-            &dev.name.split_whitespace().next().unwrap_or("?").to_string(),
+            dev.name.split_whitespace().next().unwrap_or("?"),
             &[eer, far, mag_pct],
         );
         rows.push(ResultRow {

@@ -30,7 +30,10 @@ fn main() {
     let distances_cm = [4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
     let mut rows = Vec::new();
 
-    for (label, shielded) in [("fig12a (no shielding)", false), ("fig12b (Mu-metal)", true)] {
+    for (label, shielded) in [
+        ("fig12a (no shielding)", false),
+        ("fig12b (Mu-metal)", true),
+    ] {
         print_header(label, &["d (cm)", "FAR %", "FRR %", "EER %"]);
         for &d_cm in &distances_cm {
             let d = d_cm / 100.0;
@@ -63,5 +66,7 @@ fn main() {
     }
     write_results("fig12", &rows);
     println!("\npaper (a): FAR/FRR/EER = 0 at ≤6 cm; FAR 5.3→46.7 % from 8→14 cm.");
-    println!("paper (b): zero at ≤6 cm; FAR 8→53.3 % from 8→14 cm (shield hides the magnet sooner).");
+    println!(
+        "paper (b): zero at ≤6 cm; FAR 8→53.3 % from 8→14 cm (shield hides the magnet sooner)."
+    );
 }

@@ -19,15 +19,21 @@ use magshield_voice::attacks::AttackKind;
 use magshield_voice::devices::table_iv_catalog;
 use magshield_voice::profile::SpeakerProfile;
 
+/// Environment generator: sound-source distance (m) → ambient EMF field.
+type EnvFn = Box<dyn Fn(f64) -> EmfEnvironment>;
+
 fn main() {
     let (system, user, rng) = experiment_system();
     let catalog = table_iv_catalog();
-    let devices: Vec<_> = [0usize, 7, 18].iter().map(|&i| catalog[i].clone()).collect();
+    let devices: Vec<_> = [0usize, 7, 18]
+        .iter()
+        .map(|&i| catalog[i].clone())
+        .collect();
     let attacker = SpeakerProfile::sample(902, &rng.fork("attacker"));
     let distances_cm = [4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
     let mut rows = Vec::new();
 
-    let environments: [(&str, &str, Box<dyn Fn(f64) -> EmfEnvironment>); 2] = [
+    let environments: [(&str, &str, EnvFn); 2] = [
         (
             "fig14a (near computer)",
             "fig14a",
@@ -104,5 +110,7 @@ fn main() {
     write_results("fig14", &rows);
     println!("\npaper (a): FAR 0 up to 12 cm; FRR spike 27.8 % at 8 cm; EER ~0 at ≤6 cm.");
     println!("paper (b): FRR 29–50 % at all distances, FAR 0, EER ≈ 0 — fixed thresholds");
-    println!("           are miscalibrated for car EMF; adaptive thresholding (exp_adaptive) fixes it.");
+    println!(
+        "           are miscalibrated for car EMF; adaptive thresholding (exp_adaptive) fixes it."
+    );
 }

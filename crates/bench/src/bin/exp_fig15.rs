@@ -9,7 +9,12 @@
 //! Our reproduction separates the two components of each trial time:
 //! *interaction* (speaking the passphrase while sweeping / typing), which
 //! we take from the simulated protocol durations, and *server compute*,
-//! which we actually measure on the in-process verification server.
+//! which we actually measure on the in-process verification server. All
+//! latency figures come from `magshield-obs` histograms: the server's
+//! `server.compute.seconds` / `server.queue.wait.seconds` are fetched over
+//! the wire via `Message::StatsRequest`, and client round trips are
+//! recorded into the shared registry. One traced verification per user is
+//! exported as JSONL under `results/logs/` for per-component latency.
 //!
 //! ```sh
 //! cargo run --release -p magshield-bench --bin exp_fig15
@@ -22,31 +27,42 @@ use std::time::Instant;
 
 fn main() {
     let (system, user, rng) = experiment_system();
+    // The clone shares the system's metrics registry and span collector,
+    // so locally traced sessions and server-side work land in one place.
+    let local = system.clone();
+    let round_trip = local.metrics().histogram("client.round_trip.seconds");
+    let asv_frontend = local.metrics().histogram("bench.asv_frontend.seconds");
     let server = VerificationServer::spawn(system, 1);
     let client = server.client();
 
     let users = 20;
     let trials_per_user = 10;
-    let mut ours_compute = Vec::new();
-    let mut voiceprint_compute = Vec::new();
+    let mut traces = Vec::with_capacity(users);
 
     println!("running {users} users × {trials_per_user} trials through the server...");
     for u in 0..users {
         for t in 0..trials_per_user {
             let session = ScenarioBuilder::genuine(&user)
                 .capture(&rng.fork_indexed("fig15", (u * 100 + t) as u64));
-            // Full defense (all four components).
+            // Full defense (all four components), over the wire.
             let t0 = Instant::now();
             let verdict = client.verify(&session).expect("server");
-            ours_compute.push(t0.elapsed().as_secs_f64());
+            round_trip.record(t0.elapsed());
             let _ = verdict;
+            // One traced (in-process) verification per user for the
+            // per-component latency log; tracing every trial would double
+            // the experiment's runtime for no extra information.
+            if t == 0 {
+                let (_, trace) = local.verify_traced(&session);
+                traces.push(trace);
+            }
             // Voiceprint-only baseline: same wire round-trip, but time only
             // the ASV component by re-verifying with the other components'
             // inputs already computed — approximated as the ASV share of
             // the pipeline measured separately below.
             let t1 = Instant::now();
             let _ = magshield_core::components::speaker_id::asv_audio(&session);
-            voiceprint_compute.push(t1.elapsed().as_secs_f64());
+            asv_frontend.record(t1.elapsed());
         }
     }
 
@@ -58,12 +74,14 @@ fn main() {
     let password_interaction = 2.5;
     let password_compute = 0.001; // hash check
 
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Compute times are medians of the obs histograms; the server's own
+    // compute histogram arrives via the Message::Stats wire round-trip.
+    let stats = client.stats().expect("stats over the wire");
+    let ours_c = stats.compute.quantile(0.5);
     // Voiceprint compute ≈ ASV front end + scoring; measure it as the
     // fraction of full verification spent in ASV (~dominant share) — we
     // report the measured full pipeline minus the three cheap components.
-    let ours_c = mean(&ours_compute);
-    let voiceprint_c = ours_c * 0.6 + mean(&voiceprint_compute);
+    let voiceprint_c = ours_c * 0.6 + asv_frontend.snapshot().quantile(0.5);
 
     print_header(
         "Fig. 15 — authentication time per trial (seconds)",
@@ -76,23 +94,32 @@ fn main() {
         ("password", password_interaction, password_compute),
     ] {
         println!("{name:>14}{inter:>14.2}{comp:>14.3}{:>14.2}", inter + comp);
+        let mut metrics = vec![
+            ("interaction_s".to_string(), inter),
+            ("compute_s".to_string(), comp),
+            ("total_s".to_string(), inter + comp),
+        ];
+        if name == "ours" {
+            metrics.extend(latency_metrics("compute", &stats.compute));
+            metrics.extend(latency_metrics("round_trip", &round_trip.snapshot()));
+        }
         rows.push(ResultRow {
             experiment: "fig15".into(),
             condition: name.into(),
-            metrics: vec![
-                ("interaction_s".into(), inter),
-                ("compute_s".into(), comp),
-                ("total_s".into(), inter + comp),
-            ],
+            metrics,
         });
     }
-    let stats = server.stats();
+
+    println!("\nlatency percentiles (magshield-obs histograms):");
+    print_latency("server compute", &stats.compute);
+    print_latency("queue wait", &stats.queue_wait);
+    print_latency("client round trip", &round_trip.snapshot());
     println!(
-        "\nserver processed {} sessions, mean verification latency {:.1} ms",
-        stats.processed,
-        stats.mean_latency().as_secs_f64() * 1000.0
+        "server processed {} sessions ({} still queued)",
+        stats.processed, stats.queue_depth
     );
     println!("paper: ours ≈ voiceprint + <1 s; both comparable to a typed password.");
     write_results("fig15", &rows);
+    write_trace_log("fig15", &traces);
     server.shutdown();
 }

@@ -84,15 +84,24 @@ fn main() {
     let dist = ((cm.0 - ce.0).powi(2) + (cm.1 - ce.1).powi(2)).sqrt();
 
     println!("\nPCA axis 1/2 coordinates (first 10 of each class):");
-    println!("{:>10} {:>10}   {:>10} {:>10}", "mouth-1", "mouth-2", "ear-1", "ear-2");
+    println!(
+        "{:>10} {:>10}   {:>10} {:>10}",
+        "mouth-1", "mouth-2", "ear-1", "ear-2"
+    );
     for i in 0..10.min(pm.len()).min(pe.len()) {
         println!(
             "{:>10.2} {:>10.2}   {:>10.2} {:>10.2}",
             pm[i][0], pm[i][1], pe[i][0], pe[i][1]
         );
     }
-    println!("\nmouth centroid ({:.2}, {:.2}), spread {:.2}", cm.0, cm.1, sm);
-    println!("earphone centroid ({:.2}, {:.2}), spread {:.2}", ce.0, ce.1, se);
+    println!(
+        "\nmouth centroid ({:.2}, {:.2}), spread {:.2}",
+        cm.0, cm.1, sm
+    );
+    println!(
+        "earphone centroid ({:.2}, {:.2}), spread {:.2}",
+        ce.0, ce.1, se
+    );
     println!(
         "centroid separation {:.2} = {:.1}× the mean within-class spread",
         dist,

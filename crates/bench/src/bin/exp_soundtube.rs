@@ -26,8 +26,13 @@ fn main() {
         &["tube", "rejected %", "by-field %", "by-magnet %"],
     );
     let mut rows = Vec::new();
-    for (len_cm, bore_mm) in [(10.0, 12.5), (20.0, 12.5), (30.0, 12.5), (40.0, 12.5), (30.0, 20.0)]
-    {
+    for (len_cm, bore_mm) in [
+        (10.0, 12.5),
+        (20.0, 12.5),
+        (30.0, 12.5),
+        (40.0, 12.5),
+        (30.0, 20.0),
+    ] {
         let tube = SoundTube::new(len_cm / 100.0, bore_mm / 2000.0);
         let mut rejected = 0;
         let mut by_field = 0;

@@ -57,7 +57,12 @@ fn main() {
         total += trials_per_device;
         println!(
             "{:<44} {:>5.0}µT {:>6}/{} {:>8}/{}",
-            dev.name, dev.magnet_ut_at_3cm, detected, trials_per_device, by_magnet, trials_per_device
+            dev.name,
+            dev.magnet_ut_at_3cm,
+            detected,
+            trials_per_device,
+            by_magnet,
+            trials_per_device
         );
         rows.push(ResultRow {
             experiment: "speakers25".into(),

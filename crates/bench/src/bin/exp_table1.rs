@@ -17,13 +17,13 @@
 //! ```
 
 use magshield_asv::eval::{TrialOutcome, VerificationReport};
-use magshield_ml::metrics::ErrorRates;
 use magshield_asv::frontend::FeatureExtractor;
 use magshield_asv::isv::{IsvBackend, SessionSubspace};
 use magshield_asv::model::UbmBackend;
 use magshield_asv::ubm::{train_ubm, UbmConfig};
 use magshield_bench::{print_header, write_results, ResultRow, EXPERIMENT_SEED};
 use magshield_core::components::speaker_id::AsvEngine;
+use magshield_ml::metrics::ErrorRates;
 use magshield_simkit::rng::SimRng;
 use magshield_voice::attacks::{attack_audio, AttackKind};
 use magshield_voice::corpus::{arctic_like, test1_corpus, voxforge_like, Corpus};
@@ -31,7 +31,11 @@ use magshield_voice::synth::VOICE_SAMPLE_RATE;
 
 fn build_engines(train: &Corpus, rng: &SimRng) -> (AsvEngine, AsvEngine) {
     let fx = FeatureExtractor::new(VOICE_SAMPLE_RATE);
-    let utts: Vec<&[f64]> = train.utterances.iter().map(|u| u.audio.as_slice()).collect();
+    let utts: Vec<&[f64]> = train
+        .utterances
+        .iter()
+        .map(|u| u.audio.as_slice())
+        .collect();
     let ubm = train_ubm(
         &fx,
         &utts,
@@ -123,13 +127,8 @@ fn test1_panel(
                     "t1-mimic",
                     (u64::from(sp.id) << 20) | (u64::from(other.id) << 4) | take,
                 );
-                let audio = attack_audio(
-                    AttackKind::HumanMimicry,
-                    other,
-                    sp,
-                    &utts[0].digits,
-                    &arng,
-                );
+                let audio =
+                    attack_audio(AttackKind::HumanMimicry, other, sp, &utts[0].digits, &arng);
                 let score = engine.score(&model, &audio);
                 decisions.push(false, score >= threshold);
                 trials.push(TrialOutcome {

@@ -6,6 +6,8 @@ use magshield_core::pipeline::{BootstrapConfig, DefenseSystem};
 use magshield_core::scenario::{bootstrap_with, ScenarioBuilder, UserContext};
 use magshield_core::verdict::DefenseVerdict;
 use magshield_ml::metrics::equal_error_rate;
+use magshield_obs::metrics::HistogramSnapshot;
+use magshield_obs::PipelineTrace;
 use magshield_simkit::rng::SimRng;
 use magshield_voice::attacks::AttackKind;
 use magshield_voice::devices::PlaybackDevice;
@@ -119,6 +121,44 @@ pub fn write_results(experiment: &str, rows: &[ResultRow]) {
             }
         }
         eprintln!("(wrote {})", path.display());
+    }
+}
+
+/// Percentile cells from a latency histogram, in milliseconds, keyed
+/// `<prefix>_p50_ms` … `<prefix>_max_ms` for [`ResultRow::metrics`].
+pub fn latency_metrics(prefix: &str, h: &HistogramSnapshot) -> Vec<(String, f64)> {
+    [
+        ("p50_ms", h.quantile(0.50)),
+        ("p95_ms", h.quantile(0.95)),
+        ("p99_ms", h.quantile(0.99)),
+        ("max_ms", h.max_s()),
+    ]
+    .into_iter()
+    .map(|(k, secs)| (format!("{prefix}_{k}"), secs * 1e3))
+    .collect()
+}
+
+/// Prints one labelled `n / p50 / p95 / p99 / max` latency line.
+pub fn print_latency(label: &str, h: &HistogramSnapshot) {
+    println!(
+        "{label:>20}: n={:<5} p50={:>8.3} ms  p95={:>8.3} ms  p99={:>8.3} ms  max={:>8.3} ms",
+        h.count,
+        h.quantile(0.50) * 1e3,
+        h.quantile(0.95) * 1e3,
+        h.quantile(0.99) * 1e3,
+        h.max_s() * 1e3,
+    );
+}
+
+/// Writes per-session pipeline traces as JSON lines under
+/// `results/logs/<experiment>_traces.jsonl`.
+pub fn write_trace_log(experiment: &str, traces: &[PipelineTrace]) {
+    let path = std::path::Path::new("results")
+        .join("logs")
+        .join(format!("{experiment}_traces.jsonl"));
+    match PipelineTrace::write_jsonl(&path, traces) {
+        Ok(()) => eprintln!("(wrote {} traces to {})", traces.len(), path.display()),
+        Err(e) => eprintln!("(failed to write {}: {e})", path.display()),
     }
 }
 

@@ -108,7 +108,9 @@ mod tests {
             wander_ut: 1e6,
         };
         let cfg = adapted_config(DefenseConfig::default(), cal);
-        assert!(cfg.mag_deviation_ut <= DefenseConfig::default().mag_deviation_ut * MAX_SCALE + 1e-9);
+        assert!(
+            cfg.mag_deviation_ut <= DefenseConfig::default().mag_deviation_ut * MAX_SCALE + 1e-9
+        );
     }
 
     #[test]
@@ -118,7 +120,10 @@ mod tests {
             wander_ut: 0.0,
         };
         let cfg = adapted_config(DefenseConfig::default(), cal);
-        assert_eq!(cfg.mag_deviation_ut, DefenseConfig::default().mag_deviation_ut);
+        assert_eq!(
+            cfg.mag_deviation_ut,
+            DefenseConfig::default().mag_deviation_ut
+        );
     }
 
     #[test]

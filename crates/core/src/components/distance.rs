@@ -64,9 +64,7 @@ pub fn verify(session: &SessionData, config: &DefenseConfig) -> DistanceAnalysis
         // Arc fit failed but the gyro confirms a protocol-scale sweep
         // actually happened: dead reckoning was too noisy this session.
         // Amplitude ranging carries the decision at reduced confidence.
-        (Some(da), None) if trajectory.sweep_direction_change.abs() > 0.5 => {
-            (da / bound).max(0.8)
-        }
+        (Some(da), None) if trajectory.sweep_direction_change.abs() > 0.5 => (da / bound).max(0.8),
         _ => 2.0,
     };
     // 2) approach displacement: the phase track must show the phone closed

@@ -65,8 +65,8 @@ pub fn verify(session: &SessionData, config: &DefenseConfig) -> LoudspeakerAnaly
         0.0
     };
 
-    let attack_score = (max_deviation / config.mag_deviation_ut)
-        .max(max_rate / config.mag_rate_ut_per_s);
+    let attack_score =
+        (max_deviation / config.mag_deviation_ut).max(max_rate / config.mag_rate_ut_per_s);
     let detail = format!(
         "baseline {baseline:.1} µT, max deviation {max_deviation:.2} µT (Mt {}), max rate {max_rate:.1} µT/s (βt {})",
         config.mag_deviation_ut, config.mag_rate_ut_per_s
@@ -110,7 +110,11 @@ mod tests {
         let earth = Vec3::new(0.0, 28.0, -39.0);
         let s = session_with_mag(vec![earth; 200]);
         let a = verify(&s, &DefenseConfig::default());
-        assert!(a.result.attack_score < 1.0, "score {}", a.result.attack_score);
+        assert!(
+            a.result.attack_score < 1.0,
+            "score {}",
+            a.result.attack_score
+        );
         assert!(a.max_deviation_ut < 0.5);
     }
 
@@ -129,7 +133,11 @@ mod tests {
             })
             .collect();
         let a = verify(&session_with_mag(mag), &DefenseConfig::default());
-        assert!(a.result.attack_score > 1.0, "score {}", a.result.attack_score);
+        assert!(
+            a.result.attack_score > 1.0,
+            "score {}",
+            a.result.attack_score
+        );
         assert!(a.max_deviation_ut > 20.0);
     }
 

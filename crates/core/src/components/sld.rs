@@ -53,7 +53,10 @@ pub fn measure(session: &SessionData) -> Option<SldAnalysis> {
         return None;
     }
     // Speech-active frames of the primary mic.
-    let peak = l1[start..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let peak = l1[start..n]
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let floor = peak - 20.0;
     let mut diffs: Vec<f64> = (start..n)
         .filter(|&i| l1[i] >= floor)
@@ -154,14 +157,10 @@ mod tests {
         // instead); one at 25 cm fails the SLD no matter the volume.
         let attacker = SpeakerProfile::sample(5, &SimRng::from_seed(3));
         let dev = table_iv_catalog()[0].clone();
-        let far = ScenarioBuilder::machine_attack(
-            &dual_mic_user(),
-            AttackKind::Replay,
-            dev,
-            attacker,
-        )
-        .at_distance(0.30)
-        .capture(&SimRng::from_seed(4));
+        let far =
+            ScenarioBuilder::machine_attack(&dual_mic_user(), AttackKind::Replay, dev, attacker)
+                .at_distance(0.30)
+                .capture(&SimRng::from_seed(4));
         let r = verify(&far, &DefenseConfig::default());
         assert!(r.attack_score > 1.0, "{}", r.detail);
     }

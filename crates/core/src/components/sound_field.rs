@@ -79,7 +79,10 @@ pub fn feature_vector(session: &SessionData, bins: usize) -> Option<Vec<f64>> {
     // between digits (and post-utterance silence) would otherwise alias
     // the speech envelope into the spatial profile. Frames more than
     // 20 dB below the sweep peak are masked.
-    let peak_level = sweep_levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let peak_level = sweep_levels
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let floor = peak_level - 20.0;
     let mut active_count = 0usize;
     let mut bin_max = vec![f64::NEG_INFINITY; bins.max(4)];
@@ -140,10 +143,18 @@ pub fn feature_vector(session: &SessionData, bins: usize) -> Option<Vec<f64>> {
     let spread = levels[(0.9 * (levels.len() - 1) as f64) as usize]
         - levels[(0.1 * (levels.len() - 1) as f64) as usize];
     let active_fraction = active_count as f64 / sweep_levels.len() as f64;
-    Some(vec![slope, curvature, residual_std, spread, active_fraction])
+    Some(vec![
+        slope,
+        curvature,
+        residual_std,
+        spread,
+        active_fraction,
+    ])
 }
 
 /// 3×3 Gaussian elimination; `None` when singular.
+// Index loops keep the row/column elimination structure readable.
+#[allow(clippy::needless_range_loop)]
 fn solve3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<(f64, f64, f64)> {
     for col in 0..3 {
         let pivot =
@@ -353,9 +364,7 @@ mod tests {
         let mut neg = Vec::new();
         for k in 0..8 {
             let off = k as f64 * 0.3;
-            pos.push(
-                feature_vector(&session_with_profile(|f| mouthish(f) - off), 12).unwrap(),
-            );
+            pos.push(feature_vector(&session_with_profile(|f| mouthish(f) - off), 12).unwrap());
             neg.push(feature_vector(&session_with_profile(|f| conish(f) - off), 12).unwrap());
         }
         let model = SoundFieldModel::train(&pos, &neg, 12, &rng);
@@ -369,7 +378,11 @@ mod tests {
             &model,
             &DefenseConfig::default(),
         );
-        assert!(mouth.attack_score < 1.0, "mouth score {}", mouth.attack_score);
+        assert!(
+            mouth.attack_score < 1.0,
+            "mouth score {}",
+            mouth.attack_score
+        );
         assert!(cone.attack_score > 1.0, "cone score {}", cone.attack_score);
     }
 

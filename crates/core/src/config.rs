@@ -103,11 +103,15 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = DefenseConfig::default();
-        c.distance_threshold_m = 0.0;
+        let c = DefenseConfig {
+            distance_threshold_m: 0.0,
+            ..DefenseConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c2 = DefenseConfig::default();
-        c2.sound_field_bins = 1;
+        let c2 = DefenseConfig {
+            sound_field_bins: 1,
+            ..DefenseConfig::default()
+        };
         assert!(c2.validate().is_err());
     }
 }

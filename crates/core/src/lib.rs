@@ -24,6 +24,13 @@
 //! §V with a binary wire protocol; [`adaptive`] implements the §VII
 //! adaptive-thresholding extension.
 //!
+//! The pipeline and server are instrumented against `magshield-obs`:
+//! [`pipeline::DefenseSystem::verify_traced`] returns a per-session
+//! trace of each component's decision and duration, and the server
+//! serves queue/compute latency histograms over the wire
+//! (`server::protocol::Message::StatsRequest`). See DESIGN.md §7 for the
+//! metric and span naming scheme.
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -50,7 +57,7 @@ pub mod verdict;
 pub use config::DefenseConfig;
 pub use pipeline::DefenseSystem;
 pub use session::SessionData;
-pub use verdict::{DefenseVerdict, Decision};
+pub use verdict::{Decision, DefenseVerdict};
 
 #[cfg(test)]
 pub(crate) mod test_support {

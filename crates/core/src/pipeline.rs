@@ -1,5 +1,10 @@
 //! The assembled defense system (Fig. 4): training, enrollment and the
 //! four-component cascade verification.
+//!
+//! Every verification is instrumented against `magshield-obs`: one span
+//! per cascade component, a `pipeline.<stage>.seconds` histogram per
+//! stage, and a per-session [`PipelineTrace`] carrying each component's
+//! decision, score, threshold margin and duration (see DESIGN.md §7).
 
 use crate::components::sound_field::{feature_vector, SoundFieldModel};
 use crate::components::speaker_id::AsvEngine;
@@ -12,6 +17,9 @@ use magshield_asv::frontend::FeatureExtractor;
 use magshield_asv::isv::{IsvBackend, SessionSubspace};
 use magshield_asv::model::{SpeakerModel, UbmBackend};
 use magshield_asv::ubm::{train_ubm, UbmConfig};
+use magshield_obs::metrics::Registry;
+use magshield_obs::span::{Span, TraceCollector};
+use magshield_obs::trace::{ComponentTrace, PipelineTrace};
 use magshield_physics::acoustics::tube::SoundTube;
 use magshield_simkit::rng::SimRng;
 use magshield_voice::attacks::AttackKind;
@@ -19,6 +27,7 @@ use magshield_voice::devices::table_iv_catalog;
 use magshield_voice::profile::SpeakerProfile;
 use magshield_voice::synth::VOICE_SAMPLE_RATE;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Sizing of the bootstrap training run.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +77,21 @@ impl BootstrapConfig {
     }
 }
 
+/// Observability handles shared by every verification this system runs.
+///
+/// Cloning is shallow (`Arc`-backed): clones of a [`DefenseSystem`] —
+/// e.g. the copies held by server workers — feed the same registry and
+/// span collector, so one snapshot sees the whole fleet.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineObs {
+    /// Named metrics: `pipeline.<stage>.seconds` histograms plus
+    /// `pipeline.accepts` / `pipeline.rejects` / `pipeline.invalid`
+    /// counters.
+    pub registry: Registry,
+    /// Finished verification spans (bounded ring, oldest evicted).
+    pub tracer: TraceCollector,
+}
+
 /// The trained defense system.
 #[derive(Debug, Clone)]
 pub struct DefenseSystem {
@@ -76,6 +100,40 @@ pub struct DefenseSystem {
     engine: AsvEngine,
     speakers: HashMap<u32, SpeakerModel>,
     sound_field: SoundFieldModel,
+    obs: PipelineObs,
+}
+
+/// Runs one cascade stage: opens a child span, times the component,
+/// records its `pipeline.<name>.seconds` histogram, and appends both the
+/// [`ComponentTrace`] and the raw [`ComponentResult`].
+fn run_stage(
+    registry: &Registry,
+    root: &Span,
+    name: &'static str,
+    components: &mut Vec<ComponentTrace>,
+    results: &mut Vec<ComponentResult>,
+    f: impl FnOnce() -> ComponentResult,
+) {
+    let mut span = root.child(name);
+    let started = Instant::now();
+    let r = f();
+    // Clamped to 1 ns so "every stage took strictly positive time" holds
+    // even on coarse-clock platforms.
+    let duration_s = started.elapsed().as_secs_f64().max(1e-9);
+    registry
+        .histogram(&format!("pipeline.{name}.seconds"))
+        .record_secs(duration_s);
+    span.event("attack_score", format!("{:.4}", r.attack_score));
+    span.event("passed", r.passes_at(1.0));
+    components.push(ComponentTrace {
+        component: name.to_string(),
+        passed: r.passes_at(1.0),
+        attack_score: r.attack_score,
+        threshold_margin: 1.0 - r.attack_score,
+        duration_s,
+        detail: r.detail.clone(),
+    });
+    results.push(r);
 }
 
 impl DefenseSystem {
@@ -89,8 +147,13 @@ impl DefenseSystem {
     pub fn bootstrap(user: &UserContext, cfg: BootstrapConfig, rng: &SimRng) -> Self {
         // --- ASV backend ---
         let extractor = FeatureExtractor::new(VOICE_SAMPLE_RATE);
-        let corpus = magshield_voice::corpus::voxforge_like(cfg.ubm_speakers, &rng.fork("ubm-corpus"));
-        let utts: Vec<&[f64]> = corpus.utterances.iter().map(|u| u.audio.as_slice()).collect();
+        let corpus =
+            magshield_voice::corpus::voxforge_like(cfg.ubm_speakers, &rng.fork("ubm-corpus"));
+        let utts: Vec<&[f64]> = corpus
+            .utterances
+            .iter()
+            .map(|u| u.audio.as_slice())
+            .collect();
         let ubm = train_ubm(
             &extractor,
             &utts,
@@ -173,16 +236,15 @@ impl DefenseSystem {
         // both replayed and synthesized audio — the spatial signature must
         // be learned independently of the audio's temporal structure.
         if let Some(esl) = magshield_voice::devices::unconventional_catalog().first() {
-            for (k, kind) in [AttackKind::Replay, AttackKind::Synthesis].iter().enumerate() {
+            for (k, kind) in [AttackKind::Replay, AttackKind::Synthesis]
+                .iter()
+                .enumerate()
+            {
                 for take in 0..2u64 {
-                    let s = ScenarioBuilder::machine_attack(
-                        user,
-                        *kind,
-                        esl.clone(),
-                        attacker.clone(),
-                    )
-                    .at_distance(0.05)
-                    .capture(&rng.fork_indexed("sf-neg-esl", (k as u64) << 8 | take));
+                    let s =
+                        ScenarioBuilder::machine_attack(user, *kind, esl.clone(), attacker.clone())
+                            .at_distance(0.05)
+                            .capture(&rng.fork_indexed("sf-neg-esl", (k as u64) << 8 | take));
                     if let Some(v) = feature_vector(&s, config.sound_field_bins) {
                         negatives.push(v);
                     }
@@ -203,9 +265,10 @@ impl DefenseSystem {
                 device: dev,
                 tube: SoundTube::new(0.30, 0.0125),
             };
-            if let Some(v) =
-                feature_vector(&s.capture(&rng.fork("sf-neg-tube")), config.sound_field_bins)
-            {
+            if let Some(v) = feature_vector(
+                &s.capture(&rng.fork("sf-neg-tube")),
+                config.sound_field_bins,
+            ) {
                 negatives.push(v);
             }
         }
@@ -221,6 +284,7 @@ impl DefenseSystem {
             engine,
             speakers,
             sound_field,
+            obs: PipelineObs::default(),
         }
     }
 
@@ -240,9 +304,34 @@ impl DefenseSystem {
         &self.engine
     }
 
+    /// The metrics registry this system records into
+    /// (`pipeline.<stage>.seconds` histograms, accept/reject counters).
+    pub fn metrics(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// The span collector receiving one `verify` span (with one child per
+    /// cascade component) per verification.
+    pub fn tracer(&self) -> &TraceCollector {
+        &self.obs.tracer
+    }
+
+    /// A clone of this system recording into a brand-new registry and
+    /// span collector. The trained models stay shared; only the
+    /// observability state is reset — useful for isolating measurement
+    /// phases (or tests) that would otherwise pollute each other's
+    /// counters through the shallow-shared [`PipelineObs`].
+    #[must_use]
+    pub fn with_fresh_obs(&self) -> Self {
+        Self {
+            obs: PipelineObs::default(),
+            ..self.clone()
+        }
+    }
+
     /// Runs the full cascade at the nominal thresholds.
     pub fn verify(&self, session: &SessionData) -> DefenseVerdict {
-        self.verify_with_config(session, &self.config)
+        self.verify_traced(session).0
     }
 
     /// Runs the cascade under explicit thresholds (adaptive thresholding
@@ -252,29 +341,106 @@ impl DefenseSystem {
         session: &SessionData,
         config: &DefenseConfig,
     ) -> DefenseVerdict {
+        self.verify_traced_with_config(session, config).0
+    }
+
+    /// Runs the full cascade at the nominal thresholds, returning the
+    /// verdict together with its per-session [`PipelineTrace`].
+    pub fn verify_traced(&self, session: &SessionData) -> (DefenseVerdict, PipelineTrace) {
+        self.verify_traced_with_config(session, &self.config)
+    }
+
+    /// Runs the cascade under explicit thresholds, returning the verdict
+    /// together with a [`PipelineTrace`] carrying each component's
+    /// decision, attack score, threshold margin and duration. Also emits
+    /// one span per component and updates the system's metrics registry.
+    pub fn verify_traced_with_config(
+        &self,
+        session: &SessionData,
+        config: &DefenseConfig,
+    ) -> (DefenseVerdict, PipelineTrace) {
+        let registry = &self.obs.registry;
+        let started = Instant::now();
+        let mut root = Span::enter(&self.obs.tracer, "verify");
+        let mut trace = PipelineTrace {
+            session: format!("speaker-{}", session.claimed_speaker),
+            ..PipelineTrace::default()
+        };
         if let Err(e) = session.validate() {
-            return DefenseVerdict::rejected_invalid(e.to_string());
+            let reason = e.to_string();
+            root.event("invalid", &reason);
+            registry.counter("pipeline.invalid").inc();
+            registry.counter("pipeline.rejects").inc();
+            trace.total_s = started.elapsed().as_secs_f64().max(1e-9);
+            return (DefenseVerdict::rejected_invalid(reason), trace);
         }
         let mut results = Vec::with_capacity(5);
-        results.push(distance::verify(session, config).result);
+        run_stage(
+            registry,
+            &root,
+            "distance",
+            &mut trace.components,
+            &mut results,
+            || distance::verify(session, config).result,
+        );
         // Dual-microphone devices contribute the §VII SLD range check as
         // extra (free) evidence; single-mic sessions skip it.
         if session.audio2.is_some() {
-            results.push(crate::components::sld::verify(session, config));
+            run_stage(
+                registry,
+                &root,
+                "sld",
+                &mut trace.components,
+                &mut results,
+                || crate::components::sld::verify(session, config),
+            );
         }
-        results.push(sound_field::verify(session, &self.sound_field, config));
-        results.push(loudspeaker::verify(session, config).result);
-        match self.speakers.get(&session.claimed_speaker) {
-            Some(model) => {
-                results.push(speaker_id::verify(session, &self.engine, model, config));
-            }
-            None => results.push(ComponentResult {
-                component: Component::SpeakerIdentity,
-                attack_score: 2.0,
-                detail: format!("unknown speaker id {}", session.claimed_speaker),
-            }),
-        }
-        DefenseVerdict::from_results(results)
+        run_stage(
+            registry,
+            &root,
+            "sound_field",
+            &mut trace.components,
+            &mut results,
+            || sound_field::verify(session, &self.sound_field, config),
+        );
+        run_stage(
+            registry,
+            &root,
+            "loudspeaker",
+            &mut trace.components,
+            &mut results,
+            || loudspeaker::verify(session, config).result,
+        );
+        run_stage(
+            registry,
+            &root,
+            "speaker_id",
+            &mut trace.components,
+            &mut results,
+            || match self.speakers.get(&session.claimed_speaker) {
+                Some(model) => speaker_id::verify(session, &self.engine, model, config),
+                None => ComponentResult {
+                    component: Component::SpeakerIdentity,
+                    attack_score: 2.0,
+                    detail: format!("unknown speaker id {}", session.claimed_speaker),
+                },
+            },
+        );
+        let verdict = DefenseVerdict::from_results(results);
+        trace.accepted = verdict.accepted();
+        trace.total_s = started.elapsed().as_secs_f64().max(1e-9);
+        registry
+            .histogram("pipeline.verify.seconds")
+            .record_secs(trace.total_s);
+        registry
+            .counter(if trace.accepted {
+                "pipeline.accepts"
+            } else {
+                "pipeline.rejects"
+            })
+            .inc();
+        root.event("decision", if trace.accepted { "accept" } else { "reject" });
+        (verdict, trace)
     }
 }
 
@@ -314,7 +480,11 @@ mod tests {
         let v = sys.verify(&s);
         assert!(!v.accepted());
         let ld = v.result_of(Component::Loudspeaker).unwrap();
-        assert!(ld.attack_score > 1.0, "loudspeaker score {}", ld.attack_score);
+        assert!(
+            ld.attack_score > 1.0,
+            "loudspeaker score {}",
+            ld.attack_score
+        );
     }
 
     #[test]
@@ -348,5 +518,53 @@ mod tests {
         sys.enroll_speaker(5, &[&utt]);
         assert!(sys.is_enrolled(5));
         assert!(!sys.is_enrolled(77));
+    }
+
+    #[test]
+    fn traced_verify_reports_every_stage() {
+        let (sys, user) = system();
+        let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(104));
+        let (v, trace) = sys.verify_traced(&s);
+        assert_eq!(v.accepted(), trace.accepted);
+        let mut expected = vec!["distance", "sound_field", "loudspeaker", "speaker_id"];
+        if s.audio2.is_some() {
+            expected.push("sld");
+        }
+        assert_eq!(trace.components.len(), expected.len());
+        for name in expected {
+            let c = trace
+                .component(name)
+                .unwrap_or_else(|| panic!("missing component trace for {name}"));
+            assert!(c.duration_s > 0.0, "{name} duration must be positive");
+            assert!(
+                (c.threshold_margin - (1.0 - c.attack_score)).abs() < 1e-12,
+                "{name} margin inconsistent"
+            );
+            assert_eq!(c.passed, c.attack_score < 1.0);
+        }
+        assert!(trace.total_s >= trace.components_s() * 0.5);
+        // Metrics and spans landed too.
+        let snap = sys.metrics().snapshot();
+        assert!(snap.histograms["pipeline.verify.seconds"].count >= 1);
+        assert!(snap.histograms["pipeline.distance.seconds"].count >= 1);
+        let spans = sys.tracer().records();
+        assert!(spans.iter().any(|r| r.name == "verify"));
+        assert!(spans.iter().any(|r| r.name == "speaker_id"));
+    }
+
+    #[test]
+    fn invalid_session_still_traced() {
+        let (sys, user) = system();
+        let mut s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(105));
+        s.audio.clear();
+        let before = sys.metrics().counter("pipeline.invalid").get();
+        let (v, trace) = sys.verify_traced(&s);
+        assert!(!v.accepted());
+        assert!(!trace.accepted);
+        assert!(trace.components.is_empty());
+        assert!(trace.total_s > 0.0);
+        // `>`: the shared fixture's metrics are cumulative and other
+        // tests run concurrently.
+        assert!(sys.metrics().counter("pipeline.invalid").get() > before);
     }
 }

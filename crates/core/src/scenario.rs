@@ -339,7 +339,9 @@ impl ScenarioBuilder {
         let mag_readings = phone.magnetometer.read_series(&body_fields);
 
         // ------------- inertial readings -------------
-        let accel_readings = phone.accelerometer.read_series(&motion.body_accelerations());
+        let accel_readings = phone
+            .accelerometer
+            .read_series(&motion.body_accelerations());
         let gyro_readings = phone.gyroscope.read_series(&motion.angular_rates());
 
         SessionData {
@@ -366,9 +368,13 @@ impl ScenarioBuilder {
                 let fx = SessionEffects::sample(&rng.fork("live-session"), 0.5);
                 synth.render_digits(&self.user.profile, digits, fx, &rng.fork("live"))
             }
-            SpeechKind::Attack { kind, attacker } => {
-                attack_audio(*kind, attacker, &self.user.profile, digits, &rng.fork("attack"))
-            }
+            SpeechKind::Attack { kind, attacker } => attack_audio(
+                *kind,
+                attacker,
+                &self.user.profile,
+                digits,
+                &rng.fork("attack"),
+            ),
         };
         // Playback-device coloration applies to machine-delivered audio.
         match &self.source {
@@ -533,14 +539,10 @@ mod tests {
         let attacker = SpeakerProfile::sample(9, &SimRng::from_seed(4));
         let peak_at = |d: f64| {
             let device = table_iv_catalog()[0].clone();
-            let s = ScenarioBuilder::machine_attack(
-                &u,
-                AttackKind::Replay,
-                device,
-                attacker.clone(),
-            )
-            .at_distance(d)
-            .capture(&SimRng::from_seed(6));
+            let s =
+                ScenarioBuilder::machine_attack(&u, AttackKind::Replay, device, attacker.clone())
+                    .at_distance(d)
+                    .capture(&SimRng::from_seed(6));
             s.mag_magnitude().iter().cloned().fold(0.0f64, f64::max)
         };
         assert!(peak_at(0.04) > peak_at(0.12) + 10.0);
@@ -553,11 +555,7 @@ mod tests {
         let s = ScenarioBuilder::genuine(&u).capture(&SimRng::from_seed(7));
         let rms = (s.audio.iter().map(|x| x * x).sum::<f64>() / s.audio.len() as f64).sqrt();
         assert!(rms > 0.01, "audio rms {rms}");
-        let pilot_pw = tone_power(
-            &s.audio[s.audio.len() / 2..],
-            s.pilot_hz,
-            s.audio_rate,
-        );
+        let pilot_pw = tone_power(&s.audio[s.audio.len() / 2..], s.pilot_hz, s.audio_rate);
         assert!(pilot_pw > 1e-6, "pilot power {pilot_pw}");
     }
 

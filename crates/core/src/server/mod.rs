@@ -7,6 +7,14 @@
 //! (length-prefixed frames), and [`VerificationServer`] runs a worker pool
 //! that decodes, verifies and replies — concurrency via `crossbeam`
 //! channels, shared state via `parking_lot`.
+//!
+//! The server is instrumented against `magshield-obs` (DESIGN.md §7):
+//! `server.queue.wait.seconds` (enqueue→dequeue) and
+//! `server.compute.seconds` histograms, a `server.queue.depth` gauge,
+//! and per-worker `server.worker.<i>.processed` counters, all sharing the
+//! [`DefenseSystem`]'s registry so one snapshot covers pipeline and
+//! server alike. Clients can fetch a [`ServerStatsSnapshot`] over the
+//! wire via [`Client::stats`] (`Message::StatsRequest`).
 
 pub mod protocol;
 
@@ -14,8 +22,10 @@ use crate::pipeline::DefenseSystem;
 use crate::session::SessionData;
 use crate::verdict::DefenseVerdict;
 use crossbeam::channel::{bounded, unbounded, Sender};
+use magshield_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use parking_lot::Mutex;
 use protocol::{decode_frame, encode_response, Message};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -24,9 +34,11 @@ use std::time::{Duration, Instant};
 struct Job {
     frame: Vec<u8>,
     reply: Sender<Vec<u8>>,
+    /// When the client enqueued the frame (queue-wait attribution).
+    enqueued: Instant,
 }
 
-/// Aggregate server statistics.
+/// Aggregate server statistics (legacy scalar view).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
     /// Requests fully processed.
@@ -39,11 +51,61 @@ pub struct ServerStats {
 
 impl ServerStats {
     /// Mean verification latency.
+    #[deprecated(
+        since = "0.1.0",
+        note = "a lossy mean; use `VerificationServer::stats_snapshot()` \
+                (or `Client::stats()`) for histogram percentiles"
+    )]
     pub fn mean_latency(&self) -> Duration {
         if self.processed == 0 {
             Duration::ZERO
         } else {
-            self.total_latency / self.processed as u32
+            // u64-safe: dividing through f64 seconds instead of the old
+            // `total / processed as u32`, which truncated counts above
+            // u32::MAX.
+            Duration::from_secs_f64(self.total_latency.as_secs_f64() / self.processed as f64)
+        }
+    }
+}
+
+/// A point-in-time copy of the server's observable state, servable over
+/// the wire protocol (`Message::StatsResponse`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatsSnapshot {
+    /// Requests fully processed.
+    pub processed: u64,
+    /// Requests rejected at the protocol layer.
+    pub protocol_errors: u64,
+    /// Frames currently enqueued and not yet picked up by a worker.
+    pub queue_depth: i64,
+    /// Requests processed per worker, indexed by worker id.
+    pub per_worker_processed: Vec<u64>,
+    /// Enqueue→dequeue wait-time histogram.
+    pub queue_wait: HistogramSnapshot,
+    /// Verification compute-time histogram.
+    pub compute: HistogramSnapshot,
+}
+
+/// State shared between workers, clients and the server handle.
+struct Shared {
+    stats: Mutex<ServerStats>,
+    registry: Registry,
+    queue_depth: Gauge,
+    queue_wait: Histogram,
+    compute: Histogram,
+    worker_processed: Vec<Counter>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerStatsSnapshot {
+        let stats = *self.stats.lock();
+        ServerStatsSnapshot {
+            processed: stats.processed,
+            protocol_errors: stats.protocol_errors,
+            queue_depth: self.queue_depth.get(),
+            per_worker_processed: self.worker_processed.iter().map(|c| c.get()).collect(),
+            queue_wait: self.queue_wait.snapshot(),
+            compute: self.compute.snapshot(),
         }
     }
 }
@@ -56,27 +118,41 @@ pub struct VerificationServer {
     /// the pool.)
     shutdown_tx: Option<Sender<()>>,
     workers: Vec<JoinHandle<()>>,
-    stats: Arc<Mutex<ServerStats>>,
+    shared: Arc<Shared>,
 }
 
 impl VerificationServer {
     /// Spawns the server with `workers` threads sharing `system`.
+    ///
+    /// Server metrics are registered in `system`'s own registry, so
+    /// [`VerificationServer::metrics`] exposes pipeline stage histograms
+    /// and server queue/compute histograms side by side.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn spawn(system: DefenseSystem, workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
+        let registry = system.metrics().clone();
+        let shared = Arc::new(Shared {
+            stats: Mutex::new(ServerStats::default()),
+            queue_depth: registry.gauge("server.queue.depth"),
+            queue_wait: registry.histogram("server.queue.wait.seconds"),
+            compute: registry.histogram("server.compute.seconds"),
+            worker_processed: (0..workers)
+                .map(|i| registry.counter(&format!("server.worker.{i}.processed")))
+                .collect(),
+            registry,
+        });
         let system = Arc::new(system);
-        let stats = Arc::new(Mutex::new(ServerStats::default()));
         let (tx, rx) = unbounded::<Job>();
         let (shutdown_tx, shutdown_rx) = unbounded::<()>();
         let handles = (0..workers)
-            .map(|_| {
+            .map(|worker_id| {
                 let rx = rx.clone();
                 let shutdown_rx = shutdown_rx.clone();
                 let system = Arc::clone(&system);
-                let stats = Arc::clone(&stats);
+                let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     loop {
                         let job = crossbeam::channel::select! {
@@ -86,6 +162,8 @@ impl VerificationServer {
                             },
                             recv(shutdown_rx) -> _ => break,
                         };
+                        shared.queue_depth.dec();
+                        shared.queue_wait.record(job.enqueued.elapsed());
                         let response = match decode_frame(&job.frame) {
                             Ok(Message::VerifyRequest {
                                 request_id,
@@ -94,22 +172,27 @@ impl VerificationServer {
                                 let start = Instant::now();
                                 let verdict = system.verify(&session);
                                 let elapsed = start.elapsed();
+                                shared.compute.record(elapsed);
+                                shared.worker_processed[worker_id].inc();
                                 {
-                                    let mut s = stats.lock();
+                                    let mut s = shared.stats.lock();
                                     s.processed += 1;
                                     s.total_latency += elapsed;
                                 }
                                 encode_response(request_id, &verdict)
                             }
+                            Ok(Message::StatsRequest { request_id }) => {
+                                protocol::encode_stats_response(request_id, &shared.snapshot())
+                            }
                             Ok(other) => {
-                                stats.lock().protocol_errors += 1;
+                                shared.stats.lock().protocol_errors += 1;
                                 protocol::encode_error(
                                     other.request_id(),
                                     "unexpected message type",
                                 )
                             }
                             Err(e) => {
-                                stats.lock().protocol_errors += 1;
+                                shared.stats.lock().protocol_errors += 1;
                                 protocol::encode_error(0, &format!("decode error: {e}"))
                             }
                         };
@@ -123,7 +206,7 @@ impl VerificationServer {
             tx: Some(tx),
             shutdown_tx: Some(shutdown_tx),
             workers: handles,
-            stats,
+            shared,
         }
     }
 
@@ -132,12 +215,25 @@ impl VerificationServer {
         Client {
             tx: self.tx.as_ref().expect("server running").clone(),
             next_id: Arc::new(Mutex::new(1)),
+            queue_depth: self.shared.queue_depth.clone(),
         }
     }
 
-    /// Snapshot of server statistics.
+    /// Snapshot of the legacy scalar statistics.
     pub fn stats(&self) -> ServerStats {
-        *self.stats.lock()
+        *self.shared.stats.lock()
+    }
+
+    /// Full observable state: scalar counters plus queue-wait and compute
+    /// histograms and per-worker processed counts.
+    pub fn stats_snapshot(&self) -> ServerStatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// The metrics registry (shared with the [`DefenseSystem`], so it
+    /// also carries the `pipeline.<stage>.seconds` histograms).
+    pub fn metrics(&self) -> &Registry {
+        &self.shared.registry
     }
 
     /// Stops the workers and waits for them to drain. In-flight requests
@@ -167,6 +263,7 @@ impl Drop for VerificationServer {
 pub struct Client {
     tx: Sender<Job>,
     next_id: Arc<Mutex<u64>>,
+    queue_depth: Gauge,
 }
 
 /// Client-side errors.
@@ -193,15 +290,17 @@ impl std::fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 impl Client {
+    fn next_id(&self) -> u64 {
+        let mut n = self.next_id.lock();
+        let id = *n;
+        *n += 1;
+        id
+    }
+
     /// Sends a session for verification and waits for the verdict,
     /// exercising the full encode → wire → decode path.
     pub fn verify(&self, session: &SessionData) -> Result<DefenseVerdict, ClientError> {
-        let id = {
-            let mut n = self.next_id.lock();
-            let id = *n;
-            *n += 1;
-            id
-        };
+        let id = self.next_id();
         let frame = protocol::encode_request(id, session);
         let raw = self.send_raw(frame)?;
         match decode_frame(&raw) {
@@ -222,15 +321,44 @@ impl Client {
         }
     }
 
+    /// Requests a statistics snapshot over the wire
+    /// (`Message::StatsRequest` → `Message::StatsResponse`).
+    pub fn stats(&self) -> Result<ServerStatsSnapshot, ClientError> {
+        let id = self.next_id();
+        let raw = self.send_raw(protocol::encode_stats_request(id))?;
+        match decode_frame(&raw) {
+            Ok(Message::StatsResponse { request_id, stats }) => {
+                if request_id != id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {id}"
+                    )));
+                }
+                Ok(stats)
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
+    }
+
     /// Sends a raw frame (tests use this for failure injection).
     pub fn send_raw(&self, frame: Vec<u8>) -> Result<Vec<u8>, ClientError> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
+        // Incremented before the send so the worker-side decrement can
+        // never observe the gauge below zero.
+        self.queue_depth.inc();
+        if self
+            .tx
             .send(Job {
                 frame,
                 reply: reply_tx,
+                enqueued: Instant::now(),
             })
-            .map_err(|_| ClientError::Disconnected)?;
+            .is_err()
+        {
+            self.queue_depth.dec();
+            return Err(ClientError::Disconnected);
+        }
         reply_rx.recv().map_err(|_| ClientError::Disconnected)
     }
 }
@@ -243,7 +371,13 @@ mod tests {
 
     fn server() -> (VerificationServer, crate::scenario::UserContext) {
         let (system, user) = crate::test_support::shared_tiny_system();
-        (VerificationServer::spawn(system.clone(), 2), user.clone())
+        // Fresh obs: the fixture system is shared across the whole test
+        // binary, so a plain clone would leak other tests' counts into
+        // this server's histograms.
+        (
+            VerificationServer::spawn(system.with_fresh_obs(), 2),
+            user.clone(),
+        )
     }
 
     #[test]
@@ -271,8 +405,43 @@ mod tests {
         for j in joins {
             assert!(j.join().unwrap());
         }
-        assert_eq!(srv.stats().processed, 6);
-        assert!(srv.stats().mean_latency() > Duration::ZERO);
+        let snap = srv.stats_snapshot();
+        assert_eq!(snap.processed, 6);
+        assert_eq!(snap.compute.count, 6);
+        assert_eq!(snap.queue_wait.count, 6);
+        assert!(snap.compute.p50() > 0.0);
+        assert_eq!(snap.queue_depth, 0, "queue drains after replies");
+        assert_eq!(snap.per_worker_processed.len(), 2);
+        assert_eq!(snap.per_worker_processed.iter().sum::<u64>(), 6);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn stats_over_the_wire() {
+        let (srv, user) = server();
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(53));
+        client.verify(&session).expect("verdict");
+        let snap = client.stats().expect("stats over the wire");
+        assert_eq!(snap.processed, 1);
+        assert_eq!(snap.compute.count, 1);
+        assert!(snap.compute.max_s() > 0.0);
+        assert_eq!(snap, srv.stats_snapshot());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn server_metrics_include_pipeline_stages() {
+        let (srv, user) = server();
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(54));
+        client.verify(&session).expect("verdict");
+        let snap = srv.metrics().snapshot();
+        assert!(snap.histograms.contains_key("server.compute.seconds"));
+        assert!(
+            snap.histograms.contains_key("pipeline.distance.seconds"),
+            "server registry must carry pipeline stage histograms"
+        );
         srv.shutdown();
     }
 
@@ -296,5 +465,25 @@ mod tests {
         srv.shutdown();
         let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(52));
         assert_eq!(client.verify(&session), Err(ClientError::Disconnected));
+    }
+
+    #[test]
+    fn mean_latency_survives_u32_overflowing_counts() {
+        // The old implementation divided by `processed as u32`, which
+        // truncated for counts above u32::MAX (mean inflated ~2^32×).
+        let stats = ServerStats {
+            processed: u64::from(u32::MAX) + 2,
+            protocol_errors: 0,
+            total_latency: Duration::from_millis(u64::from(u32::MAX) + 2),
+        };
+        #[allow(deprecated)]
+        let mean = stats.mean_latency();
+        assert!(
+            (mean.as_secs_f64() - 1e-3).abs() < 1e-9,
+            "mean should be exactly 1 ms, got {mean:?}"
+        );
+        #[allow(deprecated)]
+        let empty = ServerStats::default().mean_latency();
+        assert_eq!(empty, Duration::ZERO);
     }
 }

@@ -5,9 +5,11 @@
 //! `bytes` crate so the session payload (hundreds of kilobytes of sensor
 //! samples) serializes without intermediate allocations or text overhead.
 
+use crate::server::ServerStatsSnapshot;
 use crate::session::SessionData;
 use crate::verdict::{Component, ComponentResult, Decision, DefenseVerdict};
 use bytes::{Buf, BufMut, BytesMut};
+use magshield_obs::metrics::HistogramSnapshot;
 use magshield_simkit::vec3::Vec3;
 
 /// Frame magic.
@@ -19,9 +21,14 @@ const VERSION: u8 = 1;
 const T_VERIFY_REQUEST: u8 = 1;
 const T_VERIFY_RESPONSE: u8 = 2;
 const T_ERROR: u8 = 3;
+const T_STATS_REQUEST: u8 = 4;
+const T_STATS_RESPONSE: u8 = 5;
 
 /// Upper bound on vector lengths (guards against hostile frames).
 const MAX_LEN: usize = 16 << 20;
+
+/// Upper bound on histogram bucket counts in stats frames.
+const MAX_HIST_BUCKETS: usize = 4096;
 
 /// A decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +54,18 @@ pub enum Message {
         /// Description.
         message: String,
     },
+    /// Client → server: request a statistics snapshot.
+    StatsRequest {
+        /// Request correlation id.
+        request_id: u64,
+    },
+    /// Server → client: the statistics snapshot.
+    StatsResponse {
+        /// Request correlation id.
+        request_id: u64,
+        /// Scalar counters plus queue-wait/compute histograms.
+        stats: ServerStatsSnapshot,
+    },
 }
 
 impl Message {
@@ -55,7 +74,9 @@ impl Message {
         match self {
             Message::VerifyRequest { request_id, .. }
             | Message::VerifyResponse { request_id, .. }
-            | Message::Error { request_id, .. } => *request_id,
+            | Message::Error { request_id, .. }
+            | Message::StatsRequest { request_id }
+            | Message::StatsResponse { request_id, .. } => *request_id,
         }
     }
 }
@@ -125,6 +146,29 @@ pub fn encode_error(request_id: u64, message: &str) -> Vec<u8> {
     b.to_vec()
 }
 
+/// Encodes a statistics request.
+pub fn encode_stats_request(request_id: u64) -> Vec<u8> {
+    let mut b = header(T_STATS_REQUEST);
+    b.put_u64_le(request_id);
+    b.to_vec()
+}
+
+/// Encodes a statistics response.
+pub fn encode_stats_response(request_id: u64, stats: &ServerStatsSnapshot) -> Vec<u8> {
+    let mut b = header(T_STATS_RESPONSE);
+    b.put_u64_le(request_id);
+    b.put_u64_le(stats.processed);
+    b.put_u64_le(stats.protocol_errors);
+    b.put_i64_le(stats.queue_depth);
+    b.put_u32_le(stats.per_worker_processed.len() as u32);
+    for &n in &stats.per_worker_processed {
+        b.put_u64_le(n);
+    }
+    put_histogram(&mut b, &stats.queue_wait);
+    put_histogram(&mut b, &stats.compute);
+    b.to_vec()
+}
+
 /// Decodes any frame.
 pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
     let mut buf = frame;
@@ -190,6 +234,34 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
                 message,
             })
         }
+        T_STATS_REQUEST => {
+            let request_id = get_u64(&mut buf)?;
+            Ok(Message::StatsRequest { request_id })
+        }
+        T_STATS_RESPONSE => {
+            let request_id = get_u64(&mut buf)?;
+            let processed = get_u64(&mut buf)?;
+            let protocol_errors = get_u64(&mut buf)?;
+            let queue_depth = get_i64(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            if n > MAX_HIST_BUCKETS || buf.remaining() < n * 8 {
+                return Err(DecodeError::BadLength);
+            }
+            let per_worker_processed = (0..n).map(|_| buf.get_u64_le()).collect();
+            let queue_wait = get_histogram(&mut buf)?;
+            let compute = get_histogram(&mut buf)?;
+            Ok(Message::StatsResponse {
+                request_id,
+                stats: ServerStatsSnapshot {
+                    processed,
+                    protocol_errors,
+                    queue_depth,
+                    per_worker_processed,
+                    queue_wait,
+                    compute,
+                },
+            })
+        }
         other => Err(DecodeError::BadType(other)),
     }
 }
@@ -244,6 +316,32 @@ fn put_vec3s(b: &mut BytesMut, v: &[Vec3]) {
     }
 }
 
+fn put_histogram(b: &mut BytesMut, h: &HistogramSnapshot) {
+    b.put_u64_le(h.count);
+    b.put_u64_le(h.sum_ns);
+    b.put_u64_le(h.max_ns);
+    b.put_u32_le(h.buckets.len() as u32);
+    for &n in &h.buckets {
+        b.put_u64_le(n);
+    }
+}
+
+fn get_histogram(buf: &mut &[u8]) -> Result<HistogramSnapshot, DecodeError> {
+    let count = get_u64(buf)?;
+    let sum_ns = get_u64(buf)?;
+    let max_ns = get_u64(buf)?;
+    let n = get_len(buf)?;
+    if n > MAX_HIST_BUCKETS || buf.remaining() < n * 8 {
+        return Err(DecodeError::BadLength);
+    }
+    Ok(HistogramSnapshot {
+        buckets: (0..n).map(|_| buf.get_u64_le()).collect(),
+        count,
+        sum_ns,
+        max_ns,
+    })
+}
+
 fn put_session(b: &mut BytesMut, s: &SessionData) {
     b.put_u32_le(s.claimed_speaker);
     b.put_f64_le(s.audio_rate);
@@ -271,6 +369,13 @@ fn get_u64(buf: &mut &[u8]) -> Result<u64, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     Ok(buf.get_u64_le())
+}
+
+fn get_i64(buf: &mut &[u8]) -> Result<i64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_i64_le())
 }
 
 fn get_f64(buf: &mut &[u8]) -> Result<f64, DecodeError> {
@@ -417,6 +522,73 @@ mod tests {
             }
             other => panic!("wrong message: {other:?}"),
         }
+    }
+
+    fn sample_stats() -> ServerStatsSnapshot {
+        let wait = magshield_obs::metrics::Histogram::default();
+        let compute = magshield_obs::metrics::Histogram::default();
+        wait.record_secs(0.0001);
+        wait.record_secs(0.002);
+        compute.record_secs(0.03);
+        ServerStatsSnapshot {
+            processed: 12,
+            protocol_errors: 3,
+            queue_depth: -1, // transient negatives must survive the wire
+            per_worker_processed: vec![5, 0, 7],
+            queue_wait: wait.snapshot(),
+            compute: compute.snapshot(),
+        }
+    }
+
+    #[test]
+    fn stats_request_round_trip() {
+        let frame = encode_stats_request(77);
+        assert_eq!(
+            decode_frame(&frame).unwrap(),
+            Message::StatsRequest { request_id: 77 }
+        );
+    }
+
+    #[test]
+    fn stats_response_round_trip() {
+        let stats = sample_stats();
+        let frame = encode_stats_response(8, &stats);
+        match decode_frame(&frame).unwrap() {
+            Message::StatsResponse {
+                request_id,
+                stats: s,
+            } => {
+                assert_eq!(request_id, 8);
+                assert_eq!(s, stats);
+                // Quantiles survive serialization (same buckets → same
+                // estimates).
+                assert_eq!(s.compute.p99(), stats.compute.p99());
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_response_rejects_truncation_everywhere() {
+        let frame = encode_stats_response(1, &sample_stats());
+        for cut in 0..frame.len() {
+            let r = decode_frame(&frame[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+        }
+    }
+
+    #[test]
+    fn stats_response_rejects_hostile_bucket_count() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_STATS_RESPONSE);
+        b.put_u64_le(1); // request id
+        b.put_u64_le(0); // processed
+        b.put_u64_le(0); // protocol errors
+        b.put_i64_le(0); // queue depth
+        b.put_u32_le(u32::MAX); // absurd worker count
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl SessionData {
         {
             return Err(SessionError::EmptySensorStream);
         }
-        if !(self.audio_rate > 0.0) || !(self.imu_rate > 0.0) {
+        // NaN rates must fail validation too, hence the explicit checks.
+        let rate_ok = |r: f64| r.is_finite() && r > 0.0;
+        if !rate_ok(self.audio_rate) || !rate_ok(self.imu_rate) {
             return Err(SessionError::BadRate);
         }
         if self.pilot_hz <= 16_000.0 {

@@ -25,6 +25,17 @@ impl Component {
             Component::SpeakerIdentity,
         ]
     }
+
+    /// Stable snake_case identifier, used for metric and span names
+    /// (`pipeline.<name>.seconds`) and pipeline-trace components.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Component::Distance => "distance",
+            Component::SoundField => "sound_field",
+            Component::Loudspeaker => "loudspeaker",
+            Component::SpeakerIdentity => "speaker_id",
+        }
+    }
 }
 
 /// One component's normalized result.
@@ -168,6 +179,18 @@ mod tests {
         let v = DefenseVerdict::rejected_invalid("empty audio".into());
         assert!(!v.accepted());
         assert_eq!(v.decision_at(1e9), Decision::Reject);
+    }
+
+    #[test]
+    fn component_names_are_unique_snake_case() {
+        let names: Vec<_> = Component::all().iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
     }
 
     #[test]

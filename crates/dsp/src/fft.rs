@@ -41,7 +41,10 @@ pub fn ifft(buf: &mut [Complex]) {
 
 fn fft_dir(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -100,7 +103,9 @@ pub fn magnitude_spectrum(signal: &[f64], sample_rate: f64) -> (Vec<f64>, Vec<f6
     let spec = rfft(signal);
     let n = spec.len();
     let half = n / 2 + 1;
-    let freqs = (0..half).map(|k| k as f64 * sample_rate / n as f64).collect();
+    let freqs = (0..half)
+        .map(|k| k as f64 * sample_rate / n as f64)
+        .collect();
     let mags = spec[..half].iter().map(|z| z.abs()).collect();
     (freqs, mags)
 }
@@ -139,7 +144,9 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let orig: Vec<Complex> = (0..64).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let orig: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let mut buf = orig.clone();
         fft(&mut buf);
         ifft(&mut buf);

@@ -161,7 +161,10 @@ impl OnePole {
     ///
     /// Panics if `tau_s <= 0` or `sample_rate <= 0`.
     pub fn with_time_constant(sample_rate: f64, tau_s: f64) -> Self {
-        assert!(tau_s > 0.0 && sample_rate > 0.0, "tau and rate must be positive");
+        assert!(
+            tau_s > 0.0 && sample_rate > 0.0,
+            "tau and rate must be positive"
+        );
         let k = 1.0 - (-1.0 / (tau_s * sample_rate)).exp();
         Self {
             k,

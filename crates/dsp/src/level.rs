@@ -28,7 +28,10 @@ pub fn amplitude_to_dbfs(a: f64) -> f64 {
 ///
 /// Panics if `frame_s` or `sample_rate` is non-positive.
 pub fn level_track(samples: &[f64], sample_rate: f64, frame_s: f64) -> (Vec<f64>, Vec<f64>) {
-    assert!(sample_rate > 0.0 && frame_s > 0.0, "rate and frame must be positive");
+    assert!(
+        sample_rate > 0.0 && frame_s > 0.0,
+        "rate and frame must be positive"
+    );
     let frame_len = ((sample_rate * frame_s).round() as usize).max(1);
     let mut times = Vec::new();
     let mut levels = Vec::new();

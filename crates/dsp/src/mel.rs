@@ -156,7 +156,10 @@ impl MfccExtractor {
         num_coeffs: usize,
         num_filters: usize,
     ) -> Self {
-        assert!(frame_s > 0.0 && hop_s > 0.0, "frame and hop must be positive");
+        assert!(
+            frame_s > 0.0 && hop_s > 0.0,
+            "frame and hop must be positive"
+        );
         assert!(
             num_coeffs <= num_filters,
             "cannot keep more cepstra than mel bands"
@@ -164,7 +167,8 @@ impl MfccExtractor {
         let frame_len = (sample_rate * frame_s).round() as usize;
         let hop = (sample_rate * hop_s).round() as usize;
         let nfft = frame_len.next_power_of_two();
-        let filterbank = MelFilterbank::new(num_filters, nfft, sample_rate, 80.0, sample_rate / 2.0);
+        let filterbank =
+            MelFilterbank::new(num_filters, nfft, sample_rate, 80.0, sample_rate / 2.0);
         let window = WindowKind::Hamming.generate(frame_len);
         Self {
             sample_rate,
@@ -216,7 +220,11 @@ pub fn append_deltas(frames: &[Vec<f64>]) -> Vec<Vec<f64>> {
     (0..n)
         .map(|t| {
             let prev = if t > 0 { &frames[t - 1] } else { &frames[t] };
-            let next = if t + 1 < n { &frames[t + 1] } else { &frames[t] };
+            let next = if t + 1 < n {
+                &frames[t + 1]
+            } else {
+                &frames[t]
+            };
             let mut row = frames[t].clone();
             row.extend(prev.iter().zip(next).map(|(p, nx)| (nx - p) / 2.0));
             row

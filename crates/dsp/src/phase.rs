@@ -195,7 +195,10 @@ mod tests {
     fn phase_to_displacement_sign() {
         // Approaching source (path shrinks) ⇒ phase grows ⇒ negative Δd.
         let d = phase_to_displacement(TAU, 17_150.0, 343.0);
-        assert!((d + 0.02).abs() < 1e-9, "one cycle at λ=2 cm is −2 cm, got {d}");
+        assert!(
+            (d + 0.02).abs() < 1e-9,
+            "one cycle at λ=2 cm is −2 cm, got {d}"
+        );
     }
 
     #[test]

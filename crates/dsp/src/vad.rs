@@ -156,9 +156,9 @@ mod tests {
         };
         // Loud, 1-frame gap, loud.
         let mut sig = Vec::new();
-        sig.extend(std::iter::repeat(1.0).take(30));
-        sig.extend(std::iter::repeat(0.0).take(10));
-        sig.extend(std::iter::repeat(1.0).take(30));
+        sig.extend(std::iter::repeat_n(1.0, 30));
+        sig.extend(std::iter::repeat_n(0.0, 10));
+        sig.extend(std::iter::repeat_n(1.0, 30));
         let vad = detect(&sig, fs, cfg);
         assert!(vad.active.iter().all(|&a| a), "{:?}", vad.active);
     }

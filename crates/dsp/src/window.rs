@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn rectangular_is_ones() {
-        assert!(WindowKind::Rectangular.generate(7).iter().all(|&c| c == 1.0));
+        assert!(WindowKind::Rectangular
+            .generate(7)
+            .iter()
+            .all(|&c| c == 1.0));
     }
 
     #[test]
@@ -96,7 +99,10 @@ mod tests {
         for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
             let w = kind.generate(33);
             for i in 0..w.len() {
-                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12, "{kind:?} not symmetric");
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} not symmetric"
+                );
             }
         }
     }

@@ -13,7 +13,7 @@ proptest! {
 
     /// Goertzel matches the corresponding FFT bin for on-grid frequencies.
     #[test]
-    fn goertzel_matches_fft_bin(bin in 1usize..31, phase in 0.0f64..6.28) {
+    fn goertzel_matches_fft_bin(bin in 1usize..31, phase in 0.0f64..std::f64::consts::TAU) {
         let n = 64;
         let fs = 6400.0;
         let f = bin as f64 * fs / n as f64;

@@ -44,11 +44,7 @@ pub fn fit_circle(points: &[(f64, f64)]) -> Option<Circle> {
         sz += z;
     }
     // Normal equations for [a, b, c] with a = 2cx, b = 2cy, c = r² − cx² − cy².
-    let m = [
-        [sxx, sxy, sx],
-        [sxy, syy, sy],
-        [sx, sy, n],
-    ];
+    let m = [[sxx, sxy, sx], [sxy, syy, sy], [sx, sy, n]];
     let rhs = [sxz, syz, sz];
     let sol = solve3(m, rhs)?;
     let cx = sol[0] / 2.0;
@@ -79,7 +75,8 @@ pub fn fit_circle(points: &[(f64, f64)]) -> Option<Circle> {
 /// pivoting; `None` if singular.
 fn solve3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
-        let pivot = (col..3).max_by(|&a, &c| m[a][col].abs().partial_cmp(&m[c][col].abs()).unwrap())?;
+        let pivot =
+            (col..3).max_by(|&a, &c| m[a][col].abs().partial_cmp(&m[c][col].abs()).unwrap())?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }

@@ -50,7 +50,10 @@ impl DiagonalGmm {
             "inconsistent dimensions"
         );
         let wsum: f64 = weights.iter().sum();
-        assert!((wsum - 1.0).abs() < 1e-6, "weights must sum to 1, got {wsum}");
+        assert!(
+            (wsum - 1.0).abs() < 1e-6,
+            "weights must sum to 1, got {wsum}"
+        );
         assert!(
             variances.iter().flatten().all(|&v| v > 0.0),
             "variances must be positive"
@@ -297,7 +300,8 @@ mod tests {
 
     #[test]
     fn single_gaussian_pdf_matches_closed_form() {
-        let g = DiagonalGmm::from_parameters(vec![1.0], vec![vec![1.0, -1.0]], vec![vec![2.0, 0.5]]);
+        let g =
+            DiagonalGmm::from_parameters(vec![1.0], vec![vec![1.0, -1.0]], vec![vec![2.0, 0.5]]);
         let x = [0.5, 0.0];
         let expected = -0.5
             * (2.0 * LOG_2PI

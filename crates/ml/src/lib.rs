@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// The dense-matrix kernels (PCA, GMM, circle fit) intentionally use
+// index loops: the math mirrors the textbook row/column notation, and
+// iterator rewrites obscure the symmetric-index structure.
+#![allow(clippy::needless_range_loop)]
 
 //! # magshield-ml
 //!

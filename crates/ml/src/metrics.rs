@@ -24,14 +24,12 @@ impl ErrorRates {
         let frr = if genuine_accepted.is_empty() {
             0.0
         } else {
-            genuine_accepted.iter().filter(|&&a| !a).count() as f64
-                / genuine_accepted.len() as f64
+            genuine_accepted.iter().filter(|&&a| !a).count() as f64 / genuine_accepted.len() as f64
         };
         let far = if impostor_accepted.is_empty() {
             0.0
         } else {
-            impostor_accepted.iter().filter(|&&a| a).count() as f64
-                / impostor_accepted.len() as f64
+            impostor_accepted.iter().filter(|&&a| a).count() as f64 / impostor_accepted.len() as f64
         };
         Self { far, frr }
     }
@@ -186,8 +184,14 @@ mod tests {
         let impostor = [0.0, 1.0, 2.5, 3.5];
         let curve = det_curve(&genuine, &impostor);
         for w in curve.windows(2) {
-            assert!(w[1].rates.frr >= w[0].rates.frr - 1e-12, "FRR must not decrease");
-            assert!(w[1].rates.far <= w[0].rates.far + 1e-12, "FAR must not increase");
+            assert!(
+                w[1].rates.frr >= w[0].rates.frr - 1e-12,
+                "FRR must not decrease"
+            );
+            assert!(
+                w[1].rates.far <= w[0].rates.far + 1e-12,
+                "FAR must not increase"
+            );
         }
         // Sentinels.
         assert_eq!(curve.first().unwrap().rates.far, 1.0);

@@ -27,7 +27,10 @@ impl Pca {
     pub fn fit(data: &[Vec<f64>], num_components: usize) -> Self {
         assert!(!data.is_empty(), "PCA needs data");
         let dim = data[0].len();
-        assert!(data.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        assert!(
+            data.iter().all(|r| r.len() == dim),
+            "inconsistent dimensions"
+        );
         assert!(
             num_components >= 1 && num_components <= dim,
             "num_components must be in 1..={dim}"
@@ -60,7 +63,10 @@ impl Pca {
             .iter()
             .map(|&k| (0..dim).map(|i| eigvecs[i][k]).collect())
             .collect();
-        let eigenvalues = order[..num_components].iter().map(|&k| eigvals[k]).collect();
+        let eigenvalues = order[..num_components]
+            .iter()
+            .map(|&k| eigvals[k])
+            .collect();
         Self {
             mean,
             components,
@@ -82,7 +88,10 @@ impl Pca {
         assert!(data.len() >= 2, "Gram PCA needs at least two samples");
         let n = data.len();
         let dim = data[0].len();
-        assert!(data.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        assert!(
+            data.iter().all(|r| r.len() == dim),
+            "inconsistent dimensions"
+        );
         let mean: Vec<f64> = (0..dim)
             .map(|d| data.iter().map(|r| r[d]).sum::<f64>() / n as f64)
             .collect();
@@ -132,7 +141,10 @@ impl Pca {
             components.push(u);
             eigenvalues.push(eigvals[k]);
         }
-        assert!(!components.is_empty(), "no non-degenerate variance directions");
+        assert!(
+            !components.is_empty(),
+            "no non-degenerate variance directions"
+        );
         Self {
             mean,
             components,

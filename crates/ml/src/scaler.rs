@@ -21,7 +21,10 @@ impl StandardScaler {
     pub fn fit(data: &[Vec<f64>]) -> Self {
         assert!(!data.is_empty(), "scaler needs data");
         let dim = data[0].len();
-        assert!(data.iter().all(|r| r.len() == dim), "inconsistent dimensions");
+        assert!(
+            data.iter().all(|r| r.len() == dim),
+            "inconsistent dimensions"
+        );
         let n = data.len() as f64;
         let mean: Vec<f64> = (0..dim)
             .map(|d| data.iter().map(|r| r[d]).sum::<f64>() / n)
@@ -74,7 +77,9 @@ mod tests {
 
     #[test]
     fn standardizes_to_zero_mean_unit_var() {
-        let data: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 3.0 * i as f64 + 7.0]).collect();
+        let data: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 3.0 * i as f64 + 7.0])
+            .collect();
         let sc = StandardScaler::fit(&data);
         let z = sc.transform_batch(&data);
         for d in 0..2 {

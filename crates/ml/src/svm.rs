@@ -51,11 +51,14 @@ impl LinearSvm {
             "labels must be ±1"
         );
         assert!(
-            labels.iter().any(|&y| y == 1.0) && labels.iter().any(|&y| y == -1.0),
+            labels.contains(&1.0) && labels.contains(&-1.0),
             "need both classes to train"
         );
         let dim = data[0].len();
-        assert!(data.iter().all(|x| x.len() == dim), "inconsistent dimensions");
+        assert!(
+            data.iter().all(|x| x.len() == dim),
+            "inconsistent dimensions"
+        );
 
         // Augmented formulation: fold the bias in as a constant feature so
         // the Pegasos step handles it with the same (stable) schedule. The

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # magshield-obs
+//!
+//! The observability substrate for the magshield workspace: where a
+//! verdict's milliseconds go, how deep the server queue runs, and what
+//! each cascade component decided — as data, not log lines.
+//!
+//! Three pillars, all std + `parking_lot` + `serde`:
+//!
+//! 1. [`metrics`] — a lock-cheap [`metrics::Registry`] of named
+//!    [`metrics::Counter`]s, [`metrics::Gauge`]s and fixed-bucket
+//!    log-scale [`metrics::Histogram`]s with p50/p95/p99/max quantile
+//!    estimation. Handles are `Arc`-backed atomics: registration takes a
+//!    short lock once, the hot path is a relaxed atomic op.
+//! 2. [`span`] — an RAII [`span::Span`] timing API
+//!    (`Span::enter(collector, name) … drop`) with a bounded, thread-safe
+//!    [`span::TraceCollector`] recording nested stage timings and
+//!    structured key–value events, exportable as JSONL.
+//! 3. [`trace`] — the [`trace::PipelineTrace`] pipeline-event type:
+//!    per session, each cascade component's decision, attack score,
+//!    threshold margin and duration.
+//!
+//! # Naming scheme
+//!
+//! Metric names are dot-separated `subsystem.object.unit` strings, e.g.
+//! `pipeline.distance.seconds`, `server.queue.depth`,
+//! `server.worker.3.processed`. Span names follow the cascade component
+//! identifiers: `verify` is the root, `distance`, `sld`, `sound_field`,
+//! `loudspeaker`, `speaker_id` its children. See DESIGN.md §7.
+//!
+//! # Example
+//!
+//! ```
+//! use magshield_obs::metrics::Registry;
+//! use magshield_obs::span::{Span, TraceCollector};
+//!
+//! let registry = Registry::default();
+//! let collector = TraceCollector::default();
+//!
+//! let hist = registry.histogram("pipeline.verify.seconds");
+//! {
+//!     let mut span = Span::enter(&collector, "verify");
+//!     let mut child = span.child("distance");
+//!     child.event("attack_score", "0.42");
+//!     drop(child);
+//!     hist.record_secs(span.elapsed().as_secs_f64());
+//! }
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.histograms["pipeline.verify.seconds"].count, 1);
+//! assert_eq!(collector.records().len(), 2);
+//! ```
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::{Span, SpanEvent, SpanRecord, TraceCollector};
+pub use trace::{ComponentTrace, PipelineTrace};

@@ -1,0 +1,527 @@
+//! Lock-cheap metrics: counters, gauges and log-scale latency histograms.
+//!
+//! A [`Registry`] maps dot-separated names to handles. Registration takes
+//! a short `parking_lot` lock; every handle is an `Arc`-backed atomic, so
+//! the hot path (increment, record) is a relaxed atomic op with no lock
+//! and no allocation. Handles are cheap to clone and remain connected to
+//! the registry: workers keep their own clones, snapshots see every
+//! update.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of histogram buckets.
+pub const BUCKETS: usize = 64;
+/// Lower bound of bucket 1 (seconds). Bucket 0 catches everything below.
+pub const MIN_BUCKET_S: f64 = 1e-6;
+/// Geometric growth factor between bucket boundaries (√2 per bucket, i.e.
+/// two buckets per octave). 64 buckets span 1 µs … ≈ 4800 s.
+pub const GROWTH: f64 = std::f64::consts::SQRT_2;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, in-flight requests, …).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log-scale latency histogram.
+///
+/// Buckets are geometric: bucket `i ≥ 1` covers
+/// `[MIN_BUCKET_S·GROWTH^(i-1)·GROWTH, …)` — equivalently, boundaries at
+/// `MIN_BUCKET_S · GROWTH^i`. Bucket 0 catches every value below
+/// [`MIN_BUCKET_S`]; the last bucket absorbs overflow (the true maximum is
+/// tracked exactly on the side). Recording is three relaxed atomic ops.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value in seconds.
+fn bucket_index(secs: f64) -> usize {
+    // NaN, negatives and underflow all land in bucket 0.
+    if secs.is_nan() || secs <= MIN_BUCKET_S {
+        return 0;
+    }
+    // log_GROWTH(secs / MIN) = 2·log2(secs / MIN) for GROWTH = √2.
+    let idx = (2.0 * (secs / MIN_BUCKET_S).log2()).floor();
+    // +1: bucket 0 is reserved for values below MIN_BUCKET_S.
+    ((idx as usize).saturating_add(1)).min(BUCKETS - 1)
+}
+
+/// Lower boundary (seconds) of bucket `i` (0 for bucket 0).
+fn bucket_lower(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        MIN_BUCKET_S * GROWTH.powi(i as i32 - 1)
+    }
+}
+
+/// Upper boundary (seconds) of bucket `i`.
+fn bucket_upper(i: usize) -> f64 {
+    MIN_BUCKET_S * GROWTH.powi(i as i32)
+}
+
+impl Histogram {
+    /// Records a duration.
+    pub fn record(&self, d: Duration) {
+        self.record_secs(d.as_secs_f64());
+    }
+
+    /// Records a value in seconds. Negative and non-finite values are
+    /// clamped to zero (they land in bucket 0 and do not poison the sum).
+    pub fn record_secs(&self, secs: f64) {
+        let secs = if secs.is_finite() && secs > 0.0 {
+            secs
+        } else {
+            0.0
+        };
+        let ns = (secs * 1e9).round() as u64; // saturating float→int cast
+        let core = &*self.0;
+        core.buckets[bucket_index(secs)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        core.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for reporting. (Buckets are read one by
+    /// one without a global lock; concurrent recording may skew a bucket
+    /// by the few events that land mid-read, which reporting tolerates.)
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.0;
+        HistogramSnapshot {
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: core.count.load(Ordering::Relaxed),
+            sum_ns: core.sum_ns.load(Ordering::Relaxed),
+            max_ns: core.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, serializable copy of a [`Histogram`].
+///
+/// The sum and max are kept in integer nanoseconds so that
+/// [`HistogramSnapshot::merge`] is exactly associative (floating-point
+/// addition is not).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts ([`BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total recorded values (= sum of `buckets`).
+    pub count: u64,
+    /// Sum of recorded values, nanoseconds.
+    pub sum_ns: u64,
+    /// Largest recorded value, nanoseconds (exact, not bucketed).
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimated quantile `q ∈ [0, 1]` in seconds: walk the cumulative
+    /// bucket counts to the target rank, interpolate linearly within the
+    /// bucket, clamp to the exact observed maximum. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                let lo = bucket_lower(i);
+                let hi = bucket_upper(i);
+                let frac = (target - cum) as f64 / n as f64;
+                return (lo + (hi - lo) * frac).min(self.max_s());
+            }
+            cum += n;
+        }
+        self.max_s()
+    }
+
+    /// Median (seconds).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (seconds).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (seconds).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Exact maximum (seconds).
+    pub fn max_s(&self) -> f64 {
+        self.max_ns as f64 / 1e9
+    }
+
+    /// Mean (seconds); 0 when empty.
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / 1e9 / self.count as f64
+        }
+    }
+
+    /// Merges another snapshot into this one (bucket-wise addition).
+    /// Exactly associative and commutative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ (cannot happen for snapshots
+    /// produced by this crate, which all use [`BUCKETS`] buckets).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket layouts differ"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// `merge` as a pure function.
+    #[must_use]
+    pub fn merged(mut self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        self.merge(other);
+        self
+    }
+
+    /// One-line human summary in milliseconds.
+    pub fn summary_ms(&self) -> String {
+        format!(
+            "n={} p50={:.2}ms p95={:.2}ms p99={:.2}ms max={:.2}ms",
+            self.count,
+            self.p50() * 1e3,
+            self.p95() * 1e3,
+            self.p99() * 1e3,
+            self.max_s() * 1e3
+        )
+    }
+}
+
+/// A named collection of metrics. Cloning is shallow: clones share the
+/// same underlying metrics (the registry is an `Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return c.clone();
+        }
+        self.inner
+            .counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.inner
+            .gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A serializable snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .inner
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time, serializable copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::default();
+        let c = r.counter("hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("hits").get(), 5, "handles share state by name");
+        let g = r.gauge("depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(r.gauge("depth").get(), -3);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut prev = 0;
+        for e in -80..60 {
+            let v = 10f64.powf(e as f64 / 8.0);
+            let i = bucket_index(v);
+            assert!(i >= prev, "index must be monotone in the value");
+            assert!(i < BUCKETS);
+            prev = i;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e12), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous() {
+        for i in 0..BUCKETS - 1 {
+            let hi = bucket_upper(i);
+            let lo_next = bucket_lower(i + 1);
+            assert!(
+                (hi - lo_next).abs() < 1e-12 * hi.max(1e-12),
+                "bucket {i} upper {hi} != bucket {} lower {lo_next}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn values_land_inside_their_bucket() {
+        for e in -70..50 {
+            let v = 2f64.powf(e as f64 / 4.0) * 1e-6;
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i) * (1.0 + 1e-12), "{v} above bucket {i}");
+            if i > 0 {
+                assert!(v >= bucket_lower(i) * (1.0 - 1e-12), "{v} below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_on_known_distribution() {
+        let h = Histogram::default();
+        // 1..=100 ms: p50 ≈ 50 ms, p99 ≈ 99 ms, max = 100 ms exactly.
+        for ms in 1..=100 {
+            h.record_secs(ms as f64 / 1e3);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 100);
+        let p50 = s.p50();
+        assert!((0.035..=0.075).contains(&p50), "p50 {p50}");
+        let p99 = s.p99();
+        assert!((0.07..=0.1).contains(&p99), "p99 {p99}");
+        assert!((s.max_s() - 0.1).abs() < 1e-9);
+        assert!((s.mean_s() - 0.0505).abs() < 1e-6, "mean {}", s.mean_s());
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.max_s(), 0.0);
+        assert_eq!(s.mean_s(), 0.0);
+    }
+
+    #[test]
+    fn single_value_quantiles_clamp_to_max() {
+        let h = Histogram::default();
+        h.record_secs(0.0123);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!(v <= 0.0123 + 1e-12, "q{q} = {v}");
+            assert!(v > 0.008, "q{q} = {v} too far below the one sample");
+        }
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record_secs(0.001);
+        b.record_secs(0.004);
+        b.record_secs(2.0);
+        let merged = a.snapshot().merged(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.buckets.iter().sum::<u64>(), 3);
+        assert!((merged.max_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let h = Histogram::default();
+        h.record(Duration::from_millis(7));
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn registry_snapshot_lists_everything() {
+        let r = Registry::default();
+        r.counter("a").inc();
+        r.gauge("b").set(2);
+        r.histogram("c").record_secs(0.5);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 1);
+        assert_eq!(s.gauges["b"], 2);
+        assert_eq!(s.histograms["c"].count, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-session pipeline event traces.
+//!
+//! A [`PipelineTrace`] is the structured answer to "what did the cascade
+//! decide, and where did the milliseconds go" for one verification
+//! session: one [`ComponentTrace`] per cascade stage with its decision,
+//! attack score, threshold margin and duration. Traces serialize to JSON
+//! (one line per session → JSONL files under `results/logs/`), the format
+//! the paper-style latency experiments and MagLive-class liveness systems
+//! report as first-class output.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One cascade component's contribution to a session trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentTrace {
+    /// Component name: `distance`, `sld`, `sound_field`, `loudspeaker`
+    /// or `speaker_id`.
+    pub component: String,
+    /// Whether the component passed at the nominal boundary.
+    pub passed: bool,
+    /// Normalized attack score (1.0 = decision boundary, < 1 passes).
+    pub attack_score: f64,
+    /// Distance to the boundary, `1.0 − attack_score`. Positive margins
+    /// pass; the smallest margin is the session's weakest link.
+    pub threshold_margin: f64,
+    /// Wall-clock compute time of the component, seconds (clamped to be
+    /// strictly positive).
+    pub duration_s: f64,
+    /// Human-readable detail from the component.
+    pub detail: String,
+}
+
+/// A complete per-session pipeline trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PipelineTrace {
+    /// Session label (e.g. the claimed speaker id or an experiment tag).
+    pub session: String,
+    /// Final cascade decision at the nominal boundary.
+    pub accepted: bool,
+    /// End-to-end pipeline wall-clock time, seconds.
+    pub total_s: f64,
+    /// Per-component traces, cascade order.
+    pub components: Vec<ComponentTrace>,
+}
+
+impl PipelineTrace {
+    /// The trace of a specific component, if that stage ran.
+    pub fn component(&self, name: &str) -> Option<&ComponentTrace> {
+        self.components.iter().find(|c| c.component == name)
+    }
+
+    /// The smallest threshold margin across components — the stage that
+    /// came closest to flipping the decision. `None` for empty traces.
+    pub fn weakest_margin(&self) -> Option<(&str, f64)> {
+        self.components
+            .iter()
+            .map(|c| (c.component.as_str(), c.threshold_margin))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Sum of per-component durations (≤ `total_s`, the remainder being
+    /// validation and bookkeeping).
+    pub fn components_s(&self) -> f64 {
+        self.components.iter().map(|c| c.duration_s).sum()
+    }
+
+    /// Serializes the trace as a single JSON line.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Parses a trace from JSON.
+    pub fn from_json(s: &str) -> Result<PipelineTrace, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes traces as a JSONL file (one session per line), creating
+    /// parent directories as needed.
+    pub fn write_jsonl(path: &Path, traces: &[PipelineTrace]) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for t in traces {
+            writeln!(f, "{}", t.to_json())?;
+        }
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineTrace {
+        PipelineTrace {
+            session: "speaker-7".into(),
+            accepted: true,
+            total_s: 0.012,
+            components: vec![
+                ComponentTrace {
+                    component: "distance".into(),
+                    passed: true,
+                    attack_score: 0.4,
+                    threshold_margin: 0.6,
+                    duration_s: 0.004,
+                    detail: "d=5cm".into(),
+                },
+                ComponentTrace {
+                    component: "loudspeaker".into(),
+                    passed: true,
+                    attack_score: 0.9,
+                    threshold_margin: 0.1,
+                    duration_s: 0.006,
+                    detail: "deviation ok".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn component_lookup_and_margins() {
+        let t = sample();
+        assert!(t.component("distance").is_some());
+        assert!(t.component("sld").is_none());
+        let (name, margin) = t.weakest_margin().unwrap();
+        assert_eq!(name, "loudspeaker");
+        assert!((margin - 0.1).abs() < 1e-12);
+        assert!((t.components_s() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample();
+        let back = PipelineTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn jsonl_file_round_trip() {
+        let dir = std::env::temp_dir().join("magshield-obs-trace-test");
+        let path = dir.join("traces.jsonl");
+        let traces = vec![sample(), sample()];
+        PipelineTrace::write_jsonl(&path, &traces).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<PipelineTrace> = body
+            .lines()
+            .map(|l| PipelineTrace::from_json(l).unwrap())
+            .collect();
+        assert_eq!(parsed, traces);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

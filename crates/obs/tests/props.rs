@@ -1,0 +1,109 @@
+//! Property-based and concurrency tests for the metrics substrate.
+
+use magshield_obs::metrics::{Histogram, HistogramSnapshot, Registry, BUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(values: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record_secs(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles are monotone non-decreasing in q and bounded by the max.
+    #[test]
+    fn quantile_monotonicity(values in prop::collection::vec(1e-8f64..50.0, 1..300)) {
+        let s = hist_of(&values);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = s.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prop_assert!(v <= s.max_s() + 1e-12, "quantile({q}) = {v} above max {}", s.max_s());
+            prev = v;
+        }
+    }
+
+    /// Every recorded value is counted exactly once across buckets.
+    #[test]
+    fn bucket_count_conservation(values in prop::collection::vec(-1.0f64..100.0, 0..300)) {
+        let s = hist_of(&values);
+        prop_assert_eq!(s.buckets.len(), BUCKETS);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), values.len() as u64);
+    }
+
+    /// Snapshot merge is exactly associative (and consistent with
+    /// recording everything into one histogram).
+    #[test]
+    fn merge_associativity(
+        a in prop::collection::vec(1e-7f64..10.0, 0..100),
+        b in prop::collection::vec(1e-7f64..10.0, 0..100),
+        c in prop::collection::vec(1e-7f64..10.0, 0..100),
+    ) {
+        let (sa, sb, sc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let left = sa.clone().merged(&sb).merged(&sc);
+        let right = sa.clone().merged(&sb.clone().merged(&sc));
+        prop_assert_eq!(&left, &right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = hist_of(&all);
+        prop_assert_eq!(&left, &direct);
+    }
+
+    /// Merging with an empty snapshot is the identity.
+    #[test]
+    fn merge_identity(values in prop::collection::vec(1e-7f64..10.0, 0..100)) {
+        let s = hist_of(&values);
+        let merged = s.clone().merged(&HistogramSnapshot::default());
+        prop_assert_eq!(merged, s);
+    }
+}
+
+/// Hammer one registry from many threads: every increment must land.
+#[test]
+fn registry_concurrent_increments_are_not_lost() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 25_000;
+    let registry = Registry::default();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                // Mix pre-registered handles with by-name lookups so the
+                // get-or-register read/write paths race too.
+                let counter = registry.counter("hammer.hits");
+                let hist = registry.histogram("hammer.seconds");
+                let gauge = registry.gauge("hammer.inflight");
+                for i in 0..PER_THREAD {
+                    gauge.inc();
+                    counter.inc();
+                    registry.counter(&format!("hammer.worker.{t}")).inc();
+                    hist.record_secs((1 + i % 1000) as f64 * 1e-6);
+                    gauge.dec();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(registry.counter("hammer.hits").get(), total);
+    for t in 0..THREADS {
+        assert_eq!(
+            registry.counter(&format!("hammer.worker.{t}")).get(),
+            PER_THREAD
+        );
+    }
+    let snap = registry.histogram("hammer.seconds").snapshot();
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total);
+    assert_eq!(registry.gauge("hammer.inflight").get(), 0);
+}

@@ -35,7 +35,9 @@ pub fn sample_field(
             let angle = if r_vec.norm() < 1e-9 {
                 0.0
             } else {
-                (r_vec.normalized().dot(source.axis)).clamp(-1.0, 1.0).acos()
+                (r_vec.normalized().dot(source.axis))
+                    .clamp(-1.0, 1.0)
+                    .acos()
             };
             // Energy-sum over the band, assuming equal per-band source power.
             let energy: f64 = freqs_hz

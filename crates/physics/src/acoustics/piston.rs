@@ -26,10 +26,10 @@ pub fn bessel_j1(x: f64) -> f64 {
         let p1 = x
             * (72362614232.0
                 + y * (-7895059235.0
-                    + y * (242396853.1 + y * (-2972611.439 + y * (15704.48260 + y * -30.16036606)))));
+                    + y * (242396853.1
+                        + y * (-2972611.439 + y * (15704.48260 + y * -30.16036606)))));
         let p2 = 144725228442.0
-            + y * (2300535178.0
-                + y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
+            + y * (2300535178.0 + y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
         p1 / p2
     } else {
         let z = 8.0 / ax;
@@ -41,7 +41,7 @@ pub fn bessel_j1(x: f64) -> f64 {
         let p2 = 0.04687499995
             + y * (-0.2002690873e-3
                 + y * (0.8449199096e-5 + y * (-0.88228987e-6 + y * 0.105787412e-6)));
-        let ans = (0.636619772 / ax).sqrt() * (xx.cos() * p1 - z * xx.sin() * p2);
+        let ans = (std::f64::consts::FRAC_2_PI / ax).sqrt() * (xx.cos() * p1 - z * xx.sin() * p2);
         if x < 0.0 {
             -ans
         } else {
@@ -145,10 +145,16 @@ mod tests {
         // Use a cone-sized aperture so both frequencies actually beam.
         let lo = half_beamwidth(0.06, 4000.0);
         let hi = half_beamwidth(0.06, 8000.0);
-        assert!(hi < lo, "beamwidth at 8 kHz {hi} should be under 4 kHz {lo}");
+        assert!(
+            hi < lo,
+            "beamwidth at 8 kHz {hi} should be under 4 kHz {lo}"
+        );
         // Rayleigh estimate: half-beam ≈ asin(2.2 / ka).
         let ka = super::super::medium::wavenumber(4000.0) * 0.06;
         let expected = (2.2 / ka).asin();
-        assert!((lo - expected).abs() < 0.05, "lo {lo} vs expected {expected}");
+        assert!(
+            (lo - expected).abs() < 0.05,
+            "lo {lo} vs expected {expected}"
+        );
     }
 }

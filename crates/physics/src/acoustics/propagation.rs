@@ -69,7 +69,7 @@ mod tests {
     fn static_path_delays_by_distance() {
         let fs = 48_000.0;
         // An impulse at sample 100.
-        let mut sig = vec![0.0; 48_0];
+        let mut sig = vec![0.0; 480];
         sig[100] = 1.0;
         let d = 0.343; // exactly 48 samples of delay at 48 kHz
         let out = render_static_path(&sig, fs, d, 0.343);

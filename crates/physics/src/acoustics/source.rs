@@ -52,7 +52,12 @@ impl AcousticSource {
     /// # Panics
     ///
     /// Panics if `aperture_radius_m <= 0`.
-    pub fn speaker(position: Vec3, axis: Vec3, aperture_radius_m: f64, level_at_ref: DbSpl) -> Self {
+    pub fn speaker(
+        position: Vec3,
+        axis: Vec3,
+        aperture_radius_m: f64,
+        level_at_ref: DbSpl,
+    ) -> Self {
         assert!(aperture_radius_m > 0.0, "aperture must be positive");
         Self {
             position,
@@ -142,8 +147,8 @@ mod tests {
         let cone = AcousticSource::speaker(Vec3::ZERO, Vec3::Y, 0.06, DbSpl(70.0));
         let off_axis = Vec3::new(0.1, 0.1, 0.0); // 45°
         let f = 4000.0;
-        let mouth_drop =
-            mouth.spl_at(Vec3::new(0.0, 0.1414, 0.0), f).value() - mouth.spl_at(off_axis, f).value();
+        let mouth_drop = mouth.spl_at(Vec3::new(0.0, 0.1414, 0.0), f).value()
+            - mouth.spl_at(off_axis, f).value();
         let cone_drop =
             cone.spl_at(Vec3::new(0.0, 0.1414, 0.0), f).value() - cone.spl_at(off_axis, f).value();
         assert!(

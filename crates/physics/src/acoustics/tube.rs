@@ -32,7 +32,10 @@ impl SoundTube {
     ///
     /// Panics if any dimension is non-positive.
     pub fn new(length_m: f64, bore_radius_m: f64) -> Self {
-        assert!(length_m > 0.0 && bore_radius_m > 0.0, "dimensions must be positive");
+        assert!(
+            length_m > 0.0 && bore_radius_m > 0.0,
+            "dimensions must be positive"
+        );
         Self {
             length_m,
             bore_radius_m,
@@ -103,7 +106,10 @@ mod tests {
         let t = SoundTube::new(0.343, 0.0125);
         let at_res = t.transmission_gain(500.0);
         let between = t.transmission_gain(750.0);
-        assert!(at_res > between, "resonance {at_res} vs antiresonance {between}");
+        assert!(
+            at_res > between,
+            "resonance {at_res} vs antiresonance {between}"
+        );
     }
 
     #[test]
@@ -121,7 +127,10 @@ mod tests {
         let t = SoundTube::new(0.30, 0.0125);
         let band: Vec<f64> = (1..40).map(|i| i as f64 * 100.0).collect();
         let flatness = t.spectral_flatness(&band);
-        assert!(flatness < 0.85, "tube should comb-filter: flatness {flatness}");
+        assert!(
+            flatness < 0.85,
+            "tube should comb-filter: flatness {flatness}"
+        );
     }
 
     #[test]

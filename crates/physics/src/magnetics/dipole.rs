@@ -40,8 +40,16 @@ impl MagneticDipole {
     /// # Panics
     ///
     /// Panics if `reference_distance_m <= 0` or `field_ut < 0`.
-    pub fn calibrated(position: Vec3, axis: Vec3, field_ut: f64, reference_distance_m: f64) -> Self {
-        assert!(reference_distance_m > 0.0, "reference distance must be positive");
+    pub fn calibrated(
+        position: Vec3,
+        axis: Vec3,
+        field_ut: f64,
+        reference_distance_m: f64,
+    ) -> Self {
+        assert!(
+            reference_distance_m > 0.0,
+            "reference distance must be positive"
+        );
         assert!(field_ut >= 0.0, "field must be non-negative");
         // On-axis dipole field: B = µ0/4π · 2m / r³ → m = B r³ / (2 µ0/4π).
         let b_tesla = field_ut * 1e-6;

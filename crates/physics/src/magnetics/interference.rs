@@ -111,12 +111,7 @@ impl EmfEnvironment {
 
     /// Generates per-sample vector interference (µT) along a trajectory of
     /// `positions` sampled at `sample_rate`.
-    pub fn noise_along(
-        &self,
-        positions: &[Vec3],
-        sample_rate: f64,
-        rng: &SimRng,
-    ) -> Vec<Vec3> {
+    pub fn noise_along(&self, positions: &[Vec3], sample_rate: f64, rng: &SimRng) -> Vec<Vec3> {
         let mut axes: Vec<(WhiteNoise, MainsHum)> = (0..3)
             .map(|axis| {
                 let white = WhiteNoise::new(rng.fork_indexed("emf-white", axis), 1.0);
@@ -179,7 +174,10 @@ mod tests {
         let far = env.noise_rms_at(Vec3::new(0.0, -0.2, 0.0));
         let near = env.noise_rms_at(Vec3::new(0.0, 0.22, 0.0));
         assert!(near > far * 4.0, "near {near} vs far {far}");
-        assert!(near > 1.0, "near-screen interference should be µT-scale: {near}");
+        assert!(
+            near > 1.0,
+            "near-screen interference should be µT-scale: {near}"
+        );
     }
 
     #[test]
@@ -201,9 +199,8 @@ mod tests {
         let p = Vec3::new(0.05, 0.1, 0.0);
         let positions = vec![p; 4000];
         let noise = env.noise_along(&positions, 100.0, &rng);
-        let rms = (noise.iter().map(|v| v.norm_squared() / 3.0).sum::<f64>()
-            / noise.len() as f64)
-            .sqrt();
+        let rms =
+            (noise.iter().map(|v| v.norm_squared() / 3.0).sum::<f64>() / noise.len() as f64).sqrt();
         let predicted = env.noise_rms_at(p);
         assert!(
             (rms / predicted - 1.0).abs() < 0.35,

@@ -118,12 +118,7 @@ impl MagneticScene {
 
     /// Samples the total field (µT), including stochastic interference,
     /// at each position of a trajectory sampled at `sample_rate`.
-    pub fn sample_along(
-        &self,
-        positions: &[Vec3],
-        sample_rate: f64,
-        rng: &SimRng,
-    ) -> Vec<Vec3> {
+    pub fn sample_along(&self, positions: &[Vec3], sample_rate: f64, rng: &SimRng) -> Vec<Vec3> {
         let noise = self
             .environment
             .noise_along(positions, sample_rate, &rng.fork("scene-emf"));
@@ -159,7 +154,10 @@ mod tests {
         let far = scene.field_at(Vec3::new(0.0, -0.20, 0.0), 0).norm();
         let near = scene.field_at(Vec3::new(0.0, -0.03, 0.0), 0).norm();
         let earth = EarthField::typical().field_at().norm();
-        assert!((far - earth).abs() < 3.0, "at 20 cm the speaker is invisible");
+        assert!(
+            (far - earth).abs() < 3.0,
+            "at 20 cm the speaker is invisible"
+        );
         assert!(near > earth + 50.0, "at 3 cm the speaker dominates: {near}");
     }
 
@@ -172,7 +170,11 @@ mod tests {
         let readings: Vec<f64> = (0..100).map(|i| scene.field_at(p, i).norm()).collect();
         let min = readings.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = readings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 1.0, "coil modulation should be visible: {}", max - min);
+        assert!(
+            max - min > 1.0,
+            "coil modulation should be visible: {}",
+            max - min
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl Shield {
     /// the local ambient field `ambient_ut`.
     pub fn field_at(&self, source: MagneticDipole, ambient_ut: Vec3, point: Vec3) -> Vec3 {
         self.leaked_dipole(source).field_at(point)
-            + self.induced_dipole(source.position, ambient_ut).field_at(point)
+            + self
+                .induced_dipole(source.position, ambient_ut)
+                .field_at(point)
     }
 }
 

@@ -182,7 +182,10 @@ mod tests {
             angle += r.z * dt;
         }
         assert!(angle.abs() > 1e-3, "expected visible drift, got {angle}");
-        assert!(angle.abs() < 0.6, "drift should stay bounded in 30 s: {angle}");
+        assert!(
+            angle.abs() < 0.6,
+            "drift should stay bounded in 30 s: {angle}"
+        );
     }
 
     #[test]
@@ -194,7 +197,10 @@ mod tests {
         for r in g.read_series(&vec![true_rate; 200]) {
             angle += r.z * dt;
         }
-        assert!((angle - 1.0).abs() < 0.05, "integrated {angle} rad, expected 1.0");
+        assert!(
+            (angle - 1.0).abs() < 0.05,
+            "integrated {angle} rad, expected 1.0"
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
         let r = m.read(Vec3::new(47.3, -12.8, 30.1));
         for c in [r.x, r.y, r.z] {
             let steps = c / 0.3;
-            assert!((steps - steps.round()).abs() < 1e-9, "{c} not on 0.3 µT grid");
+            assert!(
+                (steps - steps.round()).abs() < 1e-9,
+                "{c} not on 0.3 µT grid"
+            );
         }
     }
 
@@ -147,14 +150,19 @@ mod tests {
         let readings = m.read_series(&vec![Vec3::ZERO; 5000]);
         // Mean reading reveals the hard-iron bias (~3 µT magnitude).
         let mean = readings.iter().fold(Vec3::ZERO, |a, &b| a + b) / readings.len() as f64;
-        assert!((mean.norm() - 3.0).abs() < 0.5, "bias magnitude {}", mean.norm());
+        assert!(
+            (mean.norm() - 3.0).abs() < 0.5,
+            "bias magnitude {}",
+            mean.norm()
+        );
         // Per-axis std ≈ noise std (0.35) ⊕ quantization (0.3/√12 ≈ 0.087).
-        let var_x = readings
-            .iter()
-            .map(|r| (r.x - mean.x).powi(2))
-            .sum::<f64>()
-            / readings.len() as f64;
-        assert!((var_x.sqrt() - 0.36).abs() < 0.08, "noise std {}", var_x.sqrt());
+        let var_x =
+            readings.iter().map(|r| (r.x - mean.x).powi(2)).sum::<f64>() / readings.len() as f64;
+        assert!(
+            (var_x.sqrt() - 0.36).abs() < 0.08,
+            "noise std {}",
+            var_x.sqrt()
+        );
     }
 
     #[test]
@@ -171,7 +179,8 @@ mod tests {
     fn speaker_signal_visible_over_noise() {
         // A 100 µT near-field anomaly must dominate the ~0.4 µT noise.
         let mut m = mag(4);
-        let quiet: Vec<f64> = magnitude_trace(&m.read_series(&vec![Vec3::new(0.0, 28.0, -39.0); 300]));
+        let quiet: Vec<f64> =
+            magnitude_trace(&m.read_series(&vec![Vec3::new(0.0, 28.0, -39.0); 300]));
         let mut m2 = mag(4);
         let loud: Vec<f64> =
             magnitude_trace(&m2.read_series(&vec![Vec3::new(0.0, 128.0, -39.0); 300]));

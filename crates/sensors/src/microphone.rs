@@ -46,8 +46,7 @@ impl Microphone {
     /// Creates a microphone.
     pub fn new(spec: MicrophoneSpec, rng: SimRng) -> Self {
         // One-pole lowpass matching the −3 dB rolloff point.
-        let k = 1.0
-            - (-std::f64::consts::TAU * spec.rolloff_hz / spec.sample_rate_hz).exp();
+        let k = 1.0 - (-std::f64::consts::TAU * spec.rolloff_hz / spec.sample_rate_hz).exp();
         Self {
             spec,
             rng: rng.fork("mic-noise"),
@@ -93,7 +92,10 @@ mod tests {
         let mut m = mic(1);
         let rec = m.record(&tone(1000.0, 48_000.0, 48_000));
         let rms = (rec.iter().map(|x| x * x).sum::<f64>() / rec.len() as f64).sqrt();
-        assert!((rms - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "rms {rms}");
+        assert!(
+            (rms - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+            "rms {rms}"
+        );
     }
 
     #[test]
@@ -105,7 +107,10 @@ mod tests {
         let high = m2.record(&tone(18_000.0, fs, 48_000));
         let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
         let ratio = rms(&high) / rms(&low);
-        assert!(ratio > 0.3 && ratio < 0.95, "18 kHz should be a few dB down: {ratio}");
+        assert!(
+            ratio > 0.3 && ratio < 0.95,
+            "18 kHz should be a few dB down: {ratio}"
+        );
     }
 
     #[test]

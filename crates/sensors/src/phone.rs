@@ -21,7 +21,11 @@ pub enum PhoneModel {
 impl PhoneModel {
     /// All testbed models.
     pub fn all() -> [PhoneModel; 3] {
-        [PhoneModel::Nexus5, PhoneModel::Nexus4, PhoneModel::GalaxyNexus]
+        [
+            PhoneModel::Nexus5,
+            PhoneModel::Nexus4,
+            PhoneModel::GalaxyNexus,
+        ]
     }
 
     /// Human-readable maker/model string as in Table II.
@@ -131,7 +135,10 @@ mod tests {
     fn pilot_frequency_is_device_specific() {
         let n5 = Phone::new(PhoneModel::Nexus5, &SimRng::from_seed(1)).pilot_hz;
         let gn = Phone::new(PhoneModel::GalaxyNexus, &SimRng::from_seed(1)).pilot_hz;
-        assert!(n5 > gn, "Nexus 5 ({n5}) should support a higher pilot than Galaxy Nexus ({gn})");
+        assert!(
+            n5 > gn,
+            "Nexus 5 ({n5}) should support a higher pilot than Galaxy Nexus ({gn})"
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl RandomWalk {
     /// Creates a random walk starting at `start` with per-sample step
     /// standard deviation `step_std`.
     pub fn new(rng: SimRng, start: f64, step_std: f64) -> Self {
-        Self { rng, step_std, state: start }
+        Self {
+            rng,
+            step_std,
+            state: start,
+        }
     }
 }
 

@@ -32,7 +32,10 @@ impl TimeSeries {
             sample_rate.is_finite() && sample_rate > 0.0,
             "sample rate must be positive, got {sample_rate}"
         );
-        Self { sample_rate, samples }
+        Self {
+            sample_rate,
+            samples,
+        }
     }
 
     /// Creates an all-zero series lasting `duration_s` seconds.
@@ -130,12 +133,20 @@ impl TimeSeries {
 
     /// Maximum sample value (−inf for an empty series is avoided: returns 0).
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_by_empty(self)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_by_empty(self)
     }
 
     /// Minimum sample value.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min_by_empty(self)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_by_empty(self)
     }
 
     /// Peak absolute amplitude.

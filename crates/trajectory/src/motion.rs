@@ -108,7 +108,8 @@ impl SessionMotion {
             // Derivatives of the smoothstep radius, numerically.
             let eps = 1e-4;
             let dd = (radial(t + eps) - radial(t - eps)) / (2.0 * eps) / params.approach_s;
-            let ddd = (radial(t + eps) - 2.0 * d + radial(t - eps)) / (eps * eps)
+            let ddd = (radial(t + eps) - 2.0 * d + radial(t - eps))
+                / (eps * eps)
                 / (params.approach_s * params.approach_s);
             samples.push(MotionSample {
                 position: params.source + Vec3::new(0.0, -d, 0.0),
@@ -130,7 +131,8 @@ impl SessionMotion {
             let th = theta(t);
             let eps = 1e-4;
             let w = (theta(t + eps) - theta(t - eps)) / (2.0 * eps) / params.sweep_s;
-            let a = (theta(t + eps) - 2.0 * th + theta(t - eps)) / (eps * eps)
+            let a = (theta(t + eps) - 2.0 * th + theta(t - eps))
+                / (eps * eps)
                 / (params.sweep_s * params.sweep_s);
             let pos = params.source + Vec3::new(d1 * th.cos(), d1 * th.sin(), 0.0);
             let vel = Vec3::new(-d1 * th.sin(), d1 * th.cos(), 0.0) * w;
@@ -265,7 +267,10 @@ mod tests {
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
                 (l.min(x), h.max(x))
             });
-        assert!(hi - lo > 0.01, "off-center sweep should vary distance: {lo}..{hi}");
+        assert!(
+            hi - lo > 0.01,
+            "off-center sweep should vary distance: {lo}..{hi}"
+        );
     }
 
     #[test]

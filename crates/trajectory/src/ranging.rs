@@ -123,11 +123,7 @@ pub fn analyze(
 /// instead.
 ///
 /// [`render_path`]: magshield_physics::acoustics::propagation::render_path
-pub fn render_received_pilot(
-    pilot_hz: f64,
-    sample_rate: f64,
-    distance_m: &[f64],
-) -> Vec<f64> {
+pub fn render_received_pilot(pilot_hz: f64, sample_rate: f64, distance_m: &[f64]) -> Vec<f64> {
     const REF_M: f64 = 0.10;
     distance_m
         .iter()

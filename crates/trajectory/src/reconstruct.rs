@@ -54,9 +54,9 @@ pub fn reconstruct(
     // --- Heading fusion ---
     let mut filter = HeadingFilter::new(0.02);
     let mut headings = Vec::with_capacity(n);
-    for i in 0..n {
+    for (i, g) in gyro.iter().enumerate().take(n) {
         let mag = mag_headings.get(i).copied().flatten();
-        headings.push(filter.update(gyro[i].z, dt, mag));
+        headings.push(filter.update(g.z, dt, mag));
     }
 
     // --- World-frame acceleration ---
@@ -122,9 +122,7 @@ pub fn reconstruct(
 mod tests {
     use super::*;
     use crate::motion::{MotionParams, SessionMotion};
-    use magshield_sensors::imu::{
-        Accelerometer, AccelerometerSpec, Gyroscope, GyroscopeSpec,
-    };
+    use magshield_sensors::imu::{Accelerometer, AccelerometerSpec, Gyroscope, GyroscopeSpec};
     use magshield_simkit::rng::SimRng;
 
     /// Reconstruction from *perfect* sensors recovers the distance.

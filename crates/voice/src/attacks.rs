@@ -30,7 +30,11 @@ pub enum AttackKind {
 impl AttackKind {
     /// All machine-based kinds (those requiring a loudspeaker).
     pub fn machine_based() -> [AttackKind; 3] {
-        [AttackKind::Replay, AttackKind::Morphing, AttackKind::Synthesis]
+        [
+            AttackKind::Replay,
+            AttackKind::Morphing,
+            AttackKind::Synthesis,
+        ]
     }
 
     /// Whether this attack needs a loudspeaker to deliver.
@@ -77,12 +81,8 @@ pub fn attack_audio(
             tts.jitter *= 0.15;
             tts.shimmer *= 0.15;
             tts.rate = 1.0;
-            let mut audio = synth.render_digits(
-                &tts,
-                digits,
-                SessionEffects::neutral(),
-                &rng.fork("tts"),
-            );
+            let mut audio =
+                synth.render_digits(&tts, digits, SessionEffects::neutral(), &rng.fork("tts"));
             vocoder_artifacts(&mut audio, synth.sample_rate, &rng.fork("tts-vocoder"));
             audio
         }
@@ -157,13 +157,16 @@ mod tests {
 
     fn speakers() -> (SpeakerProfile, SpeakerProfile) {
         let rng = SimRng::from_seed(55);
-        (SpeakerProfile::sample(0, &rng), SpeakerProfile::sample(1, &rng))
+        (
+            SpeakerProfile::sample(0, &rng),
+            SpeakerProfile::sample(1, &rng),
+        )
     }
 
     fn mean_mfcc(audio: &[f64]) -> Vec<f64> {
         let ex = MfccExtractor::new(VOICE_SAMPLE_RATE);
         let frames = ex.extract(audio);
-        let mut m = vec![0.0; 13];
+        let mut m = [0.0; 13];
         for f in &frames {
             for (mi, v) in m.iter_mut().zip(f) {
                 *mi += v;
@@ -238,8 +241,13 @@ mod tests {
                 &rng.fork_indexed("g", u64::from(k)),
             ));
             let prng = rng.fork_indexed("pair", u64::from(k));
-            let mimic =
-                attack_audio(AttackKind::HumanMimicry, &attacker, &victim, "123456", &prng);
+            let mimic = attack_audio(
+                AttackKind::HumanMimicry,
+                &attacker,
+                &victim,
+                "123456",
+                &prng,
+            );
             let morph = attack_audio(AttackKind::Morphing, &attacker, &victim, "123456", &prng);
             d_mimic_sum += cep_dist(&mean_mfcc(&mimic), &genuine);
             d_morph_sum += cep_dist(&mean_mfcc(&morph), &genuine);

@@ -144,8 +144,14 @@ pub fn test1_corpus(rng: &SimRng) -> Corpus {
             .iter()
             .filter(|c| chosen.iter().all(|s| s.id != c.id))
             .max_by(|a, b| {
-                let da = chosen.iter().map(|s| s.distance(a)).fold(f64::INFINITY, f64::min);
-                let db = chosen.iter().map(|s| s.distance(b)).fold(f64::INFINITY, f64::min);
+                let da = chosen
+                    .iter()
+                    .map(|s| s.distance(a))
+                    .fold(f64::INFINITY, f64::min);
+                let db = chosen
+                    .iter()
+                    .map(|s| s.distance(b))
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).unwrap()
             })
             .expect("pool has candidates")
@@ -255,7 +261,10 @@ mod tests {
             .map(|s| c.of_speaker(s.id)[0].digits.clone())
             .collect();
         let unique: std::collections::HashSet<_> = phrases.iter().collect();
-        assert!(unique.len() >= 4, "passphrases should be (almost surely) unique");
+        assert!(
+            unique.len() >= 4,
+            "passphrases should be (almost surely) unique"
+        );
     }
 
     #[test]

@@ -85,31 +85,206 @@ pub fn table_iv_catalog() -> Vec<PlaybackDevice> {
         high_hz: high,
     };
     vec![
-        d("Logitech LS21 2.1 Stereo", PcSpeaker, 150.0, 0.035, 60.0, 18_000.0),
-        d("Klipsch KHO-7 Indoor/Outdoor", PcSpeaker, 210.0, 0.057, 60.0, 19_000.0),
-        d("Insignia NS-OS112 Indoor/Outdoor", PcSpeaker, 170.0, 0.050, 70.0, 18_000.0),
-        d("Sony SRSX2/BLK Portable BT", Bluetooth, 110.0, 0.022, 80.0, 18_000.0),
-        d("Bose SoundLink Mini PINK", Bluetooth, 130.0, 0.025, 70.0, 18_500.0),
-        d("Bose 151 SE Environmental", PcSpeaker, 190.0, 0.055, 60.0, 18_000.0),
-        d("Yamaha NS-AW190BL 5\" Outdoor", PcSpeaker, 180.0, 0.063, 65.0, 19_000.0),
-        d("Pioneer SP-FS52 Floor", PcSpeaker, 205.0, 0.065, 40.0, 20_000.0),
-        d("HP D9J19AT 2.0 System", PcSpeaker, 95.0, 0.025, 90.0, 17_000.0),
-        d("GPX HT12B 2.1 System", PcSpeaker, 120.0, 0.030, 80.0, 17_500.0),
-        d("Coby CSMP67 2.1 Home Audio", PcSpeaker, 115.0, 0.030, 80.0, 17_000.0),
-        d("Acoustic Audio AA2101", PcSpeaker, 140.0, 0.040, 70.0, 18_000.0),
-        d("Macbook Pro A1286 Internal", LaptopInternal, 55.0, 0.012, 150.0, 18_000.0),
-        d("Macbook Air A1466 Internal", LaptopInternal, 45.0, 0.010, 200.0, 17_500.0),
-        d("iMac MB952XX/A Internal", LaptopInternal, 80.0, 0.020, 100.0, 18_000.0),
-        d("HP 6510b GM949 Internal", LaptopInternal, 42.0, 0.010, 250.0, 16_500.0),
-        d("Toshiba Satellite C55-B5101 Internal", LaptopInternal, 40.0, 0.010, 250.0, 16_500.0),
-        d("Dell Inspiron I5558-2571BLK Internal", LaptopInternal, 44.0, 0.011, 220.0, 17_000.0),
-        d("iPhone 6 Plus A1524 Internal", PhoneInternal, 48.0, 0.007, 300.0, 18_000.0),
-        d("iPhone 5S A1533 Internal", PhoneInternal, 40.0, 0.006, 350.0, 18_000.0),
-        d("iPhone 4S A1387 Internal", PhoneInternal, 35.0, 0.006, 400.0, 17_000.0),
-        d("LG Nexus 5 LG-D820 Internal", PhoneInternal, 38.0, 0.006, 350.0, 18_000.0),
-        d("LG Nexus 4 LG-E960 Internal", PhoneInternal, 36.0, 0.006, 350.0, 17_500.0),
-        d("Samsung Galaxy S Headset EHS44", Earphone, 14.0, 0.004, 100.0, 19_000.0),
-        d("Apple EarPods MD827LL/A", Earphone, 16.0, 0.005, 80.0, 19_500.0),
+        d(
+            "Logitech LS21 2.1 Stereo",
+            PcSpeaker,
+            150.0,
+            0.035,
+            60.0,
+            18_000.0,
+        ),
+        d(
+            "Klipsch KHO-7 Indoor/Outdoor",
+            PcSpeaker,
+            210.0,
+            0.057,
+            60.0,
+            19_000.0,
+        ),
+        d(
+            "Insignia NS-OS112 Indoor/Outdoor",
+            PcSpeaker,
+            170.0,
+            0.050,
+            70.0,
+            18_000.0,
+        ),
+        d(
+            "Sony SRSX2/BLK Portable BT",
+            Bluetooth,
+            110.0,
+            0.022,
+            80.0,
+            18_000.0,
+        ),
+        d(
+            "Bose SoundLink Mini PINK",
+            Bluetooth,
+            130.0,
+            0.025,
+            70.0,
+            18_500.0,
+        ),
+        d(
+            "Bose 151 SE Environmental",
+            PcSpeaker,
+            190.0,
+            0.055,
+            60.0,
+            18_000.0,
+        ),
+        d(
+            "Yamaha NS-AW190BL 5\" Outdoor",
+            PcSpeaker,
+            180.0,
+            0.063,
+            65.0,
+            19_000.0,
+        ),
+        d(
+            "Pioneer SP-FS52 Floor",
+            PcSpeaker,
+            205.0,
+            0.065,
+            40.0,
+            20_000.0,
+        ),
+        d(
+            "HP D9J19AT 2.0 System",
+            PcSpeaker,
+            95.0,
+            0.025,
+            90.0,
+            17_000.0,
+        ),
+        d(
+            "GPX HT12B 2.1 System",
+            PcSpeaker,
+            120.0,
+            0.030,
+            80.0,
+            17_500.0,
+        ),
+        d(
+            "Coby CSMP67 2.1 Home Audio",
+            PcSpeaker,
+            115.0,
+            0.030,
+            80.0,
+            17_000.0,
+        ),
+        d(
+            "Acoustic Audio AA2101",
+            PcSpeaker,
+            140.0,
+            0.040,
+            70.0,
+            18_000.0,
+        ),
+        d(
+            "Macbook Pro A1286 Internal",
+            LaptopInternal,
+            55.0,
+            0.012,
+            150.0,
+            18_000.0,
+        ),
+        d(
+            "Macbook Air A1466 Internal",
+            LaptopInternal,
+            45.0,
+            0.010,
+            200.0,
+            17_500.0,
+        ),
+        d(
+            "iMac MB952XX/A Internal",
+            LaptopInternal,
+            80.0,
+            0.020,
+            100.0,
+            18_000.0,
+        ),
+        d(
+            "HP 6510b GM949 Internal",
+            LaptopInternal,
+            42.0,
+            0.010,
+            250.0,
+            16_500.0,
+        ),
+        d(
+            "Toshiba Satellite C55-B5101 Internal",
+            LaptopInternal,
+            40.0,
+            0.010,
+            250.0,
+            16_500.0,
+        ),
+        d(
+            "Dell Inspiron I5558-2571BLK Internal",
+            LaptopInternal,
+            44.0,
+            0.011,
+            220.0,
+            17_000.0,
+        ),
+        d(
+            "iPhone 6 Plus A1524 Internal",
+            PhoneInternal,
+            48.0,
+            0.007,
+            300.0,
+            18_000.0,
+        ),
+        d(
+            "iPhone 5S A1533 Internal",
+            PhoneInternal,
+            40.0,
+            0.006,
+            350.0,
+            18_000.0,
+        ),
+        d(
+            "iPhone 4S A1387 Internal",
+            PhoneInternal,
+            35.0,
+            0.006,
+            400.0,
+            17_000.0,
+        ),
+        d(
+            "LG Nexus 5 LG-D820 Internal",
+            PhoneInternal,
+            38.0,
+            0.006,
+            350.0,
+            18_000.0,
+        ),
+        d(
+            "LG Nexus 4 LG-E960 Internal",
+            PhoneInternal,
+            36.0,
+            0.006,
+            350.0,
+            17_500.0,
+        ),
+        d(
+            "Samsung Galaxy S Headset EHS44",
+            Earphone,
+            14.0,
+            0.004,
+            100.0,
+            19_000.0,
+        ),
+        d(
+            "Apple EarPods MD827LL/A",
+            Earphone,
+            16.0,
+            0.005,
+            80.0,
+            19_500.0,
+        ),
     ]
 }
 

@@ -115,10 +115,10 @@ impl SpeakerProfile {
         let mut r = rng.fork_indexed("mimic", u64::from(self.id) << 16 | u64::from(victim.id));
         let blend = |own: f64, target: f64, w: f64| own * (1.0 - w) + target * w;
         let mut offsets = self.formant_offsets;
-        offsets[0] = blend(self.formant_offsets[0], victim.formant_offsets[0], 0.3)
-            * r.uniform(0.97, 1.03);
-        offsets[1] = blend(self.formant_offsets[1], victim.formant_offsets[1], 0.2)
-            * r.uniform(0.97, 1.03);
+        offsets[0] =
+            blend(self.formant_offsets[0], victim.formant_offsets[0], 0.3) * r.uniform(0.97, 1.03);
+        offsets[1] =
+            blend(self.formant_offsets[1], victim.formant_offsets[1], 0.2) * r.uniform(0.97, 1.03);
         SpeakerProfile {
             id: self.id,
             f0_hz: blend(self.f0_hz, victim.f0_hz, 0.7) * r.uniform(0.95, 1.05),
@@ -193,7 +193,10 @@ mod tests {
                 closer += 1;
             }
         }
-        assert!(closer >= n * 3 / 4, "mimicry should usually help: {closer}/{n}");
+        assert!(
+            closer >= n * 3 / 4,
+            "mimicry should usually help: {closer}/{n}"
+        );
     }
 
     #[test]

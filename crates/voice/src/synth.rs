@@ -135,7 +135,10 @@ impl FormantSynthesizer {
     ///
     /// Panics if the rate is below 8 kHz (formant targets need headroom).
     pub fn new(sample_rate: f64) -> Self {
-        assert!(sample_rate >= 8000.0, "sample rate too low for formant synthesis");
+        assert!(
+            sample_rate >= 8000.0,
+            "sample rate too low for formant synthesis"
+        );
         Self { sample_rate }
     }
 
@@ -236,7 +239,7 @@ impl FormantSynthesizer {
                 }
             }
             // Inter-digit gap.
-            out.extend(std::iter::repeat(0.0).take((gap_s * fs) as usize));
+            out.extend(std::iter::repeat_n(0.0, (gap_s * fs) as usize));
             digit_index += 1.0;
         }
 
@@ -335,7 +338,7 @@ mod tests {
         let ex = MfccExtractor::new(VOICE_SAMPLE_RATE);
         let mean_mfcc = |audio: &[f64]| -> Vec<f64> {
             let frames = ex.extract(audio);
-            let mut m = vec![0.0; 13];
+            let mut m = [0.0; 13];
             for f in &frames {
                 for (mi, v) in m.iter_mut().zip(f) {
                     *mi += v;
@@ -375,7 +378,8 @@ mod tests {
         high.f0_hz = 230.0;
         let synth = FormantSynthesizer::default();
         let centroid = |p: &SpeakerProfile| -> f64 {
-            let audio = synth.render_digits(p, "22", SessionEffects::neutral(), &SimRng::from_seed(4));
+            let audio =
+                synth.render_digits(p, "22", SessionEffects::neutral(), &SimRng::from_seed(4));
             let (freqs, mags) = magnitude_spectrum(&audio[2000..6096], VOICE_SAMPLE_RATE);
             let band: Vec<(f64, f64)> = freqs
                 .iter()

@@ -52,10 +52,7 @@ fn main() {
         .clone();
     let esl = unconventional_catalog()[0].clone();
 
-    println!(
-        "\n{:<44} {:>8}  {}",
-        "scenario", "verdict", "blocked by"
-    );
+    println!("\n{:<44} {:>8}  blocked by", "scenario", "verdict");
     println!("{}", "-".repeat(76));
 
     let run = |name: &str, builder: ScenarioBuilder, seed: &str| {

@@ -15,14 +15,19 @@ use magshield::simkit::vec3::Vec3;
 use magshield::voice::devices::table_iv_catalog;
 
 fn bar(value: f64, full_scale: f64, width: usize) -> String {
-    let n = ((value / full_scale) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let n = ((value / full_scale) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(n)
 }
 
 fn main() {
     let catalog = table_iv_catalog();
     let ls21 = &catalog[0];
-    println!("device: {}  (calibrated {} µT at 3 cm)\n", ls21.name, ls21.magnet_ut_at_3cm);
+    println!(
+        "device: {}  (calibrated {} µT at 3 cm)\n",
+        ls21.name, ls21.magnet_ut_at_3cm
+    );
     let magnet = MagneticDipole::calibrated(Vec3::ZERO, Vec3::Y, ls21.magnet_ut_at_3cm, 0.03);
 
     // --- Fig. 10: polar scan at 3 cm -------------------------------------
@@ -38,8 +43,14 @@ fn main() {
     let earth = EarthField::typical().field_at();
     let shield = Shield::mu_metal();
     let mut mag = Magnetometer::new(MagnetometerSpec::ak8975(), SimRng::from_seed(1));
-    println!("\nfield vs distance on-axis (Earth field {:.1} µT, AK8975 noise ~0.4 µT):", earth.norm());
-    println!("{:>6} {:>12} {:>12} {:>14}", "d (cm)", "bare (µT)", "shielded", "sensor reads");
+    println!(
+        "\nfield vs distance on-axis (Earth field {:.1} µT, AK8975 noise ~0.4 µT):",
+        earth.norm()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "d (cm)", "bare (µT)", "shielded", "sensor reads"
+    );
     for d_cm in [2.0f64, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0] {
         let p = Vec3::new(0.0, d_cm / 100.0, 0.0);
         let bare = magnet.field_at(p).norm();

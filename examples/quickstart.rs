@@ -29,20 +29,29 @@ fn main() {
     let verdict = system.verify(&session);
     println!("genuine session → {:?}", verdict.decision);
     for r in &verdict.results {
-        println!("  {:?}: score {:.2}  [{}]", r.component, r.attack_score, r.detail);
+        println!(
+            "  {:?}: score {:.2}  [{}]",
+            r.component, r.attack_score, r.detail
+        );
     }
 
     // --- Replay attack ----------------------------------------------------
     let speaker = table_iv_catalog()[0].clone(); // Logitech LS21
     let attacker = SpeakerProfile::sample(77, &rng.fork("attacker"));
-    println!("\nreplaying a covert recording through a {} ...", speaker.name);
+    println!(
+        "\nreplaying a covert recording through a {} ...",
+        speaker.name
+    );
     let attack = ScenarioBuilder::machine_attack(&user, AttackKind::Replay, speaker, attacker)
         .at_distance(0.05)
         .capture(&rng.fork("attack"));
     let verdict = system.verify(&attack);
     println!("replay attack → {:?}", verdict.decision);
     for r in &verdict.results {
-        println!("  {:?}: score {:.2}  [{}]", r.component, r.attack_score, r.detail);
+        println!(
+            "  {:?}: score {:.2}  [{}]",
+            r.component, r.attack_score, r.detail
+        );
     }
     let ld = verdict.result_of(Component::Loudspeaker).expect("ran");
     println!(

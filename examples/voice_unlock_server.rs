@@ -29,8 +29,7 @@ fn main() {
     let mut handles = Vec::new();
     for i in 0..3u64 {
         let client = server.client();
-        let session =
-            ScenarioBuilder::genuine(&user).capture(&rng.fork_indexed("unlock", i));
+        let session = ScenarioBuilder::genuine(&user).capture(&rng.fork_indexed("unlock", i));
         handles.push(std::thread::spawn(move || {
             let t0 = Instant::now();
             let verdict = client.verify(&session).expect("server reachable");
@@ -45,7 +44,10 @@ fn main() {
             dt.as_secs_f64() * 1000.0
         );
     }
-    println!("  3 concurrent unlocks done in {:.1} ms wall", started.elapsed().as_secs_f64() * 1000.0);
+    println!(
+        "  3 concurrent unlocks done in {:.1} ms wall",
+        started.elapsed().as_secs_f64() * 1000.0
+    );
 
     // A replay attack arrives at the same service.
     let attacker = SpeakerProfile::sample(13, &rng.fork("attacker"));
@@ -60,7 +62,11 @@ fn main() {
     let verdict = server.client().verify(&attack).expect("server reachable");
     println!(
         "  replay attack via Bose SoundLink Mini: {}",
-        if verdict.accepted() { "ACCEPTED (!)" } else { "REJECTED" }
+        if verdict.accepted() {
+            "ACCEPTED (!)"
+        } else {
+            "REJECTED"
+        }
     );
 
     // A corrupted frame exercises the protocol error path.
@@ -68,17 +74,27 @@ fn main() {
         .client()
         .send_raw(vec![0xDE, 0xAD, 0xBE, 0xEF])
         .expect("server reachable");
-    println!(
-        "  corrupted frame → {} byte error reply",
-        raw_reply.len()
-    );
+    println!("  corrupted frame → {} byte error reply", raw_reply.len());
 
-    let stats = server.stats();
+    // Server-side observability over the wire: a stats round trip returns
+    // queue/compute latency histograms and per-worker counters.
+    let stats = server.client().stats().expect("server reachable");
     println!(
-        "\nserver stats: {} verified, {} protocol errors, mean verification latency {:.1} ms",
-        stats.processed,
-        stats.protocol_errors,
-        stats.mean_latency().as_secs_f64() * 1000.0
+        "\nserver stats: {} verified, {} protocol errors, queue depth {}",
+        stats.processed, stats.protocol_errors, stats.queue_depth
     );
+    println!(
+        "  compute latency:  p50={:.1} ms  p95={:.1} ms  p99={:.1} ms  max={:.1} ms",
+        stats.compute.quantile(0.50) * 1e3,
+        stats.compute.quantile(0.95) * 1e3,
+        stats.compute.quantile(0.99) * 1e3,
+        stats.compute.max_s() * 1e3,
+    );
+    println!(
+        "  queue wait:       p50={:.2} ms  p99={:.2} ms",
+        stats.queue_wait.quantile(0.50) * 1e3,
+        stats.queue_wait.quantile(0.99) * 1e3,
+    );
+    println!("  per-worker processed: {:?}", stats.per_worker_processed);
     server.shutdown();
 }

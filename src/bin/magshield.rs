@@ -94,7 +94,10 @@ fn demo() -> ExitCode {
 }
 
 fn devices() -> ExitCode {
-    println!("{:<46} {:>8} {:>10} {:>14}", "device", "magnet", "aperture", "passband");
+    println!(
+        "{:<46} {:>8} {:>10} {:>14}",
+        "device", "magnet", "aperture", "passband"
+    );
     println!("{}", "-".repeat(82));
     for d in table_iv_catalog() {
         println!(

@@ -20,6 +20,7 @@
 //! | [`physics`] | magnetics (dipoles, shielding, EMF) and acoustics |
 //! | [`ml`] | GMM/EM, SVM, PCA, circle fit, FAR/FRR/EER metrics |
 //! | [`dsp`] | FFT, STFT, Goertzel, MFCC, filters, VAD |
+//! | [`obs`] | metrics registry, span tracing, pipeline latency traces |
 //! | [`simkit`] | deterministic RNG, units, time series, noise |
 //!
 //! # Quickstart
@@ -38,6 +39,7 @@ pub use magshield_asv as asv;
 pub use magshield_core as core;
 pub use magshield_dsp as dsp;
 pub use magshield_ml as ml;
+pub use magshield_obs as obs;
 pub use magshield_physics as physics;
 pub use magshield_sensors as sensors;
 pub use magshield_simkit as simkit;

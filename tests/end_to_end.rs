@@ -50,7 +50,10 @@ fn all_machine_attack_types_rejected() {
             .at_distance(0.05)
             .capture(&SimRng::from_seed(8000));
         let v = system.verify(&s);
-        assert!(!v.accepted(), "{kind:?} through a PC speaker must be rejected");
+        assert!(
+            !v.accepted(),
+            "{kind:?} through a PC speaker must be rejected"
+        );
         // The loudspeaker detector specifically must fire (the magnet).
         assert!(
             v.result_of(Component::Loudspeaker).unwrap().attack_score >= 1.0,
@@ -67,7 +70,10 @@ fn shielded_speaker_rejected_close_in() {
         .at_distance(0.05)
         .with_shielding()
         .capture(&SimRng::from_seed(8100));
-    assert!(!system.verify(&s).accepted(), "Mu-metal shield at 5 cm must fail");
+    assert!(
+        !system.verify(&s).accepted(),
+        "Mu-metal shield at 5 cm must fail"
+    );
 }
 
 #[test]
@@ -176,6 +182,63 @@ fn server_round_trip_matches_local_verdict() {
         assert!((l.attack_score - r.attack_score).abs() < 1e-9);
     }
     server.shutdown();
+}
+
+#[test]
+fn traced_session_exports_complete_component_spans() {
+    let (system, user) = fixture();
+    let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(9000));
+    let (verdict, trace) = system.verify_traced(&session);
+    assert!(verdict.accepted(), "genuine session should verify");
+    assert!(trace.accepted);
+    assert!(trace.total_s > 0.0);
+
+    const STAGES: [&str; 4] = ["distance", "sound_field", "loudspeaker", "speaker_id"];
+    for stage in STAGES {
+        let c = trace
+            .component(stage)
+            .unwrap_or_else(|| panic!("trace missing cascade component {stage}"));
+        assert!(
+            c.duration_s > 0.0,
+            "{stage} duration must be strictly positive"
+        );
+        assert!(
+            (c.threshold_margin - (1.0 - c.attack_score)).abs() < 1e-12,
+            "{stage} margin should be 1 - attack_score"
+        );
+    }
+
+    // The span collector must hold a `verify` root whose children cover
+    // every cascade stage, each strictly positive. The fixture (and its
+    // collector) is shared across tests, so look for a satisfying root
+    // rather than assuming the collector holds only our records.
+    let records = system.tracer().records();
+    let complete_root = records
+        .iter()
+        .filter(|r| r.parent.is_none() && r.name == "verify")
+        .any(|root| {
+            STAGES.iter().all(|stage| {
+                records
+                    .iter()
+                    .any(|c| c.parent == Some(root.id) && c.name == *stage && c.duration_s > 0.0)
+            })
+        });
+    assert!(
+        complete_root,
+        "no verify span with all cascade component children"
+    );
+
+    // The shared registry must hold a latency histogram per stage.
+    for stage in STAGES {
+        let h = system
+            .metrics()
+            .histogram(&format!("pipeline.{stage}.seconds"));
+        assert!(
+            h.count() >= 1,
+            "pipeline.{stage}.seconds should have samples"
+        );
+        assert!(h.snapshot().quantile(0.5) > 0.0);
+    }
 }
 
 #[test]
