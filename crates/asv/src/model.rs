@@ -75,7 +75,7 @@ impl UbmBackend {
     }
 
     /// Attaches a Z-norm cohort (typically utterances from the UBM
-    /// training corpus); at most [`MAX_COHORT`] are kept.
+    /// training corpus); at most `MAX_COHORT` are kept.
     pub fn with_cohort(mut self, utterances: &[&[f64]]) -> Self {
         self.cohort = utterances
             .iter()

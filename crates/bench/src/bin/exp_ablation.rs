@@ -1,11 +1,13 @@
 //! Ablation: the cascade's defense-in-depth.
 //!
-//! DESIGN.md calls out the design choice the paper argues for — four
+//! DESIGN.md calls out the design choice the paper argues for —
 //! *complementary* components rather than any single detector. This
-//! experiment removes one component at a time and measures the false
-//! acceptance rate over a mixed attack set (conventional speakers,
-//! earphones, shields, tubes, off-center rigs, ESL, mimicry) plus the
-//! false rejection rate over genuine sessions.
+//! experiment removes one stage at a time via a real [`StageMask`] — the
+//! masked stage never executes, instead of its verdict being filtered out
+//! afterwards — and measures the false acceptance rate over a mixed
+//! attack set (conventional speakers, earphones, shields, tubes,
+//! off-center rigs, ESL, mimicry) plus the false rejection rate over
+//! genuine sessions.
 //!
 //! The interesting rows: removing the loudspeaker detector lets
 //! big-magnet attacks through only if the sound field misses them;
@@ -17,21 +19,15 @@
 //! ```
 
 use magshield_bench::*;
+use magshield_core::cascade::StageMask;
 use magshield_core::scenario::{ScenarioBuilder, SourceKind};
-use magshield_core::verdict::{Component, DefenseVerdict};
+use magshield_core::session::SessionData;
+use magshield_core::verdict::Component;
 use magshield_physics::acoustics::tube::SoundTube;
 use magshield_simkit::vec3::Vec3;
 use magshield_voice::attacks::AttackKind;
 use magshield_voice::devices::{table_iv_catalog, unconventional_catalog};
 use magshield_voice::profile::SpeakerProfile;
-
-/// Accept/reject ignoring one component.
-fn accepted_without(v: &DefenseVerdict, skip: Option<Component>) -> bool {
-    v.results
-        .iter()
-        .filter(|r| Some(r.component) != skip)
-        .all(|r| r.attack_score < 1.0)
-}
 
 fn main() {
     let (system, user, rng) = experiment_system();
@@ -45,11 +41,12 @@ fn main() {
         .clone();
     let esl = unconventional_catalog()[0].clone();
 
-    // The attack mix (label, verdicts).
-    let mut attack_sets: Vec<(&str, Vec<DefenseVerdict>)> = Vec::new();
+    // The attack mix (label, sessions). Sessions are captured once; each
+    // ablation row re-runs the cascade over them with its own stage mask.
+    let mut attack_sets: Vec<(&str, Vec<SessionData>)> = Vec::new();
     let n = 6;
-    let capture = |b: ScenarioBuilder, tag: &str, i: u64| {
-        system.verify(&b.capture(&rng.fork_indexed(tag, i)))
+    let capture = |b: ScenarioBuilder, tag: &str, i: u64| -> SessionData {
+        b.capture(&rng.fork_indexed(tag, i))
     };
     attack_sets.push((
         "replay/PC-speaker",
@@ -174,16 +171,34 @@ fn main() {
             })
             .collect(),
     ));
-    let genuine: Vec<DefenseVerdict> = (0..20)
+    let genuine: Vec<SessionData> = (0..20)
         .map(|i| capture(ScenarioBuilder::genuine(&user), "abl-genuine", i))
         .collect();
 
-    let ablations: [(&str, Option<Component>); 5] = [
-        ("full cascade", None),
-        ("− distance", Some(Component::Distance)),
-        ("− sound field", Some(Component::SoundField)),
-        ("− loudspeaker", Some(Component::Loudspeaker)),
-        ("− speaker id", Some(Component::SpeakerIdentity)),
+    // "− distance" drops both range checks (trajectory distance and the
+    // dual-mic SLD): they answer the same "is the source at mouth
+    // distance" question, so ablating one but not the other would leave
+    // the class covered by its twin.
+    let ablations: [(&str, StageMask); 5] = [
+        ("full cascade", StageMask::all()),
+        (
+            "− distance",
+            StageMask::all()
+                .without(Component::Distance)
+                .without(Component::Sld),
+        ),
+        (
+            "− sound field",
+            StageMask::all().without(Component::SoundField),
+        ),
+        (
+            "− loudspeaker",
+            StageMask::all().without(Component::Loudspeaker),
+        ),
+        (
+            "− speaker id",
+            StageMask::all().without(Component::SpeakerIdentity),
+        ),
     ];
 
     let mut header = vec!["config", "FRR %"];
@@ -192,17 +207,20 @@ fn main() {
     }
     print_header("cascade ablation: FAR per attack class", &header);
     let mut rows = Vec::new();
-    for (label, skip) in ablations {
+    for (label, mask) in ablations {
         let frr = genuine
             .iter()
-            .filter(|v| !accepted_without(v, skip))
+            .filter(|s| !system.verify_masked(s, mask).accepted())
             .count() as f64
             / genuine.len() as f64
             * 100.0;
         let mut cells = vec![frr];
         let mut metrics = vec![("frr_pct".to_string(), frr)];
         for (name, set) in &attack_sets {
-            let far = set.iter().filter(|v| accepted_without(v, skip)).count() as f64
+            let far = set
+                .iter()
+                .filter(|s| system.verify_masked(s, mask).accepted())
+                .count() as f64
                 / set.len() as f64
                 * 100.0;
             cells.push(far);

@@ -21,8 +21,12 @@
 //! ```
 
 use magshield_bench::*;
+use magshield_core::cascade::ExecutionPolicy;
 use magshield_core::scenario::ScenarioBuilder;
 use magshield_core::server::VerificationServer;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::table_iv_catalog;
+use magshield_voice::profile::SpeakerProfile;
 use std::time::Instant;
 
 fn main() {
@@ -119,6 +123,68 @@ fn main() {
         stats.processed, stats.queue_depth
     );
     println!("paper: ours ≈ voiceprint + <1 s; both comparable to a typed password.");
+
+    // --- short-circuit vs full evaluation on rejected sessions ---------
+    // The cascade runs cheapest-first, so under ShortCircuit a replay
+    // attack the magnetometer condemns never reaches the ASV back end.
+    // Verify the same attack sessions under both policies on systems with
+    // fresh (isolated) registries and compare wall-clock per verdict.
+    let attacker = SpeakerProfile::sample(915, &rng.fork("fig15-attacker"));
+    let pc = table_iv_catalog()[0].clone();
+    let attacks: Vec<_> = (0..30)
+        .map(|i| {
+            ScenarioBuilder::machine_attack(&user, AttackKind::Replay, pc.clone(), attacker.clone())
+                .at_distance(0.05)
+                .capture(&rng.fork_indexed("fig15-attack", i))
+        })
+        .collect();
+    let full_sys = local.with_fresh_obs();
+    let short_sys = local.with_fresh_obs();
+    let full_h = full_sys.metrics().histogram("bench.attack.full.seconds");
+    let short_h = short_sys.metrics().histogram("bench.attack.short.seconds");
+    let mut decisions_agree = true;
+    for s in &attacks {
+        let t0 = Instant::now();
+        let vf = full_sys.verify_with_policy(s, ExecutionPolicy::FullEvaluation);
+        full_h.record(t0.elapsed());
+        let t1 = Instant::now();
+        let vs = short_sys.verify_with_policy(s, ExecutionPolicy::ShortCircuit);
+        short_h.record(t1.elapsed());
+        decisions_agree &= vf.decision == vs.decision;
+    }
+    assert!(decisions_agree, "policies must agree on every decision");
+    let full_snap = full_h.snapshot();
+    let short_snap = short_h.snapshot();
+    let skipped_asv = short_sys
+        .metrics()
+        .counter("pipeline.speaker_id.skipped")
+        .get();
+    print_header(
+        "rejected replay sessions: execution-policy latency (seconds)",
+        &["policy", "p50", "p95", "max"],
+    );
+    for (name, snap) in [("full", &full_snap), ("short-circuit", &short_snap)] {
+        println!(
+            "{name:>14}{:>14.4}{:>14.4}{:>14.4}",
+            snap.quantile(0.5),
+            snap.quantile(0.95),
+            snap.max_s()
+        );
+        let mut metrics = latency_metrics("attack_compute", snap);
+        if name == "short-circuit" {
+            metrics.push(("speaker_id_skipped".to_string(), skipped_asv as f64));
+        }
+        rows.push(ResultRow {
+            experiment: "fig15".into(),
+            condition: format!("attack/{name}"),
+            metrics,
+        });
+    }
+    println!(
+        "short-circuit skipped the ASV back end on {skipped_asv}/{} rejected sessions;",
+        attacks.len()
+    );
+    println!("accept/reject decisions agree with full evaluation on every session.");
     write_results("fig15", &rows);
     write_trace_log("fig15", &traces);
     server.shutdown();

@@ -14,6 +14,7 @@
 //! only scale *up* to a bounded factor and never below the factory floor.
 
 use crate::config::DefenseConfig;
+use crate::verdict::Component;
 use magshield_simkit::vec3::Vec3;
 use serde::{Deserialize, Serialize};
 
@@ -60,13 +61,20 @@ const MAX_SCALE: f64 = 4.0;
 
 /// Produces thresholds adapted to a measured environment.
 ///
-/// The deviation threshold is raised to `NOISE_HEADROOM ×` the measured
+/// Adaptation is expressed as a per-stage decision boundary on
+/// [`Component::Loudspeaker`] (see
+/// [`DefenseConfig::stage_boundaries`](crate::config::StageBoundaries)):
+/// a boundary of `k` is exactly equivalent to scaling the physical
+/// magnetometer thresholds `Mt` and `βt` by `k`, since the stage's raw
+/// score is `max(dev/Mt, rate/βt)`. The boundary is raised so the
+/// effective deviation threshold reaches `NOISE_HEADROOM ×` the measured
 /// ambient noise RMS when that exceeds the factory value; scaling is
-/// clamped to [`MAX_SCALE`] and never drops below the factory floor.
+/// clamped to `MAX_SCALE` (the anti-gaming bound) and never drops below
+/// the factory floor.
 pub fn adapted_config(base: DefenseConfig, cal: EnvironmentCalibration) -> DefenseConfig {
     let target = cal.noise_rms_ut * NOISE_HEADROOM;
     let scale = (target / base.mag_deviation_ut).clamp(1.0, MAX_SCALE);
-    base.with_mag_scale(scale)
+    base.with_stage_boundary(Component::Loudspeaker, scale)
 }
 
 #[cfg(test)]
@@ -82,11 +90,15 @@ mod tests {
         scene.sample_along(&pos, 100.0, &SimRng::from_seed(seed))
     }
 
+    fn loudspeaker_boundary(cfg: &DefenseConfig) -> f64 {
+        cfg.stage_boundaries.get(Component::Loudspeaker)
+    }
+
     #[test]
     fn quiet_environment_keeps_factory_thresholds() {
         let cal = calibrate(&stationary_readings(EmfEnvironment::quiet(), 1));
         let cfg = adapted_config(DefenseConfig::default(), cal);
-        assert!((cfg.mag_deviation_ut - DefenseConfig::default().mag_deviation_ut).abs() < 0.5);
+        assert!((loudspeaker_boundary(&cfg) - 1.0).abs() < 0.2);
     }
 
     #[test]
@@ -95,10 +107,27 @@ mod tests {
         assert!(cal.noise_rms_ut > 0.4, "car noise {}", cal.noise_rms_ut);
         let cfg = adapted_config(DefenseConfig::default(), cal);
         assert!(
-            cfg.mag_deviation_ut > DefenseConfig::default().mag_deviation_ut * 1.3,
-            "Mt {}",
-            cfg.mag_deviation_ut
+            loudspeaker_boundary(&cfg) > 1.3,
+            "boundary {}",
+            loudspeaker_boundary(&cfg)
         );
+    }
+
+    #[test]
+    fn adaptation_only_touches_the_loudspeaker_stage() {
+        let cal = calibrate(&stationary_readings(EmfEnvironment::in_car(), 3));
+        let cfg = adapted_config(DefenseConfig::default(), cal);
+        // The physical thresholds stay at factory values; the knob is the
+        // per-stage boundary.
+        assert_eq!(
+            cfg.mag_deviation_ut,
+            DefenseConfig::default().mag_deviation_ut
+        );
+        for c in Component::all() {
+            if c != Component::Loudspeaker {
+                assert_eq!(cfg.stage_boundaries.get(c), 1.0, "{} widened", c.name());
+            }
+        }
     }
 
     #[test]
@@ -108,9 +137,7 @@ mod tests {
             wander_ut: 1e6,
         };
         let cfg = adapted_config(DefenseConfig::default(), cal);
-        assert!(
-            cfg.mag_deviation_ut <= DefenseConfig::default().mag_deviation_ut * MAX_SCALE + 1e-9
-        );
+        assert!(loudspeaker_boundary(&cfg) <= MAX_SCALE + 1e-9);
     }
 
     #[test]
@@ -120,10 +147,7 @@ mod tests {
             wander_ut: 0.0,
         };
         let cfg = adapted_config(DefenseConfig::default(), cal);
-        assert_eq!(
-            cfg.mag_deviation_ut,
-            DefenseConfig::default().mag_deviation_ut
-        );
+        assert_eq!(loudspeaker_boundary(&cfg), 1.0);
     }
 
     #[test]

@@ -1,0 +1,618 @@
+//! The verification cascade as a first-class subsystem.
+//!
+//! The paper's defense is explicitly a *cascade* (Fig. 4, Table III):
+//! complementary detectors where any rejection ends the session, with the
+//! cheap magnetometer/trajectory checks gating the expensive ASV back
+//! end. This module makes that structure explicit:
+//!
+//! - [`CascadeStage`] is the uniform stage interface — a stable
+//!   [`Component`] identity, an applicability check, and a
+//!   `run(&SessionData, &DefenseConfig) -> ComponentResult` body — that
+//!   the five existing components implement ([`DistanceStage`],
+//!   [`SldStage`], [`SoundFieldStage`], [`LoudspeakerStage`],
+//!   [`SpeakerIdStage`]);
+//! - [`Cascade`] is the executor: an ordered stage list, a [`StageMask`]
+//!   for real ablation, and an [`ExecutionPolicy`] selecting between
+//!   full evaluation and short-circuiting.
+//!
+//! Stages run **cheapest first** (see [`Cascade::standard`]): the
+//! loudspeaker detector touches only the IMU-rate magnetometer stream,
+//! while speaker identity resamples audio and scores a GMM — per the
+//! Fig. 15 latency data the ASV back end dominates per-session compute,
+//! so under [`ExecutionPolicy::ShortCircuit`] a session the magnetometer
+//! already condemned never pays for it. The order is decision-invariant
+//! under [`ExecutionPolicy::FullEvaluation`] (every stage always runs and
+//! the verdict is the conjunction of all stage decisions).
+//!
+//! All metric, span and trace names derive from [`Component::name`]:
+//! `pipeline.<name>.seconds` latency histograms for stages that ran and
+//! `pipeline.<name>.skipped` counters for stages the executor
+//! short-circuited past.
+
+use crate::components::sound_field::SoundFieldModel;
+use crate::components::speaker_id::AsvEngine;
+use crate::components::{distance, loudspeaker, sld, sound_field, speaker_id};
+use crate::config::DefenseConfig;
+use crate::pipeline::PipelineObs;
+use crate::session::SessionData;
+use crate::verdict::{Component, ComponentResult, DefenseVerdict, SkippedStage, StageOutcome};
+use magshield_asv::model::SpeakerModel;
+use magshield_obs::span::Span;
+use magshield_obs::trace::{ComponentTrace, PipelineTrace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One stage of the verification cascade.
+///
+/// A stage owns no observability: it computes a [`ComponentResult`] whose
+/// `attack_score` is normalized so 1.0 is the stage's *factory* decision
+/// boundary. The [`Cascade`] executor handles spans, latency histograms,
+/// per-session traces, and division by the per-stage boundary from
+/// [`DefenseConfig::stage_boundaries`](crate::config::StageBoundaries).
+pub trait CascadeStage {
+    /// The stage's stable identity (names, wire tags and mask bits all
+    /// derive from it).
+    fn component(&self) -> Component;
+
+    /// Whether this stage can evaluate `session` at all. Inapplicable
+    /// stages are omitted from the verdict entirely (e.g. the dual-mic
+    /// SLD check on a single-microphone phone).
+    fn applies_to(&self, _session: &SessionData) -> bool {
+        true
+    }
+
+    /// Evaluates the session, returning a raw (factory-boundary)
+    /// component result.
+    fn run(&self, session: &SessionData, config: &DefenseConfig) -> ComponentResult;
+}
+
+/// Loudspeaker detection (§IV-B3) — magnetometer magnitude deviation and
+/// changing rate. Cheapest stage: IMU-rate data only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoudspeakerStage;
+
+impl CascadeStage for LoudspeakerStage {
+    fn component(&self) -> Component {
+        Component::Loudspeaker
+    }
+
+    fn run(&self, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        loudspeaker::verify(session, config).result
+    }
+}
+
+/// Sound source distance verification (§IV-B1) — trajectory
+/// reconstruction plus pilot-tone ranging.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistanceStage;
+
+impl CascadeStage for DistanceStage {
+    fn component(&self) -> Component {
+        Component::Distance
+    }
+
+    fn run(&self, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        distance::verify(session, config).result
+    }
+}
+
+/// Dual-microphone sound-level-difference range check (§VII). Applies
+/// only to sessions captured on a dual-mic phone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SldStage;
+
+impl CascadeStage for SldStage {
+    fn component(&self) -> Component {
+        Component::Sld
+    }
+
+    fn applies_to(&self, session: &SessionData) -> bool {
+        session.audio2.is_some()
+    }
+
+    fn run(&self, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        sld::verify(session, config)
+    }
+}
+
+/// Sound field verification (§IV-B2) — SVM over (volume, rotation-angle)
+/// features, borrowing the trained model.
+#[derive(Debug, Clone, Copy)]
+pub struct SoundFieldStage<'a> {
+    model: &'a SoundFieldModel,
+}
+
+impl<'a> SoundFieldStage<'a> {
+    /// A stage classifying against `model`.
+    pub fn new(model: &'a SoundFieldModel) -> Self {
+        Self { model }
+    }
+}
+
+impl CascadeStage for SoundFieldStage<'_> {
+    fn component(&self) -> Component {
+        Component::SoundField
+    }
+
+    fn run(&self, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        sound_field::verify(session, self.model, config)
+    }
+}
+
+/// Speaker identity verification (§IV-C) — the ASV back end. Most
+/// expensive stage (resampling, MFCC extraction, GMM scoring), so it runs
+/// last.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeakerIdStage<'a> {
+    engine: &'a AsvEngine,
+    speakers: &'a HashMap<u32, SpeakerModel>,
+}
+
+impl<'a> SpeakerIdStage<'a> {
+    /// A stage scoring against `engine` with the enrolled `speakers`.
+    pub fn new(engine: &'a AsvEngine, speakers: &'a HashMap<u32, SpeakerModel>) -> Self {
+        Self { engine, speakers }
+    }
+}
+
+impl CascadeStage for SpeakerIdStage<'_> {
+    fn component(&self) -> Component {
+        Component::SpeakerIdentity
+    }
+
+    fn run(&self, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        match self.speakers.get(&session.claimed_speaker) {
+            Some(model) => speaker_id::verify(session, self.engine, model, config),
+            None => ComponentResult {
+                component: Component::SpeakerIdentity,
+                attack_score: 2.0,
+                detail: format!("unknown speaker id {}", session.claimed_speaker),
+            },
+        }
+    }
+}
+
+/// A bitmask over cascade stages, indexed by [`Component::index`].
+///
+/// Masked-out stages are omitted from the run entirely — they appear in
+/// neither the verdict nor the trace, and record no metrics. This is what
+/// real ablation means: the stage never executes, instead of its result
+/// being filtered out afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StageMask(u8);
+
+impl Default for StageMask {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl StageMask {
+    /// Every stage enabled.
+    pub fn all() -> Self {
+        Self((1 << Component::COUNT) - 1)
+    }
+
+    /// No stage enabled (build up with [`StageMask::with`]).
+    pub fn none() -> Self {
+        Self(0)
+    }
+
+    /// Only the given stage enabled.
+    pub fn only(c: Component) -> Self {
+        Self(1 << c.index())
+    }
+
+    /// Returns the mask with `c` enabled.
+    #[must_use]
+    pub fn with(self, c: Component) -> Self {
+        Self(self.0 | (1 << c.index()))
+    }
+
+    /// Returns the mask with `c` disabled.
+    #[must_use]
+    pub fn without(self, c: Component) -> Self {
+        Self(self.0 & !(1 << c.index()))
+    }
+
+    /// Whether `c` is enabled.
+    pub fn contains(self, c: Component) -> bool {
+        self.0 & (1 << c.index()) != 0
+    }
+
+    /// Number of enabled stages.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no stage is enabled.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// How the executor walks the stage list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecutionPolicy {
+    /// Run every enabled, applicable stage — required whenever the
+    /// verdict's per-stage scores feed a boundary sweep
+    /// ([`DefenseVerdict::decision_at`]), as in the Fig. 12/14 FAR/FRR
+    /// experiments.
+    #[default]
+    FullEvaluation,
+    /// Stop evaluating at the first rejecting stage. Later stages are
+    /// recorded as [`StageOutcome::Skipped`] in the verdict and as
+    /// skipped entries in the [`PipelineTrace`], and each bumps its
+    /// `pipeline.<stage>.skipped` counter. The accept/reject decision is
+    /// identical to [`ExecutionPolicy::FullEvaluation`] — a rejection is
+    /// final either way — but skipped stages have no scores, so the
+    /// verdict cannot be re-thresholded.
+    ShortCircuit,
+}
+
+/// The cascade executor: an ordered stage list, a stage mask and an
+/// execution policy.
+///
+/// Borrow-built from a trained
+/// [`DefenseSystem`](crate::pipeline::DefenseSystem) via
+/// [`DefenseSystem::cascade`](crate::pipeline::DefenseSystem::cascade),
+/// then customized with [`Cascade::with_mask`] / [`Cascade::with_policy`].
+pub struct Cascade<'a> {
+    stages: Vec<Box<dyn CascadeStage + Send + Sync + 'a>>,
+    mask: StageMask,
+    policy: ExecutionPolicy,
+}
+
+impl<'a> Cascade<'a> {
+    /// A cascade over an explicit stage list (run in the given order),
+    /// with all stages enabled and full evaluation.
+    pub fn new(stages: Vec<Box<dyn CascadeStage + Send + Sync + 'a>>) -> Self {
+        Self {
+            stages,
+            mask: StageMask::all(),
+            policy: ExecutionPolicy::FullEvaluation,
+        }
+    }
+
+    /// The standard five-stage cascade in cheapest-first order:
+    /// loudspeaker (IMU-rate magnetometer only), distance (trajectory +
+    /// pilot ranging), SLD (dual-mic level difference), sound field
+    /// (SVM over sweep features), speaker identity (resample + MFCC +
+    /// GMM — the dominant cost per Fig. 15, so it always runs last).
+    pub fn standard(
+        sound_field: &'a SoundFieldModel,
+        engine: &'a AsvEngine,
+        speakers: &'a HashMap<u32, SpeakerModel>,
+    ) -> Self {
+        Self::new(vec![
+            Box::new(LoudspeakerStage),
+            Box::new(DistanceStage),
+            Box::new(SldStage),
+            Box::new(SoundFieldStage::new(sound_field)),
+            Box::new(SpeakerIdStage::new(engine, speakers)),
+        ])
+    }
+
+    /// Returns the cascade with the given stage mask.
+    #[must_use]
+    pub fn with_mask(mut self, mask: StageMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Returns the cascade with the given execution policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active stage mask.
+    pub fn mask(&self) -> StageMask {
+        self.mask
+    }
+
+    /// The active execution policy.
+    pub fn policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+
+    /// The components of the configured stages, in execution order.
+    pub fn components(&self) -> Vec<Component> {
+        self.stages.iter().map(|s| s.component()).collect()
+    }
+
+    /// Runs the cascade on one session.
+    ///
+    /// Per stage that runs: one child span under the `verify` root, one
+    /// `pipeline.<name>.seconds` histogram sample, and one
+    /// [`ComponentTrace`] entry. Per stage short-circuited past: a
+    /// `pipeline.<name>.skipped` counter bump and a skipped trace entry,
+    /// with **no** span and **no** histogram sample. Masked-out and
+    /// inapplicable stages are omitted entirely.
+    ///
+    /// Raw stage scores are divided by the per-stage boundary from
+    /// `config.stage_boundaries`, so downstream decision logic keeps its
+    /// single boundary at 1.0.
+    pub fn run(
+        &self,
+        session: &SessionData,
+        config: &DefenseConfig,
+        obs: &PipelineObs,
+    ) -> (DefenseVerdict, PipelineTrace) {
+        let registry = &obs.registry;
+        let started = Instant::now();
+        let mut root = Span::enter(&obs.tracer, "verify");
+        let mut trace = PipelineTrace {
+            session: format!("speaker-{}", session.claimed_speaker),
+            ..PipelineTrace::default()
+        };
+        if let Err(e) = session.validate() {
+            let reason = e.to_string();
+            root.event("invalid", &reason);
+            registry.counter("pipeline.invalid").inc();
+            registry.counter("pipeline.rejects").inc();
+            trace.total_s = started.elapsed().as_secs_f64().max(1e-9);
+            return (DefenseVerdict::rejected_invalid(reason), trace);
+        }
+        let mut outcomes = Vec::with_capacity(self.stages.len());
+        let mut rejector: Option<Component> = None;
+        for stage in &self.stages {
+            let component = stage.component();
+            if !self.mask.contains(component) || !stage.applies_to(session) {
+                continue;
+            }
+            let name = component.name();
+            if let (ExecutionPolicy::ShortCircuit, Some(cause)) = (self.policy, rejector) {
+                registry.counter(&format!("pipeline.{name}.skipped")).inc();
+                trace.components.push(ComponentTrace {
+                    component: name.to_string(),
+                    passed: false,
+                    attack_score: 0.0,
+                    threshold_margin: 0.0,
+                    duration_s: 0.0,
+                    detail: format!("short-circuited by {}", cause.name()),
+                    skipped: true,
+                });
+                outcomes.push(StageOutcome::Skipped(SkippedStage { component, cause }));
+                continue;
+            }
+            let mut span = root.child(name);
+            let stage_started = Instant::now();
+            let mut r = stage.run(session, config);
+            r.attack_score /= config.stage_boundaries.get(component);
+            // Clamped to 1 ns so "every stage took strictly positive
+            // time" holds even on coarse-clock platforms.
+            let duration_s = stage_started.elapsed().as_secs_f64().max(1e-9);
+            registry
+                .histogram(&format!("pipeline.{name}.seconds"))
+                .record_secs(duration_s);
+            span.event("attack_score", format!("{:.4}", r.attack_score));
+            span.event("passed", r.passes_at(1.0));
+            trace.components.push(ComponentTrace {
+                component: name.to_string(),
+                passed: r.passes_at(1.0),
+                attack_score: r.attack_score,
+                threshold_margin: 1.0 - r.attack_score,
+                duration_s,
+                detail: r.detail.clone(),
+                skipped: false,
+            });
+            if rejector.is_none() && !r.passes_at(1.0) {
+                rejector = Some(component);
+            }
+            outcomes.push(StageOutcome::Ran(r));
+        }
+        let verdict = DefenseVerdict::from_stages(outcomes);
+        trace.accepted = verdict.accepted();
+        trace.total_s = started.elapsed().as_secs_f64().max(1e-9);
+        registry
+            .histogram("pipeline.verify.seconds")
+            .record_secs(trace.total_s);
+        registry
+            .counter(if trace.accepted {
+                "pipeline.accepts"
+            } else {
+                "pipeline.rejects"
+            })
+            .inc();
+        root.event("decision", if trace.accepted { "accept" } else { "reject" });
+        (verdict, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use magshield_simkit::rng::SimRng;
+    use magshield_voice::attacks::AttackKind;
+    use magshield_voice::devices::table_iv_catalog;
+    use magshield_voice::profile::SpeakerProfile;
+    use proptest::prelude::*;
+
+    fn replay_session(seed: u64) -> crate::session::SessionData {
+        let (_, user) = crate::test_support::shared_tiny_system();
+        let attacker = SpeakerProfile::sample(7, &SimRng::from_seed(1));
+        let dev = table_iv_catalog()[0].clone();
+        ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev, attacker)
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(seed))
+    }
+
+    #[test]
+    fn standard_order_is_cheapest_first() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        assert_eq!(sys.cascade().components(), Component::all().to_vec());
+    }
+
+    #[test]
+    fn mask_operations() {
+        let all = StageMask::all();
+        assert_eq!(all.len(), Component::COUNT);
+        for c in Component::all() {
+            assert!(all.contains(c));
+            let m = all.without(c);
+            assert!(!m.contains(c));
+            assert_eq!(m.len(), Component::COUNT - 1);
+            assert_eq!(m.with(c), all);
+            assert_eq!(StageMask::only(c).len(), 1);
+        }
+        assert!(StageMask::none().is_empty());
+    }
+
+    #[test]
+    fn masked_stage_is_truly_omitted() {
+        let (sys, user) = crate::test_support::shared_tiny_system();
+        let sys = sys.with_fresh_obs();
+        let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(300));
+        let mask = StageMask::all().without(Component::SpeakerIdentity);
+        let (v, trace) = sys
+            .cascade()
+            .with_mask(mask)
+            .run(&s, &sys.config, sys.obs());
+        assert!(v.result_of(Component::SpeakerIdentity).is_none());
+        assert!(v.skipped_of(Component::SpeakerIdentity).is_none());
+        assert!(trace.component("speaker_id").is_none());
+        // Omitted means no metrics either: the histogram never existed.
+        let snap = sys.metrics().snapshot();
+        assert!(!snap.histograms.contains_key("pipeline.speaker_id.seconds"));
+    }
+
+    #[test]
+    fn short_circuit_skips_after_first_rejection() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let sys = sys.with_fresh_obs();
+        let s = replay_session(310);
+        let (v, trace) = sys
+            .cascade()
+            .with_policy(ExecutionPolicy::ShortCircuit)
+            .run(&s, &sys.config, sys.obs());
+        assert!(!v.accepted());
+        // The loudspeaker detector fires first on a magnet at 5 cm.
+        let first = v.results().next().expect("at least one stage ran");
+        assert_eq!(first.component, Component::Loudspeaker);
+        assert!(first.attack_score >= 1.0);
+        let sk = v
+            .skipped_of(Component::SpeakerIdentity)
+            .expect("ASV must be short-circuited");
+        assert_eq!(sk.cause, Component::Loudspeaker);
+        // Skip bookkeeping: counter bumped, no latency sample, trace entry.
+        assert!(sys.metrics().counter("pipeline.speaker_id.skipped").get() >= 1);
+        let snap = sys.metrics().snapshot();
+        assert!(!snap.histograms.contains_key("pipeline.speaker_id.seconds"));
+        let t = trace.component("speaker_id").expect("skipped trace entry");
+        assert!(t.skipped);
+        assert_eq!(t.duration_s, 0.0);
+    }
+
+    #[test]
+    fn full_evaluation_never_skips() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let sys = sys.with_fresh_obs();
+        let s = replay_session(311);
+        let (v, _) = sys.cascade().run(&s, &sys.config, sys.obs());
+        assert!(!v.accepted());
+        assert_eq!(v.skipped().count(), 0);
+        assert_eq!(v.results().count(), v.stages.len());
+    }
+
+    #[test]
+    fn stage_boundary_scales_the_decision() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let s = replay_session(312);
+        let v = sys.verify(&s);
+        let raw = v.result_of(Component::Loudspeaker).unwrap().attack_score;
+        assert!(raw > 1.0, "replay at 5 cm trips the magnetometer");
+        // Widen only the loudspeaker boundary far past the raw score: the
+        // normalized score shrinks proportionally.
+        let widened = sys
+            .config
+            .with_stage_boundary(Component::Loudspeaker, raw * 2.0);
+        let v2 = sys.verify_with_config(&s, &widened);
+        let scaled = v2.result_of(Component::Loudspeaker).unwrap().attack_score;
+        assert!(
+            (scaled - 0.5).abs() < 1e-9,
+            "score {raw} / boundary {} should be 0.5, got {scaled}",
+            raw * 2.0
+        );
+    }
+
+    proptest! {
+        // Each case runs the full cascade (GMM scoring included) twice,
+        // so keep the case count low; the fixture is shared.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// ShortCircuit and FullEvaluation always agree on accept/reject
+        /// for the same session: a rejection is final under both policies.
+        #[test]
+        fn policies_agree_on_decision(seed in 0u64..5000, attack in 0u8..2) {
+            let (sys, user) = crate::test_support::shared_tiny_system();
+            let s = if attack == 1 {
+                replay_session(seed)
+            } else {
+                ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(seed))
+            };
+            let full = sys
+                .cascade()
+                .run(&s, &sys.config, sys.obs())
+                .0;
+            let short = sys
+                .cascade()
+                .with_policy(ExecutionPolicy::ShortCircuit)
+                .run(&s, &sys.config, sys.obs())
+                .0;
+            prop_assert_eq!(full.decision, short.decision);
+            // And the stages that did run scored identically.
+            for r in short.results() {
+                let f = full.result_of(r.component).expect("full ran every stage");
+                prop_assert!((f.attack_score - r.attack_score).abs() < 1e-12);
+            }
+        }
+
+        /// Under ShortCircuit, no stage after the first rejection has a
+        /// recorded duration or histogram sample — only a skip counter.
+        #[test]
+        fn short_circuit_records_nothing_after_rejection(seed in 0u64..5000) {
+            let (sys, _) = crate::test_support::shared_tiny_system();
+            let sys = sys.with_fresh_obs();
+            let s = replay_session(seed);
+            let (v, trace) = sys
+                .cascade()
+                .with_policy(ExecutionPolicy::ShortCircuit)
+                .run(&s, &sys.config, sys.obs());
+            prop_assert!(!v.accepted(), "replay at 5 cm must reject");
+            let snap = sys.metrics().snapshot();
+            let mut rejected_seen = false;
+            for outcome in &v.stages {
+                let name = outcome.component().name();
+                match outcome {
+                    StageOutcome::Ran(r) => {
+                        prop_assert!(!rejected_seen, "no stage runs after the first rejection");
+                        let t = trace.component(name).expect("ran stage is traced");
+                        prop_assert!(!t.skipped);
+                        prop_assert!(t.duration_s > 0.0);
+                        prop_assert!(
+                            snap.histograms[&format!("pipeline.{name}.seconds")].count >= 1
+                        );
+                        if r.attack_score >= 1.0 {
+                            rejected_seen = true;
+                        }
+                    }
+                    StageOutcome::Skipped(_) => {
+                        prop_assert!(rejected_seen, "skips only after a rejection");
+                        let t = trace.component(name).expect("skipped stage is traced");
+                        prop_assert!(t.skipped);
+                        prop_assert!(t.duration_s == 0.0);
+                        prop_assert!(
+                            !snap.histograms.contains_key(&format!("pipeline.{name}.seconds")),
+                            "skipped stage must not have a latency sample"
+                        );
+                        prop_assert!(sys.metrics().counter(&format!("pipeline.{name}.skipped")).get() >= 1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -92,7 +92,7 @@ pub fn verify(session: &SessionData, config: &DefenseConfig) -> ComponentResult 
             let bound = config.distance_threshold_m * config.distance_tolerance;
             let attack_score = (a.implied_distance_m / bound).min(10.0);
             ComponentResult {
-                component: Component::Distance,
+                component: Component::Sld,
                 attack_score,
                 detail: format!(
                     "SLD {:.1} dB → implied distance {:.3} m (bound {:.3} m)",
@@ -101,7 +101,7 @@ pub fn verify(session: &SessionData, config: &DefenseConfig) -> ComponentResult 
             }
         }
         None => ComponentResult {
-            component: Component::Distance,
+            component: Component::Sld,
             attack_score: 0.0,
             detail: "no dual-microphone data; SLD check skipped".into(),
         },
@@ -137,6 +137,9 @@ mod tests {
         );
         let r = verify(&s, &DefenseConfig::default());
         assert!(r.attack_score < 1.0, "{}", r.detail);
+        // The SLD check reports its own identity, not the distance
+        // component's — result_of(Distance) stays unambiguous.
+        assert_eq!(r.component, Component::Sld);
     }
 
     #[test]

@@ -1,13 +1,58 @@
 //! Defense thresholds and tuning.
 
+use crate::verdict::Component;
 use serde::{Deserialize, Serialize};
 
-/// All tunable thresholds of the four verification components.
+/// Per-stage decision-boundary multipliers, indexed by
+/// [`Component::index`].
+///
+/// Every stage emits a raw attack score normalized so 1.0 is its factory
+/// decision boundary; the cascade executor divides each raw score by that
+/// stage's boundary before comparing against 1.0. A boundary of 2.0 for
+/// [`Component::Loudspeaker`] therefore doubles the magnetometer
+/// tolerance (`Mt`, `βt`) without touching the physical threshold fields
+/// — this is the per-stage knob the §VII adaptive-thresholding extension
+/// turns (see [`crate::adaptive::adapted_config`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageBoundaries([f64; Component::COUNT]);
+
+impl Default for StageBoundaries {
+    fn default() -> Self {
+        Self([1.0; Component::COUNT])
+    }
+}
+
+impl StageBoundaries {
+    /// The same boundary for every stage.
+    pub fn uniform(boundary: f64) -> Self {
+        Self([boundary; Component::COUNT])
+    }
+
+    /// The boundary multiplier of one stage.
+    pub fn get(&self, c: Component) -> f64 {
+        self.0[c.index()]
+    }
+
+    /// Sets one stage's boundary multiplier.
+    pub fn set(&mut self, c: Component, boundary: f64) {
+        self.0[c.index()] = boundary;
+    }
+
+    /// Returns a copy with one stage's boundary scaled by `k`.
+    #[must_use]
+    pub fn scaled(mut self, c: Component, k: f64) -> Self {
+        self.0[c.index()] *= k;
+        self
+    }
+}
+
+/// All tunable thresholds of the verification components.
 ///
 /// Each component produces a normalized *attack score* where 1.0 marks its
 /// decision boundary; the cascade accepts when every score is below the
 /// boundary. Sweeping a global multiplier over the boundaries generates
-/// the FAR/FRR trade-off curves of Figs. 12 and 14.
+/// the FAR/FRR trade-off curves of Figs. 12 and 14, and the per-stage
+/// [`StageBoundaries`] let adaptive thresholding widen a single stage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DefenseConfig {
     /// Sound-source distance threshold `Dt` (m). Paper: 6 cm.
@@ -40,6 +85,8 @@ pub struct DefenseConfig {
     pub asv_scale: f64,
     /// Number of angle bins in the sound-field feature vector.
     pub sound_field_bins: usize,
+    /// Per-stage decision-boundary multipliers (1.0 = factory boundary).
+    pub stage_boundaries: StageBoundaries,
 }
 
 impl Default for DefenseConfig {
@@ -55,16 +102,20 @@ impl Default for DefenseConfig {
             asv_threshold: 1.5,
             asv_scale: 1.5,
             sound_field_bins: 12,
+            stage_boundaries: StageBoundaries::default(),
         }
     }
 }
 
 impl DefenseConfig {
-    /// Returns a copy with the magnetometer thresholds scaled by `k` —
-    /// the knob the adaptive-thresholding extension (§VII) turns.
-    pub fn with_mag_scale(mut self, k: f64) -> Self {
-        self.mag_deviation_ut *= k;
-        self.mag_rate_ut_per_s *= k;
+    /// Returns a copy with one stage's decision boundary set to
+    /// `boundary` — the per-stage knob the adaptive-thresholding
+    /// extension (§VII) turns. A boundary of `k` is equivalent to
+    /// scaling that stage's physical thresholds by `k` (e.g. `Mt` and
+    /// `βt` for [`Component::Loudspeaker`]).
+    #[must_use]
+    pub fn with_stage_boundary(mut self, c: Component, boundary: f64) -> Self {
+        self.stage_boundaries.set(c, boundary);
         self
     }
 
@@ -78,6 +129,12 @@ impl DefenseConfig {
         }
         if self.sound_field_bins < 4 {
             return Err("need at least 4 sound-field bins".into());
+        }
+        for c in Component::all() {
+            let b = self.stage_boundaries.get(c);
+            if !b.is_finite() || b <= 0.0 {
+                return Err(format!("stage boundary for {} must be positive", c.name()));
+            }
         }
         Ok(())
     }
@@ -95,10 +152,35 @@ mod tests {
     }
 
     #[test]
-    fn mag_scale_scales_both_thresholds() {
-        let c = DefenseConfig::default().with_mag_scale(2.0);
-        assert!((c.mag_deviation_ut - 5.0).abs() < 1e-12);
-        assert!((c.mag_rate_ut_per_s - 50.0).abs() < 1e-12);
+    fn stage_boundaries_default_to_factory() {
+        let c = DefenseConfig::default();
+        for comp in Component::all() {
+            assert_eq!(c.stage_boundaries.get(comp), 1.0);
+        }
+    }
+
+    #[test]
+    fn with_stage_boundary_touches_only_that_stage() {
+        let c = DefenseConfig::default().with_stage_boundary(Component::Loudspeaker, 2.0);
+        assert!((c.stage_boundaries.get(Component::Loudspeaker) - 2.0).abs() < 1e-12);
+        for comp in Component::all() {
+            if comp != Component::Loudspeaker {
+                assert_eq!(c.stage_boundaries.get(comp), 1.0);
+            }
+        }
+        // The physical thresholds are untouched — the boundary is the knob.
+        assert_eq!(
+            c.mag_deviation_ut,
+            DefenseConfig::default().mag_deviation_ut
+        );
+    }
+
+    #[test]
+    fn scaled_boundaries_compose() {
+        let b = StageBoundaries::uniform(1.0)
+            .scaled(Component::Sld, 3.0)
+            .scaled(Component::Sld, 0.5);
+        assert!((b.get(Component::Sld) - 1.5).abs() < 1e-12);
     }
 
     #[test]
@@ -113,5 +195,9 @@ mod tests {
             ..DefenseConfig::default()
         };
         assert!(c2.validate().is_err());
+        let c3 = DefenseConfig::default().with_stage_boundary(Component::Distance, 0.0);
+        assert!(c3.validate().is_err());
+        let c4 = DefenseConfig::default().with_stage_boundary(Component::Distance, f64::NAN);
+        assert!(c4.validate().is_err());
     }
 }

@@ -4,19 +4,29 @@
 //!
 //! The paper's contribution: a software-only defense against voice
 //! impersonation attacks on smartphones (ICDCS 2017, "You Can Hear But You
-//! Cannot Steal"). Four verification components run as a cascade (Fig. 4):
+//! Cannot Steal"). Five verification stages run as a cascade (Fig. 4 plus
+//! the §VII dual-mic extension), cheapest first:
 //!
-//! 1. **sound source distance verification** ([`components::distance`]) —
-//!    trajectory reconstruction + circle fit bounds the phone–source
-//!    distance by `Dt` (6 cm);
-//! 2. **sound field verification** ([`components::sound_field`]) — an SVM
-//!    over (volume, rotation-angle) features rejects sources whose
-//!    aperture/geometry differs from a human mouth;
-//! 3. **loudspeaker detection** ([`components::loudspeaker`]) —
+//! 1. **loudspeaker detection** ([`components::loudspeaker`]) —
 //!    magnetometer magnitude-deviation and changing-rate thresholds
 //!    (`Mt`, `βt`) expose the magnet+coil signature;
-//! 4. **speaker identity verification** ([`components::speaker_id`]) —
+//! 2. **sound source distance verification** ([`components::distance`]) —
+//!    trajectory reconstruction + circle fit bounds the phone–source
+//!    distance by `Dt` (6 cm);
+//! 3. **dual-mic SLD range check** ([`components::sld`]) — the §VII
+//!    sound-level-difference cue, on dual-microphone phones only;
+//! 4. **sound field verification** ([`components::sound_field`]) — an SVM
+//!    over (volume, rotation-angle) features rejects sources whose
+//!    aperture/geometry differs from a human mouth;
+//! 5. **speaker identity verification** ([`components::speaker_id`]) —
 //!    GMM–UBM / ISV ASV rejects human imitators.
+//!
+//! The cascade is a first-class subsystem ([`cascade`]): each stage
+//! implements the [`cascade::CascadeStage`] trait and a
+//! [`cascade::Cascade`] executor runs them under a stage mask (real
+//! ablation) and an execution policy — full evaluation for FAR/FRR
+//! sweeps, or short-circuiting so the expensive ASV back end never runs
+//! on sessions the magnetometer already condemned.
 //!
 //! [`scenario`] simulates complete verification sessions (genuine and
 //! attacks) on the physics/sensor substrates; [`pipeline`] assembles the
@@ -46,6 +56,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod cascade;
 pub mod components;
 pub mod config;
 pub mod pipeline;

@@ -1,25 +1,30 @@
 //! The assembled defense system (Fig. 4): training, enrollment and the
-//! four-component cascade verification.
+//! five-stage cascade verification.
 //!
-//! Every verification is instrumented against `magshield-obs`: one span
-//! per cascade component, a `pipeline.<stage>.seconds` histogram per
-//! stage, and a per-session [`PipelineTrace`] carrying each component's
-//! decision, score, threshold margin and duration (see DESIGN.md §7).
+//! The cascade itself lives in [`crate::cascade`]: a [`Cascade`] executor
+//! over [`CascadeStage`](crate::cascade::CascadeStage) trait objects,
+//! built here from the system's trained models via
+//! [`DefenseSystem::cascade`]. Every verification is instrumented against
+//! `magshield-obs`: one span per stage that runs, a
+//! `pipeline.<stage>.seconds` histogram per stage, a
+//! `pipeline.<stage>.skipped` counter per short-circuited stage, and a
+//! per-session [`PipelineTrace`] carrying each stage's decision, score,
+//! threshold margin and duration (see DESIGN.md §7).
 
+use crate::cascade::{Cascade, ExecutionPolicy, StageMask};
 use crate::components::sound_field::{feature_vector, SoundFieldModel};
-use crate::components::speaker_id::AsvEngine;
-use crate::components::{distance, loudspeaker, sound_field, speaker_id};
+use crate::components::speaker_id::{self, AsvEngine};
 use crate::config::DefenseConfig;
 use crate::scenario::{ScenarioBuilder, UserContext};
 use crate::session::SessionData;
-use crate::verdict::{Component, ComponentResult, DefenseVerdict};
+use crate::verdict::DefenseVerdict;
 use magshield_asv::frontend::FeatureExtractor;
 use magshield_asv::isv::{IsvBackend, SessionSubspace};
 use magshield_asv::model::{SpeakerModel, UbmBackend};
 use magshield_asv::ubm::{train_ubm, UbmConfig};
 use magshield_obs::metrics::Registry;
-use magshield_obs::span::{Span, TraceCollector};
-use magshield_obs::trace::{ComponentTrace, PipelineTrace};
+use magshield_obs::span::TraceCollector;
+use magshield_obs::trace::PipelineTrace;
 use magshield_physics::acoustics::tube::SoundTube;
 use magshield_simkit::rng::SimRng;
 use magshield_voice::attacks::AttackKind;
@@ -27,7 +32,6 @@ use magshield_voice::devices::table_iv_catalog;
 use magshield_voice::profile::SpeakerProfile;
 use magshield_voice::synth::VOICE_SAMPLE_RATE;
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Sizing of the bootstrap training run.
 #[derive(Debug, Clone, Copy)]
@@ -101,39 +105,6 @@ pub struct DefenseSystem {
     speakers: HashMap<u32, SpeakerModel>,
     sound_field: SoundFieldModel,
     obs: PipelineObs,
-}
-
-/// Runs one cascade stage: opens a child span, times the component,
-/// records its `pipeline.<name>.seconds` histogram, and appends both the
-/// [`ComponentTrace`] and the raw [`ComponentResult`].
-fn run_stage(
-    registry: &Registry,
-    root: &Span,
-    name: &'static str,
-    components: &mut Vec<ComponentTrace>,
-    results: &mut Vec<ComponentResult>,
-    f: impl FnOnce() -> ComponentResult,
-) {
-    let mut span = root.child(name);
-    let started = Instant::now();
-    let r = f();
-    // Clamped to 1 ns so "every stage took strictly positive time" holds
-    // even on coarse-clock platforms.
-    let duration_s = started.elapsed().as_secs_f64().max(1e-9);
-    registry
-        .histogram(&format!("pipeline.{name}.seconds"))
-        .record_secs(duration_s);
-    span.event("attack_score", format!("{:.4}", r.attack_score));
-    span.event("passed", r.passes_at(1.0));
-    components.push(ComponentTrace {
-        component: name.to_string(),
-        passed: r.passes_at(1.0),
-        attack_score: r.attack_score,
-        threshold_margin: 1.0 - r.attack_score,
-        duration_s,
-        detail: r.detail.clone(),
-    });
-    results.push(r);
 }
 
 impl DefenseSystem {
@@ -329,6 +300,20 @@ impl DefenseSystem {
         }
     }
 
+    /// The observability handles every verification records into.
+    pub fn obs(&self) -> &PipelineObs {
+        &self.obs
+    }
+
+    /// The standard five-stage cascade borrowing this system's trained
+    /// models, in cheapest-first order with all stages enabled and
+    /// [`ExecutionPolicy::FullEvaluation`]. Customize with
+    /// [`Cascade::with_mask`] / [`Cascade::with_policy`] and run via
+    /// [`Cascade::run`].
+    pub fn cascade(&self) -> Cascade<'_> {
+        Cascade::standard(&self.sound_field, &self.engine, &self.speakers)
+    }
+
     /// Runs the full cascade at the nominal thresholds.
     pub fn verify(&self, session: &SessionData) -> DefenseVerdict {
         self.verify_traced(session).0
@@ -344,6 +329,31 @@ impl DefenseSystem {
         self.verify_traced_with_config(session, config).0
     }
 
+    /// Runs the cascade at the nominal thresholds under the given
+    /// execution policy. Servers front-loading cheap liveness checks use
+    /// [`ExecutionPolicy::ShortCircuit`] here to spare the ASV back end
+    /// sessions the magnetometer already condemned.
+    pub fn verify_with_policy(
+        &self,
+        session: &SessionData,
+        policy: ExecutionPolicy,
+    ) -> DefenseVerdict {
+        self.cascade()
+            .with_policy(policy)
+            .run(session, &self.config, &self.obs)
+            .0
+    }
+
+    /// Runs only the stages in `mask` at the nominal thresholds — real
+    /// ablation: masked-out stages never execute and are omitted from the
+    /// verdict (used by `exp_ablation`).
+    pub fn verify_masked(&self, session: &SessionData, mask: StageMask) -> DefenseVerdict {
+        self.cascade()
+            .with_mask(mask)
+            .run(session, &self.config, &self.obs)
+            .0
+    }
+
     /// Runs the full cascade at the nominal thresholds, returning the
     /// verdict together with its per-session [`PipelineTrace`].
     pub fn verify_traced(&self, session: &SessionData) -> (DefenseVerdict, PipelineTrace) {
@@ -351,102 +361,22 @@ impl DefenseSystem {
     }
 
     /// Runs the cascade under explicit thresholds, returning the verdict
-    /// together with a [`PipelineTrace`] carrying each component's
-    /// decision, attack score, threshold margin and duration. Also emits
-    /// one span per component and updates the system's metrics registry.
+    /// together with a [`PipelineTrace`] carrying each stage's decision,
+    /// attack score, threshold margin and duration. Also emits one span
+    /// per stage and updates the system's metrics registry.
     pub fn verify_traced_with_config(
         &self,
         session: &SessionData,
         config: &DefenseConfig,
     ) -> (DefenseVerdict, PipelineTrace) {
-        let registry = &self.obs.registry;
-        let started = Instant::now();
-        let mut root = Span::enter(&self.obs.tracer, "verify");
-        let mut trace = PipelineTrace {
-            session: format!("speaker-{}", session.claimed_speaker),
-            ..PipelineTrace::default()
-        };
-        if let Err(e) = session.validate() {
-            let reason = e.to_string();
-            root.event("invalid", &reason);
-            registry.counter("pipeline.invalid").inc();
-            registry.counter("pipeline.rejects").inc();
-            trace.total_s = started.elapsed().as_secs_f64().max(1e-9);
-            return (DefenseVerdict::rejected_invalid(reason), trace);
-        }
-        let mut results = Vec::with_capacity(5);
-        run_stage(
-            registry,
-            &root,
-            "distance",
-            &mut trace.components,
-            &mut results,
-            || distance::verify(session, config).result,
-        );
-        // Dual-microphone devices contribute the §VII SLD range check as
-        // extra (free) evidence; single-mic sessions skip it.
-        if session.audio2.is_some() {
-            run_stage(
-                registry,
-                &root,
-                "sld",
-                &mut trace.components,
-                &mut results,
-                || crate::components::sld::verify(session, config),
-            );
-        }
-        run_stage(
-            registry,
-            &root,
-            "sound_field",
-            &mut trace.components,
-            &mut results,
-            || sound_field::verify(session, &self.sound_field, config),
-        );
-        run_stage(
-            registry,
-            &root,
-            "loudspeaker",
-            &mut trace.components,
-            &mut results,
-            || loudspeaker::verify(session, config).result,
-        );
-        run_stage(
-            registry,
-            &root,
-            "speaker_id",
-            &mut trace.components,
-            &mut results,
-            || match self.speakers.get(&session.claimed_speaker) {
-                Some(model) => speaker_id::verify(session, &self.engine, model, config),
-                None => ComponentResult {
-                    component: Component::SpeakerIdentity,
-                    attack_score: 2.0,
-                    detail: format!("unknown speaker id {}", session.claimed_speaker),
-                },
-            },
-        );
-        let verdict = DefenseVerdict::from_results(results);
-        trace.accepted = verdict.accepted();
-        trace.total_s = started.elapsed().as_secs_f64().max(1e-9);
-        registry
-            .histogram("pipeline.verify.seconds")
-            .record_secs(trace.total_s);
-        registry
-            .counter(if trace.accepted {
-                "pipeline.accepts"
-            } else {
-                "pipeline.rejects"
-            })
-            .inc();
-        root.event("decision", if trace.accepted { "accept" } else { "reject" });
-        (verdict, trace)
+        self.cascade().run(session, config, &self.obs)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::verdict::Component;
     use magshield_voice::devices::table_iv_catalog;
     use magshield_voice::synth::{FormantSynthesizer, SessionEffects};
 
@@ -462,8 +392,7 @@ mod tests {
         assert!(
             v.accepted(),
             "genuine session rejected: {:#?}",
-            v.results
-                .iter()
+            v.results()
                 .map(|r| format!("{:?}: {:.2} ({})", r.component, r.attack_score, r.detail))
                 .collect::<Vec<_>>()
         );
@@ -526,7 +455,7 @@ mod tests {
         let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(104));
         let (v, trace) = sys.verify_traced(&s);
         assert_eq!(v.accepted(), trace.accepted);
-        let mut expected = vec!["distance", "sound_field", "loudspeaker", "speaker_id"];
+        let mut expected = vec!["loudspeaker", "distance", "sound_field", "speaker_id"];
         if s.audio2.is_some() {
             expected.push("sld");
         }

@@ -18,6 +18,7 @@
 
 pub mod protocol;
 
+use crate::cascade::ExecutionPolicy;
 use crate::pipeline::DefenseSystem;
 use crate::session::SessionData;
 use crate::verdict::DefenseVerdict;
@@ -122,7 +123,8 @@ pub struct VerificationServer {
 }
 
 impl VerificationServer {
-    /// Spawns the server with `workers` threads sharing `system`.
+    /// Spawns the server with `workers` threads sharing `system`, under
+    /// [`ExecutionPolicy::FullEvaluation`] (every stage always runs).
     ///
     /// Server metrics are registered in `system`'s own registry, so
     /// [`VerificationServer::metrics`] exposes pipeline stage histograms
@@ -132,6 +134,24 @@ impl VerificationServer {
     ///
     /// Panics if `workers == 0`.
     pub fn spawn(system: DefenseSystem, workers: usize) -> Self {
+        Self::spawn_with_policy(system, workers, ExecutionPolicy::FullEvaluation)
+    }
+
+    /// Spawns the server with an explicit cascade execution policy,
+    /// selected once at spawn time for the whole worker pool.
+    /// [`ExecutionPolicy::ShortCircuit`] spares the ASV back end sessions
+    /// an earlier (cheaper) stage already condemned; clients then see
+    /// verdicts whose skipped stages round-trip over the wire as
+    /// [`StageOutcome::Skipped`](crate::verdict::StageOutcome) entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn_with_policy(
+        system: DefenseSystem,
+        workers: usize,
+        policy: ExecutionPolicy,
+    ) -> Self {
         assert!(workers > 0, "need at least one worker");
         let registry = system.metrics().clone();
         let shared = Arc::new(Shared {
@@ -170,7 +190,7 @@ impl VerificationServer {
                                 session,
                             }) => {
                                 let start = Instant::now();
-                                let verdict = system.verify(&session);
+                                let verdict = system.verify_with_policy(&session, policy);
                                 let elapsed = start.elapsed();
                                 shared.compute.record(elapsed);
                                 shared.worker_processed[worker_id].inc();
@@ -413,6 +433,48 @@ mod tests {
         assert_eq!(snap.queue_depth, 0, "queue drains after replies");
         assert_eq!(snap.per_worker_processed.len(), 2);
         assert_eq!(snap.per_worker_processed.iter().sum::<u64>(), 6);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn short_circuit_policy_round_trips_skipped_stages() {
+        use crate::verdict::Component;
+        use magshield_voice::attacks::AttackKind;
+        use magshield_voice::devices::table_iv_catalog;
+        use magshield_voice::profile::SpeakerProfile;
+
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn_with_policy(
+            system.with_fresh_obs(),
+            2,
+            ExecutionPolicy::ShortCircuit,
+        );
+        let client = srv.client();
+        let attacker = SpeakerProfile::sample(7, &SimRng::from_seed(1));
+        let dev = table_iv_catalog()[0].clone();
+        let session = ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev, attacker)
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(55));
+        let verdict = client.verify(&session).expect("verdict");
+        assert!(!verdict.accepted());
+        // The expensive ASV stage was never run, and the wire protocol
+        // preserved that fact end to end.
+        let sk = verdict
+            .skipped_of(Component::SpeakerIdentity)
+            .expect("speaker_id short-circuited");
+        assert_eq!(sk.cause, Component::Loudspeaker);
+        assert_eq!(
+            srv.metrics().counter("pipeline.speaker_id.skipped").get(),
+            1
+        );
+        // An accepted session on the same server runs every stage (the
+        // acceptance guard keeps this robust to per-platform RNG drift in
+        // the simulated capture).
+        let genuine = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(56));
+        let v2 = client.verify(&genuine).expect("verdict");
+        if v2.accepted() {
+            assert_eq!(v2.skipped().count(), 0);
+        }
         srv.shutdown();
     }
 

@@ -7,15 +7,19 @@
 
 use crate::server::ServerStatsSnapshot;
 use crate::session::SessionData;
-use crate::verdict::{Component, ComponentResult, Decision, DefenseVerdict};
+use crate::verdict::{
+    Component, ComponentResult, Decision, DefenseVerdict, SkippedStage, StageOutcome,
+};
 use bytes::{Buf, BufMut, BytesMut};
 use magshield_obs::metrics::HistogramSnapshot;
 use magshield_simkit::vec3::Vec3;
 
 /// Frame magic.
 const MAGIC: u16 = 0x4D53; // "MS"
-/// Protocol version.
-const VERSION: u8 = 1;
+/// Protocol version. v2 added the `Sld` component tag, per-stage
+/// outcomes (ran vs short-circuited) and the invalid-session reason to
+/// verify responses.
+const VERSION: u8 = 2;
 
 /// Message type tags.
 const T_VERIFY_REQUEST: u8 = 1;
@@ -121,7 +125,16 @@ pub fn encode_request(request_id: u64, session: &SessionData) -> Vec<u8> {
     b.to_vec()
 }
 
+/// Stage-outcome tags inside a verify response.
+const OUTCOME_SKIPPED: u8 = 0;
+const OUTCOME_RAN: u8 = 1;
+
 /// Encodes a verify response.
+///
+/// Layout after the request id: decision byte, invalid flag (+ reason
+/// string when set), stage count, then per stage a component tag, an
+/// outcome tag, and either `(score f64, detail string)` for a stage that
+/// ran or the causing component's tag for a short-circuited one.
 pub fn encode_response(request_id: u64, verdict: &DefenseVerdict) -> Vec<u8> {
     let mut b = header(T_VERIFY_RESPONSE);
     b.put_u64_le(request_id);
@@ -129,11 +142,27 @@ pub fn encode_response(request_id: u64, verdict: &DefenseVerdict) -> Vec<u8> {
         Decision::Accept => 1,
         Decision::Reject => 0,
     });
-    b.put_u32_le(verdict.results.len() as u32);
-    for r in &verdict.results {
-        b.put_u8(component_tag(r.component));
-        b.put_f64_le(r.attack_score);
-        put_string(&mut b, &r.detail);
+    match &verdict.invalid {
+        Some(reason) => {
+            b.put_u8(1);
+            put_string(&mut b, reason);
+        }
+        None => b.put_u8(0),
+    }
+    b.put_u32_le(verdict.stages.len() as u32);
+    for stage in &verdict.stages {
+        b.put_u8(component_tag(stage.component()));
+        match stage {
+            StageOutcome::Ran(r) => {
+                b.put_u8(OUTCOME_RAN);
+                b.put_f64_le(r.attack_score);
+                put_string(&mut b, &r.detail);
+            }
+            StageOutcome::Skipped(s) => {
+                b.put_u8(OUTCOME_SKIPPED);
+                b.put_u8(component_tag(s.cause));
+            }
+        }
     }
     b.to_vec()
 }
@@ -194,32 +223,53 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
         }
         T_VERIFY_RESPONSE => {
             let request_id = get_u64(&mut buf)?;
-            if buf.remaining() < 1 {
+            if buf.remaining() < 2 {
                 return Err(DecodeError::Truncated);
             }
             let accepted = buf.get_u8() == 1;
+            let invalid = match buf.get_u8() {
+                0 => None,
+                1 => Some(get_string(&mut buf)?),
+                other => return Err(DecodeError::BadType(other)),
+            };
             let n = get_len(&mut buf)?;
-            let mut results = Vec::with_capacity(n.min(16));
+            let mut stages = Vec::with_capacity(n.min(16));
             for _ in 0..n {
-                if buf.remaining() < 9 {
+                if buf.remaining() < 2 {
                     return Err(DecodeError::Truncated);
                 }
-                let tag = buf.get_u8();
-                let score = buf.get_f64_le();
-                let detail = get_string(&mut buf)?;
-                results.push(ComponentResult {
-                    component: component_from_tag(tag)?,
-                    attack_score: score,
-                    detail,
-                });
+                let component = component_from_tag(buf.get_u8())?;
+                match buf.get_u8() {
+                    OUTCOME_RAN => {
+                        if buf.remaining() < 8 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let attack_score = buf.get_f64_le();
+                        let detail = get_string(&mut buf)?;
+                        stages.push(StageOutcome::Ran(ComponentResult {
+                            component,
+                            attack_score,
+                            detail,
+                        }));
+                    }
+                    OUTCOME_SKIPPED => {
+                        if buf.remaining() < 1 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        let cause = component_from_tag(buf.get_u8())?;
+                        stages.push(StageOutcome::Skipped(SkippedStage { component, cause }));
+                    }
+                    other => return Err(DecodeError::BadType(other)),
+                }
             }
             let verdict = DefenseVerdict {
-                results,
+                stages,
                 decision: if accepted {
                     Decision::Accept
                 } else {
                     Decision::Reject
                 },
+                invalid,
             };
             Ok(Message::VerifyResponse {
                 request_id,
@@ -282,6 +332,7 @@ fn component_tag(c: Component) -> u8 {
         Component::SoundField => 1,
         Component::Loudspeaker => 2,
         Component::SpeakerIdentity => 3,
+        Component::Sld => 4, // added in protocol v2
     }
 }
 
@@ -291,6 +342,7 @@ fn component_from_tag(t: u8) -> Result<Component, DecodeError> {
         1 => Component::SoundField,
         2 => Component::Loudspeaker,
         3 => Component::SpeakerIdentity,
+        4 => Component::Sld,
         other => return Err(DecodeError::BadType(other)),
     })
 }
@@ -522,6 +574,95 @@ mod tests {
             }
             other => panic!("wrong message: {other:?}"),
         }
+    }
+
+    #[test]
+    fn sld_tag_round_trips() {
+        // The v2 tag (4) must survive the wire and decode back to Sld,
+        // distinct from Distance.
+        assert_eq!(component_tag(Component::Sld), 4);
+        let verdict = DefenseVerdict::from_results(vec![ComponentResult {
+            component: Component::Sld,
+            attack_score: 0.7,
+            detail: "SLD 8.1 dB".into(),
+        }]);
+        let frame = encode_response(11, &verdict);
+        match decode_frame(&frame).unwrap() {
+            Message::VerifyResponse { verdict: v, .. } => {
+                assert_eq!(v.results().next().unwrap().component, Component::Sld);
+                assert_eq!(v, verdict);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_circuited_verdict_round_trips() {
+        let verdict = DefenseVerdict::from_stages(vec![
+            StageOutcome::Ran(ComponentResult {
+                component: Component::Loudspeaker,
+                attack_score: 3.0,
+                detail: "deviation 40 µT".into(),
+            }),
+            StageOutcome::Skipped(SkippedStage {
+                component: Component::SpeakerIdentity,
+                cause: Component::Loudspeaker,
+            }),
+        ]);
+        let frame = encode_response(12, &verdict);
+        match decode_frame(&frame).unwrap() {
+            Message::VerifyResponse { verdict: v, .. } => {
+                assert_eq!(v, verdict);
+                let sk = v.skipped_of(Component::SpeakerIdentity).unwrap();
+                assert_eq!(sk.cause, Component::Loudspeaker);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_verdict_round_trips() {
+        let verdict = DefenseVerdict::rejected_invalid("empty audio".into());
+        let frame = encode_response(13, &verdict);
+        match decode_frame(&frame).unwrap() {
+            Message::VerifyResponse { verdict: v, .. } => assert_eq!(v, verdict),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_rejects_truncation_everywhere() {
+        let verdict = DefenseVerdict::from_stages(vec![
+            StageOutcome::Ran(ComponentResult {
+                component: Component::Sld,
+                attack_score: 2.0,
+                detail: "x".into(),
+            }),
+            StageOutcome::Skipped(SkippedStage {
+                component: Component::SpeakerIdentity,
+                cause: Component::Sld,
+            }),
+        ]);
+        let frame = encode_response(1, &verdict);
+        for cut in 0..frame.len() {
+            let r = decode_frame(&frame[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+        }
+    }
+
+    #[test]
+    fn response_rejects_bad_outcome_tag() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_VERIFY_RESPONSE);
+        b.put_u64_le(1); // request id
+        b.put_u8(0); // reject
+        b.put_u8(0); // not invalid
+        b.put_u32_le(1); // one stage
+        b.put_u8(component_tag(Component::Distance));
+        b.put_u8(9); // neither RAN nor SKIPPED
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadType(9)));
     }
 
     fn sample_stats() -> ServerStatsSnapshot {

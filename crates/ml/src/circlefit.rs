@@ -1,6 +1,6 @@
 //! Least-squares circle fitting (Kåsa method).
 //!
-//! The paper's sound-source distance verification "utilize[s] the
+//! The paper's sound-source distance verification "utilize\[s\] the
 //! least-square circle fitting algorithm \[17\] to calculate the distance":
 //! the phone's approach arc around the head/mouth is fit with a circle
 //! whose radius estimates the phone-to-source distance.

@@ -30,6 +30,12 @@ pub struct ComponentTrace {
     pub duration_s: f64,
     /// Human-readable detail from the component.
     pub detail: String,
+    /// Whether the executor short-circuited past this stage instead of
+    /// running it (score, margin and duration are then all zero and
+    /// `detail` names the stage whose rejection caused the skip).
+    /// Defaults to `false` so pre-skip JSONL traces still parse.
+    #[serde(default)]
+    pub skipped: bool,
 }
 
 /// A complete per-session pipeline trace.
@@ -51,11 +57,13 @@ impl PipelineTrace {
         self.components.iter().find(|c| c.component == name)
     }
 
-    /// The smallest threshold margin across components — the stage that
-    /// came closest to flipping the decision. `None` for empty traces.
+    /// The smallest threshold margin across the components that ran —
+    /// the stage that came closest to flipping the decision. Skipped
+    /// stages have no score and are excluded; `None` when no stage ran.
     pub fn weakest_margin(&self) -> Option<(&str, f64)> {
         self.components
             .iter()
+            .filter(|c| !c.skipped)
             .map(|c| (c.component.as_str(), c.threshold_margin))
             .min_by(|a, b| a.1.total_cmp(&b.1))
     }
@@ -107,6 +115,7 @@ mod tests {
                     threshold_margin: 0.6,
                     duration_s: 0.004,
                     detail: "d=5cm".into(),
+                    skipped: false,
                 },
                 ComponentTrace {
                     component: "loudspeaker".into(),
@@ -115,6 +124,7 @@ mod tests {
                     threshold_margin: 0.1,
                     duration_s: 0.006,
                     detail: "deviation ok".into(),
+                    skipped: false,
                 },
             ],
         }
@@ -129,6 +139,42 @@ mod tests {
         assert_eq!(name, "loudspeaker");
         assert!((margin - 0.1).abs() < 1e-12);
         assert!((t.components_s() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skipped_stages_are_excluded_from_weakest_margin() {
+        let mut t = sample();
+        t.components.push(ComponentTrace {
+            component: "speaker_id".into(),
+            passed: false,
+            attack_score: 0.0,
+            threshold_margin: 0.0,
+            duration_s: 0.0,
+            detail: "short-circuited by loudspeaker".into(),
+            skipped: true,
+        });
+        // The skipped stage's zero margin must not win.
+        let (name, margin) = t.weakest_margin().unwrap();
+        assert_eq!(name, "loudspeaker");
+        assert!((margin - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_skip_traces_still_parse() {
+        // JSONL written before the `skipped` field existed. Parsing can
+        // only be exercised where serde_json can deserialize at all, so
+        // probe with a round trip first (mirrors json_round_trip's
+        // environment requirement) and prove the default on success.
+        let probe = sample();
+        if let Ok(back) = PipelineTrace::from_json(&probe.to_json()) {
+            assert_eq!(back, probe);
+            let legacy = r#"{"session":"s","accepted":true,"total_s":0.01,
+                "components":[{"component":"distance","passed":true,
+                "attack_score":0.4,"threshold_margin":0.6,
+                "duration_s":0.004,"detail":"d"}]}"#;
+            let t = PipelineTrace::from_json(legacy).expect("legacy trace must parse");
+            assert!(!t.components[0].skipped);
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! ```
 
 use magshield::core::scenario::{self, ScenarioBuilder, SourceKind};
-use magshield::core::verdict::{Component, DefenseVerdict};
+use magshield::core::verdict::DefenseVerdict;
 use magshield::physics::acoustics::tube::SoundTube;
 use magshield::simkit::rng::SimRng;
 use magshield::simkit::vec3::Vec3;
@@ -21,15 +21,9 @@ use magshield::voice::profile::SpeakerProfile;
 
 fn blocking_components(v: &DefenseVerdict) -> String {
     let names: Vec<&str> = v
-        .results
-        .iter()
+        .results()
         .filter(|r| r.attack_score >= 1.0)
-        .map(|r| match r.component {
-            Component::Distance => "distance",
-            Component::SoundField => "sound-field",
-            Component::Loudspeaker => "loudspeaker",
-            Component::SpeakerIdentity => "speaker-id",
-        })
+        .map(|r| r.component.name())
         .collect();
     if names.is_empty() {
         "-".into()

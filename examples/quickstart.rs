@@ -28,7 +28,7 @@ fn main() {
     let session = ScenarioBuilder::genuine(&user).capture(&rng.fork("genuine"));
     let verdict = system.verify(&session);
     println!("genuine session → {:?}", verdict.decision);
-    for r in &verdict.results {
+    for r in verdict.results() {
         println!(
             "  {:?}: score {:.2}  [{}]",
             r.component, r.attack_score, r.detail
@@ -47,7 +47,7 @@ fn main() {
         .capture(&rng.fork("attack"));
     let verdict = system.verify(&attack);
     println!("replay attack → {:?}", verdict.decision);
-    for r in &verdict.results {
+    for r in verdict.results() {
         println!(
             "  {:?}: score {:.2}  [{}]",
             r.component, r.attack_score, r.detail

@@ -63,14 +63,25 @@ fn bootstrap(seed: u64) -> (DefenseSystem, UserContext, SimRng) {
 }
 
 fn print_verdict(v: &magshield::core::verdict::DefenseVerdict) {
+    use magshield::core::verdict::StageOutcome;
     println!("verdict: {:?}", v.decision);
-    for r in &v.results {
-        println!(
-            "  {:<16} score {:>5.2}  {}",
-            format!("{:?}", r.component),
-            r.attack_score,
-            r.detail
-        );
+    if let Some(reason) = &v.invalid {
+        println!("  (invalid session: {reason})");
+    }
+    for stage in &v.stages {
+        match stage {
+            StageOutcome::Ran(r) => println!(
+                "  {:<16} score {:>5.2}  {}",
+                format!("{:?}", r.component),
+                r.attack_score,
+                r.detail
+            ),
+            StageOutcome::Skipped(s) => println!(
+                "  {:<16} skipped     short-circuited by {:?}",
+                format!("{:?}", s.component),
+                s.cause
+            ),
+        }
     }
 }
 

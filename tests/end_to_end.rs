@@ -33,8 +33,7 @@ fn genuine_sessions_accepted() {
         assert!(
             v.accepted(),
             "genuine session {i} rejected: {:?}",
-            v.results
-                .iter()
+            v.results()
                 .map(|r| (r.component, r.attack_score))
                 .collect::<Vec<_>>()
         );
@@ -176,12 +175,69 @@ fn server_round_trip_matches_local_verdict() {
     let local = system.verify(&session);
     let remote = client.verify(&session).expect("server reachable");
     assert_eq!(local.decision, remote.decision);
-    assert_eq!(local.results.len(), remote.results.len());
-    for (l, r) in local.results.iter().zip(&remote.results) {
+    assert_eq!(local.stages.len(), remote.stages.len());
+    for (l, r) in local.results().zip(remote.results()) {
         assert_eq!(l.component, r.component);
         assert!((l.attack_score - r.attack_score).abs() < 1e-9);
     }
     server.shutdown();
+}
+
+#[test]
+fn short_circuit_skips_asv_but_agrees_with_full_evaluation() {
+    use magshield::core::cascade::ExecutionPolicy;
+    let (system, user) = fixture();
+    // Fresh registries so histogram counts below are owned by this test.
+    let full_sys = system.with_fresh_obs();
+    let short_sys = system.with_fresh_obs();
+    let dev = table_iv_catalog()[0].clone();
+    let s = ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev, attacker())
+        .at_distance(0.05)
+        .capture(&SimRng::from_seed(9100));
+
+    let full = full_sys.verify_with_policy(&s, ExecutionPolicy::FullEvaluation);
+    let (short, trace) = short_sys
+        .cascade()
+        .with_policy(ExecutionPolicy::ShortCircuit)
+        .run(&s, &short_sys.config, short_sys.obs());
+
+    // Same decision either way; the replay magnet fires at the first stage.
+    assert!(!full.accepted() && !short.accepted());
+    assert_eq!(full.decision, short.decision);
+
+    // The ASV back end was skipped, not run: the verdict carries a Skipped
+    // outcome naming the stage that short-circuited it, the trace has a
+    // matching skipped entry, and its latency histogram recorded nothing.
+    let skipped = short
+        .skipped_of(Component::SpeakerIdentity)
+        .expect("speaker_id should be short-circuited");
+    assert_eq!(skipped.cause, Component::Loudspeaker);
+    let t = trace.component("speaker_id").expect("trace entry");
+    assert!(t.skipped && t.duration_s == 0.0);
+    assert_eq!(
+        short_sys
+            .metrics()
+            .histogram("pipeline.speaker_id.seconds")
+            .count(),
+        0,
+        "skipped stage must not contribute a latency sample"
+    );
+    assert!(
+        short_sys
+            .metrics()
+            .counter("pipeline.speaker_id.skipped")
+            .get()
+            >= 1
+    );
+    // Full evaluation, by contrast, ran every stage.
+    assert_eq!(full.skipped().count(), 0);
+    assert!(
+        full_sys
+            .metrics()
+            .histogram("pipeline.speaker_id.seconds")
+            .count()
+            >= 1
+    );
 }
 
 #[test]

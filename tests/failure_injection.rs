@@ -63,7 +63,7 @@ fn clipped_audio_degrades_gracefully() {
     }
     // Must not panic; decision may be either way but scores stay finite.
     let v = system.verify(&s);
-    for r in &v.results {
+    for r in v.results() {
         assert!(r.attack_score.is_finite() || r.attack_score == f64::INFINITY);
     }
 }
@@ -89,7 +89,7 @@ fn sensor_dropout_mid_session_rejected_or_flagged() {
     let v = system.verify(&s);
     // The shortened magnitude trace loses the close-in segment; the
     // pipeline must stay well-defined.
-    for r in &v.results {
+    for r in v.results() {
         assert!(!r.attack_score.is_nan());
     }
 }
@@ -159,7 +159,7 @@ fn server_survives_hostile_then_valid_traffic() {
     // about server survival, not the verdict itself).
     let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(11));
     let verdict = client.verify(&session).expect("server alive");
-    assert_eq!(verdict.results.len(), 4, "all components ran");
+    assert_eq!(verdict.results().count(), 4, "all components ran");
     assert!(server.stats().protocol_errors >= 5);
     assert_eq!(server.stats().processed, 1);
     server.shutdown();
