@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the batch verification engine: stage-major
+//! batched execution against the sequential session-major baseline, under
+//! both execution policies. The interesting comparison is ShortCircuit on
+//! a mixed pool — stage-major execution prunes the expensive ASV stage
+//! for sessions the cheap stages already rejected.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magshield_core::cascade::ExecutionPolicy;
+use magshield_core::pipeline::{BootstrapConfig, DefenseSystem};
+use magshield_core::scenario::{bootstrap_with, ScenarioBuilder, UserContext};
+use magshield_core::session::SessionData;
+use magshield_simkit::rng::SimRng;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::table_iv_catalog;
+use magshield_voice::profile::SpeakerProfile;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (DefenseSystem, UserContext) {
+    static F: OnceLock<(DefenseSystem, UserContext)> = OnceLock::new();
+    F.get_or_init(|| bootstrap_with(&SimRng::from_seed(99), BootstrapConfig::tiny()))
+}
+
+/// 16 sessions, half genuine and half close-range replay attacks: the
+/// attacks short-circuit at the cheap stages, so stage-major execution
+/// has a real ASV workload to prune.
+fn mixed_pool() -> Vec<SessionData> {
+    let (_, user) = fixture();
+    let rng = SimRng::from_seed(17);
+    let attacker = SpeakerProfile::sample(901, &rng.fork("bench-attacker"));
+    let dev = table_iv_catalog()[0].clone();
+    (0..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                ScenarioBuilder::genuine(user).capture(&rng.fork_indexed("g", i))
+            } else {
+                ScenarioBuilder::machine_attack(
+                    user,
+                    AttackKind::Replay,
+                    dev.clone(),
+                    attacker.clone(),
+                )
+                .at_distance(0.05)
+                .capture(&rng.fork_indexed("a", i))
+            }
+        })
+        .collect()
+}
+
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    let (system, _) = fixture();
+    let pool = mixed_pool();
+    let refs: Vec<&SessionData> = pool.iter().collect();
+    for policy in [
+        ExecutionPolicy::FullEvaluation,
+        ExecutionPolicy::ShortCircuit,
+    ] {
+        let tag = match policy {
+            ExecutionPolicy::FullEvaluation => "full",
+            ExecutionPolicy::ShortCircuit => "short_circuit",
+        };
+        c.bench_function(&format!("batch16_stage_major_{tag}"), |b| {
+            b.iter(|| system.verify_batch_with_policy(black_box(&refs), policy))
+        });
+        c.bench_function(&format!("batch16_sequential_{tag}"), |b| {
+            b.iter(|| {
+                pool.iter()
+                    .map(|s| system.verify_with_policy(black_box(s), policy))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_vs_sequential
+}
+criterion_main!(benches);

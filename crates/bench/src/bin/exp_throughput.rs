@@ -1,0 +1,249 @@
+//! Throughput and tail latency of the batch verification engine under
+//! offered load.
+//!
+//! Closed-loop load generation: `L` submitter threads each drive the
+//! shared [`BatchEngine`] with submit→wait calls over a pre-captured
+//! session pool (mixed genuine and replay-attack sessions, so
+//! short-circuit pruning has real work to do). For each offered load the
+//! run reports sessions/sec and client-observed p50/p95/p99 latency.
+//!
+//! Before measuring anything, the binary asserts the engine's verdicts
+//! are bit-identical to sequential per-session runs under BOTH execution
+//! policies — a throughput number for a differently-deciding cascade
+//! would be meaningless.
+//!
+//! Output: `results/BENCH_throughput.json` (override with `--out`),
+//! consumed by the CI `bench-gate` job. `--quick` shrinks the system and
+//! the sweep for CI. The JSON is written by hand (no serde dependence on
+//! the hot path) so the file is produced identically in every build
+//! environment.
+
+use magshield_bench::{print_header, print_row, EXPERIMENT_SEED};
+use magshield_core::batch::{AdmissionPolicy, BatchConfig, BatchEngine, BatchOutcome};
+use magshield_core::cascade::ExecutionPolicy;
+use magshield_core::pipeline::{BootstrapConfig, DefenseSystem};
+use magshield_core::scenario::{bootstrap_with, ScenarioBuilder, UserContext};
+use magshield_core::session::SessionData;
+use magshield_core::verdict::DefenseVerdict;
+use magshield_obs::metrics::Histogram;
+use magshield_simkit::rng::SimRng;
+use magshield_voice::attacks::AttackKind;
+use magshield_voice::devices::table_iv_catalog;
+use magshield_voice::profile::SpeakerProfile;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured operating point.
+struct LoadPoint {
+    offered: usize,
+    sessions: usize,
+    sessions_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    shed: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_throughput.json".to_string());
+
+    let rng = SimRng::from_seed(EXPERIMENT_SEED);
+    let bootstrap = if quick {
+        BootstrapConfig::tiny()
+    } else {
+        BootstrapConfig::default()
+    };
+    eprintln!(
+        "(bootstrapping {} system...)",
+        if quick { "tiny" } else { "full" }
+    );
+    let (system, user) = bootstrap_with(&rng, bootstrap);
+
+    let pool_size = if quick { 24 } else { 48 };
+    let loads: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let workers = 4;
+    let pool = session_pool(&user, pool_size, &rng);
+
+    verify_batch_identity(&system, &pool);
+
+    print_header(
+        "Batch engine throughput (closed-loop)",
+        &["sess/s", "p50 ms", "p95 ms", "p99 ms", "shed"],
+    );
+    let mut points = Vec::new();
+    for &offered in loads {
+        let p = run_load(&system, &pool, workers, offered);
+        print_row(
+            &format!("L={offered}"),
+            &[
+                p.sessions_per_sec,
+                p.p50_ms,
+                p.p95_ms,
+                p.p99_ms,
+                p.shed as f64,
+            ],
+        );
+        points.push(p);
+    }
+
+    let peak = points
+        .iter()
+        .map(|p| p.sessions_per_sec)
+        .fold(0.0f64, f64::max);
+    println!("\npeak throughput: {peak:.2} sessions/sec");
+
+    write_json(&out, quick, workers, &points, peak);
+}
+
+/// A mixed pool: two thirds genuine, one third close-range replay attacks
+/// so the short-circuit policy has stages to prune.
+fn session_pool(user: &UserContext, n: usize, rng: &SimRng) -> Vec<SessionData> {
+    let attacker = SpeakerProfile::sample(901, &rng.fork("tp-attacker"));
+    let dev = table_iv_catalog()[0].clone();
+    (0..n)
+        .map(|i| {
+            if i % 3 == 2 {
+                ScenarioBuilder::machine_attack(
+                    user,
+                    AttackKind::Replay,
+                    dev.clone(),
+                    attacker.clone(),
+                )
+                .at_distance(0.05)
+                .capture(&rng.fork_indexed("tp-attack", i as u64))
+            } else {
+                ScenarioBuilder::genuine(user).capture(&rng.fork_indexed("tp-genuine", i as u64))
+            }
+        })
+        .collect()
+}
+
+/// Asserts the batch engine decides exactly like sequential runs, under
+/// both execution policies. Aborts the benchmark on any mismatch.
+fn verify_batch_identity(system: &DefenseSystem, pool: &[SessionData]) {
+    for policy in [
+        ExecutionPolicy::FullEvaluation,
+        ExecutionPolicy::ShortCircuit,
+    ] {
+        let sequential: Vec<DefenseVerdict> = pool
+            .iter()
+            .map(|s| system.verify_with_policy(s, policy))
+            .collect();
+        let engine = BatchEngine::spawn(
+            system.with_fresh_obs(),
+            BatchConfig {
+                workers: 4,
+                policy,
+                ..BatchConfig::default()
+            },
+        );
+        let outcomes = engine.verify_batch(pool.to_vec());
+        engine.shutdown();
+        assert_eq!(outcomes.len(), sequential.len());
+        for (i, (outcome, expected)) in outcomes.iter().zip(&sequential).enumerate() {
+            match outcome {
+                BatchOutcome::Verdict(v) => assert_eq!(
+                    v, expected,
+                    "session {i}: batch verdict diverged from sequential under {policy:?}"
+                ),
+                BatchOutcome::Shed(r) => panic!("session {i} unexpectedly shed: {r}"),
+            }
+        }
+    }
+    eprintln!("(identity check passed: batch == sequential under both policies)");
+}
+
+/// Runs one closed-loop operating point: `offered` submitter threads in
+/// submit→wait lockstep against a shared engine.
+fn run_load(
+    system: &DefenseSystem,
+    pool: &[SessionData],
+    workers: usize,
+    offered: usize,
+) -> LoadPoint {
+    let engine = Arc::new(BatchEngine::spawn(
+        system.with_fresh_obs(),
+        BatchConfig {
+            workers,
+            queue_capacity: 256,
+            max_batch: 8,
+            policy: ExecutionPolicy::ShortCircuit,
+            admission: AdmissionPolicy::Backpressure,
+            batch_deadline: None,
+        },
+    ));
+    let latency = Histogram::default();
+    let sessions = pool.len();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..offered {
+            let engine = Arc::clone(&engine);
+            let latency = latency.clone();
+            let share: Vec<SessionData> = pool.iter().skip(t).step_by(offered).cloned().collect();
+            scope.spawn(move || {
+                for s in share {
+                    let t0 = Instant::now();
+                    let outcome = engine
+                        .submit(s)
+                        .expect("backpressure admission never refuses")
+                        .wait();
+                    latency.record(t0.elapsed());
+                    assert!(
+                        matches!(outcome, BatchOutcome::Verdict(_)),
+                        "no deadline configured, nothing may shed"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let shed = engine.metrics().counter("batch.shed").get();
+    let snap = latency.snapshot();
+    LoadPoint {
+        offered,
+        sessions,
+        sessions_per_sec: sessions as f64 / elapsed,
+        p50_ms: snap.p50() * 1e3,
+        p95_ms: snap.p95() * 1e3,
+        p99_ms: snap.p99() * 1e3,
+        shed,
+    }
+}
+
+/// Hand-rolled JSON so the artifact exists byte-identically in every
+/// environment (the gate job parses it with Python, not serde).
+fn write_json(path: &str, quick: bool, workers: usize, points: &[LoadPoint], peak: f64) {
+    let mut loads = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            loads.push(',');
+        }
+        loads.push_str(&format!(
+            "\n    {{\"offered\": {}, \"sessions\": {}, \"sessions_per_sec\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"shed\": {}}}",
+            p.offered, p.sessions, p.sessions_per_sec, p.p50_ms, p.p95_ms, p.p99_ms, p.shed
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"throughput\",\n  \"quick\": {quick},\n  \
+         \"workers\": {workers},\n  \"policy\": \"short_circuit\",\n  \
+         \"loads\": [{loads}\n  ],\n  \"peak_sessions_per_sec\": {peak:.3}\n}}\n"
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("(wrote {path})"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

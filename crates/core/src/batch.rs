@@ -1,0 +1,829 @@
+//! Batched, backpressured verification throughput engine.
+//!
+//! The ROADMAP north star is a service absorbing heavy traffic, and the
+//! paper's defense runs per-authentication (§VII reports per-stage
+//! runtimes) — so throughput and tail latency under load are first-class
+//! correctness properties. This module layers a batch execution engine on
+//! the PR-2 cascade:
+//!
+//! - **Stage-major execution** ([`Cascade::run_batch`]): a worker pulls a
+//!   micro-batch off the queue and runs the *cheapest* cascade stages
+//!   across the whole batch before the expensive ASV stage, so under
+//!   [`ExecutionPolicy::ShortCircuit`] the loudspeaker/distance
+//!   rejections prune the ASV workload. Decisions are bit-identical to
+//!   sequential per-session runs (same per-stage code path; asserted by
+//!   property tests below).
+//! - **Admission control** ([`AdmissionGate`]): a bounded queue depth
+//!   with a per-engine [`AdmissionPolicy`] — [`Backpressure`] blocks the
+//!   submitter until there is room, [`Shed`] refuses immediately with
+//!   [`ShedReason::QueueFull`]. Accounting is RAII ([`QueueSlot`] /
+//!   [`InflightSlot`]), so the depth gauge cannot leak on any exit path,
+//!   including unwinding.
+//! - **Deadlines**: an optional per-batch deadline; sessions whose
+//!   processing has not *started* by the deadline are shed with
+//!   [`ShedReason::DeadlineExceeded`] instead of burning compute on an
+//!   answer nobody is waiting for.
+//! - **Graceful shutdown**: [`BatchEngine::shutdown`] stops admission
+//!   (late submitters see [`ShedReason::ShuttingDown`]) and then drains —
+//!   every session that was accepted still gets exactly one verdict.
+//!   Nothing is ever silently dropped: every [`Ticket`] resolves.
+//!
+//! Observability (shared registry with the
+//! [`DefenseSystem`], see DESIGN.md §9):
+//! `batch.size.sessions` and `batch.queue.wait.seconds` histograms,
+//! `batch.queue.depth` / `batch.inflight` gauges, `batch.verdicts` and
+//! `batch.shed` (+ per-reason) counters, `batch.compute.seconds` per
+//! micro-batch.
+//!
+//! [`Backpressure`]: AdmissionPolicy::Backpressure
+//! [`Shed`]: AdmissionPolicy::Shed
+//! [`Cascade::run_batch`]: crate::cascade::Cascade::run_batch
+
+use crate::cascade::ExecutionPolicy;
+use crate::pipeline::DefenseSystem;
+use crate::session::SessionData;
+use crate::verdict::DefenseVerdict;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use magshield_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a submitter experiences when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until a queue slot frees up. No
+    /// session is ever refused, at the price of submitter latency —
+    /// the right default for in-process callers that can wait.
+    #[default]
+    Backpressure,
+    /// Refuse immediately with [`ShedReason::QueueFull`]. The right
+    /// policy for a server that must bound its own memory and tail
+    /// latency under overload rather than queueing unboundedly.
+    Shed,
+}
+
+/// Why a session was shed instead of verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The bounded queue was full under [`AdmissionPolicy::Shed`].
+    QueueFull,
+    /// Processing had not started by the batch deadline.
+    DeadlineExceeded,
+    /// The engine was shutting down (or already stopped) when the
+    /// session was submitted.
+    ShuttingDown,
+}
+
+impl ShedReason {
+    /// Stable snake_case identifier (used in metric names and wire
+    /// details).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineExceeded => "deadline",
+            ShedReason::ShuttingDown => "shutdown",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of one submitted session: a full verdict, or an explicit
+/// shed. There is no silent third state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchOutcome {
+    /// The session was verified.
+    Verdict(DefenseVerdict),
+    /// The session was shed without running the cascade.
+    Shed(ShedReason),
+}
+
+impl BatchOutcome {
+    /// The verdict, if the session was verified.
+    pub fn verdict(&self) -> Option<&DefenseVerdict> {
+        match self {
+            BatchOutcome::Verdict(v) => Some(v),
+            BatchOutcome::Shed(_) => None,
+        }
+    }
+
+    /// Whether the session was shed.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, BatchOutcome::Shed(_))
+    }
+}
+
+/// Engine sizing and policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Worker threads sharing the trained system.
+    pub workers: usize,
+    /// Bound on sessions queued (admitted but not yet picked up by a
+    /// worker). The admission policy decides what happens at the bound.
+    pub queue_capacity: usize,
+    /// Most sessions a worker folds into one stage-major micro-batch.
+    pub max_batch: usize,
+    /// Cascade execution policy. [`ExecutionPolicy::ShortCircuit`] is the
+    /// point of stage-major batching (early stages prune the ASV stage),
+    /// but [`ExecutionPolicy::FullEvaluation`] is supported for workloads
+    /// that need re-thresholdable scores.
+    pub policy: ExecutionPolicy,
+    /// What happens to submitters when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Sessions whose processing has not started within this budget of
+    /// their submission are shed with [`ShedReason::DeadlineExceeded`].
+    /// For [`BatchEngine::verify_batch`] the budget is measured once from
+    /// the start of the batch, making it a true per-batch deadline.
+    pub batch_deadline: Option<Duration>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 16,
+            policy: ExecutionPolicy::ShortCircuit,
+            admission: AdmissionPolicy::Backpressure,
+            batch_deadline: None,
+        }
+    }
+}
+
+// ---------- admission gate ----------
+
+struct GateState {
+    queued: usize,
+    inflight: usize,
+    closed: bool,
+}
+
+struct GateInner {
+    state: Mutex<GateState>,
+    changed: Condvar,
+    capacity: usize,
+    policy: AdmissionPolicy,
+    depth: Gauge,
+    inflight: Gauge,
+}
+
+/// A bounded admission gate with RAII slot accounting.
+///
+/// `admit` hands out a [`QueueSlot`] while the queued count is below
+/// capacity; at capacity it blocks ([`AdmissionPolicy::Backpressure`]) or
+/// refuses ([`AdmissionPolicy::Shed`]). Slots decrement their counts on
+/// drop — on *any* exit path, including a panicking worker unwinding with
+/// the slot in hand — so the depth gauge can never leak. Both the
+/// [`BatchEngine`] and the
+/// [`VerificationServer`](crate::server::VerificationServer) queue sit
+/// behind one of these.
+pub struct AdmissionGate {
+    inner: Arc<GateInner>,
+}
+
+impl AdmissionGate {
+    /// A gate bounding the queued count at `capacity`, reporting depth
+    /// into `depth` and in-flight work into `inflight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (nothing could ever be admitted).
+    pub fn new(capacity: usize, policy: AdmissionPolicy, depth: Gauge, inflight: Gauge) -> Self {
+        assert!(capacity > 0, "admission gate needs capacity > 0");
+        Self {
+            inner: Arc::new(GateInner {
+                state: Mutex::new(GateState {
+                    queued: 0,
+                    inflight: 0,
+                    closed: false,
+                }),
+                changed: Condvar::new(),
+                capacity,
+                policy,
+                depth,
+                inflight,
+            }),
+        }
+    }
+
+    /// Claims a queue slot, blocking or shedding at capacity per the
+    /// gate's policy.
+    pub fn admit(&self) -> Result<QueueSlot, ShedReason> {
+        let mut st = self.inner.state.lock().expect("gate lock");
+        loop {
+            if st.closed {
+                return Err(ShedReason::ShuttingDown);
+            }
+            if st.queued < self.inner.capacity {
+                st.queued += 1;
+                self.inner.depth.inc();
+                return Ok(QueueSlot {
+                    inner: Arc::clone(&self.inner),
+                });
+            }
+            match self.inner.policy {
+                AdmissionPolicy::Shed => return Err(ShedReason::QueueFull),
+                AdmissionPolicy::Backpressure => {
+                    st = self.inner.changed.wait(st).expect("gate lock");
+                }
+            }
+        }
+    }
+
+    /// Closes the gate: every subsequent (and currently blocked) `admit`
+    /// returns [`ShedReason::ShuttingDown`]. Idempotent.
+    pub fn close(&self) {
+        self.inner.state.lock().expect("gate lock").closed = true;
+        self.inner.changed.notify_all();
+    }
+
+    /// Whether the gate has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().expect("gate lock").closed
+    }
+
+    /// Sessions admitted but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().expect("gate lock").queued
+    }
+
+    /// Blocks until no work is queued or in flight.
+    pub fn wait_idle(&self) {
+        let mut st = self.inner.state.lock().expect("gate lock");
+        while st.queued > 0 || st.inflight > 0 {
+            st = self.inner.changed.wait(st).expect("gate lock");
+        }
+    }
+}
+
+impl Clone for AdmissionGate {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// RAII claim on one queued slot. Dropping it releases the slot;
+/// [`QueueSlot::start`] converts it into an [`InflightSlot`] when a
+/// worker picks the work up.
+pub struct QueueSlot {
+    inner: Arc<GateInner>,
+}
+
+impl QueueSlot {
+    /// Marks the work as picked up: the queue slot is released (freeing
+    /// admission capacity) and an in-flight claim is taken in its place.
+    pub fn start(self) -> InflightSlot {
+        {
+            let mut st = self.inner.state.lock().expect("gate lock");
+            st.inflight += 1;
+        }
+        self.inner.inflight.inc();
+        InflightSlot {
+            inner: Arc::clone(&self.inner),
+        }
+        // `self` drops here, releasing the queued count and notifying
+        // waiters — after the in-flight claim is registered, so
+        // `wait_idle` never observes a gap.
+    }
+}
+
+impl Drop for QueueSlot {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().expect("gate lock");
+        st.queued -= 1;
+        self.inner.depth.dec();
+        self.inner.changed.notify_all();
+    }
+}
+
+/// RAII claim on one in-flight unit of work.
+pub struct InflightSlot {
+    inner: Arc<GateInner>,
+}
+
+impl Drop for InflightSlot {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().expect("gate lock");
+        st.inflight -= 1;
+        self.inner.inflight.dec();
+        self.inner.changed.notify_all();
+    }
+}
+
+// ---------- engine ----------
+
+struct WorkItem {
+    session: SessionData,
+    reply: Sender<BatchOutcome>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    slot: Option<QueueSlot>,
+}
+
+struct EngineObs {
+    registry: Registry,
+    queue_wait: Histogram,
+    batch_size: Histogram,
+    compute: Histogram,
+    verdicts: Counter,
+    shed: Counter,
+}
+
+impl EngineObs {
+    fn new(registry: Registry) -> Self {
+        Self {
+            queue_wait: registry.histogram("batch.queue.wait.seconds"),
+            batch_size: registry.histogram("batch.size.sessions"),
+            compute: registry.histogram("batch.compute.seconds"),
+            verdicts: registry.counter("batch.verdicts"),
+            shed: registry.counter("batch.shed"),
+            registry,
+        }
+    }
+
+    fn record_shed(&self, reason: ShedReason) {
+        self.shed.inc();
+        self.registry
+            .counter(&format!("batch.shed.{}", reason.name()))
+            .inc();
+    }
+}
+
+/// A handle resolving to the [`BatchOutcome`] of one submitted session.
+///
+/// Every ticket resolves exactly once: with the verdict, with the shed
+/// record, or — if the engine is torn down non-gracefully with the
+/// session still queued — with [`ShedReason::ShuttingDown`]. It cannot
+/// hang and it cannot be silently dropped.
+pub struct Ticket {
+    rx: Receiver<BatchOutcome>,
+}
+
+impl Ticket {
+    /// Blocks until the session's outcome is known.
+    pub fn wait(self) -> BatchOutcome {
+        self.rx
+            .recv()
+            .unwrap_or(BatchOutcome::Shed(ShedReason::ShuttingDown))
+    }
+}
+
+/// The batch verification engine: a worker pool pulling stage-major
+/// micro-batches off a bounded, admission-controlled queue.
+///
+/// ```no_run
+/// use magshield_core::batch::{BatchConfig, BatchEngine};
+/// use magshield_core::scenario::{self, ScenarioBuilder};
+/// use magshield_simkit::rng::SimRng;
+///
+/// let rng = SimRng::from_seed(7);
+/// let (system, user) = scenario::bootstrap_system(&rng);
+/// let engine = BatchEngine::spawn(system, BatchConfig::default());
+/// let sessions: Vec<_> = (0..64)
+///     .map(|i| ScenarioBuilder::genuine(&user).capture(&rng.fork_indexed("s", i)))
+///     .collect();
+/// for outcome in engine.verify_batch(sessions) {
+///     println!("{:?}", outcome.verdict().map(|v| v.accepted()));
+/// }
+/// engine.shutdown();
+/// ```
+pub struct BatchEngine {
+    tx: Mutex<Option<Sender<WorkItem>>>,
+    /// Kept so a paused engine (tests) can hold queued items without the
+    /// channel disconnecting; workers hold clones.
+    _rx: Receiver<WorkItem>,
+    workers: Vec<JoinHandle<()>>,
+    gate: AdmissionGate,
+    obs: EngineObs,
+    batch_deadline: Option<Duration>,
+}
+
+impl BatchEngine {
+    /// Spawns the engine with `cfg.workers` threads sharing `system`.
+    ///
+    /// Engine metrics are registered in `system`'s own registry, so one
+    /// snapshot covers cascade stage histograms and batch queue behavior
+    /// side by side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers`, `cfg.queue_capacity` or `cfg.max_batch`
+    /// is zero.
+    pub fn spawn(system: DefenseSystem, cfg: BatchConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        Self::spawn_inner(system, cfg, cfg.workers)
+    }
+
+    /// An engine with a live queue but **no workers**: submissions are
+    /// admitted (or shed) but never processed. Deterministic harness for
+    /// queue-full and shutdown tests.
+    #[doc(hidden)]
+    pub fn spawn_paused(system: DefenseSystem, cfg: BatchConfig) -> Self {
+        Self::spawn_inner(system, cfg, 0)
+    }
+
+    fn spawn_inner(system: DefenseSystem, cfg: BatchConfig, workers: usize) -> Self {
+        assert!(cfg.queue_capacity > 0, "need queue capacity > 0");
+        assert!(cfg.max_batch > 0, "need max_batch > 0");
+        let registry = system.metrics().clone();
+        let gate = AdmissionGate::new(
+            cfg.queue_capacity,
+            cfg.admission,
+            registry.gauge("batch.queue.depth"),
+            registry.gauge("batch.inflight"),
+        );
+        let obs = EngineObs::new(registry);
+        let system = Arc::new(system);
+        let (tx, rx) = unbounded::<WorkItem>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let system = Arc::clone(&system);
+                let obs = EngineObs::new(system.metrics().clone());
+                let policy = cfg.policy;
+                let max_batch = cfg.max_batch;
+                std::thread::spawn(move || worker_loop(&rx, &system, &obs, policy, max_batch))
+            })
+            .collect();
+        Self {
+            tx: Mutex::new(Some(tx)),
+            _rx: rx,
+            workers: handles,
+            gate,
+            obs,
+            batch_deadline: cfg.batch_deadline,
+        }
+    }
+
+    /// Submits one session for verification, applying admission control.
+    /// The per-item deadline (when configured) starts now; use
+    /// [`BatchEngine::verify_batch`] for a shared per-batch deadline.
+    pub fn submit(&self, session: SessionData) -> Result<Ticket, ShedReason> {
+        let deadline = self.batch_deadline.map(|d| Instant::now() + d);
+        self.submit_with_deadline(session, deadline)
+    }
+
+    fn submit_with_deadline(
+        &self,
+        session: SessionData,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ShedReason> {
+        let slot = self
+            .gate
+            .admit()
+            .inspect_err(|&r| self.obs.record_shed(r))?;
+        let sender = self.tx.lock().expect("engine sender lock").clone();
+        let Some(sender) = sender else {
+            // Shutdown raced the admit; the slot drops and frees itself.
+            self.obs.record_shed(ShedReason::ShuttingDown);
+            return Err(ShedReason::ShuttingDown);
+        };
+        let (reply_tx, reply_rx) = unbounded();
+        let item = WorkItem {
+            session,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+            deadline,
+            slot: Some(slot),
+        };
+        match sender.send(item) {
+            Ok(()) => Ok(Ticket { rx: reply_rx }),
+            Err(_) => {
+                // Channel closed under us; the item (and its slot) just
+                // dropped, keeping the books straight.
+                self.obs.record_shed(ShedReason::ShuttingDown);
+                Err(ShedReason::ShuttingDown)
+            }
+        }
+    }
+
+    /// Verifies a whole batch, preserving input order. Sessions refused
+    /// by admission appear as [`BatchOutcome::Shed`] in place; accepted
+    /// sessions resolve to verdicts (or deadline sheds). When
+    /// [`BatchConfig::batch_deadline`] is set, the deadline is anchored
+    /// at the start of the call — one budget for the whole batch.
+    pub fn verify_batch(&self, sessions: Vec<SessionData>) -> Vec<BatchOutcome> {
+        let deadline = self.batch_deadline.map(|d| Instant::now() + d);
+        let tickets: Vec<Result<Ticket, ShedReason>> = sessions
+            .into_iter()
+            .map(|s| self.submit_with_deadline(s, deadline))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| match t {
+                Ok(ticket) => ticket.wait(),
+                Err(reason) => BatchOutcome::Shed(reason),
+            })
+            .collect()
+    }
+
+    /// Blocks until every admitted session has its outcome delivered.
+    pub fn drain(&self) {
+        self.gate.wait_idle();
+    }
+
+    /// Stops admission without waiting: subsequent submits shed with
+    /// [`ShedReason::ShuttingDown`]; already-admitted work keeps flowing
+    /// to the workers. Idempotent.
+    pub fn initiate_shutdown(&self) {
+        self.gate.close();
+        self.tx.lock().expect("engine sender lock").take();
+    }
+
+    /// Graceful shutdown: closes admission, drains every admitted
+    /// session through the cascade, and joins the workers. Every
+    /// accepted session gets exactly one verdict.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// The engine's admission gate (shared-state view for tests and
+    /// monitoring).
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    /// The metrics registry (shared with the system's pipeline metrics).
+    pub fn metrics(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    fn stop_and_join(&mut self) {
+        self.initiate_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Worker body: pull a micro-batch, shed the expired, run the rest
+/// stage-major, reply to every item.
+fn worker_loop(
+    rx: &Receiver<WorkItem>,
+    system: &DefenseSystem,
+    obs: &EngineObs,
+    policy: ExecutionPolicy,
+    max_batch: usize,
+) {
+    loop {
+        // Blocking for the first item; errors mean "closed and empty",
+        // i.e. the drain is complete.
+        let first = match rx.recv() {
+            Ok(item) => item,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(item) => batch.push(item),
+                Err(_) => break,
+            }
+        }
+        obs.batch_size.record_secs(batch.len() as f64);
+        // Queue slots convert to in-flight claims before processing so
+        // admission capacity frees up while `wait_idle` still sees the
+        // work.
+        let _inflight: Vec<InflightSlot> = batch
+            .iter_mut()
+            .filter_map(|item| item.slot.take())
+            .map(QueueSlot::start)
+            .collect();
+        for item in &batch {
+            obs.queue_wait.record(item.enqueued.elapsed());
+        }
+        let now = Instant::now();
+        let (live, expired): (Vec<WorkItem>, Vec<WorkItem>) = batch
+            .into_iter()
+            .partition(|item| item.deadline.is_none_or(|d| now <= d));
+        for item in expired {
+            obs.record_shed(ShedReason::DeadlineExceeded);
+            let _ = item
+                .reply
+                .send(BatchOutcome::Shed(ShedReason::DeadlineExceeded));
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let sessions: Vec<&SessionData> = live.iter().map(|item| &item.session).collect();
+        let t0 = Instant::now();
+        let results =
+            system
+                .cascade()
+                .with_policy(policy)
+                .run_batch(&sessions, &system.config, system.obs());
+        obs.compute.record(t0.elapsed());
+        obs.verdicts.add(live.len() as u64);
+        for (item, (verdict, _trace)) in live.into_iter().zip(results) {
+            // The submitter may have given up; ignore send errors.
+            let _ = item.reply.send(BatchOutcome::Verdict(verdict));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use magshield_simkit::rng::SimRng;
+    use magshield_voice::attacks::AttackKind;
+    use magshield_voice::devices::table_iv_catalog;
+    use magshield_voice::profile::SpeakerProfile;
+    use proptest::prelude::*;
+
+    fn genuine(seed: u64) -> SessionData {
+        let (_, user) = crate::test_support::shared_tiny_system();
+        ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(seed))
+    }
+
+    fn replay(seed: u64) -> SessionData {
+        let (_, user) = crate::test_support::shared_tiny_system();
+        let attacker = SpeakerProfile::sample(7, &SimRng::from_seed(1));
+        let dev = table_iv_catalog()[0].clone();
+        ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev, attacker)
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(seed))
+    }
+
+    fn cfg() -> BatchConfig {
+        BatchConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            ..BatchConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_verdicts_and_metrics() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let sys = sys.with_fresh_obs();
+        let engine = BatchEngine::spawn(sys, cfg());
+        let sessions: Vec<_> = (0..6).map(|i| genuine(700 + i)).collect();
+        let outcomes = engine.verify_batch(sessions);
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes.iter().all(|o| !o.is_shed()));
+        // Replies land just before the in-flight slots release; drain to
+        // observe the settled gauges.
+        engine.drain();
+        let m = engine.metrics().snapshot();
+        assert_eq!(m.counters["batch.verdicts"], 6);
+        assert_eq!(m.histograms["batch.queue.wait.seconds"].count, 6);
+        assert!(m.histograms["batch.size.sessions"].count >= 1);
+        assert_eq!(m.gauges["batch.queue.depth"], 0, "queue drained");
+        assert_eq!(m.gauges["batch.inflight"], 0, "nothing left in flight");
+        assert!(!m.counters.contains_key("batch.shed.queue_full"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shed_policy_refuses_at_capacity_deterministically() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let sys = sys.with_fresh_obs();
+        let engine = BatchEngine::spawn_paused(
+            sys,
+            BatchConfig {
+                queue_capacity: 2,
+                admission: AdmissionPolicy::Shed,
+                ..cfg()
+            },
+        );
+        let t1 = engine.submit(genuine(710)).expect("slot 1");
+        let t2 = engine.submit(genuine(711)).expect("slot 2");
+        assert_eq!(
+            engine.submit(genuine(712)).err(),
+            Some(ShedReason::QueueFull)
+        );
+        assert_eq!(engine.gate().queued(), 2);
+        assert_eq!(engine.metrics().counter("batch.shed").get(), 1);
+        assert_eq!(engine.metrics().counter("batch.shed.queue_full").get(), 1);
+        assert_eq!(engine.metrics().gauge("batch.queue.depth").get(), 2);
+        // Tearing the paused engine down still resolves every ticket —
+        // never a silent drop.
+        drop(engine);
+        assert_eq!(t1.wait(), BatchOutcome::Shed(ShedReason::ShuttingDown));
+        assert_eq!(t2.wait(), BatchOutcome::Shed(ShedReason::ShuttingDown));
+    }
+
+    #[test]
+    fn submit_after_shutdown_sheds() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let engine = BatchEngine::spawn(sys.with_fresh_obs(), cfg());
+        engine.initiate_shutdown();
+        assert_eq!(
+            engine.submit(genuine(720)).err(),
+            Some(ShedReason::ShuttingDown)
+        );
+        assert_eq!(engine.metrics().counter("batch.shed.shutdown").get(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_sheds_instead_of_computing() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let sys = sys.with_fresh_obs();
+        let engine = BatchEngine::spawn(
+            sys,
+            BatchConfig {
+                workers: 1,
+                batch_deadline: Some(Duration::from_nanos(1)),
+                ..cfg()
+            },
+        );
+        let outcomes = engine.verify_batch((0..4).map(|i| genuine(730 + i)).collect());
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| *o == BatchOutcome::Shed(ShedReason::DeadlineExceeded)),
+            "a 1 ns budget must shed every session: {outcomes:?}"
+        );
+        assert_eq!(engine.metrics().counter("batch.verdicts").get(), 0);
+        assert_eq!(engine.metrics().counter("batch.shed.deadline").get(), 4);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn backpressure_completes_past_capacity_without_deadlock() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let engine = BatchEngine::spawn(
+            sys.with_fresh_obs(),
+            BatchConfig {
+                workers: 1,
+                queue_capacity: 1,
+                max_batch: 2,
+                admission: AdmissionPolicy::Backpressure,
+                ..BatchConfig::default()
+            },
+        );
+        // 6 sessions through a 1-deep queue: submits must block, not shed.
+        let outcomes = engine.verify_batch((0..6).map(|i| genuine(740 + i)).collect());
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes.iter().all(|o| !o.is_shed()));
+        assert_eq!(engine.metrics().counter("batch.shed").get(), 0);
+        engine.shutdown();
+    }
+
+    proptest! {
+        // Each case runs the cascade over every session twice (batch +
+        // sequential); keep the case count low, the fixture is shared.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The acceptance property: batch-engine verdicts are identical —
+        /// decisions, scores, skip records — to sequential per-session
+        /// verdicts, under both execution policies.
+        #[test]
+        fn engine_matches_sequential_verdicts(
+            seeds in prop::collection::vec(0u64..5000, 1..6),
+            attack_mask in 0u32..64,
+            short_circuit in 0u8..2,
+        ) {
+            let (sys, _) = crate::test_support::shared_tiny_system();
+            let policy = if short_circuit == 1 {
+                ExecutionPolicy::ShortCircuit
+            } else {
+                ExecutionPolicy::FullEvaluation
+            };
+            let sessions: Vec<SessionData> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &seed)| {
+                    if attack_mask & (1 << i) != 0 {
+                        replay(seed)
+                    } else {
+                        genuine(seed)
+                    }
+                })
+                .collect();
+            let sequential: Vec<DefenseVerdict> = sessions
+                .iter()
+                .map(|s| sys.verify_with_policy(s, policy))
+                .collect();
+            let engine = BatchEngine::spawn(
+                sys.with_fresh_obs(),
+                BatchConfig { policy, ..cfg() },
+            );
+            let outcomes = engine.verify_batch(sessions);
+            engine.shutdown();
+            prop_assert_eq!(outcomes.len(), sequential.len());
+            for (outcome, expected) in outcomes.iter().zip(&sequential) {
+                match outcome {
+                    BatchOutcome::Verdict(v) => prop_assert_eq!(v, expected),
+                    BatchOutcome::Shed(r) => prop_assert!(false, "unexpected shed: {}", r),
+                }
+            }
+        }
+    }
+}

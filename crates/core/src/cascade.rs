@@ -341,84 +341,173 @@ impl<'a> Cascade<'a> {
         config: &DefenseConfig,
         obs: &PipelineObs,
     ) -> (DefenseVerdict, PipelineTrace) {
+        let mut state = SessionRun::begin(session, obs);
+        if !state.invalid {
+            for stage in &self.stages {
+                self.step(stage.as_ref(), session, config, obs, &mut state);
+            }
+        }
+        state.finish(obs)
+    }
+
+    /// Runs the cascade over a whole batch of sessions **stage-major**:
+    /// the cheapest stage evaluates every session before the next stage
+    /// starts, so under [`ExecutionPolicy::ShortCircuit`] the early
+    /// magnetometer/trajectory rejections prune the batch before the
+    /// expensive ASV stage touches it.
+    ///
+    /// Stages are pure functions of `(session, config)` and the per-stage
+    /// step is the same code path as [`Cascade::run`], so the verdicts —
+    /// decisions, scores, skip records — are bit-identical to running
+    /// each session through [`Cascade::run`] sequentially, under either
+    /// execution policy. Results are returned in input order.
+    pub fn run_batch(
+        &self,
+        sessions: &[&SessionData],
+        config: &DefenseConfig,
+        obs: &PipelineObs,
+    ) -> Vec<(DefenseVerdict, PipelineTrace)> {
+        let mut states: Vec<SessionRun> =
+            sessions.iter().map(|s| SessionRun::begin(s, obs)).collect();
+        for stage in &self.stages {
+            for (state, session) in states.iter_mut().zip(sessions) {
+                if !state.invalid {
+                    self.step(stage.as_ref(), session, config, obs, state);
+                }
+            }
+        }
+        states.into_iter().map(|s| s.finish(obs)).collect()
+    }
+
+    /// One (stage, session) step — the single code path shared by
+    /// session-major [`Cascade::run`] and stage-major
+    /// [`Cascade::run_batch`], which is what makes their verdicts
+    /// identical by construction.
+    fn step(
+        &self,
+        stage: &(dyn CascadeStage + Send + Sync),
+        session: &SessionData,
+        config: &DefenseConfig,
+        obs: &PipelineObs,
+        state: &mut SessionRun,
+    ) {
         let registry = &obs.registry;
+        let component = stage.component();
+        if !self.mask.contains(component) || !stage.applies_to(session) {
+            return;
+        }
+        let name = component.name();
+        if let (ExecutionPolicy::ShortCircuit, Some(cause)) = (self.policy, state.rejector) {
+            registry.counter(&format!("pipeline.{name}.skipped")).inc();
+            state.trace.components.push(ComponentTrace {
+                component: name.to_string(),
+                passed: false,
+                attack_score: 0.0,
+                threshold_margin: 0.0,
+                duration_s: 0.0,
+                detail: format!("short-circuited by {}", cause.name()),
+                skipped: true,
+            });
+            state
+                .outcomes
+                .push(StageOutcome::Skipped(SkippedStage { component, cause }));
+            return;
+        }
+        let mut span = state.root.child(name);
+        let stage_started = Instant::now();
+        let mut r = stage.run(session, config);
+        r.attack_score /= config.stage_boundaries.get(component);
+        // Clamped to 1 ns so "every stage took strictly positive
+        // time" holds even on coarse-clock platforms.
+        let duration_s = stage_started.elapsed().as_secs_f64().max(1e-9);
+        registry
+            .histogram(&format!("pipeline.{name}.seconds"))
+            .record_secs(duration_s);
+        span.event("attack_score", format!("{:.4}", r.attack_score));
+        span.event("passed", r.passes_at(1.0));
+        state.trace.components.push(ComponentTrace {
+            component: name.to_string(),
+            passed: r.passes_at(1.0),
+            attack_score: r.attack_score,
+            threshold_margin: 1.0 - r.attack_score,
+            duration_s,
+            detail: r.detail.clone(),
+            skipped: false,
+        });
+        if state.rejector.is_none() && !r.passes_at(1.0) {
+            state.rejector = Some(component);
+        }
+        state.outcomes.push(StageOutcome::Ran(r));
+    }
+}
+
+/// In-flight execution state of one session walking the cascade. Owned by
+/// [`Cascade::run`] for a single session and by [`Cascade::run_batch`]
+/// once per batch entry; the per-stage transition is `Cascade::step`.
+struct SessionRun {
+    root: Span,
+    trace: PipelineTrace,
+    outcomes: Vec<StageOutcome>,
+    rejector: Option<Component>,
+    started: Instant,
+    /// Failed [`SessionData::validate`]: no stage runs, the verdict is
+    /// [`DefenseVerdict::rejected_invalid`].
+    invalid: bool,
+    invalid_reason: Option<String>,
+}
+
+impl SessionRun {
+    fn begin(session: &SessionData, obs: &PipelineObs) -> Self {
         let started = Instant::now();
         let mut root = Span::enter(&obs.tracer, "verify");
-        let mut trace = PipelineTrace {
+        let trace = PipelineTrace {
             session: format!("speaker-{}", session.claimed_speaker),
             ..PipelineTrace::default()
         };
-        if let Err(e) = session.validate() {
-            let reason = e.to_string();
-            root.event("invalid", &reason);
-            registry.counter("pipeline.invalid").inc();
+        let invalid_reason = session.validate().err().map(|e| e.to_string());
+        if let Some(reason) = &invalid_reason {
+            root.event("invalid", reason);
+            obs.registry.counter("pipeline.invalid").inc();
+        }
+        Self {
+            root,
+            trace,
+            outcomes: Vec::new(),
+            rejector: None,
+            started,
+            invalid: invalid_reason.is_some(),
+            invalid_reason,
+        }
+    }
+
+    fn finish(mut self, obs: &PipelineObs) -> (DefenseVerdict, PipelineTrace) {
+        let registry = &obs.registry;
+        self.trace.total_s = self.started.elapsed().as_secs_f64().max(1e-9);
+        if let Some(reason) = self.invalid_reason {
             registry.counter("pipeline.rejects").inc();
-            trace.total_s = started.elapsed().as_secs_f64().max(1e-9);
-            return (DefenseVerdict::rejected_invalid(reason), trace);
+            return (DefenseVerdict::rejected_invalid(reason), self.trace);
         }
-        let mut outcomes = Vec::with_capacity(self.stages.len());
-        let mut rejector: Option<Component> = None;
-        for stage in &self.stages {
-            let component = stage.component();
-            if !self.mask.contains(component) || !stage.applies_to(session) {
-                continue;
-            }
-            let name = component.name();
-            if let (ExecutionPolicy::ShortCircuit, Some(cause)) = (self.policy, rejector) {
-                registry.counter(&format!("pipeline.{name}.skipped")).inc();
-                trace.components.push(ComponentTrace {
-                    component: name.to_string(),
-                    passed: false,
-                    attack_score: 0.0,
-                    threshold_margin: 0.0,
-                    duration_s: 0.0,
-                    detail: format!("short-circuited by {}", cause.name()),
-                    skipped: true,
-                });
-                outcomes.push(StageOutcome::Skipped(SkippedStage { component, cause }));
-                continue;
-            }
-            let mut span = root.child(name);
-            let stage_started = Instant::now();
-            let mut r = stage.run(session, config);
-            r.attack_score /= config.stage_boundaries.get(component);
-            // Clamped to 1 ns so "every stage took strictly positive
-            // time" holds even on coarse-clock platforms.
-            let duration_s = stage_started.elapsed().as_secs_f64().max(1e-9);
-            registry
-                .histogram(&format!("pipeline.{name}.seconds"))
-                .record_secs(duration_s);
-            span.event("attack_score", format!("{:.4}", r.attack_score));
-            span.event("passed", r.passes_at(1.0));
-            trace.components.push(ComponentTrace {
-                component: name.to_string(),
-                passed: r.passes_at(1.0),
-                attack_score: r.attack_score,
-                threshold_margin: 1.0 - r.attack_score,
-                duration_s,
-                detail: r.detail.clone(),
-                skipped: false,
-            });
-            if rejector.is_none() && !r.passes_at(1.0) {
-                rejector = Some(component);
-            }
-            outcomes.push(StageOutcome::Ran(r));
-        }
-        let verdict = DefenseVerdict::from_stages(outcomes);
-        trace.accepted = verdict.accepted();
-        trace.total_s = started.elapsed().as_secs_f64().max(1e-9);
+        let verdict = DefenseVerdict::from_stages(self.outcomes);
+        self.trace.accepted = verdict.accepted();
         registry
             .histogram("pipeline.verify.seconds")
-            .record_secs(trace.total_s);
+            .record_secs(self.trace.total_s);
         registry
-            .counter(if trace.accepted {
+            .counter(if self.trace.accepted {
                 "pipeline.accepts"
             } else {
                 "pipeline.rejects"
             })
             .inc();
-        root.event("decision", if trace.accepted { "accept" } else { "reject" });
-        (verdict, trace)
+        self.root.event(
+            "decision",
+            if self.trace.accepted {
+                "accept"
+            } else {
+                "reject"
+            },
+        );
+        (verdict, self.trace)
     }
 }
 

@@ -56,6 +56,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod batch;
 pub mod cascade;
 pub mod components;
 pub mod config;

@@ -344,6 +344,26 @@ impl DefenseSystem {
             .0
     }
 
+    /// Verifies a batch of sessions stage-major under `policy`: each
+    /// cascade stage runs across the whole batch before the next stage
+    /// starts, so under [`ExecutionPolicy::ShortCircuit`] the cheap
+    /// magnetometer stages prune the expensive ASV workload. Verdicts are
+    /// bit-identical to sequential [`DefenseSystem::verify_with_policy`]
+    /// calls and preserve input order. For a pooled, admission-controlled
+    /// deployment of this, see [`crate::batch::BatchEngine`].
+    pub fn verify_batch_with_policy(
+        &self,
+        sessions: &[&SessionData],
+        policy: ExecutionPolicy,
+    ) -> Vec<DefenseVerdict> {
+        self.cascade()
+            .with_policy(policy)
+            .run_batch(sessions, &self.config, &self.obs)
+            .into_iter()
+            .map(|(verdict, _trace)| verdict)
+            .collect()
+    }
+
     /// Runs only the stages in `mask` at the nominal thresholds — real
     /// ablation: masked-out stages never execute and are omitted from the
     /// verdict (used by `exp_ablation`).

@@ -8,25 +8,41 @@
 //! that decodes, verifies and replies — concurrency via `crossbeam`
 //! channels, shared state via `parking_lot`.
 //!
+//! Protocol v3 adds batch verification: a `Message::BatchRequest`
+//! carries many sessions in one frame; workers verify each micro-batch
+//! stage-major via [`DefenseSystem::verify_batch_with_policy`] (so under
+//! [`ExecutionPolicy::ShortCircuit`] cheap rejections prune the ASV
+//! workload) under an optional per-batch deadline
+//! ([`ServerConfig::batch_deadline`]) — sessions whose processing cannot
+//! start in budget come back as explicit
+//! [`BatchOutcome::Shed`](crate::batch::BatchOutcome) entries, never a
+//! silent gap. [`Client::submit`] / [`PendingVerdict::wait`] provide the
+//! streaming client path, [`Client::verify_batch`] the one-frame path.
+//!
 //! The server is instrumented against `magshield-obs` (DESIGN.md §7):
 //! `server.queue.wait.seconds` (enqueue→dequeue) and
-//! `server.compute.seconds` histograms, a `server.queue.depth` gauge,
-//! and per-worker `server.worker.<i>.processed` counters, all sharing the
+//! `server.compute.seconds` histograms, a `server.queue.depth` gauge
+//! (decremented via an RAII guard so a panicking worker cannot leak it),
+//! a `server.worker.panics` counter, `server.batch.size.sessions` /
+//! `server.batch.shed` for the batch path, and per-worker
+//! `server.worker.<i>.processed` counters, all sharing the
 //! [`DefenseSystem`]'s registry so one snapshot covers pipeline and
 //! server alike. Clients can fetch a [`ServerStatsSnapshot`] over the
 //! wire via [`Client::stats`] (`Message::StatsRequest`).
 
 pub mod protocol;
 
+use crate::batch::{BatchOutcome, ShedReason};
 use crate::cascade::ExecutionPolicy;
 use crate::pipeline::DefenseSystem;
 use crate::session::SessionData;
 use crate::verdict::DefenseVerdict;
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use magshield_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use parking_lot::Mutex;
 use protocol::{decode_frame, encode_response, Message};
 use serde::{Deserialize, Serialize};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,6 +53,66 @@ struct Job {
     reply: Sender<Vec<u8>>,
     /// When the client enqueued the frame (queue-wait attribution).
     enqueued: Instant,
+    /// Claim on the queue-depth gauge; the worker releases it at pickup,
+    /// and a job dropped undelivered (send failure, shutdown with frames
+    /// still queued) releases it on drop.
+    depth: Option<DepthGuard>,
+}
+
+/// A frame that makes the receiving worker panic mid-job. Exists so
+/// failure-injection tests can prove the panic path cannot leak the
+/// queue-depth gauge or kill the pool; it can never collide with a real
+/// frame (wrong magic).
+#[doc(hidden)]
+pub const PANIC_FRAME: &[u8] = b"\xDE\xAD\xBE\xEFpanic-injection";
+
+/// RAII claim on the queue-depth gauge: increments on construction,
+/// decrements on drop. Carried inside the [`Job`] itself, so the gauge
+/// is restored on *every* path a job can take — worker pickup, a failed
+/// send, a panic unwinding through the worker loop, or the job being
+/// dropped in the channel at shutdown — instead of relying on a `dec()`
+/// statement that must be reached.
+struct DepthGuard(Gauge);
+
+impl DepthGuard {
+    fn new(gauge: Gauge) -> Self {
+        gauge.inc();
+        Self(gauge)
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+/// Server sizing and policy, consumed by
+/// [`VerificationServer::spawn_with_config`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads sharing the trained system.
+    pub workers: usize,
+    /// Cascade execution policy for the whole pool.
+    pub policy: ExecutionPolicy,
+    /// Most sessions of a batch request verified in one stage-major
+    /// micro-batch (bounds per-chunk latency and memory).
+    pub max_batch: usize,
+    /// Batch-request sessions whose chunk has not started processing
+    /// within this budget of the request's enqueue are shed with
+    /// [`ShedReason::DeadlineExceeded`].
+    pub batch_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            policy: ExecutionPolicy::FullEvaluation,
+            max_batch: 16,
+            batch_deadline: None,
+        }
+    }
 }
 
 /// Aggregate server statistics (legacy scalar view).
@@ -94,6 +170,9 @@ struct Shared {
     queue_depth: Gauge,
     queue_wait: Histogram,
     compute: Histogram,
+    batch_size: Histogram,
+    batch_shed: Counter,
+    worker_panics: Counter,
     worker_processed: Vec<Counter>,
 }
 
@@ -152,14 +231,35 @@ impl VerificationServer {
         workers: usize,
         policy: ExecutionPolicy,
     ) -> Self {
-        assert!(workers > 0, "need at least one worker");
+        Self::spawn_with_config(
+            system,
+            ServerConfig {
+                workers,
+                policy,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Spawns the server under a full [`ServerConfig`] (worker count,
+    /// execution policy, batch chunking, batch deadline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers == 0` or `cfg.max_batch == 0`.
+    pub fn spawn_with_config(system: DefenseSystem, cfg: ServerConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.max_batch > 0, "need max_batch > 0");
         let registry = system.metrics().clone();
         let shared = Arc::new(Shared {
             stats: Mutex::new(ServerStats::default()),
             queue_depth: registry.gauge("server.queue.depth"),
             queue_wait: registry.histogram("server.queue.wait.seconds"),
             compute: registry.histogram("server.compute.seconds"),
-            worker_processed: (0..workers)
+            batch_size: registry.histogram("server.batch.size.sessions"),
+            batch_shed: registry.counter("server.batch.shed"),
+            worker_panics: registry.counter("server.worker.panics"),
+            worker_processed: (0..cfg.workers)
                 .map(|i| registry.counter(&format!("server.worker.{i}.processed")))
                 .collect(),
             registry,
@@ -167,7 +267,7 @@ impl VerificationServer {
         let system = Arc::new(system);
         let (tx, rx) = unbounded::<Job>();
         let (shutdown_tx, shutdown_rx) = unbounded::<()>();
-        let handles = (0..workers)
+        let handles = (0..cfg.workers)
             .map(|worker_id| {
                 let rx = rx.clone();
                 let shutdown_rx = shutdown_rx.clone();
@@ -175,49 +275,30 @@ impl VerificationServer {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     loop {
-                        let job = crossbeam::channel::select! {
+                        let mut job = crossbeam::channel::select! {
                             recv(rx) -> job => match job {
                                 Ok(job) => job,
                                 Err(_) => break,
                             },
                             recv(shutdown_rx) -> _ => break,
                         };
-                        shared.queue_depth.dec();
+                        // Picked up: release the queue-depth claim (the
+                        // gauge counts enqueued-not-yet-started frames).
+                        drop(job.depth.take());
                         shared.queue_wait.record(job.enqueued.elapsed());
-                        let response = match decode_frame(&job.frame) {
-                            Ok(Message::VerifyRequest {
-                                request_id,
-                                session,
-                            }) => {
-                                let start = Instant::now();
-                                let verdict = system.verify_with_policy(&session, policy);
-                                let elapsed = start.elapsed();
-                                shared.compute.record(elapsed);
-                                shared.worker_processed[worker_id].inc();
-                                {
-                                    let mut s = shared.stats.lock();
-                                    s.processed += 1;
-                                    s.total_latency += elapsed;
-                                }
-                                encode_response(request_id, &verdict)
-                            }
-                            Ok(Message::StatsRequest { request_id }) => {
-                                protocol::encode_stats_response(request_id, &shared.snapshot())
-                            }
-                            Ok(other) => {
-                                shared.stats.lock().protocol_errors += 1;
-                                protocol::encode_error(
-                                    other.request_id(),
-                                    "unexpected message type",
-                                )
-                            }
-                            Err(e) => {
-                                shared.stats.lock().protocol_errors += 1;
-                                protocol::encode_error(0, &format!("decode error: {e}"))
-                            }
-                        };
+                        let reply = job.reply.clone();
+                        // A panic in decoding or verification is
+                        // contained to the job: the client gets an error
+                        // reply and the worker lives on.
+                        let response = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            handle_job(&job, &system, &shared, worker_id, &cfg)
+                        }))
+                        .unwrap_or_else(|_| {
+                            shared.worker_panics.inc();
+                            protocol::encode_error(0, "internal error: worker panicked")
+                        });
                         // The client may have given up; ignore send errors.
-                        let _ = job.reply.send(response);
+                        let _ = reply.send(response);
                     }
                 })
             })
@@ -278,6 +359,88 @@ impl Drop for VerificationServer {
     }
 }
 
+/// Decodes and executes one job, returning the reply frame. Runs inside
+/// the worker's `catch_unwind`, so a panic anywhere in here is contained
+/// to the job.
+fn handle_job(
+    job: &Job,
+    system: &DefenseSystem,
+    shared: &Shared,
+    worker_id: usize,
+    cfg: &ServerConfig,
+) -> Vec<u8> {
+    if job.frame == PANIC_FRAME {
+        panic!("injected worker panic");
+    }
+    match decode_frame(&job.frame) {
+        Ok(Message::VerifyRequest {
+            request_id,
+            session,
+        }) => {
+            let start = Instant::now();
+            let verdict = system.verify_with_policy(&session, cfg.policy);
+            let elapsed = start.elapsed();
+            shared.compute.record(elapsed);
+            shared.worker_processed[worker_id].inc();
+            {
+                let mut s = shared.stats.lock();
+                s.processed += 1;
+                s.total_latency += elapsed;
+            }
+            encode_response(request_id, &verdict)
+        }
+        Ok(Message::BatchRequest {
+            request_id,
+            sessions,
+        }) => {
+            shared.batch_size.record_secs(sessions.len() as f64);
+            // The deadline is anchored at enqueue time: time spent
+            // waiting in the queue counts against the batch's budget.
+            let deadline = cfg.batch_deadline.map(|d| job.enqueued + d);
+            let start = Instant::now();
+            let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(sessions.len());
+            for chunk in sessions.chunks(cfg.max_batch) {
+                // Checked per chunk, before its stage-major run starts:
+                // an expired budget sheds the remaining sessions instead
+                // of burning ASV compute on answers nobody awaits.
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    shared.batch_shed.add(chunk.len() as u64);
+                    outcomes.extend(
+                        chunk
+                            .iter()
+                            .map(|_| BatchOutcome::Shed(ShedReason::DeadlineExceeded)),
+                    );
+                    continue;
+                }
+                let refs: Vec<&SessionData> = chunk.iter().collect();
+                let verdicts = system.verify_batch_with_policy(&refs, cfg.policy);
+                outcomes.extend(verdicts.into_iter().map(BatchOutcome::Verdict));
+            }
+            let elapsed = start.elapsed();
+            shared.compute.record(elapsed);
+            let verified = outcomes.iter().filter(|o| !o.is_shed()).count() as u64;
+            shared.worker_processed[worker_id].add(verified);
+            {
+                let mut s = shared.stats.lock();
+                s.processed += verified;
+                s.total_latency += elapsed;
+            }
+            protocol::encode_batch_response(request_id, &outcomes)
+        }
+        Ok(Message::StatsRequest { request_id }) => {
+            protocol::encode_stats_response(request_id, &shared.snapshot())
+        }
+        Ok(other) => {
+            shared.stats.lock().protocol_errors += 1;
+            protocol::encode_error(other.request_id(), "unexpected message type")
+        }
+        Err(e) => {
+            shared.stats.lock().protocol_errors += 1;
+            protocol::encode_error(0, &format!("decode error: {e}"))
+        }
+    }
+}
+
 /// A client handle (cheaply cloneable).
 #[derive(Clone)]
 pub struct Client {
@@ -320,20 +483,45 @@ impl Client {
     /// Sends a session for verification and waits for the verdict,
     /// exercising the full encode → wire → decode path.
     pub fn verify(&self, session: &SessionData) -> Result<DefenseVerdict, ClientError> {
+        self.submit(session)?.wait()
+    }
+
+    /// Submits a session without waiting: the streaming half of the
+    /// batch API. Submit many, then drain the [`PendingVerdict`]s —
+    /// requests pipeline across the worker pool instead of serializing
+    /// on one round trip each.
+    pub fn submit(&self, session: &SessionData) -> Result<PendingVerdict, ClientError> {
         let id = self.next_id();
-        let frame = protocol::encode_request(id, session);
-        let raw = self.send_raw(frame)?;
+        let rx = self.send_frame(protocol::encode_request(id, session))?;
+        Ok(PendingVerdict { id, rx })
+    }
+
+    /// Verifies a whole batch in one `Message::BatchRequest` frame
+    /// (protocol v3). The server runs it stage-major in chunks of
+    /// [`ServerConfig::max_batch`]; the reply carries one
+    /// [`BatchOutcome`] per session in request order — a verdict, or an
+    /// explicit shed when the server's batch deadline expired.
+    pub fn verify_batch(&self, sessions: &[SessionData]) -> Result<Vec<BatchOutcome>, ClientError> {
+        let id = self.next_id();
+        let raw = self.send_raw(protocol::encode_batch_request(id, sessions))?;
         match decode_frame(&raw) {
-            Ok(Message::VerifyResponse {
+            Ok(Message::BatchResponse {
                 request_id,
-                verdict,
+                outcomes,
             }) => {
                 if request_id != id {
                     return Err(ClientError::BadReply(format!(
                         "response id {request_id} != request id {id}"
                     )));
                 }
-                Ok(verdict)
+                if outcomes.len() != sessions.len() {
+                    return Err(ClientError::BadReply(format!(
+                        "{} outcomes for {} sessions",
+                        outcomes.len(),
+                        sessions.len()
+                    )));
+                }
+                Ok(outcomes)
             }
             Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
             Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
@@ -363,23 +551,57 @@ impl Client {
 
     /// Sends a raw frame (tests use this for failure injection).
     pub fn send_raw(&self, frame: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+        self.send_frame(frame)?
+            .recv()
+            .map_err(|_| ClientError::Disconnected)
+    }
+
+    /// Enqueues a frame and returns the reply channel without blocking.
+    fn send_frame(&self, frame: Vec<u8>) -> Result<Receiver<Vec<u8>>, ClientError> {
         let (reply_tx, reply_rx) = bounded(1);
-        // Incremented before the send so the worker-side decrement can
-        // never observe the gauge below zero.
-        self.queue_depth.inc();
-        if self
-            .tx
-            .send(Job {
-                frame,
-                reply: reply_tx,
-                enqueued: Instant::now(),
-            })
-            .is_err()
-        {
-            self.queue_depth.dec();
+        let job = Job {
+            frame,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+            // Incremented on construction; a failed send returns (and
+            // drops) the job, restoring the gauge with it.
+            depth: Some(DepthGuard::new(self.queue_depth.clone())),
+        };
+        if self.tx.send(job).is_err() {
             return Err(ClientError::Disconnected);
         }
-        reply_rx.recv().map_err(|_| ClientError::Disconnected)
+        Ok(reply_rx)
+    }
+}
+
+/// A submitted-but-unresolved verification: the handle returned by
+/// [`Client::submit`]. [`PendingVerdict::wait`] blocks for the verdict.
+pub struct PendingVerdict {
+    id: u64,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl PendingVerdict {
+    /// Blocks until the server replies, then decodes the verdict.
+    pub fn wait(self) -> Result<DefenseVerdict, ClientError> {
+        let raw = self.rx.recv().map_err(|_| ClientError::Disconnected)?;
+        match decode_frame(&raw) {
+            Ok(Message::VerifyResponse {
+                request_id,
+                verdict,
+            }) => {
+                if request_id != self.id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {}",
+                        self.id
+                    )));
+                }
+                Ok(verdict)
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
     }
 }
 
@@ -475,6 +697,86 @@ mod tests {
         if v2.accepted() {
             assert_eq!(v2.skipped().count(), 0);
         }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn batch_round_trips_verdicts_identical_to_sequential() {
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn_with_config(
+            system.with_fresh_obs(),
+            ServerConfig {
+                workers: 2,
+                policy: ExecutionPolicy::ShortCircuit,
+                max_batch: 2, // force chunking: 5 sessions → 3 chunks
+                batch_deadline: None,
+            },
+        );
+        let client = srv.client();
+        let sessions: Vec<_> = (0..5)
+            .map(|i| ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(150 + i)))
+            .collect();
+        let outcomes = client.verify_batch(&sessions).expect("batch reply");
+        assert_eq!(outcomes.len(), 5);
+        for (outcome, session) in outcomes.iter().zip(&sessions) {
+            let expected = system.verify_with_policy(session, ExecutionPolicy::ShortCircuit);
+            assert_eq!(
+                outcome.verdict().expect("verified, not shed"),
+                &expected,
+                "batched wire verdict must be bit-identical to a sequential run"
+            );
+        }
+        assert_eq!(srv.stats().processed, 5);
+        let snap = srv.metrics().snapshot();
+        assert!(snap.histograms["server.batch.size.sessions"].count >= 1);
+        assert_eq!(snap.gauges["server.queue.depth"], 0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn streaming_submit_then_drain() {
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn(system.with_fresh_obs(), 2);
+        let client = srv.client();
+        let sessions: Vec<_> = (0..4)
+            .map(|i| ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(160 + i)))
+            .collect();
+        // Submit everything before waiting on anything: the requests
+        // pipeline across both workers.
+        let pending: Vec<_> = sessions
+            .iter()
+            .map(|s| client.submit(s).expect("submit"))
+            .collect();
+        for (p, s) in pending.into_iter().zip(&sessions) {
+            let verdict = p.wait().expect("verdict");
+            assert_eq!(verdict, system.verify(s));
+        }
+        assert_eq!(srv.stats().processed, 4);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn batch_deadline_sheds_over_the_wire() {
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn_with_config(
+            system.with_fresh_obs(),
+            ServerConfig {
+                workers: 1,
+                batch_deadline: Some(Duration::from_nanos(1)),
+                ..ServerConfig::default()
+            },
+        );
+        let client = srv.client();
+        let sessions: Vec<_> = (0..3)
+            .map(|i| ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(170 + i)))
+            .collect();
+        let outcomes = client.verify_batch(&sessions).expect("batch reply");
+        assert_eq!(outcomes.len(), 3, "shed sessions still get an outcome each");
+        for o in &outcomes {
+            assert_eq!(o, &BatchOutcome::Shed(ShedReason::DeadlineExceeded));
+        }
+        assert_eq!(srv.stats().processed, 0, "no compute spent past deadline");
+        assert_eq!(srv.metrics().counter("server.batch.shed").get(), 3);
         srv.shutdown();
     }
 

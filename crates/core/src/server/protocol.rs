@@ -5,6 +5,7 @@
 //! `bytes` crate so the session payload (hundreds of kilobytes of sensor
 //! samples) serializes without intermediate allocations or text overhead.
 
+use crate::batch::{BatchOutcome, ShedReason};
 use crate::server::ServerStatsSnapshot;
 use crate::session::SessionData;
 use crate::verdict::{
@@ -18,8 +19,10 @@ use magshield_simkit::vec3::Vec3;
 const MAGIC: u16 = 0x4D53; // "MS"
 /// Protocol version. v2 added the `Sld` component tag, per-stage
 /// outcomes (ran vs short-circuited) and the invalid-session reason to
-/// verify responses.
-const VERSION: u8 = 2;
+/// verify responses. v3 added batch verification
+/// ([`Message::BatchRequest`] / [`Message::BatchResponse`]) with
+/// per-session shed outcomes.
+const VERSION: u8 = 3;
 
 /// Message type tags.
 const T_VERIFY_REQUEST: u8 = 1;
@@ -27,12 +30,18 @@ const T_VERIFY_RESPONSE: u8 = 2;
 const T_ERROR: u8 = 3;
 const T_STATS_REQUEST: u8 = 4;
 const T_STATS_RESPONSE: u8 = 5;
+const T_BATCH_REQUEST: u8 = 6;
+const T_BATCH_RESPONSE: u8 = 7;
 
 /// Upper bound on vector lengths (guards against hostile frames).
 const MAX_LEN: usize = 16 << 20;
 
 /// Upper bound on histogram bucket counts in stats frames.
 const MAX_HIST_BUCKETS: usize = 4096;
+
+/// Upper bound on sessions in one batch frame (guards against hostile
+/// frames; a real batch this size would be a ~GB frame anyway).
+const MAX_BATCH_SESSIONS: usize = 4096;
 
 /// A decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +79,21 @@ pub enum Message {
         /// Scalar counters plus queue-wait/compute histograms.
         stats: ServerStatsSnapshot,
     },
+    /// Client → server: verify a whole batch of sessions (added in v3).
+    BatchRequest {
+        /// Request correlation id.
+        request_id: u64,
+        /// The captured sessions, verified stage-major server-side.
+        sessions: Vec<SessionData>,
+    },
+    /// Server → client: one outcome per batched session, in request
+    /// order (added in v3).
+    BatchResponse {
+        /// Request correlation id.
+        request_id: u64,
+        /// Verdict or explicit shed per session — never a silent gap.
+        outcomes: Vec<BatchOutcome>,
+    },
 }
 
 impl Message {
@@ -80,7 +104,9 @@ impl Message {
             | Message::VerifyResponse { request_id, .. }
             | Message::Error { request_id, .. }
             | Message::StatsRequest { request_id }
-            | Message::StatsResponse { request_id, .. } => *request_id,
+            | Message::StatsResponse { request_id, .. }
+            | Message::BatchRequest { request_id, .. }
+            | Message::BatchResponse { request_id, .. } => *request_id,
         }
     }
 }
@@ -138,29 +164,63 @@ const OUTCOME_RAN: u8 = 1;
 pub fn encode_response(request_id: u64, verdict: &DefenseVerdict) -> Vec<u8> {
     let mut b = header(T_VERIFY_RESPONSE);
     b.put_u64_le(request_id);
-    b.put_u8(match verdict.decision {
-        Decision::Accept => 1,
-        Decision::Reject => 0,
-    });
-    match &verdict.invalid {
-        Some(reason) => {
-            b.put_u8(1);
-            put_string(&mut b, reason);
-        }
-        None => b.put_u8(0),
+    put_verdict(&mut b, verdict);
+    b.to_vec()
+}
+
+/// Per-session outcome tags inside a batch response.
+const BATCH_SHED: u8 = 0;
+const BATCH_VERDICT: u8 = 1;
+
+/// Shed-reason tags inside a batch response.
+const SHED_QUEUE_FULL: u8 = 0;
+const SHED_DEADLINE: u8 = 1;
+const SHED_SHUTDOWN: u8 = 2;
+
+fn shed_tag(r: ShedReason) -> u8 {
+    match r {
+        ShedReason::QueueFull => SHED_QUEUE_FULL,
+        ShedReason::DeadlineExceeded => SHED_DEADLINE,
+        ShedReason::ShuttingDown => SHED_SHUTDOWN,
     }
-    b.put_u32_le(verdict.stages.len() as u32);
-    for stage in &verdict.stages {
-        b.put_u8(component_tag(stage.component()));
-        match stage {
-            StageOutcome::Ran(r) => {
-                b.put_u8(OUTCOME_RAN);
-                b.put_f64_le(r.attack_score);
-                put_string(&mut b, &r.detail);
+}
+
+fn shed_from_tag(t: u8) -> Result<ShedReason, DecodeError> {
+    Ok(match t {
+        SHED_QUEUE_FULL => ShedReason::QueueFull,
+        SHED_DEADLINE => ShedReason::DeadlineExceeded,
+        SHED_SHUTDOWN => ShedReason::ShuttingDown,
+        other => return Err(DecodeError::BadType(other)),
+    })
+}
+
+/// Encodes a batch verify request (protocol v3).
+pub fn encode_batch_request(request_id: u64, sessions: &[SessionData]) -> Vec<u8> {
+    let mut b = header(T_BATCH_REQUEST);
+    b.put_u64_le(request_id);
+    b.put_u32_le(sessions.len() as u32);
+    for s in sessions {
+        put_session(&mut b, s);
+    }
+    b.to_vec()
+}
+
+/// Encodes a batch verify response (protocol v3): one tagged outcome per
+/// session — a full verdict (tag `BATCH_VERDICT`, same layout as a verify
+/// response) or an explicit shed reason (tag `BATCH_SHED`).
+pub fn encode_batch_response(request_id: u64, outcomes: &[BatchOutcome]) -> Vec<u8> {
+    let mut b = header(T_BATCH_RESPONSE);
+    b.put_u64_le(request_id);
+    b.put_u32_le(outcomes.len() as u32);
+    for outcome in outcomes {
+        match outcome {
+            BatchOutcome::Verdict(v) => {
+                b.put_u8(BATCH_VERDICT);
+                put_verdict(&mut b, v);
             }
-            StageOutcome::Skipped(s) => {
-                b.put_u8(OUTCOME_SKIPPED);
-                b.put_u8(component_tag(s.cause));
+            BatchOutcome::Shed(r) => {
+                b.put_u8(BATCH_SHED);
+                b.put_u8(shed_tag(*r));
             }
         }
     }
@@ -223,57 +283,52 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
         }
         T_VERIFY_RESPONSE => {
             let request_id = get_u64(&mut buf)?;
-            if buf.remaining() < 2 {
-                return Err(DecodeError::Truncated);
-            }
-            let accepted = buf.get_u8() == 1;
-            let invalid = match buf.get_u8() {
-                0 => None,
-                1 => Some(get_string(&mut buf)?),
-                other => return Err(DecodeError::BadType(other)),
-            };
-            let n = get_len(&mut buf)?;
-            let mut stages = Vec::with_capacity(n.min(16));
-            for _ in 0..n {
-                if buf.remaining() < 2 {
-                    return Err(DecodeError::Truncated);
-                }
-                let component = component_from_tag(buf.get_u8())?;
-                match buf.get_u8() {
-                    OUTCOME_RAN => {
-                        if buf.remaining() < 8 {
-                            return Err(DecodeError::Truncated);
-                        }
-                        let attack_score = buf.get_f64_le();
-                        let detail = get_string(&mut buf)?;
-                        stages.push(StageOutcome::Ran(ComponentResult {
-                            component,
-                            attack_score,
-                            detail,
-                        }));
-                    }
-                    OUTCOME_SKIPPED => {
-                        if buf.remaining() < 1 {
-                            return Err(DecodeError::Truncated);
-                        }
-                        let cause = component_from_tag(buf.get_u8())?;
-                        stages.push(StageOutcome::Skipped(SkippedStage { component, cause }));
-                    }
-                    other => return Err(DecodeError::BadType(other)),
-                }
-            }
-            let verdict = DefenseVerdict {
-                stages,
-                decision: if accepted {
-                    Decision::Accept
-                } else {
-                    Decision::Reject
-                },
-                invalid,
-            };
+            let verdict = get_verdict(&mut buf)?;
             Ok(Message::VerifyResponse {
                 request_id,
                 verdict,
+            })
+        }
+        T_BATCH_REQUEST => {
+            let request_id = get_u64(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            if n > MAX_BATCH_SESSIONS {
+                return Err(DecodeError::BadLength);
+            }
+            let mut sessions = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                sessions.push(get_session(&mut buf)?);
+            }
+            Ok(Message::BatchRequest {
+                request_id,
+                sessions,
+            })
+        }
+        T_BATCH_RESPONSE => {
+            let request_id = get_u64(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            if n > MAX_BATCH_SESSIONS {
+                return Err(DecodeError::BadLength);
+            }
+            let mut outcomes = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                if buf.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                outcomes.push(match buf.get_u8() {
+                    BATCH_VERDICT => BatchOutcome::Verdict(get_verdict(&mut buf)?),
+                    BATCH_SHED => {
+                        if buf.remaining() < 1 {
+                            return Err(DecodeError::Truncated);
+                        }
+                        BatchOutcome::Shed(shed_from_tag(buf.get_u8())?)
+                    }
+                    other => return Err(DecodeError::BadType(other)),
+                });
+            }
+            Ok(Message::BatchResponse {
+                request_id,
+                outcomes,
             })
         }
         T_ERROR => {
@@ -344,6 +399,91 @@ fn component_from_tag(t: u8) -> Result<Component, DecodeError> {
         3 => Component::SpeakerIdentity,
         4 => Component::Sld,
         other => return Err(DecodeError::BadType(other)),
+    })
+}
+
+/// Verdict body shared by verify responses and batch-response entries:
+/// decision byte, invalid flag (+ reason string when set), stage count,
+/// then per stage a component tag, an outcome tag, and either
+/// `(score f64, detail string)` for a stage that ran or the causing
+/// component's tag for a short-circuited one.
+fn put_verdict(b: &mut BytesMut, verdict: &DefenseVerdict) {
+    b.put_u8(match verdict.decision {
+        Decision::Accept => 1,
+        Decision::Reject => 0,
+    });
+    match &verdict.invalid {
+        Some(reason) => {
+            b.put_u8(1);
+            put_string(b, reason);
+        }
+        None => b.put_u8(0),
+    }
+    b.put_u32_le(verdict.stages.len() as u32);
+    for stage in &verdict.stages {
+        b.put_u8(component_tag(stage.component()));
+        match stage {
+            StageOutcome::Ran(r) => {
+                b.put_u8(OUTCOME_RAN);
+                b.put_f64_le(r.attack_score);
+                put_string(b, &r.detail);
+            }
+            StageOutcome::Skipped(s) => {
+                b.put_u8(OUTCOME_SKIPPED);
+                b.put_u8(component_tag(s.cause));
+            }
+        }
+    }
+}
+
+fn get_verdict(buf: &mut &[u8]) -> Result<DefenseVerdict, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let accepted = buf.get_u8() == 1;
+    let invalid = match buf.get_u8() {
+        0 => None,
+        1 => Some(get_string(buf)?),
+        other => return Err(DecodeError::BadType(other)),
+    };
+    let n = get_len(buf)?;
+    let mut stages = Vec::with_capacity(n.min(16));
+    for _ in 0..n {
+        if buf.remaining() < 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let component = component_from_tag(buf.get_u8())?;
+        match buf.get_u8() {
+            OUTCOME_RAN => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::Truncated);
+                }
+                let attack_score = buf.get_f64_le();
+                let detail = get_string(buf)?;
+                stages.push(StageOutcome::Ran(ComponentResult {
+                    component,
+                    attack_score,
+                    detail,
+                }));
+            }
+            OUTCOME_SKIPPED => {
+                if buf.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                let cause = component_from_tag(buf.get_u8())?;
+                stages.push(StageOutcome::Skipped(SkippedStage { component, cause }));
+            }
+            other => return Err(DecodeError::BadType(other)),
+        }
+    }
+    Ok(DefenseVerdict {
+        stages,
+        decision: if accepted {
+            Decision::Accept
+        } else {
+            Decision::Reject
+        },
+        invalid,
     })
 }
 
@@ -662,6 +802,115 @@ mod tests {
         b.put_u32_le(1); // one stage
         b.put_u8(component_tag(Component::Distance));
         b.put_u8(9); // neither RAN nor SKIPPED
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadType(9)));
+    }
+
+    #[test]
+    fn batch_request_round_trip() {
+        let sessions = vec![sample_session(), sample_session()];
+        let frame = encode_batch_request(21, &sessions);
+        match decode_frame(&frame).unwrap() {
+            Message::BatchRequest {
+                request_id,
+                sessions: s,
+            } => {
+                assert_eq!(request_id, 21);
+                assert_eq!(s, sessions);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_response_round_trips_verdicts_and_sheds() {
+        let verdict = DefenseVerdict::from_stages(vec![
+            StageOutcome::Ran(ComponentResult {
+                component: Component::Loudspeaker,
+                attack_score: 2.0,
+                detail: "deviation 40 µT".into(),
+            }),
+            StageOutcome::Skipped(SkippedStage {
+                component: Component::SpeakerIdentity,
+                cause: Component::Loudspeaker,
+            }),
+        ]);
+        let outcomes = vec![
+            BatchOutcome::Verdict(verdict),
+            BatchOutcome::Shed(ShedReason::QueueFull),
+            BatchOutcome::Shed(ShedReason::DeadlineExceeded),
+            BatchOutcome::Shed(ShedReason::ShuttingDown),
+            BatchOutcome::Verdict(DefenseVerdict::rejected_invalid("empty audio".into())),
+        ];
+        let frame = encode_batch_response(22, &outcomes);
+        match decode_frame(&frame).unwrap() {
+            Message::BatchResponse {
+                request_id,
+                outcomes: o,
+            } => {
+                assert_eq!(request_id, 22);
+                assert_eq!(o, outcomes);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let frame = encode_batch_request(23, &[]);
+        match decode_frame(&frame).unwrap() {
+            Message::BatchRequest { sessions, .. } => assert!(sessions.is_empty()),
+            other => panic!("wrong message: {other:?}"),
+        }
+        let frame = encode_batch_response(24, &[]);
+        match decode_frame(&frame).unwrap() {
+            Message::BatchResponse { outcomes, .. } => assert!(outcomes.is_empty()),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_frames_reject_truncation_everywhere() {
+        let req = encode_batch_request(1, &[sample_session()]);
+        let resp = encode_batch_response(
+            2,
+            &[
+                BatchOutcome::Shed(ShedReason::QueueFull),
+                BatchOutcome::Verdict(DefenseVerdict::from_results(vec![ComponentResult {
+                    component: Component::Sld,
+                    attack_score: 0.5,
+                    detail: "x".into(),
+                }])),
+            ],
+        );
+        for frame in [req, resp] {
+            for cut in 0..frame.len() {
+                let r = decode_frame(&frame[..cut]);
+                assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_request_rejects_hostile_session_count() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_BATCH_REQUEST);
+        b.put_u64_le(1); // request id
+        b.put_u32_le((MAX_BATCH_SESSIONS + 1) as u32); // over the cap
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn batch_response_rejects_bad_shed_tag() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_BATCH_RESPONSE);
+        b.put_u64_le(1); // request id
+        b.put_u32_le(1); // one outcome
+        b.put_u8(BATCH_SHED);
+        b.put_u8(9); // no such shed reason
         assert_eq!(decode_frame(&b), Err(DecodeError::BadType(9)));
     }
 

@@ -8,6 +8,7 @@
 //! cargo run --release --example voice_unlock_server
 //! ```
 
+use magshield::core::batch::BatchOutcome;
 use magshield::core::scenario::{self, ScenarioBuilder};
 use magshield::core::server::VerificationServer;
 use magshield::simkit::rng::SimRng;
@@ -47,6 +48,29 @@ fn main() {
     println!(
         "  3 concurrent unlocks done in {:.1} ms wall",
         started.elapsed().as_secs_f64() * 1000.0
+    );
+
+    // A batch request (protocol v3): one frame carries a morning rush of
+    // unlock attempts; the server runs the cheap cascade stages
+    // stage-major across the whole batch, pruning the expensive ASV work
+    // for sessions already rejected.
+    let rush: Vec<_> = (0..8u64)
+        .map(|i| ScenarioBuilder::genuine(&user).capture(&rng.fork_indexed("rush", i)))
+        .collect();
+    let t0 = Instant::now();
+    let outcomes = server
+        .client()
+        .verify_batch(&rush)
+        .expect("server reachable");
+    let accepted = outcomes
+        .iter()
+        .filter(|o| matches!(o, BatchOutcome::Verdict(v) if v.accepted()))
+        .count();
+    println!(
+        "  batch of {}: {accepted} accepted, {} shed, in {:.1} ms wall",
+        rush.len(),
+        outcomes.iter().filter(|o| o.is_shed()).count(),
+        t0.elapsed().as_secs_f64() * 1000.0
     );
 
     // A replay attack arrives at the same service.

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the CI `bench-gate` job.
+
+Compares a fresh `exp_throughput --quick` run against the committed
+baseline (`results/BENCH_throughput.json`) and fails the job when peak
+throughput regressed by more than the tolerance (default 20%).
+
+  bench_gate.py <baseline.json> <current.json> [--tolerance 0.20]
+
+Exit codes: 0 pass (including the soft-pass when the baseline file is
+missing — a fresh branch should not be blocked on a number it cannot
+have yet), 1 regression or unreadable current run.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    baseline_path, current_path = args
+    tolerance = 0.20
+    for i, a in enumerate(argv):
+        if a == "--tolerance":
+            tolerance = float(argv[i + 1])
+
+    try:
+        current = load(current_path)
+    except (OSError, ValueError) as e:
+        print(f"bench-gate: cannot read current run {current_path}: {e}")
+        return 1
+    cur_peak = float(current["peak_sessions_per_sec"])
+
+    try:
+        baseline = load(baseline_path)
+    except OSError:
+        # Soft pass: no baseline committed yet. The fresh JSON is uploaded
+        # as an artifact so it can be committed as the new baseline.
+        print(
+            f"bench-gate: no baseline at {baseline_path} — soft pass "
+            f"(current peak {cur_peak:.1f} sessions/sec; commit the "
+            f"uploaded artifact to enable the gate)"
+        )
+        return 0
+    except ValueError as e:
+        print(f"bench-gate: baseline {baseline_path} is not valid JSON: {e}")
+        return 1
+
+    base_peak = float(baseline["peak_sessions_per_sec"])
+    floor = base_peak * (1.0 - tolerance)
+    verdict = "PASS" if cur_peak >= floor else "FAIL"
+    print(
+        f"bench-gate: baseline {base_peak:.1f} sessions/sec, "
+        f"current {cur_peak:.1f}, floor {floor:.1f} "
+        f"({tolerance:.0%} tolerance) -> {verdict}"
+    )
+    if cur_peak < floor:
+        print(
+            "bench-gate: peak throughput regressed beyond tolerance. "
+            "If the slowdown is intentional, regenerate the baseline with "
+            "`cargo run --release -p magshield-bench --bin exp_throughput "
+            "-- --quick` and commit results/BENCH_throughput.json."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

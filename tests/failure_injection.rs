@@ -3,8 +3,8 @@
 
 use magshield::core::pipeline::{BootstrapConfig, DefenseSystem};
 use magshield::core::scenario::{bootstrap_with, ScenarioBuilder, UserContext};
-use magshield::core::server::protocol::{decode_frame, encode_request};
-use magshield::core::server::VerificationServer;
+use magshield::core::server::protocol::{decode_frame, encode_request, Message};
+use magshield::core::server::{VerificationServer, PANIC_FRAME};
 use magshield::simkit::rng::SimRng;
 use magshield::simkit::vec3::Vec3;
 use std::sync::OnceLock;
@@ -138,6 +138,36 @@ fn fuzzed_protocol_frames_never_panic() {
         }
         let _ = decode_frame(&g);
     }
+}
+
+#[test]
+fn worker_panic_releases_queue_depth_and_pool_survives() {
+    let (system, user) = fixture();
+    let server = VerificationServer::spawn(system.with_fresh_obs(), 2);
+    let client = server.client();
+    // Drive a worker into a panic mid-job. The reply must be an error
+    // frame, not a hang or a dead connection.
+    let raw = client
+        .send_raw(PANIC_FRAME.to_vec())
+        .expect("panicking job still answers");
+    match decode_frame(&raw) {
+        Ok(Message::Error { message, .. }) => {
+            assert!(message.contains("panic"), "unexpected error: {message}");
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    assert_eq!(server.metrics().counter("server.worker.panics").get(), 1);
+    assert_eq!(
+        server.metrics().gauge("server.queue.depth").get(),
+        0,
+        "the RAII guard must restore the gauge even through a panic"
+    );
+    // The pool survives: a normal request still gets a full verdict.
+    let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(12));
+    let verdict = client.verify(&session).expect("worker alive after panic");
+    assert!(verdict.results().count() >= 4, "all components ran");
+    assert_eq!(server.metrics().gauge("server.queue.depth").get(), 0);
+    server.shutdown();
 }
 
 #[test]
