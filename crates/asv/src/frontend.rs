@@ -1,7 +1,35 @@
 //! ASV acoustic front end: VAD → MFCC (+Δ) → cepstral mean normalization.
 
-use magshield_dsp::mel::{append_deltas, cepstral_mean_normalize, MfccExtractor};
-use magshield_dsp::vad::{trim_silence, VadConfig};
+use magshield_dsp::frame::{FrameMatrix, ScratchPad};
+use magshield_dsp::mel::{append_deltas_into, cepstral_mean_normalize_flat, MfccExtractor};
+use magshield_dsp::vad::{trim_silence_into, VadConfig, VadScratch};
+
+/// Reusable buffers for [`FeatureExtractor::extract_into`]: DSP scratch,
+/// VAD scratch, the trimmed-speech buffer and the pre-delta coefficient
+/// matrix. One per scoring thread; every buffer grows to its high-water
+/// mark once and is then reused allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FrontendScratch {
+    dsp: ScratchPad,
+    vad: VadScratch,
+    speech: Vec<f64>,
+    base: FrameMatrix,
+}
+
+impl FrontendScratch {
+    /// A fresh scratch with no reserved memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently reserved across all buffers (capacities).
+    pub fn footprint_bytes(&self) -> usize {
+        self.dsp.footprint_bytes()
+            + self.vad.footprint_bytes()
+            + self.speech.capacity() * std::mem::size_of::<f64>()
+            + self.base.capacity_bytes()
+    }
+}
 
 /// Feature extraction configuration and machinery.
 #[derive(Debug, Clone)]
@@ -35,21 +63,43 @@ impl FeatureExtractor {
     }
 
     /// Extracts features from one utterance.
-    pub fn extract(&self, audio: &[f64]) -> Vec<Vec<f64>> {
-        let speech = trim_silence(audio, self.mfcc.sample_rate, self.vad);
-        let source = if speech.len() >= self.mfcc.frame_len {
-            &speech
+    ///
+    /// Convenience wrapper over [`Self::extract_into`] with throwaway
+    /// scratch; hot paths should hold a [`FrontendScratch`] and call
+    /// `extract_into` directly.
+    pub fn extract(&self, audio: &[f64]) -> FrameMatrix {
+        let mut scratch = FrontendScratch::new();
+        let mut out = FrameMatrix::default();
+        self.extract_into(audio, &mut scratch, &mut out);
+        out
+    }
+
+    /// Zero-allocation feature extraction into a caller-owned matrix.
+    pub fn extract_into(&self, audio: &[f64], s: &mut FrontendScratch, out: &mut FrameMatrix) {
+        trim_silence_into(
+            audio,
+            self.mfcc.sample_rate,
+            self.vad,
+            &mut s.vad,
+            &mut s.speech,
+        );
+        let source: &[f64] = if s.speech.len() >= self.mfcc.frame_len {
+            &s.speech
         } else {
             audio // fall back if VAD ate everything (e.g. quiet replays)
         };
-        let mut frames = self.mfcc.extract(source);
-        if self.use_cmn {
-            cepstral_mean_normalize(&mut frames);
-        }
         if self.use_deltas {
-            frames = append_deltas(&frames);
+            self.mfcc.extract_into(source, &mut s.dsp, &mut s.base);
+            if self.use_cmn {
+                cepstral_mean_normalize_flat(&mut s.base);
+            }
+            append_deltas_into(&s.base, out);
+        } else {
+            self.mfcc.extract_into(source, &mut s.dsp, out);
+            if self.use_cmn {
+                cepstral_mean_normalize_flat(out);
+            }
         }
-        frames
     }
 }
 
@@ -75,7 +125,7 @@ mod tests {
         let fx = FeatureExtractor::new(16_000.0);
         let frames = fx.extract(&speechy(16_000.0));
         assert!(!frames.is_empty());
-        assert!(frames.iter().all(|f| f.len() == fx.dim()));
+        assert_eq!(frames.cols(), fx.dim());
         assert_eq!(fx.dim(), 26);
     }
 
@@ -86,9 +136,9 @@ mod tests {
         // 1 s of speech → ~98 frames; with the 0.6 s of silence trimmed the
         // count should be near that, not ~158.
         assert!(
-            frames_padded.len() < 125,
+            frames_padded.rows() < 125,
             "VAD should trim: {} frames",
-            frames_padded.len()
+            frames_padded.rows()
         );
     }
 
@@ -98,7 +148,7 @@ mod tests {
         fx.use_deltas = false;
         let frames = fx.extract(&speechy(16_000.0));
         for d in 0..13 {
-            let mean: f64 = frames.iter().map(|f| f[d]).sum::<f64>() / frames.len() as f64;
+            let mean: f64 = frames.iter_rows().map(|f| f[d]).sum::<f64>() / frames.rows() as f64;
             assert!(mean.abs() < 1e-9, "dim {d} mean {mean}");
         }
     }
@@ -109,6 +159,21 @@ mod tests {
         let frames = fx.extract(&vec![0.0; 16_000]);
         // Falls back to the raw audio; still produces finite frames.
         assert!(!frames.is_empty());
-        assert!(frames.iter().flatten().all(|v| v.is_finite()));
+        assert!(frames.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scratch_reuse_is_allocation_stable_and_identical() {
+        let fx = FeatureExtractor::new(16_000.0);
+        let sig = speechy(16_000.0);
+        let mut s = FrontendScratch::new();
+        let mut out = FrameMatrix::default();
+        fx.extract_into(&sig, &mut s, &mut out);
+        let first = out.clone();
+        let footprint = s.footprint_bytes();
+        fx.extract_into(&sig, &mut s, &mut out);
+        assert_eq!(out, first);
+        assert_eq!(s.footprint_bytes(), footprint, "scratch regrew");
+        assert_eq!(out, fx.extract(&sig), "one-shot path must agree");
     }
 }

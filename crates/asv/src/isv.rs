@@ -20,8 +20,9 @@
 //!    correction.
 
 use crate::frontend::FeatureExtractor;
-use crate::model::{SpeakerModel, UbmBackend};
-use magshield_ml::gmm::DiagonalGmm;
+use crate::model::{with_session_scratch, AsvScore, CohortUtterance, SpeakerModel, UbmBackend};
+use magshield_dsp::frame::{FrameMatrix, FrameSource, FrameSourceMut};
+use magshield_ml::gmm::{llr_score_prepared, DiagonalGmm};
 use magshield_ml::pca::Pca;
 
 /// Relevance factor damping low-evidence components in the supervector.
@@ -45,7 +46,11 @@ impl SessionSubspace {
     ///
     /// Panics if `rank == 0` or fewer than two multi-session supervector
     /// deltas are available.
-    pub fn estimate(ubm: &DiagonalGmm, groups: &[(u32, u32, Vec<Vec<f64>>)], rank: usize) -> Self {
+    pub fn estimate<F: FrameSource>(
+        ubm: &DiagonalGmm,
+        groups: &[(u32, u32, F)],
+        rank: usize,
+    ) -> Self {
         assert!(rank > 0, "rank must be positive");
         // speaker → (session → supervectors).
         let mut by_speaker: std::collections::BTreeMap<
@@ -53,7 +58,7 @@ impl SessionSubspace {
             std::collections::BTreeMap<u32, Vec<Vec<f64>>>,
         > = std::collections::BTreeMap::new();
         for (spk, sess, frames) in groups {
-            if frames.is_empty() {
+            if frames.num_frames() == 0 {
                 continue;
             }
             by_speaker
@@ -99,8 +104,8 @@ impl SessionSubspace {
     /// The utterance's supervector offset is projected onto the subspace;
     /// the projected per-component offsets are subtracted from each frame
     /// in proportion to the frame's component responsibilities.
-    pub fn compensate(&self, ubm: &DiagonalGmm, frames: &mut [Vec<f64>]) {
-        if frames.is_empty() || self.basis.is_empty() {
+    pub fn compensate<F: FrameSourceMut + ?Sized>(&self, ubm: &DiagonalGmm, frames: &mut F) {
+        if frames.num_frames() == 0 || self.basis.is_empty() {
             return;
         }
         let sv = supervector(ubm, frames);
@@ -113,8 +118,12 @@ impl SessionSubspace {
             }
         }
         // Subtract responsibility-weighted per-component offsets.
-        for f in frames.iter_mut() {
-            let r = ubm.responsibilities(f);
+        let mut log_w = Vec::new();
+        ubm.log_weights_into(&mut log_w);
+        let mut r = Vec::new();
+        for i in 0..frames.num_frames() {
+            let f = frames.frame_mut(i);
+            ubm.responsibilities_into(f, &log_w, &mut r);
             for d in 0..self.dim {
                 let mut corr = 0.0;
                 for (c, &rc) in r.iter().enumerate().take(self.num_components) {
@@ -128,16 +137,21 @@ impl SessionSubspace {
 
 /// Relevance-weighted centered supervector of an utterance: for each UBM
 /// component, `w_c · (E_c[x] − m_c)` with `w_c = n_c / (n_c + τ)`.
-pub fn supervector(ubm: &DiagonalGmm, frames: &[Vec<f64>]) -> Vec<f64> {
+pub fn supervector<F: FrameSource + ?Sized>(ubm: &DiagonalGmm, frames: &F) -> Vec<f64> {
     let k = ubm.num_components();
     let dim = ubm.dim();
+    let mut log_w = Vec::new();
+    ubm.log_weights_into(&mut log_w);
+    let mut r = Vec::new();
     let mut nk = vec![0.0; k];
-    let mut sum = vec![vec![0.0; dim]; k];
-    for x in frames {
-        let r = ubm.responsibilities(x);
+    let mut sum = vec![0.0; k * dim];
+    for i in 0..frames.num_frames() {
+        let x = frames.frame(i);
+        ubm.responsibilities_into(x, &log_w, &mut r);
         for c in 0..k {
             nk[c] += r[c];
-            for (s, &xi) in sum[c].iter_mut().zip(x) {
+            let row = &mut sum[c * dim..(c + 1) * dim];
+            for (s, &xi) in row.iter_mut().zip(x) {
                 *s += r[c] * xi;
             }
         }
@@ -149,7 +163,7 @@ pub fn supervector(ubm: &DiagonalGmm, frames: &[Vec<f64>]) -> Vec<f64> {
         }
         let w = nk[c] / (nk[c] + SUPERVECTOR_RELEVANCE);
         for d in 0..dim {
-            sv[c * dim + d] = w * (sum[c][d] / nk[c] - ubm.means()[c][d]);
+            sv[c * dim + d] = w * (sum[c * dim + d] / nk[c] - ubm.means()[c][d]);
         }
     }
     sv
@@ -163,21 +177,29 @@ pub struct IsvBackend {
     pub ubm_backend: UbmBackend,
     /// The session subspace.
     pub subspace: SessionSubspace,
-    /// The UBM backend's Z-norm cohort, session-compensated.
-    cohort: Vec<Vec<Vec<f64>>>,
+    /// The UBM backend's Z-norm cohort, session-compensated (with UBM
+    /// likelihood terms recomputed on the compensated frames).
+    cohort: Vec<CohortUtterance>,
 }
 
 impl IsvBackend {
     /// Builds an ISV backend over an existing UBM backend; the backend's
     /// Z-norm cohort (if any) is re-used with compensation applied.
     pub fn new(ubm_backend: UbmBackend, subspace: SessionSubspace) -> Self {
+        let mut buf = Vec::new();
         let cohort = ubm_backend
-            .cohort_frames()
+            .cohort()
             .iter()
-            .map(|frames| {
-                let mut f = frames.clone();
-                subspace.compensate(&ubm_backend.ubm, &mut f);
-                f
+            .map(|c| {
+                let mut frames = c.frames.clone();
+                subspace.compensate(&ubm_backend.ubm, &mut frames);
+                let ubm_mean_ll = ubm_backend
+                    .prepared_ubm()
+                    .mean_log_likelihood(&frames, &mut buf);
+                CohortUtterance {
+                    frames,
+                    ubm_mean_ll,
+                }
             })
             .collect();
         Self {
@@ -198,7 +220,7 @@ impl IsvBackend {
     ///
     /// Panics if no feature frames can be extracted.
     pub fn enroll(&self, speaker_id: u32, utterances: &[&[f64]]) -> SpeakerModel {
-        let per_utt: Vec<Vec<Vec<f64>>> = utterances
+        let per_utt: Vec<FrameMatrix> = utterances
             .iter()
             .map(|audio| {
                 let mut f = self.ubm_backend.extractor.extract(audio);
@@ -206,31 +228,52 @@ impl IsvBackend {
                 f
             })
             .collect();
-        let frames: Vec<Vec<f64>> = per_utt.iter().flatten().cloned().collect();
+        let mut frames = FrameMatrix::default();
+        for f in &per_utt {
+            frames.extend_rows(f);
+        }
         assert!(!frames.is_empty(), "enrollment produced no frames");
         let gmm = self
             .ubm_backend
             .ubm
             .map_adapt_means(&frames, crate::model::RELEVANCE_FACTOR);
-        let znorm = crate::model::znorm_stats(&gmm, &self.ubm_backend.ubm, self.cohort.iter());
-        let genuine_ref = crate::model::genuine_reference(
-            &self.ubm_backend.ubm,
-            &per_utt,
-            self.cohort.iter().collect(),
-        );
-        SpeakerModel {
-            speaker_id,
-            gmm,
-            znorm,
-            genuine_ref,
-        }
+        let znorm = crate::model::znorm_stats(&gmm, &self.cohort);
+        let genuine_ref =
+            crate::model::genuine_reference(&self.ubm_backend.ubm, &per_utt, &self.cohort);
+        SpeakerModel::new(speaker_id, gmm, znorm, genuine_ref)
     }
 
-    /// Scores audio against a model on compensated features.
+    /// Scores audio against a model on compensated features (exact,
+    /// reference scoring path).
     pub fn score(&self, model: &SpeakerModel, audio: &[f64]) -> f64 {
         let mut frames = self.ubm_backend.extractor.extract(audio);
         self.subspace.compensate(&self.ubm_backend.ubm, &mut frames);
         self.ubm_backend.score_frames(model, &frames)
+    }
+
+    /// Scores audio on compensated features with top-C pruning and
+    /// per-call accounting. Extraction and compensation still allocate
+    /// (the supervector projection dominates the ISV path); only the
+    /// GMM scoring reuses the per-thread scratch.
+    pub fn score_detailed(&self, model: &SpeakerModel, audio: &[f64], top_c: usize) -> AsvScore {
+        let mut frames = self.ubm_backend.extractor.extract(audio);
+        self.subspace.compensate(&self.ubm_backend.ubm, &mut frames);
+        let b = with_session_scratch(|s| {
+            llr_score_prepared(
+                model.prepared(),
+                self.ubm_backend.prepared_ubm(),
+                &frames,
+                top_c,
+                &mut s.score,
+            )
+        });
+        AsvScore {
+            z: model.normalize(b.score),
+            frames: b.frames,
+            pruned_components: b.pruned_components,
+            evaluated_components: b.evaluated_components,
+            scratch_grew_bytes: 0,
+        }
     }
 }
 
@@ -324,6 +367,18 @@ mod tests {
             mean_y_after.abs() < mean_y_before.abs() * 0.5,
             "session y-shift should shrink: {mean_y_before} → {mean_y_after}"
         );
+    }
+
+    #[test]
+    fn compensation_agrees_across_frame_layouts() {
+        let rng = SimRng::from_seed(8);
+        let ubm = toy_ubm();
+        let sub = SessionSubspace::estimate(&ubm, &toy_groups(&rng), 1);
+        let mut rows = session_frames(&rng.fork("layout"), 1.5, 0.2, 40);
+        let mut flat = FrameMatrix::from_rows(&rows);
+        sub.compensate(&ubm, &mut rows);
+        sub.compensate(&ubm, &mut flat);
+        assert_eq!(flat, FrameMatrix::from_rows(&rows), "layouts must agree");
     }
 
     #[test]

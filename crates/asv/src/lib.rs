@@ -28,7 +28,9 @@ pub mod replay_baseline;
 pub mod ubm;
 
 pub use eval::{TrialOutcome, VerificationReport};
-pub use frontend::FeatureExtractor;
+pub use frontend::{FeatureExtractor, FrontendScratch};
 pub use isv::IsvBackend;
-pub use model::{SpeakerModel, UbmBackend};
+pub use model::{
+    with_session_scratch, AsvScore, CohortUtterance, SessionScratch, SpeakerModel, UbmBackend,
+};
 pub use replay_baseline::ReplayDetector;

@@ -7,9 +7,18 @@
 //! enrolled model is scored against an impostor cohort, and verification
 //! scores are reported in standard deviations above that cohort. We do the
 //! same, drawing the cohort from the UBM training corpus.
+//!
+//! The scoring hot path is allocation-free: features land in a reusable
+//! [`FrameMatrix`], both mixtures are lazily folded into [`PreparedGmm`]
+//! constants, and the model-independent UBM half of every cohort
+//! utterance's LLR is cached at cohort-attach time, so Z-norm and
+//! leave-one-out enrollment never re-score the cohort against the UBM.
 
-use crate::frontend::FeatureExtractor;
-use magshield_ml::gmm::DiagonalGmm;
+use crate::frontend::{FeatureExtractor, FrontendScratch};
+use magshield_dsp::frame::{FrameMatrix, FrameSource};
+use magshield_ml::gmm::{llr_score_prepared, DiagonalGmm, PreparedGmm, ScoreScratch};
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// MAP relevance factor (Reynolds' classic value).
 pub const RELEVANCE_FACTOR: f64 = 16.0;
@@ -22,7 +31,9 @@ const MAX_COHORT: usize = 24;
 pub struct SpeakerModel {
     /// Claimed identity this model verifies.
     pub speaker_id: u32,
-    /// The adapted mixture.
+    /// The adapted mixture. Mutating it after the model has been scored
+    /// does not invalidate the cached prepared form; build a fresh
+    /// [`SpeakerModel`] instead.
     pub gmm: DiagonalGmm,
     /// Z-norm statistics `(mean, std)` of the model's impostor-cohort raw
     /// scores; `None` when no cohort was available (raw scores returned).
@@ -32,9 +43,32 @@ pub struct SpeakerModel {
     /// threshold calibration — standard practice for text-dependent voice
     /// authentication — anchors the operating point to this value.
     pub genuine_ref: Option<f64>,
+    prepared: OnceLock<PreparedGmm>,
 }
 
 impl SpeakerModel {
+    /// Bundles an adapted mixture with its normalization statistics.
+    pub fn new(
+        speaker_id: u32,
+        gmm: DiagonalGmm,
+        znorm: Option<(f64, f64)>,
+        genuine_ref: Option<f64>,
+    ) -> Self {
+        Self {
+            speaker_id,
+            gmm,
+            znorm,
+            genuine_ref,
+            prepared: OnceLock::new(),
+        }
+    }
+
+    /// The mixture folded into fast-scoring constants (computed once,
+    /// cached for the model's lifetime).
+    pub fn prepared(&self) -> &PreparedGmm {
+        self.prepared.get_or_init(|| PreparedGmm::new(&self.gmm))
+    }
+
     /// Applies Z-norm (identity when no statistics are present).
     pub fn normalize(&self, raw: f64) -> f64 {
         match self.znorm {
@@ -53,6 +87,68 @@ impl SpeakerModel {
     }
 }
 
+/// A Z-norm cohort utterance: pre-extracted frames plus the cached
+/// model-independent UBM half of its LLR.
+#[derive(Debug, Clone)]
+pub struct CohortUtterance {
+    /// Extracted (and, for ISV, compensated) feature frames.
+    pub frames: FrameMatrix,
+    /// Mean per-frame UBM log-likelihood of `frames`, computed once when
+    /// the cohort is attached. The LLR against any speaker model is then
+    /// `mean_spk_ll − ubm_mean_ll`, so cohort scoring only evaluates the
+    /// speaker side.
+    pub ubm_mean_ll: f64,
+}
+
+/// Everything [`UbmBackend::score_detailed`] computed for one utterance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsvScore {
+    /// Z-normalized verification score (higher = more likely genuine).
+    pub z: f64,
+    /// Feature frames scored.
+    pub frames: usize,
+    /// Speaker-side Gaussian evaluations skipped by top-C pruning.
+    pub pruned_components: u64,
+    /// Speaker-side Gaussian evaluations performed.
+    pub evaluated_components: u64,
+    /// Bytes of scratch growth this call caused; zero once the
+    /// per-thread buffers have reached their high-water mark.
+    pub scratch_grew_bytes: u64,
+}
+
+/// Per-thread reusable state for the full extract-and-score path.
+#[derive(Debug, Clone, Default)]
+pub struct SessionScratch {
+    pub(crate) frontend: FrontendScratch,
+    pub(crate) frames: FrameMatrix,
+    pub(crate) score: ScoreScratch,
+}
+
+impl SessionScratch {
+    /// A fresh scratch with no reserved memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently reserved across all buffers (capacities).
+    pub fn footprint_bytes(&self) -> usize {
+        self.frontend.footprint_bytes()
+            + self.frames.capacity_bytes()
+            + self.score.footprint_bytes()
+    }
+}
+
+thread_local! {
+    static SESSION_SCRATCH: RefCell<SessionScratch> = RefCell::new(SessionScratch::new());
+}
+
+/// Runs `f` with this thread's shared [`SessionScratch`]. The batch
+/// engine's workers are OS threads, so stage-major batches naturally share
+/// one scratch per worker. `f` must not call back into this function.
+pub fn with_session_scratch<R>(f: impl FnOnce(&mut SessionScratch) -> R) -> R {
+    SESSION_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// The GMM–UBM verification backend (the "UBM" system of Table I).
 #[derive(Debug, Clone)]
 pub struct UbmBackend {
@@ -60,8 +156,9 @@ pub struct UbmBackend {
     pub extractor: FeatureExtractor,
     /// The background model.
     pub ubm: DiagonalGmm,
-    /// Pre-extracted cohort utterance frames for Z-norm.
-    cohort: Vec<Vec<Vec<f64>>>,
+    /// Pre-extracted cohort utterances for Z-norm, with cached UBM terms.
+    cohort: Vec<CohortUtterance>,
+    prepared: OnceLock<PreparedGmm>,
 }
 
 impl UbmBackend {
@@ -71,17 +168,34 @@ impl UbmBackend {
             extractor,
             ubm,
             cohort: Vec::new(),
+            prepared: OnceLock::new(),
         }
     }
 
+    /// The UBM folded into fast-scoring constants (computed once, cached).
+    pub fn prepared_ubm(&self) -> &PreparedGmm {
+        self.prepared.get_or_init(|| PreparedGmm::new(&self.ubm))
+    }
+
     /// Attaches a Z-norm cohort (typically utterances from the UBM
-    /// training corpus); at most `MAX_COHORT` are kept.
+    /// training corpus); at most `MAX_COHORT` are kept. Each utterance's
+    /// UBM log-likelihood is computed here, once, and reused by every
+    /// subsequent enrollment.
     pub fn with_cohort(mut self, utterances: &[&[f64]]) -> Self {
+        let prepared = PreparedGmm::new(&self.ubm);
+        let mut buf = Vec::new();
         self.cohort = utterances
             .iter()
             .take(MAX_COHORT)
             .map(|audio| self.extractor.extract(audio))
             .filter(|f| !f.is_empty())
+            .map(|frames| {
+                let ubm_mean_ll = prepared.mean_log_likelihood(&frames, &mut buf);
+                CohortUtterance {
+                    frames,
+                    ubm_mean_ll,
+                }
+            })
             .collect();
         self
     }
@@ -91,8 +205,8 @@ impl UbmBackend {
         self.cohort.len()
     }
 
-    /// The cohort frame sets (ISV reuses them, compensated).
-    pub fn cohort_frames(&self) -> &[Vec<Vec<f64>>] {
+    /// The cohort utterances (ISV reuses them, compensated).
+    pub fn cohort(&self) -> &[CohortUtterance] {
         &self.cohort
     }
 
@@ -102,33 +216,67 @@ impl UbmBackend {
     ///
     /// Panics if no feature frames can be extracted.
     pub fn enroll(&self, speaker_id: u32, utterances: &[&[f64]]) -> SpeakerModel {
-        let per_utt: Vec<Vec<Vec<f64>>> = utterances
+        let per_utt: Vec<FrameMatrix> = utterances
             .iter()
             .map(|audio| self.extractor.extract(audio))
             .collect();
-        let frames: Vec<Vec<f64>> = per_utt.iter().flatten().cloned().collect();
+        let mut frames = FrameMatrix::default();
+        for f in &per_utt {
+            frames.extend_rows(f);
+        }
         assert!(!frames.is_empty(), "enrollment produced no frames");
         let gmm = self.ubm.map_adapt_means(&frames, RELEVANCE_FACTOR);
-        let znorm = znorm_stats(&gmm, &self.ubm, self.cohort.iter());
-        let genuine_ref = genuine_reference(&self.ubm, &per_utt, self.cohort.iter().collect());
-        SpeakerModel {
-            speaker_id,
-            gmm,
-            znorm,
-            genuine_ref,
-        }
+        let znorm = znorm_stats(&gmm, &self.cohort);
+        let genuine_ref = genuine_reference(&self.ubm, &per_utt, &self.cohort);
+        SpeakerModel::new(speaker_id, gmm, znorm, genuine_ref)
     }
 
     /// Verification score of `audio` against `model`: Z-normalized average
     /// per-frame log-likelihood ratio (higher = more likely genuine).
+    /// Exact scoring (no pruning); see [`Self::score_detailed`] for the
+    /// configurable fast path.
     pub fn score(&self, model: &SpeakerModel, audio: &[f64]) -> f64 {
-        let frames = self.extractor.extract(audio);
-        self.score_frames(model, &frames)
+        self.score_detailed(model, audio, 0).z
     }
 
-    /// Scores pre-extracted frames (used by the ISV backend after
-    /// compensation).
-    pub fn score_frames(&self, model: &SpeakerModel, frames: &[Vec<f64>]) -> f64 {
+    /// Scores `audio` on the zero-allocation fast path using this thread's
+    /// scratch. `top_c` bounds the speaker-side Gaussian evaluations per
+    /// frame (`0` = exact, all components).
+    pub fn score_detailed(&self, model: &SpeakerModel, audio: &[f64], top_c: usize) -> AsvScore {
+        with_session_scratch(|s| self.score_detailed_with(model, audio, top_c, s))
+    }
+
+    /// [`Self::score_detailed`] with an explicit scratch (for callers that
+    /// manage their own per-worker buffers).
+    pub fn score_detailed_with(
+        &self,
+        model: &SpeakerModel,
+        audio: &[f64],
+        top_c: usize,
+        s: &mut SessionScratch,
+    ) -> AsvScore {
+        let before = s.footprint_bytes();
+        self.extractor
+            .extract_into(audio, &mut s.frontend, &mut s.frames);
+        let b = llr_score_prepared(
+            model.prepared(),
+            self.prepared_ubm(),
+            &s.frames,
+            top_c,
+            &mut s.score,
+        );
+        AsvScore {
+            z: model.normalize(b.score),
+            frames: b.frames,
+            pruned_components: b.pruned_components,
+            evaluated_components: b.evaluated_components,
+            scratch_grew_bytes: (s.footprint_bytes() - before) as u64,
+        }
+    }
+
+    /// Scores pre-extracted frames on the reference path (used by the ISV
+    /// backend after compensation, and as the exactness oracle in tests).
+    pub fn score_frames<F: FrameSource + ?Sized>(&self, model: &SpeakerModel, frames: &F) -> f64 {
         model.normalize(model.gmm.llr_score(&self.ubm, frames))
     }
 }
@@ -138,27 +286,36 @@ impl UbmBackend {
 /// utterances. Needs at least two utterances; returns the mean LOO score.
 pub fn genuine_reference(
     ubm: &DiagonalGmm,
-    per_utterance_frames: &[Vec<Vec<f64>>],
-    cohort: Vec<&Vec<Vec<f64>>>,
+    per_utterance_frames: &[FrameMatrix],
+    cohort: &[CohortUtterance],
 ) -> Option<f64> {
-    let usable: Vec<&Vec<Vec<f64>>> = per_utterance_frames
+    let usable: Vec<&FrameMatrix> = per_utterance_frames
         .iter()
         .filter(|f| !f.is_empty())
         .collect();
     if usable.len() < 2 {
         return None;
     }
+    let ubm_prepared = PreparedGmm::new(ubm);
+    let mut buf = Vec::new();
+    // The held-out utterance's UBM term never changes across iterations.
+    let utt_ubm_ll: Vec<f64> = usable
+        .iter()
+        .map(|f| ubm_prepared.mean_log_likelihood(*f, &mut buf))
+        .collect();
+    let mut rest = FrameMatrix::default();
     let mut scores = Vec::new();
     for i in 0..usable.len() {
-        let rest: Vec<Vec<f64>> = usable
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != i)
-            .flat_map(|(_, f)| (*f).clone())
-            .collect();
+        rest.reset(usable[0].cols());
+        for (j, f) in usable.iter().enumerate() {
+            if j != i {
+                rest.extend_rows(f);
+            }
+        }
         let sub = ubm.map_adapt_means(&rest, RELEVANCE_FACTOR);
-        let raw = sub.llr_score(ubm, usable[i]);
-        let z = match znorm_stats(&sub, ubm, cohort.iter().copied()) {
+        let sub_prepared = PreparedGmm::new(&sub);
+        let raw = sub_prepared.mean_log_likelihood(usable[i], &mut buf) - utt_ubm_ll[i];
+        let z = match znorm_stats_prepared(&sub_prepared, cohort, &mut buf) {
             Some((mu, sigma)) => (raw - mu) / sigma,
             None => raw,
         };
@@ -172,14 +329,22 @@ pub fn genuine_reference(
     Some(scores.iter().sum::<f64>() / scores.len() as f64)
 }
 
-/// Computes Z-norm statistics of a model against cohort frame sets.
-pub fn znorm_stats<'a>(
-    model: &DiagonalGmm,
-    ubm: &DiagonalGmm,
-    cohort: impl Iterator<Item = &'a Vec<Vec<f64>>>,
+/// Computes Z-norm statistics of a model against cohort utterances. The
+/// UBM half of each cohort LLR comes from [`CohortUtterance::ubm_mean_ll`];
+/// only the speaker side is evaluated here.
+pub fn znorm_stats(model: &DiagonalGmm, cohort: &[CohortUtterance]) -> Option<(f64, f64)> {
+    let mut buf = Vec::new();
+    znorm_stats_prepared(&PreparedGmm::new(model), cohort, &mut buf)
+}
+
+fn znorm_stats_prepared(
+    model: &PreparedGmm,
+    cohort: &[CohortUtterance],
+    buf: &mut Vec<f64>,
 ) -> Option<(f64, f64)> {
     let scores: Vec<f64> = cohort
-        .map(|frames| model.llr_score(ubm, frames))
+        .iter()
+        .map(|c| model.mean_log_likelihood(&c.frames, buf) - c.ubm_mean_ll)
         .filter(|s| s.is_finite())
         .collect();
     if scores.len() < 3 {
@@ -310,6 +475,55 @@ mod tests {
             .any(|(a, b)| a.iter().zip(b).any(|(x, y)| (x - y).abs() > 1e-6));
         assert!(moved, "MAP adaptation should move at least one mean");
         assert!(backend.score(&model, &utts[0].audio) > 0.0);
+    }
+
+    #[test]
+    fn fast_path_score_matches_reference_path() {
+        let (backend, corpus) = small_setup();
+        let sp = &corpus.speakers[0];
+        let utts = corpus.of_speaker(sp.id);
+        let enroll: Vec<&[f64]> = utts[..2].iter().map(|u| u.audio.as_slice()).collect();
+        let model = backend.enroll(sp.id, &enroll);
+        for u in utts {
+            let frames = backend.extractor.extract(&u.audio);
+            let reference = backend.score_frames(&model, &frames);
+            let exact = backend.score_detailed(&model, &u.audio, 0);
+            assert!(
+                (exact.z - reference).abs() < 1e-9,
+                "fast {} vs reference {reference}",
+                exact.z
+            );
+            assert_eq!(exact.pruned_components, 0);
+            assert_eq!(exact.frames, frames.rows());
+            // Pruned scoring never exceeds exact (subset log-sum) and
+            // accounts for exactly (k − C) skips per frame.
+            let pruned = backend.score_detailed(&model, &u.audio, 4);
+            let sigma = model.znorm.map_or(1.0, |(_, s)| s);
+            assert!(pruned.z <= exact.z + 1e-9 / sigma);
+            assert_eq!(pruned.pruned_components, (frames.rows() * (16 - 4)) as u64);
+        }
+    }
+
+    #[test]
+    fn session_scratch_stops_growing_after_warmup() {
+        let (backend, corpus) = small_setup();
+        let sp = &corpus.speakers[0];
+        let utts = corpus.of_speaker(sp.id);
+        let enroll: Vec<&[f64]> = utts[..2].iter().map(|u| u.audio.as_slice()).collect();
+        let model = backend.enroll(sp.id, &enroll);
+        let mut s = SessionScratch::new();
+        let first = backend.score_detailed_with(&model, &utts[0].audio, 4, &mut s);
+        assert!(first.scratch_grew_bytes > 0, "cold scratch must grow");
+        for u in &utts {
+            backend.score_detailed_with(&model, &u.audio, 4, &mut s); // warm-up
+        }
+        for u in &utts {
+            let again = backend.score_detailed_with(&model, &u.audio, 4, &mut s);
+            assert_eq!(
+                again.scratch_grew_bytes, 0,
+                "warm scratch regrew on an already-seen utterance"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Universal background model training.
 
 use crate::frontend::FeatureExtractor;
+use magshield_dsp::frame::FrameMatrix;
 use magshield_ml::gmm::DiagonalGmm;
 use magshield_simkit::rng::SimRng;
 
@@ -37,25 +38,28 @@ pub fn train_ubm(
     config: UbmConfig,
     rng: &SimRng,
 ) -> DiagonalGmm {
-    let mut pool: Vec<Vec<f64>> = Vec::new();
+    let mut pool = FrameMatrix::default();
     for audio in utterances {
-        pool.extend(extractor.extract(audio));
+        pool.extend_rows(&extractor.extract(audio));
     }
     assert!(
-        pool.len() >= config.components,
+        pool.rows() >= config.components,
         "need at least {} frames, got {}",
         config.components,
-        pool.len()
+        pool.rows()
     );
-    if pool.len() > config.max_frames {
+    // Training is a cold path; hand EM the row layout it expects.
+    let rows: Vec<Vec<f64>> = if pool.rows() > config.max_frames {
         // Deterministic stride subsampling keeps coverage across speakers.
-        let stride = pool.len() as f64 / config.max_frames as f64;
-        pool = (0..config.max_frames)
-            .map(|i| pool[(i as f64 * stride) as usize].clone())
-            .collect();
-    }
+        let stride = pool.rows() as f64 / config.max_frames as f64;
+        (0..config.max_frames)
+            .map(|i| pool.row((i as f64 * stride) as usize).to_vec())
+            .collect()
+    } else {
+        pool.to_rows()
+    };
     DiagonalGmm::train(
-        &pool,
+        &rows,
         config.components,
         config.em_iters,
         1e-4,

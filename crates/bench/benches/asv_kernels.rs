@@ -2,7 +2,7 @@
 //! and SVM/PCA kernels — the server-side compute of Table I / Fig. 15.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use magshield_ml::gmm::DiagonalGmm;
+use magshield_ml::gmm::{DiagonalGmm, LlrScorer, ScoreScratch};
 use magshield_ml::pca::Pca;
 use magshield_ml::svm::{LinearSvm, SvmConfig};
 use magshield_simkit::rng::SimRng;
@@ -21,6 +21,30 @@ fn bench_gmm_score(c: &mut Criterion) {
     let test = frames(&rng.fork("test"), 200, 26);
     c.bench_function("gmm32_llk_200_frames", |b| {
         b.iter(|| gmm.mean_log_likelihood(black_box(&test)))
+    });
+}
+
+/// LLR scoring three ways on the same (speaker, UBM) pair: the naive
+/// reference, prepared constants (exact), and top-8 Gaussian pruning.
+fn bench_llr_paths(c: &mut Criterion) {
+    let rng = SimRng::from_seed(6);
+    let data = frames(&rng, 2000, 26);
+    let ubm = DiagonalGmm::train(&data, 32, 5, 1e-4, &rng);
+    let enroll = frames(&rng.fork("enroll"), 300, 26);
+    let speaker = ubm.map_adapt_means(&enroll, 16.0);
+    let test = frames(&rng.fork("test"), 200, 26);
+
+    c.bench_function("llr32_reference_200_frames", |b| {
+        b.iter(|| speaker.llr_score(&ubm, black_box(&test)))
+    });
+
+    let scorer = LlrScorer::new(&speaker, &ubm);
+    let mut scratch = ScoreScratch::new();
+    c.bench_function("llr32_prepared_exact_200_frames", |b| {
+        b.iter(|| scorer.score(black_box(&test), 0, &mut scratch).score)
+    });
+    c.bench_function("llr32_prepared_top8_200_frames", |b| {
+        b.iter(|| scorer.score(black_box(&test), 8, &mut scratch).score)
     });
 }
 
@@ -70,6 +94,7 @@ fn bench_pca(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gmm_score,
+    bench_llr_paths,
     bench_map_adapt,
     bench_gmm_train,
     bench_svm_train,

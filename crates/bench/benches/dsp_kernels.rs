@@ -4,6 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use magshield_dsp::complex::Complex;
 use magshield_dsp::fft::fft;
+use magshield_dsp::frame::{FrameMatrix, ScratchPad};
 use magshield_dsp::goertzel::goertzel;
 use magshield_dsp::mel::MfccExtractor;
 use magshield_dsp::phase::PhaseTracker;
@@ -50,6 +51,21 @@ fn bench_mfcc(c: &mut Criterion) {
     c.bench_function("mfcc_1s_16k", |b| b.iter(|| ex.extract(black_box(&sig))));
 }
 
+/// The zero-allocation fast path: scratch and output reused across calls.
+fn bench_mfcc_into(c: &mut Criterion) {
+    let sig = tone(220.0, 16_000.0, 16_000);
+    let ex = MfccExtractor::new(16_000.0);
+    let mut scratch = ScratchPad::new();
+    let mut out = FrameMatrix::new(0);
+    ex.extract_into(&sig, &mut scratch, &mut out);
+    c.bench_function("mfcc_1s_16k_into", |b| {
+        b.iter(|| {
+            ex.extract_into(black_box(&sig), &mut scratch, &mut out);
+            black_box(out.rows())
+        })
+    });
+}
+
 fn bench_spectrogram(c: &mut Criterion) {
     let sig = tone(1000.0, 48_000.0, 48_000);
     c.bench_function("spectrogram_1s_48k", |b| {
@@ -63,6 +79,7 @@ criterion_group!(
     bench_goertzel,
     bench_phase_tracker,
     bench_mfcc,
+    bench_mfcc_into,
     bench_spectrogram
 );
 criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! Micro-benchmarks for the two kernels the fast path rewrote: MFCC
+//! feature extraction (scratch-buffer reuse vs. per-call allocation) and
+//! GMM log-likelihood-ratio scoring (prepared constants and top-C
+//! Gaussian pruning vs. the naive per-frame evaluation).
+//!
+//! Each kernel is hand-timed (warm-up, then iterate until a wall-clock
+//! budget is spent) and reported in ns/frame. Absolute ns/frame varies
+//! across machines, so the CI gate compares only the **speedup ratios**
+//! under the `"metrics"` key — those track the code, not the hardware.
+//! Raw timings land under `"info"` for humans reading the artifact.
+//!
+//! Output: `results/BENCH_kernels.json` (override with `--out`),
+//! consumed by `scripts/bench_gate.py` in the CI `bench-gate` job.
+//! `--quick` shrinks the mixture and the timing budgets for CI. The JSON
+//! is hand-rolled for the same reason as `exp_throughput`: the artifact
+//! must be produced identically in every build environment.
+
+use magshield_asv::frontend::{FeatureExtractor, FrontendScratch};
+use magshield_asv::ubm::{train_ubm, UbmConfig};
+use magshield_bench::{print_header, print_row, EXPERIMENT_SEED};
+use magshield_dsp::frame::FrameMatrix;
+use magshield_ml::gmm::{LlrScorer, ScoreScratch};
+use magshield_simkit::rng::SimRng;
+use magshield_voice::corpus::voxforge_like;
+use magshield_voice::synth::VOICE_SAMPLE_RATE;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Default pruning width — mirrors `DefenseConfig::asv_top_c`.
+const TOP_C: usize = 8;
+
+struct Timings {
+    extract_reference: f64,
+    extract_fast: f64,
+    llr_reference: f64,
+    llr_prepared_exact: f64,
+    llr_prepared_pruned: f64,
+    frames: usize,
+    components: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_kernels.json".to_string());
+
+    let rng = SimRng::from_seed(EXPERIMENT_SEED).fork("kernels");
+    let budget_s = if quick { 0.08 } else { 0.4 };
+    let components = if quick { 16 } else { 48 };
+
+    eprintln!("(building corpus + {components}-component UBM...)");
+    let corpus = voxforge_like(if quick { 3 } else { 6 }, &rng.fork("corpus"));
+    let fx = FeatureExtractor::new(VOICE_SAMPLE_RATE);
+    let utts: Vec<&[f64]> = corpus
+        .utterances
+        .iter()
+        .map(|u| u.audio.as_slice())
+        .collect();
+    let ubm = train_ubm(
+        &fx,
+        &utts,
+        UbmConfig {
+            components,
+            em_iters: if quick { 3 } else { 6 },
+            max_frames: if quick { 4_000 } else { 12_000 },
+        },
+        &rng.fork("ubm"),
+    );
+    // A MAP-adapted speaker mixture from the first speaker's takes — the
+    // scoring kernel needs a real (speaker, UBM) pair, not two UBMs.
+    let sp_id = corpus.speakers[0].id;
+    let mut sp_frames = FrameMatrix::new(0);
+    for u in corpus.of_speaker(sp_id) {
+        sp_frames.extend_rows(&fx.extract(&u.audio));
+    }
+    let speaker = ubm.map_adapt_means(&sp_frames, 16.0);
+
+    let audio = corpus.of_speaker(sp_id)[0].audio.clone();
+    let frames = fx.extract(&audio);
+    let t = Timings {
+        extract_reference: time_extract_reference(&fx, &audio, budget_s),
+        extract_fast: time_extract_fast(&fx, &audio, budget_s),
+        llr_reference: time_llr_reference(&speaker, &ubm, &frames, budget_s),
+        llr_prepared_exact: time_llr_prepared(&speaker, &ubm, &frames, 0, budget_s),
+        llr_prepared_pruned: time_llr_prepared(&speaker, &ubm, &frames, TOP_C, budget_s),
+        frames: frames.rows(),
+        components,
+    };
+
+    print_header(
+        &format!(
+            "DSP/ASV kernels ({} frames, {components} components)",
+            t.frames
+        ),
+        &["ns/frame", "speedup"],
+    );
+    print_row("extract ref", &[t.extract_reference, 1.0]);
+    print_row(
+        "extract fast",
+        &[t.extract_fast, t.extract_reference / t.extract_fast],
+    );
+    print_row("llr ref", &[t.llr_reference, 1.0]);
+    print_row(
+        "llr prepared",
+        &[t.llr_prepared_exact, t.llr_reference / t.llr_prepared_exact],
+    );
+    print_row(
+        &format!("llr top-{TOP_C}"),
+        &[
+            t.llr_prepared_pruned,
+            t.llr_reference / t.llr_prepared_pruned,
+        ],
+    );
+
+    write_json(&out, quick, &t);
+}
+
+/// Runs `f` until `budget_s` of wall clock is spent (after a short
+/// warm-up) and returns mean ns per frame.
+fn time_ns_per_frame(frames: usize, budget_s: f64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_secs_f64() < budget_s {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e9 / (iters as f64 * frames as f64)
+}
+
+/// The pre-fast-path idiom: every call allocates its scratch and output.
+fn time_extract_reference(fx: &FeatureExtractor, audio: &[f64], budget_s: f64) -> f64 {
+    let frames = fx.extract(audio).rows();
+    time_ns_per_frame(frames, budget_s, || {
+        black_box(fx.extract(black_box(audio)));
+    })
+}
+
+/// The fast path: scratch and output buffers reused across calls.
+fn time_extract_fast(fx: &FeatureExtractor, audio: &[f64], budget_s: f64) -> f64 {
+    let mut scratch = FrontendScratch::new();
+    let mut out = FrameMatrix::new(0);
+    fx.extract_into(audio, &mut scratch, &mut out);
+    let frames = out.rows();
+    time_ns_per_frame(frames, budget_s, || {
+        fx.extract_into(black_box(audio), &mut scratch, &mut out);
+        black_box(out.rows());
+    })
+}
+
+/// Naive LLR: `DiagonalGmm::llr_score`, re-deriving Gaussian constants
+/// per frame per component.
+fn time_llr_reference(
+    speaker: &magshield_ml::DiagonalGmm,
+    ubm: &magshield_ml::DiagonalGmm,
+    frames: &FrameMatrix,
+    budget_s: f64,
+) -> f64 {
+    time_ns_per_frame(frames.rows(), budget_s, || {
+        black_box(speaker.llr_score(ubm, black_box(frames)));
+    })
+}
+
+/// Prepared-constant LLR, exact (`top_c == 0`) or top-C pruned.
+fn time_llr_prepared(
+    speaker: &magshield_ml::DiagonalGmm,
+    ubm: &magshield_ml::DiagonalGmm,
+    frames: &FrameMatrix,
+    top_c: usize,
+    budget_s: f64,
+) -> f64 {
+    let scorer = LlrScorer::new(speaker, ubm);
+    let mut scratch = ScoreScratch::new();
+    time_ns_per_frame(frames.rows(), budget_s, || {
+        black_box(scorer.score(black_box(frames), top_c, &mut scratch).score);
+    })
+}
+
+/// Hand-rolled JSON, same contract as `exp_throughput::write_json`: the
+/// gate parses it with Python. Ratios under `"metrics"` are gated;
+/// machine-dependent raw timings live under `"info"`.
+fn write_json(path: &str, quick: bool, t: &Timings) {
+    let metric = |name: &str, value: f64, last: bool| {
+        format!(
+            "    \"{name}\": {{\"value\": {value:.4}, \"direction\": \"higher\"}}{}\n",
+            if last { "" } else { "," }
+        )
+    };
+    // Extraction timings stay informational: the fast path's win there is
+    // allocation elimination (pinned by the dsp zero-alloc test), not
+    // wall clock — FFT dominates, so the ratio is ~1.0 plus noise.
+    let mut metrics = String::new();
+    metrics.push_str(&metric(
+        "llr_prepared_exact_speedup",
+        t.llr_reference / t.llr_prepared_exact,
+        false,
+    ));
+    metrics.push_str(&metric(
+        "llr_pruned_speedup",
+        t.llr_reference / t.llr_prepared_pruned,
+        true,
+    ));
+    let json = format!(
+        "{{\n  \"experiment\": \"kernels\",\n  \"quick\": {quick},\n  \"info\": {{\n    \
+         \"frames\": {},\n    \"components\": {},\n    \"top_c\": {TOP_C},\n    \
+         \"extract_reference_ns_per_frame\": {:.1},\n    \
+         \"extract_fast_ns_per_frame\": {:.1},\n    \
+         \"llr_reference_ns_per_frame\": {:.1},\n    \
+         \"llr_prepared_exact_ns_per_frame\": {:.1},\n    \
+         \"llr_prepared_top_c_ns_per_frame\": {:.1}\n  }},\n  \"metrics\": {{\n{metrics}  }}\n}}\n",
+        t.frames,
+        t.components,
+        t.extract_reference,
+        t.extract_fast,
+        t.llr_reference,
+        t.llr_prepared_exact,
+        t.llr_prepared_pruned,
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("(wrote {path})"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

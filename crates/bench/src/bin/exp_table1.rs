@@ -47,7 +47,7 @@ fn build_engines(train: &Corpus, rng: &SimRng) -> (AsvEngine, AsvEngine) {
         &rng.fork("ubm"),
     );
     let backend = UbmBackend::new(fx.clone(), ubm).with_cohort(&utts);
-    let groups: Vec<(u32, u32, Vec<Vec<f64>>)> = train
+    let groups: Vec<(u32, u32, magshield_dsp::frame::FrameMatrix)> = train
         .utterances
         .iter()
         .map(|u| (u.speaker_id, u.session, fx.extract(&u.audio)))

@@ -321,7 +321,7 @@ impl Drop for InflightSlot {
 // ---------- engine ----------
 
 struct WorkItem {
-    session: SessionData,
+    session: Arc<SessionData>,
     reply: Sender<BatchOutcome>,
     enqueued: Instant,
     deadline: Option<Instant>,
@@ -450,7 +450,10 @@ impl BatchEngine {
                 let obs = EngineObs::new(system.metrics().clone());
                 let policy = cfg.policy;
                 let max_batch = cfg.max_batch;
-                std::thread::spawn(move || worker_loop(&rx, &system, &obs, policy, max_batch))
+                let workers = cfg.workers;
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &system, &obs, policy, max_batch, workers)
+                })
             })
             .collect();
         Self {
@@ -466,14 +469,20 @@ impl BatchEngine {
     /// Submits one session for verification, applying admission control.
     /// The per-item deadline (when configured) starts now; use
     /// [`BatchEngine::verify_batch`] for a shared per-batch deadline.
-    pub fn submit(&self, session: SessionData) -> Result<Ticket, ShedReason> {
+    ///
+    /// Accepts either an owned [`SessionData`] or an `Arc<SessionData>`:
+    /// the queue holds sessions behind an `Arc`, so callers replaying a
+    /// shared pool (load generators, the server fan-out) enqueue a
+    /// pointer clone instead of deep-copying megabytes of audio and IMU
+    /// samples per submission.
+    pub fn submit(&self, session: impl Into<Arc<SessionData>>) -> Result<Ticket, ShedReason> {
         let deadline = self.batch_deadline.map(|d| Instant::now() + d);
-        self.submit_with_deadline(session, deadline)
+        self.submit_with_deadline(session.into(), deadline)
     }
 
     fn submit_with_deadline(
         &self,
-        session: SessionData,
+        session: Arc<SessionData>,
         deadline: Option<Instant>,
     ) -> Result<Ticket, ShedReason> {
         let slot = self
@@ -514,7 +523,7 @@ impl BatchEngine {
         let deadline = self.batch_deadline.map(|d| Instant::now() + d);
         let tickets: Vec<Result<Ticket, ShedReason>> = sessions
             .into_iter()
-            .map(|s| self.submit_with_deadline(s, deadline))
+            .map(|s| self.submit_with_deadline(Arc::new(s), deadline))
             .collect();
         tickets
             .into_iter()
@@ -578,7 +587,9 @@ fn worker_loop(
     obs: &EngineObs,
     policy: ExecutionPolicy,
     max_batch: usize,
+    workers: usize,
 ) {
+    let queue_depth = obs.registry.gauge("batch.queue.depth");
     loop {
         // Blocking for the first item; errors mean "closed and empty",
         // i.e. the drain is complete.
@@ -586,8 +597,18 @@ fn worker_loop(
             Ok(item) => item,
             Err(_) => break,
         };
+        // Grab at most a fair share of the visible backlog on top of the
+        // blocking item. A greedy drain up to `max_batch` would let one
+        // worker swallow everything a light load has queued and process
+        // it serially while its peers sit idle; dividing by the worker
+        // count keeps micro-batching for deep queues (where amortization
+        // pays) without starving parallelism for shallow ones. The depth
+        // gauge still counts `first` (its slot converts below), hence the
+        // `- 1`; the reading is racy, which a scheduling hint tolerates.
+        let backlog = (queue_depth.get() - 1).max(0) as usize;
+        let fair_extra = (backlog / workers.max(1)).min(max_batch - 1);
         let mut batch = vec![first];
-        while batch.len() < max_batch {
+        while batch.len() <= fair_extra {
             match rx.try_recv() {
                 Ok(item) => batch.push(item),
                 Err(_) => break,
@@ -618,7 +639,7 @@ fn worker_loop(
         if live.is_empty() {
             continue;
         }
-        let sessions: Vec<&SessionData> = live.iter().map(|item| &item.session).collect();
+        let sessions: Vec<&SessionData> = live.iter().map(|item| &*item.session).collect();
         let t0 = Instant::now();
         let results =
             system

@@ -37,6 +37,7 @@ use crate::pipeline::PipelineObs;
 use crate::session::SessionData;
 use crate::verdict::{Component, ComponentResult, DefenseVerdict, SkippedStage, StageOutcome};
 use magshield_asv::model::SpeakerModel;
+use magshield_obs::metrics::Registry;
 use magshield_obs::span::Span;
 use magshield_obs::trace::{ComponentTrace, PipelineTrace};
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,20 @@ pub trait CascadeStage {
     /// Evaluates the session, returning a raw (factory-boundary)
     /// component result.
     fn run(&self, session: &SessionData, config: &DefenseConfig) -> ComponentResult;
+
+    /// Like [`CascadeStage::run`], but with access to the metrics
+    /// registry for stage-internal counters. The default ignores the
+    /// registry; stages with instrumented internals (the ASV fast path)
+    /// override this. The executor always calls this variant.
+    fn run_observed(
+        &self,
+        session: &SessionData,
+        config: &DefenseConfig,
+        registry: &Registry,
+    ) -> ComponentResult {
+        let _ = registry;
+        self.run(session, config)
+    }
 }
 
 /// Loudspeaker detection (§IV-B3) — magnetometer magnitude deviation and
@@ -156,6 +171,16 @@ impl<'a> SpeakerIdStage<'a> {
     }
 }
 
+impl SpeakerIdStage<'_> {
+    fn unknown_speaker(&self, session: &SessionData) -> ComponentResult {
+        ComponentResult {
+            component: Component::SpeakerIdentity,
+            attack_score: 2.0,
+            detail: format!("unknown speaker id {}", session.claimed_speaker),
+        }
+    }
+}
+
 impl CascadeStage for SpeakerIdStage<'_> {
     fn component(&self) -> Component {
         Component::SpeakerIdentity
@@ -164,11 +189,29 @@ impl CascadeStage for SpeakerIdStage<'_> {
     fn run(&self, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
         match self.speakers.get(&session.claimed_speaker) {
             Some(model) => speaker_id::verify(session, self.engine, model, config),
-            None => ComponentResult {
-                component: Component::SpeakerIdentity,
-                attack_score: 2.0,
-                detail: format!("unknown speaker id {}", session.claimed_speaker),
-            },
+            None => self.unknown_speaker(session),
+        }
+    }
+
+    fn run_observed(
+        &self,
+        session: &SessionData,
+        config: &DefenseConfig,
+        registry: &Registry,
+    ) -> ComponentResult {
+        match self.speakers.get(&session.claimed_speaker) {
+            Some(model) => {
+                let (result, score) =
+                    speaker_id::verify_detailed(session, self.engine, model, config);
+                registry
+                    .counter("asv.score.pruned_components")
+                    .add(score.pruned_components);
+                registry
+                    .counter("dsp.extract.alloc_bytes")
+                    .add(score.scratch_grew_bytes);
+                result
+            }
+            None => self.unknown_speaker(session),
         }
     }
 }
@@ -415,7 +458,7 @@ impl<'a> Cascade<'a> {
         }
         let mut span = state.root.child(name);
         let stage_started = Instant::now();
-        let mut r = stage.run(session, config);
+        let mut r = stage.run_observed(session, config, registry);
         r.attack_score /= config.stage_boundaries.get(component);
         // Clamped to 1 ns so "every stage took strictly positive
         // time" holds even on coarse-clock platforms.
@@ -628,10 +671,78 @@ mod tests {
         );
     }
 
+    #[test]
+    fn pruning_counters_surface_through_the_registry() {
+        let (sys, user) = crate::test_support::shared_tiny_system();
+        let sys = sys.with_fresh_obs();
+        let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(77));
+        // Default top-C (8) equals the tiny system's component count, so
+        // nothing is pruned and the counter reads zero.
+        sys.verify(&s);
+        assert_eq!(
+            sys.metrics().counter("asv.score.pruned_components").get(),
+            0,
+            "C = k must be exact"
+        );
+        // C=4 of 8 prunes exactly 4 speaker-side evaluations per frame.
+        let pruned_cfg = DefenseConfig {
+            asv_top_c: 4,
+            ..sys.config
+        };
+        sys.verify_with_config(&s, &pruned_cfg);
+        let pruned = sys.metrics().counter("asv.score.pruned_components").get();
+        assert!(pruned > 0, "C < k must record pruned evaluations");
+        assert_eq!(pruned % 4, 0, "4 skips per scored frame");
+        // The allocation counter exists (warm scratch reads 0 growth, a
+        // cold thread records its warm-up), and the decision is unchanged.
+        let snap = sys.metrics().snapshot();
+        assert!(snap.counters.contains_key("dsp.extract.alloc_bytes"));
+    }
+
     proptest! {
         // Each case runs the full cascade (GMM scoring included) twice,
         // so keep the case count low; the fixture is shared.
         #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// End-to-end decision identity of the fast path: at the default
+        /// top-C the cascade's verdict is identical between sequential and
+        /// stage-major batch execution under both policies; and pruned
+        /// acceptance is one-sided — the pruned score lower-bounds the
+        /// exact score, so a session accepted with pruning is always
+        /// accepted exactly (pruning can never introduce a false accept).
+        #[test]
+        fn pruned_cascade_decisions_are_identical_and_one_sided(
+            seed in 0u64..5000,
+            attack in 0u8..2,
+        ) {
+            let (sys, user) = crate::test_support::shared_tiny_system();
+            let s = if attack == 1 {
+                replay_session(seed)
+            } else {
+                ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(seed))
+            };
+            let exact_cfg = DefenseConfig { asv_top_c: 0, ..sys.config };
+            let pruned_cfg = DefenseConfig { asv_top_c: 4, ..sys.config };
+            for policy in [ExecutionPolicy::FullEvaluation, ExecutionPolicy::ShortCircuit] {
+                // Default config (top-C = component count here → exact):
+                // batch and sequential agree with the exact-config run.
+                let seq = sys.cascade().with_policy(policy).run(&s, &sys.config, sys.obs()).0;
+                let batch = sys
+                    .cascade()
+                    .with_policy(policy)
+                    .run_batch(&[&s], &sys.config, sys.obs())
+                    .remove(0)
+                    .0;
+                prop_assert_eq!(seq.decision, batch.decision);
+                let exact = sys.cascade().with_policy(policy).run(&s, &exact_cfg, sys.obs()).0;
+                prop_assert_eq!(seq.decision, exact.decision, "default C = k must be exact");
+                // Aggressive pruning: acceptance implies exact acceptance.
+                let pruned = sys.cascade().with_policy(policy).run(&s, &pruned_cfg, sys.obs()).0;
+                if pruned.accepted() {
+                    prop_assert!(exact.accepted(), "pruning introduced a false accept");
+                }
+            }
+        }
 
         /// ShortCircuit and FullEvaluation always agree on accept/reject
         /// for the same session: a rejection is final under both policies.

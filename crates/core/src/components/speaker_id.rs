@@ -7,7 +7,7 @@ use crate::config::DefenseConfig;
 use crate::session::SessionData;
 use crate::verdict::{Component, ComponentResult};
 use magshield_asv::isv::IsvBackend;
-use magshield_asv::model::{SpeakerModel, UbmBackend};
+use magshield_asv::model::{AsvScore, SpeakerModel, UbmBackend};
 
 /// Which verification technique to run — the two rows of Table I.
 #[derive(Debug, Clone)]
@@ -27,11 +27,20 @@ impl AsvEngine {
         }
     }
 
-    /// Raw verification score (average log-likelihood ratio).
+    /// Raw verification score (average log-likelihood ratio), exact.
     pub fn score(&self, model: &SpeakerModel, audio: &[f64]) -> f64 {
         match self {
             AsvEngine::Ubm(b) => b.score(model, audio),
             AsvEngine::Isv(b) => b.score(model, audio),
+        }
+    }
+
+    /// Fast-path score with per-call accounting. `top_c` bounds the
+    /// speaker-side Gaussian evaluations per frame (`0` = exact).
+    pub fn score_detailed(&self, model: &SpeakerModel, audio: &[f64], top_c: usize) -> AsvScore {
+        match self {
+            AsvEngine::Ubm(b) => b.score_detailed(model, audio, top_c),
+            AsvEngine::Isv(b) => b.score_detailed(model, audio, top_c),
         }
     }
 }
@@ -58,14 +67,36 @@ pub fn asv_audio(session: &SessionData) -> Vec<f64> {
         cutoff,
         std::f64::consts::FRAC_1_SQRT_2,
     );
-    let filtered: Vec<f64> = session
-        .audio
-        .iter()
-        .map(|&x| lp2.process(lp.process(x)))
-        .collect();
-    magshield_simkit::series::TimeSeries::from_samples(session.audio_rate, filtered)
-        .resampled(voice_rate)
-        .into_samples()
+    // The filtered full-rate signal is ~1 MB per 3 s session and purely
+    // intermediate; resampling reads it through the same lerp kernel
+    // `TimeSeries::resampled` uses, so a reused thread-local scratch
+    // produces bit-identical output without the per-call allocation.
+    LOWPASS_SCRATCH.with(|cell| {
+        let mut filtered = cell.borrow_mut();
+        filtered.clear();
+        filtered.extend(session.audio.iter().map(|&x| lp2.process(lp.process(x))));
+        if filtered.is_empty() {
+            return Vec::new();
+        }
+        let duration = filtered.len() as f64 / session.audio_rate;
+        let n = (duration * voice_rate).round() as usize;
+        (0..n)
+            .map(|i| {
+                magshield_simkit::series::TimeSeries::lerp_sample(
+                    &filtered,
+                    session.audio_rate,
+                    i as f64 / voice_rate,
+                )
+            })
+            .collect()
+    })
+}
+
+std::thread_local! {
+    /// Per-thread low-pass scratch for [`asv_audio`] (see the comment at
+    /// its use site).
+    static LOWPASS_SCRATCH: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Runs the component: scores the session audio against the claimed
@@ -76,8 +107,21 @@ pub fn verify(
     model: &SpeakerModel,
     config: &DefenseConfig,
 ) -> ComponentResult {
+    verify_detailed(session, engine, model, config).0
+}
+
+/// [`verify`] plus the scoring accounting ([`AsvScore`]) — what the
+/// cascade's speaker-identity stage feeds into the
+/// `asv.score.pruned_components` and `dsp.extract.alloc_bytes` counters.
+pub fn verify_detailed(
+    session: &SessionData,
+    engine: &AsvEngine,
+    model: &SpeakerModel,
+    config: &DefenseConfig,
+) -> (ComponentResult, AsvScore) {
     let audio = asv_audio(session);
-    let z = engine.score(model, &audio);
+    let score = engine.score_detailed(model, &audio, config.asv_top_c);
+    let z = score.z;
     // Per-user calibrated threshold (floored at the config value), in
     // Z-norm units; the score hits the cascade boundary (1.0) at the
     // threshold and decreases with margin above it.
@@ -87,9 +131,10 @@ pub fn verify(
     } else {
         2.0
     };
-    ComponentResult {
+    let result = ComponentResult {
         component: Component::SpeakerIdentity,
         attack_score,
         detail: format!("z-score {z:.2} (threshold {threshold:.2})"),
-    }
+    };
+    (result, score)
 }

@@ -83,6 +83,13 @@ pub struct DefenseConfig {
     pub asv_threshold: f64,
     /// Scale for mapping ASV score margins into normalized attack scores.
     pub asv_scale: f64,
+    /// Top-C Gaussian pruning for ASV scoring: per frame, the speaker
+    /// model is evaluated only on the C UBM components with the highest
+    /// weighted log-density (the UBM term stays exact). `0` disables
+    /// pruning. The pruned score is a lower bound on the exact score, so
+    /// pruning can only make the accept decision stricter.
+    #[serde(default = "default_asv_top_c")]
+    pub asv_top_c: usize,
     /// Number of angle bins in the sound-field feature vector.
     pub sound_field_bins: usize,
     /// Per-stage decision-boundary multipliers (1.0 = factory boundary).
@@ -101,10 +108,18 @@ impl Default for DefenseConfig {
             mag_rate_ut_per_s: 25.0,
             asv_threshold: 1.5,
             asv_scale: 1.5,
+            asv_top_c: default_asv_top_c(),
             sound_field_bins: 12,
             stage_boundaries: StageBoundaries::default(),
         }
     }
+}
+
+/// Default top-C: Reynolds-style GMM–UBM systems concentrate nearly all
+/// of a frame's likelihood in a handful of components; 8 is conservative
+/// for the 16–64-component mixtures used here.
+fn default_asv_top_c() -> usize {
+    8
 }
 
 impl DefenseConfig {
@@ -181,6 +196,19 @@ mod tests {
             .scaled(Component::Sld, 3.0)
             .scaled(Component::Sld, 0.5);
         assert!((b.get(Component::Sld) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asv_top_c_defaults_to_conservative_pruning() {
+        let c = DefenseConfig::default();
+        assert_eq!(c.asv_top_c, 8);
+        assert!(c.validate().is_ok());
+        // Exact scoring stays expressible.
+        let exact = DefenseConfig {
+            asv_top_c: 0,
+            ..DefenseConfig::default()
+        };
+        assert!(exact.validate().is_ok());
     }
 
     #[test]

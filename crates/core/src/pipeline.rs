@@ -137,7 +137,7 @@ impl DefenseSystem {
         );
         let ubm_backend = UbmBackend::new(extractor.clone(), ubm).with_cohort(&utts);
         let engine = if cfg.use_isv {
-            let groups: Vec<(u32, u32, Vec<Vec<f64>>)> = corpus
+            let groups: Vec<(u32, u32, magshield_dsp::frame::FrameMatrix)> = corpus
                 .utterances
                 .iter()
                 .map(|u| (u.speaker_id, u.session, extractor.extract(&u.audio)))

@@ -32,32 +32,38 @@ impl Complex {
     }
 
     /// `e^{iθ}` — a unit phasor at angle `theta`.
+    #[inline]
     pub fn from_polar(magnitude: f64, theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
         Self::new(magnitude * c, magnitude * s)
     }
 
     /// Magnitude (absolute value).
+    #[inline]
     pub fn abs(self) -> f64 {
         self.re.hypot(self.im)
     }
 
     /// Squared magnitude.
+    #[inline]
     pub fn norm_sqr(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
 
     /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
     pub fn arg(self) -> f64 {
         self.im.atan2(self.re)
     }
 
     /// Complex conjugate.
+    #[inline]
     pub fn conj(self) -> Self {
         Self::new(self.re, -self.im)
     }
 
     /// Scales by a real factor.
+    #[inline]
     pub fn scale(self, k: f64) -> Self {
         Self::new(self.re * k, self.im * k)
     }
@@ -65,12 +71,14 @@ impl Complex {
 
 impl Add for Complex {
     type Output = Complex;
+    #[inline]
     fn add(self, rhs: Complex) -> Complex {
         Complex::new(self.re + rhs.re, self.im + rhs.im)
     }
 }
 
 impl AddAssign for Complex {
+    #[inline]
     fn add_assign(&mut self, rhs: Complex) {
         *self = *self + rhs;
     }
@@ -78,6 +86,7 @@ impl AddAssign for Complex {
 
 impl Sub for Complex {
     type Output = Complex;
+    #[inline]
     fn sub(self, rhs: Complex) -> Complex {
         Complex::new(self.re - rhs.re, self.im - rhs.im)
     }
@@ -85,6 +94,7 @@ impl Sub for Complex {
 
 impl Mul for Complex {
     type Output = Complex;
+    #[inline]
     fn mul(self, rhs: Complex) -> Complex {
         Complex::new(
             self.re * rhs.re - self.im * rhs.im,
@@ -95,6 +105,7 @@ impl Mul for Complex {
 
 impl Neg for Complex {
     type Output = Complex;
+    #[inline]
     fn neg(self) -> Complex {
         Complex::new(-self.re, -self.im)
     }

@@ -82,17 +82,133 @@ pub fn next_pow2(n: usize) -> usize {
     n.next_power_of_two().max(1)
 }
 
+/// Precomputed forward-FFT plan for one fixed transform size.
+///
+/// [`fft`] re-derives its twiddle factors with a serial `w *= wlen`
+/// recurrence inside every butterfly block — cheap per step, but a loop
+/// whose every multiply waits on the previous one, re-run for every
+/// frame of a hot loop (MFCC extraction runs one 512-point FFT per
+/// 10 ms hop). The plan runs that exact recurrence **once** at
+/// construction and stores the values, so [`FftPlan::forward`] computes
+/// the same floating-point operations on the same values in the same
+/// order as [`fft`] — output is bit-identical — while the per-call
+/// butterflies become independent table lookups.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal swap pairs `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+    /// Per-stage twiddle tables, concatenated: lengths 1, 2, …, n/2.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
+        let mut swaps = Vec::new();
+        if n > 1 {
+            let bits = n.trailing_zeros();
+            for i in 0..n {
+                let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+                if i < j {
+                    swaps.push((i as u32, j as u32));
+                }
+            }
+        }
+        // The same recurrence fft() runs per block, evaluated once: the
+        // stored values are bitwise what the k-th butterfly would see.
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let ang = -std::f64::consts::TAU / len as f64;
+            let wlen = Complex::from_polar(1.0, ang);
+            let mut w = Complex::ONE;
+            for _ in 0..len / 2 {
+                twiddles.push(w);
+                w = w * wlen;
+            }
+            len <<= 1;
+        }
+        Self { n, swaps, twiddles }
+    }
+
+    /// Transform size the plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the degenerate length-0 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT; bit-identical to [`fft`] on the same input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planned size.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        assert_eq!(
+            buf.len(),
+            self.n,
+            "buffer length {} does not match planned FFT size {}",
+            buf.len(),
+            self.n
+        );
+        if self.n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            buf.swap(i as usize, j as usize);
+        }
+        let mut offset = 0;
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let tw = &self.twiddles[offset..offset + half];
+            for start in (0..self.n).step_by(len) {
+                for (k, &w) in tw.iter().enumerate() {
+                    let u = buf[start + k];
+                    let v = buf[start + k + half] * w;
+                    buf[start + k] = u + v;
+                    buf[start + k + half] = u - v;
+                }
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+}
+
 /// Forward FFT of a real signal, zero-padded to a power of two.
 ///
 /// Returns the full complex spectrum of length `next_pow2(signal.len())`.
 pub fn rfft(signal: &[f64]) -> Vec<Complex> {
+    let mut buf = Vec::new();
+    rfft_into(signal, &mut buf);
+    buf
+}
+
+/// [`rfft`] into a caller-owned buffer, reusing its allocation.
+///
+/// The buffer is cleared and resized to `next_pow2(signal.len())`; after the
+/// first call at a given length no further allocation occurs.
+pub fn rfft_into(signal: &[f64], buf: &mut Vec<Complex>) {
     let n = next_pow2(signal.len());
-    let mut buf = vec![Complex::ZERO; n];
+    buf.clear();
+    buf.resize(n, Complex::ZERO);
     for (slot, &x) in buf.iter_mut().zip(signal) {
         *slot = Complex::new(x, 0.0);
     }
-    fft(&mut buf);
-    buf
+    fft(buf);
 }
 
 /// Magnitude spectrum of a real signal: bins `0..=n/2` with their center
@@ -100,14 +216,31 @@ pub fn rfft(signal: &[f64]) -> Vec<Complex> {
 ///
 /// Returns `(frequencies_hz, magnitudes)`.
 pub fn magnitude_spectrum(signal: &[f64], sample_rate: f64) -> (Vec<f64>, Vec<f64>) {
-    let spec = rfft(signal);
-    let n = spec.len();
-    let half = n / 2 + 1;
-    let freqs = (0..half)
-        .map(|k| k as f64 * sample_rate / n as f64)
-        .collect();
-    let mags = spec[..half].iter().map(|z| z.abs()).collect();
+    let mut freqs = Vec::new();
+    let mut mags = Vec::new();
+    let mut work = Vec::new();
+    magnitude_spectrum_into(signal, sample_rate, &mut work, &mut freqs, &mut mags);
     (freqs, mags)
+}
+
+/// [`magnitude_spectrum`] into caller-owned buffers, reusing allocations.
+///
+/// `work` is the complex FFT scratch; `freqs` and `mags` receive bins
+/// `0..=n/2`. All three are cleared and refilled.
+pub fn magnitude_spectrum_into(
+    signal: &[f64],
+    sample_rate: f64,
+    work: &mut Vec<Complex>,
+    freqs: &mut Vec<f64>,
+    mags: &mut Vec<f64>,
+) {
+    rfft_into(signal, work);
+    let n = work.len();
+    let half = n / 2 + 1;
+    freqs.clear();
+    freqs.extend((0..half).map(|k| k as f64 * sample_rate / n as f64));
+    mags.clear();
+    mags.extend(work[..half].iter().map(|z| z.abs()));
 }
 
 /// Reference O(n²) DFT used to validate the FFT in tests.
@@ -140,6 +273,36 @@ mod tests {
         for (e, g) in expected.iter().zip(&got) {
             assert!((e.re - g.re).abs() < 1e-9 && (e.im - g.im).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn plan_is_bit_identical_to_fft() {
+        for &n in &[1usize, 2, 4, 8, 64, 512, 1024] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.317).sin(), (i as f64 * 0.713).cos()))
+                .collect();
+            let mut reference = signal.clone();
+            fft(&mut reference);
+            let plan = FftPlan::new(n);
+            assert_eq!(plan.len(), n);
+            let mut planned = signal;
+            plan.forward(&mut planned);
+            for (k, (r, p)) in reference.iter().zip(&planned).enumerate() {
+                assert_eq!(
+                    (r.re.to_bits(), r.im.to_bits()),
+                    (p.re.to_bits(), p.im.to_bits()),
+                    "n={n} bin {k}: plan diverged from fft ({r:?} vs {p:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match planned FFT size")]
+    fn plan_rejects_mismatched_buffer() {
+        let plan = FftPlan::new(8);
+        let mut buf = vec![Complex::ZERO; 4];
+        plan.forward(&mut buf);
     }
 
     #[test]

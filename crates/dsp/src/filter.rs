@@ -109,6 +109,7 @@ impl Biquad {
     }
 
     /// Processes one sample.
+    #[inline]
     pub fn process(&mut self, x: f64) -> f64 {
         let y = self.b0 * x + self.b1 * self.x1 + self.b2 * self.x2
             - self.a1 * self.y1
@@ -219,12 +220,19 @@ pub fn derivative(signal: &[f64], sample_rate: f64) -> Vec<f64> {
 /// Pre-emphasis filter `y[n] = x[n] − α x[n−1]` used before MFCC analysis.
 pub fn pre_emphasis(signal: &[f64], alpha: f64) -> Vec<f64> {
     let mut out = Vec::with_capacity(signal.len());
+    pre_emphasis_into(signal, alpha, &mut out);
+    out
+}
+
+/// [`pre_emphasis`] into a caller-owned buffer, reusing its allocation.
+pub fn pre_emphasis_into(signal: &[f64], alpha: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(signal.len());
     let mut prev = 0.0;
     for &x in signal {
         out.push(x - alpha * prev);
         prev = x;
     }
-    out
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //!
 //! * [`complex`] — a minimal complex number type;
 //! * [`fft`] — iterative radix-2 FFT/IFFT and a real-signal spectrum helper;
+//! * [`frame`] — flat [`frame::FrameMatrix`] feature storage plus the
+//!   reusable [`frame::ScratchPad`] behind the zero-allocation fast path;
 //! * [`window`] — Hann / Hamming / Blackman / rectangular analysis windows;
 //! * [`stft`] — short-time Fourier transform and spectrogram (Fig. 6 of the
 //!   paper shows the received pilot-tone spectrograph);
@@ -36,6 +38,7 @@
 pub mod complex;
 pub mod fft;
 pub mod filter;
+pub mod frame;
 pub mod goertzel;
 pub mod level;
 pub mod mel;
@@ -45,5 +48,6 @@ pub mod vad;
 pub mod window;
 
 pub use complex::Complex;
+pub use frame::{FrameMatrix, FrameSource, FrameSourceMut, ScratchPad};
 pub use mel::MfccExtractor;
 pub use stft::Spectrogram;

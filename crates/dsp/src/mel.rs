@@ -5,9 +5,25 @@
 //! This implementation follows the conventional pipeline: pre-emphasis →
 //! Hamming-windowed frames → power spectrum → triangular mel filterbank →
 //! log → DCT-II, with optional delta features.
+//!
+//! Two code paths produce bit-identical output:
+//!
+//! * [`MfccExtractor::extract_into`] — the production fast path: writes into
+//!   a [`FrameMatrix`] through a caller-owned [`ScratchPad`], performing zero
+//!   heap allocations once the scratch buffers have reached their high-water
+//!   mark. The filterbank sums only each band's non-zero bin span and the
+//!   DCT-II uses a cosine table precomputed at construction.
+//! * [`MfccExtractor::extract_reference`] — the straightforward
+//!   `Vec<Vec<f64>>` pipeline retained as the oracle for parity tests.
+//!
+//! Both paths evaluate the same floating-point operations in the same order
+//! (zero filter weights contribute exactly `+0.0`, and the cosine table
+//! stores the raw `cos` values with the orthonormal scale applied last), so
+//! the parity contract is bitwise equality, not a tolerance.
 
-use crate::fft::rfft;
-use crate::filter::pre_emphasis;
+use crate::fft::{next_pow2, rfft, FftPlan};
+use crate::filter::{pre_emphasis, pre_emphasis_into};
+use crate::frame::{FrameMatrix, ScratchPad};
 use crate::window::WindowKind;
 
 /// Converts frequency in Hz to mel (O'Shaughnessy formula).
@@ -20,11 +36,16 @@ pub fn mel_to_hz(mel: f64) -> f64 {
     700.0 * (10f64.powf(mel / 2595.0) - 1.0)
 }
 
-/// Triangular mel filterbank over FFT bins.
+/// Triangular mel filterbank over FFT bins, stored sparsely: each band keeps
+/// only its non-zero bin span, all weights in one flat buffer.
 #[derive(Debug, Clone)]
 pub struct MelFilterbank {
-    /// filters[m][k] = weight of FFT bin k in mel band m.
-    filters: Vec<Vec<f64>>,
+    /// Concatenated non-zero weights of every band.
+    weights: Vec<f64>,
+    /// Per-band (first FFT bin, offset into `weights`, span length).
+    spans: Vec<(usize, usize, usize)>,
+    /// One-sided spectrum length the bank was built for (`nfft / 2 + 1`).
+    half: usize,
 }
 
 impl MelFilterbank {
@@ -54,42 +75,71 @@ impl MelFilterbank {
             })
             .collect();
         let bin_freq = |k: usize| k as f64 * sample_rate / nfft as f64;
-        let filters = (0..num_filters)
-            .map(|m| {
-                let (f_lo, f_c, f_hi) = (points[m], points[m + 1], points[m + 2]);
-                (0..half)
-                    .map(|k| {
-                        let f = bin_freq(k);
-                        if f <= f_lo || f >= f_hi {
-                            0.0
-                        } else if f <= f_c {
-                            (f - f_lo) / (f_c - f_lo)
-                        } else {
-                            (f_hi - f) / (f_hi - f_c)
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        Self { filters }
+        let weight = |m: usize, k: usize| -> f64 {
+            let (f_lo, f_c, f_hi) = (points[m], points[m + 1], points[m + 2]);
+            let f = bin_freq(k);
+            if f <= f_lo || f >= f_hi {
+                0.0
+            } else if f <= f_c {
+                (f - f_lo) / (f_c - f_lo)
+            } else {
+                (f_hi - f) / (f_hi - f_c)
+            }
+        };
+        let mut weights = Vec::new();
+        let mut spans = Vec::with_capacity(num_filters);
+        for m in 0..num_filters {
+            let first = (0..half).find(|&k| weight(m, k) != 0.0).unwrap_or(half);
+            let last = (first..half).take_while(|&k| weight(m, k) != 0.0).last();
+            let offset = weights.len();
+            let len = match last {
+                Some(l) => l + 1 - first,
+                None => 0,
+            };
+            weights.extend((first..first + len).map(|k| weight(m, k)));
+            spans.push((first, offset, len));
+        }
+        Self {
+            weights,
+            spans,
+            half,
+        }
     }
 
     /// Number of mel bands.
     pub fn num_filters(&self) -> usize {
-        self.filters.len()
+        self.spans.len()
     }
 
     /// Applies the bank to a power spectrum (length must be ≥ bin count).
     pub fn apply(&self, power_spectrum: &[f64]) -> Vec<f64> {
-        self.filters
-            .iter()
-            .map(|f| {
-                f.iter()
-                    .zip(power_spectrum)
-                    .map(|(w, p)| w * p)
-                    .sum::<f64>()
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.apply_into(power_spectrum, &mut out);
+        out
+    }
+
+    /// [`Self::apply`] into a caller-owned buffer, reusing its allocation.
+    ///
+    /// Each band sums `weight * power` over its non-zero span only; because
+    /// the skipped weights are exactly zero and power values are finite, the
+    /// result is bit-identical to the dense dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_spectrum` is shorter than the bank's bin count.
+    pub fn apply_into(&self, power_spectrum: &[f64], out: &mut Vec<f64>) {
+        assert!(
+            power_spectrum.len() >= self.half,
+            "power spectrum has {} bins, filterbank needs {}",
+            power_spectrum.len(),
+            self.half
+        );
+        out.clear();
+        out.extend(self.spans.iter().map(|&(first, offset, len)| {
+            let w = &self.weights[offset..offset + len];
+            let p = &power_spectrum[first..first + len];
+            w.iter().zip(p).map(|(w, p)| w * p).sum::<f64>()
+        }));
     }
 }
 
@@ -135,6 +185,15 @@ pub struct MfccExtractor {
     pub pre_emphasis: f64,
     filterbank: MelFilterbank,
     window: Vec<f64>,
+    /// Precomputed FFT plan for the frame size — bit-identical to the free
+    /// [`fft`](crate::fft::fft) the reference path runs via [`rfft`].
+    fft_plan: FftPlan,
+    /// DCT-II basis, row-major: `dct_cos[k * num_filters + j] =
+    /// cos(π k (j + ½) / num_filters)`. Raw cosines — the orthonormal scale
+    /// is applied after the dot product, matching [`dct2`] bit for bit.
+    dct_cos: Vec<f64>,
+    /// Orthonormal DCT scale per kept coefficient.
+    dct_scale: Vec<f64>,
 }
 
 impl MfccExtractor {
@@ -170,6 +229,22 @@ impl MfccExtractor {
         let filterbank =
             MelFilterbank::new(num_filters, nfft, sample_rate, 80.0, sample_rate / 2.0);
         let window = WindowKind::Hamming.generate(frame_len);
+        let n = num_filters as f64;
+        let dct_cos = (0..num_coeffs)
+            .flat_map(|k| {
+                (0..num_filters)
+                    .map(move |j| (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n).cos())
+            })
+            .collect();
+        let dct_scale = (0..num_coeffs)
+            .map(|k| {
+                if k == 0 {
+                    (1.0 / n).sqrt()
+                } else {
+                    (2.0 / n).sqrt()
+                }
+            })
+            .collect();
         Self {
             sample_rate,
             frame_len,
@@ -179,18 +254,85 @@ impl MfccExtractor {
             pre_emphasis: 0.97,
             filterbank,
             window,
+            fft_plan: FftPlan::new(nfft),
+            dct_cos,
+            dct_scale,
         }
     }
 
     /// Extracts MFCC frames from `signal`. Each row has `num_coeffs` values.
-    pub fn extract(&self, signal: &[f64]) -> Vec<Vec<f64>> {
+    ///
+    /// Convenience wrapper over [`Self::extract_into`] with throwaway
+    /// scratch; hot paths should hold a [`ScratchPad`] and an output
+    /// [`FrameMatrix`] and call `extract_into` directly.
+    pub fn extract(&self, signal: &[f64]) -> FrameMatrix {
+        let mut pad = ScratchPad::new();
+        let mut out = FrameMatrix::new(self.num_coeffs);
+        self.extract_into(signal, &mut pad, &mut out);
+        out
+    }
+
+    /// Zero-allocation MFCC extraction into a caller-owned matrix.
+    ///
+    /// All intermediate state lives in `pad`; once its buffers have grown to
+    /// the signal's high-water mark, repeated calls allocate nothing. Output
+    /// is bit-identical to [`Self::extract_reference`].
+    pub fn extract_into(&self, signal: &[f64], pad: &mut ScratchPad, out: &mut FrameMatrix) {
+        out.reset(self.num_coeffs);
+        pre_emphasis_into(signal, self.pre_emphasis, &mut pad.emphasized);
+        let nfft = next_pow2(self.frame_len);
+        let half = nfft / 2 + 1;
+        let mut start = 0;
+        while start + self.frame_len <= pad.emphasized.len() {
+            pad.fft.resize(nfft, crate::complex::Complex::ZERO);
+            for ((slot, &x), &w) in pad
+                .fft
+                .iter_mut()
+                .zip(&pad.emphasized[start..start + self.frame_len])
+                .zip(&self.window)
+            {
+                *slot = crate::complex::Complex::new(x * w, 0.0);
+            }
+            // Only the zero-padding tail needs clearing — the windowed
+            // samples just overwrote the head.
+            for slot in pad.fft[self.frame_len..].iter_mut() {
+                *slot = crate::complex::Complex::ZERO;
+            }
+            self.fft_plan.forward(&mut pad.fft);
+            pad.power.clear();
+            pad.power.extend(
+                pad.fft[..half]
+                    .iter()
+                    .map(|z| z.norm_sqr() / self.frame_len as f64),
+            );
+            self.filterbank.apply_into(&pad.power, &mut pad.mel);
+            for e in pad.mel.iter_mut() {
+                *e = (e.max(1e-12)).ln();
+            }
+            let row = out.alloc_row();
+            for (k, slot) in row.iter_mut().enumerate() {
+                let basis = &self.dct_cos[k * self.num_filters..(k + 1) * self.num_filters];
+                let acc: f64 = pad.mel.iter().zip(basis).map(|(x, c)| x * c).sum();
+                *slot = self.dct_scale[k] * acc;
+            }
+            start += self.hop;
+        }
+    }
+
+    /// Reference MFCC pipeline over `Vec<Vec<f64>>`, kept as the oracle the
+    /// fast path is verified against (bitwise, see the module docs).
+    pub fn extract_reference(&self, signal: &[f64]) -> Vec<Vec<f64>> {
         let emphasized = pre_emphasis(signal, self.pre_emphasis);
         let mut out = Vec::new();
+        let mut frame = vec![0.0; self.frame_len];
         let mut start = 0;
         while start + self.frame_len <= emphasized.len() {
-            let mut frame: Vec<f64> = emphasized[start..start + self.frame_len].to_vec();
-            for (x, w) in frame.iter_mut().zip(&self.window) {
-                *x *= w;
+            for (f, (&x, &w)) in frame.iter_mut().zip(
+                emphasized[start..start + self.frame_len]
+                    .iter()
+                    .zip(&self.window),
+            ) {
+                *f = x * w;
             }
             let spec = rfft(&frame);
             let half = spec.len() / 2 + 1;
@@ -208,13 +350,15 @@ impl MfccExtractor {
 
     /// Extracts MFCCs and appends delta (first-difference) features,
     /// doubling the dimensionality.
-    pub fn extract_with_deltas(&self, signal: &[f64]) -> Vec<Vec<f64>> {
+    pub fn extract_with_deltas(&self, signal: &[f64]) -> FrameMatrix {
         let base = self.extract(signal);
-        append_deltas(&base)
+        let mut out = FrameMatrix::new(base.cols() * 2);
+        append_deltas_into(&base, &mut out);
+        out
     }
 }
 
-/// Appends two-frame-window delta features to each frame.
+/// Appends two-frame-window delta features to each frame (reference layout).
 pub fn append_deltas(frames: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let n = frames.len();
     (0..n)
@@ -225,11 +369,29 @@ pub fn append_deltas(frames: &[Vec<f64>]) -> Vec<Vec<f64>> {
             } else {
                 &frames[t]
             };
-            let mut row = frames[t].clone();
+            let mut row = Vec::with_capacity(frames[t].len() * 2);
+            row.extend_from_slice(&frames[t]);
             row.extend(prev.iter().zip(next).map(|(p, nx)| (nx - p) / 2.0));
             row
         })
         .collect()
+}
+
+/// [`append_deltas`] from one [`FrameMatrix`] into another, reusing the
+/// output's allocation. `out` ends up with `2 * base.cols()` columns.
+pub fn append_deltas_into(base: &FrameMatrix, out: &mut FrameMatrix) {
+    let (n, dim) = (base.rows(), base.cols());
+    out.reset(dim * 2);
+    for t in 0..n {
+        let prev = base.row(if t > 0 { t - 1 } else { t });
+        let next = base.row(if t + 1 < n { t + 1 } else { t });
+        let cur = base.row(t);
+        let row = out.alloc_row();
+        row[..dim].copy_from_slice(cur);
+        for d in 0..dim {
+            row[dim + d] = (next[d] - prev[d]) / 2.0;
+        }
+    }
 }
 
 /// Cepstral mean normalization: subtracts the per-dimension mean over the
@@ -244,6 +406,21 @@ pub fn cepstral_mean_normalize(frames: &mut [Vec<f64>]) {
         let mean = frames.iter().map(|f| f[d]).sum::<f64>() / n;
         for f in frames.iter_mut() {
             f[d] -= mean;
+        }
+    }
+}
+
+/// [`cepstral_mean_normalize`] over a [`FrameMatrix`], in place.
+pub fn cepstral_mean_normalize_flat(frames: &mut FrameMatrix) {
+    let (rows, dim) = (frames.rows(), frames.cols());
+    if rows == 0 {
+        return;
+    }
+    let n = rows as f64;
+    for d in 0..dim {
+        let mean = (0..rows).map(|r| frames.row(r)[d]).sum::<f64>() / n;
+        for r in 0..rows {
+            frames.row_mut(r)[d] -= mean;
         }
     }
 }
@@ -275,6 +452,38 @@ mod tests {
     }
 
     #[test]
+    fn sparse_apply_matches_dense_dot_product() {
+        // Rebuild the dense weights independently and compare band sums.
+        let (num_filters, nfft, fs, lo, hi) = (26, 512, 16_000.0, 80.0, 8000.0);
+        let fb = MelFilterbank::new(num_filters, nfft, fs, lo, hi);
+        let half = nfft / 2 + 1;
+        let power: Vec<f64> = (0..half).map(|k| ((k * 37 % 101) as f64) * 0.01).collect();
+        let sparse = fb.apply(&power);
+
+        let (mel_lo, mel_hi) = (hz_to_mel(lo), hz_to_mel(hi));
+        let points: Vec<f64> = (0..num_filters + 2)
+            .map(|i| mel_to_hz(mel_lo + (mel_hi - mel_lo) * i as f64 / (num_filters + 1) as f64))
+            .collect();
+        for m in 0..num_filters {
+            let (f_lo, f_c, f_hi) = (points[m], points[m + 1], points[m + 2]);
+            let dense: f64 = (0..half)
+                .map(|k| {
+                    let f = k as f64 * fs / nfft as f64;
+                    let w = if f <= f_lo || f >= f_hi {
+                        0.0
+                    } else if f <= f_c {
+                        (f - f_lo) / (f_c - f_lo)
+                    } else {
+                        (f_hi - f) / (f_hi - f_c)
+                    };
+                    w * power[k]
+                })
+                .sum();
+            assert_eq!(sparse[m], dense, "band {m}");
+        }
+    }
+
+    #[test]
     fn dct2_constant_input_concentrates_in_c0() {
         let c = dct2(&[3.0; 16], 4);
         assert!(c[0] > 1.0);
@@ -302,9 +511,47 @@ mod tests {
         let ex = MfccExtractor::new(fs);
         let frames = ex.extract(&sig);
         // 1 s at 10 ms hop with 25 ms frames → about 98 frames.
-        assert!(frames.len() >= 95 && frames.len() <= 99, "{}", frames.len());
-        assert!(frames.iter().all(|f| f.len() == 13));
-        assert!(frames.iter().flatten().all(|v| v.is_finite()));
+        assert!(
+            frames.rows() >= 95 && frames.rows() <= 99,
+            "{}",
+            frames.rows()
+        );
+        assert_eq!(frames.cols(), 13);
+        assert!(frames.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_reference() {
+        let fs = 16_000.0;
+        let sig: Vec<f64> = (0..8000)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (std::f64::consts::TAU * 220.0 * t).sin()
+                    + 0.3 * (std::f64::consts::TAU * 1750.0 * t).sin()
+            })
+            .collect();
+        let ex = MfccExtractor::new(fs);
+        let fast = ex.extract(&sig);
+        let reference = ex.extract_reference(&sig);
+        assert_eq!(fast.rows(), reference.len());
+        for (t, r) in reference.iter().enumerate() {
+            assert_eq!(fast.row(t), r.as_slice(), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn extract_into_reuses_scratch_across_calls() {
+        let fs = 16_000.0;
+        let sig: Vec<f64> = (0..4000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let ex = MfccExtractor::new(fs);
+        let mut pad = ScratchPad::new();
+        let mut out = FrameMatrix::default();
+        ex.extract_into(&sig, &mut pad, &mut out);
+        let first = out.clone();
+        let footprint = pad.footprint_bytes();
+        ex.extract_into(&sig, &mut pad, &mut out);
+        assert_eq!(out, first);
+        assert_eq!(pad.footprint_bytes(), footprint, "scratch regrew");
     }
 
     #[test]
@@ -322,14 +569,14 @@ mod tests {
         let ex = MfccExtractor::new(fs);
         let a = ex.extract(&mk(200.0));
         let b = ex.extract(&mk(800.0));
-        let mean = |fr: &[Vec<f64>]| -> Vec<f64> {
-            let mut m = vec![0.0; fr[0].len()];
-            for f in fr {
+        let mean = |fr: &FrameMatrix| -> Vec<f64> {
+            let mut m = vec![0.0; fr.cols()];
+            for f in fr.iter_rows() {
                 for (mi, v) in m.iter_mut().zip(f) {
                     *mi += v;
                 }
             }
-            m.iter().map(|v| v / fr.len() as f64).collect()
+            m.iter().map(|v| v / fr.rows() as f64).collect()
         };
         let (ma, mb) = (mean(&a), mean(&b));
         let dist: f64 = ma
@@ -348,14 +595,21 @@ mod tests {
         assert_eq!(with[0].len(), 4);
         // Delta of middle frame dim 0: (5−1)/2 = 2.
         assert_eq!(with[1][2], 2.0);
+
+        let mut flat = FrameMatrix::default();
+        append_deltas_into(&FrameMatrix::from_rows(&frames), &mut flat);
+        assert_eq!(flat.to_rows(), with);
     }
 
     #[test]
     fn cmn_zeroes_means() {
         let mut frames = vec![vec![1.0, 10.0], vec![3.0, 20.0]];
+        let mut flat = FrameMatrix::from_rows(&frames);
         cepstral_mean_normalize(&mut frames);
+        cepstral_mean_normalize_flat(&mut flat);
         assert_eq!(frames[0][0] + frames[1][0], 0.0);
         assert_eq!(frames[0][1] + frames[1][1], 0.0);
+        assert_eq!(flat.to_rows(), frames);
     }
 
     #[test]

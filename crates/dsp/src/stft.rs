@@ -5,7 +5,8 @@
 //! the trajectory stack consumes per-frame complex bins for phase ranging.
 
 use crate::complex::Complex;
-use crate::fft::fft;
+use crate::fft::FftPlan;
+use crate::frame::FrameMatrix;
 use crate::window::WindowKind;
 
 /// Configuration for STFT analysis.
@@ -32,8 +33,9 @@ impl Default for StftConfig {
 /// A time–frequency magnitude map of a real signal.
 #[derive(Debug, Clone)]
 pub struct Spectrogram {
-    /// Magnitudes: `frames[t][k]` is the magnitude of bin `k` at frame `t`.
-    frames: Vec<Vec<f64>>,
+    /// Magnitudes: row `t`, column `k` is the magnitude of bin `k` at
+    /// frame `t`, stored flat.
+    frames: FrameMatrix,
     /// Center frequency of each bin, Hz.
     bin_freqs: Vec<f64>,
     /// Start time (s) of each frame.
@@ -43,23 +45,41 @@ pub struct Spectrogram {
 impl Spectrogram {
     /// Computes the spectrogram of `signal` at `sample_rate`.
     ///
+    /// One complex FFT buffer is reused across all frames, and magnitudes
+    /// land in a single flat [`FrameMatrix`] — no per-frame allocations.
+    ///
     /// # Panics
     ///
     /// Panics if `config.frame_len == 0` or `config.hop == 0`.
     pub fn compute(signal: &[f64], sample_rate: f64, config: StftConfig) -> Self {
-        let complex_frames = stft(signal, config);
+        assert!(config.frame_len > 0, "frame_len must be positive");
+        assert!(config.hop > 0, "hop must be positive");
         let nfft = config.frame_len.next_power_of_two();
         let half = nfft / 2 + 1;
+        let win = config.window.generate(config.frame_len);
         let bin_freqs = (0..half)
             .map(|k| k as f64 * sample_rate / nfft as f64)
             .collect();
-        let frame_times = (0..complex_frames.len())
-            .map(|t| (t * config.hop) as f64 / sample_rate)
-            .collect();
-        let frames = complex_frames
-            .into_iter()
-            .map(|f| f[..half].iter().map(|z| z.abs()).collect())
-            .collect();
+        let mut frames = FrameMatrix::new(half);
+        let mut frame_times = Vec::new();
+        let mut buf = vec![Complex::ZERO; nfft];
+        let plan = FftPlan::new(nfft);
+        let mut start = 0;
+        while start + config.frame_len <= signal.len() {
+            for i in 0..config.frame_len {
+                buf[i] = Complex::new(signal[start + i] * win[i], 0.0);
+            }
+            buf[config.frame_len..]
+                .iter_mut()
+                .for_each(|z| *z = Complex::ZERO);
+            plan.forward(&mut buf);
+            let row = frames.alloc_row();
+            for (slot, z) in row.iter_mut().zip(&buf[..half]) {
+                *slot = z.abs();
+            }
+            frame_times.push(start as f64 / sample_rate);
+            start += config.hop;
+        }
         Self {
             frames,
             bin_freqs,
@@ -69,7 +89,7 @@ impl Spectrogram {
 
     /// Number of analysis frames.
     pub fn num_frames(&self) -> usize {
-        self.frames.len()
+        self.frames.rows()
     }
 
     /// Number of frequency bins per frame.
@@ -89,12 +109,12 @@ impl Spectrogram {
 
     /// Magnitude of bin `k` at frame `t`.
     pub fn magnitude(&self, t: usize, k: usize) -> f64 {
-        self.frames[t][k]
+        self.frames.row(t)[k]
     }
 
     /// All magnitudes for frame `t`.
     pub fn frame(&self, t: usize) -> &[f64] {
-        &self.frames[t]
+        self.frames.row(t)
     }
 
     /// Index of the bin whose center frequency is closest to `freq_hz`.
@@ -116,7 +136,7 @@ impl Spectrogram {
     pub fn band_energy(&self, t: usize, lo_hz: f64, hi_hz: f64) -> f64 {
         self.bin_freqs
             .iter()
-            .zip(&self.frames[t])
+            .zip(self.frames.row(t))
             .filter(|(f, _)| **f >= lo_hz && **f <= hi_hz)
             .map(|(_, m)| m * m)
             .sum()
@@ -126,7 +146,7 @@ impl Spectrogram {
     /// Fig. 6 plots for the pilot tone.
     pub fn bin_trace(&self, freq_hz: f64) -> Vec<f64> {
         let k = self.bin_of(freq_hz);
-        self.frames.iter().map(|f| f[k]).collect()
+        self.frames.iter_rows().map(|f| f[k]).collect()
     }
 }
 
@@ -141,13 +161,14 @@ pub fn stft(signal: &[f64], config: StftConfig) -> Vec<Vec<Complex>> {
     let nfft = config.frame_len.next_power_of_two();
     let win = config.window.generate(config.frame_len);
     let mut out = Vec::new();
+    let plan = FftPlan::new(nfft);
     let mut start = 0;
     while start + config.frame_len <= signal.len() {
         let mut buf = vec![Complex::ZERO; nfft];
         for i in 0..config.frame_len {
             buf[i] = Complex::new(signal[start + i] * win[i], 0.0);
         }
-        fft(&mut buf);
+        plan.forward(&mut buf);
         out.push(buf);
         start += config.hop;
     }

@@ -80,14 +80,83 @@ pub fn detect(signal: &[f64], sample_rate: f64, config: VadConfig) -> VadResult 
 
 /// Returns the concatenated speech-only samples of `signal`.
 pub fn trim_silence(signal: &[f64], sample_rate: f64, config: VadConfig) -> Vec<f64> {
-    let vad = detect(signal, sample_rate, config);
     let mut out = Vec::new();
-    for (i, chunk) in signal.chunks(vad.frame_len).enumerate() {
-        if vad.active.get(i).copied().unwrap_or(false) {
+    trim_silence_into(
+        signal,
+        sample_rate,
+        config,
+        &mut VadScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// Reusable buffers for the allocation-free VAD path.
+#[derive(Debug, Clone, Default)]
+pub struct VadScratch {
+    energies: Vec<f64>,
+    sorted: Vec<f64>,
+    active: Vec<bool>,
+}
+
+impl VadScratch {
+    /// Bytes currently reserved across the scratch buffers (capacities).
+    pub fn footprint_bytes(&self) -> usize {
+        (self.energies.capacity() + self.sorted.capacity()) * std::mem::size_of::<f64>()
+            + self.active.capacity()
+    }
+}
+
+/// [`trim_silence`] into a caller-owned buffer through reusable scratch.
+///
+/// Decision-identical to [`detect`] + [`trim_silence`]: the unstable sort
+/// used for the noise-floor percentile selects the same order statistic as
+/// the reference's stable sort. Performs no allocations once the scratch and
+/// output buffers have reached their high-water marks.
+pub fn trim_silence_into(
+    signal: &[f64],
+    sample_rate: f64,
+    config: VadConfig,
+    scratch: &mut VadScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let frame_len = ((sample_rate * config.frame_s).round() as usize).max(1);
+    scratch.energies.clear();
+    scratch.energies.extend(
+        signal
+            .chunks(frame_len)
+            .map(|c| c.iter().map(|x| x * x).sum::<f64>() / c.len() as f64),
+    );
+    if scratch.energies.is_empty() {
+        return;
+    }
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(&scratch.energies);
+    scratch
+        .sorted
+        .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let floor = scratch.sorted[scratch.sorted.len() / 10].max(1e-12);
+    let thresh = floor * 10f64.powf(config.threshold_db / 10.0);
+
+    scratch.active.clear();
+    scratch
+        .active
+        .extend(scratch.energies.iter().map(|&e| e > thresh));
+    let mut hang = 0usize;
+    for a in scratch.active.iter_mut() {
+        if *a {
+            hang = config.hangover;
+        } else if hang > 0 {
+            *a = true;
+            hang -= 1;
+        }
+    }
+    for (i, chunk) in signal.chunks(frame_len).enumerate() {
+        if scratch.active[i] {
             out.extend_from_slice(chunk);
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -129,6 +198,26 @@ mod tests {
         assert!(trimmed.len() > (0.8 * fs) as usize);
         let rms = (trimmed.iter().map(|x| x * x).sum::<f64>() / trimmed.len() as f64).sqrt();
         assert!(rms > 0.5);
+    }
+
+    #[test]
+    fn scratch_trim_matches_detect_path() {
+        let fs = 8000.0;
+        let sig = speech_like(fs);
+        let vad = detect(&sig, fs, VadConfig::default());
+        let mut expected = Vec::new();
+        for (i, chunk) in sig.chunks(vad.frame_len).enumerate() {
+            if vad.active[i] {
+                expected.extend_from_slice(chunk);
+            }
+        }
+        let mut scratch = VadScratch::default();
+        let mut out = Vec::new();
+        trim_silence_into(&sig, fs, VadConfig::default(), &mut scratch, &mut out);
+        assert_eq!(out, expected);
+        let footprint = scratch.footprint_bytes();
+        trim_silence_into(&sig, fs, VadConfig::default(), &mut scratch, &mut out);
+        assert_eq!(scratch.footprint_bytes(), footprint, "scratch regrew");
     }
 
     #[test]

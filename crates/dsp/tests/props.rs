@@ -129,11 +129,9 @@ proptest! {
             .collect();
         let frames = MfccExtractor::new(fs).extract(&sig);
         prop_assert!(!frames.is_empty());
-        for f in &frames {
-            prop_assert_eq!(f.len(), 13);
-            for v in f {
-                prop_assert!(v.is_finite());
-            }
+        prop_assert_eq!(frames.cols(), 13);
+        for v in frames.as_slice() {
+            prop_assert!(v.is_finite());
         }
     }
 

@@ -9,6 +9,7 @@
 //! ratio between the speaker model and the UBM.
 
 use crate::kmeans::kmeans;
+use magshield_dsp::frame::FrameSource;
 use magshield_simkit::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +100,14 @@ impl DiagonalGmm {
         acc
     }
 
+    /// Natural log of each mixture weight (floored at 1e-300), written into
+    /// a caller-owned buffer so bulk callers compute them once instead of
+    /// once per frame.
+    pub fn log_weights_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.weights.iter().map(|w| w.max(1e-300).ln()));
+    }
+
     /// Log density of one frame under the full mixture (log-sum-exp).
     pub fn log_pdf(&self, x: &[f64]) -> f64 {
         let logs: Vec<f64> = (0..self.num_components())
@@ -108,20 +117,52 @@ impl DiagonalGmm {
     }
 
     /// Mean per-frame log-likelihood of a set of frames.
-    pub fn mean_log_likelihood(&self, frames: &[Vec<f64>]) -> f64 {
-        if frames.is_empty() {
+    ///
+    /// Accepts either frame layout via [`FrameSource`]; log-weights and the
+    /// per-component buffer are hoisted out of the frame loop, so the value
+    /// is identical to averaging [`Self::log_pdf`] but without per-frame
+    /// recomputation.
+    pub fn mean_log_likelihood<F: FrameSource + ?Sized>(&self, frames: &F) -> f64 {
+        let n = frames.num_frames();
+        if n == 0 {
             return f64::NEG_INFINITY;
         }
-        frames.iter().map(|f| self.log_pdf(f)).sum::<f64>() / frames.len() as f64
+        let k = self.num_components();
+        let mut log_w = Vec::with_capacity(k);
+        self.log_weights_into(&mut log_w);
+        let mut logs = vec![0.0; k];
+        let mut sum = 0.0;
+        for i in 0..n {
+            let x = frames.frame(i);
+            for c in 0..k {
+                logs[c] = log_w[c] + self.component_log_pdf(c, x);
+            }
+            sum += log_sum_exp(&logs);
+        }
+        sum / n as f64
     }
 
     /// Posterior responsibilities of each component for one frame.
     pub fn responsibilities(&self, x: &[f64]) -> Vec<f64> {
-        let logs: Vec<f64> = (0..self.num_components())
-            .map(|c| self.weights[c].max(1e-300).ln() + self.component_log_pdf(c, x))
-            .collect();
-        let total = log_sum_exp(&logs);
-        logs.iter().map(|&l| (l - total).exp()).collect()
+        let mut log_w = Vec::new();
+        self.log_weights_into(&mut log_w);
+        let mut out = Vec::new();
+        self.responsibilities_into(x, &log_w, &mut out);
+        out
+    }
+
+    /// [`Self::responsibilities`] into a caller-owned buffer, with the
+    /// log-weights precomputed once by the caller (see
+    /// [`Self::log_weights_into`]).
+    pub fn responsibilities_into(&self, x: &[f64], log_weights: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            (0..self.num_components()).map(|c| log_weights[c] + self.component_log_pdf(c, x)),
+        );
+        let total = log_sum_exp(out);
+        for l in out.iter_mut() {
+            *l = (*l - total).exp();
+        }
     }
 
     /// Trains a GMM with `k` components on `data` via k-means init + EM.
@@ -178,17 +219,24 @@ impl DiagonalGmm {
             variances,
         };
 
-        // EM iterations.
+        // EM iterations. Log-weights are computed once per iteration (they
+        // only change in the M step) and the per-component buffer is reused
+        // across frames.
         let mut prev_ll = f64::NEG_INFINITY;
+        let mut log_w = vec![0.0; k];
+        let mut logs = vec![0.0; k];
         for _ in 0..max_iters {
             let mut nk = vec![0.0; k];
             let mut sum = vec![vec![0.0; dim]; k];
             let mut sumsq = vec![vec![0.0; dim]; k];
             let mut ll = 0.0;
+            for (lw, w) in log_w.iter_mut().zip(&gmm.weights) {
+                *lw = w.max(1e-300).ln();
+            }
             for x in data {
-                let logs: Vec<f64> = (0..k)
-                    .map(|c| gmm.weights[c].max(1e-300).ln() + gmm.component_log_pdf(c, x))
-                    .collect();
+                for c in 0..k {
+                    logs[c] = log_w[c] + gmm.component_log_pdf(c, x);
+                }
                 let total = log_sum_exp(&logs);
                 ll += total;
                 for c in 0..k {
@@ -230,13 +278,17 @@ impl DiagonalGmm {
     ///
     /// Returns the adapted model; weights and variances are kept from the
     /// prior (standard practice for speaker adaptation).
-    pub fn map_adapt_means(&self, data: &[Vec<f64>], relevance: f64) -> Self {
+    pub fn map_adapt_means<F: FrameSource + ?Sized>(&self, data: &F, relevance: f64) -> Self {
         let k = self.num_components();
         let dim = self.dim();
         let mut nk = vec![0.0; k];
         let mut sum = vec![vec![0.0; dim]; k];
-        for x in data {
-            let r = self.responsibilities(x);
+        let mut log_w = Vec::with_capacity(k);
+        self.log_weights_into(&mut log_w);
+        let mut r = Vec::with_capacity(k);
+        for i in 0..data.num_frames() {
+            let x = data.frame(i);
+            self.responsibilities_into(x, &log_w, &mut r);
             for c in 0..k {
                 nk[c] += r[c];
                 for d in 0..dim {
@@ -260,15 +312,33 @@ impl DiagonalGmm {
 
     /// Average per-frame log-likelihood ratio of `frames` between `self`
     /// (speaker model) and `background` (UBM) — the verification score.
-    pub fn llr_score(&self, background: &DiagonalGmm, frames: &[Vec<f64>]) -> f64 {
-        if frames.is_empty() {
+    ///
+    /// This is the reference scorer; the fast path is
+    /// [`llr_score_prepared`]. Both accept either frame layout.
+    pub fn llr_score<F: FrameSource + ?Sized>(&self, background: &DiagonalGmm, frames: &F) -> f64 {
+        let n = frames.num_frames();
+        if n == 0 {
             return f64::NEG_INFINITY;
         }
-        frames
-            .iter()
-            .map(|f| self.log_pdf(f) - background.log_pdf(f))
-            .sum::<f64>()
-            / frames.len() as f64
+        let (ks, kb) = (self.num_components(), background.num_components());
+        let mut log_ws = Vec::with_capacity(ks);
+        let mut log_wb = Vec::with_capacity(kb);
+        self.log_weights_into(&mut log_ws);
+        background.log_weights_into(&mut log_wb);
+        let mut logs_s = vec![0.0; ks];
+        let mut logs_b = vec![0.0; kb];
+        let mut sum = 0.0;
+        for i in 0..n {
+            let x = frames.frame(i);
+            for c in 0..ks {
+                logs_s[c] = log_ws[c] + self.component_log_pdf(c, x);
+            }
+            for c in 0..kb {
+                logs_b[c] = log_wb[c] + background.component_log_pdf(c, x);
+            }
+            sum += log_sum_exp(&logs_s) - log_sum_exp(&logs_b);
+        }
+        sum / n as f64
     }
 }
 
@@ -279,6 +349,247 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
         return f64::NEG_INFINITY;
     }
     m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// A [`DiagonalGmm`] flattened for scoring: per-component constants folded
+/// once at construction so the per-frame inner loop is a fused
+/// multiply-accumulate over contiguous memory.
+///
+/// For component `c`, `log_const[c] = ln w_c − ½ Σ_d (ln 2π + ln v_cd)` and
+/// the weighted log-density of frame `x` is
+/// `log_const[c] − ½ Σ_d (x_d − μ_cd)² · v⁻¹_cd`.
+///
+/// Folding the constants reorders the reference arithmetic, so prepared
+/// scores match [`DiagonalGmm::log_pdf`] to a 1e-9 tolerance rather than
+/// bitwise (the contract pinned by the regression tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedGmm {
+    k: usize,
+    dim: usize,
+    /// Folded log-weight + normalization per component.
+    log_const: Vec<f64>,
+    /// Component means, flat `k × dim`.
+    means: Vec<f64>,
+    /// Inverse variances, flat `k × dim`.
+    inv_var: Vec<f64>,
+}
+
+impl PreparedGmm {
+    /// Precomputes scoring constants from a mixture.
+    pub fn new(gmm: &DiagonalGmm) -> Self {
+        let (k, dim) = (gmm.num_components(), gmm.dim());
+        let log_const = (0..k)
+            .map(|c| {
+                let norm: f64 = gmm.variances[c].iter().map(|v| LOG_2PI + v.ln()).sum();
+                gmm.weights[c].max(1e-300).ln() - 0.5 * norm
+            })
+            .collect();
+        let means = gmm.means.iter().flatten().copied().collect();
+        let inv_var = gmm.variances.iter().flatten().map(|v| 1.0 / v).collect();
+        Self {
+            k,
+            dim,
+            log_const,
+            means,
+            inv_var,
+        }
+    }
+
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.k
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Weighted log-density of `x` under component `c`
+    /// (`ln w_c + ln N_c(x)`).
+    #[inline]
+    pub fn weighted_component_ll(&self, c: usize, x: &[f64]) -> f64 {
+        let base = c * self.dim;
+        let m = &self.means[base..base + self.dim];
+        let iv = &self.inv_var[base..base + self.dim];
+        let mut quad = 0.0;
+        for ((&xi, &mi), &ivi) in x.iter().zip(m).zip(iv) {
+            let d = xi - mi;
+            quad += d * d * ivi;
+        }
+        self.log_const[c] - 0.5 * quad
+    }
+
+    /// Weighted log-densities of `x` under every component, into a
+    /// caller-owned buffer.
+    pub fn weighted_log_pdfs_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.k).map(|c| self.weighted_component_ll(c, x)));
+    }
+
+    /// Log density of one frame under the full mixture, using `buf` as
+    /// scratch. Matches [`DiagonalGmm::log_pdf`] to 1e-9.
+    pub fn log_pdf(&self, x: &[f64], buf: &mut Vec<f64>) -> f64 {
+        self.weighted_log_pdfs_into(x, buf);
+        log_sum_exp(buf)
+    }
+
+    /// Mean per-frame log-likelihood over `frames`, using `buf` as scratch.
+    pub fn mean_log_likelihood<F: FrameSource + ?Sized>(
+        &self,
+        frames: &F,
+        buf: &mut Vec<f64>,
+    ) -> f64 {
+        let n = frames.num_frames();
+        if n == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            sum += self.log_pdf(frames.frame(i), buf);
+        }
+        sum / n as f64
+    }
+}
+
+/// Reusable buffers for [`llr_score_prepared`]. One per scoring thread.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratch {
+    ubm_ll: Vec<f64>,
+    spk_ll: Vec<f64>,
+    top: Vec<usize>,
+}
+
+impl ScoreScratch {
+    /// A fresh scratch with no reserved memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently reserved across the buffers (capacities).
+    pub fn footprint_bytes(&self) -> usize {
+        (self.ubm_ll.capacity() + self.spk_ll.capacity()) * std::mem::size_of::<f64>()
+            + self.top.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// What [`llr_score_prepared`] computed, beyond the score itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlrBreakdown {
+    /// Average per-frame log-likelihood ratio (the verification score).
+    pub score: f64,
+    /// Frames scored.
+    pub frames: usize,
+    /// Speaker-side component evaluations skipped by top-C pruning, summed
+    /// over frames.
+    pub pruned_components: u64,
+    /// Speaker-side component evaluations actually performed.
+    pub evaluated_components: u64,
+}
+
+/// Fast-path GMM–UBM verification score with optional top-C Gaussian
+/// pruning.
+///
+/// Per frame, all UBM components are evaluated and the UBM term of the
+/// ratio is the exact log-sum-exp. With `top_c` in `1..k`, the speaker
+/// model is evaluated only on the `top_c` UBM components with the highest
+/// weighted log-density for that frame — the standard GMM–UBM top-C
+/// approximation (the MAP-adapted speaker model shares the UBM's mixture
+/// structure, so the UBM's best components dominate the speaker-side sum
+/// too). `top_c == 0` or `top_c >= k` evaluates every component, which
+/// matches [`DiagonalGmm::llr_score`] to the prepared-constant tolerance
+/// (1e-9, see [`PreparedGmm`]).
+///
+/// # Panics
+///
+/// Panics if the two mixtures disagree in component count or dimension.
+pub fn llr_score_prepared<F: FrameSource + ?Sized>(
+    speaker: &PreparedGmm,
+    ubm: &PreparedGmm,
+    frames: &F,
+    top_c: usize,
+    scratch: &mut ScoreScratch,
+) -> LlrBreakdown {
+    assert_eq!(speaker.k, ubm.k, "speaker/UBM component count mismatch");
+    assert_eq!(speaker.dim, ubm.dim, "speaker/UBM dimension mismatch");
+    let n = frames.num_frames();
+    if n == 0 {
+        return LlrBreakdown {
+            score: f64::NEG_INFINITY,
+            frames: 0,
+            pruned_components: 0,
+            evaluated_components: 0,
+        };
+    }
+    let k = ubm.k;
+    let c_eff = if top_c == 0 || top_c >= k { k } else { top_c };
+    let ScoreScratch {
+        ubm_ll,
+        spk_ll,
+        top,
+    } = scratch;
+    let mut sum = 0.0;
+    let mut pruned = 0u64;
+    let mut evaluated = 0u64;
+    for i in 0..n {
+        let x = frames.frame(i);
+        ubm.weighted_log_pdfs_into(x, ubm_ll);
+        let ubm_total = log_sum_exp(ubm_ll);
+        let spk_total = if c_eff == k {
+            speaker.weighted_log_pdfs_into(x, spk_ll);
+            evaluated += k as u64;
+            log_sum_exp(spk_ll)
+        } else {
+            top.clear();
+            top.extend(0..k);
+            top.select_nth_unstable_by(c_eff - 1, |&a, &b| {
+                ubm_ll[b].partial_cmp(&ubm_ll[a]).unwrap()
+            });
+            spk_ll.clear();
+            spk_ll.extend(
+                top[..c_eff]
+                    .iter()
+                    .map(|&c| speaker.weighted_component_ll(c, x)),
+            );
+            evaluated += c_eff as u64;
+            pruned += (k - c_eff) as u64;
+            log_sum_exp(spk_ll)
+        };
+        sum += spk_total - ubm_total;
+    }
+    LlrBreakdown {
+        score: sum / n as f64,
+        frames: n,
+        pruned_components: pruned,
+        evaluated_components: evaluated,
+    }
+}
+
+/// Convenience bundle of a prepared speaker model and UBM.
+#[derive(Debug, Clone)]
+pub struct LlrScorer {
+    speaker: PreparedGmm,
+    ubm: PreparedGmm,
+}
+
+impl LlrScorer {
+    /// Prepares both mixtures for fast scoring.
+    pub fn new(speaker: &DiagonalGmm, ubm: &DiagonalGmm) -> Self {
+        Self {
+            speaker: PreparedGmm::new(speaker),
+            ubm: PreparedGmm::new(ubm),
+        }
+    }
+
+    /// Scores `frames`; see [`llr_score_prepared`].
+    pub fn score<F: FrameSource + ?Sized>(
+        &self,
+        frames: &F,
+        top_c: usize,
+        scratch: &mut ScoreScratch,
+    ) -> LlrBreakdown {
+        llr_score_prepared(&self.speaker, &self.ubm, frames, top_c, scratch)
+    }
 }
 
 #[cfg(test)]
@@ -406,8 +717,120 @@ mod tests {
     #[test]
     fn empty_frames_score_neg_infinity() {
         let g = DiagonalGmm::from_parameters(vec![1.0], vec![vec![0.0]], vec![vec![1.0]]);
-        assert_eq!(g.mean_log_likelihood(&[]), f64::NEG_INFINITY);
-        assert_eq!(g.llr_score(&g, &[]), f64::NEG_INFINITY);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(g.mean_log_likelihood(&empty), f64::NEG_INFINITY);
+        assert_eq!(g.llr_score(&g, &empty), f64::NEG_INFINITY);
+        let p = PreparedGmm::new(&g);
+        let b = llr_score_prepared(&p, &p, &empty, 0, &mut ScoreScratch::new());
+        assert_eq!(b.score, f64::NEG_INFINITY);
+        assert_eq!(b.frames, 0);
+    }
+
+    /// Regression pin for the log-weight hoisting (satellite of the fast
+    /// path): `log_pdf`, the hoisted bulk scorers, and the prepared fast
+    /// path all agree with a longhand evaluation of
+    /// `ln Σ_c w_c N(x; μ_c, σ²_c)` to 1e-9.
+    #[test]
+    fn log_pdf_pinned_against_longhand_formula() {
+        let weights = vec![0.25, 0.55, 0.2];
+        let means = vec![vec![0.0, 1.0], vec![-2.0, 0.5], vec![3.0, -1.5]];
+        let variances = vec![vec![1.0, 2.0], vec![0.3, 0.7], vec![1.5, 0.2]];
+        let gmm = DiagonalGmm::from_parameters(weights.clone(), means.clone(), variances.clone());
+        let prepared = PreparedGmm::new(&gmm);
+        let mut buf = Vec::new();
+        for x in [[0.1, 0.2], [-2.0, 0.5], [5.0, -3.0], [0.0, 0.0]] {
+            let longhand: Vec<f64> = (0..3)
+                .map(|c| {
+                    let mut l = weights[c].ln();
+                    for d in 0..2 {
+                        let (m, v) = (means[c][d], variances[c][d]);
+                        l += -0.5 * (LOG_2PI + v.ln() + (x[d] - m) * (x[d] - m) / v);
+                    }
+                    l
+                })
+                .collect();
+            let expected = log_sum_exp(&longhand);
+            assert!((gmm.log_pdf(&x) - expected).abs() < 1e-9);
+            assert!((prepared.log_pdf(&x, &mut buf) - expected).abs() < 1e-9);
+            let one = vec![x.to_vec()];
+            assert!((gmm.mean_log_likelihood(&one) - expected).abs() < 1e-9);
+            assert!((prepared.mean_log_likelihood(&one, &mut buf) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prepared_exact_score_matches_reference_scorer() {
+        let rng = SimRng::from_seed(29);
+        let data = two_cluster_data(&rng, 300);
+        let ubm = DiagonalGmm::train(&data, 4, 20, 1e-6, &rng);
+        let model = ubm.map_adapt_means(&data[..80].to_vec(), 16.0);
+        let frames = &data[100..180].to_vec();
+        let reference = model.llr_score(&ubm, frames);
+        let scorer = LlrScorer::new(&model, &ubm);
+        let mut scratch = ScoreScratch::new();
+        for top_c in [0, 4, 100] {
+            let b = scorer.score(frames, top_c, &mut scratch);
+            assert!(
+                (b.score - reference).abs() < 1e-9,
+                "top_c={top_c}: {} vs {reference}",
+                b.score
+            );
+            assert_eq!(b.frames, frames.len());
+            assert_eq!(b.pruned_components, 0, "C=all must not prune");
+        }
+    }
+
+    #[test]
+    fn pruned_score_counts_and_approximates() {
+        let rng = SimRng::from_seed(31);
+        let data = two_cluster_data(&rng, 400);
+        let ubm = DiagonalGmm::train(&data, 8, 20, 1e-6, &rng);
+        let model = ubm.map_adapt_means(&data[..100].to_vec(), 16.0);
+        let frames = &data[200..300].to_vec();
+        let scorer = LlrScorer::new(&model, &ubm);
+        let mut scratch = ScoreScratch::new();
+        let exact = scorer.score(frames, 0, &mut scratch);
+        let pruned = scorer.score(frames, 4, &mut scratch);
+        assert_eq!(
+            pruned.pruned_components,
+            (frames.len() * (8 - 4)) as u64,
+            "every frame prunes k − C speaker evaluations"
+        );
+        assert_eq!(pruned.evaluated_components, (frames.len() * 4) as u64);
+        // The speaker term is a log-sum over a subset of components, so
+        // pruning can only lower the score — and with the dominant
+        // components kept, only slightly.
+        assert!(
+            pruned.score <= exact.score + 1e-12,
+            "subset sum may not exceed the full sum"
+        );
+        assert!(
+            (pruned.score - exact.score).abs() < 0.05,
+            "pruned {} vs exact {}",
+            pruned.score,
+            exact.score
+        );
+        // Steady state: re-scoring allocates nothing new.
+        let fp = scratch.footprint_bytes();
+        scorer.score(frames, 4, &mut scratch);
+        scorer.score(frames, 0, &mut scratch);
+        assert_eq!(scratch.footprint_bytes(), fp, "scratch regrew");
+    }
+
+    #[test]
+    fn frame_matrix_scores_like_vec_layout() {
+        let rng = SimRng::from_seed(37);
+        let data = two_cluster_data(&rng, 200);
+        let gmm = DiagonalGmm::train(&data, 3, 15, 1e-6, &rng);
+        let matrix = magshield_dsp::FrameMatrix::from_rows(&data);
+        assert_eq!(
+            gmm.mean_log_likelihood(&data),
+            gmm.mean_log_likelihood(&matrix)
+        );
+        assert_eq!(gmm.llr_score(&gmm, &data), gmm.llr_score(&gmm, &matrix));
+        let a = gmm.map_adapt_means(&data, 16.0);
+        let b = gmm.map_adapt_means(&matrix, 16.0);
+        assert_eq!(a, b);
     }
 
     #[test]

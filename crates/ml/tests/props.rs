@@ -1,7 +1,8 @@
 //! Property-based tests for the ML kernels.
 
+use magshield_dsp::FrameMatrix;
 use magshield_ml::circlefit::fit_circle;
-use magshield_ml::gmm::{log_sum_exp, DiagonalGmm};
+use magshield_ml::gmm::{log_sum_exp, DiagonalGmm, LlrScorer, ScoreScratch};
 use magshield_ml::kmeans::kmeans;
 use magshield_ml::metrics::equal_error_rate;
 use magshield_ml::scaler::StandardScaler;
@@ -95,6 +96,71 @@ proptest! {
         let c0 = fit_circle(&pts).unwrap();
         let c1 = fit_circle(&moved).unwrap();
         prop_assert!((c0.radius - c1.radius).abs() < 1e-6 * (1.0 + r));
+    }
+
+    /// The prepared fast-path scorer with C=all is score-exact against the
+    /// reference `llr_score` (to the documented 1e-9 fused-constant
+    /// tolerance), over random mixtures, adaptations, and frame sets — in
+    /// both frame layouts. Values of `top_c >= k` or `0` must behave
+    /// identically.
+    #[test]
+    fn fast_path_c_all_matches_reference_scorer(
+        seed in 0u64..500,
+        k in 1usize..6,
+        n_frames in 1usize..40,
+        relevance in 4.0f64..32.0,
+    ) {
+        let mut r = SimRng::from_seed(seed);
+        let data: Vec<Vec<f64>> = (0..80)
+            .map(|_| vec![r.gauss(0.0, 2.0), r.gauss(1.0, 2.0), r.gauss(-1.0, 1.5)])
+            .collect();
+        let ubm = DiagonalGmm::train(&data, k, 6, 1e-6, &SimRng::from_seed(seed));
+        let model = ubm.map_adapt_means(&data[..40].to_vec(), relevance);
+        let frames: Vec<Vec<f64>> = (0..n_frames)
+            .map(|_| vec![r.gauss(0.5, 2.0), r.gauss(0.0, 2.0), r.gauss(0.0, 1.5)])
+            .collect();
+        let reference = model.llr_score(&ubm, &frames);
+        let scorer = LlrScorer::new(&model, &ubm);
+        let mut scratch = ScoreScratch::new();
+        let matrix = FrameMatrix::from_rows(&frames);
+        for top_c in [0, k, k + 7] {
+            let vecs = scorer.score(&frames, top_c, &mut scratch);
+            let flat = scorer.score(&matrix, top_c, &mut scratch);
+            prop_assert!(
+                (vecs.score - reference).abs() < 1e-9,
+                "top_c={top_c}: fast {} vs reference {reference}",
+                vecs.score
+            );
+            prop_assert_eq!(vecs.score, flat.score, "layouts must agree bitwise");
+            prop_assert_eq!(vecs.pruned_components, 0);
+        }
+    }
+
+    /// Pruned scoring never exceeds the exact score (speaker term is a
+    /// subset log-sum) and prunes exactly (k − C) components per frame.
+    #[test]
+    fn pruning_is_a_lower_bound_with_exact_accounting(
+        seed in 0u64..500,
+        top_c in 1usize..4,
+        n_frames in 1usize..30,
+    ) {
+        let k = 4;
+        let mut r = SimRng::from_seed(seed ^ 0x5A5A);
+        let data: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![r.gauss(0.0, 2.0), r.gauss(0.0, 2.0)])
+            .collect();
+        let ubm = DiagonalGmm::train(&data, k, 6, 1e-6, &SimRng::from_seed(seed));
+        let model = ubm.map_adapt_means(&data[..30].to_vec(), 16.0);
+        let frames: Vec<Vec<f64>> = (0..n_frames)
+            .map(|_| vec![r.gauss(0.0, 2.0), r.gauss(0.0, 2.0)])
+            .collect();
+        let scorer = LlrScorer::new(&model, &ubm);
+        let mut scratch = ScoreScratch::new();
+        let exact = scorer.score(&frames, 0, &mut scratch);
+        let pruned = scorer.score(&frames, top_c, &mut scratch);
+        prop_assert!(pruned.score <= exact.score + 1e-12);
+        let expected_pruned = if top_c >= k { 0 } else { (n_frames * (k - top_c)) as u64 };
+        prop_assert_eq!(pruned.pruned_components, expected_pruned);
     }
 
     /// EER is symmetric under swapping + negating the score sets.

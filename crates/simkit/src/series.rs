@@ -92,17 +92,28 @@ impl TimeSeries {
     }
 
     /// Linear-interpolated value at time `t` (s); clamps outside the range.
+    #[inline]
     pub fn value_at(&self, t: f64) -> f64 {
-        if self.samples.is_empty() {
+        Self::lerp_sample(&self.samples, self.sample_rate, t)
+    }
+
+    /// Linear-interpolated read of a raw sample buffer at time `t` (s),
+    /// clamping outside the range — the kernel behind
+    /// [`TimeSeries::value_at`] and [`TimeSeries::resampled`], exposed so
+    /// zero-allocation callers can resample a borrowed scratch buffer
+    /// without constructing a `TimeSeries`.
+    #[inline]
+    pub fn lerp_sample(samples: &[f64], sample_rate: f64, t: f64) -> f64 {
+        if samples.is_empty() {
             return 0.0;
         }
-        let x = (t * self.sample_rate).clamp(0.0, (self.samples.len() - 1) as f64);
+        let x = (t * sample_rate).clamp(0.0, (samples.len() - 1) as f64);
         let i = x.floor() as usize;
         let frac = x - i as f64;
-        if i + 1 < self.samples.len() {
-            self.samples[i] * (1.0 - frac) + self.samples[i + 1] * frac
+        if i + 1 < samples.len() {
+            samples[i] * (1.0 - frac) + samples[i + 1] * frac
         } else {
-            self.samples[i]
+            samples[i]
         }
     }
 

@@ -167,12 +167,12 @@ mod tests {
         let ex = MfccExtractor::new(VOICE_SAMPLE_RATE);
         let frames = ex.extract(audio);
         let mut m = [0.0; 13];
-        for f in &frames {
+        for f in frames.iter_rows() {
             for (mi, v) in m.iter_mut().zip(f) {
                 *mi += v;
             }
         }
-        m.iter().map(|v| v / frames.len() as f64).collect()
+        m.iter().map(|v| v / frames.rows() as f64).collect()
     }
 
     fn cep_dist(a: &[f64], b: &[f64]) -> f64 {

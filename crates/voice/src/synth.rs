@@ -339,12 +339,12 @@ mod tests {
         let mean_mfcc = |audio: &[f64]| -> Vec<f64> {
             let frames = ex.extract(audio);
             let mut m = [0.0; 13];
-            for f in &frames {
+            for f in frames.iter_rows() {
                 for (mi, v) in m.iter_mut().zip(f) {
                     *mi += v;
                 }
             }
-            m.iter().map(|v| v / frames.len() as f64).collect()
+            m.iter().map(|v| v / frames.rows() as f64).collect()
         };
         let a = mean_mfcc(&render(0, "123456", 1));
         let b = mean_mfcc(&render(0, "123456", 2)); // different take

@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
 """Bench-regression gate for the CI `bench-gate` job.
 
-Compares a fresh `exp_throughput --quick` run against the committed
-baseline (`results/BENCH_throughput.json`) and fails the job when peak
-throughput regressed by more than the tolerance (default 20%).
+Compares a fresh benchmark run against its committed baseline and fails
+the job when any gated metric regressed by more than the tolerance.
 
   bench_gate.py <baseline.json> <current.json> [--tolerance 0.20]
+
+Two artifact shapes are understood:
+
+* Throughput (`results/BENCH_throughput.json`): a single top-level
+  `peak_sessions_per_sec` number, gated higher-is-better.
+* Generic (`results/BENCH_kernels.json`): a top-level `"metrics"` object
+  mapping name -> {"value": float, "direction": "higher"|"lower"}.
+  Every metric present in BOTH files is gated in its stated direction;
+  metrics only one side has are reported but not gated (so adding a new
+  kernel doesn't fail the gate until its baseline is committed).
 
 Exit codes: 0 pass (including the soft-pass when the baseline file is
 missing — a fresh branch should not be blocked on a number it cannot
@@ -21,53 +30,98 @@ def load(path):
         return json.load(f)
 
 
+def gated_metrics(doc):
+    """Extracts {name: (value, direction)} from either artifact shape."""
+    out = {}
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        for name, spec in metrics.items():
+            direction = spec.get("direction", "higher")
+            if direction not in ("higher", "lower"):
+                raise ValueError(f"metric {name}: bad direction {direction!r}")
+            out[name] = (float(spec["value"]), direction)
+    if "peak_sessions_per_sec" in doc:
+        out["peak_sessions_per_sec"] = (
+            float(doc["peak_sessions_per_sec"]),
+            "higher",
+        )
+    if not out:
+        raise ValueError(
+            "no gateable metrics (expected 'metrics' object or "
+            "'peak_sessions_per_sec')"
+        )
+    return out
+
+
 def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
+    args = []
+    tolerance = 0.20
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--tolerance":
+            tolerance = float(next(it, "0.20"))
+        elif a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+        elif not a.startswith("--"):
+            args.append(a)
     if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 1
     baseline_path, current_path = args
-    tolerance = 0.20
-    for i, a in enumerate(argv):
-        if a == "--tolerance":
-            tolerance = float(argv[i + 1])
 
     try:
-        current = load(current_path)
-    except (OSError, ValueError) as e:
+        current = gated_metrics(load(current_path))
+    except (OSError, ValueError, KeyError) as e:
         print(f"bench-gate: cannot read current run {current_path}: {e}")
         return 1
-    cur_peak = float(current["peak_sessions_per_sec"])
 
     try:
-        baseline = load(baseline_path)
+        baseline = gated_metrics(load(baseline_path))
     except OSError:
         # Soft pass: no baseline committed yet. The fresh JSON is uploaded
         # as an artifact so it can be committed as the new baseline.
+        summary = ", ".join(f"{k} {v:.2f}" for k, (v, _) in sorted(current.items()))
         print(
             f"bench-gate: no baseline at {baseline_path} — soft pass "
-            f"(current peak {cur_peak:.1f} sessions/sec; commit the "
-            f"uploaded artifact to enable the gate)"
+            f"(current: {summary}; commit the uploaded artifact to "
+            f"enable the gate)"
         )
         return 0
-    except ValueError as e:
-        print(f"bench-gate: baseline {baseline_path} is not valid JSON: {e}")
+    except (ValueError, KeyError) as e:
+        print(f"bench-gate: baseline {baseline_path} is not usable: {e}")
         return 1
 
-    base_peak = float(baseline["peak_sessions_per_sec"])
-    floor = base_peak * (1.0 - tolerance)
-    verdict = "PASS" if cur_peak >= floor else "FAIL"
-    print(
-        f"bench-gate: baseline {base_peak:.1f} sessions/sec, "
-        f"current {cur_peak:.1f}, floor {floor:.1f} "
-        f"({tolerance:.0%} tolerance) -> {verdict}"
-    )
-    if cur_peak < floor:
+    failed = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline or name not in current:
+            side = "baseline" if name not in current else "current"
+            print(f"bench-gate: {name}: only in {side} — not gated")
+            continue
+        base, direction = baseline[name]
+        cur = current[name][0]
+        if direction == "higher":
+            limit = base * (1.0 - tolerance)
+            ok = cur >= limit
+            bound = "floor"
+        else:
+            limit = base * (1.0 + tolerance)
+            ok = cur <= limit
+            bound = "ceiling"
         print(
-            "bench-gate: peak throughput regressed beyond tolerance. "
+            f"bench-gate: {name}: baseline {base:.2f}, current {cur:.2f}, "
+            f"{bound} {limit:.2f} ({tolerance:.0%} tolerance) -> "
+            f"{'PASS' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failed.append(name)
+
+    if failed:
+        print(
+            f"bench-gate: regressed beyond tolerance: {', '.join(failed)}. "
             "If the slowdown is intentional, regenerate the baseline with "
-            "`cargo run --release -p magshield-bench --bin exp_throughput "
-            "-- --quick` and commit results/BENCH_throughput.json."
+            "the matching magshield-bench binary (exp_throughput / "
+            "exp_kernels, `--quick`) and commit the refreshed results/ "
+            "JSON."
         )
         return 1
     return 0
