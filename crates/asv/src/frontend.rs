@@ -3,6 +3,7 @@
 use magshield_dsp::frame::{FrameMatrix, ScratchPad};
 use magshield_dsp::mel::{append_deltas_into, cepstral_mean_normalize_flat, MfccExtractor};
 use magshield_dsp::vad::{trim_silence_into, VadConfig, VadScratch};
+use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 
 /// Reusable buffers for [`FeatureExtractor::extract_into`]: DSP scratch,
 /// VAD scratch, the trimmed-speech buffer and the pre-delta coefficient
@@ -62,6 +63,11 @@ impl FeatureExtractor {
         }
     }
 
+    /// Audio sample rate this front end was built for (Hz).
+    pub fn sample_rate(&self) -> f64 {
+        self.mfcc.sample_rate
+    }
+
     /// Extracts features from one utterance.
     ///
     /// Convenience wrapper over [`Self::extract_into`] with throwaway
@@ -100,6 +106,37 @@ impl FeatureExtractor {
                 cepstral_mean_normalize_flat(out);
             }
         }
+    }
+}
+
+/// The front end is configuration, not learned state: serializing the
+/// sample rate and feature switches is enough to rebuild it exactly via
+/// [`FeatureExtractor::new`] (MFCC geometry and VAD defaults are derived).
+impl BinaryCodec for FeatureExtractor {
+    const MAGIC: u32 = codec::magic(b"MFEX");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "FeatureExtractor";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_f64(self.sample_rate());
+        w.put_bool(self.use_deltas);
+        w.put_bool(self.use_cmn);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let sample_rate = r.get_f64()?;
+        let use_deltas = r.get_bool()?;
+        let use_cmn = r.get_bool()?;
+        if !(sample_rate.is_finite() && sample_rate >= 1000.0) {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: format!("implausible sample rate {sample_rate}"),
+            });
+        }
+        let mut fx = Self::new(sample_rate);
+        fx.use_deltas = use_deltas;
+        fx.use_cmn = use_cmn;
+        Ok(fx)
     }
 }
 

@@ -22,6 +22,7 @@
 use crate::frontend::FeatureExtractor;
 use crate::model::{with_session_scratch, AsvScore, CohortUtterance, SpeakerModel, UbmBackend};
 use magshield_dsp::frame::{FrameMatrix, FrameSource, FrameSourceMut};
+use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 use magshield_ml::gmm::{llr_score_prepared, DiagonalGmm};
 use magshield_ml::pca::Pca;
 
@@ -277,6 +278,78 @@ impl IsvBackend {
     }
 }
 
+impl BinaryCodec for SessionSubspace {
+    const MAGIC: u32 = codec::magic(b"MSUB");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "SessionSubspace";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_len(self.num_components);
+        w.put_len(self.dim);
+        w.put_len(self.basis.len());
+        for b in &self.basis {
+            w.put_f64_slice(b);
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let invalid = |reason: String| CodecError::Invalid {
+            artifact: Self::NAME,
+            reason,
+        };
+        let num_components = r.get_len()?;
+        let dim = r.get_len()?;
+        if num_components == 0 || dim == 0 {
+            return Err(invalid("supervector shape must be positive".to_string()));
+        }
+        let flat = num_components
+            .checked_mul(dim)
+            .ok_or_else(|| invalid("supervector shape overflows".to_string()))?;
+        let rank = r.get_len()?;
+        let mut basis = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let b = r.get_f64_vec(flat)?;
+            if !b.iter().all(|v| v.is_finite()) {
+                return Err(invalid("basis must be finite".to_string()));
+            }
+            basis.push(b);
+        }
+        Ok(Self {
+            basis,
+            num_components,
+            dim,
+        })
+    }
+}
+
+/// Only the UBM machinery and the subspace are serialized: the compensated
+/// Z-norm cohort is a deterministic function of both, so decoding rebuilds
+/// it through [`IsvBackend::new`] exactly as the trainer did.
+impl BinaryCodec for IsvBackend {
+    const MAGIC: u32 = codec::magic(b"MISV");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "IsvBackend";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_nested(&self.ubm_backend.to_bytes());
+        w.put_nested(&self.subspace.to_bytes());
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let ubm_backend = UbmBackend::from_bytes(r.get_nested()?)?;
+        let subspace = SessionSubspace::from_bytes(r.get_nested()?)?;
+        if subspace.num_components != ubm_backend.ubm.num_components()
+            || subspace.dim != ubm_backend.ubm.dim()
+        {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: "subspace supervector layout does not match the UBM".to_string(),
+            });
+        }
+        Ok(Self::new(ubm_backend, subspace))
+    }
+}
+
 fn mean_of(vectors: &[Vec<f64>]) -> Vec<f64> {
     let dim = vectors[0].len();
     let mut m = vec![0.0; dim];
@@ -429,5 +502,71 @@ mod tests {
         let rng = SimRng::from_seed(7);
         let groups = vec![(0u32, 0u32, session_frames(&rng, 0.0, 0.0, 30))];
         SessionSubspace::estimate(&toy_ubm(), &groups, 1);
+    }
+
+    mod codec_round_trip {
+        use super::*;
+        use magshield_ml::codec::{assert_hostile_input_fails, BinaryCodec, CodecError};
+
+        #[test]
+        fn subspace_round_trips_exactly() {
+            let rng = SimRng::from_seed(9);
+            let ubm = toy_ubm();
+            let sub = SessionSubspace::estimate(&ubm, &toy_groups(&rng), 2);
+            let back = SessionSubspace::from_bytes(&sub.to_bytes()).unwrap();
+            assert_eq!(back.basis, sub.basis);
+            assert_eq!(back.num_components, sub.num_components);
+            assert_eq!(back.dim, sub.dim);
+            // Compensation — the subspace's one job — is bit-identical.
+            let mut a = session_frames(&rng.fork("rt"), 1.0, 0.1, 30);
+            let mut b = a.clone();
+            sub.compensate(&ubm, &mut a);
+            back.compensate(&ubm, &mut b);
+            assert_eq!(a, b);
+        }
+
+        #[test]
+        fn isv_backend_round_trips_with_identical_cohort_rebuild() {
+            let rng = SimRng::from_seed(10);
+            let ubm = toy_ubm();
+            let sub = SessionSubspace::estimate(&ubm, &toy_groups(&rng), 1);
+            // A backend with a tiny synthetic "audio" cohort is enough to
+            // exercise the deterministic cohort recompensation.
+            let fx = crate::frontend::FeatureExtractor::new(16_000.0);
+            let backend = IsvBackend::new(UbmBackend::new(fx, ubm), sub);
+            let back = IsvBackend::from_bytes(&backend.to_bytes()).unwrap();
+            assert_eq!(back.ubm_backend.ubm, backend.ubm_backend.ubm);
+            assert_eq!(back.subspace.basis, backend.subspace.basis);
+            assert_eq!(back.cohort, backend.cohort);
+        }
+
+        #[test]
+        fn hostile_input_yields_typed_errors() {
+            let rng = SimRng::from_seed(11);
+            let sub = SessionSubspace::estimate(&toy_ubm(), &toy_groups(&rng), 1);
+            assert_hostile_input_fails::<SessionSubspace>(&sub.to_bytes());
+        }
+
+        #[test]
+        fn mismatched_subspace_layout_is_invalid() {
+            let rng = SimRng::from_seed(12);
+            let sub = SessionSubspace::estimate(&toy_ubm(), &toy_groups(&rng), 1);
+            // A 3-D UBM cannot host a subspace estimated over a 2-D one.
+            let other_ubm = DiagonalGmm::from_parameters(
+                vec![1.0],
+                vec![vec![0.0, 0.0, 0.0]],
+                vec![vec![1.0, 1.0, 1.0]],
+            );
+            let fx = crate::frontend::FeatureExtractor::new(16_000.0);
+            let mut w = magshield_ml::codec::ByteWriter::new();
+            w.put_nested(&UbmBackend::new(fx, other_ubm).to_bytes());
+            w.put_nested(&sub.to_bytes());
+            let payload = w.into_bytes();
+            let mut r = magshield_ml::codec::ByteReader::new(&payload);
+            assert!(matches!(
+                IsvBackend::decode_payload(&mut r),
+                Err(CodecError::Invalid { .. })
+            ));
+        }
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::frontend::{FeatureExtractor, FrontendScratch};
 use magshield_dsp::frame::{FrameMatrix, FrameSource};
+use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 use magshield_ml::gmm::{llr_score_prepared, DiagonalGmm, PreparedGmm, ScoreScratch};
 use std::cell::RefCell;
 use std::sync::OnceLock;
@@ -89,7 +90,7 @@ impl SpeakerModel {
 
 /// A Z-norm cohort utterance: pre-extracted frames plus the cached
 /// model-independent UBM half of its LLR.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CohortUtterance {
     /// Extracted (and, for ISV, compensated) feature frames.
     pub frames: FrameMatrix,
@@ -337,6 +338,151 @@ pub fn znorm_stats(model: &DiagonalGmm, cohort: &[CohortUtterance]) -> Option<(f
     znorm_stats_prepared(&PreparedGmm::new(model), cohort, &mut buf)
 }
 
+/// Encodes a [`FrameMatrix`] as `cols, rows, row-major f64s`.
+pub(crate) fn put_frame_matrix(w: &mut ByteWriter, m: &FrameMatrix) {
+    w.put_len(m.cols());
+    w.put_len(m.rows());
+    w.put_f64_slice(m.as_slice());
+}
+
+/// Decodes a [`FrameMatrix`] written by [`put_frame_matrix`].
+pub(crate) fn get_frame_matrix(
+    r: &mut ByteReader<'_>,
+    artifact: &'static str,
+) -> Result<FrameMatrix, CodecError> {
+    let cols = r.get_len()?;
+    let rows = r.get_len()?;
+    if cols == 0 && rows > 0 {
+        return Err(CodecError::Invalid {
+            artifact,
+            reason: "frame matrix with rows but zero columns".to_string(),
+        });
+    }
+    let total = rows.checked_mul(cols).ok_or_else(|| CodecError::Invalid {
+        artifact,
+        reason: "frame matrix shape overflows".to_string(),
+    })?;
+    let flat = r.get_f64_vec(total)?;
+    let mut m = FrameMatrix::new(cols);
+    for row in flat.chunks_exact(cols.max(1)) {
+        m.push_row(row);
+    }
+    Ok(m)
+}
+
+impl BinaryCodec for CohortUtterance {
+    const MAGIC: u32 = codec::magic(b"MCOH");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "CohortUtterance";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        put_frame_matrix(w, &self.frames);
+        w.put_f64(self.ubm_mean_ll);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            frames: get_frame_matrix(r, Self::NAME)?,
+            ubm_mean_ll: r.get_f64()?,
+        })
+    }
+}
+
+impl BinaryCodec for SpeakerModel {
+    const MAGIC: u32 = codec::magic(b"MSPK");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "SpeakerModel";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_u32(self.speaker_id);
+        w.put_nested(&self.gmm.to_bytes());
+        match self.znorm {
+            Some((mu, sigma)) => {
+                w.put_bool(true);
+                w.put_f64(mu);
+                w.put_f64(sigma);
+            }
+            None => w.put_bool(false),
+        }
+        match self.genuine_ref {
+            Some(g) => {
+                w.put_bool(true);
+                w.put_f64(g);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let speaker_id = r.get_u32()?;
+        let gmm = DiagonalGmm::from_bytes(r.get_nested()?)?;
+        let znorm = if r.get_bool()? {
+            let mu = r.get_f64()?;
+            let sigma = r.get_f64()?;
+            if !(mu.is_finite() && sigma.is_finite() && sigma > 0.0) {
+                return Err(CodecError::Invalid {
+                    artifact: Self::NAME,
+                    reason: "z-norm statistics must be finite with positive sigma".to_string(),
+                });
+            }
+            Some((mu, sigma))
+        } else {
+            None
+        };
+        let genuine_ref = if r.get_bool()? {
+            Some(r.get_f64()?)
+        } else {
+            None
+        };
+        Ok(Self::new(speaker_id, gmm, znorm, genuine_ref))
+    }
+}
+
+impl BinaryCodec for UbmBackend {
+    const MAGIC: u32 = codec::magic(b"MUBM");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "UbmBackend";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_nested(&self.extractor.to_bytes());
+        w.put_nested(&self.ubm.to_bytes());
+        w.put_len(self.cohort.len());
+        for c in &self.cohort {
+            c.encode_payload(w);
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let extractor = FeatureExtractor::from_bytes(r.get_nested()?)?;
+        let ubm = DiagonalGmm::from_bytes(r.get_nested()?)?;
+        let n = r.get_len()?;
+        if n > MAX_COHORT {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: format!("cohort of {n} exceeds the {MAX_COHORT}-utterance cap"),
+            });
+        }
+        let mut cohort = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = CohortUtterance::decode_payload(r)?;
+            if !c.frames.is_empty() && c.frames.cols() != ubm.dim() {
+                return Err(CodecError::Invalid {
+                    artifact: Self::NAME,
+                    reason: format!(
+                        "cohort frame dimension {} does not match UBM dimension {}",
+                        c.frames.cols(),
+                        ubm.dim()
+                    ),
+                });
+            }
+            cohort.push(c);
+        }
+        let mut backend = Self::new(extractor, ubm);
+        backend.cohort = cohort;
+        Ok(backend)
+    }
+}
+
 fn znorm_stats_prepared(
     model: &PreparedGmm,
     cohort: &[CohortUtterance],
@@ -531,5 +677,129 @@ mod tests {
     fn enroll_rejects_empty_audio() {
         let (backend, _) = small_setup();
         backend.enroll(0, &[&[]]);
+    }
+
+    mod codec_round_trip {
+        use super::*;
+        use magshield_ml::codec::{assert_hostile_input_fails, BinaryCodec, CodecError};
+        use proptest::prelude::*;
+
+        fn assert_speaker_models_equal(a: &SpeakerModel, b: &SpeakerModel) {
+            assert_eq!(a.speaker_id, b.speaker_id);
+            assert_eq!(a.gmm, b.gmm);
+            assert_eq!(a.znorm, b.znorm);
+            assert_eq!(a.genuine_ref, b.genuine_ref);
+        }
+
+        fn assert_backends_equal(a: &UbmBackend, b: &UbmBackend) {
+            assert_eq!(a.extractor.sample_rate(), b.extractor.sample_rate());
+            assert_eq!(a.extractor.use_deltas, b.extractor.use_deltas);
+            assert_eq!(a.extractor.use_cmn, b.extractor.use_cmn);
+            assert_eq!(a.ubm, b.ubm);
+            assert_eq!(a.cohort, b.cohort);
+        }
+
+        #[test]
+        fn trained_backend_and_model_round_trip_exactly() {
+            let (backend, corpus) = small_setup();
+            let back = UbmBackend::from_bytes(&backend.to_bytes()).unwrap();
+            assert_backends_equal(&backend, &back);
+
+            let sp = &corpus.speakers[0];
+            let utts = corpus.of_speaker(sp.id);
+            let enroll: Vec<&[f64]> = utts[..2].iter().map(|u| u.audio.as_slice()).collect();
+            let model = backend.enroll(sp.id, &enroll);
+            let model_back = SpeakerModel::from_bytes(&model.to_bytes()).unwrap();
+            assert_speaker_models_equal(&model, &model_back);
+
+            // The decoded pair scores bit-identically to the original.
+            for u in utts {
+                assert_eq!(
+                    backend.score(&model, &u.audio),
+                    back.score(&model_back, &u.audio)
+                );
+            }
+        }
+
+        #[test]
+        fn cohort_utterance_round_trips() {
+            let (backend, _) = small_setup();
+            for c in backend.cohort() {
+                let back = CohortUtterance::from_bytes(&c.to_bytes()).unwrap();
+                assert_eq!(&back, c);
+            }
+        }
+
+        #[test]
+        fn extractor_round_trips() {
+            let mut fx = FeatureExtractor::new(22_050.0);
+            fx.use_cmn = false;
+            let back = FeatureExtractor::from_bytes(&fx.to_bytes()).unwrap();
+            assert_eq!(back.sample_rate(), fx.sample_rate());
+            assert_eq!(back.use_deltas, fx.use_deltas);
+            assert_eq!(back.use_cmn, fx.use_cmn);
+            assert_eq!(back.dim(), fx.dim());
+        }
+
+        #[test]
+        fn hostile_input_yields_typed_errors() {
+            let (backend, corpus) = small_setup();
+            assert_hostile_input_fails::<FeatureExtractor>(&backend.extractor.to_bytes());
+            let sp = &corpus.speakers[0];
+            let utts = corpus.of_speaker(sp.id);
+            let enroll: Vec<&[f64]> = utts[..2].iter().map(|u| u.audio.as_slice()).collect();
+            let model = backend.enroll(sp.id, &enroll);
+            assert_hostile_input_fails::<SpeakerModel>(&model.to_bytes());
+            // The full backend frame is large; bit-flipping every byte of
+            // it would dominate the suite, so fuzz a truncated-cohort
+            // backend instead — same code paths, bounded size.
+            let small = UbmBackend::new(backend.extractor.clone(), backend.ubm.clone());
+            assert_hostile_input_fails::<UbmBackend>(&small.to_bytes());
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn speaker_model_round_trips(seed in 0u64..u64::MAX, id in 0u32..u32::MAX) {
+                let mut rng = SimRng::from_seed(seed);
+                let k = 1 + (seed % 3) as usize;
+                let dim = 1 + (seed % 4) as usize;
+                let raw: Vec<f64> = (0..k).map(|_| rng.uniform(0.1, 1.0)).collect();
+                let sum: f64 = raw.iter().sum();
+                let gmm = DiagonalGmm::from_parameters(
+                    raw.iter().map(|w| w / sum).collect(),
+                    (0..k).map(|_| (0..dim).map(|_| rng.gauss(0.0, 2.0)).collect()).collect(),
+                    (0..k).map(|_| (0..dim).map(|_| rng.uniform(0.01, 3.0)).collect()).collect(),
+                );
+                let znorm = if seed % 2 == 0 {
+                    Some((rng.gauss(0.0, 1.0), rng.uniform(0.1, 2.0)))
+                } else {
+                    None
+                };
+                let genuine_ref = if seed % 3 == 0 { Some(rng.gauss(2.0, 1.0)) } else { None };
+                let model = SpeakerModel::new(id, gmm, znorm, genuine_ref);
+                let back = SpeakerModel::from_bytes(&model.to_bytes()).unwrap();
+                assert_speaker_models_equal(&model, &back);
+            }
+        }
+
+        #[test]
+        fn oversized_cohort_is_invalid() {
+            // Craft a backend frame claiming more cohort utterances than
+            // MAX_COHORT: must be rejected before any are decoded.
+            let fx = FeatureExtractor::new(16_000.0);
+            let ubm = DiagonalGmm::from_parameters(vec![1.0], vec![vec![0.0]], vec![vec![1.0]]);
+            let mut w = ByteWriter::new();
+            w.put_nested(&fx.to_bytes());
+            w.put_nested(&ubm.to_bytes());
+            w.put_len(MAX_COHORT + 1);
+            let payload = w.into_bytes();
+            let mut r = ByteReader::new(&payload);
+            assert!(matches!(
+                UbmBackend::decode_payload(&mut r),
+                Err(CodecError::Invalid { .. })
+            ));
+        }
     }
 }

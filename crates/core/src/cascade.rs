@@ -42,6 +42,7 @@ use magshield_obs::span::Span;
 use magshield_obs::trace::{ComponentTrace, PipelineTrace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One stage of the verification cascade.
@@ -161,12 +162,14 @@ impl CascadeStage for SoundFieldStage<'_> {
 #[derive(Debug, Clone, Copy)]
 pub struct SpeakerIdStage<'a> {
     engine: &'a AsvEngine,
-    speakers: &'a HashMap<u32, SpeakerModel>,
+    speakers: &'a HashMap<u32, Arc<SpeakerModel>>,
 }
 
 impl<'a> SpeakerIdStage<'a> {
-    /// A stage scoring against `engine` with the enrolled `speakers`.
-    pub fn new(engine: &'a AsvEngine, speakers: &'a HashMap<u32, SpeakerModel>) -> Self {
+    /// A stage scoring against `engine` with the enrolled `speakers`
+    /// (the `Arc`-held map a
+    /// [`ModelSnapshot`](crate::registry::ModelSnapshot) serves).
+    pub fn new(engine: &'a AsvEngine, speakers: &'a HashMap<u32, Arc<SpeakerModel>>) -> Self {
         Self { engine, speakers }
     }
 }
@@ -326,7 +329,7 @@ impl<'a> Cascade<'a> {
     pub fn standard(
         sound_field: &'a SoundFieldModel,
         engine: &'a AsvEngine,
-        speakers: &'a HashMap<u32, SpeakerModel>,
+        speakers: &'a HashMap<u32, Arc<SpeakerModel>>,
     ) -> Self {
         Self::new(vec![
             Box::new(LoudspeakerStage),

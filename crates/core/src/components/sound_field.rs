@@ -12,6 +12,7 @@ use crate::config::DefenseConfig;
 use crate::session::SessionData;
 use crate::verdict::{Component, ComponentResult};
 use magshield_dsp::level::level_track;
+use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 use magshield_ml::scaler::StandardScaler;
 use magshield_ml::svm::{LinearSvm, SvmConfig};
 use magshield_sensors::orientation::HeadingFilter;
@@ -184,7 +185,7 @@ fn solve3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<(f64, f64, f64)> {
 }
 
 /// A trained sound-field classifier: standardization + linear SVM.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SoundFieldModel {
     svm: LinearSvm,
     scaler: StandardScaler,
@@ -231,6 +232,41 @@ impl SoundFieldModel {
     /// Signed margin (positive = mouth-like).
     pub fn margin(&self, features: &[f64]) -> f64 {
         self.svm.decision(&self.scaler.transform(features))
+    }
+}
+
+impl BinaryCodec for SoundFieldModel {
+    const MAGIC: u32 = codec::magic(b"MSFM");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "SoundFieldModel";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_nested(&self.svm.to_bytes());
+        w.put_nested(&self.scaler.to_bytes());
+        w.put_len(self.bins);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let svm = LinearSvm::from_bytes(r.get_nested()?)?;
+        let scaler = StandardScaler::from_bytes(r.get_nested()?)?;
+        let bins = r.get_len()?;
+        if svm.weights().len() != scaler.dim() {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: format!(
+                    "SVM dimension {} disagrees with scaler dimension {}",
+                    svm.weights().len(),
+                    scaler.dim()
+                ),
+            });
+        }
+        if bins < 4 {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: format!("need at least 4 angle bins, got {bins}"),
+            });
+        }
+        Ok(Self { svm, scaler, bins })
     }
 }
 
@@ -401,5 +437,55 @@ mod tests {
         );
         let r = verify(&s, &model, &DefenseConfig::default());
         assert!(r.attack_score >= 2.0);
+    }
+
+    mod codec_round_trip {
+        use super::*;
+        use magshield_ml::codec::{assert_hostile_input_fails, ByteWriter};
+
+        fn trained() -> SoundFieldModel {
+            let rng = SimRng::from_seed(77);
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for k in 0..6 {
+                let off = k as f64 * 0.4;
+                pos.push(feature_vector(&session_with_profile(|f| mouthish(f) - off), 12).unwrap());
+                neg.push(feature_vector(&session_with_profile(|f| conish(f) - off), 12).unwrap());
+            }
+            SoundFieldModel::train(&pos, &neg, 12, &rng)
+        }
+
+        #[test]
+        fn trained_model_round_trips_with_identical_margins() {
+            let model = trained();
+            let back = SoundFieldModel::from_bytes(&model.to_bytes()).unwrap();
+            assert_eq!(back, model);
+            let probe = feature_vector(&session_with_profile(mouthish), 12).unwrap();
+            assert_eq!(
+                back.margin(&probe).to_bits(),
+                model.margin(&probe).to_bits()
+            );
+            assert_eq!(back.bins(), 12);
+        }
+
+        #[test]
+        fn hostile_input_yields_typed_errors() {
+            assert_hostile_input_fails::<SoundFieldModel>(&trained().to_bytes());
+        }
+
+        #[test]
+        fn too_few_bins_is_invalid() {
+            let model = trained();
+            let mut w = ByteWriter::new();
+            w.put_nested(&model.svm.to_bytes());
+            w.put_nested(&model.scaler.to_bytes());
+            w.put_len(2);
+            let bytes = w.into_bytes();
+            let mut r = magshield_ml::codec::ByteReader::new(&bytes);
+            assert!(matches!(
+                SoundFieldModel::decode_payload(&mut r),
+                Err(CodecError::Invalid { .. })
+            ));
+        }
     }
 }

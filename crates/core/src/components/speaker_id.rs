@@ -8,6 +8,7 @@ use crate::session::SessionData;
 use crate::verdict::{Component, ComponentResult};
 use magshield_asv::isv::IsvBackend;
 use magshield_asv::model::{AsvScore, SpeakerModel, UbmBackend};
+use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 
 /// Which verification technique to run — the two rows of Table I.
 #[derive(Debug, Clone)]
@@ -42,6 +43,93 @@ impl AsvEngine {
             AsvEngine::Ubm(b) => b.score_detailed(model, audio, top_c),
             AsvEngine::Isv(b) => b.score_detailed(model, audio, top_c),
         }
+    }
+}
+
+/// Tagged union: a kind byte (0 = GMM–UBM, 1 = ISV) followed by the
+/// nested, self-checking backend artifact.
+impl BinaryCodec for AsvEngine {
+    const MAGIC: u32 = codec::magic(b"MENG");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "AsvEngine";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        match self {
+            AsvEngine::Ubm(b) => {
+                w.put_u8(0);
+                w.put_nested(&b.to_bytes());
+            }
+            AsvEngine::Isv(b) => {
+                w.put_u8(1);
+                w.put_nested(&b.to_bytes());
+            }
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(AsvEngine::Ubm(UbmBackend::from_bytes(r.get_nested()?)?)),
+            1 => Ok(AsvEngine::Isv(IsvBackend::from_bytes(r.get_nested()?)?)),
+            found => Err(CodecError::BadTag {
+                what: "ASV engine kind",
+                found,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magshield_ml::codec::ByteWriter;
+    use magshield_simkit::rng::SimRng;
+    use magshield_voice::profile::SpeakerProfile;
+    use magshield_voice::synth::{FormantSynthesizer, SessionEffects};
+
+    #[test]
+    fn engine_round_trips_with_identical_scores() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let snapshot = sys.models();
+        let engine = &snapshot.engine;
+        let back = AsvEngine::from_bytes(&engine.to_bytes()).unwrap();
+        // Enrollment and scoring through the decoded engine are
+        // bit-identical to the original.
+        let speaker = SpeakerProfile::sample(31, &SimRng::from_seed(400));
+        let synth = FormantSynthesizer::default();
+        let utt = synth.render_digits(
+            &speaker,
+            "271828",
+            SessionEffects::neutral(),
+            &SimRng::from_seed(401),
+        );
+        let model_a = engine.enroll(31, &[&utt]);
+        let model_b = back.enroll(31, &[&utt]);
+        let probe = synth.render_digits(
+            &speaker,
+            "314159",
+            SessionEffects::neutral(),
+            &SimRng::from_seed(402),
+        );
+        assert_eq!(
+            engine.score(&model_a, &probe).to_bits(),
+            back.score(&model_b, &probe).to_bits()
+        );
+    }
+
+    #[test]
+    fn unknown_backend_kind_is_a_bad_tag() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_nested(&[]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            AsvEngine::decode_payload(&mut r),
+            Err(CodecError::BadTag {
+                what: "ASV engine kind",
+                found: 7
+            })
+        ));
     }
 }
 

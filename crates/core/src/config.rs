@@ -1,7 +1,93 @@
 //! Defense thresholds and tuning.
 
 use crate::verdict::Component;
+use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed rejection from [`DefenseConfig::validate`] and
+/// [`ModelBundle::validate`](crate::artifact::ModelBundle::validate) —
+/// every way a threshold set or a trained bundle can be unusable for
+/// serving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `distance_threshold_m` (`Dt`) must be strictly positive.
+    NonPositiveDistanceThreshold {
+        /// The offending threshold (m).
+        value: f64,
+    },
+    /// `mag_deviation_ut` (`Mt`) and `mag_rate_ut_per_s` (`βt`) must both
+    /// be strictly positive.
+    NonPositiveMagThresholds {
+        /// The configured magnitude-deviation threshold (µT).
+        deviation_ut: f64,
+        /// The configured changing-rate threshold (µT/s).
+        rate_ut_per_s: f64,
+    },
+    /// `sound_field_bins` is below the minimum of 4 angle bins.
+    TooFewSoundFieldBins {
+        /// The configured bin count.
+        bins: usize,
+    },
+    /// A per-stage decision-boundary multiplier is non-finite or
+    /// non-positive.
+    BadStageBoundary {
+        /// The stage with the offending boundary.
+        stage: Component,
+        /// The offending boundary value.
+        value: f64,
+    },
+    /// A model bundle enrolls the same speaker id more than once.
+    DuplicateSpeaker {
+        /// The repeated speaker id.
+        speaker_id: u32,
+    },
+    /// A bundle's sound-field model was trained with a different angle-bin
+    /// count than its config requests at verification time, so the
+    /// feature vectors would disagree with the classifier.
+    MismatchedSoundFieldBins {
+        /// Bins requested by the bundle's [`DefenseConfig`].
+        config: usize,
+        /// Bins the bundled sound-field model was trained with.
+        model: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveDistanceThreshold { value } => {
+                write!(f, "distance threshold must be positive (got {value})")
+            }
+            Self::NonPositiveMagThresholds {
+                deviation_ut,
+                rate_ut_per_s,
+            } => write!(
+                f,
+                "magnetometer thresholds must be positive (got Mt = {deviation_ut} µT, \
+                 βt = {rate_ut_per_s} µT/s)"
+            ),
+            Self::TooFewSoundFieldBins { bins } => {
+                write!(f, "need at least 4 sound-field bins (got {bins})")
+            }
+            Self::BadStageBoundary { stage, value } => write!(
+                f,
+                "stage boundary for {} must be positive (got {value})",
+                stage.name()
+            ),
+            Self::DuplicateSpeaker { speaker_id } => {
+                write!(f, "bundle enrolls speaker {speaker_id} more than once")
+            }
+            Self::MismatchedSoundFieldBins { config, model } => write!(
+                f,
+                "config asks for {config} sound-field bins but the bundled model \
+                 was trained with {model}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Per-stage decision-boundary multipliers, indexed by
 /// [`Component::index`].
@@ -135,23 +221,107 @@ impl DefenseConfig {
     }
 
     /// Sanity-checks threshold values.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.distance_threshold_m <= 0.0 {
-            return Err("distance threshold must be positive".into());
+            return Err(ConfigError::NonPositiveDistanceThreshold {
+                value: self.distance_threshold_m,
+            });
         }
         if self.mag_deviation_ut <= 0.0 || self.mag_rate_ut_per_s <= 0.0 {
-            return Err("magnetometer thresholds must be positive".into());
+            return Err(ConfigError::NonPositiveMagThresholds {
+                deviation_ut: self.mag_deviation_ut,
+                rate_ut_per_s: self.mag_rate_ut_per_s,
+            });
         }
         if self.sound_field_bins < 4 {
-            return Err("need at least 4 sound-field bins".into());
+            return Err(ConfigError::TooFewSoundFieldBins {
+                bins: self.sound_field_bins,
+            });
         }
         for c in Component::all() {
             let b = self.stage_boundaries.get(c);
             if !b.is_finite() || b <= 0.0 {
-                return Err(format!("stage boundary for {} must be positive", c.name()));
+                return Err(ConfigError::BadStageBoundary { stage: c, value: b });
             }
         }
         Ok(())
+    }
+}
+
+impl BinaryCodec for DefenseConfig {
+    const MAGIC: u32 = codec::magic(b"MCFG");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "DefenseConfig";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_f64(self.distance_threshold_m);
+        w.put_f64(self.distance_tolerance);
+        w.put_f64(self.min_approach_m);
+        w.put_f64(self.pilot_ranging_gain_m);
+        w.put_f64(self.max_sweep_ripple_m);
+        w.put_f64(self.mag_deviation_ut);
+        w.put_f64(self.mag_rate_ut_per_s);
+        w.put_f64(self.asv_threshold);
+        w.put_f64(self.asv_scale);
+        w.put_len(self.asv_top_c);
+        w.put_len(self.sound_field_bins);
+        for c in Component::all() {
+            w.put_f64(self.stage_boundaries.get(c));
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let distance_threshold_m = r.get_f64()?;
+        let distance_tolerance = r.get_f64()?;
+        let min_approach_m = r.get_f64()?;
+        let pilot_ranging_gain_m = r.get_f64()?;
+        let max_sweep_ripple_m = r.get_f64()?;
+        let mag_deviation_ut = r.get_f64()?;
+        let mag_rate_ut_per_s = r.get_f64()?;
+        let asv_threshold = r.get_f64()?;
+        let asv_scale = r.get_f64()?;
+        let asv_top_c = r.get_len()?;
+        let sound_field_bins = r.get_len()?;
+        let mut stage_boundaries = StageBoundaries::default();
+        for c in Component::all() {
+            stage_boundaries.set(c, r.get_f64()?);
+        }
+        let cfg = Self {
+            distance_threshold_m,
+            distance_tolerance,
+            min_approach_m,
+            pilot_ranging_gain_m,
+            max_sweep_ripple_m,
+            mag_deviation_ut,
+            mag_rate_ut_per_s,
+            asv_threshold,
+            asv_scale,
+            asv_top_c,
+            sound_field_bins,
+            stage_boundaries,
+        };
+        let scalars = [
+            cfg.distance_threshold_m,
+            cfg.distance_tolerance,
+            cfg.min_approach_m,
+            cfg.pilot_ranging_gain_m,
+            cfg.max_sweep_ripple_m,
+            cfg.mag_deviation_ut,
+            cfg.mag_rate_ut_per_s,
+            cfg.asv_threshold,
+            cfg.asv_scale,
+        ];
+        if scalars.iter().any(|v| !v.is_finite()) {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: "all thresholds must be finite".to_string(),
+            });
+        }
+        cfg.validate().map_err(|e| CodecError::Invalid {
+            artifact: Self::NAME,
+            reason: e.to_string(),
+        })?;
+        Ok(cfg)
     }
 }
 
@@ -217,15 +387,105 @@ mod tests {
             distance_threshold_m: 0.0,
             ..DefenseConfig::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPositiveDistanceThreshold { value: 0.0 })
+        );
         let c2 = DefenseConfig {
             sound_field_bins: 1,
             ..DefenseConfig::default()
         };
-        assert!(c2.validate().is_err());
+        assert_eq!(
+            c2.validate(),
+            Err(ConfigError::TooFewSoundFieldBins { bins: 1 })
+        );
         let c3 = DefenseConfig::default().with_stage_boundary(Component::Distance, 0.0);
-        assert!(c3.validate().is_err());
+        assert_eq!(
+            c3.validate(),
+            Err(ConfigError::BadStageBoundary {
+                stage: Component::Distance,
+                value: 0.0
+            })
+        );
         let c4 = DefenseConfig::default().with_stage_boundary(Component::Distance, f64::NAN);
-        assert!(c4.validate().is_err());
+        assert!(matches!(
+            c4.validate(),
+            Err(ConfigError::BadStageBoundary {
+                stage: Component::Distance,
+                ..
+            })
+        ));
+        let c5 = DefenseConfig {
+            mag_deviation_ut: -1.0,
+            ..DefenseConfig::default()
+        };
+        assert!(matches!(
+            c5.validate(),
+            Err(ConfigError::NonPositiveMagThresholds { .. })
+        ));
+    }
+
+    #[test]
+    fn config_errors_display_the_failed_invariant() {
+        let err = DefenseConfig {
+            distance_threshold_m: -0.5,
+            ..DefenseConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("distance threshold"), "{msg}");
+        assert!(msg.contains("-0.5"), "{msg}");
+        // It is a real std error.
+        let _: &dyn std::error::Error = &err;
+    }
+
+    mod codec_round_trip {
+        use super::*;
+        use magshield_ml::codec::assert_hostile_input_fails;
+
+        #[test]
+        fn default_config_round_trips_exactly() {
+            let cfg = DefenseConfig::default();
+            assert_eq!(DefenseConfig::from_bytes(&cfg.to_bytes()).unwrap(), cfg);
+        }
+
+        #[test]
+        fn tuned_config_round_trips_exactly() {
+            let cfg = DefenseConfig {
+                distance_threshold_m: 0.08,
+                asv_top_c: 0,
+                sound_field_bins: 24,
+                ..DefenseConfig::default()
+            }
+            .with_stage_boundary(Component::Loudspeaker, 2.5)
+            .with_stage_boundary(Component::Sld, 0.75);
+            assert_eq!(DefenseConfig::from_bytes(&cfg.to_bytes()).unwrap(), cfg);
+        }
+
+        #[test]
+        fn hostile_input_yields_typed_errors() {
+            assert_hostile_input_fails::<DefenseConfig>(&DefenseConfig::default().to_bytes());
+        }
+
+        #[test]
+        fn invalid_thresholds_are_rejected_on_decode() {
+            let bad = DefenseConfig {
+                sound_field_bins: 1,
+                ..DefenseConfig::default()
+            };
+            assert!(matches!(
+                DefenseConfig::from_bytes(&bad.to_bytes()),
+                Err(CodecError::Invalid { .. })
+            ));
+            let nan = DefenseConfig {
+                distance_tolerance: f64::NAN,
+                ..DefenseConfig::default()
+            };
+            assert!(matches!(
+                DefenseConfig::from_bytes(&nan.to_bytes()),
+                Err(CodecError::Invalid { .. })
+            ));
+        }
     }
 }

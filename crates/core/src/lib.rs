@@ -28,11 +28,20 @@
 //! sweeps, or short-circuiting so the expensive ASV back end never runs
 //! on sessions the magnetometer already condemned.
 //!
+//! Training and serving are split: a [`trainer::Trainer`] produces an
+//! immutable, versioned [`artifact::ModelBundle`] (serialized through the
+//! checksummed binary codec of `magshield-ml`), and a
+//! [`pipeline::DefenseSystem`] is constructed *from* a bundle. At
+//! serving time the models live in a [`registry::ModelRegistry`] — a
+//! concurrent, generation-numbered store supporting online multi-tenant
+//! enrollment and atomic whole-bundle hot-swap while in-flight
+//! verifications finish on the snapshot they pinned.
+//!
 //! [`scenario`] simulates complete verification sessions (genuine and
-//! attacks) on the physics/sensor substrates; [`pipeline`] assembles the
-//! trained system; [`server`] provides the client–server deployment of
-//! §V with a binary wire protocol; [`adaptive`] implements the §VII
-//! adaptive-thresholding extension.
+//! attacks) on the physics/sensor substrates; [`server`] provides the
+//! client–server deployment of §V with a binary wire protocol (including
+//! online `Enroll` and `SwapBundle` operations); [`adaptive`] implements
+//! the §VII adaptive-thresholding extension.
 //!
 //! The pipeline and server are instrumented against `magshield-obs`:
 //! [`pipeline::DefenseSystem::verify_traced`] returns a per-session
@@ -56,19 +65,25 @@
 //! ```
 
 pub mod adaptive;
+pub mod artifact;
 pub mod batch;
 pub mod cascade;
 pub mod components;
 pub mod config;
 pub mod pipeline;
+pub mod registry;
 pub mod scenario;
 pub mod server;
 pub mod session;
+pub mod trainer;
 pub mod verdict;
 
-pub use config::DefenseConfig;
+pub use artifact::ModelBundle;
+pub use config::{ConfigError, DefenseConfig};
 pub use pipeline::DefenseSystem;
+pub use registry::ModelRegistry;
 pub use session::SessionData;
+pub use trainer::Trainer;
 pub use verdict::{Decision, DefenseVerdict};
 
 #[cfg(test)]

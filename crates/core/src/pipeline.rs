@@ -1,85 +1,42 @@
-//! The assembled defense system (Fig. 4): training, enrollment and the
-//! five-stage cascade verification.
+//! The assembled defense system (Fig. 4): serving the five-stage cascade
+//! from a versioned model registry.
+//!
+//! Training lives in [`crate::trainer`]: a
+//! [`Trainer`] produces an immutable [`ModelBundle`], and a
+//! [`DefenseSystem`] is *constructed from* a bundle
+//! ([`DefenseSystem::from_bundle`]). The models are held in a
+//! [`ModelRegistry`]:
+//! online enrollment ([`DefenseSystem::enroll_speaker`]) and whole-bundle
+//! hot-swap ([`DefenseSystem::swap_bundle`]) publish new generations
+//! without restarting the server, while in-flight verifications finish on
+//! the snapshot they pinned.
 //!
 //! The cascade itself lives in [`crate::cascade`]: a [`Cascade`] executor
-//! over [`CascadeStage`](crate::cascade::CascadeStage) trait objects,
-//! built here from the system's trained models via
-//! [`DefenseSystem::cascade`]. Every verification is instrumented against
-//! `magshield-obs`: one span per stage that runs, a
-//! `pipeline.<stage>.seconds` histogram per stage, a
+//! over [`CascadeStage`](crate::cascade::CascadeStage) trait objects.
+//! [`DefenseSystem::cascade`] pins the current registry generation into a
+//! [`CascadeSession`], which builds the executor over that snapshot and
+//! stamps every verdict with the generation that produced it. Every
+//! verification is instrumented against `magshield-obs`: one span per
+//! stage that runs, a `pipeline.<stage>.seconds` histogram per stage, a
 //! `pipeline.<stage>.skipped` counter per short-circuited stage, and a
 //! per-session [`PipelineTrace`] carrying each stage's decision, score,
 //! threshold margin and duration (see DESIGN.md §7).
 
+use crate::artifact::ModelBundle;
 use crate::cascade::{Cascade, ExecutionPolicy, StageMask};
-use crate::components::sound_field::{feature_vector, SoundFieldModel};
-use crate::components::speaker_id::{self, AsvEngine};
-use crate::config::DefenseConfig;
-use crate::scenario::{ScenarioBuilder, UserContext};
+use crate::config::{ConfigError, DefenseConfig};
+use crate::registry::{ModelRegistry, ModelSnapshot};
+use crate::scenario::UserContext;
 use crate::session::SessionData;
-use crate::verdict::DefenseVerdict;
-use magshield_asv::frontend::FeatureExtractor;
-use magshield_asv::isv::{IsvBackend, SessionSubspace};
-use magshield_asv::model::{SpeakerModel, UbmBackend};
-use magshield_asv::ubm::{train_ubm, UbmConfig};
+use crate::trainer::Trainer;
+use crate::verdict::{Component, DefenseVerdict};
 use magshield_obs::metrics::Registry;
 use magshield_obs::span::TraceCollector;
 use magshield_obs::trace::PipelineTrace;
-use magshield_physics::acoustics::tube::SoundTube;
 use magshield_simkit::rng::SimRng;
-use magshield_voice::attacks::AttackKind;
-use magshield_voice::devices::table_iv_catalog;
-use magshield_voice::profile::SpeakerProfile;
-use magshield_voice::synth::VOICE_SAMPLE_RATE;
-use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Sizing of the bootstrap training run.
-#[derive(Debug, Clone, Copy)]
-pub struct BootstrapConfig {
-    /// Speakers in the UBM training corpus.
-    pub ubm_speakers: usize,
-    /// UBM mixture components.
-    pub ubm_components: usize,
-    /// EM iterations.
-    pub em_iters: usize,
-    /// Use the ISV backend instead of plain GMM–UBM.
-    pub use_isv: bool,
-    /// Session-subspace rank for ISV.
-    pub isv_rank: usize,
-    /// Genuine sessions captured for sound-field training.
-    pub sound_field_positives: usize,
-    /// Enrollment utterances for the user's speaker model.
-    pub enrollment_utterances: usize,
-}
-
-impl Default for BootstrapConfig {
-    fn default() -> Self {
-        Self {
-            ubm_speakers: 6,
-            ubm_components: 32,
-            em_iters: 8,
-            use_isv: false,
-            isv_rank: 2,
-            sound_field_positives: 10,
-            enrollment_utterances: 3,
-        }
-    }
-}
-
-impl BootstrapConfig {
-    /// A minimal configuration for fast unit tests.
-    pub fn tiny() -> Self {
-        Self {
-            ubm_speakers: 3,
-            ubm_components: 8,
-            em_iters: 4,
-            use_isv: false,
-            isv_rank: 2,
-            sound_field_positives: 6,
-            enrollment_utterances: 2,
-        }
-    }
-}
+pub use crate::trainer::BootstrapConfig;
 
 /// Observability handles shared by every verification this system runs.
 ///
@@ -90,193 +47,106 @@ impl BootstrapConfig {
 pub struct PipelineObs {
     /// Named metrics: `pipeline.<stage>.seconds` histograms plus
     /// `pipeline.accepts` / `pipeline.rejects` / `pipeline.invalid`
-    /// counters.
+    /// counters and the `registry.*` serving-state gauges.
     pub registry: Registry,
     /// Finished verification spans (bounded ring, oldest evicted).
     pub tracer: TraceCollector,
 }
 
-/// The trained defense system.
+/// The serving half of the defense: a model registry plus thresholds.
+///
+/// Cloning is shallow: clones share the [`ModelRegistry`] (and the
+/// observability handles), so an enrollment or bundle swap through any
+/// clone is immediately visible to all of them — this is what lets a
+/// multi-worker server pick up new tenants without a restart. To get an
+/// *isolated* system (e.g. in tests that mutate the registry), export the
+/// snapshot with [`DefenseSystem::models`] +
+/// [`ModelBundle::from_snapshot`] and rebuild via
+/// [`DefenseSystem::from_bundle`].
 #[derive(Debug, Clone)]
 pub struct DefenseSystem {
-    /// Cascade thresholds.
+    /// Nominal cascade thresholds, copied from the bundle this system was
+    /// constructed from. [`DefenseSystem::verify`] uses these; explicit
+    /// configs (adaptive thresholding, FAR/FRR sweeps) go through
+    /// [`DefenseSystem::verify_with_config`]. A later
+    /// [`DefenseSystem::swap_bundle`] updates the registry snapshot's
+    /// config for *new* systems built from it, but deliberately does not
+    /// reach into existing clones' nominal thresholds.
     pub config: DefenseConfig,
-    engine: AsvEngine,
-    speakers: HashMap<u32, SpeakerModel>,
-    sound_field: SoundFieldModel,
+    registry: Arc<ModelRegistry>,
     obs: PipelineObs,
 }
 
 impl DefenseSystem {
-    /// Trains a complete system for `user`:
-    ///
-    /// 1. a UBM (and optionally an ISV subspace) on a background corpus;
-    /// 2. the user's MAP-adapted speaker model from enrollment utterances;
-    /// 3. the sound-field SVM from genuine enrollment sessions (positive)
-    ///    and synthetic machine-source sessions (negative) — the negative
-    ///    templates ship with the system, no attacker data required.
+    /// Trains a complete system for `user` and serves it immediately —
+    /// [`Trainer::train`] followed by [`DefenseSystem::from_bundle`].
     pub fn bootstrap(user: &UserContext, cfg: BootstrapConfig, rng: &SimRng) -> Self {
-        // --- ASV backend ---
-        let extractor = FeatureExtractor::new(VOICE_SAMPLE_RATE);
-        let corpus =
-            magshield_voice::corpus::voxforge_like(cfg.ubm_speakers, &rng.fork("ubm-corpus"));
-        let utts: Vec<&[f64]> = corpus
-            .utterances
-            .iter()
-            .map(|u| u.audio.as_slice())
-            .collect();
-        let ubm = train_ubm(
-            &extractor,
-            &utts,
-            UbmConfig {
-                components: cfg.ubm_components,
-                em_iters: cfg.em_iters,
-                max_frames: 20_000,
-            },
-            &rng.fork("ubm-train"),
-        );
-        let ubm_backend = UbmBackend::new(extractor.clone(), ubm).with_cohort(&utts);
-        let engine = if cfg.use_isv {
-            let groups: Vec<(u32, u32, magshield_dsp::frame::FrameMatrix)> = corpus
-                .utterances
-                .iter()
-                .map(|u| (u.speaker_id, u.session, extractor.extract(&u.audio)))
-                .collect();
-            let subspace = SessionSubspace::estimate(&ubm_backend.ubm, &groups, cfg.isv_rank);
-            AsvEngine::Isv(IsvBackend::new(ubm_backend, subspace))
-        } else {
-            AsvEngine::Ubm(ubm_backend)
-        };
+        Self::from_bundle(Trainer::new(cfg).train(user, rng))
+            .expect("freshly trained bundles are valid")
+    }
 
-        // --- enrollment sessions ---
-        // The genuine enrollment captures serve double duty, exactly as in
-        // the paper ("the voice samples are also used for the sound source
-        // verification"): their pilot-filtered, channel-matched audio
-        // enrolls the speaker model, and their sound-field features are
-        // the SVM positives. Enrolling through the same capture chain as
-        // verification keeps the ASV channel matched.
-        let config = DefenseConfig::default();
-        let n_sessions = cfg.sound_field_positives.max(cfg.enrollment_utterances);
-        let mut positives = Vec::new();
-        let mut enrollment_audio: Vec<Vec<f64>> = Vec::new();
-        for i in 0..n_sessions {
-            let d = 0.04 + 0.02 * (i as f64 / n_sessions.max(1) as f64);
-            let s = ScenarioBuilder::genuine(user)
-                .at_distance(d)
-                .capture(&rng.fork_indexed("sf-pos", i as u64));
-            if i < cfg.sound_field_positives {
-                if let Some(v) = feature_vector(&s, config.sound_field_bins) {
-                    positives.push(v);
-                }
-            }
-            if i < cfg.enrollment_utterances {
-                enrollment_audio.push(speaker_id::asv_audio(&s));
-            }
-        }
-        let refs: Vec<&[f64]> = enrollment_audio.iter().map(|u| u.as_slice()).collect();
-        let model = engine.enroll(user.profile.id, &refs);
-        let mut speakers = HashMap::new();
-        speakers.insert(user.profile.id, model);
-        let mut negatives = Vec::new();
-        let catalog = table_iv_catalog();
-        let attacker = SpeakerProfile::sample(999, &rng.fork("sf-attacker"));
-        let negative_devices = [
-            "Apple EarPods",
-            "Samsung Galaxy S Headset",
-            "Logitech LS21",
-            "Pioneer SP-FS52",
-        ];
-        for (i, key) in negative_devices.iter().enumerate() {
-            if let Some(dev) = catalog.iter().find(|d| d.name.contains(key)) {
-                for take in 0..2u64 {
-                    let s = ScenarioBuilder::machine_attack(
-                        user,
-                        AttackKind::Replay,
-                        dev.clone(),
-                        attacker.clone(),
-                    )
-                    .at_distance(0.05)
-                    .capture(&rng.fork_indexed("sf-neg", (i as u64) << 8 | take));
-                    if let Some(v) = feature_vector(&s, config.sound_field_bins) {
-                        negatives.push(v);
-                    }
-                }
-            }
-        }
-        // Large-panel negatives (electrostatic-class aperture), covering
-        // both replayed and synthesized audio — the spatial signature must
-        // be learned independently of the audio's temporal structure.
-        if let Some(esl) = magshield_voice::devices::unconventional_catalog().first() {
-            for (k, kind) in [AttackKind::Replay, AttackKind::Synthesis]
-                .iter()
-                .enumerate()
-            {
-                for take in 0..2u64 {
-                    let s =
-                        ScenarioBuilder::machine_attack(user, *kind, esl.clone(), attacker.clone())
-                            .at_distance(0.05)
-                            .capture(&rng.fork_indexed("sf-neg-esl", (k as u64) << 8 | take));
-                    if let Some(v) = feature_vector(&s, config.sound_field_bins) {
-                        negatives.push(v);
-                    }
-                }
-            }
-        }
-        // Tube negative.
-        {
-            let dev = catalog[0].clone();
-            let mut s = ScenarioBuilder::machine_attack(
-                user,
-                AttackKind::Replay,
-                dev.clone(),
-                attacker.clone(),
-            )
-            .at_distance(0.05);
-            s.source = crate::scenario::SourceKind::DeviceViaTube {
-                device: dev,
-                tube: SoundTube::new(0.30, 0.0125),
-            };
-            if let Some(v) = feature_vector(
-                &s.capture(&rng.fork("sf-neg-tube")),
-                config.sound_field_bins,
-            ) {
-                negatives.push(v);
-            }
-        }
-        let sound_field = SoundFieldModel::train(
-            &positives,
-            &negatives,
-            config.sound_field_bins,
-            &rng.fork("sf-train"),
-        );
-
-        Self {
+    /// Constructs a serving system from a validated model bundle.
+    ///
+    /// This is the only way models enter a [`DefenseSystem`] at build
+    /// time: the bundle is checked with
+    /// [`ModelBundle::validate`] and becomes generation
+    /// [`ModelRegistry::FIRST_GENERATION`] of a fresh registry.
+    pub fn from_bundle(bundle: ModelBundle) -> Result<Self, ConfigError> {
+        bundle.validate()?;
+        let config = bundle.config;
+        let system = Self {
             config,
-            engine,
-            speakers,
-            sound_field,
+            registry: Arc::new(ModelRegistry::new(bundle.into_snapshot())),
             obs: PipelineObs::default(),
-        }
+        };
+        system.publish_registry_gauges();
+        Ok(system)
     }
 
-    /// Enrolls an additional user from raw utterances.
-    pub fn enroll_speaker(&mut self, speaker_id: u32, utterances: &[&[f64]]) {
-        let model = self.engine.enroll(speaker_id, utterances);
-        self.speakers.insert(speaker_id, model);
+    /// Enrolls an additional speaker from raw utterances and publishes a
+    /// new registry generation (returned). Visible to every clone of this
+    /// system — server workers see the new tenant on their next pin.
+    pub fn enroll_speaker(&self, speaker_id: u32, utterances: &[&[f64]]) -> u64 {
+        let snapshot = self.registry.snapshot();
+        let model = snapshot.engine.enroll(speaker_id, utterances);
+        let generation = self.registry.enroll(model);
+        self.publish_registry_gauges();
+        generation
     }
 
-    /// Whether a speaker id has an enrolled model.
+    /// Atomically replaces every served model with `bundle`'s, returning
+    /// the new generation. In-flight verifications (including whole
+    /// batches) finish on the generation they pinned; no verification
+    /// ever mixes models from two generations.
+    pub fn swap_bundle(&self, bundle: ModelBundle) -> Result<u64, ConfigError> {
+        bundle.validate()?;
+        let generation = self.registry.swap(bundle.into_snapshot());
+        self.obs.registry.counter("registry.swap").inc();
+        self.publish_registry_gauges();
+        Ok(generation)
+    }
+
+    /// Whether a speaker id has an enrolled model in the current
+    /// generation.
     pub fn is_enrolled(&self, speaker_id: u32) -> bool {
-        self.speakers.contains_key(&speaker_id)
+        self.registry.is_enrolled(speaker_id)
     }
 
-    /// The ASV engine (for experiment harnesses comparing backends).
-    pub fn engine(&self) -> &AsvEngine {
-        &self.engine
+    /// The registry generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.registry.generation()
+    }
+
+    /// Pins and returns the currently served model snapshot (engine,
+    /// speakers, sound-field model and the config they shipped with).
+    /// Experiment harnesses comparing backends read the engine from here.
+    pub fn models(&self) -> Arc<ModelSnapshot> {
+        self.registry.snapshot()
     }
 
     /// The metrics registry this system records into
-    /// (`pipeline.<stage>.seconds` histograms, accept/reject counters).
+    /// (`pipeline.<stage>.seconds` histograms, accept/reject counters,
+    /// `registry.{generation,speakers,swap}` serving state).
     pub fn metrics(&self) -> &Registry {
         &self.obs.registry
     }
@@ -294,10 +164,12 @@ impl DefenseSystem {
     /// counters through the shallow-shared [`PipelineObs`].
     #[must_use]
     pub fn with_fresh_obs(&self) -> Self {
-        Self {
+        let fresh = Self {
             obs: PipelineObs::default(),
             ..self.clone()
-        }
+        };
+        fresh.publish_registry_gauges();
+        fresh
     }
 
     /// The observability handles every verification records into.
@@ -305,13 +177,35 @@ impl DefenseSystem {
         &self.obs
     }
 
-    /// The standard five-stage cascade borrowing this system's trained
-    /// models, in cheapest-first order with all stages enabled and
-    /// [`ExecutionPolicy::FullEvaluation`]. Customize with
-    /// [`Cascade::with_mask`] / [`Cascade::with_policy`] and run via
-    /// [`Cascade::run`].
-    pub fn cascade(&self) -> Cascade<'_> {
-        Cascade::standard(&self.sound_field, &self.engine, &self.speakers)
+    /// Mirrors the registry's serving state into the metrics registry.
+    fn publish_registry_gauges(&self) {
+        self.obs
+            .registry
+            .gauge("registry.generation")
+            .set(self.registry.generation() as i64);
+        self.obs
+            .registry
+            .gauge("registry.speakers")
+            .set(self.registry.speaker_count() as i64);
+    }
+
+    /// Pins the current registry generation into a [`CascadeSession`]:
+    /// the standard five-stage cascade over that snapshot, cheapest-first,
+    /// with all stages enabled and [`ExecutionPolicy::FullEvaluation`].
+    /// Customize with [`CascadeSession::with_mask`] /
+    /// [`CascadeSession::with_policy`] and run via [`CascadeSession::run`].
+    ///
+    /// Everything run through one session — including a whole batch — is
+    /// scored against that single pinned snapshot, even if an enrollment
+    /// or bundle swap lands mid-flight.
+    pub fn cascade(&self) -> CascadeSession {
+        let (generation, snapshot) = self.registry.load();
+        CascadeSession {
+            snapshot,
+            generation,
+            mask: StageMask::all(),
+            policy: ExecutionPolicy::default(),
+        }
     }
 
     /// Runs the full cascade at the nominal thresholds.
@@ -349,7 +243,8 @@ impl DefenseSystem {
     /// starts, so under [`ExecutionPolicy::ShortCircuit`] the cheap
     /// magnetometer stages prune the expensive ASV workload. Verdicts are
     /// bit-identical to sequential [`DefenseSystem::verify_with_policy`]
-    /// calls and preserve input order. For a pooled, admission-controlled
+    /// calls and preserve input order (the whole batch is scored against
+    /// one pinned generation). For a pooled, admission-controlled
     /// deployment of this, see [`crate::batch::BatchEngine`].
     pub fn verify_batch_with_policy(
         &self,
@@ -393,15 +288,132 @@ impl DefenseSystem {
     }
 }
 
+/// A cascade execution pinned to one registry generation.
+///
+/// Produced by [`DefenseSystem::cascade`]. Owns an
+/// `Arc<ModelSnapshot>`, so the models it scores against cannot change
+/// under it — a hot-swap mid-batch only affects *later* sessions. Every
+/// verdict it produces carries [`DefenseVerdict::generation`] naming the
+/// pinned generation.
+pub struct CascadeSession {
+    snapshot: Arc<ModelSnapshot>,
+    generation: u64,
+    mask: StageMask,
+    policy: ExecutionPolicy,
+}
+
+impl CascadeSession {
+    /// The registry generation this session is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The pinned model snapshot.
+    pub fn snapshot(&self) -> &ModelSnapshot {
+        &self.snapshot
+    }
+
+    /// Returns the session with the given stage mask.
+    #[must_use]
+    pub fn with_mask(mut self, mask: StageMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Returns the session with the given execution policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active stage mask.
+    pub fn mask(&self) -> StageMask {
+        self.mask
+    }
+
+    /// The active execution policy.
+    pub fn policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+
+    /// The components of the configured stages, in execution order.
+    pub fn components(&self) -> Vec<Component> {
+        self.build().components()
+    }
+
+    /// The cascade executor over the pinned snapshot.
+    fn build(&self) -> Cascade<'_> {
+        Cascade::standard(
+            &self.snapshot.sound_field,
+            &self.snapshot.engine,
+            &self.snapshot.speakers,
+        )
+        .with_mask(self.mask)
+        .with_policy(self.policy)
+    }
+
+    /// Runs the cascade on one session (see [`Cascade::run`]); the
+    /// verdict is stamped with the pinned generation.
+    pub fn run(
+        &self,
+        session: &SessionData,
+        config: &DefenseConfig,
+        obs: &PipelineObs,
+    ) -> (DefenseVerdict, PipelineTrace) {
+        let (mut verdict, trace) = self.build().run(session, config, obs);
+        verdict.generation = Some(self.generation);
+        (verdict, trace)
+    }
+
+    /// Runs the cascade over a whole batch stage-major (see
+    /// [`Cascade::run_batch`]); every verdict is stamped with the single
+    /// pinned generation.
+    pub fn run_batch(
+        &self,
+        sessions: &[&SessionData],
+        config: &DefenseConfig,
+        obs: &PipelineObs,
+    ) -> Vec<(DefenseVerdict, PipelineTrace)> {
+        let mut out = self.build().run_batch(sessions, config, obs);
+        for (verdict, _trace) in &mut out {
+            verdict.generation = Some(self.generation);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verdict::Component;
+    use crate::artifact::{BundleMeta, ModelBundle};
+    use crate::registry::ModelRegistry;
+    use crate::scenario::ScenarioBuilder;
+    use magshield_ml::codec::BinaryCodec;
+    use magshield_voice::attacks::AttackKind;
     use magshield_voice::devices::table_iv_catalog;
+    use magshield_voice::profile::SpeakerProfile;
     use magshield_voice::synth::{FormantSynthesizer, SessionEffects};
 
     fn system() -> &'static (DefenseSystem, UserContext) {
         crate::test_support::shared_tiny_system()
+    }
+
+    /// An isolated system serving the same models as the shared fixture
+    /// (fresh registry, so enroll/swap tests cannot race other tests).
+    fn isolated_system() -> DefenseSystem {
+        let bundle = ModelBundle::from_snapshot(
+            BundleMeta {
+                producer: "pipeline-tests".to_string(),
+                ubm_speakers: 3,
+                ubm_components: 8,
+                em_iters: 4,
+                use_isv: false,
+                notes: String::new(),
+            },
+            &system().0.models(),
+        );
+        DefenseSystem::from_bundle(bundle).unwrap()
     }
 
     #[test]
@@ -416,6 +428,7 @@ mod tests {
                 .map(|r| format!("{:?}: {:.2} ({})", r.component, r.attack_score, r.detail))
                 .collect::<Vec<_>>()
         );
+        assert!(v.generation.is_some(), "verdicts carry their generation");
     }
 
     #[test]
@@ -454,8 +467,9 @@ mod tests {
     }
 
     #[test]
-    fn extra_enrollment_works() {
-        let mut sys = system().0.clone();
+    fn extra_enrollment_works_and_bumps_the_generation() {
+        let sys = isolated_system();
+        assert_eq!(sys.generation(), ModelRegistry::FIRST_GENERATION);
         let other = SpeakerProfile::sample(5, &SimRng::from_seed(9));
         let synth = FormantSynthesizer::default();
         let utt = synth.render_digits(
@@ -464,9 +478,100 @@ mod tests {
             SessionEffects::neutral(),
             &SimRng::from_seed(10),
         );
-        sys.enroll_speaker(5, &[&utt]);
+        let generation = sys.enroll_speaker(5, &[&utt]);
+        assert_eq!(generation, ModelRegistry::FIRST_GENERATION + 1);
         assert!(sys.is_enrolled(5));
         assert!(!sys.is_enrolled(77));
+        // Clones share the registry: the tenant is visible through them.
+        assert!(sys.clone().is_enrolled(5));
+        // Serving-state gauges track the registry.
+        let snap = sys.metrics().snapshot();
+        assert_eq!(snap.gauges["registry.generation"], generation as i64);
+        assert_eq!(
+            snap.gauges["registry.speakers"],
+            sys.models().speakers.len() as i64
+        );
+    }
+
+    #[test]
+    fn bundle_round_trip_preserves_verdicts_bit_for_bit() {
+        let (sys, user) = system();
+        let bundle = ModelBundle::from_snapshot(
+            BundleMeta {
+                producer: "round-trip".to_string(),
+                ubm_speakers: 3,
+                ubm_components: 8,
+                em_iters: 4,
+                use_isv: false,
+                notes: String::new(),
+            },
+            &sys.models(),
+        );
+        let reloaded =
+            DefenseSystem::from_bundle(ModelBundle::from_bytes(&bundle.to_bytes()).unwrap())
+                .unwrap();
+        for seed in [100, 101, 102] {
+            let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(seed));
+            let a = sys.verify(&s);
+            let b = reloaded.verify(&s);
+            assert_eq!(a.decision, b.decision, "seed {seed}");
+            assert_eq!(a.stages, b.stages, "seed {seed}: stage-for-stage identical");
+        }
+    }
+
+    #[test]
+    fn swap_bundle_changes_the_served_generation() {
+        let sys = isolated_system();
+        let worker = sys.clone();
+        let mut bundle = ModelBundle::from_snapshot(
+            BundleMeta {
+                producer: "swap-test".to_string(),
+                ubm_speakers: 3,
+                ubm_components: 8,
+                em_iters: 4,
+                use_isv: false,
+                notes: "second generation".to_string(),
+            },
+            &sys.models(),
+        );
+        // An invalid bundle is refused without touching the registry.
+        bundle.config.sound_field_bins = 1;
+        assert!(sys.swap_bundle(bundle.clone()).is_err());
+        assert_eq!(sys.generation(), ModelRegistry::FIRST_GENERATION);
+        bundle.config.sound_field_bins = sys.config.sound_field_bins;
+        let generation = sys.swap_bundle(bundle).unwrap();
+        assert_eq!(generation, ModelRegistry::FIRST_GENERATION + 1);
+        // Visible through the worker clone, counted in metrics.
+        assert_eq!(worker.generation(), generation);
+        assert_eq!(sys.metrics().counter("registry.swap").get(), 1);
+    }
+
+    #[test]
+    fn cascade_session_pins_a_generation() {
+        let sys = isolated_system();
+        let (_, user) = system();
+        let pinned = sys.cascade();
+        let g1 = pinned.generation();
+        // A swap lands while the session is outstanding.
+        let bundle = ModelBundle::from_snapshot(
+            BundleMeta {
+                producer: "pin-test".to_string(),
+                ubm_speakers: 3,
+                ubm_components: 8,
+                em_iters: 4,
+                use_isv: false,
+                notes: String::new(),
+            },
+            &sys.models(),
+        );
+        let g2 = sys.swap_bundle(bundle).unwrap();
+        assert!(g2 > g1);
+        let s = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(900));
+        let (v, _) = pinned.run(&s, &sys.config, sys.obs());
+        assert_eq!(v.generation, Some(g1), "pinned session serves its pin");
+        let fresh = sys.verify(&s);
+        assert_eq!(fresh.generation, Some(g2), "new sessions see the swap");
+        assert_eq!(v.decision, fresh.decision, "same models, same decision");
     }
 
     #[test]

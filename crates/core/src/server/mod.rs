@@ -19,6 +19,14 @@
 //! silent gap. [`Client::submit`] / [`PendingVerdict::wait`] provide the
 //! streaming client path, [`Client::verify_batch`] the one-frame path.
 //!
+//! Protocol v4 adds the model-lifecycle operations of the
+//! training/serving split: `Message::Enroll` enrolls a new speaker into
+//! the server's live [`ModelRegistry`](crate::registry::ModelRegistry)
+//! without a restart, and `Message::SwapBundle` atomically replaces the
+//! whole served [`ModelBundle`] —
+//! in-flight verifications finish on the snapshot they pinned, and every
+//! verdict returns the registry generation that produced it.
+//!
 //! The server is instrumented against `magshield-obs` (DESIGN.md §7):
 //! `server.queue.wait.seconds` (enqueue→dequeue) and
 //! `server.compute.seconds` histograms, a `server.queue.depth` gauge
@@ -32,12 +40,14 @@
 
 pub mod protocol;
 
+use crate::artifact::ModelBundle;
 use crate::batch::{BatchOutcome, ShedReason};
 use crate::cascade::ExecutionPolicy;
 use crate::pipeline::DefenseSystem;
 use crate::session::SessionData;
 use crate::verdict::DefenseVerdict;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use magshield_ml::codec::BinaryCodec;
 use magshield_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 use parking_lot::Mutex;
 use protocol::{decode_frame, encode_response, Message};
@@ -124,25 +134,6 @@ pub struct ServerStats {
     pub protocol_errors: u64,
     /// Total verification compute time.
     pub total_latency: Duration,
-}
-
-impl ServerStats {
-    /// Mean verification latency.
-    #[deprecated(
-        since = "0.1.0",
-        note = "a lossy mean; use `VerificationServer::stats_snapshot()` \
-                (or `Client::stats()`) for histogram percentiles"
-    )]
-    pub fn mean_latency(&self) -> Duration {
-        if self.processed == 0 {
-            Duration::ZERO
-        } else {
-            // u64-safe: dividing through f64 seconds instead of the old
-            // `total / processed as u32`, which truncated counts above
-            // u32::MAX.
-            Duration::from_secs_f64(self.total_latency.as_secs_f64() / self.processed as f64)
-        }
-    }
 }
 
 /// A point-in-time copy of the server's observable state, servable over
@@ -430,6 +421,41 @@ fn handle_job(
         Ok(Message::StatsRequest { request_id }) => {
             protocol::encode_stats_response(request_id, &shared.snapshot())
         }
+        Ok(Message::Enroll {
+            request_id,
+            speaker_id,
+            utterances,
+        }) => {
+            // Reject degenerate enrollments before touching the registry:
+            // an empty enrollment would publish a generation serving a
+            // model trained on nothing.
+            if utterances.is_empty() || utterances.iter().any(|u| u.is_empty()) {
+                shared.stats.lock().protocol_errors += 1;
+                return protocol::encode_error(
+                    request_id,
+                    "enrollment needs at least one utterance, all non-empty",
+                );
+            }
+            let refs: Vec<&[f64]> = utterances.iter().map(|u| u.as_slice()).collect();
+            let generation = system.enroll_speaker(speaker_id, &refs);
+            protocol::encode_enroll_response(request_id, speaker_id, generation)
+        }
+        Ok(Message::SwapBundle {
+            request_id,
+            bundle_bytes,
+        }) => match ModelBundle::from_bytes(&bundle_bytes) {
+            Ok(bundle) => match system.swap_bundle(bundle) {
+                Ok(generation) => protocol::encode_swap_bundle_response(request_id, generation),
+                Err(e) => {
+                    shared.stats.lock().protocol_errors += 1;
+                    protocol::encode_error(request_id, &format!("bundle rejected: {e}"))
+                }
+            },
+            Err(e) => {
+                shared.stats.lock().protocol_errors += 1;
+                protocol::encode_error(request_id, &format!("bundle decode error: {e}"))
+            }
+        },
         Ok(other) => {
             shared.stats.lock().protocol_errors += 1;
             protocol::encode_error(other.request_id(), "unexpected message type")
@@ -522,6 +548,64 @@ impl Client {
                     )));
                 }
                 Ok(outcomes)
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
+    }
+
+    /// Enrolls a new speaker online (`Message::Enroll`, protocol v4):
+    /// the server trains a speaker model from the utterances against its
+    /// current UBM and publishes it to the live registry — no restart.
+    /// Returns the registry generation the enrollment published; verdicts
+    /// stamped with that generation (or later) can claim the speaker.
+    pub fn enroll(&self, speaker_id: u32, utterances: &[Vec<f64>]) -> Result<u64, ClientError> {
+        let id = self.next_id();
+        let raw = self.send_raw(protocol::encode_enroll(id, speaker_id, utterances))?;
+        match decode_frame(&raw) {
+            Ok(Message::EnrollResponse {
+                request_id,
+                speaker_id: echoed,
+                generation,
+            }) => {
+                if request_id != id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {id}"
+                    )));
+                }
+                if echoed != speaker_id {
+                    return Err(ClientError::BadReply(format!(
+                        "enrolled speaker {echoed} != requested {speaker_id}"
+                    )));
+                }
+                Ok(generation)
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
+    }
+
+    /// Atomically replaces the server's whole model bundle
+    /// (`Message::SwapBundle`, protocol v4). The bundle travels in its
+    /// own checksummed encoding and is revalidated server-side; in-flight
+    /// verifications finish on the snapshot they pinned. Returns the new
+    /// registry generation.
+    pub fn swap_bundle(&self, bundle: &ModelBundle) -> Result<u64, ClientError> {
+        let id = self.next_id();
+        let raw = self.send_raw(protocol::encode_swap_bundle(id, &bundle.to_bytes()))?;
+        match decode_frame(&raw) {
+            Ok(Message::SwapBundleResponse {
+                request_id,
+                generation,
+            }) => {
+                if request_id != id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {id}"
+                    )));
+                }
+                Ok(generation)
             }
             Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
             Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
@@ -831,23 +915,109 @@ mod tests {
         assert_eq!(client.verify(&session), Err(ClientError::Disconnected));
     }
 
-    #[test]
-    fn mean_latency_survives_u32_overflowing_counts() {
-        // The old implementation divided by `processed as u32`, which
-        // truncated for counts above u32::MAX (mean inflated ~2^32×).
-        let stats = ServerStats {
-            processed: u64::from(u32::MAX) + 2,
-            protocol_errors: 0,
-            total_latency: Duration::from_millis(u64::from(u32::MAX) + 2),
-        };
-        #[allow(deprecated)]
-        let mean = stats.mean_latency();
-        assert!(
-            (mean.as_secs_f64() - 1e-3).abs() < 1e-9,
-            "mean should be exactly 1 ms, got {mean:?}"
+    /// A server over an isolated registry (fresh [`crate::registry::ModelRegistry`]
+    /// serving the shared fixture's models), so enroll/swap tests cannot
+    /// mutate the shared fixture other tests read.
+    fn isolated_server() -> (VerificationServer, crate::scenario::UserContext) {
+        use crate::artifact::BundleMeta;
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let bundle = ModelBundle::from_snapshot(
+            BundleMeta {
+                producer: "server-tests".to_string(),
+                ubm_speakers: 3,
+                ubm_components: 8,
+                em_iters: 4,
+                use_isv: false,
+                notes: String::new(),
+            },
+            &system.models(),
         );
-        #[allow(deprecated)]
-        let empty = ServerStats::default().mean_latency();
-        assert_eq!(empty, Duration::ZERO);
+        let system = DefenseSystem::from_bundle(bundle).unwrap();
+        (VerificationServer::spawn(system, 2), user.clone())
+    }
+
+    #[test]
+    fn online_enrollment_over_the_wire() {
+        use crate::registry::ModelRegistry;
+        use magshield_voice::profile::SpeakerProfile;
+        use magshield_voice::synth::{FormantSynthesizer, SessionEffects};
+
+        let (srv, user) = isolated_server();
+        let client = srv.client();
+        let speaker = SpeakerProfile::sample(4040, &SimRng::from_seed(500));
+        let synth = FormantSynthesizer::default();
+        let utt = synth.render_digits(
+            &speaker,
+            "271828",
+            SessionEffects::neutral(),
+            &SimRng::from_seed(501),
+        );
+        let generation = client.enroll(4040, &[utt]).expect("enrollment lands");
+        assert_eq!(generation, ModelRegistry::FIRST_GENERATION + 1);
+        // Verdicts served after the enrollment carry the new generation.
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(502));
+        let verdict = client.verify(&session).expect("verdict");
+        assert_eq!(verdict.generation, Some(generation));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn empty_enrollment_is_rejected_before_the_registry() {
+        let (srv, _user) = isolated_server();
+        let client = srv.client();
+        assert!(matches!(client.enroll(9, &[]), Err(ClientError::Server(_))));
+        assert!(matches!(
+            client.enroll(9, &[vec![0.5], vec![]]),
+            Err(ClientError::Server(_))
+        ));
+        assert_eq!(srv.stats().protocol_errors, 2);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_over_the_wire() {
+        use crate::artifact::BundleMeta;
+        use crate::registry::ModelRegistry;
+
+        let (srv, user) = isolated_server();
+        let client = srv.client();
+        // Export the server's own serving state as the replacement
+        // bundle — a hot-swap needs no retraining.
+        let (system, _) = crate::test_support::shared_tiny_system();
+        let bundle = ModelBundle::from_snapshot(
+            BundleMeta {
+                producer: "swap-test".to_string(),
+                ubm_speakers: 3,
+                ubm_components: 8,
+                em_iters: 4,
+                use_isv: false,
+                notes: "second generation".to_string(),
+            },
+            &system.models(),
+        );
+        let generation = client.swap_bundle(&bundle).expect("swap lands");
+        assert_eq!(generation, ModelRegistry::FIRST_GENERATION + 1);
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(503));
+        let verdict = client.verify(&session).expect("verdict");
+        assert_eq!(verdict.generation, Some(generation));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn corrupt_swap_bundle_is_refused() {
+        let (srv, _user) = isolated_server();
+        let client = srv.client();
+        let id = 99;
+        let raw = client
+            .send_raw(protocol::encode_swap_bundle(id, b"not a bundle"))
+            .expect("reply");
+        match decode_frame(&raw) {
+            Ok(Message::Error { message, .. }) => {
+                assert!(message.contains("decode error"), "got: {message}")
+            }
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        assert_eq!(srv.stats().protocol_errors, 1);
+        srv.shutdown();
     }
 }

@@ -21,8 +21,10 @@ const MAGIC: u16 = 0x4D53; // "MS"
 /// outcomes (ran vs short-circuited) and the invalid-session reason to
 /// verify responses. v3 added batch verification
 /// ([`Message::BatchRequest`] / [`Message::BatchResponse`]) with
-/// per-session shed outcomes.
-const VERSION: u8 = 3;
+/// per-session shed outcomes. v4 added the model-generation stamp to
+/// every verdict plus online enrollment ([`Message::Enroll`]) and
+/// whole-bundle hot-swap ([`Message::SwapBundle`]).
+const VERSION: u8 = 4;
 
 /// Message type tags.
 const T_VERIFY_REQUEST: u8 = 1;
@@ -32,6 +34,10 @@ const T_STATS_REQUEST: u8 = 4;
 const T_STATS_RESPONSE: u8 = 5;
 const T_BATCH_REQUEST: u8 = 6;
 const T_BATCH_RESPONSE: u8 = 7;
+const T_ENROLL: u8 = 8;
+const T_ENROLL_RESPONSE: u8 = 9;
+const T_SWAP_BUNDLE: u8 = 10;
+const T_SWAP_BUNDLE_RESPONSE: u8 = 11;
 
 /// Upper bound on vector lengths (guards against hostile frames).
 const MAX_LEN: usize = 16 << 20;
@@ -42,6 +48,9 @@ const MAX_HIST_BUCKETS: usize = 4096;
 /// Upper bound on sessions in one batch frame (guards against hostile
 /// frames; a real batch this size would be a ~GB frame anyway).
 const MAX_BATCH_SESSIONS: usize = 4096;
+
+/// Upper bound on utterances in one enrollment frame.
+const MAX_ENROLL_UTTERANCES: usize = 64;
 
 /// A decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +103,41 @@ pub enum Message {
         /// Verdict or explicit shed per session — never a silent gap.
         outcomes: Vec<BatchOutcome>,
     },
+    /// Client → server: enroll a new speaker online (added in v4).
+    Enroll {
+        /// Request correlation id.
+        request_id: u64,
+        /// Speaker id the utterances enroll.
+        speaker_id: u32,
+        /// Channel-matched enrollment utterances (ASV-ready audio).
+        utterances: Vec<Vec<f64>>,
+    },
+    /// Server → client: the enrollment landed (added in v4).
+    EnrollResponse {
+        /// Request correlation id.
+        request_id: u64,
+        /// The speaker that was enrolled.
+        speaker_id: u32,
+        /// Registry generation the enrollment published.
+        generation: u64,
+    },
+    /// Client → server: atomically replace the served models with a
+    /// serialized [`ModelBundle`](crate::artifact::ModelBundle) (added
+    /// in v4). The payload is the bundle's own checksummed encoding —
+    /// the server revalidates it before swapping.
+    SwapBundle {
+        /// Request correlation id.
+        request_id: u64,
+        /// `ModelBundle::to_bytes` output.
+        bundle_bytes: Vec<u8>,
+    },
+    /// Server → client: the swap landed (added in v4).
+    SwapBundleResponse {
+        /// Request correlation id.
+        request_id: u64,
+        /// Registry generation the swap published.
+        generation: u64,
+    },
 }
 
 impl Message {
@@ -106,7 +150,11 @@ impl Message {
             | Message::StatsRequest { request_id }
             | Message::StatsResponse { request_id, .. }
             | Message::BatchRequest { request_id, .. }
-            | Message::BatchResponse { request_id, .. } => *request_id,
+            | Message::BatchResponse { request_id, .. }
+            | Message::Enroll { request_id, .. }
+            | Message::EnrollResponse { request_id, .. }
+            | Message::SwapBundle { request_id, .. }
+            | Message::SwapBundleResponse { request_id, .. } => *request_id,
         }
     }
 }
@@ -227,6 +275,46 @@ pub fn encode_batch_response(request_id: u64, outcomes: &[BatchOutcome]) -> Vec<
     b.to_vec()
 }
 
+/// Encodes an online enrollment request (protocol v4).
+pub fn encode_enroll(request_id: u64, speaker_id: u32, utterances: &[Vec<f64>]) -> Vec<u8> {
+    let mut b = header(T_ENROLL);
+    b.put_u64_le(request_id);
+    b.put_u32_le(speaker_id);
+    b.put_u32_le(utterances.len() as u32);
+    for u in utterances {
+        put_f64s(&mut b, u);
+    }
+    b.to_vec()
+}
+
+/// Encodes an enrollment acknowledgement (protocol v4).
+pub fn encode_enroll_response(request_id: u64, speaker_id: u32, generation: u64) -> Vec<u8> {
+    let mut b = header(T_ENROLL_RESPONSE);
+    b.put_u64_le(request_id);
+    b.put_u32_le(speaker_id);
+    b.put_u64_le(generation);
+    b.to_vec()
+}
+
+/// Encodes a bundle hot-swap request (protocol v4). `bundle_bytes` is
+/// a serialized `ModelBundle` carried opaquely — its own magic,
+/// version and checksum travel inside the frame.
+pub fn encode_swap_bundle(request_id: u64, bundle_bytes: &[u8]) -> Vec<u8> {
+    let mut b = header(T_SWAP_BUNDLE);
+    b.put_u64_le(request_id);
+    b.put_u32_le(bundle_bytes.len() as u32);
+    b.put_slice(bundle_bytes);
+    b.to_vec()
+}
+
+/// Encodes a hot-swap acknowledgement (protocol v4).
+pub fn encode_swap_bundle_response(request_id: u64, generation: u64) -> Vec<u8> {
+    let mut b = header(T_SWAP_BUNDLE_RESPONSE);
+    b.put_u64_le(request_id);
+    b.put_u64_le(generation);
+    b.to_vec()
+}
+
 /// Encodes a protocol error.
 pub fn encode_error(request_id: u64, message: &str) -> Vec<u8> {
     let mut b = header(T_ERROR);
@@ -331,6 +419,60 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
                 outcomes,
             })
         }
+        T_ENROLL => {
+            let request_id = get_u64(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let speaker_id = buf.get_u32_le();
+            let n = get_len(&mut buf)?;
+            if n > MAX_ENROLL_UTTERANCES {
+                return Err(DecodeError::BadLength);
+            }
+            let mut utterances = Vec::with_capacity(n.min(16));
+            for _ in 0..n {
+                utterances.push(get_f64s(&mut buf)?);
+            }
+            Ok(Message::Enroll {
+                request_id,
+                speaker_id,
+                utterances,
+            })
+        }
+        T_ENROLL_RESPONSE => {
+            let request_id = get_u64(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let speaker_id = buf.get_u32_le();
+            let generation = get_u64(&mut buf)?;
+            Ok(Message::EnrollResponse {
+                request_id,
+                speaker_id,
+                generation,
+            })
+        }
+        T_SWAP_BUNDLE => {
+            let request_id = get_u64(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            if buf.remaining() < n {
+                return Err(DecodeError::Truncated);
+            }
+            let bundle_bytes = buf[..n].to_vec();
+            buf.advance(n);
+            Ok(Message::SwapBundle {
+                request_id,
+                bundle_bytes,
+            })
+        }
+        T_SWAP_BUNDLE_RESPONSE => {
+            let request_id = get_u64(&mut buf)?;
+            let generation = get_u64(&mut buf)?;
+            Ok(Message::SwapBundleResponse {
+                request_id,
+                generation,
+            })
+        }
         T_ERROR => {
             let request_id = get_u64(&mut buf)?;
             let message = get_string(&mut buf)?;
@@ -403,8 +545,9 @@ fn component_from_tag(t: u8) -> Result<Component, DecodeError> {
 }
 
 /// Verdict body shared by verify responses and batch-response entries:
-/// decision byte, invalid flag (+ reason string when set), stage count,
-/// then per stage a component tag, an outcome tag, and either
+/// decision byte, invalid flag (+ reason string when set), generation
+/// flag (+ generation u64 when stamped, added in v4), stage count, then
+/// per stage a component tag, an outcome tag, and either
 /// `(score f64, detail string)` for a stage that ran or the causing
 /// component's tag for a short-circuited one.
 fn put_verdict(b: &mut BytesMut, verdict: &DefenseVerdict) {
@@ -416,6 +559,13 @@ fn put_verdict(b: &mut BytesMut, verdict: &DefenseVerdict) {
         Some(reason) => {
             b.put_u8(1);
             put_string(b, reason);
+        }
+        None => b.put_u8(0),
+    }
+    match verdict.generation {
+        Some(generation) => {
+            b.put_u8(1);
+            b.put_u64_le(generation);
         }
         None => b.put_u8(0),
     }
@@ -444,6 +594,14 @@ fn get_verdict(buf: &mut &[u8]) -> Result<DefenseVerdict, DecodeError> {
     let invalid = match buf.get_u8() {
         0 => None,
         1 => Some(get_string(buf)?),
+        other => return Err(DecodeError::BadType(other)),
+    };
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let generation = match buf.get_u8() {
+        0 => None,
+        1 => Some(get_u64(buf)?),
         other => return Err(DecodeError::BadType(other)),
     };
     let n = get_len(buf)?;
@@ -484,6 +642,7 @@ fn get_verdict(buf: &mut &[u8]) -> Result<DefenseVerdict, DecodeError> {
             Decision::Reject
         },
         invalid,
+        generation,
     })
 }
 
@@ -799,6 +958,7 @@ mod tests {
         b.put_u64_le(1); // request id
         b.put_u8(0); // reject
         b.put_u8(0); // not invalid
+        b.put_u8(0); // no generation stamp
         b.put_u32_le(1); // one stage
         b.put_u8(component_tag(Component::Distance));
         b.put_u8(9); // neither RAN nor SKIPPED
@@ -912,6 +1072,115 @@ mod tests {
         b.put_u8(BATCH_SHED);
         b.put_u8(9); // no such shed reason
         assert_eq!(decode_frame(&b), Err(DecodeError::BadType(9)));
+    }
+
+    #[test]
+    fn generation_stamp_round_trips() {
+        // v4: a served verdict carries the registry generation that
+        // produced it; an unstamped verdict stays None on the wire.
+        let stamped = DefenseVerdict::from_results(vec![ComponentResult {
+            component: Component::Loudspeaker,
+            attack_score: 0.25,
+            detail: "ok".into(),
+        }])
+        .with_generation(7);
+        let frame = encode_response(30, &stamped);
+        match decode_frame(&frame).unwrap() {
+            Message::VerifyResponse { verdict: v, .. } => {
+                assert_eq!(v.generation, Some(7));
+                assert_eq!(v, stamped);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enroll_round_trip() {
+        let utterances = vec![vec![0.5, -0.25, 0.125], vec![], vec![1.0]];
+        let frame = encode_enroll(31, 4040, &utterances);
+        match decode_frame(&frame).unwrap() {
+            Message::Enroll {
+                request_id,
+                speaker_id,
+                utterances: u,
+            } => {
+                assert_eq!(request_id, 31);
+                assert_eq!(speaker_id, 4040);
+                assert_eq!(u, utterances);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        let frame = encode_enroll_response(31, 4040, 2);
+        assert_eq!(
+            decode_frame(&frame).unwrap(),
+            Message::EnrollResponse {
+                request_id: 31,
+                speaker_id: 4040,
+                generation: 2
+            }
+        );
+    }
+
+    #[test]
+    fn enroll_rejects_hostile_utterance_count() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_ENROLL);
+        b.put_u64_le(1); // request id
+        b.put_u32_le(9); // speaker
+        b.put_u32_le((MAX_ENROLL_UTTERANCES + 1) as u32);
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn swap_bundle_round_trip() {
+        // The bundle payload travels opaquely — arbitrary bytes survive.
+        let payload: Vec<u8> = (0..=255).collect();
+        let frame = encode_swap_bundle(32, &payload);
+        match decode_frame(&frame).unwrap() {
+            Message::SwapBundle {
+                request_id,
+                bundle_bytes,
+            } => {
+                assert_eq!(request_id, 32);
+                assert_eq!(bundle_bytes, payload);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        let frame = encode_swap_bundle_response(32, 5);
+        assert_eq!(
+            decode_frame(&frame).unwrap(),
+            Message::SwapBundleResponse {
+                request_id: 32,
+                generation: 5
+            }
+        );
+    }
+
+    #[test]
+    fn v4_frames_reject_truncation_everywhere() {
+        let frames = [
+            encode_enroll(1, 9, &[vec![0.5, 1.5], vec![-0.25]]),
+            encode_enroll_response(2, 9, 3),
+            encode_swap_bundle(3, &[1, 2, 3, 4, 5]),
+            encode_swap_bundle_response(4, 6),
+            encode_response(
+                5,
+                &DefenseVerdict::from_results(vec![ComponentResult {
+                    component: Component::Distance,
+                    attack_score: 0.5,
+                    detail: "d".into(),
+                }])
+                .with_generation(9),
+            ),
+        ];
+        for frame in frames {
+            for cut in 0..frame.len() {
+                let r = decode_frame(&frame[..cut]);
+                assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+            }
+        }
     }
 
     fn sample_stats() -> ServerStatsSnapshot {

@@ -153,6 +153,14 @@ pub struct DefenseVerdict {
     /// tables and traces never misattribute malformed sessions to a
     /// detector.
     pub invalid: Option<String>,
+    /// The model-registry generation this session was scored against
+    /// (`None` for verdicts built outside a registry-backed system).
+    /// Stamped by
+    /// [`CascadeSession`](crate::pipeline::CascadeSession): every verdict
+    /// — including each member of a batch — is attributable to exactly
+    /// one generation, even when an enrollment or bundle hot-swap lands
+    /// mid-flight.
+    pub generation: Option<u64>,
 }
 
 impl DefenseVerdict {
@@ -167,6 +175,7 @@ impl DefenseVerdict {
             stages: results.into_iter().map(StageOutcome::Ran).collect(),
             decision,
             invalid: None,
+            generation: None,
         }
     }
 
@@ -186,6 +195,7 @@ impl DefenseVerdict {
             stages,
             decision,
             invalid: None,
+            generation: None,
         }
     }
 
@@ -195,7 +205,15 @@ impl DefenseVerdict {
             stages: Vec::new(),
             decision: Decision::Reject,
             invalid: Some(reason),
+            generation: None,
         }
+    }
+
+    /// Returns the verdict attributed to a registry generation.
+    #[must_use]
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = Some(generation);
+        self
     }
 
     /// Whether the session was accepted at the nominal boundary.

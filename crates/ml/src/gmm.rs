@@ -8,6 +8,7 @@
 //! means); verification scores are the average per-frame log-likelihood
 //! ratio between the speaker model and the UBM.
 
+use crate::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 use crate::kmeans::kmeans;
 use magshield_dsp::frame::FrameSource;
 use magshield_simkit::rng::SimRng;
@@ -592,6 +593,113 @@ impl LlrScorer {
     }
 }
 
+impl BinaryCodec for DiagonalGmm {
+    const MAGIC: u32 = codec::magic(b"MGMM");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "DiagonalGmm";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_len(self.num_components());
+        w.put_len(self.dim());
+        w.put_f64_slice(&self.weights);
+        for row in &self.means {
+            w.put_f64_slice(row);
+        }
+        for row in &self.variances {
+            w.put_f64_slice(row);
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let invalid = |reason: &str| CodecError::Invalid {
+            artifact: Self::NAME,
+            reason: reason.to_string(),
+        };
+        let k = r.get_len()?;
+        let dim = r.get_len()?;
+        if k == 0 {
+            return Err(invalid("mixture needs at least one component"));
+        }
+        if dim == 0 {
+            return Err(invalid("feature dimension must be positive"));
+        }
+        let weights = r.get_f64_vec(k)?;
+        let mut means = Vec::with_capacity(k);
+        for _ in 0..k {
+            means.push(r.get_f64_vec(dim)?);
+        }
+        let mut variances = Vec::with_capacity(k);
+        for _ in 0..k {
+            variances.push(r.get_f64_vec(dim)?);
+        }
+        // Mirror the `from_parameters` invariants, but as typed errors: the
+        // checksum only proves the frame arrived intact, not that it
+        // describes a sane mixture.
+        if !means
+            .iter()
+            .flatten()
+            .chain(weights.iter())
+            .all(|v| v.is_finite())
+        {
+            return Err(invalid("parameters must be finite"));
+        }
+        let wsum: f64 = weights.iter().sum();
+        if (wsum - 1.0).abs() >= 1e-6 {
+            return Err(invalid("weights must sum to 1"));
+        }
+        if !variances.iter().flatten().all(|&v| v > 0.0) {
+            return Err(invalid("variances must be positive"));
+        }
+        Ok(Self {
+            weights,
+            means,
+            variances,
+        })
+    }
+}
+
+impl BinaryCodec for PreparedGmm {
+    const MAGIC: u32 = codec::magic(b"MPGM");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "PreparedGmm";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_len(self.k);
+        w.put_len(self.dim);
+        w.put_f64_slice(&self.log_const);
+        w.put_f64_slice(&self.means);
+        w.put_f64_slice(&self.inv_var);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let invalid = |reason: &str| CodecError::Invalid {
+            artifact: Self::NAME,
+            reason: reason.to_string(),
+        };
+        let k = r.get_len()?;
+        let dim = r.get_len()?;
+        if k == 0 || dim == 0 {
+            return Err(invalid("shape must be positive"));
+        }
+        let flat = k
+            .checked_mul(dim)
+            .ok_or_else(|| invalid("shape overflows"))?;
+        let log_const = r.get_f64_vec(k)?;
+        let means = r.get_f64_vec(flat)?;
+        let inv_var = r.get_f64_vec(flat)?;
+        if !inv_var.iter().all(|&v| v > 0.0) {
+            return Err(invalid("inverse variances must be positive"));
+        }
+        Ok(Self {
+            k,
+            dim,
+            log_const,
+            means,
+            inv_var,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,5 +945,92 @@ mod tests {
     #[should_panic(expected = "weights must sum to 1")]
     fn rejects_bad_weights() {
         DiagonalGmm::from_parameters(vec![0.5], vec![vec![0.0]], vec![vec![1.0]]);
+    }
+
+    mod codec_round_trip {
+        use super::*;
+        use crate::codec::{assert_hostile_input_fails, BinaryCodec, CodecError};
+        use proptest::prelude::*;
+
+        /// An arbitrary valid mixture: raw positives normalized into
+        /// weights, finite means, strictly positive variances.
+        fn arb_gmm() -> impl Strategy<Value = DiagonalGmm> {
+            (1usize..5, 1usize..6, 0u64..u64::MAX).prop_map(|(k, dim, seed)| {
+                let mut rng = SimRng::from_seed(seed);
+                let raw: Vec<f64> = (0..k).map(|_| rng.uniform(0.1, 1.0)).collect();
+                let sum: f64 = raw.iter().sum();
+                let weights = raw.iter().map(|w| w / sum).collect();
+                let means = (0..k)
+                    .map(|_| (0..dim).map(|_| rng.gauss(0.0, 5.0)).collect())
+                    .collect();
+                let variances = (0..k)
+                    .map(|_| (0..dim).map(|_| rng.uniform(1e-3, 4.0)).collect())
+                    .collect();
+                DiagonalGmm::from_parameters(weights, means, variances)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn gmm_round_trips_exactly(gmm in arb_gmm()) {
+                let bytes = gmm.to_bytes();
+                prop_assert_eq!(DiagonalGmm::from_bytes(&bytes).unwrap(), gmm);
+            }
+
+            #[test]
+            fn prepared_round_trips_exactly(gmm in arb_gmm()) {
+                let prepared = PreparedGmm::new(&gmm);
+                let bytes = prepared.to_bytes();
+                prop_assert_eq!(PreparedGmm::from_bytes(&bytes).unwrap(), prepared);
+            }
+        }
+
+        #[test]
+        fn hostile_input_yields_typed_errors() {
+            let rng = SimRng::from_seed(11);
+            let data = two_cluster_data(&rng, 120);
+            let gmm = DiagonalGmm::train(&data, 2, 8, 1e-6, &rng);
+            assert_hostile_input_fails::<DiagonalGmm>(&gmm.to_bytes());
+            assert_hostile_input_fails::<PreparedGmm>(&PreparedGmm::new(&gmm).to_bytes());
+        }
+
+        #[test]
+        fn intact_frame_with_bad_weights_is_invalid_not_panic() {
+            // A structurally perfect frame describing a mixture whose
+            // weights sum to 2: the envelope passes, decode_payload must
+            // refuse.
+            let g = DiagonalGmm::from_parameters(vec![1.0], vec![vec![0.0]], vec![vec![1.0]]);
+            let mut hostile = g.clone();
+            hostile.weights[0] = 2.0;
+            match DiagonalGmm::from_bytes(&hostile.to_bytes()) {
+                Err(CodecError::Invalid { artifact, .. }) => {
+                    assert_eq!(artifact, "DiagonalGmm");
+                }
+                other => panic!("expected Invalid, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn decoded_gmm_scores_identically() {
+            let rng = SimRng::from_seed(23);
+            let data = two_cluster_data(&rng, 150);
+            let gmm = DiagonalGmm::train(&data, 3, 10, 1e-6, &rng);
+            let back = DiagonalGmm::from_bytes(&gmm.to_bytes()).unwrap();
+            assert_eq!(
+                gmm.mean_log_likelihood(&data),
+                back.mean_log_likelihood(&data)
+            );
+        }
+
+        #[test]
+        fn gmm_bytes_do_not_decode_as_prepared() {
+            let g = DiagonalGmm::from_parameters(vec![1.0], vec![vec![0.0]], vec![vec![1.0]]);
+            assert!(matches!(
+                PreparedGmm::from_bytes(&g.to_bytes()),
+                Err(CodecError::BadMagic { .. })
+            ));
+        }
     }
 }

@@ -22,9 +22,12 @@
 //! * [`circlefit`] — Kåsa least-squares circle fitting, cited by the paper
 //!   (\[17\]) for its distance calculation;
 //! * [`metrics`] — FAR/FRR sweeps, equal error rate and DET curves, the
-//!   metrics every table and figure of the evaluation reports.
+//!   metrics every table and figure of the evaluation reports;
+//! * [`codec`] — the versioned, checksummed binary artifact format every
+//!   trained model serializes through (train once, serve many).
 
 pub mod circlefit;
+pub mod codec;
 pub mod gmm;
 pub mod kmeans;
 pub mod metrics;
@@ -32,6 +35,7 @@ pub mod pca;
 pub mod scaler;
 pub mod svm;
 
+pub use codec::{BinaryCodec, CodecError};
 pub use gmm::DiagonalGmm;
 pub use metrics::{equal_error_rate, ErrorRates};
 pub use pca::Pca;

@@ -1,5 +1,6 @@
 //! Feature standardization (zero mean, unit variance per dimension).
 
+use crate::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 use serde::{Deserialize, Serialize};
 
 /// A fitted standard scaler.
@@ -61,6 +62,11 @@ impl StandardScaler {
         data.iter().map(|x| self.transform(x)).collect()
     }
 
+    /// Feature dimensionality this scaler was fitted for.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
     /// Inverts the transform.
     pub fn inverse_transform(&self, z: &[f64]) -> Vec<f64> {
         assert_eq!(z.len(), self.mean.len(), "dimension mismatch");
@@ -68,6 +74,29 @@ impl StandardScaler {
             .zip(self.mean.iter().zip(&self.std))
             .map(|(zi, (m, s))| zi * s + m)
             .collect()
+    }
+}
+
+impl BinaryCodec for StandardScaler {
+    const MAGIC: u32 = codec::magic(b"MSCL");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "StandardScaler";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_f64s(&self.mean);
+        w.put_f64_slice(&self.std);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mean = r.get_f64s()?;
+        let std = r.get_f64_vec(mean.len())?;
+        if !mean.iter().all(|v| v.is_finite()) || !std.iter().all(|&s| s.is_finite() && s > 0.0) {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: "mean must be finite and std strictly positive".to_string(),
+            });
+        }
+        Ok(Self { mean, std })
     }
 }
 
@@ -107,6 +136,50 @@ mod tests {
             for (a, b) in back.iter().zip(r) {
                 assert!((a - b).abs() < 1e-10);
             }
+        }
+    }
+
+    mod codec_round_trip {
+        use super::*;
+        use crate::codec::{assert_hostile_input_fails, BinaryCodec, CodecError};
+        use magshield_simkit::rng::SimRng;
+        use proptest::prelude::*;
+
+        fn arb_scaler() -> impl Strategy<Value = StandardScaler> {
+            (1usize..8, 2usize..30, 0u64..u64::MAX).prop_map(|(dim, n, seed)| {
+                let mut rng = SimRng::from_seed(seed);
+                let data: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..dim).map(|_| rng.gauss(0.0, 10.0)).collect())
+                    .collect();
+                StandardScaler::fit(&data)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn scaler_round_trips_exactly(sc in arb_scaler()) {
+                prop_assert_eq!(StandardScaler::from_bytes(&sc.to_bytes()).unwrap(), sc);
+            }
+        }
+
+        #[test]
+        fn hostile_input_yields_typed_errors() {
+            let sc = StandardScaler::fit(&[vec![1.0, 2.0], vec![3.0, -4.0], vec![0.5, 9.0]]);
+            assert_hostile_input_fails::<StandardScaler>(&sc.to_bytes());
+        }
+
+        #[test]
+        fn non_positive_std_is_invalid() {
+            let sc = StandardScaler {
+                mean: vec![0.0],
+                std: vec![0.0],
+            };
+            assert!(matches!(
+                StandardScaler::from_bytes(&sc.to_bytes()),
+                Err(CodecError::Invalid { .. })
+            ));
         }
     }
 }

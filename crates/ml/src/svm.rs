@@ -6,6 +6,7 @@
 //! primal objective as classic SMO for linear kernels and needs no QP
 //! machinery.
 
+use crate::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 use magshield_simkit::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -145,6 +146,29 @@ impl LinearSvm {
     }
 }
 
+impl BinaryCodec for LinearSvm {
+    const MAGIC: u32 = codec::magic(b"MSVM");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "LinearSvm";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_f64s(&self.weights);
+        w.put_f64(self.bias);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let weights = r.get_f64s()?;
+        let bias = r.get_f64()?;
+        if !weights.iter().chain([&bias]).all(|v| v.is_finite()) {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: "parameters must be finite".to_string(),
+            });
+        }
+        Ok(Self { weights, bias })
+    }
+}
+
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
@@ -249,5 +273,63 @@ mod tests {
             SvmConfig::default(),
             &SimRng::from_seed(1),
         );
+    }
+
+    mod codec_round_trip {
+        use super::*;
+        use crate::codec::{assert_hostile_input_fails, BinaryCodec, CodecError};
+        use proptest::prelude::*;
+
+        fn arb_svm() -> impl Strategy<Value = LinearSvm> {
+            (1usize..8, 0u64..u64::MAX).prop_map(|(dim, seed)| {
+                let mut rng = SimRng::from_seed(seed);
+                LinearSvm {
+                    weights: (0..dim).map(|_| rng.gauss(0.0, 3.0)).collect(),
+                    bias: rng.gauss(0.0, 1.0),
+                }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn svm_round_trips_exactly(svm in arb_svm()) {
+                prop_assert_eq!(LinearSvm::from_bytes(&svm.to_bytes()).unwrap(), svm);
+            }
+        }
+
+        #[test]
+        fn trained_model_round_trips_with_identical_decisions() {
+            let rng = SimRng::from_seed(31);
+            let (xs, ys) = separable(&rng, 120);
+            let svm = LinearSvm::train(&xs, &ys, SvmConfig::default(), &SimRng::from_seed(5));
+            let back = LinearSvm::from_bytes(&svm.to_bytes()).unwrap();
+            assert_eq!(back, svm);
+            for x in &xs {
+                assert_eq!(back.decision(x), svm.decision(x));
+            }
+        }
+
+        #[test]
+        fn hostile_input_yields_typed_errors() {
+            let svm = LinearSvm {
+                weights: vec![0.5, -1.5, 2.0],
+                bias: 0.25,
+            };
+            assert_hostile_input_fails::<LinearSvm>(&svm.to_bytes());
+        }
+
+        #[test]
+        fn non_finite_weights_are_invalid() {
+            let svm = LinearSvm {
+                weights: vec![f64::INFINITY],
+                bias: 0.0,
+            };
+            assert!(matches!(
+                LinearSvm::from_bytes(&svm.to_bytes()),
+                Err(CodecError::Invalid { .. })
+            ));
+        }
     }
 }

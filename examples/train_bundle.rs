@@ -1,0 +1,64 @@
+//! Offline trainer: produce a versioned model-bundle file the server
+//! loads — the training half of the train-once / serve-many split.
+//!
+//! ```sh
+//! cargo run --release --example train_bundle -- --seed 424242 --out user.bundle
+//! cargo run --release --example train_bundle -- --tiny --notes "golden artifact"
+//! ```
+//!
+//! The output file is the bundle's own checksummed binary encoding
+//! (`ModelBundle::to_bytes`); hand it to `DefenseSystem::from_bundle`
+//! after `ModelBundle::from_bytes`, or push it into a running server
+//! with `Client::swap_bundle`.
+
+use magshield::core::scenario::UserContext;
+use magshield::core::trainer::{BootstrapConfig, Trainer};
+use magshield::ml::codec::BinaryCodec;
+use magshield::simkit::rng::SimRng;
+
+fn main() {
+    let mut seed = 424242u64;
+    let mut out = String::from("user.bundle");
+    let mut notes = String::new();
+    let mut cfg = BootstrapConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--notes" => notes = args.next().expect("--notes TEXT"),
+            "--tiny" => cfg = BootstrapConfig::tiny(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: train_bundle [--seed N] [--out PATH] [--notes TEXT] [--tiny]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rng = SimRng::from_seed(seed);
+    let user = UserContext::sample(&rng.fork("user"));
+    println!(
+        "training bundle (seed {seed}, {} UBM components, {} EM iters)...",
+        cfg.ubm_components, cfg.em_iters
+    );
+    let bundle = Trainer::new(cfg)
+        .with_notes(notes)
+        .train(&user, &rng.fork("bootstrap"));
+    let bytes = bundle.to_bytes();
+    std::fs::write(&out, &bytes).expect("write bundle file");
+    println!(
+        "wrote {out}: {} bytes, producer {:?}, {} speaker(s) [{}], {} sound-field bins",
+        bytes.len(),
+        bundle.meta.producer,
+        bundle.speakers.len(),
+        bundle
+            .speakers
+            .iter()
+            .map(|m| m.speaker_id.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        bundle.config.sound_field_bins,
+    );
+    println!("training is deterministic: the same seed reproduces this file byte for byte");
+}

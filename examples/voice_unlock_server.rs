@@ -11,10 +11,12 @@
 use magshield::core::batch::BatchOutcome;
 use magshield::core::scenario::{self, ScenarioBuilder};
 use magshield::core::server::VerificationServer;
+use magshield::core::trainer::{BootstrapConfig, Trainer};
 use magshield::simkit::rng::SimRng;
 use magshield::voice::attacks::AttackKind;
 use magshield::voice::devices::table_iv_catalog;
 use magshield::voice::profile::SpeakerProfile;
+use magshield::voice::synth::{FormantSynthesizer, SessionEffects};
 use std::time::Instant;
 
 fn main() {
@@ -93,6 +95,43 @@ fn main() {
         }
     );
 
+    // Model lifecycle over the wire (protocol v4): a second family
+    // member enrolls against the running server — no restart — and a
+    // freshly trained bundle hot-swaps in while the pool keeps serving.
+    let newcomer = SpeakerProfile::sample(2002, &rng.fork("newcomer"));
+    let synth = FormantSynthesizer::default();
+    let utterances: Vec<Vec<f64>> = (0..2u64)
+        .map(|k| {
+            synth.render_digits(
+                &newcomer,
+                "582931",
+                SessionEffects::neutral(),
+                &rng.fork_indexed("enroll", k),
+            )
+        })
+        .collect();
+    let generation = server
+        .client()
+        .enroll(2002, &utterances)
+        .expect("server reachable");
+    println!("  enrolled speaker 2002 online → registry generation {generation}");
+
+    let retrained = Trainer::new(BootstrapConfig::default())
+        .with_notes("nightly retrain")
+        .train(&user, &rng.fork("retrain"));
+    let generation = server
+        .client()
+        .swap_bundle(&retrained)
+        .expect("server reachable");
+    let verdict = server
+        .client()
+        .verify(&ScenarioBuilder::genuine(&user).capture(&rng.fork("post-swap")))
+        .expect("server reachable");
+    println!(
+        "  hot-swapped retrained bundle → generation {generation}; next unlock {} (served by generation {})",
+        if verdict.accepted() { "ACCEPTED" } else { "REJECTED" },
+        verdict.generation.unwrap_or(0),
+    );
     // A corrupted frame exercises the protocol error path.
     let raw_reply = server
         .client()

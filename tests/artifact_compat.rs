@@ -1,0 +1,54 @@
+//! Golden-artifact compatibility gate (runs in CI): a committed bundle
+//! file must keep decoding under the current codec. If this test fails,
+//! an encoding change broke compatibility with already-shipped bundles —
+//! bump the artifact's format version (and keep a decode path for v1)
+//! instead of silently changing the layout.
+//!
+//! The golden file was produced by the `train_bundle` example:
+//! `cargo run --example train_bundle -- --tiny --seed 424242
+//!  --notes "golden artifact v1" --out results/golden_bundle_v1.bin`.
+
+use magshield::core::artifact::ModelBundle;
+use magshield::core::pipeline::DefenseSystem;
+use magshield::core::registry::ModelRegistry;
+use magshield::core::trainer::TRAINER_PRODUCER;
+use magshield::ml::codec::BinaryCodec;
+
+const GOLDEN: &[u8] = include_bytes!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/results/golden_bundle_v1.bin"
+));
+
+#[test]
+fn golden_bundle_still_decodes() {
+    let bundle = ModelBundle::from_bytes(GOLDEN).expect(
+        "codec format break: the committed v1 bundle no longer decodes — \
+         bump the format version rather than changing the layout in place",
+    );
+    bundle.validate().expect("golden bundle validates");
+    assert_eq!(bundle.meta.producer, TRAINER_PRODUCER);
+    assert_eq!(bundle.meta.notes, "golden artifact v1");
+    assert_eq!(bundle.speakers.len(), 1);
+}
+
+#[test]
+fn golden_bundle_reencodes_byte_identically() {
+    // Encoding is deterministic, so decode → encode must reproduce the
+    // file exactly; a mismatch means the writer changed format without a
+    // version bump even though the reader still accepts the old bytes.
+    let bundle = ModelBundle::from_bytes(GOLDEN).expect("decodes");
+    assert_eq!(
+        bundle.to_bytes(),
+        GOLDEN,
+        "encoder no longer reproduces the v1 layout"
+    );
+}
+
+#[test]
+fn golden_bundle_boots_a_serving_system() {
+    let bundle = ModelBundle::from_bytes(GOLDEN).expect("decodes");
+    let speaker = bundle.speakers[0].speaker_id;
+    let system = DefenseSystem::from_bundle(bundle).expect("boots");
+    assert_eq!(system.generation(), ModelRegistry::FIRST_GENERATION);
+    assert!(system.is_enrolled(speaker));
+}
