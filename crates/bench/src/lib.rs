@@ -150,13 +150,20 @@ pub fn print_latency(label: &str, h: &HistogramSnapshot) {
     );
 }
 
-/// Writes per-session pipeline traces as JSON lines under
-/// `results/logs/<experiment>_traces.jsonl`.
+/// Appends per-session pipeline traces as JSON lines under
+/// `results/logs/<experiment>_traces.jsonl`, size-capped: past
+/// [`magshield_obs::export::DEFAULT_MAX_JSONL_BYTES`] the file rotates
+/// to `.1` and restarts, so repeated experiment runs keep the newest
+/// traces without growing the log without bound.
 pub fn write_trace_log(experiment: &str, traces: &[PipelineTrace]) {
     let path = std::path::Path::new("results")
         .join("logs")
         .join(format!("{experiment}_traces.jsonl"));
-    match PipelineTrace::write_jsonl(&path, traces) {
+    match PipelineTrace::append_jsonl_rotating(
+        &path,
+        traces,
+        magshield_obs::export::DEFAULT_MAX_JSONL_BYTES,
+    ) {
         Ok(()) => eprintln!("(wrote {} traces to {})", traces.len(), path.display()),
         Err(e) => eprintln!("(failed to write {}: {e})", path.display()),
     }

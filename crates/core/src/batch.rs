@@ -44,6 +44,7 @@ use crate::pipeline::DefenseSystem;
 use crate::session::SessionData;
 use crate::verdict::DefenseVerdict;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use magshield_obs::labels::Labels;
 use magshield_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Condvar, Mutex};
@@ -335,16 +336,32 @@ struct EngineObs {
     compute: Histogram,
     verdicts: Counter,
     shed: Counter,
+    /// Labeled twin of `verdicts`: `batch.verdicts{policy}`.
+    verdicts_labeled: Counter,
+    /// Labeled shed series, one handle per [`ShedReason`] so the shed
+    /// path (already under pressure by definition) never re-interns:
+    /// `batch.shed{policy,shed_reason}`.
+    shed_labeled: [Counter; 3],
 }
 
 impl EngineObs {
-    fn new(registry: Registry) -> Self {
+    fn new(registry: Registry, policy: ExecutionPolicy) -> Self {
+        let base = Labels::new().policy(policy.name());
+        let shed_for = |reason: ShedReason| {
+            registry.counter_with("batch.shed", &base.clone().shed_reason(reason.name()))
+        };
         Self {
             queue_wait: registry.histogram("batch.queue.wait.seconds"),
             batch_size: registry.histogram("batch.size.sessions"),
             compute: registry.histogram("batch.compute.seconds"),
             verdicts: registry.counter("batch.verdicts"),
             shed: registry.counter("batch.shed"),
+            verdicts_labeled: registry.counter_with("batch.verdicts", &base),
+            shed_labeled: [
+                shed_for(ShedReason::QueueFull),
+                shed_for(ShedReason::DeadlineExceeded),
+                shed_for(ShedReason::ShuttingDown),
+            ],
             registry,
         }
     }
@@ -354,6 +371,12 @@ impl EngineObs {
         self.registry
             .counter(&format!("batch.shed.{}", reason.name()))
             .inc();
+        let idx = match reason {
+            ShedReason::QueueFull => 0,
+            ShedReason::DeadlineExceeded => 1,
+            ShedReason::ShuttingDown => 2,
+        };
+        self.shed_labeled[idx].inc();
     }
 }
 
@@ -440,14 +463,14 @@ impl BatchEngine {
             registry.gauge("batch.queue.depth"),
             registry.gauge("batch.inflight"),
         );
-        let obs = EngineObs::new(registry);
+        let obs = EngineObs::new(registry, cfg.policy);
         let system = Arc::new(system);
         let (tx, rx) = unbounded::<WorkItem>();
         let handles = (0..workers)
             .map(|_| {
                 let rx = rx.clone();
                 let system = Arc::clone(&system);
-                let obs = EngineObs::new(system.metrics().clone());
+                let obs = EngineObs::new(system.metrics().clone(), cfg.policy);
                 let policy = cfg.policy;
                 let max_batch = cfg.max_batch;
                 let workers = cfg.workers;
@@ -648,6 +671,7 @@ fn worker_loop(
                 .run_batch(&sessions, &system.config, system.obs());
         obs.compute.record(t0.elapsed());
         obs.verdicts.add(live.len() as u64);
+        obs.verdicts_labeled.add(live.len() as u64);
         for (item, (verdict, _trace)) in live.into_iter().zip(results) {
             // The submitter may have given up; ignore send errors.
             let _ = item.reply.send(BatchOutcome::Verdict(verdict));

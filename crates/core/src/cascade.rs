@@ -37,6 +37,7 @@ use crate::pipeline::PipelineObs;
 use crate::session::SessionData;
 use crate::verdict::{Component, ComponentResult, DefenseVerdict, SkippedStage, StageOutcome};
 use magshield_asv::model::SpeakerModel;
+use magshield_obs::labels::Labels;
 use magshield_obs::metrics::Registry;
 use magshield_obs::span::Span;
 use magshield_obs::trace::{ComponentTrace, PipelineTrace};
@@ -297,6 +298,17 @@ pub enum ExecutionPolicy {
     ShortCircuit,
 }
 
+impl ExecutionPolicy {
+    /// The `policy` label value this policy stamps on labeled metrics:
+    /// `"full"` or `"short_circuit"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionPolicy::FullEvaluation => "full",
+            ExecutionPolicy::ShortCircuit => "short_circuit",
+        }
+    }
+}
+
 /// The cascade executor: an ordered stage list, a stage mask and an
 /// execution policy.
 ///
@@ -387,7 +399,7 @@ impl<'a> Cascade<'a> {
         config: &DefenseConfig,
         obs: &PipelineObs,
     ) -> (DefenseVerdict, PipelineTrace) {
-        let mut state = SessionRun::begin(session, obs);
+        let mut state = SessionRun::begin(session, obs, self.policy);
         if !state.invalid {
             for stage in &self.stages {
                 self.step(stage.as_ref(), session, config, obs, &mut state);
@@ -413,8 +425,10 @@ impl<'a> Cascade<'a> {
         config: &DefenseConfig,
         obs: &PipelineObs,
     ) -> Vec<(DefenseVerdict, PipelineTrace)> {
-        let mut states: Vec<SessionRun> =
-            sessions.iter().map(|s| SessionRun::begin(s, obs)).collect();
+        let mut states: Vec<SessionRun> = sessions
+            .iter()
+            .map(|s| SessionRun::begin(s, obs, self.policy))
+            .collect();
         for stage in &self.stages {
             for (state, session) in states.iter_mut().zip(sessions) {
                 if !state.invalid {
@@ -445,6 +459,9 @@ impl<'a> Cascade<'a> {
         let name = component.name();
         if let (ExecutionPolicy::ShortCircuit, Some(cause)) = (self.policy, state.rejector) {
             registry.counter(&format!("pipeline.{name}.skipped")).inc();
+            obs.stage_skipped
+                .with(&Labels::new().stage(name).policy(self.policy.name()))
+                .inc();
             state.trace.components.push(ComponentTrace {
                 component: name.to_string(),
                 passed: false,
@@ -469,6 +486,11 @@ impl<'a> Cascade<'a> {
         registry
             .histogram(&format!("pipeline.{name}.seconds"))
             .record_secs(duration_s);
+        // Labeled twin with the session's trace id as exemplar: a p99
+        // spike in the scrape points straight at its JSONL trace record.
+        obs.stage_seconds
+            .with(&Labels::new().stage(name).policy(self.policy.name()))
+            .record_secs_with_exemplar(duration_s, &state.trace.session);
         span.event("attack_score", format!("{:.4}", r.attack_score));
         span.event("passed", r.passes_at(1.0));
         state.trace.components.push(ComponentTrace {
@@ -496,6 +518,9 @@ struct SessionRun {
     outcomes: Vec<StageOutcome>,
     rejector: Option<Component>,
     started: Instant,
+    /// The cascade's execution policy, stamped as the `policy` label on
+    /// this session's labeled metrics.
+    policy: ExecutionPolicy,
     /// Failed [`SessionData::validate`]: no stage runs, the verdict is
     /// [`DefenseVerdict::rejected_invalid`].
     invalid: bool,
@@ -503,7 +528,7 @@ struct SessionRun {
 }
 
 impl SessionRun {
-    fn begin(session: &SessionData, obs: &PipelineObs) -> Self {
+    fn begin(session: &SessionData, obs: &PipelineObs, policy: ExecutionPolicy) -> Self {
         let started = Instant::now();
         let mut root = Span::enter(&obs.tracer, "verify");
         let trace = PipelineTrace {
@@ -521,6 +546,7 @@ impl SessionRun {
             outcomes: Vec::new(),
             rejector: None,
             started,
+            policy,
             invalid: invalid_reason.is_some(),
             invalid_reason,
         }
@@ -538,6 +564,9 @@ impl SessionRun {
         registry
             .histogram("pipeline.verify.seconds")
             .record_secs(self.trace.total_s);
+        obs.verify_seconds
+            .with(&Labels::new().policy(self.policy.name()))
+            .record_secs_with_exemplar(self.trace.total_s, &self.trace.session);
         registry
             .counter(if self.trace.accepted {
                 "pipeline.accepts"

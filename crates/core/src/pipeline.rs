@@ -30,7 +30,7 @@ use crate::scenario::UserContext;
 use crate::session::SessionData;
 use crate::trainer::Trainer;
 use crate::verdict::{Component, DefenseVerdict};
-use magshield_obs::metrics::Registry;
+use magshield_obs::metrics::{CounterVec, HistogramVec, Registry};
 use magshield_obs::span::TraceCollector;
 use magshield_obs::trace::PipelineTrace;
 use magshield_simkit::rng::SimRng;
@@ -43,7 +43,7 @@ pub use crate::trainer::BootstrapConfig;
 /// Cloning is shallow (`Arc`-backed): clones of a [`DefenseSystem`] —
 /// e.g. the copies held by server workers — feed the same registry and
 /// span collector, so one snapshot sees the whole fleet.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PipelineObs {
     /// Named metrics: `pipeline.<stage>.seconds` histograms plus
     /// `pipeline.accepts` / `pipeline.rejects` / `pipeline.invalid`
@@ -51,6 +51,29 @@ pub struct PipelineObs {
     pub registry: Registry,
     /// Finished verification spans (bounded ring, oldest evicted).
     pub tracer: TraceCollector,
+    /// Labeled per-stage latency: `pipeline.stage.seconds{stage,policy}`
+    /// with the session's trace id as the slow-sample exemplar. The
+    /// family handle lives here so its interning cache persists across
+    /// verifications — the hot path never re-parses label sets.
+    pub stage_seconds: HistogramVec,
+    /// Labeled short-circuit skips: `pipeline.stage.skipped{stage,policy}`.
+    pub stage_skipped: CounterVec,
+    /// Labeled end-to-end latency: `pipeline.session.seconds{policy}`,
+    /// exemplared like [`PipelineObs::stage_seconds`].
+    pub verify_seconds: HistogramVec,
+}
+
+impl Default for PipelineObs {
+    fn default() -> Self {
+        let registry = Registry::default();
+        Self {
+            stage_seconds: registry.histogram_vec("pipeline.stage.seconds"),
+            stage_skipped: registry.counter_vec("pipeline.stage.skipped"),
+            verify_seconds: registry.histogram_vec("pipeline.session.seconds"),
+            tracer: TraceCollector::default(),
+            registry,
+        }
+    }
 }
 
 /// The serving half of the defense: a model registry plus thresholds.
@@ -122,6 +145,14 @@ impl DefenseSystem {
         bundle.validate()?;
         let generation = self.registry.swap(bundle.into_snapshot());
         self.obs.registry.counter("registry.swap").inc();
+        // Labeled twin: which generation each swap published.
+        self.obs
+            .registry
+            .counter_with(
+                "registry.swaps",
+                &magshield_obs::labels::Labels::new().generation(generation),
+            )
+            .inc();
         self.publish_registry_gauges();
         Ok(generation)
     }

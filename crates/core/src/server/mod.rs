@@ -37,6 +37,16 @@
 //! [`DefenseSystem`]'s registry so one snapshot covers pipeline and
 //! server alike. Clients can fetch a [`ServerStatsSnapshot`] over the
 //! wire via [`Client::stats`] (`Message::StatsRequest`).
+//!
+//! Protocol v5 adds the telemetry plane (DESIGN.md §12):
+//! [`Client::metrics`] scrapes the full labeled snapshot — every
+//! counter/gauge/histogram series with exemplars — plus its text
+//! exposition (`Message::MetricsRequest`), and [`Client::health`]
+//! fetches the verdict of an in-server [`SloEngine`] evaluating
+//! declarative [`SloSpec`]s by multi-window burn rate, with built-in
+//! guards on `server.worker.panics` and the admission shed ratio
+//! (`Message::HealthRequest`). Both supersede the scalar
+//! `StatsRequest` view, which remains served.
 
 pub mod protocol;
 
@@ -48,7 +58,11 @@ use crate::session::SessionData;
 use crate::verdict::DefenseVerdict;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use magshield_ml::codec::BinaryCodec;
-use magshield_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+use magshield_obs::export::render_text;
+use magshield_obs::metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+use magshield_obs::slo::{HealthReport, SloEngine, SloSpec};
 use parking_lot::Mutex;
 use protocol::{decode_frame, encode_response, Message};
 use serde::{Deserialize, Serialize};
@@ -165,6 +179,12 @@ struct Shared {
     batch_shed: Counter,
     worker_panics: Counter,
     worker_processed: Vec<Counter>,
+    /// The SLO burn-rate engine, evaluated on demand by health
+    /// requests against the live registry snapshot.
+    slo: Mutex<SloEngine>,
+    /// Spawn instant — the monotonic time base the SLO engine's burn
+    /// windows are anchored to.
+    started: Instant,
 }
 
 impl Shared {
@@ -233,12 +253,37 @@ impl VerificationServer {
     }
 
     /// Spawns the server under a full [`ServerConfig`] (worker count,
-    /// execution policy, batch chunking, batch deadline).
+    /// execution policy, batch chunking, batch deadline), guarding
+    /// health with [`VerificationServer::default_slos`].
     ///
     /// # Panics
     ///
     /// Panics if `cfg.workers == 0` or `cfg.max_batch == 0`.
     pub fn spawn_with_config(system: DefenseSystem, cfg: ServerConfig) -> Self {
+        Self::spawn_with_slos(system, cfg, Self::default_slos())
+    }
+
+    /// The stock SLO objectives every server evaluates unless
+    /// [`VerificationServer::spawn_with_slos`] overrides them: 99% of
+    /// end-to-end verifications within 500 ms. The engine's built-in
+    /// guards (worker panics, admission shed ratio) apply regardless.
+    pub fn default_slos() -> Vec<SloSpec> {
+        vec![SloSpec::latency(
+            "verify-latency",
+            "pipeline.verify.seconds",
+            0.5,
+            0.99,
+        )]
+    }
+
+    /// Spawns the server with explicit SLO objectives for the health
+    /// endpoint (`ServerConfig` stays `Copy`; objectives ride
+    /// separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers == 0` or `cfg.max_batch == 0`.
+    pub fn spawn_with_slos(system: DefenseSystem, cfg: ServerConfig, slos: Vec<SloSpec>) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.max_batch > 0, "need max_batch > 0");
         let registry = system.metrics().clone();
@@ -253,6 +298,8 @@ impl VerificationServer {
             worker_processed: (0..cfg.workers)
                 .map(|i| registry.counter(&format!("server.worker.{i}.processed")))
                 .collect(),
+            slo: Mutex::new(SloEngine::new(slos)),
+            started: Instant::now(),
             registry,
         });
         let system = Arc::new(system);
@@ -326,6 +373,15 @@ impl VerificationServer {
     /// also carries the `pipeline.<stage>.seconds` histograms).
     pub fn metrics(&self) -> &Registry {
         &self.shared.registry
+    }
+
+    /// Evaluates the SLO engine against the live registry in-process
+    /// (the wire path is [`Client::health`]). Each call advances the
+    /// engine's burn-window state.
+    pub fn health(&self) -> HealthReport {
+        let snap = self.shared.registry.snapshot();
+        let now_s = self.shared.started.elapsed().as_secs_f64();
+        self.shared.slo.lock().observe(now_s, &snap)
     }
 
     /// Stops the workers and waits for them to drain. In-flight requests
@@ -420,6 +476,19 @@ fn handle_job(
         }
         Ok(Message::StatsRequest { request_id }) => {
             protocol::encode_stats_response(request_id, &shared.snapshot())
+        }
+        Ok(Message::MetricsRequest { request_id }) => {
+            // Non-draining scrape: exemplar windows stay intact for the
+            // trace-log flusher (DESIGN.md §12).
+            let snap = shared.registry.snapshot();
+            let exposition = render_text(&snap);
+            protocol::encode_metrics_response(request_id, &snap, &exposition)
+        }
+        Ok(Message::HealthRequest { request_id }) => {
+            let snap = shared.registry.snapshot();
+            let now_s = shared.started.elapsed().as_secs_f64();
+            let report = shared.slo.lock().observe(now_s, &snap);
+            protocol::encode_health_response(request_id, &report)
         }
         Ok(Message::Enroll {
             request_id,
@@ -626,6 +695,54 @@ impl Client {
                     )));
                 }
                 Ok(stats)
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
+    }
+
+    /// Scrapes the full labeled-metrics snapshot over the wire
+    /// (`Message::MetricsRequest` → `Message::MetricsResponse`,
+    /// protocol v5): every series — labeled keys included, exemplars
+    /// intact — plus the text exposition of the same snapshot.
+    pub fn metrics(&self) -> Result<(MetricsSnapshot, String), ClientError> {
+        let id = self.next_id();
+        let raw = self.send_raw(protocol::encode_metrics_request(id))?;
+        match decode_frame(&raw) {
+            Ok(Message::MetricsResponse {
+                request_id,
+                snapshot,
+                exposition,
+            }) => {
+                if request_id != id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {id}"
+                    )));
+                }
+                Ok((snapshot, exposition))
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
+    }
+
+    /// Fetches the SLO engine's health verdict over the wire
+    /// (`Message::HealthRequest` → `Message::HealthResponse`, protocol
+    /// v5). Each request advances the server engine's burn-window
+    /// state against a fresh registry snapshot.
+    pub fn health(&self) -> Result<HealthReport, ClientError> {
+        let id = self.next_id();
+        let raw = self.send_raw(protocol::encode_health_request(id))?;
+        match decode_frame(&raw) {
+            Ok(Message::HealthResponse { request_id, report }) => {
+                if request_id != id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {id}"
+                    )));
+                }
+                Ok(report)
             }
             Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
             Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
@@ -875,6 +992,45 @@ mod tests {
         assert_eq!(snap.compute.count, 1);
         assert!(snap.compute.max_s() > 0.0);
         assert_eq!(snap, srv.stats_snapshot());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn metrics_scrape_over_the_wire() {
+        let (srv, user) = server();
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(57));
+        client.verify(&session).expect("verdict");
+        let (snap, exposition) = client.metrics().expect("metrics over the wire");
+        assert!(snap.histograms.contains_key("server.compute.seconds"));
+        assert!(snap.histograms.contains_key("pipeline.verify.seconds"));
+        assert!(snap.counters.keys().any(|k| k.starts_with("pipeline.")));
+        assert!(exposition.starts_with("# magshield metrics v1"));
+        assert!(exposition.contains("server.compute.seconds_count"));
+        // The scrape is non-draining: a second scrape sees the same
+        // counts (no verifications in between).
+        let (snap2, _) = client.metrics().expect("second scrape");
+        assert_eq!(
+            snap.histograms["pipeline.verify.seconds"].count,
+            snap2.histograms["pipeline.verify.seconds"].count
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn health_over_the_wire_starts_healthy() {
+        use magshield_obs::slo::HealthState;
+        let (srv, user) = server();
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(58));
+        client.verify(&session).expect("verdict");
+        let report = client.health().expect("health over the wire");
+        assert_eq!(report.state, HealthState::Healthy);
+        assert!(
+            report.statuses.iter().any(|s| s.name == "verify-latency"),
+            "default SLOs must be evaluated: {report:?}"
+        );
+        assert_eq!(report, srv.health());
         srv.shutdown();
     }
 

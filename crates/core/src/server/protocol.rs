@@ -12,7 +12,8 @@ use crate::verdict::{
     Component, ComponentResult, Decision, DefenseVerdict, SkippedStage, StageOutcome,
 };
 use bytes::{Buf, BufMut, BytesMut};
-use magshield_obs::metrics::HistogramSnapshot;
+use magshield_obs::metrics::{Exemplar, HistogramSnapshot, MetricsSnapshot};
+use magshield_obs::slo::{BurnRate, HealthReport, HealthState, SloStatus};
 use magshield_simkit::vec3::Vec3;
 
 /// Frame magic.
@@ -23,8 +24,13 @@ const MAGIC: u16 = 0x4D53; // "MS"
 /// ([`Message::BatchRequest`] / [`Message::BatchResponse`]) with
 /// per-session shed outcomes. v4 added the model-generation stamp to
 /// every verdict plus online enrollment ([`Message::Enroll`]) and
-/// whole-bundle hot-swap ([`Message::SwapBundle`]).
-const VERSION: u8 = 4;
+/// whole-bundle hot-swap ([`Message::SwapBundle`]). v5 added the
+/// telemetry plane: full labeled-metrics scrape
+/// ([`Message::MetricsRequest`] / [`Message::MetricsResponse`]), SLO
+/// health ([`Message::HealthRequest`] / [`Message::HealthResponse`]),
+/// and exemplars inside every histogram snapshot — superseding the
+/// scalar `StatsRequest` view, which remains served for old tooling.
+const VERSION: u8 = 5;
 
 /// Message type tags.
 const T_VERIFY_REQUEST: u8 = 1;
@@ -38,6 +44,10 @@ const T_ENROLL: u8 = 8;
 const T_ENROLL_RESPONSE: u8 = 9;
 const T_SWAP_BUNDLE: u8 = 10;
 const T_SWAP_BUNDLE_RESPONSE: u8 = 11;
+const T_METRICS_REQUEST: u8 = 12;
+const T_METRICS_RESPONSE: u8 = 13;
+const T_HEALTH_REQUEST: u8 = 14;
+const T_HEALTH_RESPONSE: u8 = 15;
 
 /// Upper bound on vector lengths (guards against hostile frames).
 const MAX_LEN: usize = 16 << 20;
@@ -51,6 +61,19 @@ const MAX_BATCH_SESSIONS: usize = 4096;
 
 /// Upper bound on utterances in one enrollment frame.
 const MAX_ENROLL_UTTERANCES: usize = 64;
+
+/// Upper bound on metric series per section of a metrics frame. The
+/// registry's own per-family cardinality cap keeps real snapshots far
+/// below this; the wire guard exists for hostile frames.
+const MAX_METRIC_SERIES: usize = 65_536;
+
+/// Upper bound on exemplars per histogram on the wire (the registry
+/// retains at most `MAX_EXEMPLARS` = 8; the slack tolerates merged
+/// snapshots from forward-versioned peers).
+const MAX_WIRE_EXEMPLARS: usize = 64;
+
+/// Upper bound on SLO statuses / notes in one health frame.
+const MAX_HEALTH_ENTRIES: usize = 1024;
 
 /// A decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +161,39 @@ pub enum Message {
         /// Registry generation the swap published.
         generation: u64,
     },
+    /// Client → server: request the full labeled-metrics snapshot
+    /// (added in v5). Supersedes [`Message::StatsRequest`]'s scalar
+    /// view; the old request is still served for old tooling.
+    MetricsRequest {
+        /// Request correlation id.
+        request_id: u64,
+    },
+    /// Server → client: every counter, gauge and histogram series —
+    /// labeled keys included — plus the text exposition rendering of
+    /// the same snapshot (added in v5). The scrape is non-draining:
+    /// exemplar windows are left intact for the trace-log flusher.
+    MetricsResponse {
+        /// Request correlation id.
+        request_id: u64,
+        /// Full labeled snapshot, exemplars included.
+        snapshot: MetricsSnapshot,
+        /// `render_text` exposition of the same snapshot.
+        exposition: String,
+    },
+    /// Client → server: request the SLO engine's health verdict
+    /// (added in v5).
+    HealthRequest {
+        /// Request correlation id.
+        request_id: u64,
+    },
+    /// Server → client: the health verdict with per-spec burn-rate
+    /// evidence (added in v5).
+    HealthResponse {
+        /// Request correlation id.
+        request_id: u64,
+        /// Overall state, per-spec statuses, guard notes.
+        report: HealthReport,
+    },
 }
 
 impl Message {
@@ -154,7 +210,11 @@ impl Message {
             | Message::Enroll { request_id, .. }
             | Message::EnrollResponse { request_id, .. }
             | Message::SwapBundle { request_id, .. }
-            | Message::SwapBundleResponse { request_id, .. } => *request_id,
+            | Message::SwapBundleResponse { request_id, .. }
+            | Message::MetricsRequest { request_id }
+            | Message::MetricsResponse { request_id, .. }
+            | Message::HealthRequest { request_id }
+            | Message::HealthResponse { request_id, .. } => *request_id,
         }
     }
 }
@@ -346,6 +406,76 @@ pub fn encode_stats_response(request_id: u64, stats: &ServerStatsSnapshot) -> Ve
     b.to_vec()
 }
 
+/// Encodes a labeled-metrics scrape request (protocol v5).
+pub fn encode_metrics_request(request_id: u64) -> Vec<u8> {
+    let mut b = header(T_METRICS_REQUEST);
+    b.put_u64_le(request_id);
+    b.to_vec()
+}
+
+/// Encodes a labeled-metrics scrape response (protocol v5).
+///
+/// Layout after the request id: three sections — counters
+/// `(key string, u64)`, gauges `(key string, i64)`, histograms
+/// `(key string, histogram)` — each prefixed by a u32 series count,
+/// followed by the text exposition string. Keys are canonical
+/// `name{k="v",…}` series keys; unlabeled series are bare names.
+pub fn encode_metrics_response(
+    request_id: u64,
+    snapshot: &MetricsSnapshot,
+    exposition: &str,
+) -> Vec<u8> {
+    let mut b = header(T_METRICS_RESPONSE);
+    b.put_u64_le(request_id);
+    b.put_u32_le(snapshot.counters.len() as u32);
+    for (key, &value) in &snapshot.counters {
+        put_string(&mut b, key);
+        b.put_u64_le(value);
+    }
+    b.put_u32_le(snapshot.gauges.len() as u32);
+    for (key, &value) in &snapshot.gauges {
+        put_string(&mut b, key);
+        b.put_i64_le(value);
+    }
+    b.put_u32_le(snapshot.histograms.len() as u32);
+    for (key, hist) in &snapshot.histograms {
+        put_string(&mut b, key);
+        put_histogram(&mut b, hist);
+    }
+    put_string(&mut b, exposition);
+    b.to_vec()
+}
+
+/// Encodes a health request (protocol v5).
+pub fn encode_health_request(request_id: u64) -> Vec<u8> {
+    let mut b = header(T_HEALTH_REQUEST);
+    b.put_u64_le(request_id);
+    b.to_vec()
+}
+
+/// Encodes a health response (protocol v5).
+///
+/// Layout after the request id: overall state byte, u32 status count
+/// then per status `(name string, short f64, long f64, state byte)`,
+/// u32 note count then note strings.
+pub fn encode_health_response(request_id: u64, report: &HealthReport) -> Vec<u8> {
+    let mut b = header(T_HEALTH_RESPONSE);
+    b.put_u64_le(request_id);
+    b.put_u8(report.state.code());
+    b.put_u32_le(report.statuses.len() as u32);
+    for status in &report.statuses {
+        put_string(&mut b, &status.name);
+        b.put_f64_le(status.burn.short);
+        b.put_f64_le(status.burn.long);
+        b.put_u8(status.state.code());
+    }
+    b.put_u32_le(report.notes.len() as u32);
+    for note in &report.notes {
+        put_string(&mut b, note);
+    }
+    b.to_vec()
+}
+
 /// Decodes any frame.
 pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
     let mut buf = frame;
@@ -509,8 +639,108 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
                 },
             })
         }
+        T_METRICS_REQUEST => {
+            let request_id = get_u64(&mut buf)?;
+            Ok(Message::MetricsRequest { request_id })
+        }
+        T_METRICS_RESPONSE => {
+            let request_id = get_u64(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            if n > MAX_METRIC_SERIES {
+                return Err(DecodeError::BadLength);
+            }
+            let mut counters = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let key = get_string(&mut buf)?;
+                counters.insert(key, get_u64(&mut buf)?);
+            }
+            let n = get_len(&mut buf)?;
+            if n > MAX_METRIC_SERIES {
+                return Err(DecodeError::BadLength);
+            }
+            let mut gauges = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let key = get_string(&mut buf)?;
+                gauges.insert(key, get_i64(&mut buf)?);
+            }
+            let n = get_len(&mut buf)?;
+            if n > MAX_METRIC_SERIES {
+                return Err(DecodeError::BadLength);
+            }
+            let mut histograms = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let key = get_string(&mut buf)?;
+                histograms.insert(key, get_histogram(&mut buf)?);
+            }
+            let exposition = get_string(&mut buf)?;
+            Ok(Message::MetricsResponse {
+                request_id,
+                snapshot: MetricsSnapshot {
+                    counters,
+                    gauges,
+                    histograms,
+                },
+                exposition,
+            })
+        }
+        T_HEALTH_REQUEST => {
+            let request_id = get_u64(&mut buf)?;
+            Ok(Message::HealthRequest { request_id })
+        }
+        T_HEALTH_RESPONSE => {
+            let request_id = get_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let state = health_state_from_wire(buf.get_u8())?;
+            let n = get_len(&mut buf)?;
+            if n > MAX_HEALTH_ENTRIES {
+                return Err(DecodeError::BadLength);
+            }
+            let mut statuses = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let name = get_string(&mut buf)?;
+                let short = get_f64(&mut buf)?;
+                let long = get_f64(&mut buf)?;
+                if buf.remaining() < 1 {
+                    return Err(DecodeError::Truncated);
+                }
+                let state = health_state_from_wire(buf.get_u8())?;
+                statuses.push(SloStatus {
+                    name,
+                    burn: BurnRate { short, long },
+                    state,
+                });
+            }
+            let n = get_len(&mut buf)?;
+            if n > MAX_HEALTH_ENTRIES {
+                return Err(DecodeError::BadLength);
+            }
+            let mut notes = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                notes.push(get_string(&mut buf)?);
+            }
+            Ok(Message::HealthResponse {
+                request_id,
+                report: HealthReport {
+                    state,
+                    statuses,
+                    notes,
+                },
+            })
+        }
         other => Err(DecodeError::BadType(other)),
     }
+}
+
+/// Strict wire mapping for health-state bytes: unlike
+/// [`HealthState::from_code`]'s lenient fallback, an unknown byte in a
+/// frame is a protocol error, not an `Unhealthy` verdict.
+fn health_state_from_wire(code: u8) -> Result<HealthState, DecodeError> {
+    if code > 2 {
+        return Err(DecodeError::BadType(code));
+    }
+    Ok(HealthState::from_code(code))
 }
 
 // ---------- helpers ----------
@@ -675,6 +905,12 @@ fn put_histogram(b: &mut BytesMut, h: &HistogramSnapshot) {
     for &n in &h.buckets {
         b.put_u64_le(n);
     }
+    b.put_u32_le(h.exemplars.len() as u32);
+    for ex in &h.exemplars {
+        put_string(b, &ex.trace_id);
+        b.put_u64_le(ex.value_ns);
+        b.put_u32_le(ex.bucket);
+    }
 }
 
 fn get_histogram(buf: &mut &[u8]) -> Result<HistogramSnapshot, DecodeError> {
@@ -685,11 +921,31 @@ fn get_histogram(buf: &mut &[u8]) -> Result<HistogramSnapshot, DecodeError> {
     if n > MAX_HIST_BUCKETS || buf.remaining() < n * 8 {
         return Err(DecodeError::BadLength);
     }
+    let buckets = (0..n).map(|_| buf.get_u64_le()).collect();
+    let n_ex = get_len(buf)?;
+    if n_ex > MAX_WIRE_EXEMPLARS {
+        return Err(DecodeError::BadLength);
+    }
+    let mut exemplars = Vec::with_capacity(n_ex);
+    for _ in 0..n_ex {
+        let trace_id = get_string(buf)?;
+        let value_ns = get_u64(buf)?;
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let bucket = buf.get_u32_le();
+        exemplars.push(Exemplar {
+            trace_id,
+            value_ns,
+            bucket,
+        });
+    }
     Ok(HistogramSnapshot {
-        buckets: (0..n).map(|_| buf.get_u64_le()).collect(),
+        buckets,
         count,
         sum_ns,
         max_ns,
+        exemplars,
     })
 }
 
@@ -1304,5 +1560,183 @@ mod tests {
         b.put_u8(VERSION);
         b.put_u8(200);
         assert_eq!(decode_frame(&b), Err(DecodeError::BadType(200)));
+    }
+
+    // ---------- telemetry plane (protocol v5) ----------
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        use magshield_obs::labels::Labels;
+        let registry = magshield_obs::metrics::Registry::default();
+        registry.counter("batch.verdicts").add(12);
+        registry
+            .counter_with("batch.shed", &Labels::new().shed_reason("queue_full"))
+            .add(3);
+        registry
+            .gauge_with("batch.queue.depth", &Labels::new().tenant("acme"))
+            .set(7);
+        let hist = registry.histogram_with(
+            "pipeline.stage.seconds",
+            &Labels::new().stage("distance").policy("full"),
+        );
+        hist.record_secs_with_exemplar(0.004, "speaker-7");
+        hist.record_secs_with_exemplar(0.250, "speaker-9");
+        registry.snapshot()
+    }
+
+    #[test]
+    fn metrics_request_round_trip() {
+        let frame = encode_metrics_request(88);
+        assert_eq!(
+            decode_frame(&frame).unwrap(),
+            Message::MetricsRequest { request_id: 88 }
+        );
+    }
+
+    #[test]
+    fn metrics_response_round_trips_labels_and_exemplars() {
+        let snap = sample_snapshot();
+        let exposition = magshield_obs::export::render_text(&snap);
+        let frame = encode_metrics_response(6, &snap, &exposition);
+        match decode_frame(&frame).unwrap() {
+            Message::MetricsResponse {
+                request_id,
+                snapshot,
+                exposition: expo,
+            } => {
+                assert_eq!(request_id, 6);
+                assert_eq!(snapshot, snap);
+                assert_eq!(expo, exposition);
+                // Labeled series keys survive verbatim…
+                assert!(snapshot
+                    .counters
+                    .contains_key("batch.shed{shed_reason=\"queue_full\"}"));
+                // …and so do the exemplars inside the histogram.
+                let hist = snapshot
+                    .histograms
+                    .get("pipeline.stage.seconds{policy=\"full\",stage=\"distance\"}")
+                    .expect("labeled histogram survives");
+                assert_eq!(hist.exemplars.len(), 2);
+                assert!(hist.exemplars.iter().any(|e| e.trace_id == "speaker-9"));
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_response_rejects_truncation_everywhere() {
+        let snap = sample_snapshot();
+        let frame = encode_metrics_response(1, &snap, "expo");
+        for cut in 0..frame.len() {
+            let r = decode_frame(&frame[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_response_rejects_hostile_series_count() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_METRICS_RESPONSE);
+        b.put_u64_le(1); // request id
+        b.put_u32_le((MAX_METRIC_SERIES + 1) as u32); // absurd counter count
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn histogram_rejects_hostile_exemplar_count() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_METRICS_RESPONSE);
+        b.put_u64_le(1); // request id
+        b.put_u32_le(0); // no counters
+        b.put_u32_le(0); // no gauges
+        b.put_u32_le(1); // one histogram
+        put_string(&mut b, "h");
+        b.put_u64_le(0); // count
+        b.put_u64_le(0); // sum_ns
+        b.put_u64_le(0); // max_ns
+        b.put_u32_le(0); // no buckets
+        b.put_u32_le((MAX_WIRE_EXEMPLARS + 1) as u32); // absurd exemplars
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
+    }
+
+    fn sample_report() -> HealthReport {
+        HealthReport {
+            state: HealthState::Degraded,
+            statuses: vec![
+                SloStatus {
+                    name: "verify-latency".into(),
+                    burn: BurnRate {
+                        short: 7.25,
+                        long: 6.5,
+                    },
+                    state: HealthState::Degraded,
+                },
+                SloStatus {
+                    name: "tenant-acme-availability".into(),
+                    burn: BurnRate {
+                        short: 0.0,
+                        long: 0.1,
+                    },
+                    state: HealthState::Healthy,
+                },
+            ],
+            notes: vec!["shed ratio 0.08 over 300s".into()],
+        }
+    }
+
+    #[test]
+    fn health_round_trip() {
+        let frame = encode_health_request(55);
+        assert_eq!(
+            decode_frame(&frame).unwrap(),
+            Message::HealthRequest { request_id: 55 }
+        );
+        let report = sample_report();
+        let frame = encode_health_response(55, &report);
+        match decode_frame(&frame).unwrap() {
+            Message::HealthResponse {
+                request_id,
+                report: r,
+            } => {
+                assert_eq!(request_id, 55);
+                assert_eq!(r, report);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_response_rejects_truncation_everywhere() {
+        let frame = encode_health_response(1, &sample_report());
+        for cut in 0..frame.len() {
+            let r = decode_frame(&frame[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+        }
+    }
+
+    #[test]
+    fn health_response_rejects_unknown_state_byte() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_HEALTH_RESPONSE);
+        b.put_u64_le(1); // request id
+        b.put_u8(9); // no such health state
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadType(9)));
+    }
+
+    #[test]
+    fn health_response_rejects_hostile_status_count() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(T_HEALTH_RESPONSE);
+        b.put_u64_le(1); // request id
+        b.put_u8(0); // healthy
+        b.put_u32_le((MAX_HEALTH_ENTRIES + 1) as u32); // absurd status count
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
     }
 }

@@ -6,18 +6,28 @@
 //! verdict's milliseconds go, how deep the server queue runs, and what
 //! each cascade component decided — as data, not log lines.
 //!
-//! Three pillars, all std + `parking_lot` + `serde`:
+//! Six pillars, all std + `parking_lot` + `serde`:
 //!
 //! 1. [`metrics`] — a lock-cheap [`metrics::Registry`] of named
 //!    [`metrics::Counter`]s, [`metrics::Gauge`]s and fixed-bucket
 //!    log-scale [`metrics::Histogram`]s with p50/p95/p99/max quantile
 //!    estimation. Handles are `Arc`-backed atomics: registration takes a
-//!    short lock once, the hot path is a relaxed atomic op.
-//! 2. [`span`] — an RAII [`span::Span`] timing API
+//!    short lock once, the hot path is a relaxed atomic op. Histograms
+//!    additionally retain [`metrics::Exemplar`]s — the trace IDs of the
+//!    slowest samples per scrape window.
+//! 2. [`labels`] — low-cardinality [`labels::Labels`] sets from a fixed
+//!    key vocabulary, with `CounterVec`/`GaugeVec`/`HistogramVec`
+//!    interned fast paths and a per-family cardinality cap.
+//! 3. [`slo`] — declarative [`slo::SloSpec`] objectives evaluated by a
+//!    multi-window burn-rate [`slo::SloEngine`] driving a
+//!    [`slo::HealthState`] machine.
+//! 4. [`export`] — text exposition and hand-rolled JSONL rendering of
+//!    snapshots, with size-capped rotation and a background flusher.
+//! 5. [`span`] — an RAII [`span::Span`] timing API
 //!    (`Span::enter(collector, name) … drop`) with a bounded, thread-safe
 //!    [`span::TraceCollector`] recording nested stage timings and
 //!    structured key–value events, exportable as JSONL.
-//! 3. [`trace`] — the [`trace::PipelineTrace`] pipeline-event type:
+//! 6. [`trace`] — the [`trace::PipelineTrace`] pipeline-event type:
 //!    per session, each cascade component's decision, attack score,
 //!    threshold margin and duration.
 //!
@@ -52,10 +62,23 @@
 //! assert_eq!(collector.records().len(), 2);
 //! ```
 
+pub mod export;
+pub mod labels;
 pub mod metrics;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use export::{
+    render_jsonl_record, render_text, MetricsFlusher, RotatingJsonlWriter, DEFAULT_MAX_JSONL_BYTES,
+};
+pub use labels::{parse_metric_key, Labels, LABEL_KEYS, MAX_CARDINALITY};
+pub use metrics::{
+    Counter, CounterVec, Exemplar, Gauge, GaugeVec, Histogram, HistogramSnapshot, HistogramVec,
+    MetricsSnapshot, Registry, MAX_EXEMPLARS,
+};
+pub use slo::{
+    BurnRate, GuardConfig, HealthReport, HealthState, Objective, SloEngine, SloSpec, SloStatus,
+};
 pub use span::{Span, SpanEvent, SpanRecord, TraceCollector};
 pub use trace::{ComponentTrace, PipelineTrace};

@@ -7,9 +7,10 @@
 //! the registry: workers keep their own clones, snapshots see every
 //! update.
 
-use parking_lot::RwLock;
+use crate::labels::{Labels, MAX_CARDINALITY};
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -84,12 +85,69 @@ impl Gauge {
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(Arc<HistogramCore>);
 
+/// Exemplars retained per histogram window (the N slowest samples).
+pub const MAX_EXEMPLARS: usize = 8;
+
+/// A slow sample annotated with the trace it came from.
+///
+/// Exemplars link a histogram's tail to per-session evidence: the
+/// `trace_id` is the session label stamped on the matching
+/// [`crate::PipelineTrace`] JSONL record, so a p99 spike can be chased
+/// to the exact session that caused it. The value is kept in integer
+/// nanoseconds so snapshots stay `Eq` and merges stay exact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Session / trace identifier of the slow sample.
+    pub trace_id: String,
+    /// Observed value, nanoseconds.
+    pub value_ns: u64,
+    /// Histogram bucket the sample landed in.
+    pub bucket: u32,
+}
+
+impl Exemplar {
+    /// Observed value in seconds.
+    pub fn value_s(&self) -> f64 {
+        self.value_ns as f64 / 1e9
+    }
+}
+
+/// Keeps the [`MAX_EXEMPLARS`] slowest samples of the current window.
+#[derive(Debug, Default)]
+struct ExemplarWindow {
+    slots: Vec<Exemplar>,
+}
+
+impl ExemplarWindow {
+    /// Inserts if the sample belongs in the top set; returns the new
+    /// admission floor (the smallest retained value once full).
+    fn offer(&mut self, ex: Exemplar) -> u64 {
+        if self.slots.len() < MAX_EXEMPLARS {
+            self.slots.push(ex);
+        } else if let Some(min_at) = (0..self.slots.len())
+            .min_by_key(|&i| self.slots[i].value_ns)
+            .filter(|&i| self.slots[i].value_ns < ex.value_ns)
+        {
+            self.slots[min_at] = ex;
+        }
+        if self.slots.len() < MAX_EXEMPLARS {
+            0
+        } else {
+            self.slots.iter().map(|e| e.value_ns).min().unwrap_or(0)
+        }
+    }
+}
+
 #[derive(Debug)]
 struct HistogramCore {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// Lock-free admission gate: samples below this value cannot enter
+    /// the exemplar window, so the common case costs one relaxed load.
+    exemplar_floor_ns: AtomicU64,
+    exemplars: Mutex<ExemplarWindow>,
 }
 
 impl Default for HistogramCore {
@@ -99,6 +157,8 @@ impl Default for HistogramCore {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            exemplar_floor_ns: AtomicU64::new(0),
+            exemplars: Mutex::new(ExemplarWindow::default()),
         }
     }
 }
@@ -151,6 +211,50 @@ impl Histogram {
         core.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// Records a value in seconds and offers it to the exemplar window.
+    ///
+    /// Only samples at least as slow as the current window floor pay for
+    /// the exemplar lock; everything else adds a single relaxed load on
+    /// top of [`Histogram::record_secs`]. The window keeps the
+    /// [`MAX_EXEMPLARS`] slowest samples seen since the last
+    /// [`Histogram::take_exemplars`].
+    pub fn record_secs_with_exemplar(&self, secs: f64, trace_id: &str) {
+        self.record_secs(secs);
+        let secs = if secs.is_finite() && secs > 0.0 {
+            secs
+        } else {
+            0.0
+        };
+        let ns = (secs * 1e9).round() as u64;
+        let core = &*self.0;
+        if ns >= core.exemplar_floor_ns.load(Ordering::Relaxed) {
+            let mut window = core.exemplars.lock();
+            let floor = window.offer(Exemplar {
+                trace_id: trace_id.to_string(),
+                value_ns: ns,
+                bucket: bucket_index(secs) as u32,
+            });
+            core.exemplar_floor_ns.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    /// [`Histogram::record_secs_with_exemplar`] for a [`Duration`].
+    pub fn record_with_exemplar(&self, d: Duration, trace_id: &str) {
+        self.record_secs_with_exemplar(d.as_secs_f64(), trace_id);
+    }
+
+    /// Drains the exemplar window, starting a fresh one. Scrapers call
+    /// this once per export so each window's slowest sessions are
+    /// reported exactly once.
+    pub fn take_exemplars(&self) -> Vec<Exemplar> {
+        let core = &*self.0;
+        let mut window = core.exemplars.lock();
+        core.exemplar_floor_ns.store(0, Ordering::Relaxed);
+        let mut out = std::mem::take(&mut window.slots);
+        sort_exemplars(&mut out);
+        out
+    }
+
     /// Total number of recorded values.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
@@ -161,6 +265,8 @@ impl Histogram {
     /// by the few events that land mid-read, which reporting tolerates.)
     pub fn snapshot(&self) -> HistogramSnapshot {
         let core = &*self.0;
+        let mut exemplars = core.exemplars.lock().slots.clone();
+        sort_exemplars(&mut exemplars);
         HistogramSnapshot {
             buckets: core
                 .buckets
@@ -170,8 +276,18 @@ impl Histogram {
             count: core.count.load(Ordering::Relaxed),
             sum_ns: core.sum_ns.load(Ordering::Relaxed),
             max_ns: core.max_ns.load(Ordering::Relaxed),
+            exemplars,
         }
     }
+}
+
+/// Slowest first; ties broken by trace id so ordering is deterministic.
+fn sort_exemplars(exemplars: &mut [Exemplar]) {
+    exemplars.sort_by(|a, b| {
+        b.value_ns
+            .cmp(&a.value_ns)
+            .then_with(|| a.trace_id.cmp(&b.trace_id))
+    });
 }
 
 /// An owned, serializable copy of a [`Histogram`].
@@ -189,6 +305,10 @@ pub struct HistogramSnapshot {
     pub sum_ns: u64,
     /// Largest recorded value, nanoseconds (exact, not bucketed).
     pub max_ns: u64,
+    /// Slowest samples of the current exemplar window, slowest first
+    /// (at most [`MAX_EXEMPLARS`]). Absent in pre-exemplar snapshots.
+    #[serde(default)]
+    pub exemplars: Vec<Exemplar>,
 }
 
 impl Default for HistogramSnapshot {
@@ -198,6 +318,7 @@ impl Default for HistogramSnapshot {
             count: 0,
             sum_ns: 0,
             max_ns: 0,
+            exemplars: Vec::new(),
         }
     }
 }
@@ -248,6 +369,23 @@ impl HistogramSnapshot {
         self.max_ns as f64 / 1e9
     }
 
+    /// Samples known to be at or under `threshold_s`, at bucket
+    /// resolution: only buckets entirely below the threshold count, so
+    /// the straddling bucket's samples are treated as over — a
+    /// conservative bound for latency objectives (never reports a
+    /// violating distribution as compliant).
+    pub fn count_under(&self, threshold_s: f64) -> u64 {
+        let mut under = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if bucket_upper(i) <= threshold_s {
+                under += n;
+            } else {
+                break;
+            }
+        }
+        under
+    }
+
     /// Mean (seconds); 0 when empty.
     pub fn mean_s(&self) -> f64 {
         if self.count == 0 {
@@ -276,6 +414,11 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum_ns += other.sum_ns;
         self.max_ns = self.max_ns.max(other.max_ns);
+        // Top-N of a union is associative, so merged exemplar sets are
+        // order-independent like the numeric fields.
+        self.exemplars.extend(other.exemplars.iter().cloned());
+        sort_exemplars(&mut self.exemplars);
+        self.exemplars.truncate(MAX_EXEMPLARS);
     }
 
     /// `merge` as a pure function.
@@ -310,6 +453,10 @@ struct RegistryInner {
     counters: RwLock<BTreeMap<String, Counter>>,
     gauges: RwLock<BTreeMap<String, Gauge>>,
     histograms: RwLock<BTreeMap<String, Histogram>>,
+    /// Distinct label sets admitted per family name, across every vec
+    /// handle, so the cardinality cap is global and exact.
+    families: Mutex<HashMap<String, HashSet<Labels>>>,
+    label_overflows: Counter,
 }
 
 impl Registry {
@@ -352,6 +499,83 @@ impl Registry {
             .clone()
     }
 
+    /// The labeled counter family `name`: call
+    /// [`CounterVec::with`] to resolve one series. Series registrations
+    /// land in this registry under the canonical `name{k="v"}` key.
+    pub fn counter_vec(&self, name: &str) -> CounterVec {
+        CounterVec {
+            name: name.to_string(),
+            registry: self.clone(),
+            cache: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// The labeled gauge family `name`.
+    pub fn gauge_vec(&self, name: &str) -> GaugeVec {
+        GaugeVec {
+            name: name.to_string(),
+            registry: self.clone(),
+            cache: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// The labeled histogram family `name`.
+    pub fn histogram_vec(&self, name: &str) -> HistogramVec {
+        HistogramVec {
+            name: name.to_string(),
+            registry: self.clone(),
+            cache: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// One-shot resolution of a labeled counter (registers on first
+    /// use). Hot paths should hold a [`CounterVec`] — or the resolved
+    /// [`Counter`] itself — instead of calling this per event.
+    pub fn counter_with(&self, name: &str, labels: &Labels) -> Counter {
+        let admitted = self.admit_labels(name, labels);
+        self.counter(&admitted.key_for(name))
+    }
+
+    /// One-shot resolution of a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &Labels) -> Gauge {
+        let admitted = self.admit_labels(name, labels);
+        self.gauge(&admitted.key_for(name))
+    }
+
+    /// One-shot resolution of a labeled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &Labels) -> Histogram {
+        let admitted = self.admit_labels(name, labels);
+        self.histogram(&admitted.key_for(name))
+    }
+
+    /// How many label sets were routed to the overflow series because a
+    /// family hit [`MAX_CARDINALITY`].
+    pub fn label_overflows(&self) -> u64 {
+        self.inner.label_overflows.get()
+    }
+
+    /// Admits a label set into `name`'s family, returning the set the
+    /// series is actually stored under (the overflow set once the
+    /// family is at [`MAX_CARDINALITY`]).
+    fn admit_labels(&self, name: &str, labels: &Labels) -> Labels {
+        if labels.is_empty() {
+            return labels.clone();
+        }
+        let mut families = self.inner.families.lock();
+        let seen = families.entry(name.to_string()).or_default();
+        if seen.contains(labels) {
+            return labels.clone();
+        }
+        if seen.len() < MAX_CARDINALITY {
+            seen.insert(labels.clone());
+            return labels.clone();
+        }
+        self.inner.label_overflows.inc();
+        let overflow = labels.to_overflow();
+        seen.insert(overflow.clone());
+        overflow
+    }
+
     /// A serializable snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -380,7 +604,70 @@ impl Registry {
     }
 }
 
+/// A labeled counter family, interning one [`Counter`] handle per label
+/// set.
+///
+/// The fast path for a previously seen label set is a shared-lock hash
+/// lookup plus a handle clone (two atomic ops); no strings are built
+/// and the registry lock is untouched. First use of a label set takes
+/// the family's write lock once to register `name{k="v",…}`.
+#[derive(Debug, Clone)]
+pub struct CounterVec {
+    name: String,
+    registry: Registry,
+    cache: Arc<RwLock<HashMap<Labels, Counter>>>,
+}
+
+/// A labeled gauge family; see [`CounterVec`].
+#[derive(Debug, Clone)]
+pub struct GaugeVec {
+    name: String,
+    registry: Registry,
+    cache: Arc<RwLock<HashMap<Labels, Gauge>>>,
+}
+
+/// A labeled histogram family; see [`CounterVec`].
+#[derive(Debug, Clone)]
+pub struct HistogramVec {
+    name: String,
+    registry: Registry,
+    cache: Arc<RwLock<HashMap<Labels, Histogram>>>,
+}
+
+macro_rules! impl_vec_with {
+    ($vec:ident, $handle:ident, $resolve:ident) => {
+        impl $vec {
+            /// The series for `labels`, interned after first use.
+            pub fn with(&self, labels: &Labels) -> $handle {
+                if let Some(h) = self.cache.read().get(labels) {
+                    return h.clone();
+                }
+                let mut cache = self.cache.write();
+                if let Some(h) = cache.get(labels) {
+                    return h.clone();
+                }
+                let handle = self.registry.$resolve(&self.name, labels);
+                cache.insert(labels.clone(), handle.clone());
+                handle
+            }
+
+            /// The family name.
+            pub fn name(&self) -> &str {
+                &self.name
+            }
+        }
+    };
+}
+
+impl_vec_with!(CounterVec, Counter, counter_with);
+impl_vec_with!(GaugeVec, Gauge, gauge_with);
+impl_vec_with!(HistogramVec, Histogram, histogram_with);
+
 /// A point-in-time, serializable copy of a [`Registry`].
+///
+/// Labeled series appear under their canonical `name{k="v",…}` keys
+/// next to flat metrics; [`crate::labels::parse_metric_key`] splits a
+/// key back into name and pairs.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
@@ -389,6 +676,29 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of a counter family across all label sets (including the
+    /// flat series of the same name, if registered).
+    pub fn counter_family_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| crate::labels::parse_metric_key(k).0 == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Bucket-wise merge of a histogram family across all label sets.
+    pub fn histogram_family_merged(&self, name: &str) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for (k, h) in &self.histograms {
+            if crate::labels::parse_metric_key(k).0 == name {
+                out.merge(h);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -523,5 +833,136 @@ mod tests {
         assert_eq!(s.counters["a"], 1);
         assert_eq!(s.gauges["b"], 2);
         assert_eq!(s.histograms["c"].count, 1);
+    }
+
+    #[test]
+    fn labeled_series_share_state_across_handles() {
+        let r = Registry::default();
+        let vec_a = r.counter_vec("req.total");
+        let vec_b = r.counter_vec("req.total");
+        let l = Labels::new().tenant("acme").stage("sld");
+        vec_a.with(&l).add(3);
+        vec_b.with(&l).add(4);
+        assert_eq!(
+            r.snapshot().counters[&l.key_for("req.total")],
+            7,
+            "two vec handles for the same family must resolve to one series"
+        );
+        assert_eq!(r.snapshot().counter_family_total("req.total"), 7);
+    }
+
+    #[test]
+    fn label_cardinality_overflow_routes_to_overflow_series() {
+        let r = Registry::default();
+        let vec = r.counter_vec("cardinality.bomb");
+        for i in 0..(MAX_CARDINALITY + 10) {
+            vec.with(&Labels::new().generation(i as u64)).inc();
+        }
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter_family_total("cardinality.bomb"),
+            (MAX_CARDINALITY + 10) as u64,
+            "overflow must reroute, not drop"
+        );
+        let overflow_key = Labels::new()
+            .generation(0)
+            .to_overflow()
+            .key_for("cardinality.bomb");
+        assert_eq!(snap.counters[&overflow_key], 10);
+        assert_eq!(r.label_overflows(), 10);
+        // The family never exceeds the cap plus the overflow series.
+        let series = snap
+            .counters
+            .keys()
+            .filter(|k| crate::labels::parse_metric_key(k).0 == "cardinality.bomb")
+            .count();
+        assert!(series <= MAX_CARDINALITY + 1, "{series} series");
+    }
+
+    #[test]
+    fn concurrent_labeled_increments_merge_exactly() {
+        let r = Registry::default();
+        let vec = r.counter_vec("conc.total");
+        let hist = r.histogram_vec("conc.seconds");
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let vec = vec.clone();
+                let hist = hist.clone();
+                std::thread::spawn(move || {
+                    let labels = Labels::new()
+                        .tenant(if t % 2 == 0 { "even" } else { "odd" })
+                        .stage(&format!("s{}", t / 2));
+                    let c = vec.with(&labels);
+                    let h = hist.with(&labels);
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record_secs(1e-4 * (i % 7 + 1) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_family_total("conc.total"), 8_000);
+        assert_eq!(snap.histogram_family_merged("conc.seconds").count, 8_000);
+        // 8 threads over 2 tenants × 4 stages = exactly 8 distinct series.
+        let series = snap
+            .counters
+            .keys()
+            .filter(|k| crate::labels::parse_metric_key(k).0 == "conc.total")
+            .count();
+        assert_eq!(series, 8);
+    }
+
+    #[test]
+    fn exemplars_keep_slowest_samples_and_drain() {
+        let h = Histogram::default();
+        for i in 1..=40u64 {
+            h.record_secs_with_exemplar(i as f64 * 1e-3, &format!("sess-{i}"));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars.len(), MAX_EXEMPLARS);
+        assert_eq!(snap.exemplars[0].trace_id, "sess-40");
+        assert_eq!(snap.exemplars[0].value_ns, 40_000_000);
+        let slowest: Vec<u64> = snap.exemplars.iter().map(|e| e.value_ns).collect();
+        assert!(
+            slowest.windows(2).all(|w| w[0] >= w[1]),
+            "exemplars must be sorted slowest first: {slowest:?}"
+        );
+        assert!(slowest.iter().all(|&ns| ns >= 33_000_000));
+        // Draining resets the window; the histogram itself is untouched.
+        let drained = h.take_exemplars();
+        assert_eq!(drained.len(), MAX_EXEMPLARS);
+        assert!(h.snapshot().exemplars.is_empty());
+        assert_eq!(h.count(), 40);
+        // The next window admits fast samples again after the drain.
+        h.record_secs_with_exemplar(1e-6, "after-drain");
+        assert_eq!(h.snapshot().exemplars[0].trace_id, "after-drain");
+    }
+
+    #[test]
+    fn exemplar_merge_is_associative_top_n() {
+        let mk = |id: &str, ns: u64| HistogramSnapshot {
+            exemplars: vec![Exemplar {
+                trace_id: id.to_string(),
+                value_ns: ns,
+                bucket: 3,
+            }],
+            ..Default::default()
+        };
+        let parts: Vec<HistogramSnapshot> =
+            (0..20).map(|i| mk(&format!("t{i}"), i * 100)).collect();
+        let left = parts
+            .iter()
+            .fold(HistogramSnapshot::default(), |acc, p| acc.merged(p));
+        let right = parts
+            .iter()
+            .rev()
+            .fold(HistogramSnapshot::default(), |acc, p| acc.merged(p));
+        assert_eq!(left.exemplars, right.exemplars);
+        assert_eq!(left.exemplars.len(), MAX_EXEMPLARS);
+        assert_eq!(left.exemplars[0].trace_id, "t19");
     }
 }

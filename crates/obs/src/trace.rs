@@ -96,6 +96,25 @@ impl PipelineTrace {
         }
         f.flush()
     }
+
+    /// Appends traces to a size-capped JSONL log: once `path` would
+    /// exceed `max_bytes` it is rotated to `<path>.1` (replacing any
+    /// previous rotation) and a fresh file is started — a long campaign
+    /// keeps at most `2 × max_bytes` of the newest traces on disk
+    /// instead of growing without bound. Unlike
+    /// [`PipelineTrace::write_jsonl`], existing content is appended to,
+    /// not truncated.
+    pub fn append_jsonl_rotating(
+        path: &Path,
+        traces: &[PipelineTrace],
+        max_bytes: u64,
+    ) -> std::io::Result<()> {
+        let writer = crate::export::RotatingJsonlWriter::new(path, max_bytes);
+        for t in traces {
+            writer.append_line(&t.to_json())?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +201,33 @@ mod tests {
         let t = sample();
         let back = PipelineTrace::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rotating_append_caps_disk() {
+        let dir = std::env::temp_dir().join("magshield-obs-trace-rotate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("traces.jsonl");
+        let traces = vec![sample(); 64];
+        // A cap far below the total payload: the log must rotate instead
+        // of growing unboundedly (assertions are byte-based, so they
+        // hold for any serialized line length).
+        PipelineTrace::append_jsonl_rotating(&path, &traces, 16).unwrap();
+        let current = std::fs::read_to_string(&path).unwrap();
+        assert!(current.ends_with('\n'), "only whole lines on disk");
+        let rotated_path = dir.join("traces.jsonl.1");
+        assert!(
+            rotated_path.exists(),
+            "64 lines against a 16-byte cap must rotate"
+        );
+        let rotated = std::fs::read_to_string(&rotated_path).unwrap();
+        assert!(rotated.ends_with('\n'), "rotation keeps whole lines");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            2,
+            "exactly current + one rotation, never an unbounded family"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
