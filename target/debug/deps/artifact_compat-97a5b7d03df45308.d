@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/artifact_compat-97a5b7d03df45308.d: tests/artifact_compat.rs /root/repo/results/golden_bundle_v1.bin Cargo.toml
+
+/root/repo/target/debug/deps/libartifact_compat-97a5b7d03df45308.rmeta: tests/artifact_compat.rs /root/repo/results/golden_bundle_v1.bin Cargo.toml
+
+tests/artifact_compat.rs:
+/root/repo/results/golden_bundle_v1.bin:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

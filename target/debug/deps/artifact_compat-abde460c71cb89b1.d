@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/artifact_compat-abde460c71cb89b1.d: tests/artifact_compat.rs /root/repo/results/golden_bundle_v1.bin
+
+/root/repo/target/debug/deps/artifact_compat-abde460c71cb89b1: tests/artifact_compat.rs /root/repo/results/golden_bundle_v1.bin
+
+tests/artifact_compat.rs:
+/root/repo/results/golden_bundle_v1.bin:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

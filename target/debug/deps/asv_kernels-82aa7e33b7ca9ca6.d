@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asv_kernels-82aa7e33b7ca9ca6.d: crates/bench/benches/asv_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasv_kernels-82aa7e33b7ca9ca6.rmeta: crates/bench/benches/asv_kernels.rs Cargo.toml
+
+crates/bench/benches/asv_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch-2d26584cb855a39a.d: crates/bench/benches/batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch-2d26584cb855a39a.rmeta: crates/bench/benches/batch.rs Cargo.toml
+
+crates/bench/benches/batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_engine-5b4c3d89d5db1ed2.d: tests/batch_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_engine-5b4c3d89d5db1ed2.rmeta: tests/batch_engine.rs Cargo.toml
+
+tests/batch_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_engine-98386a5ad31cedb3.d: tests/batch_engine.rs
+
+/root/repo/target/debug/deps/batch_engine-98386a5ad31cedb3: tests/batch_engine.rs
+
+tests/batch_engine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-6df66f66eed6dbc0.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-6df66f66eed6dbc0.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-6df66f66eed6dbc0.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

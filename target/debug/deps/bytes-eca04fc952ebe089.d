@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-eca04fc952ebe089.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-eca04fc952ebe089.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-589066d432a6bbb2.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-589066d432a6bbb2.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

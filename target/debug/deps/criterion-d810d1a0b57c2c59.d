@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-d810d1a0b57c2c59.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d810d1a0b57c2c59.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d810d1a0b57c2c59.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

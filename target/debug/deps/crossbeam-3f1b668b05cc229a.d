@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-3f1b668b05cc229a.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-3f1b668b05cc229a.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-3f1b668b05cc229a.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-c240428f70a444f5.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-c240428f70a444f5.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

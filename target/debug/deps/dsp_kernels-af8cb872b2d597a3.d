@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsp_kernels-af8cb872b2d597a3.d: crates/bench/benches/dsp_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsp_kernels-af8cb872b2d597a3.rmeta: crates/bench/benches/dsp_kernels.rs Cargo.toml
+
+crates/bench/benches/dsp_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

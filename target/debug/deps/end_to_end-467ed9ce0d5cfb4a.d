@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-467ed9ce0d5cfb4a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-467ed9ce0d5cfb4a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

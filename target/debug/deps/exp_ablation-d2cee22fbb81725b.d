@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-d2cee22fbb81725b.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-d2cee22fbb81725b: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

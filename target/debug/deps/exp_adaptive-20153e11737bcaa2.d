@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_adaptive-20153e11737bcaa2.d: crates/bench/src/bin/exp_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_adaptive-20153e11737bcaa2.rmeta: crates/bench/src/bin/exp_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/exp_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_adaptive-2cfdba5640cc641d.d: crates/bench/src/bin/exp_adaptive.rs
+
+/root/repo/target/debug/deps/exp_adaptive-2cfdba5640cc641d: crates/bench/src/bin/exp_adaptive.rs
+
+crates/bench/src/bin/exp_adaptive.rs:

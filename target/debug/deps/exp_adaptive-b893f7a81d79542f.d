@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_adaptive-b893f7a81d79542f.d: crates/bench/src/bin/exp_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_adaptive-b893f7a81d79542f.rmeta: crates/bench/src/bin/exp_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/exp_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

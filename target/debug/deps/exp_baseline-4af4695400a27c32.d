@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_baseline-4af4695400a27c32.d: crates/bench/src/bin/exp_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_baseline-4af4695400a27c32.rmeta: crates/bench/src/bin/exp_baseline.rs Cargo.toml
+
+crates/bench/src/bin/exp_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

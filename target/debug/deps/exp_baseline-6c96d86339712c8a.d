@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_baseline-6c96d86339712c8a.d: crates/bench/src/bin/exp_baseline.rs
+
+/root/repo/target/debug/deps/exp_baseline-6c96d86339712c8a: crates/bench/src/bin/exp_baseline.rs
+
+crates/bench/src/bin/exp_baseline.rs:

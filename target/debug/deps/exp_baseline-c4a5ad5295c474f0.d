@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_baseline-c4a5ad5295c474f0.d: crates/bench/src/bin/exp_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_baseline-c4a5ad5295c474f0.rmeta: crates/bench/src/bin/exp_baseline.rs Cargo.toml
+
+crates/bench/src/bin/exp_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_dualmic-088396532927b70e.d: crates/bench/src/bin/exp_dualmic.rs
+
+/root/repo/target/debug/deps/exp_dualmic-088396532927b70e: crates/bench/src/bin/exp_dualmic.rs
+
+crates/bench/src/bin/exp_dualmic.rs:

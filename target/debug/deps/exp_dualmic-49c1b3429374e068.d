@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_dualmic-49c1b3429374e068.d: crates/bench/src/bin/exp_dualmic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_dualmic-49c1b3429374e068.rmeta: crates/bench/src/bin/exp_dualmic.rs Cargo.toml
+
+crates/bench/src/bin/exp_dualmic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

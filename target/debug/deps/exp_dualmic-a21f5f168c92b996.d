@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_dualmic-a21f5f168c92b996.d: crates/bench/src/bin/exp_dualmic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_dualmic-a21f5f168c92b996.rmeta: crates/bench/src/bin/exp_dualmic.rs Cargo.toml
+
+crates/bench/src/bin/exp_dualmic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

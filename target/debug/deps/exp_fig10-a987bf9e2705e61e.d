@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig10-a987bf9e2705e61e.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/debug/deps/exp_fig10-a987bf9e2705e61e: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

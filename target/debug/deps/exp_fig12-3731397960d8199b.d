@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12-3731397960d8199b.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/debug/deps/exp_fig12-3731397960d8199b: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig12-67c61c2029d484b4.d: crates/bench/src/bin/exp_fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig12-67c61c2029d484b4.rmeta: crates/bench/src/bin/exp_fig12.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14-22af40f348b79890.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/debug/deps/exp_fig14-22af40f348b79890: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

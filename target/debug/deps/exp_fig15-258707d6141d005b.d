@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig15-258707d6141d005b.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/debug/deps/exp_fig15-258707d6141d005b: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

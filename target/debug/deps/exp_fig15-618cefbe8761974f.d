@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig15-618cefbe8761974f.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/debug/deps/exp_fig15-618cefbe8761974f: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig15-e9324f71e63ce5c3.d: crates/bench/src/bin/exp_fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig15-e9324f71e63ce5c3.rmeta: crates/bench/src/bin/exp_fig15.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

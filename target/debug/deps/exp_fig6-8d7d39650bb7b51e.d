@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-8d7d39650bb7b51e.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-8d7d39650bb7b51e: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

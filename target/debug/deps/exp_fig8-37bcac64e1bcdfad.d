@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-37bcac64e1bcdfad.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-37bcac64e1bcdfad: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_kernels-3e85d744173e03ae.d: crates/bench/src/bin/exp_kernels.rs
+
+/root/repo/target/debug/deps/exp_kernels-3e85d744173e03ae: crates/bench/src/bin/exp_kernels.rs
+
+crates/bench/src/bin/exp_kernels.rs:

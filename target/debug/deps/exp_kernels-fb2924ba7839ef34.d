@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_kernels-fb2924ba7839ef34.d: crates/bench/src/bin/exp_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_kernels-fb2924ba7839ef34.rmeta: crates/bench/src/bin/exp_kernels.rs Cargo.toml
+
+crates/bench/src/bin/exp_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

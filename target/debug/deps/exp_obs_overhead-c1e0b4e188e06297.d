@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_obs_overhead-c1e0b4e188e06297.d: crates/bench/src/bin/exp_obs_overhead.rs
+
+/root/repo/target/debug/deps/exp_obs_overhead-c1e0b4e188e06297: crates/bench/src/bin/exp_obs_overhead.rs
+
+crates/bench/src/bin/exp_obs_overhead.rs:

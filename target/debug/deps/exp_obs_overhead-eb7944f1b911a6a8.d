@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_obs_overhead-eb7944f1b911a6a8.d: crates/bench/src/bin/exp_obs_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_obs_overhead-eb7944f1b911a6a8.rmeta: crates/bench/src/bin/exp_obs_overhead.rs Cargo.toml
+
+crates/bench/src/bin/exp_obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_soundtube-8d191802d1c06e05.d: crates/bench/src/bin/exp_soundtube.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_soundtube-8d191802d1c06e05.rmeta: crates/bench/src/bin/exp_soundtube.rs Cargo.toml
+
+crates/bench/src/bin/exp_soundtube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_soundtube-d1238d58aa2018b4.d: crates/bench/src/bin/exp_soundtube.rs
+
+/root/repo/target/debug/deps/exp_soundtube-d1238d58aa2018b4: crates/bench/src/bin/exp_soundtube.rs
+
+crates/bench/src/bin/exp_soundtube.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_speakers-004872a94835bc71.d: crates/bench/src/bin/exp_speakers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_speakers-004872a94835bc71.rmeta: crates/bench/src/bin/exp_speakers.rs Cargo.toml
+
+crates/bench/src/bin/exp_speakers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

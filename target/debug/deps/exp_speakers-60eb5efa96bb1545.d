@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_speakers-60eb5efa96bb1545.d: crates/bench/src/bin/exp_speakers.rs
+
+/root/repo/target/debug/deps/exp_speakers-60eb5efa96bb1545: crates/bench/src/bin/exp_speakers.rs
+
+crates/bench/src/bin/exp_speakers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table1-4c35113a8cfcda08.d: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table1-4c35113a8cfcda08.rmeta: crates/bench/src/bin/exp_table1.rs Cargo.toml
+
+crates/bench/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-fe9b5d9c49421135.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-fe9b5d9c49421135: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_throughput-052cdbb080eafb99.d: crates/bench/src/bin/exp_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_throughput-052cdbb080eafb99.rmeta: crates/bench/src/bin/exp_throughput.rs Cargo.toml
+
+crates/bench/src/bin/exp_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_throughput-6e2352cbb485a6f7.d: crates/bench/src/bin/exp_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_throughput-6e2352cbb485a6f7.rmeta: crates/bench/src/bin/exp_throughput.rs Cargo.toml
+
+crates/bench/src/bin/exp_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_throughput-bedd3b37593f3aed.d: crates/bench/src/bin/exp_throughput.rs
+
+/root/repo/target/debug/deps/exp_throughput-bedd3b37593f3aed: crates/bench/src/bin/exp_throughput.rs
+
+crates/bench/src/bin/exp_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_unconventional-176d2b44af1d19fd.d: crates/bench/src/bin/exp_unconventional.rs
+
+/root/repo/target/debug/deps/exp_unconventional-176d2b44af1d19fd: crates/bench/src/bin/exp_unconventional.rs
+
+crates/bench/src/bin/exp_unconventional.rs:

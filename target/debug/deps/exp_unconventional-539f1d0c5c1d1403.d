@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_unconventional-539f1d0c5c1d1403.d: crates/bench/src/bin/exp_unconventional.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_unconventional-539f1d0c5c1d1403.rmeta: crates/bench/src/bin/exp_unconventional.rs Cargo.toml
+
+crates/bench/src/bin/exp_unconventional.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_unconventional-eb7121daef6e30c5.d: crates/bench/src/bin/exp_unconventional.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_unconventional-eb7121daef6e30c5.rmeta: crates/bench/src/bin/exp_unconventional.rs Cargo.toml
+
+crates/bench/src/bin/exp_unconventional.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

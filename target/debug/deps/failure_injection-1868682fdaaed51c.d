@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-1868682fdaaed51c.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-1868682fdaaed51c: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magshield-068eb10b8839793f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield-068eb10b8839793f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/magshield-0793a4583a44249b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmagshield-0793a4583a44249b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmagshield-0793a4583a44249b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magshield-3208d7908eb12cdb.d: src/bin/magshield.rs
+
+/root/repo/target/debug/deps/magshield-3208d7908eb12cdb: src/bin/magshield.rs
+
+src/bin/magshield.rs:

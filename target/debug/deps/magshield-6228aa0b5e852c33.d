@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magshield-6228aa0b5e852c33.d: src/bin/magshield.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield-6228aa0b5e852c33.rmeta: src/bin/magshield.rs Cargo.toml
+
+src/bin/magshield.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magshield-d3264e0cfc3a93bb.d: src/bin/magshield.rs
+
+/root/repo/target/debug/deps/magshield-d3264e0cfc3a93bb: src/bin/magshield.rs
+
+src/bin/magshield.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magshield-f8a232b6ae8a5866.d: src/lib.rs
+
+/root/repo/target/debug/deps/magshield-f8a232b6ae8a5866: src/lib.rs
+
+src/lib.rs:

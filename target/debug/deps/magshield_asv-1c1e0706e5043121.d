@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/magshield_asv-1c1e0706e5043121.d: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_asv-1c1e0706e5043121.rmeta: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs Cargo.toml
+
+crates/asv/src/lib.rs:
+crates/asv/src/eval.rs:
+crates/asv/src/frontend.rs:
+crates/asv/src/isv.rs:
+crates/asv/src/model.rs:
+crates/asv/src/replay_baseline.rs:
+crates/asv/src/ubm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magshield_asv-344686c8ee0d4d8c.d: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+/root/repo/target/debug/deps/libmagshield_asv-344686c8ee0d4d8c.rmeta: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+crates/asv/src/lib.rs:
+crates/asv/src/eval.rs:
+crates/asv/src/frontend.rs:
+crates/asv/src/isv.rs:
+crates/asv/src/model.rs:
+crates/asv/src/replay_baseline.rs:
+crates/asv/src/ubm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magshield_asv-392b8c4c31878964.d: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+/root/repo/target/debug/deps/magshield_asv-392b8c4c31878964: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+crates/asv/src/lib.rs:
+crates/asv/src/eval.rs:
+crates/asv/src/frontend.rs:
+crates/asv/src/isv.rs:
+crates/asv/src/model.rs:
+crates/asv/src/replay_baseline.rs:
+crates/asv/src/ubm.rs:

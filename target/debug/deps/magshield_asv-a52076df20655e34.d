@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magshield_asv-a52076df20655e34.d: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+/root/repo/target/debug/deps/libmagshield_asv-a52076df20655e34.rlib: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+/root/repo/target/debug/deps/libmagshield_asv-a52076df20655e34.rmeta: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+crates/asv/src/lib.rs:
+crates/asv/src/eval.rs:
+crates/asv/src/frontend.rs:
+crates/asv/src/isv.rs:
+crates/asv/src/model.rs:
+crates/asv/src/replay_baseline.rs:
+crates/asv/src/ubm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/magshield_bench-0349baaabaeb56e1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmagshield_bench-0349baaabaeb56e1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmagshield_bench-0349baaabaeb56e1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

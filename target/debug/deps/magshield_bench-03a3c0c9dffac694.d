@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magshield_bench-03a3c0c9dffac694.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmagshield_bench-03a3c0c9dffac694.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

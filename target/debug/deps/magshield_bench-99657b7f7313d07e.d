@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/magshield_bench-99657b7f7313d07e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_bench-99657b7f7313d07e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/magshield_bench-dd3bf8f412c1d2a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/magshield_bench-dd3bf8f412c1d2a4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

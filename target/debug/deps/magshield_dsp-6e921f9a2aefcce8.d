@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/magshield_dsp-6e921f9a2aefcce8.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/magshield_dsp-6e921f9a2aefcce8: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/frame.rs:
+crates/dsp/src/goertzel.rs:
+crates/dsp/src/level.rs:
+crates/dsp/src/mel.rs:
+crates/dsp/src/phase.rs:
+crates/dsp/src/stft.rs:
+crates/dsp/src/vad.rs:
+crates/dsp/src/window.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/magshield_dsp-81999543dc90a320.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_dsp-81999543dc90a320.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/frame.rs:
+crates/dsp/src/goertzel.rs:
+crates/dsp/src/level.rs:
+crates/dsp/src/mel.rs:
+crates/dsp/src/phase.rs:
+crates/dsp/src/stft.rs:
+crates/dsp/src/vad.rs:
+crates/dsp/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/magshield_dsp-befbeb55dcdfe49d.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/libmagshield_dsp-befbeb55dcdfe49d.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/frame.rs:
+crates/dsp/src/goertzel.rs:
+crates/dsp/src/level.rs:
+crates/dsp/src/mel.rs:
+crates/dsp/src/phase.rs:
+crates/dsp/src/stft.rs:
+crates/dsp/src/vad.rs:
+crates/dsp/src/window.rs:

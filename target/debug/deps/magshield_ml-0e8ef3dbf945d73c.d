@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magshield_ml-0e8ef3dbf945d73c.d: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs
+
+/root/repo/target/debug/deps/libmagshield_ml-0e8ef3dbf945d73c.rmeta: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/circlefit.rs:
+crates/ml/src/codec.rs:
+crates/ml/src/gmm.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/svm.rs:

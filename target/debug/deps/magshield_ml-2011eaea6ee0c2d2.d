@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/magshield_ml-2011eaea6ee0c2d2.d: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_ml-2011eaea6ee0c2d2.rmeta: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/circlefit.rs:
+crates/ml/src/codec.rs:
+crates/ml/src/gmm.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/svm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magshield_ml-d8a053b92b7246b4.d: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs
+
+/root/repo/target/debug/deps/magshield_ml-d8a053b92b7246b4: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/circlefit.rs:
+crates/ml/src/codec.rs:
+crates/ml/src/gmm.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/svm.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/magshield_obs-b17e03c030cea7e1.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_obs-b17e03c030cea7e1.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/labels.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/span.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

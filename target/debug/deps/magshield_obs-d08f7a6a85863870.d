@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magshield_obs-d08f7a6a85863870.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libmagshield_obs-d08f7a6a85863870.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/labels.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/span.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magshield_obs-dc11273f09a06020.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libmagshield_obs-dc11273f09a06020.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libmagshield_obs-dc11273f09a06020.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/labels.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/span.rs:
+crates/obs/src/trace.rs:

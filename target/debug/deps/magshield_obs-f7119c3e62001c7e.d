@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magshield_obs-f7119c3e62001c7e.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/magshield_obs-f7119c3e62001c7e: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/labels.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/span.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/magshield_physics-1a66a8d3380e858d.d: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs
+
+/root/repo/target/debug/deps/libmagshield_physics-1a66a8d3380e858d.rlib: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs
+
+/root/repo/target/debug/deps/libmagshield_physics-1a66a8d3380e858d.rmeta: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs
+
+crates/physics/src/lib.rs:
+crates/physics/src/acoustics/mod.rs:
+crates/physics/src/acoustics/field.rs:
+crates/physics/src/acoustics/medium.rs:
+crates/physics/src/acoustics/piston.rs:
+crates/physics/src/acoustics/propagation.rs:
+crates/physics/src/acoustics/source.rs:
+crates/physics/src/acoustics/tube.rs:
+crates/physics/src/magnetics/mod.rs:
+crates/physics/src/magnetics/dipole.rs:
+crates/physics/src/magnetics/earth.rs:
+crates/physics/src/magnetics/interference.rs:
+crates/physics/src/magnetics/scene.rs:
+crates/physics/src/magnetics/shielding.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/magshield_physics-8c3bd7b5fc6e5669.d: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_physics-8c3bd7b5fc6e5669.rmeta: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs Cargo.toml
+
+crates/physics/src/lib.rs:
+crates/physics/src/acoustics/mod.rs:
+crates/physics/src/acoustics/field.rs:
+crates/physics/src/acoustics/medium.rs:
+crates/physics/src/acoustics/piston.rs:
+crates/physics/src/acoustics/propagation.rs:
+crates/physics/src/acoustics/source.rs:
+crates/physics/src/acoustics/tube.rs:
+crates/physics/src/magnetics/mod.rs:
+crates/physics/src/magnetics/dipole.rs:
+crates/physics/src/magnetics/earth.rs:
+crates/physics/src/magnetics/interference.rs:
+crates/physics/src/magnetics/scene.rs:
+crates/physics/src/magnetics/shielding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

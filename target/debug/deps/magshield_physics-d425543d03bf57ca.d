@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/magshield_physics-d425543d03bf57ca.d: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs
+
+/root/repo/target/debug/deps/magshield_physics-d425543d03bf57ca: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs
+
+crates/physics/src/lib.rs:
+crates/physics/src/acoustics/mod.rs:
+crates/physics/src/acoustics/field.rs:
+crates/physics/src/acoustics/medium.rs:
+crates/physics/src/acoustics/piston.rs:
+crates/physics/src/acoustics/propagation.rs:
+crates/physics/src/acoustics/source.rs:
+crates/physics/src/acoustics/tube.rs:
+crates/physics/src/magnetics/mod.rs:
+crates/physics/src/magnetics/dipole.rs:
+crates/physics/src/magnetics/earth.rs:
+crates/physics/src/magnetics/interference.rs:
+crates/physics/src/magnetics/scene.rs:
+crates/physics/src/magnetics/shielding.rs:

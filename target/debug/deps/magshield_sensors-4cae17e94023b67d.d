@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magshield_sensors-4cae17e94023b67d.d: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+/root/repo/target/debug/deps/magshield_sensors-4cae17e94023b67d: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/magnetometer.rs:
+crates/sensors/src/microphone.rs:
+crates/sensors/src/orientation.rs:
+crates/sensors/src/phone.rs:
+crates/sensors/src/speaker.rs:

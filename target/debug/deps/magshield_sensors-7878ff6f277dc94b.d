@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/magshield_sensors-7878ff6f277dc94b.d: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_sensors-7878ff6f277dc94b.rmeta: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs Cargo.toml
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/magnetometer.rs:
+crates/sensors/src/microphone.rs:
+crates/sensors/src/orientation.rs:
+crates/sensors/src/phone.rs:
+crates/sensors/src/speaker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/magshield_sensors-afcf37bf22a9a973.d: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+/root/repo/target/debug/deps/libmagshield_sensors-afcf37bf22a9a973.rlib: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+/root/repo/target/debug/deps/libmagshield_sensors-afcf37bf22a9a973.rmeta: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/magnetometer.rs:
+crates/sensors/src/microphone.rs:
+crates/sensors/src/orientation.rs:
+crates/sensors/src/phone.rs:
+crates/sensors/src/speaker.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/magshield_sensors-b22876b7c388d01d.d: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+/root/repo/target/debug/deps/libmagshield_sensors-b22876b7c388d01d.rmeta: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/magnetometer.rs:
+crates/sensors/src/microphone.rs:
+crates/sensors/src/orientation.rs:
+crates/sensors/src/phone.rs:
+crates/sensors/src/speaker.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magshield_simkit-0e0c899011251f21.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs
+
+/root/repo/target/debug/deps/magshield_simkit-0e0c899011251f21: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/interp.rs:
+crates/simkit/src/noise.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/units.rs:
+crates/simkit/src/vec3.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/magshield_simkit-11e626bd9c45d7d0.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_simkit-11e626bd9c45d7d0.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/interp.rs:
+crates/simkit/src/noise.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/units.rs:
+crates/simkit/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

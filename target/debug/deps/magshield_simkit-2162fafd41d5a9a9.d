@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magshield_simkit-2162fafd41d5a9a9.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs
+
+/root/repo/target/debug/deps/libmagshield_simkit-2162fafd41d5a9a9.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/interp.rs:
+crates/simkit/src/noise.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/units.rs:
+crates/simkit/src/vec3.rs:

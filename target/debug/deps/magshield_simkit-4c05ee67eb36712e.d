@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/magshield_simkit-4c05ee67eb36712e.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_simkit-4c05ee67eb36712e.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/interp.rs:
+crates/simkit/src/noise.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/units.rs:
+crates/simkit/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

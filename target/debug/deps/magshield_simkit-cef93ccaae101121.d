@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/magshield_simkit-cef93ccaae101121.d: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs
+
+/root/repo/target/debug/deps/libmagshield_simkit-cef93ccaae101121.rlib: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs
+
+/root/repo/target/debug/deps/libmagshield_simkit-cef93ccaae101121.rmeta: crates/simkit/src/lib.rs crates/simkit/src/clock.rs crates/simkit/src/interp.rs crates/simkit/src/noise.rs crates/simkit/src/rng.rs crates/simkit/src/series.rs crates/simkit/src/units.rs crates/simkit/src/vec3.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/clock.rs:
+crates/simkit/src/interp.rs:
+crates/simkit/src/noise.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/series.rs:
+crates/simkit/src/units.rs:
+crates/simkit/src/vec3.rs:

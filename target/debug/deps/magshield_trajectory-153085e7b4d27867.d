@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/magshield_trajectory-153085e7b4d27867.d: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+/root/repo/target/debug/deps/libmagshield_trajectory-153085e7b4d27867.rmeta: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+crates/trajectory/src/lib.rs:
+crates/trajectory/src/motion.rs:
+crates/trajectory/src/ranging.rs:
+crates/trajectory/src/reconstruct.rs:

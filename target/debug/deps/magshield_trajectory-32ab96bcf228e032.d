@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magshield_trajectory-32ab96bcf228e032.d: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_trajectory-32ab96bcf228e032.rmeta: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs Cargo.toml
+
+crates/trajectory/src/lib.rs:
+crates/trajectory/src/motion.rs:
+crates/trajectory/src/ranging.rs:
+crates/trajectory/src/reconstruct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

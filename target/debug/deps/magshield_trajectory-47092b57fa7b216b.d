@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/magshield_trajectory-47092b57fa7b216b.d: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+/root/repo/target/debug/deps/magshield_trajectory-47092b57fa7b216b: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+crates/trajectory/src/lib.rs:
+crates/trajectory/src/motion.rs:
+crates/trajectory/src/ranging.rs:
+crates/trajectory/src/reconstruct.rs:

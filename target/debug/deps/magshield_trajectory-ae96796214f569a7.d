@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/magshield_trajectory-ae96796214f569a7.d: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+/root/repo/target/debug/deps/libmagshield_trajectory-ae96796214f569a7.rlib: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+/root/repo/target/debug/deps/libmagshield_trajectory-ae96796214f569a7.rmeta: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+crates/trajectory/src/lib.rs:
+crates/trajectory/src/motion.rs:
+crates/trajectory/src/ranging.rs:
+crates/trajectory/src/reconstruct.rs:

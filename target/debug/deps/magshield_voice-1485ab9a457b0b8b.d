@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/magshield_voice-1485ab9a457b0b8b.d: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs
+
+/root/repo/target/debug/deps/magshield_voice-1485ab9a457b0b8b: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs
+
+crates/voice/src/lib.rs:
+crates/voice/src/attacks.rs:
+crates/voice/src/corpus.rs:
+crates/voice/src/devices.rs:
+crates/voice/src/profile.rs:
+crates/voice/src/synth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/magshield_voice-6b3d954948938dea.d: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmagshield_voice-6b3d954948938dea.rmeta: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs Cargo.toml
+
+crates/voice/src/lib.rs:
+crates/voice/src/attacks.rs:
+crates/voice/src/corpus.rs:
+crates/voice/src/devices.rs:
+crates/voice/src/profile.rs:
+crates/voice/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

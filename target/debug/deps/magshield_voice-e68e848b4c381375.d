@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/magshield_voice-e68e848b4c381375.d: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs
+
+/root/repo/target/debug/deps/libmagshield_voice-e68e848b4c381375.rlib: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs
+
+/root/repo/target/debug/deps/libmagshield_voice-e68e848b4c381375.rmeta: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs
+
+crates/voice/src/lib.rs:
+crates/voice/src/attacks.rs:
+crates/voice/src/corpus.rs:
+crates/voice/src/devices.rs:
+crates/voice/src/profile.rs:
+crates/voice/src/synth.rs:

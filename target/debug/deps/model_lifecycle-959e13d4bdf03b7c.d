@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_lifecycle-959e13d4bdf03b7c.d: tests/model_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_lifecycle-959e13d4bdf03b7c.rmeta: tests/model_lifecycle.rs Cargo.toml
+
+tests/model_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_lifecycle-fe93975cffe87b94.d: tests/model_lifecycle.rs
+
+/root/repo/target/debug/deps/model_lifecycle-fe93975cffe87b94: tests/model_lifecycle.rs
+
+tests/model_lifecycle.rs:

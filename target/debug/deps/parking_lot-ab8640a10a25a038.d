@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-ab8640a10a25a038.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-ab8640a10a25a038.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

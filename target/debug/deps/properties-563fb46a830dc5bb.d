@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-563fb46a830dc5bb.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-563fb46a830dc5bb: tests/properties.rs
+
+tests/properties.rs:

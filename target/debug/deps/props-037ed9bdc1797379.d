@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-037ed9bdc1797379.d: crates/obs/tests/props.rs
+
+/root/repo/target/debug/deps/props-037ed9bdc1797379: crates/obs/tests/props.rs
+
+crates/obs/tests/props.rs:

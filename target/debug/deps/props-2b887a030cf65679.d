@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-2b887a030cf65679.d: crates/ml/tests/props.rs
+
+/root/repo/target/debug/deps/props-2b887a030cf65679: crates/ml/tests/props.rs
+
+crates/ml/tests/props.rs:

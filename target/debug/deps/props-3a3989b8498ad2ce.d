@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3a3989b8498ad2ce.d: crates/voice/tests/props.rs
+
+/root/repo/target/debug/deps/props-3a3989b8498ad2ce: crates/voice/tests/props.rs
+
+crates/voice/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-49e718136b3e7cb7.d: crates/trajectory/tests/props.rs
+
+/root/repo/target/debug/deps/props-49e718136b3e7cb7: crates/trajectory/tests/props.rs
+
+crates/trajectory/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-5ff2744e656ad6d4.d: crates/physics/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-5ff2744e656ad6d4.rmeta: crates/physics/tests/props.rs Cargo.toml
+
+crates/physics/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-60411ee04a49a069.d: crates/trajectory/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-60411ee04a49a069.rmeta: crates/trajectory/tests/props.rs Cargo.toml
+
+crates/trajectory/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

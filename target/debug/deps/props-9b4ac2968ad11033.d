@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-9b4ac2968ad11033.d: crates/dsp/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-9b4ac2968ad11033.rmeta: crates/dsp/tests/props.rs Cargo.toml
+
+crates/dsp/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

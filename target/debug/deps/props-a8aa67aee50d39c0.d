@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-a8aa67aee50d39c0.d: crates/dsp/tests/props.rs
+
+/root/repo/target/debug/deps/props-a8aa67aee50d39c0: crates/dsp/tests/props.rs
+
+crates/dsp/tests/props.rs:

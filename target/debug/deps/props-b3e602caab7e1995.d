@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-b3e602caab7e1995.d: crates/obs/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-b3e602caab7e1995.rmeta: crates/obs/tests/props.rs Cargo.toml
+
+crates/obs/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-b3ecbd425b016387.d: crates/voice/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-b3ecbd425b016387.rmeta: crates/voice/tests/props.rs Cargo.toml
+
+crates/voice/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

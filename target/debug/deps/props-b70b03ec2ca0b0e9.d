@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-b70b03ec2ca0b0e9.d: crates/sensors/tests/props.rs
+
+/root/repo/target/debug/deps/props-b70b03ec2ca0b0e9: crates/sensors/tests/props.rs
+
+crates/sensors/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-e06644ebbfda6a86.d: crates/physics/tests/props.rs
+
+/root/repo/target/debug/deps/props-e06644ebbfda6a86: crates/physics/tests/props.rs
+
+crates/physics/tests/props.rs:

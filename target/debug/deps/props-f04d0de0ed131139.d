@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-f04d0de0ed131139.d: crates/simkit/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-f04d0de0ed131139.rmeta: crates/simkit/tests/props.rs Cargo.toml
+
+crates/simkit/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

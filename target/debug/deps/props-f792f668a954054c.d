@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-f792f668a954054c.d: crates/sensors/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-f792f668a954054c.rmeta: crates/sensors/tests/props.rs Cargo.toml
+
+crates/sensors/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f9694f9e1da64407.d: crates/simkit/tests/props.rs
+
+/root/repo/target/debug/deps/props-f9694f9e1da64407: crates/simkit/tests/props.rs
+
+crates/simkit/tests/props.rs:

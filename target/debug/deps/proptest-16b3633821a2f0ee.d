@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-16b3633821a2f0ee.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-16b3633821a2f0ee.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

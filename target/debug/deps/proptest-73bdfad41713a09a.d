@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-73bdfad41713a09a.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-73bdfad41713a09a.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-73bdfad41713a09a.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

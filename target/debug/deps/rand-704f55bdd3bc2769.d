@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-704f55bdd3bc2769.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-704f55bdd3bc2769.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-704f55bdd3bc2769.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f34009bf42a194df.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f34009bf42a194df.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-d3467588b6a1c1cb.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d3467588b6a1c1cb.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d3467588b6a1c1cb.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

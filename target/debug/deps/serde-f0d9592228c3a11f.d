@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f0d9592228c3a11f.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f0d9592228c3a11f.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ecd7616d6b5ef4f8.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ecd7616d6b5ef4f8.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-27b3f87aff88e9b7.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-27b3f87aff88e9b7.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

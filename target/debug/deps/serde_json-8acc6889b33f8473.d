@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-8acc6889b33f8473.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-8acc6889b33f8473.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-8acc6889b33f8473.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

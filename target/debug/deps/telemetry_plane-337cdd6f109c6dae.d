@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_plane-337cdd6f109c6dae.d: tests/telemetry_plane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_plane-337cdd6f109c6dae.rmeta: tests/telemetry_plane.rs Cargo.toml
+
+tests/telemetry_plane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_plane-bf89dcc8b851fa1a.d: tests/telemetry_plane.rs
+
+/root/repo/target/debug/deps/telemetry_plane-bf89dcc8b851fa1a: tests/telemetry_plane.rs
+
+tests/telemetry_plane.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-222e354f29a306d2.d: crates/ml/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-222e354f29a306d2: crates/ml/tests/zero_alloc.rs
+
+crates/ml/tests/zero_alloc.rs:

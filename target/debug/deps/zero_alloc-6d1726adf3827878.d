@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc-6d1726adf3827878.d: crates/asv/tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-6d1726adf3827878.rmeta: crates/asv/tests/zero_alloc.rs Cargo.toml
+
+crates/asv/tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

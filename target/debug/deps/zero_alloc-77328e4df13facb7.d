@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc-77328e4df13facb7.d: crates/ml/tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-77328e4df13facb7.rmeta: crates/ml/tests/zero_alloc.rs Cargo.toml
+
+crates/ml/tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-e202e3c56c379dc4.d: crates/asv/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-e202e3c56c379dc4: crates/asv/tests/zero_alloc.rs
+
+crates/asv/tests/zero_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_gauntlet-5a05e1dea1b62403.d: examples/attack_gauntlet.rs
+
+/root/repo/target/debug/examples/attack_gauntlet-5a05e1dea1b62403: examples/attack_gauntlet.rs
+
+examples/attack_gauntlet.rs:

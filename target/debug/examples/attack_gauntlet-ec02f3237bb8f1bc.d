@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_gauntlet-ec02f3237bb8f1bc.d: examples/attack_gauntlet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_gauntlet-ec02f3237bb8f1bc.rmeta: examples/attack_gauntlet.rs Cargo.toml
+
+examples/attack_gauntlet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

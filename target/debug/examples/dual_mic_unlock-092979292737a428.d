@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dual_mic_unlock-092979292737a428.d: examples/dual_mic_unlock.rs
+
+/root/repo/target/debug/examples/dual_mic_unlock-092979292737a428: examples/dual_mic_unlock.rs
+
+examples/dual_mic_unlock.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dual_mic_unlock-42fb153703b8a228.d: examples/dual_mic_unlock.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdual_mic_unlock-42fb153703b8a228.rmeta: examples/dual_mic_unlock.rs Cargo.toml
+
+examples/dual_mic_unlock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/magnetic_survey-a0080178d5819a4c.d: examples/magnetic_survey.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmagnetic_survey-a0080178d5819a4c.rmeta: examples/magnetic_survey.rs Cargo.toml
+
+examples/magnetic_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

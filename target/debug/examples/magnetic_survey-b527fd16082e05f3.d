@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/magnetic_survey-b527fd16082e05f3.d: examples/magnetic_survey.rs
+
+/root/repo/target/debug/examples/magnetic_survey-b527fd16082e05f3: examples/magnetic_survey.rs
+
+examples/magnetic_survey.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a58db78981b0333e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a58db78981b0333e: examples/quickstart.rs
+
+examples/quickstart.rs:

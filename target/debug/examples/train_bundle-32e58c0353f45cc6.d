@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_bundle-32e58c0353f45cc6.d: examples/train_bundle.rs
+
+/root/repo/target/debug/examples/train_bundle-32e58c0353f45cc6: examples/train_bundle.rs
+
+examples/train_bundle.rs:

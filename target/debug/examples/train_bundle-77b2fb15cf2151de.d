@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_bundle-77b2fb15cf2151de.d: examples/train_bundle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_bundle-77b2fb15cf2151de.rmeta: examples/train_bundle.rs Cargo.toml
+
+examples/train_bundle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

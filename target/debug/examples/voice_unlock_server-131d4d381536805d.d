@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/voice_unlock_server-131d4d381536805d.d: examples/voice_unlock_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvoice_unlock_server-131d4d381536805d.rmeta: examples/voice_unlock_server.rs Cargo.toml
+
+examples/voice_unlock_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

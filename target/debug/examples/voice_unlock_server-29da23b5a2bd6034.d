@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/voice_unlock_server-29da23b5a2bd6034.d: examples/voice_unlock_server.rs
+
+/root/repo/target/debug/examples/voice_unlock_server-29da23b5a2bd6034: examples/voice_unlock_server.rs
+
+examples/voice_unlock_server.rs:

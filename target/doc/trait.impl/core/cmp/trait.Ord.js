@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["magshield_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"magshield_obs/slo/enum.HealthState.html\" title=\"enum magshield_obs::slo::HealthState\">HealthState</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"magshield_obs/labels/struct.Labels.html\" title=\"struct magshield_obs::labels::Labels\">Labels</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[554]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["magshield_dsp",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Neg.html\" title=\"trait core::ops::arith::Neg\">Neg</a> for <a class=\"struct\" href=\"magshield_dsp/complex/struct.Complex.html\" title=\"struct magshield_dsp::complex::Complex\">Complex</a>",0]]],["magshield_simkit",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Neg.html\" title=\"trait core::ops::arith::Neg\">Neg</a> for <a class=\"struct\" href=\"magshield_simkit/vec3/struct.Vec3.html\" title=\"struct magshield_simkit::vec3::Vec3\">Vec3</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[303,298]}

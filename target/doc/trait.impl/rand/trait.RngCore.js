@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["magshield_simkit",[["impl RngCore for <a class=\"struct\" href=\"magshield_simkit/rng/struct.SimRng.html\" title=\"struct magshield_simkit::rng::SimRng\">SimRng</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[172]}

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-a61ab1bc9450a32b.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-a61ab1bc9450a32b.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-a61ab1bc9450a32b.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-431f7885f7a8edb3.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-431f7885f7a8edb3.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-431f7885f7a8edb3.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-06c88f6aebc25a6d.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-06c88f6aebc25a6d: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_adaptive-1a37ae4f43dd54ab.d: crates/bench/src/bin/exp_adaptive.rs
+
+/root/repo/target/release/deps/exp_adaptive-1a37ae4f43dd54ab: crates/bench/src/bin/exp_adaptive.rs
+
+crates/bench/src/bin/exp_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_baseline-12917954fa931be5.d: crates/bench/src/bin/exp_baseline.rs
+
+/root/repo/target/release/deps/exp_baseline-12917954fa931be5: crates/bench/src/bin/exp_baseline.rs
+
+crates/bench/src/bin/exp_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_dualmic-b6c2088fd7f7e426.d: crates/bench/src/bin/exp_dualmic.rs
+
+/root/repo/target/release/deps/exp_dualmic-b6c2088fd7f7e426: crates/bench/src/bin/exp_dualmic.rs
+
+crates/bench/src/bin/exp_dualmic.rs:

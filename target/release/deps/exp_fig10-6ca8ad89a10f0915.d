@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig10-6ca8ad89a10f0915.d: crates/bench/src/bin/exp_fig10.rs
+
+/root/repo/target/release/deps/exp_fig10-6ca8ad89a10f0915: crates/bench/src/bin/exp_fig10.rs
+
+crates/bench/src/bin/exp_fig10.rs:

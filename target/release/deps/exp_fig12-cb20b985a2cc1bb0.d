@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12-cb20b985a2cc1bb0.d: crates/bench/src/bin/exp_fig12.rs
+
+/root/repo/target/release/deps/exp_fig12-cb20b985a2cc1bb0: crates/bench/src/bin/exp_fig12.rs
+
+crates/bench/src/bin/exp_fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14-c7150d3333f846d5.d: crates/bench/src/bin/exp_fig14.rs
+
+/root/repo/target/release/deps/exp_fig14-c7150d3333f846d5: crates/bench/src/bin/exp_fig14.rs
+
+crates/bench/src/bin/exp_fig14.rs:

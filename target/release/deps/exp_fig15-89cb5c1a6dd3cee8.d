@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig15-89cb5c1a6dd3cee8.d: crates/bench/src/bin/exp_fig15.rs
+
+/root/repo/target/release/deps/exp_fig15-89cb5c1a6dd3cee8: crates/bench/src/bin/exp_fig15.rs
+
+crates/bench/src/bin/exp_fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-76a4f99313272cce.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-76a4f99313272cce: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-f2bec9e8c2de8b05.d: crates/bench/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-f2bec9e8c2de8b05: crates/bench/src/bin/exp_fig8.rs
+
+crates/bench/src/bin/exp_fig8.rs:

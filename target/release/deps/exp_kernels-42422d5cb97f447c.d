@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_kernels-42422d5cb97f447c.d: crates/bench/src/bin/exp_kernels.rs
+
+/root/repo/target/release/deps/exp_kernels-42422d5cb97f447c: crates/bench/src/bin/exp_kernels.rs
+
+crates/bench/src/bin/exp_kernels.rs:

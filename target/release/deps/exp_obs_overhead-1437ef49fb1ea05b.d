@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_obs_overhead-1437ef49fb1ea05b.d: crates/bench/src/bin/exp_obs_overhead.rs
+
+/root/repo/target/release/deps/exp_obs_overhead-1437ef49fb1ea05b: crates/bench/src/bin/exp_obs_overhead.rs
+
+crates/bench/src/bin/exp_obs_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_soundtube-79ea991caaf8a5b5.d: crates/bench/src/bin/exp_soundtube.rs
+
+/root/repo/target/release/deps/exp_soundtube-79ea991caaf8a5b5: crates/bench/src/bin/exp_soundtube.rs
+
+crates/bench/src/bin/exp_soundtube.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_speakers-d62104ec05775041.d: crates/bench/src/bin/exp_speakers.rs
+
+/root/repo/target/release/deps/exp_speakers-d62104ec05775041: crates/bench/src/bin/exp_speakers.rs
+
+crates/bench/src/bin/exp_speakers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-8666f58fd627fe1f.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-8666f58fd627fe1f: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

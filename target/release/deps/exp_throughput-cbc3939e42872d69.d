@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_throughput-cbc3939e42872d69.d: crates/bench/src/bin/exp_throughput.rs
+
+/root/repo/target/release/deps/exp_throughput-cbc3939e42872d69: crates/bench/src/bin/exp_throughput.rs
+
+crates/bench/src/bin/exp_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_unconventional-bc22be058583c735.d: crates/bench/src/bin/exp_unconventional.rs
+
+/root/repo/target/release/deps/exp_unconventional-bc22be058583c735: crates/bench/src/bin/exp_unconventional.rs
+
+crates/bench/src/bin/exp_unconventional.rs:

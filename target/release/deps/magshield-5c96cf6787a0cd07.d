@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/magshield-5c96cf6787a0cd07.d: src/lib.rs
+
+/root/repo/target/release/deps/libmagshield-5c96cf6787a0cd07.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmagshield-5c96cf6787a0cd07.rmeta: src/lib.rs
+
+src/lib.rs:

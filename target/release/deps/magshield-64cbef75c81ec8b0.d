@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/magshield-64cbef75c81ec8b0.d: src/bin/magshield.rs
+
+/root/repo/target/release/deps/magshield-64cbef75c81ec8b0: src/bin/magshield.rs
+
+src/bin/magshield.rs:

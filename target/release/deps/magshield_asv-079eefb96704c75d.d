@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/magshield_asv-079eefb96704c75d.d: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+/root/repo/target/release/deps/libmagshield_asv-079eefb96704c75d.rlib: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+/root/repo/target/release/deps/libmagshield_asv-079eefb96704c75d.rmeta: crates/asv/src/lib.rs crates/asv/src/eval.rs crates/asv/src/frontend.rs crates/asv/src/isv.rs crates/asv/src/model.rs crates/asv/src/replay_baseline.rs crates/asv/src/ubm.rs
+
+crates/asv/src/lib.rs:
+crates/asv/src/eval.rs:
+crates/asv/src/frontend.rs:
+crates/asv/src/isv.rs:
+crates/asv/src/model.rs:
+crates/asv/src/replay_baseline.rs:
+crates/asv/src/ubm.rs:

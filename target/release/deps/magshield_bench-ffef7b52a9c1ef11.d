@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/magshield_bench-ffef7b52a9c1ef11.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmagshield_bench-ffef7b52a9c1ef11.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmagshield_bench-ffef7b52a9c1ef11.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

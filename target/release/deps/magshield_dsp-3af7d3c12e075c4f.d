@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/magshield_dsp-3af7d3c12e075c4f.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/libmagshield_dsp-3af7d3c12e075c4f.rlib: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/libmagshield_dsp-3af7d3c12e075c4f.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/frame.rs crates/dsp/src/goertzel.rs crates/dsp/src/level.rs crates/dsp/src/mel.rs crates/dsp/src/phase.rs crates/dsp/src/stft.rs crates/dsp/src/vad.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/frame.rs:
+crates/dsp/src/goertzel.rs:
+crates/dsp/src/level.rs:
+crates/dsp/src/mel.rs:
+crates/dsp/src/phase.rs:
+crates/dsp/src/stft.rs:
+crates/dsp/src/vad.rs:
+crates/dsp/src/window.rs:

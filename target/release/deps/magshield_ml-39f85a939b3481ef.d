@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/magshield_ml-39f85a939b3481ef.d: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs
+
+/root/repo/target/release/deps/libmagshield_ml-39f85a939b3481ef.rlib: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs
+
+/root/repo/target/release/deps/libmagshield_ml-39f85a939b3481ef.rmeta: crates/ml/src/lib.rs crates/ml/src/circlefit.rs crates/ml/src/codec.rs crates/ml/src/gmm.rs crates/ml/src/kmeans.rs crates/ml/src/metrics.rs crates/ml/src/pca.rs crates/ml/src/scaler.rs crates/ml/src/svm.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/circlefit.rs:
+crates/ml/src/codec.rs:
+crates/ml/src/gmm.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/svm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/magshield_obs-c84c2cfe3f5a7b6a.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libmagshield_obs-c84c2cfe3f5a7b6a.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libmagshield_obs-c84c2cfe3f5a7b6a.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/labels.rs crates/obs/src/metrics.rs crates/obs/src/slo.rs crates/obs/src/span.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/labels.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/span.rs:
+crates/obs/src/trace.rs:

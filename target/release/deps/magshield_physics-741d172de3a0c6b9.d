@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/magshield_physics-741d172de3a0c6b9.d: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs
+
+/root/repo/target/release/deps/libmagshield_physics-741d172de3a0c6b9.rlib: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs
+
+/root/repo/target/release/deps/libmagshield_physics-741d172de3a0c6b9.rmeta: crates/physics/src/lib.rs crates/physics/src/acoustics/mod.rs crates/physics/src/acoustics/field.rs crates/physics/src/acoustics/medium.rs crates/physics/src/acoustics/piston.rs crates/physics/src/acoustics/propagation.rs crates/physics/src/acoustics/source.rs crates/physics/src/acoustics/tube.rs crates/physics/src/magnetics/mod.rs crates/physics/src/magnetics/dipole.rs crates/physics/src/magnetics/earth.rs crates/physics/src/magnetics/interference.rs crates/physics/src/magnetics/scene.rs crates/physics/src/magnetics/shielding.rs
+
+crates/physics/src/lib.rs:
+crates/physics/src/acoustics/mod.rs:
+crates/physics/src/acoustics/field.rs:
+crates/physics/src/acoustics/medium.rs:
+crates/physics/src/acoustics/piston.rs:
+crates/physics/src/acoustics/propagation.rs:
+crates/physics/src/acoustics/source.rs:
+crates/physics/src/acoustics/tube.rs:
+crates/physics/src/magnetics/mod.rs:
+crates/physics/src/magnetics/dipole.rs:
+crates/physics/src/magnetics/earth.rs:
+crates/physics/src/magnetics/interference.rs:
+crates/physics/src/magnetics/scene.rs:
+crates/physics/src/magnetics/shielding.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/magshield_sensors-5dd7207a0e7bbf2b.d: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+/root/repo/target/release/deps/libmagshield_sensors-5dd7207a0e7bbf2b.rlib: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+/root/repo/target/release/deps/libmagshield_sensors-5dd7207a0e7bbf2b.rmeta: crates/sensors/src/lib.rs crates/sensors/src/imu.rs crates/sensors/src/magnetometer.rs crates/sensors/src/microphone.rs crates/sensors/src/orientation.rs crates/sensors/src/phone.rs crates/sensors/src/speaker.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/magnetometer.rs:
+crates/sensors/src/microphone.rs:
+crates/sensors/src/orientation.rs:
+crates/sensors/src/phone.rs:
+crates/sensors/src/speaker.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/magshield_trajectory-ecfe95dc0e437536.d: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+/root/repo/target/release/deps/libmagshield_trajectory-ecfe95dc0e437536.rlib: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+/root/repo/target/release/deps/libmagshield_trajectory-ecfe95dc0e437536.rmeta: crates/trajectory/src/lib.rs crates/trajectory/src/motion.rs crates/trajectory/src/ranging.rs crates/trajectory/src/reconstruct.rs
+
+crates/trajectory/src/lib.rs:
+crates/trajectory/src/motion.rs:
+crates/trajectory/src/ranging.rs:
+crates/trajectory/src/reconstruct.rs:

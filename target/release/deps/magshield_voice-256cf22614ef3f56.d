@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/magshield_voice-256cf22614ef3f56.d: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs
+
+/root/repo/target/release/deps/libmagshield_voice-256cf22614ef3f56.rlib: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs
+
+/root/repo/target/release/deps/libmagshield_voice-256cf22614ef3f56.rmeta: crates/voice/src/lib.rs crates/voice/src/attacks.rs crates/voice/src/corpus.rs crates/voice/src/devices.rs crates/voice/src/profile.rs crates/voice/src/synth.rs
+
+crates/voice/src/lib.rs:
+crates/voice/src/attacks.rs:
+crates/voice/src/corpus.rs:
+crates/voice/src/devices.rs:
+crates/voice/src/profile.rs:
+crates/voice/src/synth.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e0e7f714dc8bd23b.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e0e7f714dc8bd23b.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e0e7f714dc8bd23b.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2ffa1ee3117db7ac.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2ffa1ee3117db7ac.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2ffa1ee3117db7ac.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-254b11a4143b1f1f.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-254b11a4143b1f1f.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-254b11a4143b1f1f.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-612c5baf299d74ee.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-612c5baf299d74ee.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-8d34faad19edc9b1.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-8d34faad19edc9b1.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-8d34faad19edc9b1.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:
