@@ -1,8 +1,10 @@
 //! ASV acoustic front end: VAD → MFCC (+Δ) → cepstral mean normalization.
 
 use magshield_dsp::frame::{FrameMatrix, ScratchPad};
-use magshield_dsp::mel::{append_deltas_into, cepstral_mean_normalize_flat, MfccExtractor};
-use magshield_dsp::vad::{trim_silence_into, VadConfig, VadScratch};
+use magshield_dsp::mel::{
+    append_deltas_into, cepstral_mean_normalize_flat, MfccExtractor, StreamingMfcc,
+};
+use magshield_dsp::vad::{trim_silence_into, StreamingVad, VadConfig, VadScratch};
 use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
 
 /// Reusable buffers for [`FeatureExtractor::extract_into`]: DSP scratch,
@@ -109,6 +111,95 @@ impl FeatureExtractor {
     }
 }
 
+/// Chunk-fed front end for streaming verification.
+///
+/// Carries pre-emphasis and frame-boundary state across chunk seams (via
+/// [`StreamingMfcc`]) plus a chunk-fed VAD, so per-chunk ASV sufficient
+/// statistics can be accumulated while audio is still arriving.
+///
+/// Exactness contract: the base MFCC rows are a bit-identical prefix of
+/// `MfccExtractor::extract_into` over the *untrimmed* concatenated audio.
+/// The one-shot front end additionally trims silence with a
+/// whole-utterance noise floor and normalizes cepstral means over the whole
+/// utterance, both of which depend on audio that has not arrived yet —
+/// so [`StreamingExtractor::provisional_into`] features are provisional by
+/// construction (they converge toward the one-shot features as the stream
+/// completes, and chunking never changes what any given prefix produces).
+/// Final decisions must come from the one-shot
+/// [`FeatureExtractor::extract_into`] on the complete utterance; the
+/// streaming cascade uses these provisional features only for mid-stream
+/// score trends.
+#[derive(Debug, Clone)]
+pub struct StreamingExtractor {
+    use_deltas: bool,
+    use_cmn: bool,
+    mfcc: StreamingMfcc,
+    vad: StreamingVad,
+    /// Scratch for the CMN copy inside [`Self::provisional_into`].
+    norm: FrameMatrix,
+}
+
+impl StreamingExtractor {
+    /// Opens a streaming front end mirroring `fx`'s configuration.
+    pub fn new(fx: &FeatureExtractor) -> Self {
+        Self {
+            use_deltas: fx.use_deltas,
+            use_cmn: fx.use_cmn,
+            mfcc: StreamingMfcc::new(fx.mfcc.clone()),
+            vad: StreamingVad::new(fx.mfcc.sample_rate, fx.vad),
+            norm: FrameMatrix::default(),
+        }
+    }
+
+    /// Feature dimensionality of [`Self::provisional_into`] rows.
+    pub fn dim(&self) -> usize {
+        let base = self.mfcc.extractor().num_coeffs;
+        if self.use_deltas {
+            2 * base
+        } else {
+            base
+        }
+    }
+
+    /// Ingests the next chunk of raw audio; returns the number of new base
+    /// MFCC rows produced.
+    pub fn push(&mut self, chunk: &[f64]) -> usize {
+        self.vad.push(chunk);
+        self.mfcc.push(chunk)
+    }
+
+    /// Base MFCC rows so far (bit-identical prefix of the untrimmed
+    /// one-shot extraction).
+    pub fn base_frames(&self) -> &FrameMatrix {
+        self.mfcc.frames()
+    }
+
+    /// Provisional speech-activity ratio over the prefix seen so far.
+    pub fn activity_ratio(&self) -> f64 {
+        self.vad.snapshot().activity_ratio()
+    }
+
+    /// Writes provisional features (CMN over the prefix, deltas per the
+    /// front-end configuration) for everything ingested so far into `out`.
+    pub fn provisional_into(&mut self, out: &mut FrameMatrix) {
+        let base = self.mfcc.frames();
+        if self.use_deltas {
+            self.norm.reset(base.cols());
+            self.norm.extend_rows(base);
+            if self.use_cmn {
+                cepstral_mean_normalize_flat(&mut self.norm);
+            }
+            append_deltas_into(&self.norm, out);
+        } else {
+            out.reset(base.cols());
+            out.extend_rows(base);
+            if self.use_cmn {
+                cepstral_mean_normalize_flat(out);
+            }
+        }
+    }
+}
+
 /// The front end is configuration, not learned state: serializing the
 /// sample rate and feature switches is enough to rebuild it exactly via
 /// [`FeatureExtractor::new`] (MFCC geometry and VAD defaults are derived).
@@ -197,6 +288,45 @@ mod tests {
         // Falls back to the raw audio; still produces finite frames.
         assert!(!frames.is_empty());
         assert!(frames.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn streaming_base_rows_match_untrimmed_one_shot() {
+        let fx = FeatureExtractor::new(16_000.0);
+        let sig = speechy(16_000.0);
+        let oracle = fx.mfcc.extract(&sig);
+        for chunk in [160usize, 1600, 1601, sig.len()] {
+            let mut sx = StreamingExtractor::new(&fx);
+            for c in sig.chunks(chunk) {
+                sx.push(c);
+            }
+            assert_eq!(
+                sx.base_frames().as_slice(),
+                oracle.as_slice(),
+                "chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_provisional_features_have_frontend_shape() {
+        let fx = FeatureExtractor::new(16_000.0);
+        let sig = speechy(16_000.0);
+        let mut sx = StreamingExtractor::new(&fx);
+        sx.push(&sig[..8000]);
+        let mut out = FrameMatrix::default();
+        sx.provisional_into(&mut out);
+        assert!(!out.is_empty());
+        assert_eq!(out.cols(), fx.dim());
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        // CMN over the prefix: per-dimension base means are zero.
+        for d in 0..13 {
+            let mean: f64 = out.iter_rows().map(|r| r[d]).sum::<f64>() / out.rows() as f64;
+            assert!(mean.abs() < 1e-9, "dim {d} mean {mean}");
+        }
+        // Activity should register once the loud segment starts.
+        sx.push(&sig[8000..]);
+        assert!(sx.activity_ratio() > 0.3);
     }
 
     #[test]

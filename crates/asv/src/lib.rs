@@ -28,7 +28,7 @@ pub mod replay_baseline;
 pub mod ubm;
 
 pub use eval::{TrialOutcome, VerificationReport};
-pub use frontend::{FeatureExtractor, FrontendScratch};
+pub use frontend::{FeatureExtractor, FrontendScratch, StreamingExtractor};
 pub use isv::IsvBackend;
 pub use model::{
     with_session_scratch, AsvScore, CohortUtterance, SessionScratch, SpeakerModel, UbmBackend,

@@ -27,6 +27,12 @@
 //!   (late submitters see [`ShedReason::ShuttingDown`]) and then drains —
 //!   every session that was accepted still gets exactly one verdict.
 //!   Nothing is ever silently dropped: every [`Ticket`] resolves.
+//! - **Streaming admission** ([`BatchEngine::open_stream`]): chunk-fed
+//!   verification ([`crate::stream`]) runs through the *same* admission
+//!   gate as batch submissions — every chunk claims a queue slot, honors
+//!   the per-chunk deadline, and is visible to [`BatchEngine::drain`] and
+//!   shutdown, so a server mixing one-shot and streaming load gets one
+//!   coherent backpressure story.
 //!
 //! Observability (shared registry with the
 //! [`DefenseSystem`], see DESIGN.md §9):
@@ -42,10 +48,14 @@
 use crate::cascade::ExecutionPolicy;
 use crate::pipeline::DefenseSystem;
 use crate::session::SessionData;
+use crate::stream::{
+    SessionChunk, StreamConfig, StreamEvent, StreamOpenInfo, StreamingVerification,
+};
 use crate::verdict::DefenseVerdict;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use magshield_obs::labels::Labels;
 use magshield_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use magshield_obs::trace::PipelineTrace;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -399,6 +409,110 @@ impl Ticket {
     }
 }
 
+/// Why [`EngineStream::feed`] (or finalize) did not process a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFeedError {
+    /// Admission control refused the chunk (queue full under
+    /// [`AdmissionPolicy::Shed`], deadline expired before processing
+    /// started, or the engine is shutting down). The stream itself is
+    /// still open; under backpressure the caller may retry.
+    Shed(ShedReason),
+    /// The stream already produced its terminal verdict (it
+    /// early-rejected on an earlier chunk).
+    Closed,
+}
+
+impl std::fmt::Display for StreamFeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamFeedError::Shed(r) => write!(f, "chunk shed: {r}"),
+            StreamFeedError::Closed => f.write_str("stream already terminated"),
+        }
+    }
+}
+
+impl std::error::Error for StreamFeedError {}
+
+/// A chunk-fed verification stream admitted through a [`BatchEngine`].
+///
+/// Wraps a [`StreamingVerification`] so that every chunk passes the
+/// engine's [`AdmissionGate`] (sharing capacity with batch submissions),
+/// is deadline-checked like a batch item, and holds an in-flight claim
+/// while computing — [`BatchEngine::drain`] and graceful shutdown see
+/// streaming work exactly like batch work. The stream holds its own
+/// handles, so it stays valid (and sheds cleanly with
+/// [`ShedReason::ShuttingDown`]) even if the engine is torn down first.
+pub struct EngineStream {
+    inner: StreamingVerification,
+    system: Arc<DefenseSystem>,
+    gate: AdmissionGate,
+    obs: EngineObs,
+    chunk_deadline: Option<Duration>,
+}
+
+impl EngineStream {
+    /// Feeds one chunk through admission control and the stream's stage
+    /// machines. Terminal events ([`StreamEvent::EarlyReject`],
+    /// [`StreamEvent::ReverifyReject`]) close the stream; later feeds
+    /// return [`StreamFeedError::Closed`].
+    pub fn feed(&mut self, chunk: &SessionChunk) -> Result<StreamEvent, StreamFeedError> {
+        let deadline = self.chunk_deadline.map(|d| Instant::now() + d);
+        let slot = self.gate.admit().map_err(|r| {
+            self.obs.record_shed(r);
+            StreamFeedError::Shed(r)
+        })?;
+        let _inflight = slot.start();
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            self.obs.record_shed(ShedReason::DeadlineExceeded);
+            return Err(StreamFeedError::Shed(ShedReason::DeadlineExceeded));
+        }
+        let t0 = Instant::now();
+        let event = self
+            .inner
+            .ingest(chunk, &self.system.config, self.system.obs())
+            .map_err(|_| StreamFeedError::Closed)?;
+        self.obs
+            .registry
+            .histogram("batch.stream.compute.seconds")
+            .record(t0.elapsed());
+        if !matches!(event, StreamEvent::Progress(_)) {
+            self.obs.verdicts.inc();
+            self.obs.verdicts_labeled.inc();
+        }
+        Ok(event)
+    }
+
+    /// Closes the stream through admission control: runs the stock
+    /// one-shot cascade over the accumulated session and returns the
+    /// verdict plus its trace. Errors with [`StreamFeedError::Closed`]
+    /// if the stream already terminated mid-stream.
+    pub fn finalize(self) -> Result<(DefenseVerdict, PipelineTrace), StreamFeedError> {
+        let slot = self.gate.admit().map_err(|r| {
+            self.obs.record_shed(r);
+            StreamFeedError::Shed(r)
+        })?;
+        let _inflight = slot.start();
+        let t0 = Instant::now();
+        let out = self
+            .inner
+            .finalize(&self.system.config, self.system.obs())
+            .map_err(|_| StreamFeedError::Closed)?;
+        self.obs
+            .registry
+            .histogram("batch.stream.compute.seconds")
+            .record(t0.elapsed());
+        self.obs.verdicts.inc();
+        self.obs.verdicts_labeled.inc();
+        Ok(out)
+    }
+
+    /// The wrapped stream state (chunk counts, termination, pinned
+    /// generation, accumulated prefix).
+    pub fn stream(&self) -> &StreamingVerification {
+        &self.inner
+    }
+}
+
 /// The batch verification engine: a worker pool pulling stage-major
 /// micro-batches off a bounded, admission-controlled queue.
 ///
@@ -427,6 +541,9 @@ pub struct BatchEngine {
     gate: AdmissionGate,
     obs: EngineObs,
     batch_deadline: Option<Duration>,
+    /// Shared with the workers; streaming chunks run against the same
+    /// trained system on the submitting thread.
+    system: Arc<DefenseSystem>,
 }
 
 impl BatchEngine {
@@ -486,6 +603,7 @@ impl BatchEngine {
             gate,
             obs,
             batch_deadline: cfg.batch_deadline,
+            system,
         }
     }
 
@@ -555,6 +673,37 @@ impl BatchEngine {
                 Err(reason) => BatchOutcome::Shed(reason),
             })
             .collect()
+    }
+
+    /// Opens a chunk-fed verification stream whose ingestion shares this
+    /// engine's admission control: every [`EngineStream::feed`] claims a
+    /// queue slot (blocking or shedding at capacity per the engine's
+    /// [`AdmissionPolicy`]), honors the configured per-chunk deadline,
+    /// and registers as in-flight work so [`BatchEngine::drain`] and
+    /// graceful shutdown account for mid-chunk compute. Refused with
+    /// [`ShedReason::ShuttingDown`] once admission has closed.
+    ///
+    /// Chunks run synchronously on the feeding thread (a stream is a
+    /// stateful pipeline — its chunks cannot be reordered across
+    /// workers); the worker pool keeps serving batch traffic
+    /// concurrently.
+    pub fn open_stream(
+        &self,
+        info: &StreamOpenInfo,
+        stream: StreamConfig,
+    ) -> Result<EngineStream, ShedReason> {
+        if self.gate.is_closed() {
+            self.obs.record_shed(ShedReason::ShuttingDown);
+            return Err(ShedReason::ShuttingDown);
+        }
+        let inner = self.system.open_stream(info, stream);
+        Ok(EngineStream {
+            inner,
+            system: Arc::clone(&self.system),
+            gate: self.gate.clone(),
+            obs: EngineObs::new(self.system.metrics().clone(), stream.policy),
+            chunk_deadline: self.batch_deadline,
+        })
     }
 
     /// Blocks until every admitted session has its outcome delivered.
@@ -818,6 +967,87 @@ mod tests {
         assert_eq!(outcomes.len(), 6);
         assert!(outcomes.iter().all(|o| !o.is_shed()));
         assert_eq!(engine.metrics().counter("batch.shed").get(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn engine_stream_matches_one_shot_decision() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let engine = BatchEngine::spawn(sys.with_fresh_obs(), cfg());
+        let s = genuine(760);
+        let expected = sys.verify(&s);
+        let mut stream = engine
+            .open_stream(&StreamOpenInfo::for_session(&s), StreamConfig::default())
+            .expect("open stream");
+        for chunk in crate::stream::chunk_session(&s, 9600) {
+            match stream.feed(&chunk).expect("feed") {
+                StreamEvent::Progress(_) => {}
+                other => panic!("genuine stream terminated early: {other:?}"),
+            }
+        }
+        let (verdict, _trace) = stream.finalize().expect("finalize");
+        assert_eq!(verdict.decision, expected.decision);
+        engine.drain();
+        let m = engine.metrics().snapshot();
+        assert_eq!(m.gauges["batch.queue.depth"], 0, "stream slots released");
+        assert_eq!(m.gauges["batch.inflight"], 0, "stream inflight released");
+        assert!(m.histograms["batch.stream.compute.seconds"].count >= 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn engine_stream_early_rejects_replay_and_then_refuses_chunks() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let engine = BatchEngine::spawn(sys.with_fresh_obs(), cfg());
+        let s = replay(761);
+        let chunks = crate::stream::chunk_session(&s, 4800);
+        let mut stream = engine
+            .open_stream(&StreamOpenInfo::for_session(&s), StreamConfig::default())
+            .expect("open stream");
+        let mut rejected_at = None;
+        for (i, chunk) in chunks.iter().enumerate() {
+            match stream.feed(chunk) {
+                Ok(StreamEvent::EarlyReject(v)) => {
+                    assert!(!v.accepted());
+                    rejected_at = Some(i);
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => panic!("unexpected feed error: {e}"),
+            }
+        }
+        let at = rejected_at.expect("replay must early-reject through the engine");
+        assert!(at + 1 < chunks.len(), "reject must land mid-stream");
+        assert!(matches!(
+            stream.feed(&chunks[0]),
+            Err(StreamFeedError::Closed)
+        ));
+        assert!(stream.stream().terminated());
+        assert_eq!(engine.metrics().counter("batch.verdicts").get(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn engine_stream_sheds_after_shutdown() {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let engine = BatchEngine::spawn(sys.with_fresh_obs(), cfg());
+        let s = genuine(762);
+        let mut stream = engine
+            .open_stream(&StreamOpenInfo::for_session(&s), StreamConfig::default())
+            .expect("open stream");
+        engine.initiate_shutdown();
+        let chunk = crate::stream::chunk_session(&s, 9600).remove(0);
+        assert!(matches!(
+            stream.feed(&chunk),
+            Err(StreamFeedError::Shed(ShedReason::ShuttingDown))
+        ));
+        assert!(
+            engine
+                .open_stream(&StreamOpenInfo::for_session(&s), StreamConfig::default())
+                .is_err(),
+            "no new streams after shutdown"
+        );
+        assert!(engine.metrics().counter("batch.shed.shutdown").get() >= 2);
         engine.shutdown();
     }
 

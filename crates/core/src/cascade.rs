@@ -34,9 +34,13 @@ use crate::components::speaker_id::AsvEngine;
 use crate::components::{distance, loudspeaker, sld, sound_field, speaker_id};
 use crate::config::DefenseConfig;
 use crate::pipeline::PipelineObs;
+use crate::registry::ModelSnapshot;
 use crate::session::SessionData;
 use crate::verdict::{Component, ComponentResult, DefenseVerdict, SkippedStage, StageOutcome};
 use magshield_asv::model::SpeakerModel;
+use magshield_asv::StreamingExtractor;
+use magshield_dsp::{FrameMatrix, FrameSource};
+use magshield_ml::gmm::{LlrAccumulator, ScoreScratch};
 use magshield_obs::labels::Labels;
 use magshield_obs::metrics::Registry;
 use magshield_obs::span::Span;
@@ -169,7 +173,7 @@ pub struct SpeakerIdStage<'a> {
 impl<'a> SpeakerIdStage<'a> {
     /// A stage scoring against `engine` with the enrolled `speakers`
     /// (the `Arc`-held map a
-    /// [`ModelSnapshot`](crate::registry::ModelSnapshot) serves).
+    /// [`ModelSnapshot`](crate::registry) serves).
     pub fn new(engine: &'a AsvEngine, speakers: &'a HashMap<u32, Arc<SpeakerModel>>) -> Self {
         Self { engine, speakers }
     }
@@ -583,6 +587,405 @@ impl SessionRun {
             },
         );
         (verdict, self.trace)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming cascade: incremental per-stage state machines.
+// ---------------------------------------------------------------------------
+
+/// Everything a stage state machine needs at open time, owned so the
+/// machine outlives the borrowed stage that opened it (the batch stages
+/// [`SoundFieldStage`] / [`SpeakerIdStage`] borrow from a
+/// [`ModelSnapshot`]; their states hold their own `Arc` clone instead).
+#[derive(Clone)]
+pub struct StreamStageCtx {
+    /// The pinned model snapshot the stream is scored against.
+    pub snapshot: Arc<ModelSnapshot>,
+    /// Audio sample rate of the stream (Hz).
+    pub audio_rate: f64,
+    /// IMU sample rate of the stream (Hz).
+    pub imu_rate: f64,
+    /// When the ranging sweep starts (s from stream start) — fixes the
+    /// close-range segment boundary for the loudspeaker deviation bound.
+    pub sweep_start_s: f64,
+    /// Whether the stream carries a second microphone channel.
+    pub dual_mic: bool,
+    /// Claimed speaker identity.
+    pub claimed_speaker: u32,
+}
+
+/// What a stage state machine reports after ingesting a chunk.
+#[derive(Debug, Clone)]
+pub enum StageStatus {
+    /// Not enough evidence yet — keep streaming.
+    Continue,
+    /// Sound mid-stream rejection: a **monotone lower bound** on the
+    /// stage's final raw score already crosses the configured boundary,
+    /// so the full-session one-shot cascade is guaranteed to reject too.
+    /// The carried result is raw (factory-boundary), like
+    /// [`CascadeStage::run`]'s.
+    EarlyReject(ComponentResult),
+    /// The stage's result is final and cannot change with more data.
+    /// None of the five standard stages can settle an *accept*
+    /// mid-stream (later samples can always raise their score), so the
+    /// standard machines never emit this; custom stages with bounded
+    /// lookahead may.
+    Settled(ComponentResult),
+}
+
+/// A cascade stage that can also run as an incremental state machine
+/// over a chunked session: `open → ingest(chunk)* → finalize`.
+///
+/// The streaming path is *conservative by construction*: `ingest` may
+/// only report [`StageStatus::EarlyReject`] when the full-session
+/// one-shot score provably crosses the boundary too (monotone lower
+/// bound), and the authoritative result always comes from the same
+/// one-shot code path [`Cascade::run`] uses — which is what keeps
+/// streaming verdicts decision-identical to batch verdicts.
+pub trait StreamingStage: CascadeStage {
+    /// Opens an incremental state machine for one stream.
+    fn open(&self, ctx: &StreamStageCtx) -> Box<dyn StageState>;
+}
+
+/// An in-flight stage state machine (see [`StreamingStage`]).
+///
+/// `ingest` receives the whole accumulated session prefix — every chunk
+/// seen so far, already concatenated — and tracks its own consumed-data
+/// cursors, so machines never observe a chunk seam.
+pub trait StageState: Send {
+    /// The stage's stable identity.
+    fn component(&self) -> Component;
+
+    /// Whether the stage applies to this stream at all (fixed at open
+    /// time — e.g. the SLD check on a single-mic stream).
+    fn applies(&self) -> bool {
+        true
+    }
+
+    /// Consumes the newly arrived suffix of the accumulated prefix
+    /// `session` and reports whether the stage can already conclude.
+    fn ingest(&mut self, session: &SessionData, config: &DefenseConfig) -> StageStatus;
+
+    /// A provisional raw attack score for progress reporting, if the
+    /// machine has one. **Advisory only** — provisional scores may use
+    /// approximations (running-mean CMN, untrimmed frames) and never
+    /// feed decisions.
+    fn provisional(&self, config: &DefenseConfig) -> Option<f64> {
+        let _ = config;
+        None
+    }
+
+    /// The stage's authoritative one-shot result on the complete
+    /// session — the same computation [`CascadeStage::run`] performs.
+    fn finalize(self: Box<Self>, session: &SessionData, config: &DefenseConfig) -> ComponentResult;
+}
+
+/// Opens the standard five stage machines in cheapest-first order —
+/// the streaming twin of [`Cascade::standard`].
+pub fn standard_stream_states(ctx: &StreamStageCtx) -> Vec<Box<dyn StageState>> {
+    let snapshot = Arc::clone(&ctx.snapshot);
+    vec![
+        StreamingStage::open(&LoudspeakerStage, ctx),
+        StreamingStage::open(&DistanceStage, ctx),
+        StreamingStage::open(&SldStage, ctx),
+        StreamingStage::open(&SoundFieldStage::new(&snapshot.sound_field), ctx),
+        StreamingStage::open(
+            &SpeakerIdStage::new(&snapshot.engine, &snapshot.speakers),
+            ctx,
+        ),
+    ]
+}
+
+/// Loudspeaker state machine: feeds every magnetometer magnitude into a
+/// [`loudspeaker::StreamingRateTracker`], whose running changing-rate
+/// maximum and baseline-deviation bound lower-bound the one-shot stage
+/// score — the provably sound mid-stream early reject in the standard
+/// cascade.
+struct LoudspeakerState {
+    tracker: loudspeaker::StreamingRateTracker,
+    fed: usize,
+}
+
+impl StageState for LoudspeakerState {
+    fn component(&self) -> Component {
+        Component::Loudspeaker
+    }
+
+    fn ingest(&mut self, session: &SessionData, config: &DefenseConfig) -> StageStatus {
+        for r in &session.mag_readings[self.fed.min(session.mag_readings.len())..] {
+            self.tracker.push(r.norm());
+        }
+        self.fed = session.mag_readings.len();
+        let raw = self.tracker.raw_score_bound(config);
+        if raw / config.stage_boundaries.get(Component::Loudspeaker) >= 1.0 {
+            return StageStatus::EarlyReject(ComponentResult {
+                component: Component::Loudspeaker,
+                attack_score: raw,
+                detail: format!(
+                    "mid-stream deviation ≥ {:.2} µT (Mt {}), rate ≥ {:.1} µT/s (βt {}) after {} samples",
+                    self.tracker.max_deviation_ut(),
+                    config.mag_deviation_ut,
+                    self.tracker.max_rate_ut_per_s(),
+                    config.mag_rate_ut_per_s,
+                    self.fed
+                ),
+            });
+        }
+        StageStatus::Continue
+    }
+
+    fn provisional(&self, config: &DefenseConfig) -> Option<f64> {
+        Some(self.tracker.raw_score_bound(config))
+    }
+
+    fn finalize(self: Box<Self>, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        loudspeaker::verify(session, config).result
+    }
+}
+
+impl StreamingStage for LoudspeakerStage {
+    fn open(&self, ctx: &StreamStageCtx) -> Box<dyn StageState> {
+        // Matches `SessionData::sweep_start_index() / 2` bitwise.
+        let close_start = ((ctx.sweep_start_s * ctx.imu_rate).round() as usize) / 2;
+        Box::new(LoudspeakerState {
+            tracker: loudspeaker::StreamingRateTracker::new(ctx.imu_rate, close_start),
+            fed: 0,
+        })
+    }
+}
+
+/// Distance state machine. Trajectory reconstruction and pilot ranging
+/// score the *whole* approach sweep — a short prefix legitimately looks
+/// close (the phone starts at the mouth), so no prefix statistic
+/// lower-bounds the final score and the machine holds until finalize.
+struct DistanceState;
+
+impl StageState for DistanceState {
+    fn component(&self) -> Component {
+        Component::Distance
+    }
+
+    fn ingest(&mut self, _session: &SessionData, _config: &DefenseConfig) -> StageStatus {
+        StageStatus::Continue
+    }
+
+    fn finalize(self: Box<Self>, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        distance::verify(session, config).result
+    }
+}
+
+impl StreamingStage for DistanceStage {
+    fn open(&self, _ctx: &StreamStageCtx) -> Box<dyn StageState> {
+        Box::new(DistanceState)
+    }
+}
+
+/// SLD state machine: applicability (dual mic) is fixed at open time;
+/// the level-difference statistic is an average over the full utterance,
+/// so the machine holds until finalize.
+struct SldState {
+    applies: bool,
+}
+
+impl StageState for SldState {
+    fn component(&self) -> Component {
+        Component::Sld
+    }
+
+    fn applies(&self) -> bool {
+        self.applies
+    }
+
+    fn ingest(&mut self, _session: &SessionData, _config: &DefenseConfig) -> StageStatus {
+        StageStatus::Continue
+    }
+
+    fn finalize(self: Box<Self>, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        sld::verify(session, config)
+    }
+}
+
+impl StreamingStage for SldStage {
+    fn open(&self, ctx: &StreamStageCtx) -> Box<dyn StageState> {
+        Box::new(SldState {
+            applies: ctx.dual_mic,
+        })
+    }
+}
+
+/// Sound-field state machine: the SVM classifies features of the whole
+/// sweep, so the machine pins the snapshot and holds until finalize.
+struct SoundFieldState {
+    snapshot: Arc<ModelSnapshot>,
+}
+
+impl StageState for SoundFieldState {
+    fn component(&self) -> Component {
+        Component::SoundField
+    }
+
+    fn ingest(&mut self, _session: &SessionData, _config: &DefenseConfig) -> StageStatus {
+        StageStatus::Continue
+    }
+
+    fn finalize(self: Box<Self>, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        sound_field::verify(session, &self.snapshot.sound_field, config)
+    }
+}
+
+impl StreamingStage for SoundFieldStage<'_> {
+    fn open(&self, ctx: &StreamStageCtx) -> Box<dyn StageState> {
+        Box::new(SoundFieldState {
+            snapshot: Arc::clone(&ctx.snapshot),
+        })
+    }
+}
+
+/// A borrowed row range of a [`FrameMatrix`], presented as a
+/// [`FrameSource`] so the incremental LLR accumulator can score just the
+/// newly stable feature rows.
+struct RowRange<'a> {
+    frames: &'a FrameMatrix,
+    start: usize,
+    end: usize,
+}
+
+impl FrameSource for RowRange<'_> {
+    fn num_frames(&self) -> usize {
+        self.end - self.start
+    }
+    fn frame(&self, i: usize) -> &[f64] {
+        self.frames.row(self.start + i)
+    }
+    fn frame_dim(&self) -> usize {
+        self.frames.cols()
+    }
+}
+
+/// Rows whose delta window can still shift as more frames arrive; the
+/// provisional scorer stays this far behind the newest feature row.
+const DELTA_EDGE_ROWS: usize = 2;
+
+/// Speaker-identity state machine: a genuinely incremental ASV front
+/// half — chunk-fed pilot-removal/resampling
+/// ([`speaker_id::StreamingAsvAudio`], bit-identical to the one-shot
+/// path), chunk-fed MFCC/VAD ([`StreamingExtractor`]) and per-frame LLR
+/// accumulation ([`LlrAccumulator`] on the prepared GMMs) — feeding a
+/// *provisional* score trend.
+///
+/// The trend is advisory only: provisional features come from the
+/// untrimmed signal under a running cepstral mean, while the one-shot
+/// frontend trims by whole-utterance VAD and normalizes by the
+/// whole-utterance mean (deltas are CMN-invariant, so those match up to
+/// the clamped edge rows). The authoritative score — and the decision —
+/// always comes from [`StageState::finalize`]'s one-shot path.
+struct SpeakerIdState {
+    snapshot: Arc<ModelSnapshot>,
+    model: Option<Arc<SpeakerModel>>,
+    resampler: speaker_id::StreamingAsvAudio,
+    extractor: StreamingExtractor,
+    accum: LlrAccumulator,
+    scratch: ScoreScratch,
+    provis: FrameMatrix,
+    audio_fed: usize,
+    voice_fed: usize,
+    scored_rows: usize,
+}
+
+impl StageState for SpeakerIdState {
+    fn component(&self) -> Component {
+        Component::SpeakerIdentity
+    }
+
+    fn ingest(&mut self, session: &SessionData, config: &DefenseConfig) -> StageStatus {
+        if self.model.is_none() {
+            return StageStatus::Continue;
+        }
+        if session.audio.len() > self.audio_fed {
+            self.resampler.push(&session.audio[self.audio_fed..]);
+            self.audio_fed = session.audio.len();
+        }
+        let ready = self.resampler.ready();
+        if ready.len() > self.voice_fed {
+            let (from, to) = (self.voice_fed, ready.len());
+            self.voice_fed = to;
+            // Split borrow: `ready` borrows self.resampler, push borrows
+            // self.extractor.
+            let chunk: Vec<f64> = self.resampler.ready()[from..to].to_vec();
+            self.extractor.push(&chunk);
+        }
+        self.extractor.provisional_into(&mut self.provis);
+        let stable = self.provis.rows().saturating_sub(DELTA_EDGE_ROWS);
+        if stable > self.scored_rows {
+            let model = self.model.as_ref().expect("checked above").clone();
+            let view = RowRange {
+                frames: &self.provis,
+                start: self.scored_rows,
+                end: stable,
+            };
+            let ubm = match &self.snapshot.engine {
+                AsvEngine::Ubm(b) => b,
+                AsvEngine::Isv(b) => &b.ubm_backend,
+            };
+            self.accum.ingest(
+                model.prepared(),
+                ubm.prepared_ubm(),
+                &view,
+                config.asv_top_c,
+                &mut self.scratch,
+            );
+            self.scored_rows = stable;
+        }
+        StageStatus::Continue
+    }
+
+    fn provisional(&self, config: &DefenseConfig) -> Option<f64> {
+        let model = self.model.as_ref()?;
+        if self.accum.frames() == 0 {
+            return None;
+        }
+        let z = model.normalize(self.accum.score());
+        let threshold = model.calibrated_threshold(config.asv_threshold);
+        Some(if z.is_finite() {
+            (1.0 - (z - threshold) / config.asv_scale).max(0.0)
+        } else {
+            2.0
+        })
+    }
+
+    fn finalize(self: Box<Self>, session: &SessionData, config: &DefenseConfig) -> ComponentResult {
+        match &self.model {
+            Some(model) => speaker_id::verify(session, &self.snapshot.engine, model, config),
+            None => ComponentResult {
+                component: Component::SpeakerIdentity,
+                attack_score: 2.0,
+                detail: format!("unknown speaker id {}", session.claimed_speaker),
+            },
+        }
+    }
+}
+
+impl StreamingStage for SpeakerIdStage<'_> {
+    fn open(&self, ctx: &StreamStageCtx) -> Box<dyn StageState> {
+        let backend = match &ctx.snapshot.engine {
+            AsvEngine::Ubm(b) => b,
+            AsvEngine::Isv(b) => &b.ubm_backend,
+        };
+        let extractor = StreamingExtractor::new(&backend.extractor);
+        let dim = extractor.dim();
+        Box::new(SpeakerIdState {
+            snapshot: Arc::clone(&ctx.snapshot),
+            model: ctx.snapshot.speakers.get(&ctx.claimed_speaker).cloned(),
+            resampler: speaker_id::StreamingAsvAudio::new(ctx.audio_rate),
+            extractor,
+            accum: LlrAccumulator::new(),
+            scratch: ScoreScratch::new(),
+            provis: FrameMatrix::new(dim),
+            audio_fed: 0,
+            voice_fed: 0,
+            scored_rows: 0,
+        })
     }
 }
 

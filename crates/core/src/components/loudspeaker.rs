@@ -83,6 +83,144 @@ pub fn verify(session: &SessionData, config: &DefenseConfig) -> LoudspeakerAnaly
     }
 }
 
+/// Incremental lower bounds on the one-shot loudspeaker statistics.
+///
+/// [`moving_average`] is *centered* (window 5 → half-width 2), so
+/// `smoothed[i]` only depends on `magnitude[i-2..=i+2]` and is final —
+/// bitwise equal to the full-session smoothed value — as soon as
+/// `magnitude.len() >= i + 3`. The tracker appends smoothed values only
+/// once they are stable (recomputing the same
+/// `magnitudes[lo..hi].iter().sum() / (hi - lo)` expression as
+/// [`moving_average`]) and maintains two statistics over them:
+///
+/// **Changing rate** — the rate over every pair `(j, j + RATE_GAP)` that
+/// lies entirely inside the stable region. Every such rate also appears
+/// in the one-shot [`verify`] fold, so [`max_rate_ut_per_s`] is an
+/// *unconditionally monotone* lower bound on the final `max_rate`.
+///
+/// **Baseline deviation** — the one-shot baseline is the median of the
+/// first 20 % of the smoothed session, and the close-range segment
+/// starts at `close_start = sweep_start_index / 2`, which is known at
+/// open time (it depends only on the stream-constant sweep mark).
+/// Whenever the head window stays before the close-range mark —
+/// `len_final / 5 <= close_start`, i.e. the session ends within 2.5×
+/// the sweep mark, which holds with margin for protocol-shaped captures
+/// whose sweep starts mid-session — the final baseline is a median of
+/// values drawn from `smoothed[..close_start]`, hence confined to the
+/// observed `[min, max]` of that (stable) region. The distance from the
+/// close-range extrema to that interval,
+/// `max(0, head_min − close_min, close_max − head_max)`, then
+/// lower-bounds the final `max_deviation` ([`max_deviation_ut`]).
+///
+/// The one-shot attack score is
+/// `max(max_deviation / Mt, max_rate / βt)`, so [`raw_score_bound`]
+/// lower-bounds it term-by-term: once the bound crosses the stage
+/// boundary mid-stream, the full-session score is guaranteed to cross
+/// it too. This is the soundness argument behind the cascade's
+/// streaming early reject.
+///
+/// [`max_rate_ut_per_s`]: StreamingRateTracker::max_rate_ut_per_s
+/// [`max_deviation_ut`]: StreamingRateTracker::max_deviation_ut
+/// [`raw_score_bound`]: StreamingRateTracker::raw_score_bound
+#[derive(Debug, Clone)]
+pub struct StreamingRateTracker {
+    imu_rate: f64,
+    /// First close-range index (`sweep_start_index / 2`), fixed at open.
+    close_start: usize,
+    magnitudes: Vec<f64>,
+    smoothed: Vec<f64>,
+    /// Next pair index `j` whose rate `|s[j+RATE_GAP] - s[j]|` is unfolded.
+    next_pair: usize,
+    max_rate: f64,
+    /// Running extrema of stable `smoothed[..close_start]` (baseline
+    /// candidates) and `smoothed[close_start..]` (close range).
+    head_min: f64,
+    head_max: f64,
+    close_min: f64,
+    close_max: f64,
+}
+
+impl StreamingRateTracker {
+    /// Creates a tracker for a stream sampled at `imu_rate` Hz whose
+    /// close-range segment starts at sample `close_start`
+    /// (`sweep_start_index / 2`, matching the one-shot [`verify`]).
+    pub fn new(imu_rate: f64, close_start: usize) -> Self {
+        Self {
+            imu_rate,
+            close_start,
+            magnitudes: Vec::new(),
+            smoothed: Vec::new(),
+            next_pair: 0,
+            max_rate: 0.0,
+            head_min: f64::INFINITY,
+            head_max: f64::NEG_INFINITY,
+            close_min: f64::INFINITY,
+            close_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one magnetometer magnitude sample (µT).
+    pub fn push(&mut self, magnitude: f64) {
+        self.magnitudes.push(magnitude);
+        let half = SMOOTH_WINDOW / 2;
+        // smoothed[i] is stable once i + half + 1 <= magnitudes.len().
+        while self.smoothed.len() + half < self.magnitudes.len() {
+            let i = self.smoothed.len();
+            let lo = i.saturating_sub(half);
+            let hi = i + half + 1;
+            let mean = self.magnitudes[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            self.smoothed.push(mean);
+            if i < self.close_start {
+                self.head_min = self.head_min.min(mean);
+                self.head_max = self.head_max.max(mean);
+            } else {
+                self.close_min = self.close_min.min(mean);
+                self.close_max = self.close_max.max(mean);
+            }
+        }
+        let dt = RATE_GAP as f64 / self.imu_rate;
+        while self.next_pair + RATE_GAP < self.smoothed.len() {
+            let j = self.next_pair;
+            let rate = (self.smoothed[j + RATE_GAP] - self.smoothed[j]).abs() / dt;
+            self.max_rate = self.max_rate.max(rate);
+            self.next_pair += 1;
+        }
+    }
+
+    /// Largest changing rate (µT/s) observed over stable smoothed pairs so
+    /// far. Never exceeds the `max_rate_ut_per_s` the one-shot [`verify`]
+    /// reports for any session extending the fed prefix.
+    pub fn max_rate_ut_per_s(&self) -> f64 {
+        self.max_rate
+    }
+
+    /// Lower bound (µT) on the one-shot `max_deviation_ut` — the
+    /// distance from the observed close-range extrema to the baseline
+    /// candidate interval (see the type docs for the protocol-shape
+    /// condition). Zero until both regions have stable values.
+    pub fn max_deviation_ut(&self) -> f64 {
+        if self.head_min > self.head_max || self.close_min > self.close_max {
+            return 0.0;
+        }
+        (self.head_min - self.close_min)
+            .max(self.close_max - self.head_max)
+            .max(0.0)
+    }
+
+    /// Lower bound on the one-shot raw (factory-boundary) attack score,
+    /// combining both statistics exactly like [`verify`]'s
+    /// `max(max_deviation / Mt, max_rate / βt)`.
+    pub fn raw_score_bound(&self, config: &DefenseConfig) -> f64 {
+        (self.max_deviation_ut() / config.mag_deviation_ut)
+            .max(self.max_rate / config.mag_rate_ut_per_s)
+    }
+
+    /// Number of magnitude samples fed so far.
+    pub fn samples(&self) -> usize {
+        self.magnitudes.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +323,114 @@ mod tests {
         let s = session_with_mag(vec![Vec3::new(0.0, 28.0, -39.0); 3]);
         let a = verify(&s, &DefenseConfig::default());
         assert!(a.result.attack_score.is_finite());
+    }
+
+    /// After feeding the whole session the tracker's rate equals the
+    /// one-shot `max_rate` restricted to stable pairs, and at every prefix
+    /// both bounds lower-bound the one-shot statistics of the *full*
+    /// session.
+    #[test]
+    fn tracker_lower_bounds_one_shot_statistics() {
+        let earth = Vec3::new(0.0, 28.0, -39.0);
+        let mag: Vec<Vec3> = (0..200)
+            .map(|i| earth + Vec3::new(0.0, 2.0 + 5.0 * (i as f64 * 0.9).sin(), 0.0))
+            .collect();
+        let session = session_with_mag(mag);
+        let full = verify(&session, &DefenseConfig::default());
+        let magnitude = session.mag_magnitude();
+
+        let close_start = session.sweep_start_index() / 2;
+        let mut tracker = StreamingRateTracker::new(session.imu_rate, close_start);
+        for (fed, &m) in magnitude.iter().enumerate() {
+            tracker.push(m);
+            assert!(
+                tracker.max_rate_ut_per_s() <= full.max_rate_ut_per_s + 1e-12,
+                "prefix {} rate {} exceeds one-shot {}",
+                fed + 1,
+                tracker.max_rate_ut_per_s(),
+                full.max_rate_ut_per_s
+            );
+            assert!(
+                tracker.max_deviation_ut() <= full.max_deviation_ut + 1e-12,
+                "prefix {} deviation {} exceeds one-shot {}",
+                fed + 1,
+                tracker.max_deviation_ut(),
+                full.max_deviation_ut
+            );
+            assert!(
+                tracker.raw_score_bound(&DefenseConfig::default())
+                    <= full.result.attack_score + 1e-12
+            );
+        }
+        // The final few smoothed values use a shrunken window in the
+        // one-shot path, so the tracker may stop slightly below — but the
+        // interior pairs dominate this oscillating signal, so it lands
+        // exactly on the one-shot maximum here.
+        assert!(
+            (tracker.max_rate_ut_per_s() - full.max_rate_ut_per_s).abs() < 1e-9,
+            "tracker {} vs one-shot {}",
+            tracker.max_rate_ut_per_s(),
+            full.max_rate_ut_per_s
+        );
+    }
+
+    /// A magnet approach ramp crosses the deviation bound mid-stream,
+    /// while a quiet session never produces a positive bound.
+    #[test]
+    fn deviation_bound_fires_on_ramp_only() {
+        let earth = Vec3::new(0.0, 28.0, -39.0);
+        let ramp: Vec<Vec3> = (0..200)
+            .map(|i| {
+                let r = if i > 100 {
+                    (i - 100) as f64 / 100.0 * 60.0
+                } else {
+                    0.0
+                };
+                earth + Vec3::new(0.0, r, 0.0)
+            })
+            .collect();
+        let session = session_with_mag(ramp);
+        let full = verify(&session, &DefenseConfig::default());
+        let close_start = session.sweep_start_index() / 2;
+        let mut tracker = StreamingRateTracker::new(session.imu_rate, close_start);
+        let mut crossed_at = None;
+        for (i, &m) in session.mag_magnitude().iter().enumerate() {
+            tracker.push(m);
+            assert!(tracker.max_deviation_ut() <= full.max_deviation_ut + 1e-12);
+            if crossed_at.is_none()
+                && tracker.max_deviation_ut() > DefenseConfig::default().mag_deviation_ut
+            {
+                crossed_at = Some(i);
+            }
+        }
+        let crossed = crossed_at.expect("ramp must cross the deviation bound");
+        assert!(
+            crossed < session.mag_readings.len() - 1,
+            "bound must fire before the stream ends"
+        );
+
+        let quiet = session_with_mag(vec![earth; 200]);
+        let mut tracker = StreamingRateTracker::new(quiet.imu_rate, quiet.sweep_start_index() / 2);
+        for &m in &quiet.mag_magnitude() {
+            tracker.push(m);
+        }
+        assert!(tracker.max_deviation_ut() < 0.5);
+    }
+
+    /// The tracker's stable smoothed values are bitwise equal to the
+    /// one-shot `moving_average` prefix regardless of how the stream is
+    /// chunked.
+    #[test]
+    fn tracker_smoothed_prefix_is_bitwise_stable() {
+        let magnitude: Vec<f64> = (0..97).map(|i| (i as f64 * 0.31).sin() * 10.0).collect();
+        let oracle = moving_average(&magnitude, SMOOTH_WINDOW);
+        let mut tracker = StreamingRateTracker::new(100.0, 20);
+        for &m in &magnitude {
+            tracker.push(m);
+        }
+        // All but the trailing `half` entries are stable.
+        let stable = magnitude.len() - SMOOTH_WINDOW / 2;
+        assert_eq!(tracker.smoothed.len(), stable);
+        assert_eq!(&tracker.smoothed[..], &oracle[..stable]);
     }
 }

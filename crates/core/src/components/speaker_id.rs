@@ -187,6 +187,172 @@ std::thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
+/// Chunk-fed variant of [`asv_audio`] whose output is bit-identical to
+/// the one-shot path regardless of how the session audio is chunked.
+///
+/// The low-pass chain is causal (two Direct Form I biquads), so filtered
+/// samples never change once produced; the only stream/one-shot hazard is
+/// the resampler. [`magshield_simkit::series::TimeSeries::lerp_sample`]
+/// reads indices `⌊x⌋` and `⌊x⌋ + 1` with `x = i·audio_rate/voice_rate`
+/// clamped to the *final* signal length, so an output sample is emitted
+/// mid-stream only while
+///
+/// * `⌊x⌋ + 2 ≤ filtered.len()` — both lerp taps already exist and the
+///   end-clamp cannot engage for any longer signal, and
+/// * `i + 1 < round(filtered.len()/audio_rate · voice_rate)` — `i` is
+///   strictly inside the output length implied by the prefix, which
+///   only grows as more audio arrives.
+///
+/// Everything held back by these conservative guards is emitted by
+/// [`StreamingAsvAudio::finalize`] with exactly the one-shot clamp
+/// semantics.
+#[derive(Debug, Clone)]
+pub struct StreamingAsvAudio {
+    audio_rate: f64,
+    lp: magshield_dsp::filter::Biquad,
+    lp2: magshield_dsp::filter::Biquad,
+    filtered: Vec<f64>,
+    out: Vec<f64>,
+}
+
+impl StreamingAsvAudio {
+    /// Creates a resampler for session audio captured at `audio_rate` Hz.
+    pub fn new(audio_rate: f64) -> Self {
+        let cutoff = 7000.0_f64.min(audio_rate * 0.45);
+        Self {
+            audio_rate,
+            lp: magshield_dsp::filter::Biquad::lowpass(
+                audio_rate,
+                cutoff,
+                std::f64::consts::FRAC_1_SQRT_2,
+            ),
+            lp2: magshield_dsp::filter::Biquad::lowpass(
+                audio_rate,
+                cutoff,
+                std::f64::consts::FRAC_1_SQRT_2,
+            ),
+            filtered: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Feeds one chunk of session-rate audio, emitting every voice-rate
+    /// output sample that is already final. Returns the total number of
+    /// emitted samples.
+    pub fn push(&mut self, chunk: &[f64]) -> usize {
+        self.filtered
+            .extend(chunk.iter().map(|&x| self.lp2.process(self.lp.process(x))));
+        let voice_rate = magshield_voice::synth::VOICE_SAMPLE_RATE;
+        let n_prefix =
+            ((self.filtered.len() as f64 / self.audio_rate) * voice_rate).round() as usize;
+        loop {
+            let i = self.out.len();
+            if i + 1 >= n_prefix {
+                break;
+            }
+            let x = (i as f64 / voice_rate) * self.audio_rate;
+            if x.floor() as usize + 2 > self.filtered.len() {
+                break;
+            }
+            self.out
+                .push(magshield_simkit::series::TimeSeries::lerp_sample(
+                    &self.filtered,
+                    self.audio_rate,
+                    i as f64 / voice_rate,
+                ));
+        }
+        self.out.len()
+    }
+
+    /// The voice-rate samples emitted so far — a bit-identical prefix of
+    /// what [`asv_audio`] produces for any session extending the fed
+    /// audio.
+    pub fn ready(&self) -> &[f64] {
+        &self.out
+    }
+
+    /// Total session-rate samples fed so far.
+    pub fn samples_in(&self) -> usize {
+        self.filtered.len()
+    }
+
+    /// Emits the held-back tail (with the one-shot end-clamp semantics)
+    /// and returns the complete voice-rate signal, bit-identical to
+    /// [`asv_audio`] on the concatenated chunks.
+    pub fn finalize(mut self) -> Vec<f64> {
+        if self.filtered.is_empty() {
+            return Vec::new();
+        }
+        let voice_rate = magshield_voice::synth::VOICE_SAMPLE_RATE;
+        let duration = self.filtered.len() as f64 / self.audio_rate;
+        let n = (duration * voice_rate).round() as usize;
+        for i in self.out.len()..n {
+            self.out
+                .push(magshield_simkit::series::TimeSeries::lerp_sample(
+                    &self.filtered,
+                    self.audio_rate,
+                    i as f64 / voice_rate,
+                ));
+        }
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use magshield_simkit::vec3::Vec3;
+
+    fn audio_session(audio: Vec<f64>, audio_rate: f64) -> SessionData {
+        SessionData {
+            claimed_speaker: 0,
+            audio,
+            audio2: None,
+            audio_rate,
+            pilot_hz: 18_000.0,
+            mag_readings: vec![Vec3::new(0.0, 28.0, -39.0); 100],
+            accel_readings: vec![Vec3::ZERO; 100],
+            gyro_readings: vec![Vec3::ZERO; 100],
+            imu_rate: 100.0,
+            sweep_start_s: 0.5,
+            earth_reference: Vec3::new(0.0, 28.0, -39.0),
+        }
+    }
+
+    #[test]
+    fn streaming_asv_audio_bit_identical_across_chunkings() {
+        let rate = 48_000.0;
+        let audio: Vec<f64> = (0..9_601)
+            .map(|i| (i as f64 * 0.013).sin() + 0.3 * (i as f64 * 0.101).cos())
+            .collect();
+        let oracle = asv_audio(&audio_session(audio.clone(), rate));
+        for chunk in [1usize, 7, 480, 481, 4096, audio.len()] {
+            let mut s = StreamingAsvAudio::new(rate);
+            for c in audio.chunks(chunk) {
+                let before = s.ready().len();
+                s.push(c);
+                // Emitted samples are a bit-identical prefix of the oracle
+                // at every step.
+                assert!(s.ready().len() >= before);
+                for (i, &v) in s.ready().iter().enumerate() {
+                    assert_eq!(v.to_bits(), oracle[i].to_bits(), "chunk {chunk} idx {i}");
+                }
+            }
+            let full = s.finalize();
+            assert_eq!(full.len(), oracle.len(), "chunk {chunk}");
+            for (i, (&a, &b)) in full.iter().zip(&oracle).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk {chunk} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_asv_audio_empty_is_empty() {
+        let s = StreamingAsvAudio::new(48_000.0);
+        assert!(s.finalize().is_empty());
+    }
+}
+
 /// Runs the component: scores the session audio against the claimed
 /// speaker's model.
 pub fn verify(

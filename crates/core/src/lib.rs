@@ -75,6 +75,7 @@ pub mod registry;
 pub mod scenario;
 pub mod server;
 pub mod session;
+pub mod stream;
 pub mod trainer;
 pub mod verdict;
 
@@ -83,6 +84,7 @@ pub use config::{ConfigError, DefenseConfig};
 pub use pipeline::DefenseSystem;
 pub use registry::ModelRegistry;
 pub use session::SessionData;
+pub use stream::{SessionChunk, StreamConfig, StreamEvent, StreamingVerification};
 pub use trainer::Trainer;
 pub use verdict::{Decision, DefenseVerdict};
 

@@ -239,6 +239,23 @@ impl DefenseSystem {
         }
     }
 
+    /// Opens a streaming verification pinned to the currently served
+    /// registry generation (see [`crate::stream`] for the chunked
+    /// protocol and its decision-identity contract). Feed it with
+    /// [`StreamingVerification::ingest`](crate::stream::StreamingVerification::ingest)
+    /// and close with
+    /// [`StreamingVerification::finalize`](crate::stream::StreamingVerification::finalize),
+    /// passing this system's config and [`DefenseSystem::obs`].
+    pub fn open_stream(
+        &self,
+        info: &crate::stream::StreamOpenInfo,
+        stream: crate::stream::StreamConfig,
+    ) -> crate::stream::StreamingVerification {
+        let (generation, snapshot) = self.registry.load();
+        self.obs.registry.counter("pipeline.stream.opened").inc();
+        crate::stream::StreamingVerification::open(snapshot, generation, info, stream)
+    }
+
     /// Runs the full cascade at the nominal thresholds.
     pub fn verify(&self, session: &SessionData) -> DefenseVerdict {
         self.verify_traced(session).0

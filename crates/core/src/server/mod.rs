@@ -47,6 +47,23 @@
 //! guards on `server.worker.panics` and the admission shed ratio
 //! (`Message::HealthRequest`). Both supersede the scalar
 //! `StatsRequest` view, which remains served.
+//!
+//! Protocol v6 adds streaming continuous verification (DESIGN.md §13):
+//! [`Client::open_stream`] opens a server-side
+//! [`StreamingVerification`] keyed by a client-chosen stream id,
+//! [`ClientStream::send_chunk`] feeds capture chunks through the
+//! incremental cascade — a provably monotone bound can settle the
+//! session mid-stream with a `StreamVerdictKind::EarlyReject` reply
+//! long before the utterance ends — and [`ClientStream::close`]
+//! finalizes the genuine path with a verdict decision-identical to a
+//! one-shot verification of the same samples. Open-stream count and
+//! accumulated samples are capped ([`ServerConfig::max_open_streams`],
+//! [`ServerConfig::max_stream_samples`]); unknown ids, duplicate opens
+//! and chunks after a terminal verdict are protocol errors. First-chunk
+//! → terminal-verdict latency feeds the
+//! `server.stream.first_verdict.seconds` histogram, guarded by the
+//! `stream-verdict-latency` SLO in
+//! [`VerificationServer::default_slos`].
 
 pub mod protocol;
 
@@ -55,6 +72,9 @@ use crate::batch::{BatchOutcome, ShedReason};
 use crate::cascade::ExecutionPolicy;
 use crate::pipeline::DefenseSystem;
 use crate::session::SessionData;
+use crate::stream::{
+    SessionChunk, StreamConfig, StreamEvent, StreamOpenInfo, StreamingVerification,
+};
 use crate::verdict::DefenseVerdict;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use magshield_ml::codec::BinaryCodec;
@@ -64,9 +84,11 @@ use magshield_obs::metrics::{
 };
 use magshield_obs::slo::{HealthReport, SloEngine, SloSpec};
 use parking_lot::Mutex;
-use protocol::{decode_frame, encode_response, Message};
+use protocol::{decode_frame, encode_response, Message, StreamVerdictKind};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -126,6 +148,15 @@ pub struct ServerConfig {
     /// within this budget of the request's enqueue are shed with
     /// [`ShedReason::DeadlineExceeded`].
     pub batch_deadline: Option<Duration>,
+    /// Most concurrently open verification streams (protocol v6); a
+    /// `StreamOpen` past the cap is refused with a protocol error, so a
+    /// hostile client cannot grow server memory one open frame at a
+    /// time.
+    pub max_open_streams: usize,
+    /// Most accumulated samples (audio + IMU) one stream may hold; a
+    /// chunk that would exceed it terminates the stream with a protocol
+    /// error. Bounds per-stream memory against endless hostile chunking.
+    pub max_stream_samples: usize,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +166,10 @@ impl Default for ServerConfig {
             policy: ExecutionPolicy::FullEvaluation,
             max_batch: 16,
             batch_deadline: None,
+            max_open_streams: 1024,
+            // ~5.8 minutes of 48 kHz audio — far beyond any
+            // authentication utterance, tight enough to bound memory.
+            max_stream_samples: 16 << 20,
         }
     }
 }
@@ -168,6 +203,13 @@ pub struct ServerStatsSnapshot {
     pub compute: HistogramSnapshot,
 }
 
+/// One server-side verification stream. The outer map lock is held only
+/// to look up / insert / remove entries; the per-stream lock serializes
+/// chunk ingestion for that stream while other streams (and batch
+/// traffic) proceed in parallel on other workers. `None` marks a stream
+/// whose terminal verdict is being produced by another worker.
+type StreamSlot = Arc<Mutex<Option<StreamingVerification>>>;
+
 /// State shared between workers, clients and the server handle.
 struct Shared {
     stats: Mutex<ServerStats>,
@@ -179,6 +221,14 @@ struct Shared {
     batch_shed: Counter,
     worker_panics: Counter,
     worker_processed: Vec<Counter>,
+    /// Open verification streams keyed by client-chosen stream id
+    /// (protocol v6).
+    streams: Mutex<HashMap<u64, StreamSlot>>,
+    /// Gauge mirror of `streams.len()`.
+    streams_open: Gauge,
+    /// First chunk → terminal verdict latency, the streaming SLO's
+    /// source series.
+    stream_first_verdict: Histogram,
     /// The SLO burn-rate engine, evaluated on demand by health
     /// requests against the live registry snapshot.
     slo: Mutex<SloEngine>,
@@ -265,15 +315,20 @@ impl VerificationServer {
 
     /// The stock SLO objectives every server evaluates unless
     /// [`VerificationServer::spawn_with_slos`] overrides them: 99% of
-    /// end-to-end verifications within 500 ms. The engine's built-in
-    /// guards (worker panics, admission shed ratio) apply regardless.
+    /// end-to-end verifications within 500 ms, and 99% of streaming
+    /// sessions reaching a terminal verdict within 500 ms of server
+    /// compute after their first chunk. The engine's built-in guards
+    /// (worker panics, admission shed ratio) apply regardless.
     pub fn default_slos() -> Vec<SloSpec> {
-        vec![SloSpec::latency(
-            "verify-latency",
-            "pipeline.verify.seconds",
-            0.5,
-            0.99,
-        )]
+        vec![
+            SloSpec::latency("verify-latency", "pipeline.verify.seconds", 0.5, 0.99),
+            SloSpec::latency(
+                "stream-verdict-latency",
+                "server.stream.first_verdict.seconds",
+                0.5,
+                0.99,
+            ),
+        ]
     }
 
     /// Spawns the server with explicit SLO objectives for the health
@@ -298,6 +353,9 @@ impl VerificationServer {
             worker_processed: (0..cfg.workers)
                 .map(|i| registry.counter(&format!("server.worker.{i}.processed")))
                 .collect(),
+            streams: Mutex::new(HashMap::new()),
+            streams_open: registry.gauge("server.stream.open"),
+            stream_first_verdict: registry.histogram("server.stream.first_verdict.seconds"),
             slo: Mutex::new(SloEngine::new(slos)),
             started: Instant::now(),
             registry,
@@ -525,6 +583,178 @@ fn handle_job(
                 protocol::encode_error(request_id, &format!("bundle decode error: {e}"))
             }
         },
+        Ok(Message::StreamOpen {
+            request_id,
+            stream_id,
+            info,
+            stream,
+        }) => {
+            let mut streams = shared.streams.lock();
+            if streams.len() >= cfg.max_open_streams {
+                drop(streams);
+                shared.stats.lock().protocol_errors += 1;
+                return protocol::encode_error(
+                    request_id,
+                    &format!("too many open streams (cap {})", cfg.max_open_streams),
+                );
+            }
+            if streams.contains_key(&stream_id) {
+                drop(streams);
+                shared.stats.lock().protocol_errors += 1;
+                return protocol::encode_error(
+                    request_id,
+                    &format!("stream {stream_id} already open"),
+                );
+            }
+            let verification = system.open_stream(&info, stream);
+            streams.insert(stream_id, Arc::new(Mutex::new(Some(verification))));
+            shared.streams_open.set(streams.len() as i64);
+            drop(streams);
+            protocol::encode_stream_verdict(
+                request_id,
+                stream_id,
+                StreamVerdictKind::Pending,
+                0,
+                None,
+            )
+        }
+        Ok(Message::StreamChunk {
+            request_id,
+            stream_id,
+            chunk,
+        }) => {
+            // Clone the slot Arc under the map lock, then ingest under
+            // the per-stream lock only: chunks of the same stream
+            // serialize (a stream is a stateful pipeline), while other
+            // streams and batch traffic proceed on other workers.
+            let Some(slot) = shared.streams.lock().get(&stream_id).cloned() else {
+                shared.stats.lock().protocol_errors += 1;
+                return protocol::encode_error(
+                    request_id,
+                    &format!("unknown stream id {stream_id}"),
+                );
+            };
+            let start = Instant::now();
+            let mut guard = slot.lock();
+            let Some(verification) = guard.as_mut() else {
+                shared.stats.lock().protocol_errors += 1;
+                return protocol::encode_error(
+                    request_id,
+                    &format!("stream {stream_id} already terminated"),
+                );
+            };
+            let ingested = chunk.audio.len()
+                + chunk.audio2.len()
+                + chunk.mag.len()
+                + chunk.accel.len()
+                + chunk.gyro.len();
+            if verification.audio_samples() + verification.imu_samples() + ingested
+                > cfg.max_stream_samples
+            {
+                // Kill, don't just refuse: a client that hit the budget
+                // is either hostile or broken, and keeping the state
+                // around would let it retry forever.
+                *guard = None;
+                drop(guard);
+                remove_stream(shared, stream_id);
+                shared.stats.lock().protocol_errors += 1;
+                return protocol::encode_error(
+                    request_id,
+                    &format!(
+                        "stream {stream_id} exceeded the accumulated sample budget ({})",
+                        cfg.max_stream_samples
+                    ),
+                );
+            }
+            match verification.ingest(&chunk, &system.config, system.obs()) {
+                Ok(StreamEvent::Progress(progress)) => {
+                    shared.compute.record(start.elapsed());
+                    protocol::encode_stream_verdict(
+                        request_id,
+                        stream_id,
+                        StreamVerdictKind::Pending,
+                        progress.chunks,
+                        None,
+                    )
+                }
+                Ok(StreamEvent::EarlyReject(verdict)) => {
+                    let (chunks, age) = (verification.chunks(), verification.age());
+                    *guard = None;
+                    drop(guard);
+                    finish_stream(shared, worker_id, stream_id, age, start.elapsed());
+                    protocol::encode_stream_verdict(
+                        request_id,
+                        stream_id,
+                        StreamVerdictKind::EarlyReject,
+                        chunks,
+                        Some(&verdict),
+                    )
+                }
+                Ok(StreamEvent::ReverifyReject(verdict)) => {
+                    let (chunks, age) = (verification.chunks(), verification.age());
+                    *guard = None;
+                    drop(guard);
+                    finish_stream(shared, worker_id, stream_id, age, start.elapsed());
+                    protocol::encode_stream_verdict(
+                        request_id,
+                        stream_id,
+                        StreamVerdictKind::ReverifyReject,
+                        chunks,
+                        Some(&verdict),
+                    )
+                }
+                Err(_) => {
+                    // Unreachable in practice — terminated streams leave
+                    // the table — but a hostile interleaving race still
+                    // gets a clean protocol error, not a panic.
+                    shared.stats.lock().protocol_errors += 1;
+                    protocol::encode_error(
+                        request_id,
+                        &format!("stream {stream_id} already terminated"),
+                    )
+                }
+            }
+        }
+        Ok(Message::StreamClose {
+            request_id,
+            stream_id,
+        }) => {
+            let Some(slot) = shared.streams.lock().get(&stream_id).cloned() else {
+                shared.stats.lock().protocol_errors += 1;
+                return protocol::encode_error(
+                    request_id,
+                    &format!("unknown stream id {stream_id}"),
+                );
+            };
+            let start = Instant::now();
+            let Some(verification) = slot.lock().take() else {
+                shared.stats.lock().protocol_errors += 1;
+                return protocol::encode_error(
+                    request_id,
+                    &format!("stream {stream_id} already terminated"),
+                );
+            };
+            let (chunks, age) = (verification.chunks(), verification.age());
+            match verification.finalize(&system.config, system.obs()) {
+                Ok((verdict, _trace)) => {
+                    finish_stream(shared, worker_id, stream_id, age, start.elapsed());
+                    protocol::encode_stream_verdict(
+                        request_id,
+                        stream_id,
+                        StreamVerdictKind::Final,
+                        chunks,
+                        Some(&verdict),
+                    )
+                }
+                Err(_) => {
+                    shared.stats.lock().protocol_errors += 1;
+                    protocol::encode_error(
+                        request_id,
+                        &format!("stream {stream_id} already terminated"),
+                    )
+                }
+            }
+        }
         Ok(other) => {
             shared.stats.lock().protocol_errors += 1;
             protocol::encode_error(other.request_id(), "unexpected message type")
@@ -534,6 +764,33 @@ fn handle_job(
             protocol::encode_error(0, &format!("decode error: {e}"))
         }
     }
+}
+
+/// Drops a stream's table entry and re-mirrors the open-streams gauge.
+fn remove_stream(shared: &Shared, stream_id: u64) {
+    let mut streams = shared.streams.lock();
+    streams.remove(&stream_id);
+    shared.streams_open.set(streams.len() as i64);
+}
+
+/// Terminal-verdict bookkeeping shared by early-reject, re-verify
+/// reject and close: the stream leaves the table, its first-chunk →
+/// verdict age feeds the streaming SLO series, and the finishing chunk's
+/// compute counts toward the worker like any one-shot verification.
+fn finish_stream(
+    shared: &Shared,
+    worker_id: usize,
+    stream_id: u64,
+    age: Duration,
+    elapsed: Duration,
+) {
+    remove_stream(shared, stream_id);
+    shared.stream_first_verdict.record(age);
+    shared.compute.record(elapsed);
+    shared.worker_processed[worker_id].inc();
+    let mut s = shared.stats.lock();
+    s.processed += 1;
+    s.total_latency += elapsed;
 }
 
 /// A client handle (cheaply cloneable).
@@ -750,6 +1007,48 @@ impl Client {
         }
     }
 
+    /// Opens a continuous-verification stream (`Message::StreamOpen`,
+    /// protocol v6). The returned [`ClientStream`] feeds capture chunks
+    /// with [`ClientStream::send_chunk`] — each reply is either a
+    /// `Pending` progress ack or a terminal mid-stream rejection — and
+    /// settles the genuine path with [`ClientStream::close`]. Stream ids
+    /// are process-unique, so concurrently cloned clients never collide.
+    pub fn open_stream(
+        &self,
+        info: &StreamOpenInfo,
+        stream: StreamConfig,
+    ) -> Result<ClientStream, ClientError> {
+        let id = self.next_id();
+        let stream_id = NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed);
+        let raw = self.send_raw(protocol::encode_stream_open(id, stream_id, info, stream))?;
+        match decode_frame(&raw) {
+            Ok(Message::StreamVerdict {
+                request_id,
+                stream_id: echoed,
+                kind: StreamVerdictKind::Pending,
+                ..
+            }) => {
+                if request_id != id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {id}"
+                    )));
+                }
+                if echoed != stream_id {
+                    return Err(ClientError::BadReply(format!(
+                        "opened stream {echoed} != requested {stream_id}"
+                    )));
+                }
+                Ok(ClientStream {
+                    client: self.clone(),
+                    stream_id,
+                })
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
+    }
+
     /// Sends a raw frame (tests use this for failure injection).
     pub fn send_raw(&self, frame: Vec<u8>) -> Result<Vec<u8>, ClientError> {
         self.send_frame(frame)?
@@ -772,6 +1071,90 @@ impl Client {
             return Err(ClientError::Disconnected);
         }
         Ok(reply_rx)
+    }
+}
+
+/// Process-wide stream-id source: client-chosen ids must be unique
+/// across every client handle talking to the same in-process server.
+static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A server-side continuous-verification stream, opened with
+/// [`Client::open_stream`] (protocol v6).
+pub struct ClientStream {
+    client: Client,
+    stream_id: u64,
+}
+
+impl ClientStream {
+    /// The wire stream id (useful for correlating server logs).
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
+    }
+
+    /// Feeds one capture chunk and waits for the server's incremental
+    /// answer: `(Pending, None)` while the cascade keeps listening, or a
+    /// terminal `(EarlyReject | ReverifyReject, Some(verdict))` when a
+    /// monotone bound (or re-verification pass) settled mid-stream. A
+    /// terminal reply retires the server-side stream — further chunks
+    /// come back as protocol errors.
+    pub fn send_chunk(
+        &self,
+        chunk: &SessionChunk,
+    ) -> Result<(StreamVerdictKind, Option<DefenseVerdict>), ClientError> {
+        let id = self.client.next_id();
+        let raw = self
+            .client
+            .send_raw(protocol::encode_stream_chunk(id, self.stream_id, chunk))?;
+        self.expect_verdict(id, raw)
+    }
+
+    /// Ends the utterance: the server finalizes every stage on the
+    /// accumulated capture and replies with the full-cascade verdict —
+    /// decision-identical to a one-shot verification of the same
+    /// samples.
+    pub fn close(self) -> Result<DefenseVerdict, ClientError> {
+        let id = self.client.next_id();
+        let raw = self
+            .client
+            .send_raw(protocol::encode_stream_close(id, self.stream_id))?;
+        match self.expect_verdict(id, raw)? {
+            (StreamVerdictKind::Final, Some(verdict)) => Ok(verdict),
+            (kind, _) => Err(ClientError::BadReply(format!(
+                "close replied with {kind:?} instead of a final verdict"
+            ))),
+        }
+    }
+
+    fn expect_verdict(
+        &self,
+        id: u64,
+        raw: Vec<u8>,
+    ) -> Result<(StreamVerdictKind, Option<DefenseVerdict>), ClientError> {
+        match decode_frame(&raw) {
+            Ok(Message::StreamVerdict {
+                request_id,
+                stream_id,
+                kind,
+                verdict,
+                ..
+            }) => {
+                if request_id != id {
+                    return Err(ClientError::BadReply(format!(
+                        "response id {request_id} != request id {id}"
+                    )));
+                }
+                if stream_id != self.stream_id {
+                    return Err(ClientError::BadReply(format!(
+                        "reply for stream {stream_id} != stream {}",
+                        self.stream_id
+                    )));
+                }
+                Ok((kind, verdict))
+            }
+            Ok(Message::Error { message, .. }) => Err(ClientError::Server(message)),
+            Ok(_) => Err(ClientError::BadReply("unexpected message type".into())),
+            Err(e) => Err(ClientError::BadReply(e.to_string())),
+        }
     }
 }
 
@@ -910,7 +1293,7 @@ mod tests {
                 workers: 2,
                 policy: ExecutionPolicy::ShortCircuit,
                 max_batch: 2, // force chunking: 5 sessions → 3 chunks
-                batch_deadline: None,
+                ..ServerConfig::default()
             },
         );
         let client = srv.client();
@@ -1174,6 +1557,299 @@ mod tests {
             other => panic!("expected error reply, got {other:?}"),
         }
         assert_eq!(srv.stats().protocol_errors, 1);
+        srv.shutdown();
+    }
+
+    fn replay_session(user: &crate::scenario::UserContext, seed: u64) -> SessionData {
+        use magshield_voice::attacks::AttackKind;
+        use magshield_voice::devices::table_iv_catalog;
+        use magshield_voice::profile::SpeakerProfile;
+        let attacker = SpeakerProfile::sample(7, &SimRng::from_seed(1));
+        let dev = table_iv_catalog()[0].clone();
+        ScenarioBuilder::machine_attack(user, AttackKind::Replay, dev, attacker)
+            .at_distance(0.05)
+            .capture(&SimRng::from_seed(seed))
+    }
+
+    #[test]
+    fn stream_over_the_wire_matches_one_shot() {
+        use crate::stream::chunk_session;
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn_with_config(
+            system.with_fresh_obs(),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(570));
+        let handle = client
+            .open_stream(
+                &StreamOpenInfo::for_session(&session),
+                StreamConfig::default(),
+            )
+            .expect("stream opens");
+        for chunk in chunk_session(&session, 9600) {
+            let (kind, verdict) = handle.send_chunk(&chunk).expect("chunk reply");
+            assert_eq!(kind, StreamVerdictKind::Pending);
+            assert!(verdict.is_none());
+        }
+        let streamed = handle.close().expect("final verdict");
+        let one_shot = system.verify_with_policy(&session, ServerConfig::default().policy);
+        assert_eq!(streamed.accepted(), one_shot.accepted());
+        assert_eq!(streamed.decision, one_shot.decision);
+        assert_eq!(streamed.generation, one_shot.generation);
+        // Terminal bookkeeping: the stream left the table, its age fed
+        // the streaming-SLO series, and it counted as processed work.
+        assert_eq!(srv.metrics().gauge("server.stream.open").get(), 0);
+        let snap = srv.metrics().snapshot();
+        assert_eq!(
+            snap.histograms["server.stream.first_verdict.seconds"].count,
+            1
+        );
+        assert_eq!(srv.stats().processed, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn stream_early_rejects_replay_then_refuses_chunks() {
+        use crate::stream::chunk_session;
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn_with_config(
+            system.with_fresh_obs(),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let client = srv.client();
+        let session = replay_session(user, 571);
+        let chunks = chunk_session(&session, 4800);
+        let handle = client
+            .open_stream(
+                &StreamOpenInfo::for_session(&session),
+                StreamConfig::default(),
+            )
+            .expect("stream opens");
+        let mut rejected_at = None;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let (kind, verdict) = handle.send_chunk(chunk).expect("chunk reply");
+            if kind == StreamVerdictKind::EarlyReject {
+                assert!(!verdict.expect("terminal carries a verdict").accepted());
+                rejected_at = Some(i);
+                break;
+            }
+            assert_eq!(kind, StreamVerdictKind::Pending);
+        }
+        let at = rejected_at.expect("replay rejected mid-stream");
+        assert!(
+            at + 1 < chunks.len(),
+            "early reject fired before the last chunk ({at} of {})",
+            chunks.len()
+        );
+        // The terminal verdict retired the server-side stream: further
+        // chunks are protocol errors, not silent re-verification.
+        match handle.send_chunk(&chunks[at + 1]) {
+            Err(ClientError::Server(m)) => assert!(m.contains("unknown stream id"), "got: {m}"),
+            other => panic!("expected unknown-stream error, got {other:?}"),
+        }
+        assert_eq!(srv.metrics().gauge("server.stream.open").get(), 0);
+        assert_eq!(srv.stats().protocol_errors, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn unknown_stream_ids_and_duplicate_opens_are_protocol_errors() {
+        let (srv, user) = isolated_server();
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(572));
+        let info = StreamOpenInfo::for_session(&session);
+        let chunk = SessionChunk {
+            audio: vec![0.0; 64],
+            ..SessionChunk::default()
+        };
+        // Chunk and close against an id nobody opened.
+        for frame in [
+            protocol::encode_stream_chunk(1, 9999, &chunk),
+            protocol::encode_stream_close(2, 9999),
+        ] {
+            let raw = client.send_raw(frame).expect("reply");
+            match decode_frame(&raw) {
+                Ok(Message::Error { message, .. }) => {
+                    assert!(message.contains("unknown stream id"), "got: {message}")
+                }
+                other => panic!("expected error reply, got {other:?}"),
+            }
+        }
+        // Opening the same client-chosen id twice is refused; the first
+        // open stays serviceable.
+        let raw = client
+            .send_raw(protocol::encode_stream_open(
+                3,
+                77,
+                &info,
+                StreamConfig::default(),
+            ))
+            .expect("reply");
+        assert!(matches!(
+            decode_frame(&raw),
+            Ok(Message::StreamVerdict {
+                kind: StreamVerdictKind::Pending,
+                ..
+            })
+        ));
+        let raw = client
+            .send_raw(protocol::encode_stream_open(
+                4,
+                77,
+                &info,
+                StreamConfig::default(),
+            ))
+            .expect("reply");
+        match decode_frame(&raw) {
+            Ok(Message::Error { message, .. }) => {
+                assert!(message.contains("already open"), "got: {message}")
+            }
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        let raw = client
+            .send_raw(protocol::encode_stream_chunk(5, 77, &chunk))
+            .expect("reply");
+        assert!(matches!(
+            decode_frame(&raw),
+            Ok(Message::StreamVerdict {
+                kind: StreamVerdictKind::Pending,
+                ..
+            })
+        ));
+        assert_eq!(srv.stats().protocol_errors, 3);
+        assert_eq!(srv.metrics().gauge("server.stream.open").get(), 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn interleaved_streams_keep_independent_state() {
+        use crate::stream::chunk_session;
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn_with_config(
+            system.with_fresh_obs(),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let client = srv.client();
+        let genuine = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(573));
+        let replay = replay_session(user, 574);
+        let genuine_chunks = chunk_session(&genuine, 4800);
+        let replay_chunks = chunk_session(&replay, 4800);
+        let g = client
+            .open_stream(
+                &StreamOpenInfo::for_session(&genuine),
+                StreamConfig::default(),
+            )
+            .expect("genuine stream opens");
+        let r = client
+            .open_stream(
+                &StreamOpenInfo::for_session(&replay),
+                StreamConfig::default(),
+            )
+            .expect("replay stream opens");
+        assert_ne!(g.stream_id(), r.stream_id());
+        assert_eq!(srv.metrics().gauge("server.stream.open").get(), 2);
+        // Alternate chunks between the two streams: the replay must
+        // early-reject on its own evidence without perturbing the
+        // genuine stream's state.
+        let mut replay_rejected = false;
+        let mut ri = 0;
+        for chunk in &genuine_chunks {
+            let (kind, _) = g.send_chunk(chunk).expect("genuine chunk");
+            assert_eq!(kind, StreamVerdictKind::Pending);
+            if !replay_rejected && ri < replay_chunks.len() {
+                let (kind, verdict) = r.send_chunk(&replay_chunks[ri]).expect("replay chunk");
+                ri += 1;
+                if kind == StreamVerdictKind::EarlyReject {
+                    assert!(!verdict.expect("terminal verdict").accepted());
+                    replay_rejected = true;
+                }
+            }
+        }
+        assert!(replay_rejected, "replay stream early-rejected");
+        let streamed = g.close().expect("genuine final verdict");
+        let one_shot = system.verify_with_policy(&genuine, ServerConfig::default().policy);
+        assert_eq!(streamed.accepted(), one_shot.accepted());
+        assert_eq!(streamed.decision, one_shot.decision);
+        assert_eq!(streamed.generation, one_shot.generation);
+        assert_eq!(srv.metrics().gauge("server.stream.open").get(), 0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn stream_sample_budget_kills_runaway_streams() {
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn_with_config(
+            system.with_fresh_obs(),
+            ServerConfig {
+                workers: 1,
+                max_stream_samples: 1000,
+                ..ServerConfig::default()
+            },
+        );
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(575));
+        let handle = client
+            .open_stream(
+                &StreamOpenInfo::for_session(&session),
+                StreamConfig::default(),
+            )
+            .expect("stream opens");
+        let oversized = SessionChunk {
+            audio: vec![0.0; 2000],
+            ..SessionChunk::default()
+        };
+        match handle.send_chunk(&oversized) {
+            Err(ClientError::Server(m)) => assert!(m.contains("sample budget"), "got: {m}"),
+            other => panic!("expected sample-budget error, got {other:?}"),
+        }
+        // The breach killed the stream, not just the chunk.
+        match handle.send_chunk(&SessionChunk::default()) {
+            Err(ClientError::Server(m)) => assert!(m.contains("unknown stream id"), "got: {m}"),
+            other => panic!("expected unknown-stream error, got {other:?}"),
+        }
+        assert_eq!(srv.metrics().gauge("server.stream.open").get(), 0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn stream_open_cap_refuses_excess_streams() {
+        let (system, user) = crate::test_support::shared_tiny_system();
+        let srv = VerificationServer::spawn_with_config(
+            system.with_fresh_obs(),
+            ServerConfig {
+                workers: 1,
+                max_open_streams: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let client = srv.client();
+        let session = ScenarioBuilder::genuine(user).capture(&SimRng::from_seed(576));
+        let info = StreamOpenInfo::for_session(&session);
+        let first = client
+            .open_stream(&info, StreamConfig::default())
+            .expect("first stream opens");
+        match client.open_stream(&info, StreamConfig::default()) {
+            Err(ClientError::Server(m)) => assert!(m.contains("too many open streams"), "got: {m}"),
+            Err(other) => panic!("expected open-cap error, got {other:?}"),
+            Ok(_) => panic!("open past the cap must be refused"),
+        }
+        // Closing the first frees the slot.
+        first.close().expect("final verdict");
+        client
+            .open_stream(&info, StreamConfig::default())
+            .expect("slot freed after close")
+            .close()
+            .expect("final verdict");
         srv.shutdown();
     }
 }

@@ -6,8 +6,10 @@
 //! samples) serializes without intermediate allocations or text overhead.
 
 use crate::batch::{BatchOutcome, ShedReason};
+use crate::cascade::ExecutionPolicy;
 use crate::server::ServerStatsSnapshot;
 use crate::session::SessionData;
+use crate::stream::{SessionChunk, StreamConfig, StreamOpenInfo};
 use crate::verdict::{
     Component, ComponentResult, Decision, DefenseVerdict, SkippedStage, StageOutcome,
 };
@@ -18,7 +20,9 @@ use magshield_simkit::vec3::Vec3;
 
 /// Frame magic.
 const MAGIC: u16 = 0x4D53; // "MS"
-/// Protocol version. v2 added the `Sld` component tag, per-stage
+/// Protocol version — the single source of truth for what this build
+/// speaks (the frame header, every encoder and the decoder all read it
+/// from here). v2 added the `Sld` component tag, per-stage
 /// outcomes (ran vs short-circuited) and the invalid-session reason to
 /// verify responses. v3 added batch verification
 /// ([`Message::BatchRequest`] / [`Message::BatchResponse`]) with
@@ -30,7 +34,11 @@ const MAGIC: u16 = 0x4D53; // "MS"
 /// health ([`Message::HealthRequest`] / [`Message::HealthResponse`]),
 /// and exemplars inside every histogram snapshot — superseding the
 /// scalar `StatsRequest` view, which remains served for old tooling.
-const VERSION: u8 = 5;
+/// v6 added streaming continuous verification: chunk-fed sessions over
+/// [`Message::StreamOpen`] / [`Message::StreamChunk`] /
+/// [`Message::StreamVerdict`] / [`Message::StreamClose`], with
+/// mid-stream early-reject verdicts.
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Message type tags.
 const T_VERIFY_REQUEST: u8 = 1;
@@ -48,6 +56,10 @@ const T_METRICS_REQUEST: u8 = 12;
 const T_METRICS_RESPONSE: u8 = 13;
 const T_HEALTH_REQUEST: u8 = 14;
 const T_HEALTH_RESPONSE: u8 = 15;
+const T_STREAM_OPEN: u8 = 16;
+const T_STREAM_CHUNK: u8 = 17;
+const T_STREAM_VERDICT: u8 = 18;
+const T_STREAM_CLOSE: u8 = 19;
 
 /// Upper bound on vector lengths (guards against hostile frames).
 const MAX_LEN: usize = 16 << 20;
@@ -74,6 +86,11 @@ const MAX_WIRE_EXEMPLARS: usize = 64;
 
 /// Upper bound on SLO statuses / notes in one health frame.
 const MAX_HEALTH_ENTRIES: usize = 1024;
+
+/// Upper bound on samples per vector in one stream chunk (guards
+/// against hostile v6 frames; real chunks are tens of milliseconds —
+/// a million samples is already ~20 s of 48 kHz audio in *one* chunk).
+const MAX_CHUNK_SAMPLES: usize = 1 << 20;
 
 /// A decoded protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +211,73 @@ pub enum Message {
         /// Overall state, per-spec statuses, guard notes.
         report: HealthReport,
     },
+    /// Client → server: open a chunk-fed verification stream (added in
+    /// v6). The server pins the currently served model generation for
+    /// the stream's lifetime.
+    StreamOpen {
+        /// Request correlation id.
+        request_id: u64,
+        /// Client-chosen stream id carried by every subsequent chunk and
+        /// close frame. Opening an id that is already open is a protocol
+        /// error.
+        stream_id: u64,
+        /// Stream-constant capture metadata (rates, geometry, claimed
+        /// speaker).
+        info: StreamOpenInfo,
+        /// Per-stream policy knobs (re-verification cadence, execution
+        /// policy).
+        stream: StreamConfig,
+    },
+    /// Client → server: one chunk of sensor data for an open stream
+    /// (added in v6).
+    StreamChunk {
+        /// Request correlation id.
+        request_id: u64,
+        /// The stream the chunk belongs to.
+        stream_id: u64,
+        /// Interleaved sensor samples since the previous chunk.
+        chunk: SessionChunk,
+    },
+    /// Server → client: the stream's state after an open, chunk or
+    /// close frame (added in v6). [`StreamVerdictKind::Pending`] means
+    /// keep streaming; every other kind is terminal and carries the
+    /// verdict.
+    StreamVerdict {
+        /// Request correlation id.
+        request_id: u64,
+        /// The stream this verdict describes.
+        stream_id: u64,
+        /// Pending, early-reject, re-verification reject, or final.
+        kind: StreamVerdictKind,
+        /// Chunks the server has ingested for this stream.
+        chunks: u32,
+        /// The verdict (present for every terminal kind).
+        verdict: Option<DefenseVerdict>,
+    },
+    /// Client → server: close a stream, requesting the final verdict
+    /// over the full accumulated session (added in v6).
+    StreamClose {
+        /// Request correlation id.
+        request_id: u64,
+        /// The stream to finalize.
+        stream_id: u64,
+    },
+}
+
+/// What a [`Message::StreamVerdict`] reports (added in v6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamVerdictKind {
+    /// The frame was processed and the stream stays open; no verdict
+    /// yet.
+    Pending,
+    /// A stage's monotone bound condemned the stream mid-chunk; the
+    /// stream is terminated.
+    EarlyReject,
+    /// A re-verification pass rejected the accumulated prefix and the
+    /// stream was configured to terminate on it.
+    ReverifyReject,
+    /// The stream was closed and the full accumulated session verified.
+    Final,
 }
 
 impl Message {
@@ -214,7 +298,11 @@ impl Message {
             | Message::MetricsRequest { request_id }
             | Message::MetricsResponse { request_id, .. }
             | Message::HealthRequest { request_id }
-            | Message::HealthResponse { request_id, .. } => *request_id,
+            | Message::HealthResponse { request_id, .. }
+            | Message::StreamOpen { request_id, .. }
+            | Message::StreamChunk { request_id, .. }
+            | Message::StreamVerdict { request_id, .. }
+            | Message::StreamClose { request_id, .. } => *request_id,
         }
     }
 }
@@ -476,6 +564,122 @@ pub fn encode_health_response(request_id: u64, report: &HealthReport) -> Vec<u8>
     b.to_vec()
 }
 
+/// Execution-policy bytes inside a stream-open frame (protocol v6).
+const POLICY_FULL: u8 = 0;
+const POLICY_SHORT_CIRCUIT: u8 = 1;
+
+fn policy_tag(p: ExecutionPolicy) -> u8 {
+    match p {
+        ExecutionPolicy::FullEvaluation => POLICY_FULL,
+        ExecutionPolicy::ShortCircuit => POLICY_SHORT_CIRCUIT,
+    }
+}
+
+fn policy_from_tag(t: u8) -> Result<ExecutionPolicy, DecodeError> {
+    Ok(match t {
+        POLICY_FULL => ExecutionPolicy::FullEvaluation,
+        POLICY_SHORT_CIRCUIT => ExecutionPolicy::ShortCircuit,
+        other => return Err(DecodeError::BadType(other)),
+    })
+}
+
+/// Stream-verdict kind bytes (protocol v6).
+const STREAM_PENDING: u8 = 0;
+const STREAM_EARLY_REJECT: u8 = 1;
+const STREAM_REVERIFY_REJECT: u8 = 2;
+const STREAM_FINAL: u8 = 3;
+
+fn stream_kind_tag(k: StreamVerdictKind) -> u8 {
+    match k {
+        StreamVerdictKind::Pending => STREAM_PENDING,
+        StreamVerdictKind::EarlyReject => STREAM_EARLY_REJECT,
+        StreamVerdictKind::ReverifyReject => STREAM_REVERIFY_REJECT,
+        StreamVerdictKind::Final => STREAM_FINAL,
+    }
+}
+
+fn stream_kind_from_tag(t: u8) -> Result<StreamVerdictKind, DecodeError> {
+    Ok(match t {
+        STREAM_PENDING => StreamVerdictKind::Pending,
+        STREAM_EARLY_REJECT => StreamVerdictKind::EarlyReject,
+        STREAM_REVERIFY_REJECT => StreamVerdictKind::ReverifyReject,
+        STREAM_FINAL => StreamVerdictKind::Final,
+        other => return Err(DecodeError::BadType(other)),
+    })
+}
+
+/// Encodes a stream-open request (protocol v6).
+pub fn encode_stream_open(
+    request_id: u64,
+    stream_id: u64,
+    info: &StreamOpenInfo,
+    stream: StreamConfig,
+) -> Vec<u8> {
+    let mut b = header(T_STREAM_OPEN);
+    b.put_u64_le(request_id);
+    b.put_u64_le(stream_id);
+    b.put_u32_le(info.claimed_speaker);
+    b.put_f64_le(info.audio_rate);
+    b.put_f64_le(info.imu_rate);
+    b.put_f64_le(info.pilot_hz);
+    b.put_f64_le(info.sweep_start_s);
+    b.put_f64_le(info.earth_reference.x);
+    b.put_f64_le(info.earth_reference.y);
+    b.put_f64_le(info.earth_reference.z);
+    b.put_u8(info.dual_mic as u8);
+    b.put_u32_le(stream.reverify_every_chunks);
+    b.put_u8(stream.terminate_on_reverify as u8);
+    b.put_u8(policy_tag(stream.policy));
+    b.to_vec()
+}
+
+/// Encodes a stream chunk (protocol v6). Every sample vector is
+/// length-prefixed and bounded by `MAX_CHUNK_SAMPLES` on decode.
+pub fn encode_stream_chunk(request_id: u64, stream_id: u64, chunk: &SessionChunk) -> Vec<u8> {
+    let mut b = header(T_STREAM_CHUNK);
+    b.put_u64_le(request_id);
+    b.put_u64_le(stream_id);
+    put_f64s(&mut b, &chunk.audio);
+    put_f64s(&mut b, &chunk.audio2);
+    put_vec3s(&mut b, &chunk.mag);
+    put_vec3s(&mut b, &chunk.accel);
+    put_vec3s(&mut b, &chunk.gyro);
+    b.to_vec()
+}
+
+/// Encodes a stream-verdict response (protocol v6): kind byte, ingested
+/// chunk count, then an optional verdict (same layout as a verify
+/// response body).
+pub fn encode_stream_verdict(
+    request_id: u64,
+    stream_id: u64,
+    kind: StreamVerdictKind,
+    chunks: u32,
+    verdict: Option<&DefenseVerdict>,
+) -> Vec<u8> {
+    let mut b = header(T_STREAM_VERDICT);
+    b.put_u64_le(request_id);
+    b.put_u64_le(stream_id);
+    b.put_u8(stream_kind_tag(kind));
+    b.put_u32_le(chunks);
+    match verdict {
+        Some(v) => {
+            b.put_u8(1);
+            put_verdict(&mut b, v);
+        }
+        None => b.put_u8(0),
+    }
+    b.to_vec()
+}
+
+/// Encodes a stream-close request (protocol v6).
+pub fn encode_stream_close(request_id: u64, stream_id: u64) -> Vec<u8> {
+    let mut b = header(T_STREAM_CLOSE);
+    b.put_u64_le(request_id);
+    b.put_u64_le(stream_id);
+    b.to_vec()
+}
+
 /// Decodes any frame.
 pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
     let mut buf = frame;
@@ -486,7 +690,7 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let version = buf.get_u8();
-    if version != VERSION {
+    if version != PROTOCOL_VERSION {
         return Err(DecodeError::BadVersion(version));
     }
     let ty = buf.get_u8();
@@ -729,6 +933,111 @@ pub fn decode_frame(frame: &[u8]) -> Result<Message, DecodeError> {
                 },
             })
         }
+        T_STREAM_OPEN => {
+            let request_id = get_u64(&mut buf)?;
+            let stream_id = get_u64(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let claimed_speaker = buf.get_u32_le();
+            let audio_rate = get_f64(&mut buf)?;
+            let imu_rate = get_f64(&mut buf)?;
+            let pilot_hz = get_f64(&mut buf)?;
+            let sweep_start_s = get_f64(&mut buf)?;
+            let earth_reference =
+                Vec3::new(get_f64(&mut buf)?, get_f64(&mut buf)?, get_f64(&mut buf)?);
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let dual_mic = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                other => return Err(DecodeError::BadType(other)),
+            };
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let reverify_every_chunks = buf.get_u32_le();
+            if buf.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let terminate_on_reverify = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                other => return Err(DecodeError::BadType(other)),
+            };
+            let policy = policy_from_tag(buf.get_u8())?;
+            Ok(Message::StreamOpen {
+                request_id,
+                stream_id,
+                info: StreamOpenInfo {
+                    claimed_speaker,
+                    audio_rate,
+                    imu_rate,
+                    pilot_hz,
+                    sweep_start_s,
+                    earth_reference,
+                    dual_mic,
+                },
+                stream: StreamConfig {
+                    reverify_every_chunks,
+                    terminate_on_reverify,
+                    policy,
+                },
+            })
+        }
+        T_STREAM_CHUNK => {
+            let request_id = get_u64(&mut buf)?;
+            let stream_id = get_u64(&mut buf)?;
+            let audio = get_f64s_capped(&mut buf, MAX_CHUNK_SAMPLES)?;
+            let audio2 = get_f64s_capped(&mut buf, MAX_CHUNK_SAMPLES)?;
+            let mag = get_vec3s_capped(&mut buf, MAX_CHUNK_SAMPLES)?;
+            let accel = get_vec3s_capped(&mut buf, MAX_CHUNK_SAMPLES)?;
+            let gyro = get_vec3s_capped(&mut buf, MAX_CHUNK_SAMPLES)?;
+            Ok(Message::StreamChunk {
+                request_id,
+                stream_id,
+                chunk: SessionChunk {
+                    audio,
+                    audio2,
+                    mag,
+                    accel,
+                    gyro,
+                },
+            })
+        }
+        T_STREAM_VERDICT => {
+            let request_id = get_u64(&mut buf)?;
+            let stream_id = get_u64(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let kind = stream_kind_from_tag(buf.get_u8())?;
+            if buf.remaining() < 5 {
+                return Err(DecodeError::Truncated);
+            }
+            let chunks = buf.get_u32_le();
+            let verdict = match buf.get_u8() {
+                0 => None,
+                1 => Some(get_verdict(&mut buf)?),
+                other => return Err(DecodeError::BadType(other)),
+            };
+            Ok(Message::StreamVerdict {
+                request_id,
+                stream_id,
+                kind,
+                chunks,
+                verdict,
+            })
+        }
+        T_STREAM_CLOSE => {
+            let request_id = get_u64(&mut buf)?;
+            let stream_id = get_u64(&mut buf)?;
+            Ok(Message::StreamClose {
+                request_id,
+                stream_id,
+            })
+        }
         other => Err(DecodeError::BadType(other)),
     }
 }
@@ -748,7 +1057,7 @@ fn health_state_from_wire(code: u8) -> Result<HealthState, DecodeError> {
 fn header(ty: u8) -> BytesMut {
     let mut b = BytesMut::with_capacity(64);
     b.put_u16_le(MAGIC);
-    b.put_u8(VERSION);
+    b.put_u8(PROTOCOL_VERSION);
     b.put_u8(ty);
     b
 }
@@ -1031,6 +1340,41 @@ fn get_vec3s(buf: &mut &[u8]) -> Result<Vec<Vec3>, DecodeError> {
         .collect())
 }
 
+/// Like [`get_f64s`] but with a tighter declared-length cap, checked
+/// *before* any allocation or read — a hostile count is rejected as
+/// [`DecodeError::BadLength`] even when the frame is otherwise short.
+fn get_f64s_capped(buf: &mut &[u8], cap: usize) -> Result<Vec<f64>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if n > cap {
+        return Err(DecodeError::BadLength);
+    }
+    if buf.remaining() < n * 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+}
+
+/// Like [`get_vec3s`] but with a tighter declared-length cap (see
+/// [`get_f64s_capped`]).
+fn get_vec3s_capped(buf: &mut &[u8], cap: usize) -> Result<Vec<Vec3>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if n > cap {
+        return Err(DecodeError::BadLength);
+    }
+    if buf.remaining() < n * 24 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((0..n)
+        .map(|_| Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le()))
+        .collect())
+}
+
 fn get_session(buf: &mut &[u8]) -> Result<SessionData, DecodeError> {
     if buf.remaining() < 4 {
         return Err(DecodeError::Truncated);
@@ -1209,7 +1553,7 @@ mod tests {
     fn response_rejects_bad_outcome_tag() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_VERIFY_RESPONSE);
         b.put_u64_le(1); // request id
         b.put_u8(0); // reject
@@ -1310,7 +1654,7 @@ mod tests {
     fn batch_request_rejects_hostile_session_count() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_BATCH_REQUEST);
         b.put_u64_le(1); // request id
         b.put_u32_le((MAX_BATCH_SESSIONS + 1) as u32); // over the cap
@@ -1321,7 +1665,7 @@ mod tests {
     fn batch_response_rejects_bad_shed_tag() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_BATCH_RESPONSE);
         b.put_u64_le(1); // request id
         b.put_u32_le(1); // one outcome
@@ -1381,7 +1725,7 @@ mod tests {
     fn enroll_rejects_hostile_utterance_count() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_ENROLL);
         b.put_u64_le(1); // request id
         b.put_u32_le(9); // speaker
@@ -1496,7 +1840,7 @@ mod tests {
     fn stats_response_rejects_hostile_bucket_count() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_STATS_RESPONSE);
         b.put_u64_le(1); // request id
         b.put_u64_le(0); // processed
@@ -1546,7 +1890,7 @@ mod tests {
     fn rejects_hostile_length() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_ERROR);
         b.put_u64_le(1);
         b.put_u32_le(u32::MAX); // absurd string length
@@ -1557,7 +1901,7 @@ mod tests {
     fn rejects_unknown_type() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(200);
         assert_eq!(decode_frame(&b), Err(DecodeError::BadType(200)));
     }
@@ -1636,7 +1980,7 @@ mod tests {
     fn metrics_response_rejects_hostile_series_count() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_METRICS_RESPONSE);
         b.put_u64_le(1); // request id
         b.put_u32_le((MAX_METRIC_SERIES + 1) as u32); // absurd counter count
@@ -1647,7 +1991,7 @@ mod tests {
     fn histogram_rejects_hostile_exemplar_count() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_METRICS_RESPONSE);
         b.put_u64_le(1); // request id
         b.put_u32_le(0); // no counters
@@ -1721,18 +2065,223 @@ mod tests {
     fn health_response_rejects_unknown_state_byte() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_HEALTH_RESPONSE);
         b.put_u64_le(1); // request id
         b.put_u8(9); // no such health state
         assert_eq!(decode_frame(&b), Err(DecodeError::BadType(9)));
     }
 
+    // ---------- streaming (protocol v6) ----------
+
+    fn sample_open_info() -> StreamOpenInfo {
+        StreamOpenInfo {
+            claimed_speaker: 7,
+            audio_rate: 48_000.0,
+            imu_rate: 100.0,
+            pilot_hz: 18_500.0,
+            sweep_start_s: 1.0,
+            earth_reference: Vec3::new(0.0, 28.0, -39.0),
+            dual_mic: true,
+        }
+    }
+
+    fn sample_chunk() -> SessionChunk {
+        SessionChunk {
+            audio: vec![0.25, -0.5, 0.125],
+            audio2: vec![0.1, 0.0],
+            mag: vec![Vec3::new(1.0, 2.0, 3.0)],
+            accel: vec![Vec3::new(0.1, 0.2, 0.3)],
+            gyro: vec![],
+        }
+    }
+
+    #[test]
+    fn stream_open_round_trip() {
+        let info = sample_open_info();
+        let stream = StreamConfig {
+            reverify_every_chunks: 8,
+            terminate_on_reverify: true,
+            policy: ExecutionPolicy::ShortCircuit,
+        };
+        let frame = encode_stream_open(90, 5, &info, stream);
+        match decode_frame(&frame).unwrap() {
+            Message::StreamOpen {
+                request_id,
+                stream_id,
+                info: i,
+                stream: s,
+            } => {
+                assert_eq!(request_id, 90);
+                assert_eq!(stream_id, 5);
+                assert_eq!(i, info);
+                assert_eq!(s, stream);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_chunk_round_trip() {
+        let chunk = sample_chunk();
+        let frame = encode_stream_chunk(91, 5, &chunk);
+        match decode_frame(&frame).unwrap() {
+            Message::StreamChunk {
+                request_id,
+                stream_id,
+                chunk: c,
+            } => {
+                assert_eq!(request_id, 91);
+                assert_eq!(stream_id, 5);
+                assert_eq!(c, chunk);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        // An all-empty chunk survives too (pure keep-alive).
+        let frame = encode_stream_chunk(92, 5, &SessionChunk::default());
+        match decode_frame(&frame).unwrap() {
+            Message::StreamChunk { chunk, .. } => assert!(chunk.is_empty()),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_verdict_round_trips_every_kind() {
+        let verdict = DefenseVerdict::from_stages(vec![
+            StageOutcome::Ran(ComponentResult {
+                component: Component::Loudspeaker,
+                attack_score: 3.4,
+                detail: "mid-stream deviation".into(),
+            }),
+            StageOutcome::Skipped(SkippedStage {
+                component: Component::SpeakerIdentity,
+                cause: Component::Loudspeaker,
+            }),
+        ])
+        .with_generation(4);
+        for (kind, v) in [
+            (StreamVerdictKind::Pending, None),
+            (StreamVerdictKind::EarlyReject, Some(&verdict)),
+            (StreamVerdictKind::ReverifyReject, Some(&verdict)),
+            (StreamVerdictKind::Final, Some(&verdict)),
+        ] {
+            let frame = encode_stream_verdict(93, 6, kind, 11, v);
+            match decode_frame(&frame).unwrap() {
+                Message::StreamVerdict {
+                    request_id,
+                    stream_id,
+                    kind: k,
+                    chunks,
+                    verdict: dv,
+                } => {
+                    assert_eq!(request_id, 93);
+                    assert_eq!(stream_id, 6);
+                    assert_eq!(k, kind);
+                    assert_eq!(chunks, 11);
+                    assert_eq!(dv.as_ref(), v);
+                }
+                other => panic!("wrong message: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_close_round_trip() {
+        let frame = encode_stream_close(94, 6);
+        assert_eq!(
+            decode_frame(&frame).unwrap(),
+            Message::StreamClose {
+                request_id: 94,
+                stream_id: 6
+            }
+        );
+    }
+
+    #[test]
+    fn v6_stream_frames_reject_truncation_everywhere() {
+        let verdict = DefenseVerdict::from_results(vec![ComponentResult {
+            component: Component::Loudspeaker,
+            attack_score: 3.4,
+            detail: "x".into(),
+        }])
+        .with_generation(2);
+        let frames = [
+            encode_stream_open(1, 2, &sample_open_info(), StreamConfig::default()),
+            encode_stream_chunk(3, 2, &sample_chunk()),
+            encode_stream_verdict(4, 2, StreamVerdictKind::EarlyReject, 3, Some(&verdict)),
+            encode_stream_verdict(5, 2, StreamVerdictKind::Pending, 3, None),
+            encode_stream_close(6, 2),
+        ];
+        for frame in frames {
+            for cut in 0..frame.len() {
+                let r = decode_frame(&frame[..cut]);
+                assert!(r.is_err(), "prefix of {cut} bytes decoded: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_chunk_rejects_hostile_sample_counts() {
+        // An oversized declared audio count is refused before any
+        // allocation, even though the frame itself is tiny.
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(PROTOCOL_VERSION);
+        b.put_u8(T_STREAM_CHUNK);
+        b.put_u64_le(1); // request id
+        b.put_u64_le(2); // stream id
+        b.put_u32_le((MAX_CHUNK_SAMPLES + 1) as u32); // absurd audio count
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
+
+        // Same for the IMU vectors deeper in the frame.
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(PROTOCOL_VERSION);
+        b.put_u8(T_STREAM_CHUNK);
+        b.put_u64_le(1);
+        b.put_u64_le(2);
+        b.put_u32_le(0); // no audio
+        b.put_u32_le(0); // no audio2
+        b.put_u32_le(u32::MAX); // absurd magnetometer count
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn stream_verdict_rejects_bad_kind_tag() {
+        let mut b = BytesMut::new();
+        b.put_u16_le(MAGIC);
+        b.put_u8(PROTOCOL_VERSION);
+        b.put_u8(T_STREAM_VERDICT);
+        b.put_u64_le(1); // request id
+        b.put_u64_le(2); // stream id
+        b.put_u8(9); // no such kind
+        assert_eq!(decode_frame(&b), Err(DecodeError::BadType(9)));
+    }
+
+    #[test]
+    fn stream_open_rejects_bad_flag_and_policy_bytes() {
+        let good = encode_stream_open(1, 2, &sample_open_info(), StreamConfig::default());
+        // dual_mic byte lives right after the 8 header/id bytes + 4 + 7×8.
+        let dual_mic_at = 4 + 8 + 8 + 4 + 7 * 8;
+        let mut bad = good.clone();
+        bad[dual_mic_at] = 7;
+        assert_eq!(decode_frame(&bad), Err(DecodeError::BadType(7)));
+        // The policy byte is the last byte of the frame.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() = 9;
+        assert_eq!(decode_frame(&bad), Err(DecodeError::BadType(9)));
+        // The terminate_on_reverify flag sits just before it.
+        let n = good.len();
+        let mut bad = good;
+        bad[n - 2] = 3;
+        assert_eq!(decode_frame(&bad), Err(DecodeError::BadType(3)));
+    }
+
     #[test]
     fn health_response_rejects_hostile_status_count() {
         let mut b = BytesMut::new();
         b.put_u16_le(MAGIC);
-        b.put_u8(VERSION);
+        b.put_u8(PROTOCOL_VERSION);
         b.put_u8(T_HEALTH_RESPONSE);
         b.put_u64_le(1); // request id
         b.put_u8(0); // healthy

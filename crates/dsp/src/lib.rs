@@ -49,5 +49,6 @@ pub mod window;
 
 pub use complex::Complex;
 pub use frame::{FrameMatrix, FrameSource, FrameSourceMut, ScratchPad};
-pub use mel::MfccExtractor;
+pub use mel::{MfccExtractor, StreamingMfcc};
 pub use stft::Spectrogram;
+pub use vad::StreamingVad;

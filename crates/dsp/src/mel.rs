@@ -356,6 +356,137 @@ impl MfccExtractor {
         append_deltas_into(&base, &mut out);
         out
     }
+
+    /// Computes one MFCC row from a single already pre-emphasized frame of
+    /// exactly `frame_len` samples, appending it to `out`.
+    ///
+    /// Runs the same operations in the same order as the frame loop inside
+    /// [`Self::extract_into`], so a caller that frames the emphasized signal
+    /// itself (e.g. [`StreamingMfcc`]) produces bit-identical rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != self.frame_len`.
+    pub fn emphasized_frame_into(
+        &self,
+        frame: &[f64],
+        pad: &mut ScratchPad,
+        out: &mut FrameMatrix,
+    ) {
+        assert_eq!(frame.len(), self.frame_len, "frame length mismatch");
+        let nfft = next_pow2(self.frame_len);
+        let half = nfft / 2 + 1;
+        pad.fft.resize(nfft, crate::complex::Complex::ZERO);
+        for ((slot, &x), &w) in pad.fft.iter_mut().zip(frame).zip(&self.window) {
+            *slot = crate::complex::Complex::new(x * w, 0.0);
+        }
+        for slot in pad.fft[self.frame_len..].iter_mut() {
+            *slot = crate::complex::Complex::ZERO;
+        }
+        self.fft_plan.forward(&mut pad.fft);
+        pad.power.clear();
+        pad.power.extend(
+            pad.fft[..half]
+                .iter()
+                .map(|z| z.norm_sqr() / self.frame_len as f64),
+        );
+        self.filterbank.apply_into(&pad.power, &mut pad.mel);
+        for e in pad.mel.iter_mut() {
+            *e = (e.max(1e-12)).ln();
+        }
+        let row = out.alloc_row();
+        for (k, slot) in row.iter_mut().enumerate() {
+            let basis = &self.dct_cos[k * self.num_filters..(k + 1) * self.num_filters];
+            let acc: f64 = pad.mel.iter().zip(basis).map(|(x, c)| x * c).sum();
+            *slot = self.dct_scale[k] * acc;
+        }
+    }
+}
+
+/// Chunk-fed MFCC extraction that carries pre-emphasis and frame-boundary
+/// state across chunk seams.
+///
+/// Feeding a signal in arbitrary chunks yields a base-MFCC matrix that is
+/// bit-identical to [`MfccExtractor::extract_into`] over the concatenated
+/// signal: the pre-emphasis filter carries its previous raw sample across
+/// seams (the one-shot path starts from an implicit `0.0`), and emphasized
+/// samples are buffered until a full `frame_len` window is available, so
+/// frame boundaries land at exactly the same absolute sample offsets.
+///
+/// Base rows only — delta appending and cepstral mean normalization depend
+/// on the whole utterance and live downstream (`magshield-asv`).
+#[derive(Debug, Clone)]
+pub struct StreamingMfcc {
+    extractor: MfccExtractor,
+    /// Previous raw sample for the pre-emphasis difference across seams;
+    /// starts at `0.0` exactly like the one-shot path's implicit
+    /// predecessor.
+    prev: f64,
+    /// Emphasized samples not yet consumed by a completed frame hop.
+    pending: Vec<f64>,
+    pad: ScratchPad,
+    rows: FrameMatrix,
+}
+
+impl StreamingMfcc {
+    /// Opens a streaming extractor around `extractor`'s configuration.
+    pub fn new(extractor: MfccExtractor) -> Self {
+        let rows = FrameMatrix::new(extractor.num_coeffs);
+        Self {
+            extractor,
+            prev: 0.0,
+            pending: Vec::new(),
+            pad: ScratchPad::new(),
+            rows,
+        }
+    }
+
+    /// The wrapped extractor configuration.
+    pub fn extractor(&self) -> &MfccExtractor {
+        &self.extractor
+    }
+
+    /// Ingests the next chunk of raw samples; returns the number of new
+    /// complete MFCC rows it produced.
+    pub fn push(&mut self, chunk: &[f64]) -> usize {
+        for &x in chunk {
+            self.pending
+                .push(x - self.extractor.pre_emphasis * self.prev);
+            self.prev = x;
+        }
+        let before = self.rows.rows();
+        let mut start = 0;
+        while start + self.extractor.frame_len <= self.pending.len() {
+            // Split the borrow: the frame slice lives in a local copy-free
+            // range of `pending`; `pad`/`rows` are disjoint fields.
+            let (extractor, pending, pad, rows) = (
+                &self.extractor,
+                &self.pending,
+                &mut self.pad,
+                &mut self.rows,
+            );
+            extractor.emphasized_frame_into(
+                &pending[start..start + extractor.frame_len],
+                pad,
+                rows,
+            );
+            start += self.extractor.hop;
+        }
+        // `start` is a multiple of `hop`, so dropping the consumed prefix
+        // keeps the next frame boundary at `pending[0]`.
+        self.pending.drain(..start);
+        self.rows.rows() - before
+    }
+
+    /// All base MFCC rows produced so far (prefix of the one-shot matrix).
+    pub fn frames(&self) -> &FrameMatrix {
+        &self.rows
+    }
+
+    /// Total raw-domain frames emitted so far.
+    pub fn rows(&self) -> usize {
+        self.rows.rows()
+    }
 }
 
 /// Appends two-frame-window delta features to each frame (reference layout).
@@ -428,6 +559,47 @@ pub fn cepstral_mean_normalize_flat(frames: &mut FrameMatrix) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_mfcc_bit_identical_across_chunkings() {
+        let fs = 16_000.0;
+        let sig: Vec<f64> = (0..8000)
+            .map(|i| {
+                (std::f64::consts::TAU * 300.0 * i as f64 / fs).sin()
+                    + 0.1 * ((i * 2654435761usize) % 997) as f64 / 997.0
+            })
+            .collect();
+        let ex = MfccExtractor::new(fs);
+        let oracle = ex.extract(&sig);
+        for chunk in [1usize, 3, 160, 400, 401, sig.len()] {
+            let mut sm = StreamingMfcc::new(ex.clone());
+            let mut produced = 0;
+            for c in sig.chunks(chunk) {
+                produced += sm.push(c);
+            }
+            assert_eq!(produced, oracle.rows(), "chunk {chunk}");
+            assert_eq!(
+                sm.frames().as_slice(),
+                oracle.as_slice(),
+                "chunk {chunk}: streaming rows diverged from one-shot"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_mfcc_rows_are_prefix_stable() {
+        // Rows already emitted never change as more audio arrives.
+        let fs = 16_000.0;
+        let sig: Vec<f64> = (0..6000)
+            .map(|i| (std::f64::consts::TAU * 440.0 * i as f64 / fs).sin())
+            .collect();
+        let ex = MfccExtractor::new(fs);
+        let mut sm = StreamingMfcc::new(ex.clone());
+        sm.push(&sig[..2000]);
+        let early = sm.frames().as_slice().to_vec();
+        sm.push(&sig[2000..]);
+        assert_eq!(&sm.frames().as_slice()[..early.len()], &early[..]);
+    }
 
     #[test]
     fn mel_scale_round_trip() {

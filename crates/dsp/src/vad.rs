@@ -159,6 +159,117 @@ pub fn trim_silence_into(
     }
 }
 
+/// Chunk-fed energy VAD that carries frame-boundary state across chunk
+/// seams.
+///
+/// Frame energies are accumulated incrementally: samples arriving mid-frame
+/// are buffered until the frame completes, so the energy sequence is
+/// bit-identical to [`detect`] run over the concatenated signal regardless
+/// of how the stream was chunked. The noise floor is a whole-utterance
+/// percentile in the one-shot path, so activity decisions are only final at
+/// [`StreamingVad::finalize`]; [`StreamingVad::snapshot`] recomputes the
+/// floor over the prefix seen so far for provisional mid-stream decisions.
+#[derive(Debug, Clone)]
+pub struct StreamingVad {
+    config: VadConfig,
+    frame_len: usize,
+    /// Samples of the current incomplete frame.
+    remainder: Vec<f64>,
+    /// Energies of completed frames, identical to the one-shot prefix.
+    energies: Vec<f64>,
+}
+
+impl StreamingVad {
+    /// Opens a chunk-fed VAD for a stream at `sample_rate`.
+    pub fn new(sample_rate: f64, config: VadConfig) -> Self {
+        Self {
+            config,
+            frame_len: ((sample_rate * config.frame_s).round() as usize).max(1),
+            remainder: Vec::new(),
+            energies: Vec::new(),
+        }
+    }
+
+    /// Frame length in samples.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Number of completed frames so far.
+    pub fn frames(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// Ingests the next chunk of samples.
+    pub fn push(&mut self, chunk: &[f64]) {
+        let mut rest = chunk;
+        if !self.remainder.is_empty() {
+            let need = self.frame_len - self.remainder.len();
+            let take = need.min(rest.len());
+            self.remainder.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.remainder.len() == self.frame_len {
+                let e =
+                    self.remainder.iter().map(|x| x * x).sum::<f64>() / self.remainder.len() as f64;
+                self.energies.push(e);
+                self.remainder.clear();
+            }
+        }
+        let mut frames = rest.chunks_exact(self.frame_len);
+        for f in &mut frames {
+            self.energies
+                .push(f.iter().map(|x| x * x).sum::<f64>() / f.len() as f64);
+        }
+        self.remainder.extend_from_slice(frames.remainder());
+    }
+
+    /// Provisional decisions over the prefix seen so far.
+    ///
+    /// The noise-floor percentile is computed over only the frames ingested
+    /// to date, so flags may differ from the eventual one-shot decisions;
+    /// use [`Self::finalize`] for the exact result.
+    pub fn snapshot(&self) -> VadResult {
+        self.decide(&self.energies)
+    }
+
+    /// Consumes the stream (flushing any trailing partial frame, exactly as
+    /// [`detect`]'s final short chunk) and returns the one-shot result.
+    pub fn finalize(mut self) -> VadResult {
+        if !self.remainder.is_empty() {
+            let e = self.remainder.iter().map(|x| x * x).sum::<f64>() / self.remainder.len() as f64;
+            self.energies.push(e);
+        }
+        self.decide(&self.energies)
+    }
+
+    fn decide(&self, energies: &[f64]) -> VadResult {
+        if energies.is_empty() {
+            return VadResult {
+                frame_len: self.frame_len,
+                active: Vec::new(),
+            };
+        }
+        let mut sorted = energies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let floor = sorted[sorted.len() / 10].max(1e-12);
+        let thresh = floor * 10f64.powf(self.config.threshold_db / 10.0);
+        let mut active: Vec<bool> = energies.iter().map(|&e| e > thresh).collect();
+        let mut hang = 0usize;
+        for a in active.iter_mut() {
+            if *a {
+                hang = self.config.hangover;
+            } else if hang > 0 {
+                *a = true;
+                hang -= 1;
+            }
+        }
+        VadResult {
+            frame_len: self.frame_len,
+            active,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +344,43 @@ mod tests {
         let vad = detect(&[], 8000.0, VadConfig::default());
         assert_eq!(vad.active.len(), 0);
         assert_eq!(vad.activity_ratio(), 0.0);
+    }
+
+    #[test]
+    fn streaming_vad_matches_one_shot_across_chunkings() {
+        let fs = 8000.0;
+        let sig = speech_like(fs);
+        let oracle = detect(&sig, fs, VadConfig::default());
+        for chunk in [1usize, 7, 160, 161, 4096, sig.len()] {
+            let mut sv = StreamingVad::new(fs, VadConfig::default());
+            for c in sig.chunks(chunk) {
+                sv.push(c);
+            }
+            let got = sv.finalize();
+            assert_eq!(got.frame_len, oracle.frame_len, "chunk {chunk}");
+            assert_eq!(got.active, oracle.active, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn streaming_vad_snapshot_is_prefix_exact_on_energies() {
+        // The snapshot over a prefix equals detect() on that prefix when the
+        // prefix is whole frames — the energy sequence is seam-independent.
+        let fs = 8000.0;
+        let sig = speech_like(fs);
+        let mut sv = StreamingVad::new(fs, VadConfig::default());
+        let cut = sv.frame_len() * 40;
+        sv.push(&sig[..cut]);
+        let snap = sv.snapshot();
+        let oracle = detect(&sig[..cut], fs, VadConfig::default());
+        assert_eq!(snap.active, oracle.active);
+    }
+
+    #[test]
+    fn streaming_vad_empty_finalize() {
+        let sv = StreamingVad::new(8000.0, VadConfig::default());
+        let r = sv.finalize();
+        assert!(r.active.is_empty());
     }
 
     #[test]

@@ -7,5 +7,5 @@ tests/artifact_compat.rs:
 Cargo.toml:
 
 # env-dep:CARGO_MANIFEST_DIR=/root/repo
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

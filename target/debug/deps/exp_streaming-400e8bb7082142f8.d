@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_streaming-400e8bb7082142f8.d: crates/bench/src/bin/exp_streaming.rs
+
+/root/repo/target/debug/deps/exp_streaming-400e8bb7082142f8: crates/bench/src/bin/exp_streaming.rs
+
+crates/bench/src/bin/exp_streaming.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_streaming-de312723ac0a7115.d: crates/bench/src/bin/exp_streaming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_streaming-de312723ac0a7115.rmeta: crates/bench/src/bin/exp_streaming.rs Cargo.toml
+
+crates/bench/src/bin/exp_streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

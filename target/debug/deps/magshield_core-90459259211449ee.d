@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/magshield_core-90459259211449ee.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
+/root/repo/target/debug/deps/magshield_core-90459259211449ee.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/stream.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
 
-/root/repo/target/debug/deps/libmagshield_core-90459259211449ee.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
+/root/repo/target/debug/deps/libmagshield_core-90459259211449ee.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/stream.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
 
-/root/repo/target/debug/deps/libmagshield_core-90459259211449ee.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
+/root/repo/target/debug/deps/libmagshield_core-90459259211449ee.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/stream.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
 
 crates/core/src/lib.rs:
 crates/core/src/adaptive.rs:
@@ -22,5 +22,6 @@ crates/core/src/scenario.rs:
 crates/core/src/server/mod.rs:
 crates/core/src/server/protocol.rs:
 crates/core/src/session.rs:
+crates/core/src/stream.rs:
 crates/core/src/trainer.rs:
 crates/core/src/verdict.rs:

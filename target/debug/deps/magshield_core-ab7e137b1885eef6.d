@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/magshield_core-ab7e137b1885eef6.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
+/root/repo/target/debug/deps/magshield_core-ab7e137b1885eef6.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/stream.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
 
-/root/repo/target/debug/deps/libmagshield_core-ab7e137b1885eef6.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
+/root/repo/target/debug/deps/libmagshield_core-ab7e137b1885eef6.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/artifact.rs crates/core/src/batch.rs crates/core/src/cascade.rs crates/core/src/components/mod.rs crates/core/src/components/distance.rs crates/core/src/components/loudspeaker.rs crates/core/src/components/sld.rs crates/core/src/components/sound_field.rs crates/core/src/components/speaker_id.rs crates/core/src/config.rs crates/core/src/pipeline.rs crates/core/src/registry.rs crates/core/src/scenario.rs crates/core/src/server/mod.rs crates/core/src/server/protocol.rs crates/core/src/session.rs crates/core/src/stream.rs crates/core/src/trainer.rs crates/core/src/verdict.rs
 
 crates/core/src/lib.rs:
 crates/core/src/adaptive.rs:
@@ -20,5 +20,6 @@ crates/core/src/scenario.rs:
 crates/core/src/server/mod.rs:
 crates/core/src/server/protocol.rs:
 crates/core/src/session.rs:
+crates/core/src/stream.rs:
 crates/core/src/trainer.rs:
 crates/core/src/verdict.rs:

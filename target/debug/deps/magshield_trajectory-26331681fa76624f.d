@@ -8,5 +8,5 @@ crates/trajectory/src/ranging.rs:
 crates/trajectory/src/reconstruct.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_streaming-518b23ab3d9692cb.d: crates/bench/src/bin/exp_streaming.rs
+
+/root/repo/target/release/deps/exp_streaming-518b23ab3d9692cb: crates/bench/src/bin/exp_streaming.rs
+
+crates/bench/src/bin/exp_streaming.rs:
