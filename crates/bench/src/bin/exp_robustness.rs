@@ -1,0 +1,148 @@
+//! Adversarial robustness matrix: attack family × EMF environment ×
+//! execution policy, per-cell FAR/FRR/EER.
+//!
+//! Every cell runs its corpus through a
+//! [`magshield_core::batch::BatchEngine`] — the same
+//! admission-controlled path production traffic takes — so a perf or
+//! refactor PR that changes verdicts anywhere in the batch path moves a
+//! cell and trips the gate. The corpus is deterministic under
+//! [`EXPERIMENT_SEED`]: captures are pure functions of the seed, so two
+//! runs of the same build produce bit-identical tables.
+//!
+//! Two output shapes:
+//!
+//! * full run (default): the committed per-cell table
+//!   `results/robustness_matrix.jsonl` (one JSON row per cell) — the
+//!   repo's security reference surface;
+//! * `--quick`: the CI smoke slice — tiny bootstrap, reduced trial
+//!   counts, full family/environment/policy coverage — written as a
+//!   single JSON document (default `results/BENCH_robustness.json`,
+//!   override with `--out`) consumed by `scripts/security_gate.py`.
+//!   The committed baseline is a `--quick` artifact so CI compares
+//!   like with like.
+//!
+//! The JSON is written by hand so the artifact is produced identically
+//! in every build environment.
+
+use magshield_bench::{print_header, print_row, write_results, ResultRow, EXPERIMENT_SEED};
+use magshield_core::pipeline::BootstrapConfig;
+use magshield_core::robustness::{family_far, run_matrix, CellResult, MatrixSpec};
+use magshield_core::scenario::bootstrap_with;
+use magshield_simkit::rng::SimRng;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_robustness.json".to_string());
+
+    let rng = SimRng::from_seed(EXPERIMENT_SEED);
+    let (bootstrap, spec) = if quick {
+        (BootstrapConfig::tiny(), MatrixSpec::smoke())
+    } else {
+        (BootstrapConfig::default(), MatrixSpec::full())
+    };
+    eprintln!(
+        "(bootstrapping {} system; {} cells...)",
+        if quick { "tiny" } else { "full" },
+        spec.cells()
+    );
+    let (system, user) = bootstrap_with(&rng, bootstrap);
+    let cells = run_matrix(&system, &user, &spec, &rng.fork("robustness"));
+
+    print_header(
+        "Robustness matrix (FAR/FRR/EER %, per cell)",
+        &["cell", "FAR %", "FRR %", "EER %"],
+    );
+    for c in &cells {
+        print_row(
+            &format!("{}/{}/{}", c.family, c.environment, c.policy),
+            &[c.far_pct, c.frr_pct, c.eer_pct],
+        );
+    }
+    println!("\nper-family FAR (gated no-rise):");
+    for (family, far) in family_far(&cells) {
+        println!("  {family:>20}: {far:>6.2} %");
+    }
+
+    if quick {
+        write_gate_json(&out, quick, &spec, &cells);
+    } else {
+        let rows: Vec<ResultRow> = cells
+            .iter()
+            .map(|c| ResultRow {
+                experiment: "robustness_matrix".into(),
+                condition: format!("{}/{}/{}", c.family, c.environment, c.policy),
+                metrics: vec![
+                    ("far_pct".into(), c.far_pct),
+                    ("frr_pct".into(), c.frr_pct),
+                    ("eer_pct".into(), c.eer_pct),
+                    ("attacks".into(), c.attacks as f64),
+                    ("genuine".into(), c.genuine as f64),
+                ],
+            })
+            .collect();
+        write_results("robustness_matrix", &rows);
+    }
+}
+
+/// Hand-rolled gate JSON: per-cell table plus per-family FAR aggregates
+/// and a small `"metrics"` block (bench_gate-compatible) summarizing the
+/// security posture in two scalars.
+fn write_gate_json(path: &str, quick: bool, spec: &MatrixSpec, cells: &[CellResult]) {
+    let mut cell_lines: Vec<String> = Vec::with_capacity(cells.len());
+    for c in cells {
+        cell_lines.push(format!(
+            "    {{\"family\": \"{}\", \"environment\": \"{}\", \"policy\": \"{}\", \
+             \"attacks\": {}, \"genuine\": {}, \"far_pct\": {:.4}, \"frr_pct\": {:.4}, \
+             \"eer_pct\": {:.4}}}",
+            c.family,
+            c.environment,
+            c.policy,
+            c.attacks,
+            c.genuine,
+            c.far_pct,
+            c.frr_pct,
+            c.eer_pct
+        ));
+    }
+    let fars = family_far(cells);
+    let family_lines: Vec<String> = fars
+        .iter()
+        .map(|(f, far)| format!("    \"{f}\": {{\"far_pct\": {far:.4}}}"))
+        .collect();
+    let worst_far = fars.iter().map(|(_, f)| *f).fold(0.0f64, f64::max);
+    let mean_eer = if cells.is_empty() {
+        0.0
+    } else {
+        cells.iter().map(|c| c.eer_pct).sum::<f64>() / cells.len() as f64
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"robustness\",\n  \"quick\": {quick},\n  \
+         \"seed\": {EXPERIMENT_SEED},\n  \
+         \"genuine_per_env\": {},\n  \"attacks_per_cell\": {},\n  \
+         \"cells\": [\n{}\n  ],\n  \
+         \"families\": {{\n{}\n  }},\n  \
+         \"metrics\": {{\n    \
+         \"robustness_worst_family_far_pct\": {{\"value\": {worst_far:.4}, \"direction\": \"lower\"}},\n    \
+         \"robustness_mean_eer_pct\": {{\"value\": {mean_eer:.4}, \"direction\": \"lower\"}}\n  }}\n}}\n",
+        spec.genuine_per_env,
+        spec.attacks_per_cell,
+        cell_lines.join(",\n"),
+        family_lines.join(",\n"),
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("(wrote {path})"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -5,7 +5,6 @@
 use magshield_core::pipeline::{BootstrapConfig, DefenseSystem};
 use magshield_core::scenario::{bootstrap_with, ScenarioBuilder, UserContext};
 use magshield_core::verdict::DefenseVerdict;
-use magshield_ml::metrics::equal_error_rate;
 use magshield_obs::metrics::HistogramSnapshot;
 use magshield_obs::PipelineTrace;
 use magshield_simkit::rng::SimRng;
@@ -80,22 +79,10 @@ pub fn attack_verdicts(
 
 /// FAR/FRR/EER from verdict sets: decisions at the nominal boundary, EER
 /// from sweeping the boundary multiplier over the combined scores.
+/// (Shared with the robustness matrix — see
+/// [`magshield_core::robustness::rates`].)
 pub fn rates(genuine: &[DefenseVerdict], attacks: &[DefenseVerdict]) -> (f64, f64, f64) {
-    let frr = if genuine.is_empty() {
-        0.0
-    } else {
-        genuine.iter().filter(|v| !v.accepted()).count() as f64 / genuine.len() as f64
-    };
-    let far = if attacks.is_empty() {
-        0.0
-    } else {
-        attacks.iter().filter(|v| v.accepted()).count() as f64 / attacks.len() as f64
-    };
-    // EER over "genuineness" scores = negative combined attack score.
-    let g: Vec<f64> = genuine.iter().map(|v| -v.combined_score()).collect();
-    let a: Vec<f64> = attacks.iter().map(|v| -v.combined_score()).collect();
-    let eer = equal_error_rate(&g, &a);
-    (far * 100.0, frr * 100.0, eer * 100.0)
+    magshield_core::robustness::rates(genuine, attacks)
 }
 
 /// One emitted result row (also serialized to JSON for EXPERIMENTS.md).
@@ -110,17 +97,70 @@ pub struct ResultRow {
 }
 
 /// Writes rows as JSON lines under `results/<experiment>.jsonl`.
+///
+/// The lines are rendered by hand (same shape `serde_json` would emit)
+/// so the committed artifacts regenerate identically even in build
+/// environments whose `serde_json` is a deserialization-only stub.
 pub fn write_results(experiment: &str, rows: &[ResultRow]) {
     let dir = std::path::Path::new("results");
     let _ = std::fs::create_dir_all(dir);
     let path = dir.join(format!("{experiment}.jsonl"));
     if let Ok(mut f) = std::fs::File::create(&path) {
         for r in rows {
-            if let Ok(line) = serde_json::to_string(r) {
-                let _ = writeln!(f, "{line}");
-            }
+            let _ = writeln!(f, "{}", r.to_json_line());
         }
         eprintln!("(wrote {})", path.display());
+    }
+}
+
+impl ResultRow {
+    /// The row as one JSON object, matching `serde_json`'s output for
+    /// this type: `{"experiment":...,"condition":...,"metrics":[[k,v]]}`.
+    pub fn to_json_line(&self) -> String {
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("[{},{}]", json_str(k), json_f64(*v)))
+            .collect();
+        format!(
+            "{{\"experiment\":{},\"condition\":{},\"metrics\":[{}]}}",
+            json_str(&self.experiment),
+            json_str(&self.condition),
+            metrics.join(",")
+        )
+    }
+}
+
+/// JSON string literal with the escapes our labels can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: shortest round-trip form, with non-finite values mapped
+/// to `null` (what `serde_json` emits for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers like `5` are valid JSON numbers, but keep the
+        // float form serde_json used (`5.0`) so diffs stay clean.
+        if s.contains('.') || s.contains('e') || s.contains("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
     }
 }
 
@@ -187,4 +227,27 @@ pub fn print_row(label: &str, values: &[f64]) {
         line.push_str(&format!("{v:>14.1}"));
     }
     println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_row_renders_serde_compatible_json() {
+        let row = ResultRow {
+            experiment: "fig12".into(),
+            condition: "d=6cm \"quoted\"".into(),
+            metrics: vec![
+                ("far_pct".into(), 16.666666666666664),
+                ("n".into(), 12.0),
+                ("bad".into(), f64::NAN),
+            ],
+        };
+        assert_eq!(
+            row.to_json_line(),
+            "{\"experiment\":\"fig12\",\"condition\":\"d=6cm \\\"quoted\\\"\",\
+             \"metrics\":[[\"far_pct\",16.666666666666664],[\"n\",12.0],[\"bad\",null]]}"
+        );
+    }
 }

@@ -72,6 +72,7 @@ pub mod components;
 pub mod config;
 pub mod pipeline;
 pub mod registry;
+pub mod robustness;
 pub mod scenario;
 pub mod server;
 pub mod session;

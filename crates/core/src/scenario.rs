@@ -14,6 +14,7 @@ use magshield_physics::acoustics::field::speech_band;
 use magshield_physics::acoustics::source::AcousticSource;
 use magshield_physics::acoustics::tube::SoundTube;
 use magshield_physics::magnetics::dipole::MagneticDipole;
+use magshield_physics::magnetics::evasion::ActiveCompensation;
 use magshield_physics::magnetics::interference::EmfEnvironment;
 use magshield_physics::magnetics::scene::{DrivenDipole, MagneticScene};
 use magshield_physics::magnetics::shielding::Shield;
@@ -104,6 +105,9 @@ pub struct ScenarioBuilder {
     /// When set, the hand motion pivots around this point instead of the
     /// sound source (attacker faking closeness to a distant speaker).
     pub off_center_pivot: Option<Vec3>,
+    /// MagLive-style active compensation rig strapped to the playback
+    /// device (magnetic-pattern evasion). Ignored for human sources.
+    pub magnetic_evasion: Option<ActiveCompensation>,
 }
 
 impl ScenarioBuilder {
@@ -122,6 +126,7 @@ impl ScenarioBuilder {
                 ..MotionParams::default()
             },
             off_center_pivot: None,
+            magnetic_evasion: None,
         }
     }
 
@@ -178,6 +183,13 @@ impl ScenarioBuilder {
     /// Pivot the sweep around a fake center (attack-geometry motion).
     pub fn with_off_center_pivot(mut self, pivot: Vec3) -> Self {
         self.off_center_pivot = Some(pivot);
+        self
+    }
+
+    /// Straps an active magnetic-compensation rig to the playback device
+    /// (MagLive-style magnetic-pattern evasion).
+    pub fn with_magnetic_evasion(mut self, rig: ActiveCompensation) -> Self {
+        self.magnetic_evasion = Some(rig);
         self
     }
 
@@ -314,9 +326,12 @@ impl ScenarioBuilder {
         match &self.source {
             SourceKind::HumanMouth => {}
             SourceKind::Device { device, shielded } => {
-                if let Some(driver) =
+                if let Some(mut driver) =
                     device_driver(device, self.motion.source, drive_env.clone(), *shielded)
                 {
+                    if let Some(rig) = self.magnetic_evasion {
+                        driver = driver.compensated(rig);
+                    }
                     scene = scene.with_driver(driver);
                 }
             }
@@ -324,7 +339,10 @@ impl ScenarioBuilder {
                 // The speaker body sits tube.length_m behind the outlet,
                 // away from the phone (+y).
                 let body = self.motion.source + Vec3::new(0.0, tube.length_m, 0.0);
-                if let Some(driver) = device_driver(device, body, drive_env.clone(), false) {
+                if let Some(mut driver) = device_driver(device, body, drive_env.clone(), false) {
+                    if let Some(rig) = self.magnetic_evasion {
+                        driver = driver.compensated(rig);
+                    }
                     scene = scene.with_driver(driver);
                 }
             }
@@ -546,6 +564,38 @@ mod tests {
             s.mag_magnitude().iter().cloned().fold(0.0f64, f64::max)
         };
         assert!(peak_at(0.04) > peak_at(0.12) + 10.0);
+    }
+
+    #[test]
+    fn magnetic_evasion_suppresses_but_cannot_erase_the_anomaly() {
+        use magshield_physics::magnetics::evasion::ActiveCompensation;
+        let u = user();
+        let attacker = SpeakerProfile::sample(9, &SimRng::from_seed(4));
+        let peak = |evaded: bool| {
+            let device = table_iv_catalog()[0].clone();
+            let mut b =
+                ScenarioBuilder::machine_attack(&u, AttackKind::Replay, device, attacker.clone())
+                    .at_distance(0.05);
+            if evaded {
+                b = b.with_magnetic_evasion(ActiveCompensation::tuned());
+            }
+            let s = b.capture(&SimRng::from_seed(21));
+            let earth = s.earth_reference.norm();
+            s.mag_magnitude()
+                .iter()
+                .map(|m| (m - earth).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let bare = peak(false);
+        let evaded = peak(true);
+        assert!(
+            evaded < bare * 0.5,
+            "the rig should eat most of the anomaly: bare {bare}, evaded {evaded}"
+        );
+        assert!(
+            evaded > 0.5,
+            "residual DC leak + coil slew must stay visible close-in: {evaded} µT"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 pub mod dipole;
 pub mod earth;
+pub mod evasion;
 pub mod interference;
 pub mod scene;
 pub mod shielding;

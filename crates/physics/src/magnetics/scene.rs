@@ -8,6 +8,7 @@
 
 use super::dipole::MagneticDipole;
 use super::earth::EarthField;
+use super::evasion::ActiveCompensation;
 use super::interference::EmfEnvironment;
 use super::shielding::Shield;
 use magshield_simkit::rng::SimRng;
@@ -31,6 +32,9 @@ pub struct DrivenDipole {
     pub drive: Vec<f64>,
     /// Optional shield around the driver.
     pub shield: Shield,
+    /// Optional MagLive-style active compensation rig fighting both the
+    /// static magnet and the coil modulation (magnetic-pattern evasion).
+    pub compensation: Option<ActiveCompensation>,
 }
 
 impl DrivenDipole {
@@ -41,6 +45,7 @@ impl DrivenDipole {
             coil_fraction: 0.02,
             drive,
             shield: Shield::none(),
+            compensation: None,
         }
     }
 
@@ -50,12 +55,22 @@ impl DrivenDipole {
         self
     }
 
-    /// Instantaneous dipole including coil modulation at sample `i`.
+    /// Straps an active compensation rig to the driver.
+    pub fn compensated(mut self, rig: ActiveCompensation) -> Self {
+        self.compensation = Some(rig);
+        self
+    }
+
+    /// Instantaneous dipole including coil modulation at sample `i`, after
+    /// any active compensation has eaten its share of magnet and drive.
     fn dipole_at_sample(&self, i: usize) -> MagneticDipole {
-        let drive = self.drive.get(i).copied().unwrap_or(0.0);
+        let (dc, drive) = match &self.compensation {
+            Some(rig) => (rig.dc_factor(), rig.residual_drive(&self.drive, i)),
+            None => (1.0, self.drive.get(i).copied().unwrap_or(0.0)),
+        };
         MagneticDipole::new(
             self.magnet.position,
-            self.magnet.moment * (1.0 + self.coil_fraction * drive),
+            self.magnet.moment * (dc + self.coil_fraction * drive),
         )
     }
 
@@ -199,6 +214,30 @@ mod tests {
         let a = scene.sample_along(&traj, 100.0, &SimRng::from_seed(10));
         let b = scene.sample_along(&traj, 100.0, &SimRng::from_seed(10));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compensated_driver_is_quieter_but_not_silent() {
+        let magnet = MagneticDipole::calibrated(Vec3::ZERO, Vec3::Y, 120.0, 0.03);
+        let drive: Vec<f64> = (0..200).map(|i| (i as f64 * 0.9).sin()).collect();
+        let p = Vec3::new(0.0, -0.04, 0.0);
+        let earth = EarthField::typical().field_at().norm();
+        let bare = MagneticScene::quiet()
+            .with_driver(DrivenDipole::new(magnet, drive.clone()))
+            .field_at(p, 0)
+            .norm();
+        let rigged = MagneticScene::quiet()
+            .with_driver(DrivenDipole::new(magnet, drive).compensated(ActiveCompensation::tuned()));
+        let compensated = rigged.field_at(p, 0).norm();
+        assert!(
+            (compensated - earth).abs() < (bare - earth).abs() * 0.25,
+            "compensation should eat most of the anomaly: bare {bare}, rigged {compensated}"
+        );
+        // The residual anomaly plus coil slew leakage must still exist.
+        let readings: Vec<f64> = (0..200).map(|i| rigged.field_at(p, i).norm()).collect();
+        let spread = readings.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - readings.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 1e-4, "lag leakage should still modulate: {spread}");
     }
 
     #[test]

@@ -23,17 +23,22 @@ pub enum AttackKind {
     Morphing,
     /// Type 3: text-to-speech synthesis in the victim's voice.
     Synthesis,
+    /// Type 3 variant: synthesis trained only on SceneGuard-protected
+    /// recordings (scene-consistent audible noise poisons the attacker's
+    /// parameter estimation — see [`crate::sceneguard`]).
+    ProtectedSynthesis,
     /// Human imitation without machine assistance.
     HumanMimicry,
 }
 
 impl AttackKind {
     /// All machine-based kinds (those requiring a loudspeaker).
-    pub fn machine_based() -> [AttackKind; 3] {
+    pub fn machine_based() -> [AttackKind; 4] {
         [
             AttackKind::Replay,
             AttackKind::Morphing,
             AttackKind::Synthesis,
+            AttackKind::ProtectedSynthesis,
         ]
     }
 
@@ -84,6 +89,48 @@ pub fn attack_audio(
             let mut audio =
                 synth.render_digits(&tts, digits, SessionEffects::neutral(), &rng.fork("tts"));
             vocoder_artifacts(&mut audio, synth.sample_rate, &rng.fork("tts-vocoder"));
+            audio
+        }
+        AttackKind::ProtectedSynthesis => {
+            // TTS trained on SceneGuard-protected recordings: the voice
+            // parameters are estimated through scene noise (degraded),
+            // and the trained model reproduces a faint imprint of the
+            // protective noise it learned from.
+            let estimated = crate::sceneguard::clone_profile_through_protection(
+                victim,
+                crate::sceneguard::Scene::Cafe,
+                crate::sceneguard::PROTECTIVE_SNR_DB,
+                &rng.fork("protected-estimate"),
+            );
+            let mut tts = estimated;
+            tts.jitter *= 0.15;
+            tts.shimmer *= 0.15;
+            tts.rate = 1.0;
+            let mut audio = synth.render_digits(
+                &tts,
+                digits,
+                SessionEffects::neutral(),
+                &rng.fork("protected-tts"),
+            );
+            vocoder_artifacts(
+                &mut audio,
+                synth.sample_rate,
+                &rng.fork("protected-vocoder"),
+            );
+            // Trained-in background imprint, well below the speech but
+            // above the vocoder floor (~18 dB down).
+            let speech_rms =
+                (audio.iter().map(|x| x * x).sum::<f64>() / audio.len().max(1) as f64).sqrt();
+            let imprint = crate::sceneguard::scene_noise(
+                crate::sceneguard::Scene::Cafe,
+                audio.len(),
+                synth.sample_rate,
+                &rng.fork("protected-imprint"),
+            );
+            let gain = speech_rms / 10f64.powf(18.0 / 20.0);
+            for (x, n) in audio.iter_mut().zip(&imprint) {
+                *x += n * gain;
+            }
             audio
         }
         AttackKind::HumanMimicry => {
@@ -186,9 +233,49 @@ mod tests {
 
     #[test]
     fn taxonomy() {
-        assert_eq!(AttackKind::machine_based().len(), 3);
+        assert_eq!(AttackKind::machine_based().len(), 4);
         assert!(AttackKind::Replay.requires_loudspeaker());
+        assert!(AttackKind::ProtectedSynthesis.requires_loudspeaker());
         assert!(!AttackKind::HumanMimicry.requires_loudspeaker());
+    }
+
+    #[test]
+    fn sceneguard_protection_degrades_the_clone() {
+        // A synthesis attack trained on protected recordings must land
+        // farther from the victim's spectral envelope than one trained on
+        // clean recordings — that is the whole point of the protection.
+        let rng = SimRng::from_seed(91);
+        let synth = FormantSynthesizer::default();
+        let n = 6;
+        let mut d_clean_sum = 0.0;
+        let mut d_protected_sum = 0.0;
+        for k in 0..n {
+            let attacker = SpeakerProfile::sample(2 * k, &rng);
+            let victim = SpeakerProfile::sample(2 * k + 1, &rng);
+            let genuine = mean_mfcc(&synth.render_digits(
+                &victim,
+                "123456",
+                SessionEffects::neutral(),
+                &rng.fork_indexed("g", u64::from(k)),
+            ));
+            let prng = rng.fork_indexed("pair", u64::from(k));
+            let clean = attack_audio(AttackKind::Synthesis, &attacker, &victim, "123456", &prng);
+            let protected = attack_audio(
+                AttackKind::ProtectedSynthesis,
+                &attacker,
+                &victim,
+                "123456",
+                &prng,
+            );
+            d_clean_sum += cep_dist(&mean_mfcc(&clean), &genuine);
+            d_protected_sum += cep_dist(&mean_mfcc(&protected), &genuine);
+        }
+        assert!(
+            d_protected_sum > d_clean_sum,
+            "protected-synthesis (avg {}) should impersonate worse than clean TTS (avg {})",
+            d_protected_sum / n as f64,
+            d_clean_sum / n as f64
+        );
     }
 
     #[test]
@@ -210,7 +297,14 @@ mod tests {
             &rng.fork("own"),
         );
         let attacker_d = cep_dist(&mean_mfcc(&attacker_own), &genuine_m);
-        for kind in AttackKind::machine_based() {
+        // ProtectedSynthesis is excluded by design: SceneGuard protection
+        // exists precisely to break this property (see
+        // `sceneguard_protection_degrades_the_clone`).
+        for kind in [
+            AttackKind::Replay,
+            AttackKind::Morphing,
+            AttackKind::Synthesis,
+        ] {
             let audio = attack_audio(kind, &attacker, &victim, "123456", &rng.fork("atk"));
             let d = cep_dist(&mean_mfcc(&audio), &genuine_m);
             assert!(

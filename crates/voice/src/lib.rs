@@ -16,7 +16,10 @@
 //!   (Table I, Test 2);
 //! * [`attacks`] — the paper's four §III-A attack types: voice replay,
 //!   voice morphing, voice synthesis (machine-based, Types 1–3) and human
-//!   mimicry;
+//!   mimicry, plus synthesis trained on SceneGuard-protected recordings;
+//! * [`sceneguard`] — SceneGuard-style training-time voice protection:
+//!   scene-consistent audible background noise and the degraded clone
+//!   profiles an attacker recovers through it;
 //! * [`devices`] — the playback device catalog of Appendix A (Table IV):
 //!   25 conventional loudspeakers plus earphones, an electrostatic panel
 //!   and a piezo tweeter, each with magnet strength, aperture and
@@ -26,6 +29,7 @@ pub mod attacks;
 pub mod corpus;
 pub mod devices;
 pub mod profile;
+pub mod sceneguard;
 pub mod synth;
 
 pub use attacks::AttackKind;

@@ -1,0 +1,284 @@
+//! SceneGuard-style training-time voice protection — scene-consistent
+//! audible background noise mixed into a victim's recordings.
+//!
+//! SceneGuard (PAPERS.md; SNIPPETS.md snippets 1/3) protects a speaker
+//! from voice cloning by releasing only recordings with *plausible,
+//! audible* background noise matched to a scene (café babble, street
+//! rumble, office hum). Unlike imperceptible adversarial perturbations,
+//! the noise survives countermeasures (denoising, resampling) because it
+//! is real acoustic content — but it poisons the attacker's parameter
+//! estimation: formant detail, glottal character and pitch statistics are
+//! all fit through the noise floor.
+//!
+//! This module provides both sides of that arms race for the robustness
+//! matrix:
+//!
+//! * [`protect_recording`] — what the victim publishes (enrollment audio
+//!   with scene noise at a protective SNR);
+//! * [`clone_profile_through_protection`] — the degraded speaker profile
+//!   a cloning pipeline recovers from protected recordings, which is what
+//!   a `ProtectedSynthesis` attack must speak with.
+
+use crate::profile::{SpeakerProfile, NUM_FORMANTS};
+use magshield_dsp::filter::Biquad;
+use magshield_simkit::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Scene archetypes whose noise character SceneGuard matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scene {
+    /// Café babble: speech-band modulated noise — the most poisonous to
+    /// formant estimation because it lives exactly where formants do.
+    Cafe,
+    /// Street rumble: strong low-frequency content plus broadband hiss.
+    Street,
+    /// Office: mains-adjacent hum plus wideband ventilation noise.
+    Office,
+}
+
+impl Scene {
+    /// Every modeled scene.
+    pub fn all() -> [Scene; 3] {
+        [Scene::Cafe, Scene::Street, Scene::Office]
+    }
+
+    /// Stable lower-case name for logs and JSONL rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scene::Cafe => "cafe",
+            Scene::Street => "street",
+            Scene::Office => "office",
+        }
+    }
+
+    /// Center of the scene's dominant noise band (Hz) — used both to
+    /// shape the noise and to bias the attacker's tilt estimate.
+    fn band_center_hz(self) -> f64 {
+        match self {
+            Scene::Cafe => 1200.0,
+            Scene::Street => 180.0,
+            Scene::Office => 400.0,
+        }
+    }
+
+    /// How strongly the scene's spectrum overlaps the formant region —
+    /// the fraction of estimation damage it does at a given SNR.
+    fn formant_overlap(self) -> f64 {
+        match self {
+            Scene::Cafe => 1.0,
+            Scene::Street => 0.45,
+            Scene::Office => 0.65,
+        }
+    }
+}
+
+/// Renders `n` samples of scene-consistent background noise at unit RMS.
+///
+/// Deterministic in `(scene, n, sample_rate, rng seed)`.
+pub fn scene_noise(scene: Scene, n: usize, sample_rate: f64, rng: &SimRng) -> Vec<f64> {
+    let mut r = rng.fork("scene-noise");
+    let mut shaped = Biquad::peaking(sample_rate, scene.band_center_hz(), 1.2, 12.0);
+    let mut lp = Biquad::lowpass(sample_rate, 5500.0, 0.7);
+    // Slow amplitude modulation makes the noise "live" (babble swell,
+    // passing traffic) rather than stationary hiss.
+    let mod_hz = match scene {
+        Scene::Cafe => 3.0,
+        Scene::Street => 0.7,
+        Scene::Office => 1.5,
+    };
+    let mod_phase = r.uniform(0.0, std::f64::consts::TAU);
+    let mut out: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / sample_rate;
+            let env = 1.0 + 0.35 * (std::f64::consts::TAU * mod_hz * t + mod_phase).sin();
+            lp.process(shaped.process(r.gauss(0.0, 1.0))) * env
+        })
+        .collect();
+    let rms = (out.iter().map(|x| x * x).sum::<f64>() / n.max(1) as f64).sqrt();
+    if rms > 1e-12 {
+        for x in &mut out {
+            *x /= rms;
+        }
+    }
+    out
+}
+
+/// Mixes scene noise into `audio` at `snr_db` (speech RMS over noise
+/// RMS). This is the protected recording the victim publishes — fully
+/// intelligible (the noise is audible but natural), useless as clean
+/// cloning material.
+pub fn protect_recording(
+    audio: &[f64],
+    scene: Scene,
+    snr_db: f64,
+    sample_rate: f64,
+    rng: &SimRng,
+) -> Vec<f64> {
+    let speech_rms = (audio.iter().map(|x| x * x).sum::<f64>() / audio.len().max(1) as f64).sqrt();
+    let noise_rms = speech_rms / 10f64.powf(snr_db / 20.0);
+    let noise = scene_noise(scene, audio.len(), sample_rate, rng);
+    audio
+        .iter()
+        .zip(&noise)
+        .map(|(s, n)| s + n * noise_rms)
+        .collect()
+}
+
+/// The speaker profile a cloning pipeline estimates from recordings
+/// protected with `scene` noise at `snr_db`.
+///
+/// Estimation degrades as the SNR drops and as the scene's spectrum
+/// overlaps the formant region:
+///
+/// * per-formant idiosyncrasies wash toward the population mean (noise-
+///   weighted envelope fitting loses the fine structure that identifies
+///   the speaker) and pick up a scene-colored bias;
+/// * spectral tilt is dragged toward the noise band;
+/// * f0 tracking through babble picks up octave/fill errors (a small
+///   multiplicative bias);
+/// * jitter and shimmer are *over*-estimated — frame-to-frame noise
+///   variation reads as glottal perturbation, so the clone sounds rough.
+pub fn clone_profile_through_protection(
+    victim: &SpeakerProfile,
+    scene: Scene,
+    snr_db: f64,
+    rng: &SimRng,
+) -> SpeakerProfile {
+    let mut r = rng.fork("protected-clone");
+    // Damage weight in [0, 1): 0 dB SNR ≈ 0.5 overlap-weighted, high SNR → 0.
+    let w = (scene.formant_overlap() / (1.0 + 10f64.powf(snr_db / 10.0) * 0.1)).clamp(0.0, 0.95);
+    let blend = |own: f64, anon: f64| own * (1.0 - w) + anon * w;
+    let mut offsets = [1.0; NUM_FORMANTS];
+    for (o, &v) in offsets.iter_mut().zip(&victim.formant_offsets) {
+        // Wash toward 1.0 plus a scene-correlated estimation bias.
+        *o = blend(v, 1.0) * (1.0 + w * r.uniform(-0.04, 0.04));
+    }
+    let tilt_bias = if scene.band_center_hz() < 600.0 {
+        -1.0
+    } else {
+        1.0
+    };
+    SpeakerProfile {
+        id: victim.id,
+        f0_hz: victim.f0_hz * (1.0 + w * r.uniform(-0.05, 0.05)),
+        vtl_factor: blend(victim.vtl_factor, 1.0),
+        formant_offsets: offsets,
+        tilt_db_per_oct: victim.tilt_db_per_oct + w * tilt_bias * r.uniform(0.5, 2.0),
+        jitter: victim.jitter * (1.0 + 2.5 * w),
+        shimmer: victim.shimmer * (1.0 + 2.5 * w),
+        rate: victim.rate,
+    }
+}
+
+/// The protective SNR (dB) SceneGuard-style protection targets: loud
+/// enough to poison cloning, quiet enough to stay natural.
+pub const PROTECTIVE_SNR_DB: f64 = 5.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_unit_rms_and_reproducible() {
+        for scene in Scene::all() {
+            let a = scene_noise(scene, 8000, 16_000.0, &SimRng::from_seed(1));
+            let b = scene_noise(scene, 8000, 16_000.0, &SimRng::from_seed(1));
+            assert_eq!(a, b, "{scene:?} noise must be deterministic");
+            let rms = (a.iter().map(|x| x * x).sum::<f64>() / a.len() as f64).sqrt();
+            assert!((rms - 1.0).abs() < 1e-9, "{scene:?} rms {rms}");
+        }
+    }
+
+    #[test]
+    fn scenes_have_distinct_spectra() {
+        use magshield_dsp::goertzel::tone_power;
+        let fs = 16_000.0;
+        let rng = SimRng::from_seed(2);
+        let cafe = scene_noise(Scene::Cafe, 16_000, fs, &rng);
+        let street = scene_noise(Scene::Street, 16_000, fs, &rng);
+        // Street noise concentrates low; café concentrates mid.
+        let low = |x: &[f64]| tone_power(x, 180.0, fs);
+        let mid = |x: &[f64]| tone_power(x, 1200.0, fs);
+        assert!(low(&street) / mid(&street) > low(&cafe) / mid(&cafe));
+    }
+
+    #[test]
+    fn protection_preserves_speech_but_adds_noise() {
+        let rng = SimRng::from_seed(3);
+        let speech: Vec<f64> = (0..16_000)
+            .map(|i| (std::f64::consts::TAU * 440.0 * i as f64 / 16_000.0).sin() * 0.3)
+            .collect();
+        let protected = protect_recording(&speech, Scene::Cafe, PROTECTIVE_SNR_DB, 16_000.0, &rng);
+        assert_eq!(protected.len(), speech.len());
+        let diff_rms = (protected
+            .iter()
+            .zip(&speech)
+            .map(|(p, s)| (p - s) * (p - s))
+            .sum::<f64>()
+            / speech.len() as f64)
+            .sqrt();
+        let speech_rms = (speech.iter().map(|x| x * x).sum::<f64>() / speech.len() as f64).sqrt();
+        let snr_db = 20.0 * (speech_rms / diff_rms).log10();
+        assert!(
+            (snr_db - PROTECTIVE_SNR_DB).abs() < 0.5,
+            "mixed SNR {snr_db} dB should match the target"
+        );
+    }
+
+    #[test]
+    fn protected_clone_is_farther_from_the_victim_than_a_clean_clone() {
+        let rng = SimRng::from_seed(4);
+        let mut protected_worse = 0;
+        let n = 10;
+        for k in 0..n {
+            let victim = SpeakerProfile::sample(k, &rng);
+            let clean = victim.clone(); // a clean clone estimates perfectly
+            let protected = clone_profile_through_protection(
+                &victim,
+                Scene::Cafe,
+                PROTECTIVE_SNR_DB,
+                &rng.fork_indexed("clone", u64::from(k)),
+            );
+            assert!(
+                protected.distance(&victim) > 1e-4,
+                "estimation must degrade"
+            );
+            if protected.distance(&victim) > clean.distance(&victim) {
+                protected_worse += 1;
+            }
+        }
+        assert_eq!(
+            protected_worse, n,
+            "protection must always cost the attacker"
+        );
+    }
+
+    #[test]
+    fn higher_snr_means_less_damage() {
+        let rng = SimRng::from_seed(5);
+        let victim = SpeakerProfile::sample(7, &rng);
+        let at = |snr: f64| {
+            clone_profile_through_protection(&victim, Scene::Cafe, snr, &rng.fork("snr"))
+                .distance(&victim)
+        };
+        assert!(at(0.0) > at(20.0), "louder noise must hurt more");
+    }
+
+    #[test]
+    fn clone_estimation_is_reproducible() {
+        let victim = SpeakerProfile::sample(3, &SimRng::from_seed(6));
+        let a = clone_profile_through_protection(
+            &victim,
+            Scene::Office,
+            PROTECTIVE_SNR_DB,
+            &SimRng::from_seed(7),
+        );
+        let b = clone_profile_through_protection(
+            &victim,
+            Scene::Office,
+            PROTECTIVE_SNR_DB,
+            &SimRng::from_seed(7),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -16,41 +16,16 @@ Two artifact shapes are understood:
   metrics only one side has are reported but not gated (so adding a new
   kernel doesn't fail the gate until its baseline is committed).
 
+The comparison math is shared with `security_gate.py` via `gate_core`.
+
 Exit codes: 0 pass (including the soft-pass when the baseline file is
 missing — a fresh branch should not be blocked on a number it cannot
 have yet), 1 regression or unreadable current run.
 """
 
-import json
 import sys
 
-
-def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        return json.load(f)
-
-
-def gated_metrics(doc):
-    """Extracts {name: (value, direction)} from either artifact shape."""
-    out = {}
-    metrics = doc.get("metrics")
-    if isinstance(metrics, dict):
-        for name, spec in metrics.items():
-            direction = spec.get("direction", "higher")
-            if direction not in ("higher", "lower"):
-                raise ValueError(f"metric {name}: bad direction {direction!r}")
-            out[name] = (float(spec["value"]), direction)
-    if "peak_sessions_per_sec" in doc:
-        out["peak_sessions_per_sec"] = (
-            float(doc["peak_sessions_per_sec"]),
-            "higher",
-        )
-    if not out:
-        raise ValueError(
-            "no gateable metrics (expected 'metrics' object or "
-            "'peak_sessions_per_sec')"
-        )
-    return out
+import gate_core
 
 
 def main(argv):
@@ -70,51 +45,23 @@ def main(argv):
     baseline_path, current_path = args
 
     try:
-        current = gated_metrics(load(current_path))
+        current = gate_core.gated_metrics(gate_core.load(current_path))
     except (OSError, ValueError, KeyError) as e:
         print(f"bench-gate: cannot read current run {current_path}: {e}")
         return 1
 
     try:
-        baseline = gated_metrics(load(baseline_path))
+        baseline = gate_core.gated_metrics(gate_core.load(baseline_path))
     except OSError:
         # Soft pass: no baseline committed yet. The fresh JSON is uploaded
         # as an artifact so it can be committed as the new baseline.
-        summary = ", ".join(f"{k} {v:.2f}" for k, (v, _) in sorted(current.items()))
-        print(
-            f"bench-gate: no baseline at {baseline_path} — soft pass "
-            f"(current: {summary}; commit the uploaded artifact to "
-            f"enable the gate)"
-        )
+        gate_core.soft_pass_summary("bench-gate", baseline_path, current)
         return 0
     except (ValueError, KeyError) as e:
         print(f"bench-gate: baseline {baseline_path} is not usable: {e}")
         return 1
 
-    failed = []
-    for name in sorted(set(baseline) | set(current)):
-        if name not in baseline or name not in current:
-            side = "baseline" if name not in current else "current"
-            print(f"bench-gate: {name}: only in {side} — not gated")
-            continue
-        base, direction = baseline[name]
-        cur = current[name][0]
-        if direction == "higher":
-            limit = base * (1.0 - tolerance)
-            ok = cur >= limit
-            bound = "floor"
-        else:
-            limit = base * (1.0 + tolerance)
-            ok = cur <= limit
-            bound = "ceiling"
-        print(
-            f"bench-gate: {name}: baseline {base:.2f}, current {cur:.2f}, "
-            f"{bound} {limit:.2f} ({tolerance:.0%} tolerance) -> "
-            f"{'PASS' if ok else 'FAIL'}"
-        )
-        if not ok:
-            failed.append(name)
-
+    failed = gate_core.compare_metrics(baseline, current, tolerance, "bench-gate")
     if failed:
         print(
             f"bench-gate: regressed beyond tolerance: {', '.join(failed)}. "

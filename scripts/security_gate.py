@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Security-regression gate for the CI `security-gate` job.
+
+Compares a fresh `exp_robustness --quick` run against the committed
+baseline (`results/BENCH_robustness.json`) and fails the build when the
+defense got measurably easier to fool:
+
+* **Per-cell EER** (`"cells"` array, keyed family/environment/policy):
+  every cell present in BOTH files must keep its EER within
+  `--eer-tolerance-pp` percentage points of the baseline (absolute
+  tolerance — a relative one degenerates at EER 0). Cells only one side
+  has are reported, not gated, so adding an attack family doesn't fail
+  the build until its baseline is committed.
+* **Per-family FAR** (`"families"` object): a family's aggregate false
+  accept rate must not rise at all (beyond `--far-tolerance-pp`,
+  default 0 with a tiny float epsilon). FRR may drift — an
+  over-rejecting defense is annoying; an over-accepting one is broken.
+* Any top-level `"metrics"` object is reported via the shared
+  `gate_core` comparison for context, but the cell/family checks above
+  are what gate.
+
+  security_gate.py <baseline.json> <current.json>
+      [--eer-tolerance-pp 10.0] [--far-tolerance-pp 0.0]
+
+Exit codes: 0 pass (including the soft-pass when the baseline file is
+missing — a fresh branch cannot have one yet), 1 regression or
+unreadable/malformed input.
+"""
+
+import sys
+
+import gate_core
+
+# One float ulp of slack so a bit-identical FAR never trips the
+# strict no-rise check through formatting round-trips.
+FAR_EPSILON_PP = 1e-9
+
+
+def cell_key(cell):
+    """Stable identity of a matrix cell."""
+    return (cell["family"], cell["environment"], cell["policy"])
+
+
+def extract(doc):
+    """Pulls {cell_key: eer_pct} and {family: far_pct} from a gate JSON.
+
+    Raises ValueError when the document lacks the robustness shape.
+    """
+    cells = doc.get("cells")
+    families = doc.get("families")
+    if not isinstance(cells, list) or not isinstance(families, dict):
+        raise ValueError("expected 'cells' array and 'families' object")
+    eer = {}
+    for cell in cells:
+        eer[cell_key(cell)] = float(cell["eer_pct"])
+    far = {name: float(spec["far_pct"]) for name, spec in families.items()}
+    if not eer or not far:
+        raise ValueError("empty 'cells' or 'families'")
+    return eer, far
+
+
+def gate_cells(base_eer, cur_eer, tolerance_pp):
+    """Gates per-cell EER; returns failed cell labels."""
+    failed = []
+    for key in sorted(set(base_eer) | set(cur_eer)):
+        label = "/".join(key)
+        if key not in base_eer or key not in cur_eer:
+            side = "baseline" if key not in cur_eer else "current"
+            print(f"security-gate: cell {label}: only in {side} — not gated")
+            continue
+        base, cur = base_eer[key], cur_eer[key]
+        limit = gate_core.metric_limit(base, "lower", tolerance_pp, absolute=True)
+        ok = gate_core.within(cur, limit, "lower")
+        if not ok:
+            print(
+                f"security-gate: cell {label}: EER {base:.2f}% -> {cur:.2f}% "
+                f"(ceiling {limit:.2f}%, +{tolerance_pp:g}pp) -> FAIL"
+            )
+            failed.append(label)
+    worst = max(
+        (cur_eer[k] - base_eer[k] for k in set(base_eer) & set(cur_eer)),
+        default=0.0,
+    )
+    print(
+        f"security-gate: {len(set(base_eer) & set(cur_eer))} cells gated, "
+        f"worst EER drift {worst:+.2f}pp (tolerance +{tolerance_pp:g}pp)"
+    )
+    return failed
+
+
+def gate_families(base_far, cur_far, tolerance_pp):
+    """Gates per-family FAR no-rise; returns failed family names."""
+    failed = []
+    for name in sorted(set(base_far) | set(cur_far)):
+        if name not in base_far or name not in cur_far:
+            side = "baseline" if name not in cur_far else "current"
+            print(f"security-gate: family {name}: only in {side} — not gated")
+            continue
+        base, cur = base_far[name], cur_far[name]
+        limit = base + tolerance_pp + FAR_EPSILON_PP
+        ok = cur <= limit
+        print(
+            f"security-gate: family {name}: FAR {base:.2f}% -> {cur:.2f}% "
+            f"(no-rise) -> {'PASS' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failed.append(name)
+    return failed
+
+
+def main(argv):
+    args = []
+    eer_tolerance_pp = 10.0
+    far_tolerance_pp = 0.0
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--eer-tolerance-pp":
+            eer_tolerance_pp = float(next(it, "10.0"))
+        elif a.startswith("--eer-tolerance-pp="):
+            eer_tolerance_pp = float(a.split("=", 1)[1])
+        elif a == "--far-tolerance-pp":
+            far_tolerance_pp = float(next(it, "0.0"))
+        elif a.startswith("--far-tolerance-pp="):
+            far_tolerance_pp = float(a.split("=", 1)[1])
+        elif not a.startswith("--"):
+            args.append(a)
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    baseline_path, current_path = args
+
+    try:
+        cur_doc = gate_core.load(current_path)
+        cur_eer, cur_far = extract(cur_doc)
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        print(f"security-gate: cannot read current run {current_path}: {e}")
+        return 1
+
+    try:
+        base_doc = gate_core.load(baseline_path)
+    except OSError:
+        # Soft pass: no baseline committed yet. The fresh JSON is uploaded
+        # as an artifact so it can be committed as the new baseline.
+        summary = ", ".join(f"{k} {v:.2f}%" for k, v in sorted(cur_far.items()))
+        print(
+            f"security-gate: no baseline at {baseline_path} — soft pass "
+            f"(current family FAR: {summary}; commit the uploaded artifact "
+            f"to enable the gate)"
+        )
+        return 0
+    try:
+        base_eer, base_far = extract(base_doc)
+    except (ValueError, KeyError, TypeError) as e:
+        print(f"security-gate: baseline {baseline_path} is not usable: {e}")
+        return 1
+
+    # Context-only: summary metrics through the shared comparison.
+    try:
+        gate_core.compare_metrics(
+            gate_core.gated_metrics(base_doc),
+            gate_core.gated_metrics(cur_doc),
+            eer_tolerance_pp,
+            "security-gate (summary)",
+            absolute=True,
+        )
+    except ValueError:
+        pass  # no summary metrics block — the cell/family gates still run
+
+    failed = gate_cells(base_eer, cur_eer, eer_tolerance_pp)
+    failed += gate_families(base_far, cur_far, far_tolerance_pp)
+    if failed:
+        print(
+            f"security-gate: security regression: {', '.join(failed)}. "
+            "If the shift is an intentional trade-off, regenerate the "
+            "baseline with `cargo run --release -p magshield-bench --bin "
+            "exp_robustness -- --quick` and commit the refreshed "
+            "results/BENCH_robustness.json with a justification."
+        )
+        return 1
+    print("security-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,152 @@
+"""Unit tests for security_gate.py (CI `gate-selftest`).
+
+Run from the repo root with:
+
+    python3 -m unittest discover -s scripts
+"""
+
+import copy
+import json
+import os
+import tempfile
+import unittest
+
+import security_gate
+
+
+def cell(family, environment, policy, far=0.0, eer=0.0):
+    return {
+        "family": family,
+        "environment": environment,
+        "policy": policy,
+        "attacks": 4,
+        "genuine": 8,
+        "far_pct": far,
+        "frr_pct": 12.5,
+        "eer_pct": eer,
+    }
+
+
+def doc(cells, families):
+    return {
+        "experiment": "robustness",
+        "quick": True,
+        "cells": cells,
+        "families": {
+            name: {"far_pct": far} for name, far in families.items()
+        },
+    }
+
+
+BASELINE = doc(
+    [
+        cell("replay", "quiet", "short_circuit", far=0.0, eer=0.0),
+        cell("replay", "car_cabin", "short_circuit", far=0.0, eer=12.5),
+        cell("mimicry", "quiet", "short_circuit", far=25.0, eer=12.5),
+    ],
+    {"replay": 0.0, "mimicry": 25.0},
+)
+
+
+class SecurityGateTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_gate(self, baseline, current, *extra):
+        return security_gate.main(["security_gate.py", baseline, current, *extra])
+
+    def test_identical_run_passes(self):
+        base = self.write("base.json", BASELINE)
+        cur = self.write("cur.json", BASELINE)
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_eer_within_tolerance_passes(self):
+        current = copy.deepcopy(BASELINE)
+        current["cells"][1]["eer_pct"] = 20.0  # +7.5pp under the 10pp default
+        base = self.write("base.json", BASELINE)
+        cur = self.write("cur.json", current)
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_eer_regression_beyond_tolerance_fails(self):
+        current = copy.deepcopy(BASELINE)
+        current["cells"][1]["eer_pct"] = 30.0  # +17.5pp
+        base = self.write("base.json", BASELINE)
+        cur = self.write("cur.json", current)
+        self.assertEqual(self.run_gate(base, cur), 1)
+        # A looser explicit tolerance lets the same drift through.
+        self.assertEqual(
+            self.run_gate(base, cur, "--eer-tolerance-pp", "20.0"), 0
+        )
+
+    def test_any_family_far_rise_fails(self):
+        current = copy.deepcopy(BASELINE)
+        current["families"]["replay"]["far_pct"] = 0.01  # tiny but a rise
+        base = self.write("base.json", BASELINE)
+        cur = self.write("cur.json", current)
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_far_drop_and_frr_drift_pass(self):
+        current = copy.deepcopy(BASELINE)
+        current["families"]["mimicry"]["far_pct"] = 10.0  # improvement
+        for c in current["cells"]:
+            c["frr_pct"] = 50.0  # FRR is not gated
+        base = self.write("base.json", BASELINE)
+        cur = self.write("cur.json", current)
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_new_cell_or_family_is_not_gated(self):
+        current = copy.deepcopy(BASELINE)
+        current["cells"].append(
+            cell("new_attack", "quiet", "short_circuit", far=100.0, eer=50.0)
+        )
+        current["families"]["new_attack"] = {"far_pct": 100.0}
+        base = self.write("base.json", BASELINE)
+        cur = self.write("cur.json", current)
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_missing_baseline_soft_passes(self):
+        cur = self.write("cur.json", BASELINE)
+        missing = os.path.join(self.dir.name, "nope.json")
+        self.assertEqual(self.run_gate(missing, cur), 0)
+
+    def test_malformed_current_fails(self):
+        base = self.write("base.json", BASELINE)
+        cur = self.write("cur.json", "{not json")
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_current_without_robustness_shape_fails(self):
+        base = self.write("base.json", BASELINE)
+        cur = self.write("cur.json", {"metrics": {}})
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_malformed_baseline_fails_hard(self):
+        # A corrupt committed baseline is a repo bug, not a soft pass.
+        base = self.write("base.json", {"cells": [], "families": {}})
+        cur = self.write("cur.json", BASELINE)
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_usage_error(self):
+        self.assertEqual(security_gate.main(["security_gate.py"]), 1)
+
+    def test_committed_baseline_gates_itself(self):
+        # The real committed artifact must pass against itself — this is
+        # the same invariant the CI job relies on.
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        committed = os.path.join(repo, "results", "BENCH_robustness.json")
+        if not os.path.exists(committed):
+            self.skipTest("no committed baseline yet")
+        self.assertEqual(self.run_gate(committed, committed), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,139 @@
+//! Attack-corpus invariants behind the security gate.
+//!
+//! The robustness matrix is only a regression gate if its corpus is
+//! reproducible: the same seed must yield a bit-identical corpus on
+//! every run, and every generated session must be well-formed enough to
+//! survive the deployment path (protocol v6 framing included). These
+//! tests pin both properties for every attack family.
+
+use magshield::core::robustness::{attack_sessions, AttackFamily, EnvKind};
+use magshield::core::scenario::UserContext;
+use magshield::core::server::protocol::{
+    decode_frame, encode_request, encode_stream_chunk, encode_stream_open, Message,
+};
+use magshield::core::session::SessionData;
+use magshield::core::stream::{chunk_session, StreamConfig, StreamOpenInfo};
+use magshield::simkit::rng::SimRng;
+use proptest::prelude::*;
+
+fn corpus_user(seed: u64) -> (UserContext, SimRng) {
+    let rng = SimRng::from_seed(seed);
+    (UserContext::sample(&rng.fork("user")), rng)
+}
+
+fn family_session(family: AttackFamily, seed: u64) -> SessionData {
+    let (user, rng) = corpus_user(seed);
+    attack_sessions(&user, family, EnvKind::Desktop, 1, &rng.fork("corpus"))
+        .pop()
+        .expect("one session")
+}
+
+/// Same seed ⇒ bit-identical corpus, for every family and environment.
+/// `SessionData` derives `PartialEq` over every raw sample vector, so
+/// this is full bitwise equality of the generated sensor data.
+#[test]
+fn corpus_is_deterministic_under_a_fixed_seed() {
+    let (user_a, rng_a) = corpus_user(20170605);
+    let (user_b, rng_b) = corpus_user(20170605);
+    for family in AttackFamily::all() {
+        for env in EnvKind::all() {
+            let a = attack_sessions(&user_a, family, env, 3, &rng_a.fork("corpus"));
+            let b = attack_sessions(&user_b, family, env, 3, &rng_b.fork("corpus"));
+            assert_eq!(
+                a, b,
+                "{family:?}/{env:?}: same seed must reproduce the corpus bit-identically"
+            );
+        }
+    }
+}
+
+/// Different seeds must not collide — a constant corpus would also pass
+/// the determinism test while gating nothing.
+#[test]
+fn corpus_varies_with_the_seed() {
+    for family in AttackFamily::all() {
+        let a = family_session(family, 1);
+        let b = family_session(family, 2);
+        assert_ne!(a, b, "{family:?}: different seeds must differ");
+    }
+}
+
+/// Every family's session survives a one-shot protocol round trip: the
+/// verify-request frame decodes back to the identical session.
+#[test]
+fn every_family_round_trips_a_verify_request() {
+    for (i, family) in AttackFamily::all().into_iter().enumerate() {
+        let session = family_session(family, 77);
+        let frame = encode_request(1000 + i as u64, &session);
+        match decode_frame(&frame).expect("frame decodes") {
+            Message::VerifyRequest {
+                request_id,
+                session: decoded,
+            } => {
+                assert_eq!(request_id, 1000 + i as u64);
+                assert_eq!(decoded, session, "{family:?}: session must round-trip");
+            }
+            other => panic!("{family:?}: unexpected frame {other:?}"),
+        }
+    }
+}
+
+/// Every family's session survives protocol v6 stream framing: the open
+/// frame round-trips its metadata and every chunk decodes bit-identical.
+#[test]
+fn every_family_round_trips_stream_frames() {
+    for family in AttackFamily::all() {
+        let session = family_session(family, 99);
+        let info = StreamOpenInfo::for_session(&session);
+        let open = encode_stream_open(7, 1, &info, StreamConfig::default());
+        match decode_frame(&open).expect("open decodes") {
+            Message::StreamOpen {
+                info: decoded_info, ..
+            } => {
+                assert_eq!(decoded_info.claimed_speaker, info.claimed_speaker);
+                assert_eq!(decoded_info.dual_mic, info.dual_mic);
+            }
+            other => panic!("{family:?}: unexpected frame {other:?}"),
+        }
+        for (ci, chunk) in chunk_session(&session, 1024).iter().enumerate() {
+            let frame = encode_stream_chunk(7, 1, chunk);
+            match decode_frame(&frame).expect("chunk decodes") {
+                Message::StreamChunk { chunk: decoded, .. } => {
+                    assert_eq!(&decoded, chunk, "{family:?} chunk {ci} must round-trip");
+                }
+                other => panic!("{family:?}: unexpected frame {other:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Protocol v6 chunk framing is lossless for every attack family at
+    /// any chunk granularity: re-concatenating the decoded chunks
+    /// reproduces the session's raw streams exactly.
+    #[test]
+    fn chunked_corpus_survives_v6_framing(
+        family_idx in 0usize..8,
+        chunk_audio in 64usize..4096,
+        seed in 1u64..500,
+    ) {
+        let family = AttackFamily::all()[family_idx];
+        let session = family_session(family, seed);
+        let mut audio = Vec::new();
+        let mut mag = Vec::new();
+        for chunk in chunk_session(&session, chunk_audio) {
+            let frame = encode_stream_chunk(3, 9, &chunk);
+            let decoded = match decode_frame(&frame).expect("chunk decodes") {
+                Message::StreamChunk { chunk, .. } => chunk,
+                other => panic!("unexpected frame {other:?}"),
+            };
+            prop_assert_eq!(&decoded, &chunk);
+            audio.extend_from_slice(&decoded.audio);
+            mag.extend_from_slice(&decoded.mag);
+        }
+        prop_assert_eq!(audio, session.audio);
+        prop_assert_eq!(mag, session.mag_readings);
+    }
+}
