@@ -43,6 +43,12 @@ pub struct FeatureExtractor {
     pub use_deltas: bool,
     /// Whether to apply per-utterance cepstral mean normalization.
     pub use_cmn: bool,
+    /// Run MFCC extraction through the fused pre-emphasis+window+real-FFT
+    /// front end ([`MfccExtractor::extract_fused_into`]). Opt-in: fused
+    /// output agrees with the exact path to rounding error but is not
+    /// bitwise identical, so the default stays on the path every committed
+    /// score was produced with.
+    pub fused_frontend: bool,
 }
 
 impl FeatureExtractor {
@@ -53,6 +59,7 @@ impl FeatureExtractor {
             vad: VadConfig::default(),
             use_deltas: true,
             use_cmn: true,
+            fused_frontend: false,
         }
     }
 
@@ -97,16 +104,26 @@ impl FeatureExtractor {
             audio // fall back if VAD ate everything (e.g. quiet replays)
         };
         if self.use_deltas {
-            self.mfcc.extract_into(source, &mut s.dsp, &mut s.base);
+            self.mfcc_into(source, &mut s.dsp, &mut s.base);
             if self.use_cmn {
                 cepstral_mean_normalize_flat(&mut s.base);
             }
             append_deltas_into(&s.base, out);
         } else {
-            self.mfcc.extract_into(source, &mut s.dsp, out);
+            self.mfcc_into(source, &mut s.dsp, out);
             if self.use_cmn {
                 cepstral_mean_normalize_flat(out);
             }
+        }
+    }
+
+    /// Base MFCC extraction through the configured path (exact by default,
+    /// fused when [`Self::fused_frontend`] is set).
+    fn mfcc_into(&self, source: &[f64], pad: &mut ScratchPad, out: &mut FrameMatrix) {
+        if self.fused_frontend {
+            self.mfcc.extract_fused_into(source, pad, out);
+        } else {
+            self.mfcc.extract_into(source, pad, out);
         }
     }
 }
@@ -203,21 +220,32 @@ impl StreamingExtractor {
 /// The front end is configuration, not learned state: serializing the
 /// sample rate and feature switches is enough to rebuild it exactly via
 /// [`FeatureExtractor::new`] (MFCC geometry and VAD defaults are derived).
+///
+/// Version 2 appends the `fused_frontend` switch; version-1 artifacts
+/// (the committed golden bundle among them) still decode with the flag
+/// off — the path they were trained and scored on.
 impl BinaryCodec for FeatureExtractor {
     const MAGIC: u32 = codec::magic(b"MFEX");
-    const VERSION: u8 = 1;
+    const VERSION: u8 = 2;
+    const MIN_VERSION: u8 = 1;
     const NAME: &'static str = "FeatureExtractor";
 
     fn encode_payload(&self, w: &mut ByteWriter) {
         w.put_f64(self.sample_rate());
         w.put_bool(self.use_deltas);
         w.put_bool(self.use_cmn);
+        w.put_bool(self.fused_frontend);
     }
 
     fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Self::decode_versioned_payload(Self::VERSION, r)
+    }
+
+    fn decode_versioned_payload(version: u8, r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         let sample_rate = r.get_f64()?;
         let use_deltas = r.get_bool()?;
         let use_cmn = r.get_bool()?;
+        let fused_frontend = if version >= 2 { r.get_bool()? } else { false };
         if !(sample_rate.is_finite() && sample_rate >= 1000.0) {
             return Err(CodecError::Invalid {
                 artifact: Self::NAME,
@@ -227,6 +255,7 @@ impl BinaryCodec for FeatureExtractor {
         let mut fx = Self::new(sample_rate);
         fx.use_deltas = use_deltas;
         fx.use_cmn = use_cmn;
+        fx.fused_frontend = fused_frontend;
         Ok(fx)
     }
 }
@@ -327,6 +356,49 @@ mod tests {
         // Activity should register once the loud segment starts.
         sx.push(&sig[8000..]);
         assert!(sx.activity_ratio() > 0.3);
+    }
+
+    #[test]
+    fn fused_frontend_agrees_with_exact_to_rounding() {
+        let sig = speechy(16_000.0);
+        let exact_fx = FeatureExtractor::new(16_000.0);
+        let mut fused_fx = FeatureExtractor::new(16_000.0);
+        fused_fx.fused_frontend = true;
+        let exact = exact_fx.extract(&sig);
+        let fused = fused_fx.extract(&sig);
+        assert_eq!(fused.rows(), exact.rows());
+        assert_eq!(fused.cols(), exact.cols());
+        for (t, (f, e)) in fused.iter_rows().zip(exact.iter_rows()).enumerate() {
+            for (d, (fv, ev)) in f.iter().zip(e).enumerate() {
+                assert!((fv - ev).abs() < 1e-7, "frame {t} dim {d}: {fv} vs {ev}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_flag_round_trips_and_v1_defaults_off() {
+        let mut fx = FeatureExtractor::new(16_000.0);
+        fx.fused_frontend = true;
+        let back = FeatureExtractor::from_bytes(&fx.to_bytes()).unwrap();
+        assert!(back.fused_frontend);
+        // A v1 frame: version byte 1, payload without the trailing flag.
+        let mut payload = ByteWriter::new();
+        fx.encode_payload(&mut payload);
+        let mut payload = payload.into_bytes();
+        payload.pop();
+        let mut w = ByteWriter::new();
+        w.put_u32(FeatureExtractor::MAGIC);
+        w.put_u8(1);
+        w.put_len(payload.len());
+        let mut frame = w.into_bytes();
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&codec::fnv1a_64(&frame).to_le_bytes());
+        let v1 = FeatureExtractor::from_bytes(&frame).unwrap();
+        assert!(
+            !v1.fused_frontend,
+            "v1 artifacts must decode with fused off"
+        );
+        assert_eq!(v1.sample_rate(), fx.sample_rate());
     }
 
     #[test]

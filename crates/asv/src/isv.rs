@@ -23,7 +23,7 @@ use crate::frontend::FeatureExtractor;
 use crate::model::{with_session_scratch, AsvScore, CohortUtterance, SpeakerModel, UbmBackend};
 use magshield_dsp::frame::{FrameMatrix, FrameSource, FrameSourceMut};
 use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
-use magshield_ml::gmm::{llr_score_prepared, DiagonalGmm};
+use magshield_ml::gmm::{llr_score_prepared, llr_score_quantized, DiagonalGmm};
 use magshield_ml::pca::Pca;
 
 /// Relevance factor damping low-evidence components in the supervector.
@@ -257,16 +257,41 @@ impl IsvBackend {
     /// (the supervector projection dominates the ISV path); only the
     /// GMM scoring reuses the per-thread scratch.
     pub fn score_detailed(&self, model: &SpeakerModel, audio: &[f64], top_c: usize) -> AsvScore {
+        self.score_detailed_opts(model, audio, top_c, false)
+    }
+
+    /// [`Self::score_detailed`] with an explicit quantized-model toggle:
+    /// when `quantized` is set, GMM scoring runs on the cached i16-mean
+    /// [`magshield_ml::gmm::QuantizedGmm`] pair instead of the exact
+    /// [`magshield_ml::gmm::PreparedGmm`] pair. Compensation always runs
+    /// on the exact UBM (the subspace was trained against it).
+    pub fn score_detailed_opts(
+        &self,
+        model: &SpeakerModel,
+        audio: &[f64],
+        top_c: usize,
+        quantized: bool,
+    ) -> AsvScore {
         let mut frames = self.ubm_backend.extractor.extract(audio);
         self.subspace.compensate(&self.ubm_backend.ubm, &mut frames);
         let b = with_session_scratch(|s| {
-            llr_score_prepared(
-                model.prepared(),
-                self.ubm_backend.prepared_ubm(),
-                &frames,
-                top_c,
-                &mut s.score,
-            )
+            if quantized {
+                llr_score_quantized(
+                    model.quantized(),
+                    self.ubm_backend.quantized_ubm(),
+                    &frames,
+                    top_c,
+                    &mut s.score,
+                )
+            } else {
+                llr_score_prepared(
+                    model.prepared(),
+                    self.ubm_backend.prepared_ubm(),
+                    &frames,
+                    top_c,
+                    &mut s.score,
+                )
+            }
         });
         AsvScore {
             z: model.normalize(b.score),

@@ -17,7 +17,9 @@
 use crate::frontend::{FeatureExtractor, FrontendScratch};
 use magshield_dsp::frame::{FrameMatrix, FrameSource};
 use magshield_ml::codec::{self, BinaryCodec, ByteReader, ByteWriter, CodecError};
-use magshield_ml::gmm::{llr_score_prepared, DiagonalGmm, PreparedGmm, ScoreScratch};
+use magshield_ml::gmm::{
+    llr_score_prepared, llr_score_quantized, DiagonalGmm, PreparedGmm, QuantizedGmm, ScoreScratch,
+};
 use std::cell::RefCell;
 use std::sync::OnceLock;
 
@@ -45,6 +47,7 @@ pub struct SpeakerModel {
     /// authentication — anchors the operating point to this value.
     pub genuine_ref: Option<f64>,
     prepared: OnceLock<PreparedGmm>,
+    quantized: OnceLock<QuantizedGmm>,
 }
 
 impl SpeakerModel {
@@ -61,6 +64,7 @@ impl SpeakerModel {
             znorm,
             genuine_ref,
             prepared: OnceLock::new(),
+            quantized: OnceLock::new(),
         }
     }
 
@@ -68,6 +72,13 @@ impl SpeakerModel {
     /// cached for the model's lifetime).
     pub fn prepared(&self) -> &PreparedGmm {
         self.prepared.get_or_init(|| PreparedGmm::new(&self.gmm))
+    }
+
+    /// The prepared mixture quantized for the low-bandwidth scoring path
+    /// (computed once, cached for the model's lifetime).
+    pub fn quantized(&self) -> &QuantizedGmm {
+        self.quantized
+            .get_or_init(|| QuantizedGmm::from_prepared(self.prepared()))
     }
 
     /// Applies Z-norm (identity when no statistics are present).
@@ -160,6 +171,7 @@ pub struct UbmBackend {
     /// Pre-extracted cohort utterances for Z-norm, with cached UBM terms.
     cohort: Vec<CohortUtterance>,
     prepared: OnceLock<PreparedGmm>,
+    quantized: OnceLock<QuantizedGmm>,
 }
 
 impl UbmBackend {
@@ -170,12 +182,20 @@ impl UbmBackend {
             ubm,
             cohort: Vec::new(),
             prepared: OnceLock::new(),
+            quantized: OnceLock::new(),
         }
     }
 
     /// The UBM folded into fast-scoring constants (computed once, cached).
     pub fn prepared_ubm(&self) -> &PreparedGmm {
         self.prepared.get_or_init(|| PreparedGmm::new(&self.ubm))
+    }
+
+    /// The prepared UBM quantized for the low-bandwidth scoring path
+    /// (computed once, cached).
+    pub fn quantized_ubm(&self) -> &QuantizedGmm {
+        self.quantized
+            .get_or_init(|| QuantizedGmm::from_prepared(self.prepared_ubm()))
     }
 
     /// Attaches a Z-norm cohort (typically utterances from the UBM
@@ -244,7 +264,20 @@ impl UbmBackend {
     /// scratch. `top_c` bounds the speaker-side Gaussian evaluations per
     /// frame (`0` = exact, all components).
     pub fn score_detailed(&self, model: &SpeakerModel, audio: &[f64], top_c: usize) -> AsvScore {
-        with_session_scratch(|s| self.score_detailed_with(model, audio, top_c, s))
+        self.score_detailed_opts(model, audio, top_c, false)
+    }
+
+    /// [`Self::score_detailed`] with the scoring backend selectable:
+    /// `quantized` scores on the i16-mean [`QuantizedGmm`] pair (see
+    /// [`magshield_ml::gmm::llr_drift_bound`] for the drift guarantee).
+    pub fn score_detailed_opts(
+        &self,
+        model: &SpeakerModel,
+        audio: &[f64],
+        top_c: usize,
+        quantized: bool,
+    ) -> AsvScore {
+        with_session_scratch(|s| self.score_detailed_opts_with(model, audio, top_c, quantized, s))
     }
 
     /// [`Self::score_detailed`] with an explicit scratch (for callers that
@@ -256,16 +289,38 @@ impl UbmBackend {
         top_c: usize,
         s: &mut SessionScratch,
     ) -> AsvScore {
+        self.score_detailed_opts_with(model, audio, top_c, false, s)
+    }
+
+    /// [`Self::score_detailed_opts`] with an explicit scratch.
+    pub fn score_detailed_opts_with(
+        &self,
+        model: &SpeakerModel,
+        audio: &[f64],
+        top_c: usize,
+        quantized: bool,
+        s: &mut SessionScratch,
+    ) -> AsvScore {
         let before = s.footprint_bytes();
         self.extractor
             .extract_into(audio, &mut s.frontend, &mut s.frames);
-        let b = llr_score_prepared(
-            model.prepared(),
-            self.prepared_ubm(),
-            &s.frames,
-            top_c,
-            &mut s.score,
-        );
+        let b = if quantized {
+            llr_score_quantized(
+                model.quantized(),
+                self.quantized_ubm(),
+                &s.frames,
+                top_c,
+                &mut s.score,
+            )
+        } else {
+            llr_score_prepared(
+                model.prepared(),
+                self.prepared_ubm(),
+                &s.frames,
+                top_c,
+                &mut s.score,
+            )
+        };
         AsvScore {
             z: model.normalize(b.score),
             frames: b.frames,

@@ -19,7 +19,9 @@ use magshield_asv::frontend::{FeatureExtractor, FrontendScratch};
 use magshield_asv::ubm::{train_ubm, UbmConfig};
 use magshield_bench::{print_header, print_row, EXPERIMENT_SEED};
 use magshield_dsp::frame::FrameMatrix;
-use magshield_ml::gmm::{LlrScorer, ScoreScratch};
+use magshield_ml::gmm::{
+    llr_score_quantized, llr_score_sequential, LlrScorer, PreparedGmm, QuantizedGmm, ScoreScratch,
+};
 use magshield_simkit::rng::SimRng;
 use magshield_voice::corpus::voxforge_like;
 use magshield_voice::synth::VOICE_SAMPLE_RATE;
@@ -33,9 +35,13 @@ const TOP_C: usize = 8;
 struct Timings {
     extract_reference: f64,
     extract_fast: f64,
+    extract_fused: f64,
     llr_reference: f64,
+    llr_sequential_exact: f64,
+    llr_sequential_pruned: f64,
     llr_prepared_exact: f64,
     llr_prepared_pruned: f64,
+    llr_quantized_exact: f64,
     frames: usize,
     components: usize,
 }
@@ -85,9 +91,13 @@ fn main() {
     let t = Timings {
         extract_reference: time_extract_reference(&fx, &audio, budget_s),
         extract_fast: time_extract_fast(&fx, &audio, budget_s),
+        extract_fused: time_extract_fused(&fx, &audio, budget_s),
         llr_reference: time_llr_reference(&speaker, &ubm, &frames, budget_s),
+        llr_sequential_exact: time_llr_sequential(&speaker, &ubm, &frames, 0, budget_s),
+        llr_sequential_pruned: time_llr_sequential(&speaker, &ubm, &frames, TOP_C, budget_s),
         llr_prepared_exact: time_llr_prepared(&speaker, &ubm, &frames, 0, budget_s),
         llr_prepared_pruned: time_llr_prepared(&speaker, &ubm, &frames, TOP_C, budget_s),
+        llr_quantized_exact: time_llr_quantized(&speaker, &ubm, &frames, 0, budget_s),
         frames: frames.rows(),
         components,
     };
@@ -104,9 +114,27 @@ fn main() {
         "extract fast",
         &[t.extract_fast, t.extract_reference / t.extract_fast],
     );
+    print_row(
+        "extract fused",
+        &[t.extract_fused, t.extract_fast / t.extract_fused],
+    );
     print_row("llr ref", &[t.llr_reference, 1.0]);
     print_row(
-        "llr prepared",
+        "llr seq exact",
+        &[
+            t.llr_sequential_exact,
+            t.llr_reference / t.llr_sequential_exact,
+        ],
+    );
+    print_row(
+        &format!("llr seq top-{TOP_C}"),
+        &[
+            t.llr_sequential_pruned,
+            t.llr_reference / t.llr_sequential_pruned,
+        ],
+    );
+    print_row(
+        "llr batched",
         &[t.llr_prepared_exact, t.llr_reference / t.llr_prepared_exact],
     );
     print_row(
@@ -116,23 +144,40 @@ fn main() {
             t.llr_reference / t.llr_prepared_pruned,
         ],
     );
+    print_row(
+        "llr quantized",
+        &[
+            t.llr_quantized_exact,
+            t.llr_reference / t.llr_quantized_exact,
+        ],
+    );
 
     write_json(&out, quick, &t);
 }
 
 /// Runs `f` until `budget_s` of wall clock is spent (after a short
-/// warm-up) and returns mean ns per frame.
+/// warm-up) and returns ns per frame of the *fastest* of four
+/// equal-budget slices. The minimum is the standard noise-robust
+/// estimator on shared machines: interference (CI neighbors, kernel
+/// housekeeping) only ever adds time, so the fastest slice is the
+/// closest observation of the kernel's true cost.
 fn time_ns_per_frame(frames: usize, budget_s: f64, mut f: impl FnMut()) -> f64 {
     for _ in 0..3 {
         f();
     }
-    let start = Instant::now();
-    let mut iters = 0u64;
-    while start.elapsed().as_secs_f64() < budget_s {
-        f();
-        iters += 1;
+    let slice_s = budget_s / 4.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..4 {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed().as_secs_f64() < slice_s {
+            f();
+            iters += 1;
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / (iters as f64 * frames as f64);
+        best = best.min(ns);
     }
-    start.elapsed().as_secs_f64() * 1e9 / (iters as f64 * frames as f64)
+    best
 }
 
 /// The pre-fast-path idiom: every call allocates its scratch and output.
@@ -145,6 +190,22 @@ fn time_extract_reference(fx: &FeatureExtractor, audio: &[f64], budget_s: f64) -
 
 /// The fast path: scratch and output buffers reused across calls.
 fn time_extract_fast(fx: &FeatureExtractor, audio: &[f64], budget_s: f64) -> f64 {
+    let mut scratch = FrontendScratch::new();
+    let mut out = FrameMatrix::new(0);
+    fx.extract_into(audio, &mut scratch, &mut out);
+    let frames = out.rows();
+    time_ns_per_frame(frames, budget_s, || {
+        fx.extract_into(black_box(audio), &mut scratch, &mut out);
+        black_box(out.rows());
+    })
+}
+
+/// The fused front end: pre-emphasis, windowing, and even/odd real-FFT
+/// packing in one pass per frame, a half-size transform, and power
+/// computed during the unpack.
+fn time_extract_fused(fx: &FeatureExtractor, audio: &[f64], budget_s: f64) -> f64 {
+    let mut fx = fx.clone();
+    fx.fused_frontend = true;
     let mut scratch = FrontendScratch::new();
     let mut out = FrameMatrix::new(0);
     fx.extract_into(audio, &mut scratch, &mut out);
@@ -183,6 +244,41 @@ fn time_llr_prepared(
     })
 }
 
+/// The retained one-frame-at-a-time prepared scorer — the baseline the
+/// frame-major batched kernel is measured against.
+fn time_llr_sequential(
+    speaker: &magshield_ml::DiagonalGmm,
+    ubm: &magshield_ml::DiagonalGmm,
+    frames: &FrameMatrix,
+    top_c: usize,
+    budget_s: f64,
+) -> f64 {
+    let spk = PreparedGmm::new(speaker);
+    let bg = PreparedGmm::new(ubm);
+    let mut scratch = ScoreScratch::new();
+    time_ns_per_frame(frames.rows(), budget_s, || {
+        black_box(llr_score_sequential(&spk, &bg, black_box(frames), top_c, &mut scratch).score);
+    })
+}
+
+/// The quantized batched scorer: i16 means / f32 inverse variances
+/// dequantized on the fly — a quarter of the exact model's memory
+/// traffic.
+fn time_llr_quantized(
+    speaker: &magshield_ml::DiagonalGmm,
+    ubm: &magshield_ml::DiagonalGmm,
+    frames: &FrameMatrix,
+    top_c: usize,
+    budget_s: f64,
+) -> f64 {
+    let spk = QuantizedGmm::from_prepared(&PreparedGmm::new(speaker));
+    let bg = QuantizedGmm::from_prepared(&PreparedGmm::new(ubm));
+    let mut scratch = ScoreScratch::new();
+    time_ns_per_frame(frames.rows(), budget_s, || {
+        black_box(llr_score_quantized(&spk, &bg, black_box(frames), top_c, &mut scratch).score);
+    })
+}
+
 /// Hand-rolled JSON, same contract as `exp_throughput::write_json`: the
 /// gate parses it with Python. Ratios under `"metrics"` are gated;
 /// machine-dependent raw timings live under `"info"`.
@@ -205,6 +301,28 @@ fn write_json(path: &str, quick: bool, t: &Timings) {
     metrics.push_str(&metric(
         "llr_pruned_speedup",
         t.llr_reference / t.llr_prepared_pruned,
+        false,
+    ));
+    // The tentpole ratios: fused front end vs the scratch-reuse fast
+    // path; frame-major batched scoring vs the retained sequential
+    // scorer on identical exhaustive work (the pruned path's speaker
+    // side is per-frame in both kernels, so exact-vs-exact is the
+    // like-for-like measure of the batching transformation); and the
+    // quantized model vs the exact prepared model on the same
+    // all-block pass.
+    metrics.push_str(&metric(
+        "extract_fused_speedup",
+        t.extract_fast / t.extract_fused,
+        false,
+    ));
+    metrics.push_str(&metric(
+        "llr_batched_speedup",
+        t.llr_sequential_exact / t.llr_prepared_exact,
+        false,
+    ));
+    metrics.push_str(&metric(
+        "llr_quantized_speedup",
+        t.llr_prepared_exact / t.llr_quantized_exact,
         true,
     ));
     let json = format!(
@@ -212,16 +330,24 @@ fn write_json(path: &str, quick: bool, t: &Timings) {
          \"frames\": {},\n    \"components\": {},\n    \"top_c\": {TOP_C},\n    \
          \"extract_reference_ns_per_frame\": {:.1},\n    \
          \"extract_fast_ns_per_frame\": {:.1},\n    \
+         \"extract_fused_ns_per_frame\": {:.1},\n    \
          \"llr_reference_ns_per_frame\": {:.1},\n    \
+         \"llr_sequential_exact_ns_per_frame\": {:.1},\n    \
+         \"llr_sequential_top_c_ns_per_frame\": {:.1},\n    \
          \"llr_prepared_exact_ns_per_frame\": {:.1},\n    \
-         \"llr_prepared_top_c_ns_per_frame\": {:.1}\n  }},\n  \"metrics\": {{\n{metrics}  }}\n}}\n",
+         \"llr_prepared_top_c_ns_per_frame\": {:.1},\n    \
+         \"llr_quantized_exact_ns_per_frame\": {:.1}\n  }},\n  \"metrics\": {{\n{metrics}  }}\n}}\n",
         t.frames,
         t.components,
         t.extract_reference,
         t.extract_fast,
+        t.extract_fused,
         t.llr_reference,
+        t.llr_sequential_exact,
+        t.llr_sequential_pruned,
         t.llr_prepared_exact,
         t.llr_prepared_pruned,
+        t.llr_quantized_exact,
     );
     if let Some(dir) = std::path::Path::new(path).parent() {
         let _ = std::fs::create_dir_all(dir);

@@ -928,13 +928,23 @@ impl StageState for SpeakerIdState {
                 AsvEngine::Ubm(b) => b,
                 AsvEngine::Isv(b) => &b.ubm_backend,
             };
-            self.accum.ingest(
-                model.prepared(),
-                ubm.prepared_ubm(),
-                &view,
-                config.asv_top_c,
-                &mut self.scratch,
-            );
+            if config.asv_quantized {
+                self.accum.ingest_quantized(
+                    model.quantized(),
+                    ubm.quantized_ubm(),
+                    &view,
+                    config.asv_top_c,
+                    &mut self.scratch,
+                );
+            } else {
+                self.accum.ingest(
+                    model.prepared(),
+                    ubm.prepared_ubm(),
+                    &view,
+                    config.asv_top_c,
+                    &mut self.scratch,
+                );
+            }
             self.scored_rows = stable;
         }
         StageStatus::Continue

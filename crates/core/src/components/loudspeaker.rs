@@ -34,6 +34,15 @@ pub struct LoudspeakerAnalysis {
 const SMOOTH_WINDOW: usize = 5;
 /// Gap (samples) over which the rate is measured (50 ms at 100 Hz).
 const RATE_GAP: usize = 5;
+/// Absolute field ceiling (µT). Earth's field plus hard-iron device bias
+/// stays well under 100 µT everywhere on the planet; smartphone
+/// magnetometers rail in the low-thousands next to a permanent magnet.
+/// A session whose readings sit an order of magnitude above any natural
+/// field is a loudspeaker signature even when the *relative* statistics
+/// are blind — a source already in place when sampling starts saturates
+/// the whole session, so the self-referenced baseline shows no deviation
+/// and no changing rate.
+const SATURATION_UT: f64 = 1000.0;
 
 /// Runs the detector on a session.
 pub fn verify(session: &SessionData, config: &DefenseConfig) -> LoudspeakerAnalysis {
@@ -65,11 +74,28 @@ pub fn verify(session: &SessionData, config: &DefenseConfig) -> LoudspeakerAnaly
         0.0
     };
 
-    let attack_score =
+    // Absolute saturation guard: the deviation/rate statistics reference
+    // the session's own baseline, so a field that is *already* saturated
+    // when sampling starts looks perfectly quiet to them. The guard only
+    // ever raises the score, so every streaming lower bound stays sound.
+    let peak = magnitude.iter().fold(0.0f64, |a, &b| a.max(b));
+    let saturated = peak > SATURATION_UT;
+    let relative_score =
         (max_deviation / config.mag_deviation_ut).max(max_rate / config.mag_rate_ut_per_s);
+    let attack_score = if saturated {
+        relative_score.max(peak / SATURATION_UT)
+    } else {
+        relative_score
+    };
     let detail = format!(
-        "baseline {baseline:.1} µT, max deviation {max_deviation:.2} µT (Mt {}), max rate {max_rate:.1} µT/s (βt {})",
-        config.mag_deviation_ut, config.mag_rate_ut_per_s
+        "baseline {baseline:.1} µT, max deviation {max_deviation:.2} µT (Mt {}), max rate {max_rate:.1} µT/s (βt {}){}",
+        config.mag_deviation_ut,
+        config.mag_rate_ut_per_s,
+        if saturated {
+            format!(", saturated field peak {peak:.0} µT")
+        } else {
+            String::new()
+        }
     );
     LoudspeakerAnalysis {
         baseline_ut: baseline,
@@ -129,6 +155,10 @@ pub struct StreamingRateTracker {
     close_start: usize,
     magnitudes: Vec<f64>,
     smoothed: Vec<f64>,
+    /// Largest raw magnitude fed so far (µT) — the saturation-guard
+    /// statistic; monotone in the prefix, so the guard score it implies
+    /// lower-bounds the one-shot guard over any extension.
+    peak: f64,
     /// Next pair index `j` whose rate `|s[j+RATE_GAP] - s[j]|` is unfolded.
     next_pair: usize,
     max_rate: f64,
@@ -150,6 +180,7 @@ impl StreamingRateTracker {
             close_start,
             magnitudes: Vec::new(),
             smoothed: Vec::new(),
+            peak: 0.0,
             next_pair: 0,
             max_rate: 0.0,
             head_min: f64::INFINITY,
@@ -162,6 +193,7 @@ impl StreamingRateTracker {
     /// Feeds one magnetometer magnitude sample (µT).
     pub fn push(&mut self, magnitude: f64) {
         self.magnitudes.push(magnitude);
+        self.peak = self.peak.max(magnitude);
         let half = SMOOTH_WINDOW / 2;
         // smoothed[i] is stable once i + half + 1 <= magnitudes.len().
         while self.smoothed.len() + half < self.magnitudes.len() {
@@ -211,8 +243,15 @@ impl StreamingRateTracker {
     /// combining both statistics exactly like [`verify`]'s
     /// `max(max_deviation / Mt, max_rate / βt)`.
     pub fn raw_score_bound(&self, config: &DefenseConfig) -> f64 {
-        (self.max_deviation_ut() / config.mag_deviation_ut)
-            .max(self.max_rate / config.mag_rate_ut_per_s)
+        let relative = (self.max_deviation_ut() / config.mag_deviation_ut)
+            .max(self.max_rate / config.mag_rate_ut_per_s);
+        // Saturation guard on the prefix peak: the one-shot peak over any
+        // extension is at least this, so the bound stays a lower bound.
+        if self.peak > SATURATION_UT {
+            relative.max(self.peak / SATURATION_UT)
+        } else {
+            relative
+        }
     }
 
     /// Number of magnitude samples fed so far.
@@ -316,6 +355,53 @@ mod tests {
             .result
             .attack_score;
         assert!(noisy_score > quiet_score * 2.0);
+    }
+
+    /// A field that is already railed when sampling starts shows zero
+    /// deviation and zero rate — the absolute guard must still reject it.
+    #[test]
+    fn constant_saturated_field_rejected() {
+        let railed = Vec3::new(1200.0, 1200.0, 1200.0);
+        let s = session_with_mag(vec![railed; 200]);
+        let a = verify(&s, &DefenseConfig::default());
+        assert!(a.max_deviation_ut < 1.0, "deviation statistics are blind");
+        assert!(
+            a.result.attack_score > 1.0,
+            "score {}",
+            a.result.attack_score
+        );
+        assert!(a.result.detail.contains("saturated"), "{}", a.result.detail);
+
+        // The streaming bound fires on the same session, well before the
+        // stream ends, and never exceeds the one-shot score.
+        let mut tracker = StreamingRateTracker::new(s.imu_rate, s.sweep_start_index() / 2);
+        let mut crossed_at = None;
+        let cfg = DefenseConfig::default();
+        for (i, &m) in s.mag_magnitude().iter().enumerate() {
+            tracker.push(m);
+            assert!(tracker.raw_score_bound(&cfg) <= a.result.attack_score + 1e-12);
+            if crossed_at.is_none() && tracker.raw_score_bound(&cfg) > 1.0 {
+                crossed_at = Some(i);
+            }
+        }
+        assert_eq!(crossed_at, Some(0), "guard should fire on the first sample");
+    }
+
+    /// Strong-but-physical fields stay below the guard; it only engages an
+    /// order of magnitude above any natural field.
+    #[test]
+    fn saturation_guard_ignores_physical_fields() {
+        let strong = Vec3::new(0.0, 60.0, -80.0); // |B| = 100 µT
+        let a = verify(
+            &session_with_mag(vec![strong; 200]),
+            &DefenseConfig::default(),
+        );
+        assert!(
+            !a.result.detail.contains("saturated"),
+            "{}",
+            a.result.detail
+        );
+        assert!(a.result.attack_score < 1.0);
     }
 
     #[test]

@@ -39,9 +39,23 @@ impl AsvEngine {
     /// Fast-path score with per-call accounting. `top_c` bounds the
     /// speaker-side Gaussian evaluations per frame (`0` = exact).
     pub fn score_detailed(&self, model: &SpeakerModel, audio: &[f64], top_c: usize) -> AsvScore {
+        self.score_detailed_opts(model, audio, top_c, false)
+    }
+
+    /// [`Self::score_detailed`] with an explicit quantized-model toggle
+    /// (`DefenseConfig::asv_quantized`): scoring runs on the cached
+    /// i16-mean `QuantizedGmm` pair instead of the exact `PreparedGmm`
+    /// pair.
+    pub fn score_detailed_opts(
+        &self,
+        model: &SpeakerModel,
+        audio: &[f64],
+        top_c: usize,
+        quantized: bool,
+    ) -> AsvScore {
         match self {
-            AsvEngine::Ubm(b) => b.score_detailed(model, audio, top_c),
-            AsvEngine::Isv(b) => b.score_detailed(model, audio, top_c),
+            AsvEngine::Ubm(b) => b.score_detailed_opts(model, audio, top_c, quantized),
+            AsvEngine::Isv(b) => b.score_detailed_opts(model, audio, top_c, quantized),
         }
     }
 }
@@ -374,7 +388,7 @@ pub fn verify_detailed(
     config: &DefenseConfig,
 ) -> (ComponentResult, AsvScore) {
     let audio = asv_audio(session);
-    let score = engine.score_detailed(model, &audio, config.asv_top_c);
+    let score = engine.score_detailed_opts(model, &audio, config.asv_top_c, config.asv_quantized);
     let z = score.z;
     // Per-user calibrated threshold (floored at the config value), in
     // Z-norm units; the score hits the cascade boundary (1.0) at the

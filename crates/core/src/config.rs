@@ -176,6 +176,15 @@ pub struct DefenseConfig {
     /// pruning can only make the accept decision stricter.
     #[serde(default = "default_asv_top_c")]
     pub asv_top_c: usize,
+    /// Score the ASV stage on the i16-mean quantized GMM pair
+    /// (`QuantizedGmm`) instead of the exact `PreparedGmm` pair. The
+    /// quantized models are derived deterministically from the exact
+    /// ones at load time (no extra artifact); the LLR drift is bounded
+    /// analytically (`magshield_ml::gmm::llr_drift_bound`) and the
+    /// decision identity is property-tested, so flipping this on trades
+    /// a few ULPs of score for a ~2× smaller hot working set.
+    #[serde(default)]
+    pub asv_quantized: bool,
     /// Number of angle bins in the sound-field feature vector.
     pub sound_field_bins: usize,
     /// Per-stage decision-boundary multipliers (1.0 = factory boundary).
@@ -195,6 +204,7 @@ impl Default for DefenseConfig {
             asv_threshold: 1.5,
             asv_scale: 1.5,
             asv_top_c: default_asv_top_c(),
+            asv_quantized: false,
             sound_field_bins: 12,
             stage_boundaries: StageBoundaries::default(),
         }
@@ -248,9 +258,13 @@ impl DefenseConfig {
     }
 }
 
+/// Version 2 appends the `asv_quantized` flag byte; version-1 artifacts
+/// (the committed golden bundle among them) still decode, defaulting the
+/// flag to `false` — exactly the serde story for the same field.
 impl BinaryCodec for DefenseConfig {
     const MAGIC: u32 = codec::magic(b"MCFG");
-    const VERSION: u8 = 1;
+    const VERSION: u8 = 2;
+    const MIN_VERSION: u8 = 1;
     const NAME: &'static str = "DefenseConfig";
 
     fn encode_payload(&self, w: &mut ByteWriter) {
@@ -268,9 +282,14 @@ impl BinaryCodec for DefenseConfig {
         for c in Component::all() {
             w.put_f64(self.stage_boundaries.get(c));
         }
+        w.put_u8(self.asv_quantized as u8);
     }
 
     fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Self::decode_versioned_payload(Self::VERSION, r)
+    }
+
+    fn decode_versioned_payload(version: u8, r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         let distance_threshold_m = r.get_f64()?;
         let distance_tolerance = r.get_f64()?;
         let min_approach_m = r.get_f64()?;
@@ -286,6 +305,20 @@ impl BinaryCodec for DefenseConfig {
         for c in Component::all() {
             stage_boundaries.set(c, r.get_f64()?);
         }
+        let asv_quantized = if version >= 2 {
+            match r.get_u8()? {
+                0 => false,
+                1 => true,
+                found => {
+                    return Err(CodecError::BadTag {
+                        what: "asv_quantized flag",
+                        found,
+                    })
+                }
+            }
+        } else {
+            false
+        };
         let cfg = Self {
             distance_threshold_m,
             distance_tolerance,
@@ -297,6 +330,7 @@ impl BinaryCodec for DefenseConfig {
             asv_threshold,
             asv_scale,
             asv_top_c,
+            asv_quantized,
             sound_field_bins,
             stage_boundaries,
         };
@@ -461,6 +495,37 @@ mod tests {
             .with_stage_boundary(Component::Loudspeaker, 2.5)
             .with_stage_boundary(Component::Sld, 0.75);
             assert_eq!(DefenseConfig::from_bytes(&cfg.to_bytes()).unwrap(), cfg);
+        }
+
+        #[test]
+        fn quantized_flag_round_trips() {
+            let cfg = DefenseConfig {
+                asv_quantized: true,
+                ..DefenseConfig::default()
+            };
+            assert_eq!(DefenseConfig::from_bytes(&cfg.to_bytes()).unwrap(), cfg);
+        }
+
+        #[test]
+        fn version_1_artifacts_still_decode() {
+            // A v1 frame is the v2 frame with the version byte set to 1
+            // and the trailing `asv_quantized` payload byte dropped.
+            let cfg = DefenseConfig::default();
+            let mut payload = ByteWriter::new();
+            cfg.encode_payload(&mut payload);
+            let mut payload = payload.into_bytes();
+            assert_eq!(payload.pop(), Some(0));
+            let mut w = ByteWriter::new();
+            w.put_u32(DefenseConfig::MAGIC);
+            w.put_u8(1);
+            w.put_len(payload.len());
+            let mut frame = w.into_bytes();
+            frame.extend_from_slice(&payload);
+            let checksum = codec::fnv1a_64(&frame).to_le_bytes();
+            frame.extend_from_slice(&checksum);
+            let back = DefenseConfig::from_bytes(&frame).unwrap();
+            assert_eq!(back, cfg);
+            assert!(!back.asv_quantized);
         }
 
         #[test]

@@ -506,6 +506,27 @@ mod tests {
         (v.finalize(&sys.config, sys.obs()).unwrap().0, false)
     }
 
+    /// [`stream_to_verdict`] under an explicit config (the quantized
+    /// decision-identity test swaps in `asv_quantized`).
+    fn stream_to_verdict_with_config(
+        session: &SessionData,
+        chunk_audio: usize,
+        stream: StreamConfig,
+        config: &DefenseConfig,
+    ) -> (DefenseVerdict, bool) {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        let mut v = sys.open_stream(&StreamOpenInfo::for_session(session), stream);
+        for chunk in chunk_session(session, chunk_audio) {
+            match v.ingest(&chunk, config, sys.obs()).unwrap() {
+                StreamEvent::Progress(_) => {}
+                StreamEvent::EarlyReject(verdict) | StreamEvent::ReverifyReject(verdict) => {
+                    return (verdict, true);
+                }
+            }
+        }
+        (v.finalize(config, sys.obs()).unwrap().0, false)
+    }
+
     #[test]
     fn chunks_reassemble_the_session_exactly() {
         let s = genuine_session(91);
@@ -676,6 +697,61 @@ mod tests {
                 );
             } else {
                 prop_assert_eq!(streamed.decision, one_shot.decision);
+            }
+        }
+
+        /// Quantized ASV scoring is decision-identical to exact scoring
+        /// for the whole cascade — one-shot and streamed at several
+        /// chunk granularities, under both execution policies. The
+        /// analytic quantization drift bound sits far below the decision
+        /// margins of the scenario corpus, so no verdict may flip.
+        #[test]
+        fn quantized_cascade_is_decision_identical_across_chunkings(
+            seed in 0u64..5000,
+            attack in 0u8..2,
+            chunk_sel in 0usize..3,
+            short_circuit in 0u8..2,
+        ) {
+            let (sys, _) = crate::test_support::shared_tiny_system();
+            let s = if attack == 1 {
+                replay_session(seed)
+            } else {
+                genuine_session(seed)
+            };
+            // 100 ms, ~1/3 session, whole utterance.
+            let chunk_audio = match chunk_sel {
+                0 => (s.audio_rate / 10.0) as usize,
+                1 => (s.audio.len() / 3).max(1),
+                _ => s.audio.len(),
+            };
+            let policy = if short_circuit == 1 {
+                ExecutionPolicy::ShortCircuit
+            } else {
+                ExecutionPolicy::FullEvaluation
+            };
+            let quant_cfg = DefenseConfig { asv_quantized: true, ..sys.config };
+            let exact = sys.verify_with_policy(&s, policy);
+            let quant = sys
+                .cascade()
+                .with_policy(policy)
+                .run(&s, &quant_cfg, sys.obs())
+                .0;
+            prop_assert_eq!(
+                quant.decision,
+                exact.decision,
+                "quantization flipped the one-shot verdict"
+            );
+            let stream = StreamConfig { policy, ..StreamConfig::default() };
+            let (streamed, early) =
+                stream_to_verdict_with_config(&s, chunk_audio, stream, &quant_cfg);
+            if early {
+                prop_assert!(!streamed.accepted());
+                prop_assert!(
+                    !exact.accepted(),
+                    "quantized early reject on a session the exact cascade accepts"
+                );
+            } else {
+                prop_assert_eq!(streamed.decision, quant.decision);
             }
         }
 

@@ -188,6 +188,162 @@ impl FftPlan {
     }
 }
 
+/// Forward FFT plan specialized for **real** input of a fixed even
+/// power-of-two length `n`.
+///
+/// Uses the classic even/odd packing trick: the real frame is packed into
+/// an `n/2`-point complex buffer (`z[j] = x[2j] + i·x[2j+1]`), transformed
+/// with a half-size [`FftPlan`], and the one-sided spectrum `X[0..=n/2]`
+/// is recovered with one unpack pass:
+///
+/// ```text
+/// E[k] = (Z[k] + conj(Z[m−k])) / 2        (spectrum of even samples)
+/// O[k] = (Z[k] − conj(Z[m−k])) / 2        (i · spectrum of odd samples)
+/// X[k] = E[k] − i · e^(−2πik/n) · O[k],   m = n/2
+/// ```
+///
+/// Halving the transform size roughly halves the butterfly count — the
+/// dominant cost of the MFCC/STFT front ends, which only ever consume the
+/// one-sided spectrum of real frames. Results agree with [`rfft`] to
+/// rounding error (the operation order differs, so equality is *not*
+/// bitwise; see the parity tests).
+#[derive(Debug, Clone)]
+pub struct RealFftPlan {
+    n: usize,
+    inner: FftPlan,
+    /// Unpack twiddles `e^(−2πik/n)` for `k = 0..n/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl RealFftPlan {
+    /// Builds a plan for real transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is smaller than 2.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "real FFT length must be a power of two >= 2, got {n}"
+        );
+        let m = n / 2;
+        let twiddles = (0..m)
+            .map(|k| Complex::from_polar(1.0, -std::f64::consts::TAU * k as f64 / n as f64))
+            .collect();
+        Self {
+            n,
+            inner: FftPlan::new(m),
+            twiddles,
+        }
+    }
+
+    /// Real transform size the plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true — the constructor rejects `n < 2`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Length of the packed complex buffer (`n/2`).
+    pub fn packed_len(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Packs a real signal (zero-padded to `n`) into `packed` —
+    /// `packed[j] = x[2j] + i·x[2j+1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() > n`.
+    pub fn pack_into(&self, signal: &[f64], packed: &mut Vec<Complex>) {
+        assert!(
+            signal.len() <= self.n,
+            "signal length {} exceeds planned real-FFT size {}",
+            signal.len(),
+            self.n
+        );
+        packed.clear();
+        packed.resize(self.packed_len(), Complex::ZERO);
+        let mut pairs = signal.chunks_exact(2);
+        for (slot, p) in packed.iter_mut().zip(&mut pairs) {
+            *slot = Complex::new(p[0], p[1]);
+        }
+        if let [last] = pairs.remainder() {
+            packed[signal.len() / 2] = Complex::new(*last, 0.0);
+        }
+    }
+
+    /// Transforms an already-packed buffer and writes the one-sided
+    /// spectrum `X[0..=n/2]` (`n/2 + 1` bins) into `out`. `packed` is
+    /// consumed as scratch (left holding the half-size transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != n/2`.
+    pub fn spectrum_from_packed(&self, packed: &mut [Complex], out: &mut Vec<Complex>) {
+        let m = self.packed_len();
+        self.inner.forward(packed);
+        out.clear();
+        out.reserve(m + 1);
+        out.push(Complex::new(packed[0].re + packed[0].im, 0.0));
+        for k in 1..m {
+            out.push(self.unpack_bin(packed, k));
+        }
+        out.push(Complex::new(packed[0].re - packed[0].im, 0.0));
+    }
+
+    /// Transforms an already-packed buffer and writes the **scaled power
+    /// spectrum** `|X[k]|² · scale` for `k = 0..=n/2` into `out`, never
+    /// materializing the complex spectrum — the fused form the MFCC front
+    /// end consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != n/2`.
+    pub fn power_from_packed(&self, packed: &mut [Complex], scale: f64, out: &mut Vec<f64>) {
+        let m = self.packed_len();
+        self.inner.forward(packed);
+        out.clear();
+        out.reserve(m + 1);
+        let dc = packed[0].re + packed[0].im;
+        out.push(dc * dc * scale);
+        for k in 1..m {
+            out.push(self.unpack_bin(packed, k).norm_sqr() * scale);
+        }
+        let nyq = packed[0].re - packed[0].im;
+        out.push(nyq * nyq * scale);
+    }
+
+    /// One unpacked spectrum bin `X[k]` for `0 < k < n/2` from the
+    /// half-size transform `z`.
+    #[inline]
+    fn unpack_bin(&self, z: &[Complex], k: usize) -> Complex {
+        let m = self.packed_len();
+        let a = z[k];
+        let b = z[m - k].conj();
+        let even = (a + b).scale(0.5);
+        let odd = (a - b).scale(0.5);
+        let t = self.twiddles[k] * odd;
+        // even − i·t: multiplying by −i maps (re, im) to (im, −re).
+        Complex::new(even.re + t.im, even.im - t.re)
+    }
+
+    /// One-sided spectrum of a real signal (zero-padded to `n`), packing
+    /// through the caller's scratch buffer. Equivalent to
+    /// `rfft(signal)[..n/2 + 1]` up to rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() > n`.
+    pub fn forward_into(&self, signal: &[f64], packed: &mut Vec<Complex>, out: &mut Vec<Complex>) {
+        self.pack_into(signal, packed);
+        self.spectrum_from_packed(packed, out);
+    }
+}
+
 /// Forward FFT of a real signal, zero-padded to a power of two.
 ///
 /// Returns the full complex spectrum of length `next_pow2(signal.len())`.
@@ -360,6 +516,93 @@ mod tests {
     fn rejects_non_pow2() {
         let mut buf = vec![Complex::ZERO; 3];
         fft(&mut buf);
+    }
+
+    #[test]
+    fn real_plan_matches_rfft_spectrum() {
+        for &n in &[2usize, 4, 8, 64, 256, 512, 1024] {
+            let signal: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.173).sin() + 0.4 * (i as f64 * 0.059).cos())
+                .collect();
+            let full = rfft(&signal);
+            let plan = RealFftPlan::new(n);
+            assert_eq!(plan.len(), n);
+            assert_eq!(plan.packed_len(), n / 2);
+            let mut packed = Vec::new();
+            let mut half = Vec::new();
+            plan.forward_into(&signal, &mut packed, &mut half);
+            assert_eq!(half.len(), n / 2 + 1);
+            let scale: f64 = full.iter().map(|z| z.abs()).fold(1.0, f64::max);
+            for (k, (h, f)) in half.iter().zip(&full).enumerate() {
+                assert!(
+                    (h.re - f.re).abs() < 1e-10 * scale && (h.im - f.im).abs() < 1e-10 * scale,
+                    "n={n} bin {k}: {h:?} vs {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_plan_handles_zero_padded_and_odd_signals() {
+        // A 400-sample frame in a 512-point transform (the MFCC geometry)
+        // and an odd-length signal exercising the lone-tail pack path.
+        for &len in &[400usize, 399, 1, 0] {
+            let n = 512;
+            let signal: Vec<f64> = (0..len)
+                .map(|i| ((i * 37 % 101) as f64) * 0.02 - 1.0)
+                .collect();
+            let full = rfft(&{
+                let mut padded = signal.clone();
+                padded.resize(n, 0.0);
+                padded
+            });
+            let plan = RealFftPlan::new(n);
+            let mut packed = Vec::new();
+            let mut half = Vec::new();
+            plan.forward_into(&signal, &mut packed, &mut half);
+            for (k, (h, f)) in half.iter().zip(&full).enumerate() {
+                assert!(
+                    (h.re - f.re).abs() < 1e-9 && (h.im - f.im).abs() < 1e-9,
+                    "len={len} bin {k}: {h:?} vs {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_plan_power_matches_spectrum() {
+        let n = 256;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let plan = RealFftPlan::new(n);
+        let mut packed = Vec::new();
+        let mut spec = Vec::new();
+        plan.forward_into(&signal, &mut packed, &mut spec);
+        let scale = 1.0 / 200.0;
+        plan.pack_into(&signal, &mut packed);
+        let mut power = Vec::new();
+        plan.power_from_packed(&mut packed, scale, &mut power);
+        assert_eq!(power.len(), spec.len());
+        for (k, (p, z)) in power.iter().zip(&spec).enumerate() {
+            assert!(
+                (p - z.norm_sqr() * scale).abs() < 1e-9 * (1.0 + z.norm_sqr() * scale),
+                "bin {k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two >= 2")]
+    fn real_plan_rejects_length_one() {
+        RealFftPlan::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds planned real-FFT size")]
+    fn real_plan_rejects_oversized_signal() {
+        let plan = RealFftPlan::new(8);
+        let mut packed = Vec::new();
+        let mut out = Vec::new();
+        plan.forward_into(&[0.0; 9], &mut packed, &mut out);
     }
 
     #[test]

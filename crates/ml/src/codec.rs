@@ -182,6 +182,16 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends an `f32` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i16`, little-endian.
+    pub fn put_i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Appends a `bool` as one byte (0 or 1).
     pub fn put_bool(&mut self, v: bool) {
         self.buf.push(v as u8);
@@ -203,6 +213,22 @@ impl ByteWriter {
         self.buf.reserve(xs.len() * 8);
         for &x in xs {
             self.put_f64(x);
+        }
+    }
+
+    /// Appends `xs` raw as `f32` bit patterns (count implied by shape).
+    pub fn put_f32_slice(&mut self, xs: &[f32]) {
+        self.buf.reserve(xs.len() * 4);
+        for &x in xs {
+            self.put_f32(x);
+        }
+    }
+
+    /// Appends `xs` raw as little-endian `i16`s (count implied by shape).
+    pub fn put_i16_slice(&mut self, xs: &[i16]) {
+        self.buf.reserve(xs.len() * 2);
+        for &x in xs {
+            self.put_i16(x);
         }
     }
 
@@ -297,6 +323,16 @@ impl<'a> ByteReader<'a> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Reads an `f32` bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i16`.
+    pub fn get_i16(&mut self) -> Result<i16, CodecError> {
+        Ok(i16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
     /// Reads a `bool` byte, rejecting anything but 0 or 1.
     pub fn get_bool(&mut self) -> Result<bool, CodecError> {
         match self.get_u8()? {
@@ -342,6 +378,46 @@ impl<'a> ByteReader<'a> {
         self.get_f64_vec(n)
     }
 
+    /// Reads exactly `count` raw `f32`s, validating the byte budget
+    /// before allocating (see [`Self::get_f64_vec`]).
+    pub fn get_f32_vec(&mut self, count: usize) -> Result<Vec<f32>, CodecError> {
+        let needed = count.checked_mul(4).ok_or(CodecError::Truncated {
+            needed: usize::MAX,
+            available: self.remaining(),
+        })?;
+        if self.remaining() < needed {
+            return Err(CodecError::Truncated {
+                needed,
+                available: self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.get_f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads exactly `count` raw `i16`s, validating the byte budget
+    /// before allocating (see [`Self::get_f64_vec`]).
+    pub fn get_i16_vec(&mut self, count: usize) -> Result<Vec<i16>, CodecError> {
+        let needed = count.checked_mul(2).ok_or(CodecError::Truncated {
+            needed: usize::MAX,
+            available: self.remaining(),
+        })?;
+        if self.remaining() < needed {
+            return Err(CodecError::Truncated {
+                needed,
+                available: self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.get_i16()?);
+        }
+        Ok(out)
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     pub fn get_string(&mut self) -> Result<String, CodecError> {
         let n = self.get_len()?;
@@ -383,8 +459,15 @@ const CHECKSUM_LEN: usize = 8;
 pub trait BinaryCodec: Sized {
     /// Four-ASCII-byte artifact magic (see [`magic`]).
     const MAGIC: u32;
-    /// Payload format version; bump on any layout change.
+    /// Payload format version; bump on any layout change. Encoding always
+    /// writes this version.
     const VERSION: u8;
+    /// Oldest payload version this build still decodes. Defaults to
+    /// [`Self::VERSION`] (single-version artifacts); artifacts that grew
+    /// fields lower it and branch in
+    /// [`Self::decode_versioned_payload`] so already-deployed frames keep
+    /// decoding across the bump.
+    const MIN_VERSION: u8 = Self::VERSION;
     /// Human-readable artifact name used in error messages.
     const NAME: &'static str;
 
@@ -398,6 +481,15 @@ pub trait BinaryCodec: Sized {
     /// may be arbitrary bytes that survived the checksum only by being a
     /// well-formed frame of lies.
     fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+
+    /// Decodes a payload whose version is known to lie in
+    /// `MIN_VERSION..=VERSION`. The default ignores `version` and calls
+    /// [`Self::decode_payload`]; multi-version artifacts override this to
+    /// branch on the layout actually present.
+    fn decode_versioned_payload(version: u8, r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let _ = version;
+        Self::decode_payload(r)
+    }
 
     /// Serializes the artifact with the standard envelope.
     fn to_bytes(&self) -> Vec<u8> {
@@ -429,7 +521,7 @@ pub trait BinaryCodec: Sized {
             });
         }
         let version = r.get_u8()?;
-        if version != Self::VERSION {
+        if version < Self::MIN_VERSION || version > Self::VERSION {
             return Err(CodecError::UnsupportedVersion {
                 artifact: Self::NAME,
                 found: version,
@@ -467,7 +559,7 @@ pub trait BinaryCodec: Sized {
             return Err(CodecError::ChecksumMismatch { expected, found });
         }
         let mut payload = ByteReader::new(&bytes[HEADER_LEN..frame_end]);
-        let value = Self::decode_payload(&mut payload)?;
+        let value = Self::decode_versioned_payload(version, &mut payload)?;
         payload.finish()?;
         Ok(value)
     }

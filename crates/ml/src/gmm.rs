@@ -451,13 +451,50 @@ impl PreparedGmm {
         }
         sum / n as f64
     }
+
+    /// Weighted log-densities of a transposed frame block under every
+    /// component, component-outer / frame-inner, written frame-major into
+    /// `out[bi * k + c]`.
+    ///
+    /// `xt` is the dimension-major block laid out by [`transpose_block`];
+    /// per lane the arithmetic matches [`Self::weighted_component_ll`]
+    /// bit for bit (see [`block_quad`]), so batching reorders nothing a
+    /// frame can observe.
+    fn weighted_block_ll(&self, xt: &[f64], count: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(count * self.k, 0.0);
+        for c in 0..self.k {
+            let base = c * self.dim;
+            let m = &self.means[base..base + self.dim];
+            let iv = &self.inv_var[base..base + self.dim];
+            let quad = block_quad(xt, m, iv);
+            let lc = self.log_const[c];
+            for (bi, &q) in quad.iter().enumerate().take(count) {
+                out[bi * self.k + c] = lc - 0.5 * q;
+            }
+        }
+    }
 }
+
+/// Frames scored per component pass by the batched LLR kernels.
+///
+/// Eight frames give eight independent accumulator chains per component
+/// — enough to hide the floating-point add latency that serializes the
+/// one-frame-at-a-time quadratic-form loop — while the transposed block
+/// (`dim × 8` doubles) stays well inside L1.
+pub const FRAME_BLOCK: usize = 8;
 
 /// Reusable buffers for [`llr_score_prepared`]. One per scoring thread.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreScratch {
-    ubm_ll: Vec<f64>,
+    /// Frame-major UBM weighted log-densities for one block (`nb × k`).
+    ubm_block: Vec<f64>,
+    /// Frame-major speaker weighted log-densities (exact mode, `nb × k`).
+    spk_block: Vec<f64>,
+    /// Per-frame speaker densities under the top-C pruned components.
     spk_ll: Vec<f64>,
+    /// Transposed frame block, dimension-major (`dim × FRAME_BLOCK`).
+    xt: Vec<f64>,
     top: Vec<usize>,
 }
 
@@ -469,9 +506,71 @@ impl ScoreScratch {
 
     /// Bytes currently reserved across the buffers (capacities).
     pub fn footprint_bytes(&self) -> usize {
-        (self.ubm_ll.capacity() + self.spk_ll.capacity()) * std::mem::size_of::<f64>()
+        (self.ubm_block.capacity()
+            + self.spk_block.capacity()
+            + self.spk_ll.capacity()
+            + self.xt.capacity())
+            * std::mem::size_of::<f64>()
             + self.top.capacity() * std::mem::size_of::<usize>()
     }
+}
+
+/// Transposes frames `start..start + count` into the dimension-major block
+/// buffer (`xt[d * FRAME_BLOCK + bi]`), zero-padding the unused tail lanes
+/// so the kernels always run full-width.
+fn transpose_block<F: FrameSource + ?Sized>(
+    frames: &F,
+    start: usize,
+    count: usize,
+    dim: usize,
+    xt: &mut Vec<f64>,
+) {
+    debug_assert!(count <= FRAME_BLOCK);
+    xt.clear();
+    xt.resize(dim * FRAME_BLOCK, 0.0);
+    for bi in 0..count {
+        let x = frames.frame(start + bi);
+        for d in 0..dim {
+            xt[d * FRAME_BLOCK + bi] = x[d];
+        }
+    }
+}
+
+/// One component's quadratic forms over a transposed frame block: for each
+/// of the [`FRAME_BLOCK`] lanes, `quad[bi] = Σ_d (x_d − μ_d)² · v⁻¹_d`
+/// accumulated in ascending-`d` order — the exact operation sequence of
+/// the one-frame [`PreparedGmm::weighted_component_ll`] loop, so each lane
+/// is bit-identical to the sequential path. The eight lanes are
+/// independent, which is what lets the compiler vectorize the loop (and
+/// what the `simd` build makes explicit).
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn block_quad(xt: &[f64], m: &[f64], iv: &[f64]) -> [f64; FRAME_BLOCK] {
+    let mut quad = [0.0f64; FRAME_BLOCK];
+    for (col, (&mi, &ivi)) in xt.chunks_exact(FRAME_BLOCK).zip(m.iter().zip(iv)) {
+        for (q, &xi) in quad.iter_mut().zip(col) {
+            let di = xi - mi;
+            *q += di * di * ivi;
+        }
+    }
+    quad
+}
+
+/// `std::simd` variant of [`block_quad`]: one `f64x8` accumulator, the
+/// same per-lane operation order (sub, mul, mul, add — no FMA
+/// contraction), so lanes remain bit-identical to the scalar path;
+/// portable-SIMD lane arithmetic is IEEE-754 correctly rounded.
+#[cfg(feature = "simd")]
+#[inline]
+fn block_quad(xt: &[f64], m: &[f64], iv: &[f64]) -> [f64; FRAME_BLOCK] {
+    use std::simd::f64x8;
+    let mut quad = f64x8::splat(0.0);
+    for (col, (&mi, &ivi)) in xt.chunks_exact(FRAME_BLOCK).zip(m.iter().zip(iv)) {
+        let x = f64x8::from_slice(col);
+        let di = x - f64x8::splat(mi);
+        quad += di * di * f64x8::splat(ivi);
+    }
+    quad.to_array()
 }
 
 /// What [`llr_score_prepared`] computed, beyond the score itself.
@@ -523,12 +622,92 @@ pub fn llr_score_prepared<F: FrameSource + ?Sized>(
         };
     }
     let k = ubm.k;
+    let dim = ubm.dim;
     let c_eff = if top_c == 0 || top_c >= k { k } else { top_c };
     let ScoreScratch {
-        ubm_ll,
+        ubm_block,
+        spk_block,
         spk_ll,
+        xt,
         top,
     } = scratch;
+    let mut sum = 0.0;
+    let mut pruned = 0u64;
+    let mut evaluated = 0u64;
+    let mut start = 0;
+    while start < n {
+        let count = FRAME_BLOCK.min(n - start);
+        transpose_block(frames, start, count, dim, xt);
+        ubm.weighted_block_ll(xt, count, ubm_block);
+        if c_eff == k {
+            speaker.weighted_block_ll(xt, count, spk_block);
+            evaluated += (count * k) as u64;
+            for bi in 0..count {
+                let row = bi * k;
+                sum +=
+                    log_sum_exp(&spk_block[row..row + k]) - log_sum_exp(&ubm_block[row..row + k]);
+            }
+        } else {
+            for bi in 0..count {
+                let x = frames.frame(start + bi);
+                let ubm_ll = &ubm_block[bi * k..(bi + 1) * k];
+                top.clear();
+                top.extend(0..k);
+                top.select_nth_unstable_by(c_eff - 1, |&a, &b| {
+                    ubm_ll[b].partial_cmp(&ubm_ll[a]).unwrap()
+                });
+                spk_ll.clear();
+                spk_ll.extend(
+                    top[..c_eff]
+                        .iter()
+                        .map(|&c| speaker.weighted_component_ll(c, x)),
+                );
+                evaluated += c_eff as u64;
+                pruned += (k - c_eff) as u64;
+                sum += log_sum_exp(spk_ll) - log_sum_exp(ubm_ll);
+            }
+        }
+        start += count;
+    }
+    LlrBreakdown {
+        score: sum / n as f64,
+        frames: n,
+        pruned_components: pruned,
+        evaluated_components: evaluated,
+    }
+}
+
+/// The one-frame-at-a-time scorer [`llr_score_prepared`] replaced,
+/// retained as the bit-identity oracle for the batched kernel: per frame
+/// it evaluates every component with [`PreparedGmm::weighted_component_ll`]
+/// and sums ratios in frame order, exactly the operation sequence the
+/// frame-major path reproduces lane by lane.
+pub fn llr_score_sequential<F: FrameSource + ?Sized>(
+    speaker: &PreparedGmm,
+    ubm: &PreparedGmm,
+    frames: &F,
+    top_c: usize,
+    scratch: &mut ScoreScratch,
+) -> LlrBreakdown {
+    assert_eq!(speaker.k, ubm.k, "speaker/UBM component count mismatch");
+    assert_eq!(speaker.dim, ubm.dim, "speaker/UBM dimension mismatch");
+    let n = frames.num_frames();
+    if n == 0 {
+        return LlrBreakdown {
+            score: f64::NEG_INFINITY,
+            frames: 0,
+            pruned_components: 0,
+            evaluated_components: 0,
+        };
+    }
+    let k = ubm.k;
+    let ScoreScratch {
+        ubm_block: ubm_ll,
+        spk_ll,
+        top,
+        ..
+    } = scratch;
+    let c_eff = if top_c == 0 || top_c >= k { k } else { top_c };
     let mut sum = 0.0;
     let mut pruned = 0u64;
     let mut evaluated = 0u64;
@@ -603,6 +782,27 @@ impl LlrAccumulator {
         scratch: &mut ScoreScratch,
     ) -> LlrBreakdown {
         let chunk = llr_score_prepared(speaker, ubm, frames, top_c, scratch);
+        self.fold(chunk)
+    }
+
+    /// [`Self::ingest`] over quantized mixtures, scoring the chunk with
+    /// [`llr_score_quantized`]. The decomposition argument is unchanged —
+    /// the quantized score is still a per-frame mean of independent
+    /// ratios, so chunked and one-shot quantized scoring agree to the
+    /// same reassociation tolerance.
+    pub fn ingest_quantized<F: FrameSource + ?Sized>(
+        &mut self,
+        speaker: &QuantizedGmm,
+        ubm: &QuantizedGmm,
+        frames: &F,
+        top_c: usize,
+        scratch: &mut ScoreScratch,
+    ) -> LlrBreakdown {
+        let chunk = llr_score_quantized(speaker, ubm, frames, top_c, scratch);
+        self.fold(chunk)
+    }
+
+    fn fold(&mut self, chunk: LlrBreakdown) -> LlrBreakdown {
         if chunk.frames > 0 {
             self.llr_sum += chunk.score * chunk.frames as f64;
             self.frames += chunk.frames;
@@ -662,6 +862,275 @@ impl LlrScorer {
         scratch: &mut ScoreScratch,
     ) -> LlrBreakdown {
         llr_score_prepared(&self.speaker, &self.ubm, frames, top_c, scratch)
+    }
+}
+
+/// A [`PreparedGmm`] with means quantized to `i16` against one `f32`
+/// dequantization step per component and inverse variances rounded to
+/// `f32` — a quarter of the exact model's memory traffic on the scoring
+/// hot loop, and a quarter of its artifact size on the wire.
+///
+/// `log_const` stays `f64` (it is `k` values, not `k × dim`, and folding
+/// it exactly keeps the quantization error confined to the quadratic
+/// form). The score drift this introduces is bounded, not just observed:
+/// [`llr_drift_bound`] computes a sound per-utterance bound from the
+/// stored rounding errors, and the property tests assert scores stay
+/// inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedGmm {
+    k: usize,
+    dim: usize,
+    /// Folded log-weight + normalization per component, kept exact.
+    log_const: Vec<f64>,
+    /// Quantized means, flat `k × dim`: `mean ≈ q · scale[c]`.
+    means_q: Vec<i16>,
+    /// Per-component dequantization step.
+    scale: Vec<f32>,
+    /// Inverse variances rounded to `f32`, flat `k × dim`.
+    inv_var: Vec<f32>,
+}
+
+impl QuantizedGmm {
+    /// Quantizes a prepared mixture: per component, the step is the
+    /// largest absolute mean divided by `i16::MAX`, so every mean lands
+    /// within half a step of its exact value.
+    pub fn from_prepared(p: &PreparedGmm) -> Self {
+        let mut means_q = Vec::with_capacity(p.means.len());
+        let mut scale = Vec::with_capacity(p.k);
+        for c in 0..p.k {
+            let row = &p.means[c * p.dim..(c + 1) * p.dim];
+            let peak = row.iter().fold(0.0f64, |a, &m| a.max(m.abs()));
+            let s = if peak > 0.0 {
+                ((peak / i16::MAX as f64) as f32).max(f32::MIN_POSITIVE)
+            } else {
+                1.0
+            };
+            scale.push(s);
+            // Round against the exact step used at dequantization time
+            // (the f32 value widened back), so the stored error is the
+            // true round-trip error.
+            let sd = s as f64;
+            means_q.extend(
+                row.iter()
+                    .map(|&m| (m / sd).round().clamp(i16::MIN as f64, i16::MAX as f64) as i16),
+            );
+        }
+        // Clamp the narrowing into f32's positive finite range so extreme
+        // (but valid) f64 inverse variances cannot round to 0 or ∞.
+        let inv_var = p
+            .inv_var
+            .iter()
+            .map(|&v| (v as f32).clamp(f32::MIN_POSITIVE, f32::MAX))
+            .collect();
+        Self {
+            k: p.k,
+            dim: p.dim,
+            log_const: p.log_const.clone(),
+            means_q,
+            scale,
+            inv_var,
+        }
+    }
+
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.k
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Dequantized mean of component `c`, dimension `d`.
+    #[inline]
+    pub fn mean(&self, c: usize, d: usize) -> f64 {
+        self.means_q[c * self.dim + d] as f64 * self.scale[c] as f64
+    }
+
+    /// Inverse variance of component `c`, dimension `d`, widened to `f64`.
+    #[inline]
+    pub fn inv_var(&self, c: usize, d: usize) -> f64 {
+        self.inv_var[c * self.dim + d] as f64
+    }
+
+    /// Weighted log-density of `x` under component `c`, dequantizing on
+    /// the fly — the quantized counterpart of
+    /// [`PreparedGmm::weighted_component_ll`].
+    #[inline]
+    pub fn weighted_component_ll(&self, c: usize, x: &[f64]) -> f64 {
+        let base = c * self.dim;
+        let mq = &self.means_q[base..base + self.dim];
+        let iv = &self.inv_var[base..base + self.dim];
+        let s = self.scale[c] as f64;
+        let mut quad = 0.0;
+        for ((&xi, &qi), &ivi) in x.iter().zip(mq).zip(iv) {
+            let d = xi - qi as f64 * s;
+            quad += d * d * ivi as f64;
+        }
+        self.log_const[c] - 0.5 * quad
+    }
+
+    /// Frame-major weighted log-densities of a transposed block under
+    /// every component; the quantized counterpart of
+    /// [`PreparedGmm::weighted_block_ll`]. The lane arithmetic matches
+    /// [`Self::weighted_component_ll`] per frame.
+    fn weighted_block_ll(&self, xt: &[f64], count: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(count * self.k, 0.0);
+        for c in 0..self.k {
+            let base = c * self.dim;
+            let mq = &self.means_q[base..base + self.dim];
+            let iv = &self.inv_var[base..base + self.dim];
+            let s = self.scale[c] as f64;
+            let mut quad = [0.0f64; FRAME_BLOCK];
+            for (col, (&qi, &ivi)) in xt.chunks_exact(FRAME_BLOCK).zip(mq.iter().zip(iv)) {
+                let mi = qi as f64 * s;
+                let ivf = ivi as f64;
+                for (q, &xi) in quad.iter_mut().zip(col) {
+                    let di = xi - mi;
+                    *q += di * di * ivf;
+                }
+            }
+            let lc = self.log_const[c];
+            for (bi, &q) in quad.iter().enumerate().take(count) {
+                out[bi * self.k + c] = lc - 0.5 * q;
+            }
+        }
+    }
+}
+
+/// Sound bound on `|llr_quantized − llr_exact|` for any utterance whose
+/// feature values satisfy `|x_d| ≤ x_abs_max`.
+///
+/// Per component `c` and dimension `d`, write the exact parameters
+/// `m, v⁻¹` and their quantized counterparts `m̂, v̂⁻¹`. With
+/// `A = (x−m)²` and `B = (x−m̂)²`,
+///
+/// ```text
+/// |B·v̂⁻¹ − A·v⁻¹| ≤ |B − A|·v̂⁻¹ + A·|v̂⁻¹ − v⁻¹|
+/// |B − A| = |m − m̂| · |2x − m − m̂| ≤ |m − m̂|·(2·x_max + |m| + |m̂|)
+/// A ≤ (x_max + |m|)²
+/// ```
+///
+/// summed over `d` and halved this bounds each component's weighted
+/// log-density drift (`log_const` is copied exactly); `log_sum_exp` is
+/// 1-Lipschitz in the sup norm, so the per-frame LLR drifts by at most
+/// the speaker-side and UBM-side maxima combined, and the mean over
+/// frames by no more.
+pub fn llr_drift_bound(
+    speaker_exact: &PreparedGmm,
+    speaker_q: &QuantizedGmm,
+    ubm_exact: &PreparedGmm,
+    ubm_q: &QuantizedGmm,
+    x_abs_max: f64,
+) -> f64 {
+    component_drift_bound(speaker_exact, speaker_q, x_abs_max)
+        + component_drift_bound(ubm_exact, ubm_q, x_abs_max)
+}
+
+/// Max over components of the weighted log-density drift bound; see
+/// [`llr_drift_bound`].
+fn component_drift_bound(exact: &PreparedGmm, quant: &QuantizedGmm, x_abs_max: f64) -> f64 {
+    assert_eq!(exact.k, quant.k, "exact/quantized component count mismatch");
+    assert_eq!(exact.dim, quant.dim, "exact/quantized dimension mismatch");
+    let mut worst = 0.0f64;
+    for c in 0..exact.k {
+        let mut acc = 0.0;
+        for d in 0..exact.dim {
+            let m = exact.means[c * exact.dim + d];
+            let mh = quant.mean(c, d);
+            let iv = exact.inv_var[c * exact.dim + d];
+            let ivh = quant.inv_var(c, d);
+            let em = (m - mh).abs();
+            let reach = x_abs_max + m.abs();
+            acc += em * (2.0 * x_abs_max + m.abs() + mh.abs()) * ivh
+                + reach * reach * (iv - ivh).abs();
+        }
+        worst = worst.max(0.5 * acc);
+    }
+    worst
+}
+
+/// [`llr_score_prepared`] over quantized mixtures: identical batched
+/// structure (frame-major blocks, exact UBM log-sum-exp, top-C speaker
+/// pruning selected on the quantized UBM densities), with means and
+/// inverse variances dequantized on the fly inside the component pass.
+///
+/// # Panics
+///
+/// Panics if the two mixtures disagree in component count or dimension.
+pub fn llr_score_quantized<F: FrameSource + ?Sized>(
+    speaker: &QuantizedGmm,
+    ubm: &QuantizedGmm,
+    frames: &F,
+    top_c: usize,
+    scratch: &mut ScoreScratch,
+) -> LlrBreakdown {
+    assert_eq!(speaker.k, ubm.k, "speaker/UBM component count mismatch");
+    assert_eq!(speaker.dim, ubm.dim, "speaker/UBM dimension mismatch");
+    let n = frames.num_frames();
+    if n == 0 {
+        return LlrBreakdown {
+            score: f64::NEG_INFINITY,
+            frames: 0,
+            pruned_components: 0,
+            evaluated_components: 0,
+        };
+    }
+    let k = ubm.k;
+    let dim = ubm.dim;
+    let c_eff = if top_c == 0 || top_c >= k { k } else { top_c };
+    let ScoreScratch {
+        ubm_block,
+        spk_block,
+        spk_ll,
+        xt,
+        top,
+    } = scratch;
+    let mut sum = 0.0;
+    let mut pruned = 0u64;
+    let mut evaluated = 0u64;
+    let mut start = 0;
+    while start < n {
+        let count = FRAME_BLOCK.min(n - start);
+        transpose_block(frames, start, count, dim, xt);
+        ubm.weighted_block_ll(xt, count, ubm_block);
+        if c_eff == k {
+            speaker.weighted_block_ll(xt, count, spk_block);
+            evaluated += (count * k) as u64;
+            for bi in 0..count {
+                let row = bi * k;
+                sum +=
+                    log_sum_exp(&spk_block[row..row + k]) - log_sum_exp(&ubm_block[row..row + k]);
+            }
+        } else {
+            for bi in 0..count {
+                let x = frames.frame(start + bi);
+                let ubm_ll = &ubm_block[bi * k..(bi + 1) * k];
+                top.clear();
+                top.extend(0..k);
+                top.select_nth_unstable_by(c_eff - 1, |&a, &b| {
+                    ubm_ll[b].partial_cmp(&ubm_ll[a]).unwrap()
+                });
+                spk_ll.clear();
+                spk_ll.extend(
+                    top[..c_eff]
+                        .iter()
+                        .map(|&c| speaker.weighted_component_ll(c, x)),
+                );
+                evaluated += c_eff as u64;
+                pruned += (k - c_eff) as u64;
+                sum += log_sum_exp(spk_ll) - log_sum_exp(ubm_ll);
+            }
+        }
+        start += count;
+    }
+    LlrBreakdown {
+        score: sum / n as f64,
+        frames: n,
+        pruned_components: pruned,
+        evaluated_components: evaluated,
     }
 }
 
@@ -767,6 +1236,57 @@ impl BinaryCodec for PreparedGmm {
             dim,
             log_const,
             means,
+            inv_var,
+        })
+    }
+}
+
+impl BinaryCodec for QuantizedGmm {
+    const MAGIC: u32 = codec::magic(b"MQGM");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "QuantizedGmm";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_len(self.k);
+        w.put_len(self.dim);
+        w.put_f64_slice(&self.log_const);
+        w.put_f32_slice(&self.scale);
+        w.put_i16_slice(&self.means_q);
+        w.put_f32_slice(&self.inv_var);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let invalid = |reason: &str| CodecError::Invalid {
+            artifact: Self::NAME,
+            reason: reason.to_string(),
+        };
+        let k = r.get_len()?;
+        let dim = r.get_len()?;
+        if k == 0 || dim == 0 {
+            return Err(invalid("shape must be positive"));
+        }
+        let flat = k
+            .checked_mul(dim)
+            .ok_or_else(|| invalid("shape overflows"))?;
+        let log_const = r.get_f64_vec(k)?;
+        let scale = r.get_f32_vec(k)?;
+        let means_q = r.get_i16_vec(flat)?;
+        let inv_var = r.get_f32_vec(flat)?;
+        if !log_const.iter().all(|v| v.is_finite()) {
+            return Err(invalid("log constants must be finite"));
+        }
+        if !scale.iter().all(|&s| s.is_finite() && s > 0.0) {
+            return Err(invalid("dequantization steps must be positive"));
+        }
+        if !inv_var.iter().all(|&v| v.is_finite() && v > 0.0) {
+            return Err(invalid("inverse variances must be positive"));
+        }
+        Ok(Self {
+            k,
+            dim,
+            log_const,
+            means_q,
+            scale,
             inv_var,
         })
     }
@@ -1100,6 +1620,13 @@ mod tests {
                 let bytes = prepared.to_bytes();
                 prop_assert_eq!(PreparedGmm::from_bytes(&bytes).unwrap(), prepared);
             }
+
+            #[test]
+            fn quantized_round_trips_exactly(gmm in arb_gmm()) {
+                let quant = QuantizedGmm::from_prepared(&PreparedGmm::new(&gmm));
+                let bytes = quant.to_bytes();
+                prop_assert_eq!(QuantizedGmm::from_bytes(&bytes).unwrap(), quant);
+            }
         }
 
         #[test]
@@ -1109,6 +1636,27 @@ mod tests {
             let gmm = DiagonalGmm::train(&data, 2, 8, 1e-6, &rng);
             assert_hostile_input_fails::<DiagonalGmm>(&gmm.to_bytes());
             assert_hostile_input_fails::<PreparedGmm>(&PreparedGmm::new(&gmm).to_bytes());
+            assert_hostile_input_fails::<QuantizedGmm>(
+                &QuantizedGmm::from_prepared(&PreparedGmm::new(&gmm)).to_bytes(),
+            );
+        }
+
+        #[test]
+        fn decoded_quantized_scores_bit_identically() {
+            // The wire format stores the quantized parameters verbatim, so
+            // a decoded model must reproduce the same score bits.
+            let rng = SimRng::from_seed(29);
+            let data = two_cluster_data(&rng, 150);
+            let ubm = DiagonalGmm::train(&data, 3, 10, 1e-6, &rng);
+            let model = ubm.map_adapt_means(&data, 16.0);
+            let spk_q = QuantizedGmm::from_prepared(&PreparedGmm::new(&model));
+            let bg_q = QuantizedGmm::from_prepared(&PreparedGmm::new(&ubm));
+            let spk_back = QuantizedGmm::from_bytes(&spk_q.to_bytes()).unwrap();
+            let bg_back = QuantizedGmm::from_bytes(&bg_q.to_bytes()).unwrap();
+            let mut scratch = ScoreScratch::new();
+            let a = llr_score_quantized(&spk_q, &bg_q, &data, 2, &mut scratch);
+            let b = llr_score_quantized(&spk_back, &bg_back, &data, 2, &mut scratch);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
 
         #[test]

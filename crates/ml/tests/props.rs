@@ -2,7 +2,10 @@
 
 use magshield_dsp::FrameMatrix;
 use magshield_ml::circlefit::fit_circle;
-use magshield_ml::gmm::{log_sum_exp, DiagonalGmm, LlrScorer, ScoreScratch};
+use magshield_ml::gmm::{
+    llr_drift_bound, llr_score_prepared, llr_score_quantized, llr_score_sequential, log_sum_exp,
+    DiagonalGmm, LlrAccumulator, LlrScorer, PreparedGmm, QuantizedGmm, ScoreScratch,
+};
 use magshield_ml::kmeans::kmeans;
 use magshield_ml::metrics::equal_error_rate;
 use magshield_ml::scaler::StandardScaler;
@@ -161,6 +164,127 @@ proptest! {
         prop_assert!(pruned.score <= exact.score + 1e-12);
         let expected_pruned = if top_c >= k { 0 } else { (n_frames * (k - top_c)) as u64 };
         prop_assert_eq!(pruned.pruned_components, expected_pruned);
+    }
+
+    /// The frame-major batched scorer is *bitwise* identical to the
+    /// retained one-frame-at-a-time oracle — same score bits, same
+    /// pruning accounting — across mixture sizes, frame counts that are
+    /// not multiples of the 8-frame block, and every top-C regime
+    /// (exhaustive, pruned, degenerate). Running this test with
+    /// `--features simd` proves the SIMD lanes preserve the same scalar
+    /// operation order.
+    #[test]
+    fn batched_scorer_is_bit_identical_to_sequential(
+        seed in 0u64..500,
+        k in 1usize..6,
+        n_frames in 1usize..40,
+        top_c in 0usize..8,
+    ) {
+        let mut r = SimRng::from_seed(seed ^ 0xB17);
+        let data: Vec<Vec<f64>> = (0..80)
+            .map(|_| vec![r.gauss(0.0, 2.0), r.gauss(1.0, 2.0), r.gauss(-1.0, 1.5)])
+            .collect();
+        let ubm = DiagonalGmm::train(&data, k, 6, 1e-6, &SimRng::from_seed(seed));
+        let model = ubm.map_adapt_means(&data[..40].to_vec(), 16.0);
+        let frames: Vec<Vec<f64>> = (0..n_frames)
+            .map(|_| vec![r.gauss(0.5, 2.0), r.gauss(0.0, 2.0), r.gauss(0.0, 1.5)])
+            .collect();
+        let spk = PreparedGmm::new(&model);
+        let bg = PreparedGmm::new(&ubm);
+        let mut scratch = ScoreScratch::new();
+        let batched = llr_score_prepared(&spk, &bg, &frames, top_c, &mut scratch);
+        let sequential = llr_score_sequential(&spk, &bg, &frames, top_c, &mut scratch);
+        prop_assert_eq!(
+            batched.score.to_bits(),
+            sequential.score.to_bits(),
+            "batched {} vs sequential {}",
+            batched.score,
+            sequential.score
+        );
+        prop_assert_eq!(batched.frames, sequential.frames);
+        prop_assert_eq!(batched.pruned_components, sequential.pruned_components);
+        prop_assert_eq!(batched.evaluated_components, sequential.evaluated_components);
+    }
+
+    /// The quantized scorer's drift from the exact prepared scorer stays
+    /// inside the analytic [`llr_drift_bound`] computed from the stored
+    /// rounding errors — the bound is sound, not just the observed error
+    /// small.
+    #[test]
+    fn quantized_score_within_analytic_drift_bound(
+        seed in 0u64..500,
+        k in 1usize..6,
+        n_frames in 1usize..40,
+    ) {
+        let mut r = SimRng::from_seed(seed ^ 0x0DD);
+        let data: Vec<Vec<f64>> = (0..80)
+            .map(|_| vec![r.gauss(0.0, 2.0), r.gauss(1.0, 2.0), r.gauss(-1.0, 1.5)])
+            .collect();
+        let ubm = DiagonalGmm::train(&data, k, 6, 1e-6, &SimRng::from_seed(seed));
+        let model = ubm.map_adapt_means(&data[..40].to_vec(), 16.0);
+        let frames: Vec<Vec<f64>> = (0..n_frames)
+            .map(|_| vec![r.gauss(0.5, 2.0), r.gauss(0.0, 2.0), r.gauss(0.0, 1.5)])
+            .collect();
+        let spk = PreparedGmm::new(&model);
+        let bg = PreparedGmm::new(&ubm);
+        let spk_q = QuantizedGmm::from_prepared(&spk);
+        let bg_q = QuantizedGmm::from_prepared(&bg);
+        let x_abs_max = frames
+            .iter()
+            .flatten()
+            .fold(0.0f64, |a, &x| a.max(x.abs()));
+        let mut scratch = ScoreScratch::new();
+        let exact = llr_score_prepared(&spk, &bg, &frames, 0, &mut scratch);
+        let quant = llr_score_quantized(&spk_q, &bg_q, &frames, 0, &mut scratch);
+        let bound = llr_drift_bound(&spk, &spk_q, &bg, &bg_q, x_abs_max);
+        let drift = (quant.score - exact.score).abs();
+        prop_assert!(
+            drift <= bound * (1.0 + 1e-12) + 1e-9,
+            "drift {drift} exceeds analytic bound {bound}"
+        );
+    }
+
+    /// Chunked quantized streaming (`ingest_quantized`) agrees with the
+    /// one-shot quantized score for every chunk size — the per-frame
+    /// ratios are identical, only the outer summation regroups, so the
+    /// divergence stays at the documented reassociation level.
+    #[test]
+    fn quantized_accumulator_matches_one_shot_across_chunkings(
+        seed in 0u64..500,
+        chunk in 1usize..9,
+        n_frames in 1usize..40,
+        top_c in 0usize..5,
+    ) {
+        let mut r = SimRng::from_seed(seed ^ 0xACC);
+        let data: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![r.gauss(0.0, 2.0), r.gauss(0.0, 2.0)])
+            .collect();
+        let ubm = DiagonalGmm::train(&data, 4, 6, 1e-6, &SimRng::from_seed(seed));
+        let model = ubm.map_adapt_means(&data[..30].to_vec(), 16.0);
+        let frames: Vec<Vec<f64>> = (0..n_frames)
+            .map(|_| vec![r.gauss(0.0, 2.0), r.gauss(0.0, 2.0)])
+            .collect();
+        let spk_q = QuantizedGmm::from_prepared(&PreparedGmm::new(&model));
+        let bg_q = QuantizedGmm::from_prepared(&PreparedGmm::new(&ubm));
+        let mut scratch = ScoreScratch::new();
+        let one_shot = llr_score_quantized(&spk_q, &bg_q, &frames, top_c, &mut scratch);
+        let mut accum = LlrAccumulator::new();
+        let mut start = 0;
+        while start < frames.len() {
+            let end = (start + chunk).min(frames.len());
+            accum.ingest_quantized(&spk_q, &bg_q, &frames[start..end], top_c, &mut scratch);
+            start = end;
+        }
+        prop_assert_eq!(accum.frames(), one_shot.frames);
+        prop_assert!(
+            (accum.score() - one_shot.score).abs() < 1e-9 * (1.0 + one_shot.score.abs()),
+            "chunked {} vs one-shot {}",
+            accum.score(),
+            one_shot.score
+        );
+        let b = accum.breakdown();
+        prop_assert_eq!(b.pruned_components, one_shot.pruned_components);
+        prop_assert_eq!(b.evaluated_components, one_shot.evaluated_components);
     }
 
     /// EER is symmetric under swapping + negating the score sets.

@@ -6,7 +6,9 @@
 //! process-wide, so a lone test keeps the armed window unpolluted.
 
 use magshield_dsp::frame::FrameMatrix;
-use magshield_ml::gmm::{DiagonalGmm, LlrScorer, ScoreScratch};
+use magshield_ml::gmm::{
+    llr_score_quantized, DiagonalGmm, LlrScorer, PreparedGmm, QuantizedGmm, ScoreScratch,
+};
 use magshield_simkit::rng::SimRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,6 +100,32 @@ fn steady_state_llr_scoring_is_allocation_free() {
             rescore.to_bits(),
             warm.to_bits(),
             "rescore must be identical"
+        );
+    }
+
+    // Same proof for the quantized scorer: dequantization happens in
+    // registers inside the component pass, so a warmed scratch is all the
+    // state it needs.
+    let spk_q = QuantizedGmm::from_prepared(&PreparedGmm::new(&speaker));
+    let bg_q = QuantizedGmm::from_prepared(&PreparedGmm::new(&ubm));
+    for top_c in [0usize, 8] {
+        let warm = llr_score_quantized(&spk_q, &bg_q, &frames, top_c, &mut scratch).score;
+
+        ALLOCS.store(0, Ordering::SeqCst);
+        ARMED.with(|a| a.set(true));
+        let rescore = llr_score_quantized(&spk_q, &bg_q, &frames, top_c, &mut scratch).score;
+        ARMED.with(|a| a.set(false));
+
+        let allocs = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(
+            allocs, 0,
+            "warmed llr_score_quantized(top_c={top_c}) must not touch the \
+             heap: {allocs} allocations observed"
+        );
+        assert_eq!(
+            rescore.to_bits(),
+            warm.to_bits(),
+            "quantized rescore must be identical"
         );
     }
 }

@@ -14,7 +14,11 @@ Two artifact shapes are understood:
   mapping name -> {"value": float, "direction": "higher"|"lower"}.
   Every metric present in BOTH files is gated in its stated direction;
   metrics only one side has are reported but not gated (so adding a new
-  kernel doesn't fail the gate until its baseline is committed).
+  kernel doesn't fail the gate until its baseline is committed). For
+  the kernels artifact this covers the fast-path ratios
+  (`llr_prepared_exact_speedup`, `llr_pruned_speedup`) and the fused /
+  batched / quantized tentpole ratios (`extract_fused_speedup`,
+  `llr_batched_speedup`, `llr_quantized_speedup`).
 
 The comparison math is shared with `security_gate.py` via `gate_core`.
 

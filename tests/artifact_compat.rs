@@ -1,12 +1,22 @@
-//! Golden-artifact compatibility gate (runs in CI): a committed bundle
-//! file must keep decoding under the current codec. If this test fails,
-//! an encoding change broke compatibility with already-shipped bundles —
-//! bump the artifact's format version (and keep a decode path for v1)
-//! instead of silently changing the layout.
+//! Golden-artifact compatibility gate (runs in CI): committed bundle
+//! files must keep decoding under the current codec. If the v1 test
+//! fails, an encoding change broke compatibility with already-shipped
+//! bundles — bump the artifact's format version (and keep a decode path
+//! for the old one) instead of silently changing the layout.
 //!
-//! The golden file was produced by the `train_bundle` example:
+//! Two goldens are committed, one per format generation:
+//!
+//! - `golden_bundle_v1.bin` — written before the MCFG/MFEX v2 bump
+//!   (pre-`asv_quantized`, pre-`fused_frontend`). Decode-only: the
+//!   current encoder intentionally writes the newer layout, so v1 bytes
+//!   are never reproduced, only accepted.
+//! - `golden_bundle_v2.bin` — written by the current encoder. This one
+//!   must re-encode byte-identically, which is the determinism gate for
+//!   the *current* layout.
+//!
+//! Both were produced by the `train_bundle` example:
 //! `cargo run --example train_bundle -- --tiny --seed 424242
-//!  --notes "golden artifact v1" --out results/golden_bundle_v1.bin`.
+//!  --notes "golden artifact vN" --out results/golden_bundle_vN.bin`.
 
 use magshield::core::artifact::ModelBundle;
 use magshield::core::pipeline::DefenseSystem;
@@ -14,41 +24,71 @@ use magshield::core::registry::ModelRegistry;
 use magshield::core::trainer::TRAINER_PRODUCER;
 use magshield::ml::codec::BinaryCodec;
 
-const GOLDEN: &[u8] = include_bytes!(concat!(
+const GOLDEN_V1: &[u8] = include_bytes!(concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/results/golden_bundle_v1.bin"
 ));
 
+const GOLDEN_V2: &[u8] = include_bytes!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/results/golden_bundle_v2.bin"
+));
+
 #[test]
-fn golden_bundle_still_decodes() {
-    let bundle = ModelBundle::from_bytes(GOLDEN).expect(
+fn golden_v1_bundle_still_decodes() {
+    let bundle = ModelBundle::from_bytes(GOLDEN_V1).expect(
         "codec format break: the committed v1 bundle no longer decodes — \
-         bump the format version rather than changing the layout in place",
+         keep a decode path for every shipped format version",
     );
     bundle.validate().expect("golden bundle validates");
     assert_eq!(bundle.meta.producer, TRAINER_PRODUCER);
     assert_eq!(bundle.meta.notes, "golden artifact v1");
     assert_eq!(bundle.speakers.len(), 1);
+    // Fields the v1 layout predates must come back as their defaults.
+    assert!(!bundle.config.asv_quantized);
 }
 
 #[test]
-fn golden_bundle_reencodes_byte_identically() {
-    // Encoding is deterministic, so decode → encode must reproduce the
-    // file exactly; a mismatch means the writer changed format without a
-    // version bump even though the reader still accepts the old bytes.
-    let bundle = ModelBundle::from_bytes(GOLDEN).expect("decodes");
+fn golden_v1_bundle_migrates_to_a_stable_current_encoding() {
+    // Re-encoding a v1 bundle upgrades it to the current layout, so the
+    // bytes legitimately differ from the v1 file. What must hold is that
+    // the upgraded bytes are a fixpoint: decode → encode reproduces them
+    // exactly, proving the migration lands on the deterministic current
+    // format rather than drifting on every pass.
+    let bundle = ModelBundle::from_bytes(GOLDEN_V1).expect("decodes");
+    let upgraded = bundle.to_bytes();
+    let reread = ModelBundle::from_bytes(&upgraded).expect("upgraded bytes decode");
+    reread.validate().expect("upgraded bundle validates");
     assert_eq!(
-        bundle.to_bytes(),
-        GOLDEN,
-        "encoder no longer reproduces the v1 layout"
+        reread.to_bytes(),
+        upgraded,
+        "current-version encoding must be a decode/encode fixpoint"
     );
 }
 
 #[test]
-fn golden_bundle_boots_a_serving_system() {
-    let bundle = ModelBundle::from_bytes(GOLDEN).expect("decodes");
-    let speaker = bundle.speakers[0].speaker_id;
-    let system = DefenseSystem::from_bundle(bundle).expect("boots");
-    assert_eq!(system.generation(), ModelRegistry::FIRST_GENERATION);
-    assert!(system.is_enrolled(speaker));
+fn golden_v2_bundle_reencodes_byte_identically() {
+    // Encoding is deterministic, so decode → encode must reproduce the
+    // current-generation file exactly; a mismatch means the writer
+    // changed format without a version bump even though the reader still
+    // accepts the old bytes.
+    let bundle = ModelBundle::from_bytes(GOLDEN_V2).expect("decodes");
+    bundle.validate().expect("golden bundle validates");
+    assert_eq!(bundle.meta.notes, "golden artifact v2");
+    assert_eq!(
+        bundle.to_bytes(),
+        GOLDEN_V2,
+        "encoder no longer reproduces the v2 layout"
+    );
+}
+
+#[test]
+fn golden_bundles_boot_a_serving_system() {
+    for golden in [GOLDEN_V1, GOLDEN_V2] {
+        let bundle = ModelBundle::from_bytes(golden).expect("decodes");
+        let speaker = bundle.speakers[0].speaker_id;
+        let system = DefenseSystem::from_bundle(bundle).expect("boots");
+        assert_eq!(system.generation(), ModelRegistry::FIRST_GENERATION);
+        assert!(system.is_enrolled(speaker));
+    }
 }
