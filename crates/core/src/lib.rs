@@ -35,7 +35,11 @@
 //! serving time the models live in a [`registry::ModelRegistry`] — a
 //! concurrent, generation-numbered store supporting online multi-tenant
 //! enrollment and atomic whole-bundle hot-swap while in-flight
-//! verifications finish on the snapshot they pinned.
+//! verifications finish on the snapshot they pinned. [`store`] layers
+//! crash-safe durability under the registry: a write-ahead log of
+//! enrollments (as delta speaker records) and bundle swaps, replayed bit
+//! exactly on [`pipeline::DefenseSystem::open_durable`], with periodic
+//! compaction into a golden base.
 //!
 //! [`scenario`] simulates complete verification sessions (genuine and
 //! attacks) on the physics/sensor substrates; [`server`] provides the
@@ -76,6 +80,7 @@ pub mod robustness;
 pub mod scenario;
 pub mod server;
 pub mod session;
+pub mod store;
 pub mod stream;
 pub mod trainer;
 pub mod verdict;

@@ -28,12 +28,14 @@ use crate::config::{ConfigError, DefenseConfig};
 use crate::registry::{ModelRegistry, ModelSnapshot};
 use crate::scenario::UserContext;
 use crate::session::SessionData;
+use crate::store::{DurableStore, RecoveredState, StoreError, StoreMetrics};
 use crate::trainer::Trainer;
 use crate::verdict::{Component, DefenseVerdict};
 use magshield_obs::metrics::{CounterVec, HistogramVec, Registry};
 use magshield_obs::span::TraceCollector;
 use magshield_obs::trace::PipelineTrace;
 use magshield_simkit::rng::SimRng;
+use std::path::Path;
 use std::sync::Arc;
 
 pub use crate::trainer::BootstrapConfig;
@@ -98,6 +100,11 @@ pub struct DefenseSystem {
     pub config: DefenseConfig,
     registry: Arc<ModelRegistry>,
     obs: PipelineObs,
+    /// The durable store journaling this system's mutations, when one is
+    /// attached ([`DefenseSystem::create_durable`] /
+    /// [`DefenseSystem::open_durable`]). Shared by clones, like the
+    /// registry, so any worker's enrollment hits the same WAL.
+    durable: Option<Arc<DurableStore>>,
 }
 
 impl DefenseSystem {
@@ -121,9 +128,52 @@ impl DefenseSystem {
             config,
             registry: Arc::new(ModelRegistry::new(bundle.into_snapshot())),
             obs: PipelineObs::default(),
+            durable: None,
         };
         system.publish_registry_gauges();
         Ok(system)
+    }
+
+    /// Creates a fresh durable store at `dir` from `bundle` and serves it:
+    /// [`DefenseSystem::from_bundle`] plus a write-ahead log, so every
+    /// subsequent [`DefenseSystem::try_enroll_speaker`] /
+    /// [`DefenseSystem::try_swap_bundle`] is journaled and survives a
+    /// crash. Refuses a directory that already holds a store (recover it
+    /// with [`DefenseSystem::open_durable`] instead).
+    pub fn create_durable(bundle: ModelBundle, dir: &Path) -> Result<Self, StoreError> {
+        let obs = PipelineObs::default();
+        let store = DurableStore::create(dir, &bundle, StoreMetrics::from_registry(&obs.registry))?;
+        let config = bundle.config;
+        let system = Self {
+            config,
+            registry: Arc::new(ModelRegistry::new(bundle.into_snapshot())),
+            obs,
+            durable: Some(Arc::new(store)),
+        };
+        system.publish_registry_gauges();
+        Ok(system)
+    }
+
+    /// Recovers a durable store from `dir` and serves the recovered
+    /// state: decodes the golden base, replays the write-ahead log (bit
+    /// exactly, truncating a torn tail), and starts the registry at the
+    /// exact pre-crash generation. Returns the system together with the
+    /// [`RecoveredState`] describing what replay did.
+    pub fn open_durable(dir: &Path) -> Result<(Self, RecoveredState), StoreError> {
+        let obs = PipelineObs::default();
+        let (store, recovered) =
+            DurableStore::open(dir, StoreMetrics::from_registry(&obs.registry))?;
+        let system = Self {
+            config: recovered.snapshot.config,
+            registry: Arc::new(ModelRegistry::new_at(
+                recovered.snapshot.clone(),
+                recovered.generation,
+            )),
+            obs,
+            durable: Some(Arc::new(store)),
+        };
+        system.publish_registry_gauges();
+        Ok((system, recovered))
     }
 
     /// Enrolls an additional speaker from raw utterances and publishes a
@@ -155,6 +205,81 @@ impl DefenseSystem {
             .inc();
         self.publish_registry_gauges();
         Ok(generation)
+    }
+
+    /// [`DefenseSystem::enroll_speaker`] with durability: when a store is
+    /// attached, the new model is journaled to the write-ahead log (as a
+    /// kilobyte delta record off the serving UBM) and fsynced *before*
+    /// the registry publishes it, so the returned generation survives a
+    /// crash. Without a store this is exactly `enroll_speaker`.
+    pub fn try_enroll_speaker(
+        &self,
+        speaker_id: u32,
+        utterances: &[&[f64]],
+    ) -> Result<u64, StoreError> {
+        let generation = match &self.durable {
+            Some(store) => {
+                let snapshot = self.registry.snapshot();
+                let model = snapshot.engine.enroll(speaker_id, utterances);
+                store.journal_enroll(&self.registry, snapshot.engine.ubm(), model)?
+            }
+            None => {
+                let snapshot = self.registry.snapshot();
+                let model = snapshot.engine.enroll(speaker_id, utterances);
+                self.registry.enroll(model)
+            }
+        };
+        self.publish_registry_gauges();
+        Ok(generation)
+    }
+
+    /// [`DefenseSystem::swap_bundle`] with durability: the full bundle is
+    /// journaled and fsynced before the registry swaps to it. Without an
+    /// attached store this validates and swaps exactly like
+    /// `swap_bundle`.
+    pub fn try_swap_bundle(&self, bundle: ModelBundle) -> Result<u64, StoreError> {
+        let generation = match &self.durable {
+            Some(store) => store.journal_swap(&self.registry, bundle)?,
+            None => self.swap_bundle(bundle).map_err(StoreError::Config)?,
+        };
+        if self.durable.is_some() {
+            self.obs.registry.counter("registry.swap").inc();
+            self.obs
+                .registry
+                .counter_with(
+                    "registry.swaps",
+                    &magshield_obs::labels::Labels::new().generation(generation),
+                )
+                .inc();
+            self.publish_registry_gauges();
+        }
+        Ok(generation)
+    }
+
+    /// Folds the write-ahead log into a fresh golden base at the current
+    /// generation and truncates the log (see [`DurableStore::compact`]).
+    /// Returns the compacted generation. Errors with
+    /// [`StoreError::Io`](crate::store::StoreError) of kind `Unsupported`
+    /// when no store is attached.
+    pub fn compact_store(&self) -> Result<u64, StoreError> {
+        match &self.durable {
+            Some(store) => store.compact(&self.registry),
+            None => Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "no durable store attached to this system",
+            ))),
+        }
+    }
+
+    /// Whether this system journals mutations to a durable store.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The attached durable store, if any — admin surfaces (the
+    /// `store_admin` example) reach the store directory through this.
+    pub fn store(&self) -> Option<&DurableStore> {
+        self.durable.as_deref()
     }
 
     /// Whether a speaker id has an enrolled model in the current

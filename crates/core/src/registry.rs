@@ -97,13 +97,30 @@ impl ModelRegistry {
 
     /// A registry serving `snapshot` at [`Self::FIRST_GENERATION`].
     pub fn new(snapshot: ModelSnapshot) -> Self {
+        Self::new_at(snapshot, Self::FIRST_GENERATION)
+    }
+
+    /// A registry serving `snapshot` at an explicit `generation` — how
+    /// crash recovery ([`DurableStore`](crate::store::DurableStore))
+    /// resumes publishing exactly where the write-ahead log left off
+    /// instead of restarting the counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generation` precedes [`Self::FIRST_GENERATION`].
+    pub fn new_at(snapshot: ModelSnapshot, generation: u64) -> Self {
+        assert!(
+            generation >= Self::FIRST_GENERATION,
+            "registry generations start at {}, got {generation}",
+            Self::FIRST_GENERATION
+        );
         Self {
             id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
             current: RwLock::new(Arc::new(Versioned {
-                generation: Self::FIRST_GENERATION,
+                generation,
                 snapshot: Arc::new(snapshot),
             })),
-            generation: AtomicU64::new(Self::FIRST_GENERATION),
+            generation: AtomicU64::new(generation),
         }
     }
 
@@ -291,6 +308,47 @@ mod tests {
             assert!(r.join().unwrap() > 0);
         }
         assert_eq!(reg.generation(), 201);
+    }
+
+    #[test]
+    fn starts_at_an_explicit_generation_for_recovery() {
+        let reg = ModelRegistry::new_at(marked_snapshot(5.0), 7);
+        assert_eq!(reg.generation(), 7);
+        let (generation, snap) = reg.load();
+        assert_eq!(generation, 7);
+        assert_eq!(snap.config.distance_tolerance, 5.0);
+        assert_eq!(
+            reg.enroll((**snap.speakers.values().next().unwrap()).clone()),
+            8
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "generations start at")]
+    fn rejects_generation_zero() {
+        ModelRegistry::new_at(marked_snapshot(1.0), 0);
+    }
+
+    #[test]
+    fn cache_survives_registry_drop_and_recreate() {
+        // ABA hazard: recovery tests drop a registry and open a new one
+        // that can land at the same heap address AND the same generation.
+        // The per-thread cache is keyed by a process-unique instance id
+        // (not the pointer), so the stale entry must never be served.
+        let marker_of = |reg: &ModelRegistry| reg.snapshot().config.distance_tolerance;
+        let first = ModelRegistry::new_at(marked_snapshot(111.0), 3);
+        assert_eq!(marker_of(&first), 111.0); // warm this thread's cache
+        drop(first);
+        for attempt in 0..8 {
+            // Same generation as the dropped registry; the allocator is
+            // free to reuse the freed address on any of these attempts.
+            let reborn = ModelRegistry::new_at(marked_snapshot(222.0 + attempt as f64), 3);
+            assert_eq!(
+                marker_of(&reborn),
+                222.0 + attempt as f64,
+                "stale cached snapshot served for a re-created registry"
+            );
+        }
     }
 
     #[test]

@@ -277,6 +277,25 @@ impl VerificationServer {
         Self::spawn_with_policy(system, workers, ExecutionPolicy::FullEvaluation)
     }
 
+    /// Recover-then-serve: opens the durable store at `dir`
+    /// ([`DefenseSystem::open_durable`] — golden base + bit-exact WAL
+    /// replay, truncating a torn tail), then spawns the worker pool on
+    /// the recovered system. Returns the server together with the
+    /// [`RecoveredState`](crate::store::RecoveredState) so operators can
+    /// log what replay did. `Enroll` / `SwapBundle` requests against this
+    /// server are journaled before they are acked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn_durable(
+        dir: &std::path::Path,
+        workers: usize,
+    ) -> Result<(Self, crate::store::RecoveredState), crate::store::StoreError> {
+        let (system, recovered) = DefenseSystem::open_durable(dir)?;
+        Ok((Self::spawn(system, workers), recovered))
+    }
+
     /// Spawns the server with an explicit cascade execution policy,
     /// selected once at spawn time for the whole worker pool.
     /// [`ExecutionPolicy::ShortCircuit`] spares the ASV back end sessions
@@ -564,14 +583,25 @@ fn handle_job(
                 );
             }
             let refs: Vec<&[f64]> = utterances.iter().map(|u| u.as_slice()).collect();
-            let generation = system.enroll_speaker(speaker_id, &refs);
-            protocol::encode_enroll_response(request_id, speaker_id, generation)
+            // Journaled when the system has a durable store attached
+            // (Server::spawn_durable): the record is fsynced to the WAL
+            // before the registry publishes, so an acked enrollment
+            // survives a crash.
+            match system.try_enroll_speaker(speaker_id, &refs) {
+                Ok(generation) => {
+                    protocol::encode_enroll_response(request_id, speaker_id, generation)
+                }
+                Err(e) => {
+                    shared.stats.lock().protocol_errors += 1;
+                    protocol::encode_error(request_id, &format!("enrollment not journaled: {e}"))
+                }
+            }
         }
         Ok(Message::SwapBundle {
             request_id,
             bundle_bytes,
         }) => match ModelBundle::from_bytes(&bundle_bytes) {
-            Ok(bundle) => match system.swap_bundle(bundle) {
+            Ok(bundle) => match system.try_swap_bundle(bundle) {
                 Ok(generation) => protocol::encode_swap_bundle_response(request_id, generation),
                 Err(e) => {
                     shared.stats.lock().protocol_errors += 1;

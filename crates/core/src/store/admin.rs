@@ -1,0 +1,232 @@
+//! Read-only store inspection and the deterministic demo store — the
+//! library half of the `store_admin` example bin, kept here so a smoke
+//! test can exercise the exact logic the CLI ships.
+
+use super::wal::{scan_wal, GoldenBase, TailStatus};
+use super::{StoreError, BASE_FILE, WAL_FILE};
+use crate::pipeline::DefenseSystem;
+use magshield_ml::codec::BinaryCodec;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Everything [`inspect`] reports about a store directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreInspection {
+    /// Generation of the golden base.
+    pub base_generation: u64,
+    /// Base generation the WAL header claims (differs from
+    /// `base_generation` only in the compaction crash window).
+    pub header_base_generation: u64,
+    /// Whole, checksum-valid records in the log.
+    pub wal_records: usize,
+    /// Per-kind record counts: `(enroll-delta, swap, enroll-full)`.
+    pub record_kinds: (usize, usize, usize),
+    /// The generation the log replays to.
+    pub last_generation: u64,
+    /// Torn/corrupt bytes at the log's tail (0 = clean shutdown).
+    pub torn_tail_bytes: usize,
+    /// Size of the golden base file in bytes.
+    pub base_bytes: u64,
+    /// Size of the WAL file in bytes.
+    pub wal_bytes: u64,
+    /// Speakers enrolled in the golden base (before replay).
+    pub base_speakers: usize,
+}
+
+impl fmt::Display for StoreInspection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "golden base: generation {} ({} speakers, {} bytes)",
+            self.base_generation, self.base_speakers, self.base_bytes
+        )?;
+        writeln!(
+            f,
+            "wal: {} records to generation {} ({} bytes, header base {})",
+            self.wal_records, self.last_generation, self.wal_bytes, self.header_base_generation
+        )?;
+        let (delta, swap, full) = self.record_kinds;
+        writeln!(
+            f,
+            "records: {delta} enroll-delta, {swap} swap, {full} enroll-full"
+        )?;
+        match self.torn_tail_bytes {
+            0 => writeln!(f, "tail: clean (all checksums valid)"),
+            n => writeln!(
+                f,
+                "tail: TORN — {n} unparseable bytes (truncated on next open)"
+            ),
+        }
+    }
+}
+
+/// Inspects a store directory without mutating it: decodes the golden
+/// base, scans the WAL (checksums validated per record) and reports
+/// counts, generations and tail state. Unlike
+/// [`DefenseSystem::open_durable`], a torn tail is *reported*, not
+/// truncated.
+pub fn inspect(dir: &Path) -> Result<StoreInspection, StoreError> {
+    let base_path = dir.join(BASE_FILE);
+    let wal_path = dir.join(WAL_FILE);
+    let base_bytes_raw = fs::read(&base_path)?;
+    let base = GoldenBase::from_bytes(&base_bytes_raw)?;
+    let wal_bytes_raw = fs::read(&wal_path)?;
+    let scan = scan_wal(&wal_bytes_raw).map_err(|source| StoreError::CorruptHeader {
+        path: wal_path,
+        source,
+    })?;
+    let mut record_kinds = (0usize, 0usize, 0usize);
+    for r in &scan.records {
+        match r.record.op.kind() {
+            "enroll-delta" => record_kinds.0 += 1,
+            "swap" => record_kinds.1 += 1,
+            _ => record_kinds.2 += 1,
+        }
+    }
+    Ok(StoreInspection {
+        base_generation: base.generation,
+        header_base_generation: scan.header.base_generation,
+        wal_records: scan.records.len(),
+        record_kinds,
+        last_generation: scan.last_generation(),
+        torn_tail_bytes: match scan.tail {
+            TailStatus::Clean => 0,
+            TailStatus::Torn { bytes, .. } => bytes,
+        },
+        base_bytes: base_bytes_raw.len() as u64,
+        wal_bytes: wal_bytes_raw.len() as u64,
+        base_speakers: base.bundle.speakers.len(),
+    })
+}
+
+/// Speaker ids the demo store enrolls on top of its base bundle.
+pub const DEMO_SPEAKERS: [u32; 3] = [9001, 9002, 9003];
+
+/// Seed the demo enrollments are rendered from.
+pub const DEMO_SEED: u64 = 424_242;
+
+/// Builds a deterministic demo store at `dir`: creates a fresh store
+/// from `bundle`, then enrolls the three [`DEMO_SPEAKERS`] with
+/// synthesized utterances derived from [`DEMO_SEED`]. Byte-identical
+/// output for identical input bundles — this is how the committed
+/// `results/golden_wal_v1.bin` fixture was produced (from
+/// `results/golden_bundle_v2.bin`), and how CI re-derives it.
+pub fn build_demo_store(
+    dir: &Path,
+    bundle: crate::artifact::ModelBundle,
+) -> Result<DefenseSystem, StoreError> {
+    use magshield_simkit::rng::SimRng;
+    use magshield_voice::profile::SpeakerProfile;
+    use magshield_voice::synth::{FormantSynthesizer, SessionEffects};
+
+    let system = DefenseSystem::create_durable(bundle, dir)?;
+    let rng = SimRng::from_seed(DEMO_SEED);
+    let synth = FormantSynthesizer::default();
+    for (i, &speaker_id) in DEMO_SPEAKERS.iter().enumerate() {
+        let profile =
+            SpeakerProfile::sample(speaker_id, &rng.fork_indexed("demo-speaker", i as u64));
+        let utterance = synth.render_digits(
+            &profile,
+            "31415926",
+            SessionEffects::neutral(),
+            &rng.fork_indexed("demo-utterance", i as u64),
+        );
+        system.try_enroll_speaker(speaker_id, &[&utterance])?;
+    }
+    Ok(system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{BundleMeta, ModelBundle};
+    use crate::registry::ModelRegistry;
+    use crate::store::wal::test_support::tempdir;
+
+    fn fixture_bundle() -> ModelBundle {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        ModelBundle::from_snapshot(
+            BundleMeta {
+                producer: "admin-tests".to_string(),
+                ubm_speakers: 3,
+                ubm_components: 8,
+                em_iters: 4,
+                use_isv: false,
+                notes: String::new(),
+            },
+            &sys.models(),
+        )
+    }
+
+    #[test]
+    fn demo_store_is_deterministic_and_inspectable() {
+        // The smoke test for the `store_admin` example: build the demo
+        // store twice and require byte-identical artifacts, then check
+        // the inspection numbers the CLI prints.
+        let dir_a = tempdir("admin-demo-a");
+        let dir_b = tempdir("admin-demo-b");
+        let sys = build_demo_store(&dir_a, fixture_bundle()).unwrap();
+        build_demo_store(&dir_b, fixture_bundle()).unwrap();
+        assert_eq!(
+            std::fs::read(dir_a.join(WAL_FILE)).unwrap(),
+            std::fs::read(dir_b.join(WAL_FILE)).unwrap(),
+            "demo WAL must be deterministic"
+        );
+        assert_eq!(
+            std::fs::read(dir_a.join(BASE_FILE)).unwrap(),
+            std::fs::read(dir_b.join(BASE_FILE)).unwrap(),
+            "demo base must be deterministic"
+        );
+
+        let report = inspect(&dir_a).unwrap();
+        assert_eq!(report.base_generation, ModelRegistry::FIRST_GENERATION);
+        assert_eq!(report.wal_records, DEMO_SPEAKERS.len());
+        assert_eq!(report.record_kinds, (DEMO_SPEAKERS.len(), 0, 0));
+        assert_eq!(
+            report.last_generation,
+            ModelRegistry::FIRST_GENERATION + DEMO_SPEAKERS.len() as u64
+        );
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert!(
+            report.wal_bytes < report.base_bytes / 4,
+            "delta WAL stays small"
+        );
+        for id in DEMO_SPEAKERS {
+            assert!(sys.is_enrolled(id));
+        }
+        // The Display form carries the headline numbers.
+        let text = report.to_string();
+        assert!(text.contains("3 enroll-delta"));
+        assert!(text.contains("tail: clean"));
+
+        // Inspection is read-only even on a torn log.
+        let wal = dir_a.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&[0x7F; 21]);
+        std::fs::write(&wal, &bytes).unwrap();
+        let torn = inspect(&dir_a).unwrap();
+        assert_eq!(torn.torn_tail_bytes, 21);
+        assert_eq!(std::fs::read(&wal).unwrap().len(), bytes.len());
+        assert!(torn.to_string().contains("TORN"));
+
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn compaction_through_the_system_resets_the_log() {
+        let dir = tempdir("admin-compact");
+        let sys = build_demo_store(&dir, fixture_bundle()).unwrap();
+        let before = inspect(&dir).unwrap();
+        assert_eq!(before.wal_records, 3);
+        let generation = sys.compact_store().unwrap();
+        assert_eq!(generation, 4);
+        let after = inspect(&dir).unwrap();
+        assert_eq!(after.wal_records, 0);
+        assert_eq!(after.base_generation, 4);
+        assert_eq!(after.header_base_generation, 4);
+        assert_eq!(after.base_speakers, before.base_speakers + 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

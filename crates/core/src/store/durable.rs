@@ -1,0 +1,528 @@
+//! [`DurableStore`]: journal-before-publish persistence around the
+//! model registry, with crash-recovery replay and log compaction.
+//!
+//! See the [module docs](crate::store) for the file layout and the four
+//! durability invariants. This type owns the filesystem side; the
+//! [`DefenseSystem`](crate::pipeline::DefenseSystem) wires it to its
+//! registry via `open_durable` / `create_durable` /
+//! `try_enroll_speaker` / `try_swap_bundle` / `compact_store`.
+
+use super::wal::{scan_wal, GoldenBase, TailStatus, WalAppender, WalHeader, WalOp, WalRecord};
+use super::{StoreError, BASE_FILE, WAL_FILE};
+use crate::artifact::{BundleMeta, ModelBundle};
+use crate::registry::{ModelRegistry, ModelSnapshot};
+use magshield_asv::delta::DeltaSpeakerRecord;
+use magshield_asv::model::SpeakerModel;
+use magshield_ml::codec::BinaryCodec;
+use magshield_obs::metrics::{Counter, Histogram, Registry};
+use parking_lot::Mutex;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Observability handles for the store (cheap clones, shared sinks).
+///
+/// All four live in the system's metrics [`Registry`] under the
+/// `store.wal.*` names documented in DESIGN.md §16.
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// `store.wal.append.seconds` — append + fsync latency per record.
+    pub append_seconds: Histogram,
+    /// `store.wal.replay.seconds` — full open-and-replay latency.
+    pub replay_seconds: Histogram,
+    /// `store.wal.compact.seconds` — compaction latency.
+    pub compact_seconds: Histogram,
+    /// `store.wal.records` — records appended or replayed through this
+    /// store handle.
+    pub records: Counter,
+}
+
+impl StoreMetrics {
+    /// Handles bound into `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            append_seconds: registry.histogram("store.wal.append.seconds"),
+            replay_seconds: registry.histogram("store.wal.replay.seconds"),
+            compact_seconds: registry.histogram("store.wal.compact.seconds"),
+            records: registry.counter("store.wal.records"),
+        }
+    }
+
+    /// Handles recording into a throwaway registry (admin tooling that
+    /// has no metrics plane).
+    pub fn detached() -> Self {
+        Self::from_registry(&Registry::default())
+    }
+}
+
+/// What [`DurableStore::open`] recovered from disk.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The exact pre-crash registry generation.
+    pub generation: u64,
+    /// The serving models at that generation.
+    pub snapshot: ModelSnapshot,
+    /// Bundle provenance carried forward for future compactions.
+    pub meta: BundleMeta,
+    /// WAL records replayed on top of the golden base.
+    pub records_replayed: usize,
+    /// Bytes of torn tail truncated away (0 for a clean shutdown).
+    pub torn_bytes_truncated: usize,
+}
+
+/// State every mutation serializes through: the append handle plus the
+/// provenance the next compaction will stamp its golden base with.
+#[derive(Debug)]
+struct StoreState {
+    appender: WalAppender,
+    meta: BundleMeta,
+}
+
+/// The durability layer under a served model registry.
+///
+/// One mutex serializes every journaled mutation; it is held across
+/// *append-then-publish*, so WAL order always equals publication order
+/// and the journaled generation is exactly the one the registry
+/// publishes. Reads (verification traffic) never touch the store.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    state: Mutex<StoreState>,
+    metrics: StoreMetrics,
+}
+
+impl DurableStore {
+    /// Initializes a store directory from a validated bundle: writes the
+    /// golden base at `generation` [`ModelRegistry::FIRST_GENERATION`]
+    /// and an empty WAL on top of it. Fails if either file already
+    /// exists — a store is created once and thereafter only
+    /// [`DurableStore::open`]ed.
+    pub fn create(
+        dir: &Path,
+        bundle: &ModelBundle,
+        metrics: StoreMetrics,
+    ) -> Result<Self, StoreError> {
+        bundle.validate()?;
+        fs::create_dir_all(dir)?;
+        let base_path = dir.join(BASE_FILE);
+        if base_path.exists() {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already holds a store", dir.display()),
+            )));
+        }
+        let base = GoldenBase {
+            generation: ModelRegistry::FIRST_GENERATION,
+            bundle: bundle.clone(),
+        };
+        write_atomically(&base_path, &base.to_bytes())?;
+        let appender = WalAppender::create(
+            &dir.join(WAL_FILE),
+            WalHeader {
+                base_generation: base.generation,
+            },
+        )?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            state: Mutex::new(StoreState {
+                appender,
+                meta: bundle.meta.clone(),
+            }),
+            metrics,
+        })
+    }
+
+    /// Opens an existing store: decodes the golden base, scans the WAL,
+    /// truncates any torn tail in place, and replays every surviving
+    /// record to reconstruct the exact pre-crash serving state.
+    ///
+    /// Records at or below the base generation are skipped (they were
+    /// folded into the base by a compaction whose WAL rewrite a crash
+    /// interrupted); the remaining records must be contiguous from the
+    /// base generation — a gap means mid-log data loss, which
+    /// append-only truncation cannot produce, so replay refuses it.
+    pub fn open(dir: &Path, metrics: StoreMetrics) -> Result<(Self, RecoveredState), StoreError> {
+        let t = Instant::now();
+        let base = GoldenBase::from_bytes(&fs::read(dir.join(BASE_FILE))?)?;
+        base.bundle.validate()?;
+
+        let wal_path = dir.join(WAL_FILE);
+        let wal_bytes = fs::read(&wal_path)?;
+        let scan = scan_wal(&wal_bytes).map_err(|source| StoreError::CorruptHeader {
+            path: wal_path.clone(),
+            source,
+        })?;
+        if scan.header.base_generation > base.generation {
+            return Err(StoreError::HeaderAheadOfBase {
+                base: base.generation,
+                header: scan.header.base_generation,
+            });
+        }
+        let torn_bytes_truncated = match scan.tail {
+            TailStatus::Clean => 0,
+            TailStatus::Torn { offset, bytes } => {
+                fs::OpenOptions::new()
+                    .write(true)
+                    .open(&wal_path)?
+                    .set_len(offset as u64)?;
+                bytes
+            }
+        };
+
+        let mut meta = base.bundle.meta.clone();
+        let base_generation = base.generation;
+        let mut snapshot = base.bundle.into_snapshot();
+        let mut generation = base_generation;
+        let mut records_replayed = 0usize;
+        for scanned in &scan.records {
+            let record = &scanned.record;
+            if record.generation <= generation && records_replayed == 0 {
+                // Folded into the base by a compaction that crashed
+                // before rewriting the WAL header.
+                continue;
+            }
+            if record.generation != generation + 1 {
+                return Err(StoreError::GenerationGap {
+                    expected: generation + 1,
+                    found: record.generation,
+                });
+            }
+            apply(&mut snapshot, &mut meta, &record.op)?;
+            generation = record.generation;
+            records_replayed += 1;
+        }
+
+        let store = Self {
+            dir: dir.to_path_buf(),
+            state: Mutex::new(StoreState {
+                appender: WalAppender::open_end(&wal_path)?,
+                meta: meta.clone(),
+            }),
+            metrics,
+        };
+        store.metrics.records.add(records_replayed as u64);
+        store.metrics.replay_seconds.record(t.elapsed());
+        Ok((
+            store,
+            RecoveredState {
+                generation,
+                snapshot,
+                meta,
+                records_replayed,
+                torn_bytes_truncated,
+            },
+        ))
+    }
+
+    /// Journals an enrollment, then publishes it to `registry` —
+    /// returning the new generation. The model ships as a sparse delta
+    /// against `ubm` when it is a means-only adaptation of it (always
+    /// true for engine-produced enrollments), as a full model otherwise.
+    pub fn journal_enroll(
+        &self,
+        registry: &ModelRegistry,
+        ubm: &magshield_ml::gmm::DiagonalGmm,
+        model: SpeakerModel,
+    ) -> Result<u64, StoreError> {
+        let mut state = self.state.lock();
+        let generation = registry.generation() + 1;
+        let op = match DeltaSpeakerRecord::encode(ubm, &model) {
+            Ok(delta) => WalOp::EnrollDelta(delta),
+            Err(_) => WalOp::EnrollFull(Box::new(model.clone())),
+        };
+        self.append(&mut state, WalRecord { generation, op })?;
+        let published = registry.enroll(model);
+        debug_assert_eq!(published, generation, "journaled generation must match");
+        Ok(published)
+    }
+
+    /// Journals a whole-bundle swap, then publishes it to `registry` —
+    /// returning the new generation.
+    pub fn journal_swap(
+        &self,
+        registry: &ModelRegistry,
+        bundle: ModelBundle,
+    ) -> Result<u64, StoreError> {
+        bundle.validate()?;
+        let mut state = self.state.lock();
+        let generation = registry.generation() + 1;
+        self.append(
+            &mut state,
+            WalRecord {
+                generation,
+                op: WalOp::Swap(Box::new(bundle.clone())),
+            },
+        )?;
+        state.meta = bundle.meta.clone();
+        let published = registry.swap(bundle.into_snapshot());
+        debug_assert_eq!(published, generation, "journaled generation must match");
+        Ok(published)
+    }
+
+    /// Folds the registry's current state into a fresh golden base and
+    /// truncates the WAL to just a header — bounding replay cost.
+    /// Returns the generation the base was exported at.
+    ///
+    /// Crash-ordering: the new base is renamed into place **before**
+    /// the WAL is rewritten. A crash between the two leaves old records
+    /// alongside a newer base; replay skips records at or below the
+    /// base generation, so recovery lands on the same state either way.
+    pub fn compact(&self, registry: &ModelRegistry) -> Result<u64, StoreError> {
+        let t = Instant::now();
+        let mut state = self.state.lock();
+        let (generation, snapshot) = registry.load();
+        let bundle = ModelBundle::from_snapshot(state.meta.clone(), &snapshot);
+        let base = GoldenBase { generation, bundle };
+        write_atomically(&self.dir.join(BASE_FILE), &base.to_bytes())?;
+        let wal_path = self.dir.join(WAL_FILE);
+        let header = WalHeader {
+            base_generation: generation,
+        };
+        write_atomically(&wal_path, &header.to_bytes())?;
+        state.appender = WalAppender::open_end(&wal_path)?;
+        self.metrics.compact_seconds.record(t.elapsed());
+        Ok(generation)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The provenance the next compaction will stamp its base with.
+    pub fn meta(&self) -> BundleMeta {
+        self.state.lock().meta.clone()
+    }
+
+    fn append(&self, state: &mut StoreState, record: WalRecord) -> Result<(), StoreError> {
+        let t = Instant::now();
+        state.appender.append(&record)?;
+        self.metrics.append_seconds.record(t.elapsed());
+        self.metrics.records.inc();
+        Ok(())
+    }
+}
+
+/// Applies one WAL operation to a snapshot under replay, mirroring what
+/// the registry did when the record was journaled.
+fn apply(
+    snapshot: &mut ModelSnapshot,
+    meta: &mut BundleMeta,
+    op: &WalOp,
+) -> Result<(), StoreError> {
+    match op {
+        WalOp::EnrollDelta(record) => {
+            let model = record.reconstruct(snapshot.engine.ubm())?;
+            snapshot.speakers.insert(model.speaker_id, Arc::new(model));
+        }
+        WalOp::EnrollFull(model) => {
+            snapshot
+                .speakers
+                .insert(model.speaker_id, Arc::new(model.as_ref().clone()));
+        }
+        WalOp::Swap(bundle) => {
+            bundle.validate()?;
+            *meta = bundle.meta.clone();
+            *snapshot = bundle.as_ref().clone().into_snapshot();
+        }
+    }
+    Ok(())
+}
+
+/// Writes `bytes` to `path` via a same-directory temp file + rename, so
+/// the file is either the old content or the new content, never a torn
+/// mix.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        use std::io::Write;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::BundleMeta;
+    use crate::store::wal::test_support::tempdir;
+
+    fn fixture_bundle(notes: &str) -> ModelBundle {
+        let (sys, _) = crate::test_support::shared_tiny_system();
+        ModelBundle::from_snapshot(
+            BundleMeta {
+                producer: "durable-tests".to_string(),
+                ubm_speakers: 3,
+                ubm_components: 8,
+                em_iters: 4,
+                use_isv: false,
+                notes: notes.to_string(),
+            },
+            &sys.models(),
+        )
+    }
+
+    fn enrollable_model(bundle: &ModelBundle, speaker_id: u32) -> SpeakerModel {
+        let mut model = bundle.speakers[0].clone();
+        model.speaker_id = speaker_id;
+        model
+    }
+
+    #[test]
+    fn journal_replay_round_trip_restores_generation_and_speakers() {
+        let dir = tempdir("durable-roundtrip");
+        let bundle = fixture_bundle("v0");
+        let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
+        let registry = ModelRegistry::new(bundle.clone().into_snapshot());
+        let ubm = bundle.engine.ubm().clone();
+        let g2 = store
+            .journal_enroll(&registry, &ubm, enrollable_model(&bundle, 7001))
+            .unwrap();
+        let g3 = store.journal_swap(&registry, fixture_bundle("v1")).unwrap();
+        let g4 = store
+            .journal_enroll(&registry, &ubm, enrollable_model(&bundle, 7002))
+            .unwrap();
+        assert_eq!((g2, g3, g4), (2, 3, 4));
+
+        let (_, recovered) = DurableStore::open(&dir, StoreMetrics::detached()).unwrap();
+        assert_eq!(recovered.generation, 4);
+        assert_eq!(recovered.records_replayed, 3);
+        assert_eq!(recovered.torn_bytes_truncated, 0);
+        assert_eq!(recovered.meta.notes, "v1");
+        // The swap dropped speaker 7001; 7002 was enrolled after it.
+        assert!(!recovered.snapshot.speakers.contains_key(&7001));
+        assert!(recovered.snapshot.speakers.contains_key(&7002));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_records_survive() {
+        let dir = tempdir("durable-torn");
+        let bundle = fixture_bundle("v0");
+        let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
+        let registry = ModelRegistry::new(bundle.clone().into_snapshot());
+        let ubm = bundle.engine.ubm().clone();
+        store
+            .journal_enroll(&registry, &ubm, enrollable_model(&bundle, 7001))
+            .unwrap();
+        drop(store);
+        // Simulate a crash mid-append: garbage after the last record.
+        let wal = dir.join(WAL_FILE);
+        let clean_len = std::fs::metadata(&wal).unwrap().len();
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&[0xAB; 13]);
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let (_, recovered) = DurableStore::open(&dir, StoreMetrics::detached()).unwrap();
+        assert_eq!(recovered.generation, 2);
+        assert_eq!(recovered.torn_bytes_truncated, 13);
+        assert!(recovered.snapshot.speakers.contains_key(&7001));
+        assert_eq!(std::fs::metadata(&wal).unwrap().len(), clean_len);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_the_log_and_preserves_state() {
+        let dir = tempdir("durable-compact");
+        let bundle = fixture_bundle("v0");
+        let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
+        let registry = ModelRegistry::new(bundle.clone().into_snapshot());
+        let ubm = bundle.engine.ubm().clone();
+        for id in [7001, 7002, 7003] {
+            store
+                .journal_enroll(&registry, &ubm, enrollable_model(&bundle, id))
+                .unwrap();
+        }
+        let wal_before = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert_eq!(store.compact(&registry).unwrap(), 4);
+        let wal_after = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert!(wal_after < wal_before, "{wal_after} !< {wal_before}");
+
+        // Appends continue on the compacted log and replay correctly.
+        store
+            .journal_enroll(&registry, &ubm, enrollable_model(&bundle, 7004))
+            .unwrap();
+        let (_, recovered) = DurableStore::open(&dir, StoreMetrics::detached()).unwrap();
+        assert_eq!(recovered.generation, 5);
+        assert_eq!(recovered.records_replayed, 1);
+        for id in [7001, 7002, 7003, 7004] {
+            assert!(recovered.snapshot.speakers.contains_key(&id), "{id}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_between_compaction_renames_recovers_identically() {
+        // Reproduce the window where the base rename landed but the WAL
+        // rewrite did not: old records sit below a newer base.
+        let dir = tempdir("durable-compact-crash");
+        let bundle = fixture_bundle("v0");
+        let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
+        let registry = ModelRegistry::new(bundle.clone().into_snapshot());
+        let ubm = bundle.engine.ubm().clone();
+        for id in [7001, 7002] {
+            store
+                .journal_enroll(&registry, &ubm, enrollable_model(&bundle, id))
+                .unwrap();
+        }
+        let old_wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        store.compact(&registry).unwrap();
+        drop(store);
+        // "Crash": restore the pre-compaction WAL next to the new base.
+        std::fs::write(dir.join(WAL_FILE), &old_wal).unwrap();
+
+        let (_, recovered) = DurableStore::open(&dir, StoreMetrics::detached()).unwrap();
+        assert_eq!(recovered.generation, 3);
+        assert_eq!(recovered.records_replayed, 0, "records below base skipped");
+        for id in [7001, 7002] {
+            assert!(recovered.snapshot.speakers.contains_key(&id), "{id}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generation_gap_is_refused() {
+        let dir = tempdir("durable-gap");
+        let bundle = fixture_bundle("v0");
+        let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
+        let registry = ModelRegistry::new(bundle.clone().into_snapshot());
+        let ubm = bundle.engine.ubm().clone();
+        for id in [7001, 7002, 7003] {
+            store
+                .journal_enroll(&registry, &ubm, enrollable_model(&bundle, id))
+                .unwrap();
+        }
+        drop(store);
+        // Surgically delete the *middle* record (generation 3).
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        let scan = scan_wal(&bytes).unwrap();
+        let mid = &scan.records[1];
+        let mut cut = bytes[..mid.offset].to_vec();
+        cut.extend_from_slice(&bytes[mid.offset + mid.frame_len..]);
+        std::fs::write(&wal_path, &cut).unwrap();
+
+        match DurableStore::open(&dir, StoreMetrics::detached()) {
+            Err(StoreError::GenerationGap { expected, found }) => {
+                assert_eq!((expected, found), (3, 4));
+            }
+            other => panic!("expected GenerationGap, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_an_existing_store() {
+        let dir = tempdir("durable-exists");
+        let bundle = fixture_bundle("v0");
+        DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
+        assert!(matches!(
+            DurableStore::create(&dir, &bundle, StoreMetrics::detached()),
+            Err(StoreError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

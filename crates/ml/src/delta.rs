@@ -1,0 +1,405 @@
+//! Delta encoding of MAP-adapted mixtures against their prior.
+//!
+//! A Reynolds MAP-adapted speaker model
+//! ([`DiagonalGmm::map_adapt_means`]) shares its weights and variances
+//! with the UBM it was adapted from — only the means move. Shipping a
+//! whole [`DiagonalGmm`] per enrollment therefore repeats `2k·dim + k`
+//! numbers the receiver already holds. A [`GmmMeanDelta`] stores only
+//! what changed: for each component whose mean moved, the XOR of the
+//! adapted and prior IEEE-754 bit patterns.
+//!
+//! XOR deltas (rather than arithmetic differences) are what make the
+//! reconstruction **bit-identical**: `prior_bits ^ delta_bits` restores
+//! the adapted mean exactly, whereas `prior + (adapted − prior)` does
+//! not round-trip in floating point. Components the adaptation left
+//! untouched (low-evidence components keep the prior mean exactly) XOR
+//! to all-zero words and are omitted entirely, so lightly adapted
+//! speakers cost a few hundred bytes where a full model costs tens of
+//! kilobytes — and a full serving bundle re-export costs hundreds.
+//!
+//! A delta is only meaningful against the exact prior it was encoded
+//! from, so every record carries a [`gmm_fingerprint`] of the prior's
+//! full parameter set; [`GmmMeanDelta::apply`] refuses to reconstruct
+//! against anything else.
+
+use crate::codec::{self, fnv1a_64, BinaryCodec, ByteReader, ByteWriter, CodecError};
+use crate::gmm::DiagonalGmm;
+use std::error::Error;
+use std::fmt;
+
+/// Typed failure encoding or applying a [`GmmMeanDelta`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// The adapted mixture's shape differs from the prior's.
+    ShapeMismatch {
+        /// `(components, dim)` of the prior.
+        prior: (usize, usize),
+        /// `(components, dim)` of the adapted mixture.
+        adapted: (usize, usize),
+    },
+    /// The adapted mixture changed weights or variances, so it is not a
+    /// means-only MAP adaptation and cannot be expressed as a mean delta.
+    NotMeansOnly,
+    /// The prior handed to [`GmmMeanDelta::apply`] is not the prior the
+    /// delta was encoded against.
+    FingerprintMismatch {
+        /// Fingerprint stored in the delta.
+        expected: u64,
+        /// Fingerprint of the prior offered for reconstruction.
+        found: u64,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { prior, adapted } => write!(
+                f,
+                "mixture shape mismatch: prior {}x{}, adapted {}x{}",
+                prior.0, prior.1, adapted.0, adapted.1
+            ),
+            Self::NotMeansOnly => write!(
+                f,
+                "adapted mixture changed weights or variances; only means-only \
+                 MAP adaptations delta-encode"
+            ),
+            Self::FingerprintMismatch { expected, found } => write!(
+                f,
+                "prior fingerprint mismatch: delta was encoded against \
+                 {expected:#018x}, offered prior hashes to {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl Error for DeltaError {}
+
+/// FNV-1a/64 over a mixture's full parameter set (weights, means,
+/// variances, as IEEE-754 bit patterns in index order). Identifies the
+/// prior a [`GmmMeanDelta`] belongs to without serializing it.
+pub fn gmm_fingerprint(gmm: &DiagonalGmm) -> u64 {
+    let mut bytes = Vec::with_capacity(8 * gmm.num_components() * (1 + 2 * gmm.dim()) + 16);
+    bytes.extend_from_slice(&(gmm.num_components() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(gmm.dim() as u64).to_le_bytes());
+    for w in gmm.weights() {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    for row in gmm.means() {
+        for m in row {
+            bytes.extend_from_slice(&m.to_le_bytes());
+        }
+    }
+    for row in gmm.variances() {
+        for v in row {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fnv1a_64(&bytes)
+}
+
+/// A sparse, bit-exact encoding of a means-only MAP adaptation.
+///
+/// Produced by [`GmmMeanDelta::encode`] against a prior (the UBM);
+/// [`GmmMeanDelta::apply`] reconstructs the adapted mixture
+/// bit-identically from the same prior. Serializes through the
+/// workspace codec (magic `MGMD`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmmMeanDelta {
+    /// [`gmm_fingerprint`] of the prior this delta is relative to.
+    prior_fingerprint: u64,
+    /// Component count of both mixtures.
+    components: usize,
+    /// Feature dimensionality of both mixtures.
+    dim: usize,
+    /// `(component index, per-dimension XOR of mean bit patterns)` for
+    /// every component whose mean moved, in ascending index order.
+    moved: Vec<(u32, Vec<u64>)>,
+}
+
+impl GmmMeanDelta {
+    /// Encodes `adapted` as a mean delta against `prior`.
+    ///
+    /// Fails with [`DeltaError::ShapeMismatch`] on shape disagreement and
+    /// [`DeltaError::NotMeansOnly`] when any weight or variance differs
+    /// bitwise — such a mixture is not a Reynolds means-only adaptation
+    /// of `prior` and must ship as a full model instead.
+    pub fn encode(prior: &DiagonalGmm, adapted: &DiagonalGmm) -> Result<Self, DeltaError> {
+        let (k, dim) = (prior.num_components(), prior.dim());
+        if adapted.num_components() != k || adapted.dim() != dim {
+            return Err(DeltaError::ShapeMismatch {
+                prior: (k, dim),
+                adapted: (adapted.num_components(), adapted.dim()),
+            });
+        }
+        let same_bits =
+            |a: &[f64], b: &[f64]| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+        if !same_bits(prior.weights(), adapted.weights()) {
+            return Err(DeltaError::NotMeansOnly);
+        }
+        for (pv, av) in prior.variances().iter().zip(adapted.variances()) {
+            if !same_bits(pv, av) {
+                return Err(DeltaError::NotMeansOnly);
+            }
+        }
+        let mut moved = Vec::new();
+        for (c, (pm, am)) in prior.means().iter().zip(adapted.means()).enumerate() {
+            if same_bits(pm, am) {
+                continue;
+            }
+            let xor: Vec<u64> = pm
+                .iter()
+                .zip(am)
+                .map(|(p, a)| p.to_bits() ^ a.to_bits())
+                .collect();
+            moved.push((c as u32, xor));
+        }
+        Ok(Self {
+            prior_fingerprint: gmm_fingerprint(prior),
+            components: k,
+            dim,
+            moved,
+        })
+    }
+
+    /// Reconstructs the adapted mixture from the prior this delta was
+    /// encoded against. Bit-identical to the original `adapted` argument
+    /// of [`GmmMeanDelta::encode`].
+    pub fn apply(&self, prior: &DiagonalGmm) -> Result<DiagonalGmm, DeltaError> {
+        if prior.num_components() != self.components || prior.dim() != self.dim {
+            return Err(DeltaError::ShapeMismatch {
+                prior: (prior.num_components(), prior.dim()),
+                adapted: (self.components, self.dim),
+            });
+        }
+        let found = gmm_fingerprint(prior);
+        if found != self.prior_fingerprint {
+            return Err(DeltaError::FingerprintMismatch {
+                expected: self.prior_fingerprint,
+                found,
+            });
+        }
+        let mut means: Vec<Vec<f64>> = prior.means().to_vec();
+        for (c, xor) in &self.moved {
+            let row = &mut means[*c as usize];
+            for (m, bits) in row.iter_mut().zip(xor) {
+                *m = f64::from_bits(m.to_bits() ^ bits);
+            }
+        }
+        Ok(DiagonalGmm::from_parameters(
+            prior.weights().to_vec(),
+            means,
+            prior.variances().to_vec(),
+        ))
+    }
+
+    /// The fingerprint of the prior this delta was encoded against.
+    pub fn prior_fingerprint(&self) -> u64 {
+        self.prior_fingerprint
+    }
+
+    /// Number of components whose mean moved.
+    pub fn moved_components(&self) -> usize {
+        self.moved.len()
+    }
+}
+
+impl BinaryCodec for GmmMeanDelta {
+    const MAGIC: u32 = codec::magic(b"MGMD");
+    const VERSION: u8 = 1;
+    const NAME: &'static str = "GmmMeanDelta";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.put_u64(self.prior_fingerprint);
+        w.put_len(self.components);
+        w.put_len(self.dim);
+        w.put_len(self.moved.len());
+        for (c, xor) in &self.moved {
+            w.put_u32(*c);
+            for bits in xor {
+                w.put_u64(*bits);
+            }
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let prior_fingerprint = r.get_u64()?;
+        let components = r.get_len()?;
+        let dim = r.get_len()?;
+        if components == 0 || dim == 0 {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: "mixture shape must be non-empty".to_string(),
+            });
+        }
+        let n = r.get_len()?;
+        if n > components {
+            return Err(CodecError::Invalid {
+                artifact: Self::NAME,
+                reason: format!("{n} moved components exceed the {components}-component shape"),
+            });
+        }
+        let mut moved = Vec::with_capacity(n);
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let c = r.get_u32()?;
+            if c as usize >= components {
+                return Err(CodecError::Invalid {
+                    artifact: Self::NAME,
+                    reason: format!("component index {c} out of range"),
+                });
+            }
+            if prev.is_some_and(|p| c <= p) {
+                return Err(CodecError::Invalid {
+                    artifact: Self::NAME,
+                    reason: "moved components must be strictly ascending".to_string(),
+                });
+            }
+            prev = Some(c);
+            let mut xor = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                xor.push(r.get_u64()?);
+            }
+            moved.push((c, xor));
+        }
+        Ok(Self {
+            prior_fingerprint,
+            components,
+            dim,
+            moved,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::assert_hostile_input_fails;
+    use magshield_simkit::rng::SimRng;
+    use proptest::prelude::*;
+
+    fn random_gmm(rng: &mut SimRng, k: usize, dim: usize) -> DiagonalGmm {
+        let raw: Vec<f64> = (0..k).map(|_| rng.uniform(0.1, 1.0)).collect();
+        let sum: f64 = raw.iter().sum();
+        DiagonalGmm::from_parameters(
+            raw.iter().map(|w| w / sum).collect(),
+            (0..k)
+                .map(|_| (0..dim).map(|_| rng.gauss(0.0, 2.0)).collect())
+                .collect(),
+            (0..k)
+                .map(|_| (0..dim).map(|_| rng.uniform(0.05, 3.0)).collect())
+                .collect(),
+        )
+    }
+
+    fn random_frames(rng: &mut SimRng, n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gauss(0.5, 1.5)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn adapted_mixture_round_trips_bit_identically() {
+        let mut rng = SimRng::from_seed(11);
+        let ubm = random_gmm(&mut rng, 6, 4);
+        let data = random_frames(&mut rng, 60, 4);
+        let adapted = ubm.map_adapt_means(&data, 16.0);
+        let delta = GmmMeanDelta::encode(&ubm, &adapted).unwrap();
+        let back = delta.apply(&ubm).unwrap();
+        for (a, b) in adapted.means().iter().zip(back.means()) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(adapted, back);
+        // Codec round-trip preserves the delta exactly.
+        let decoded = GmmMeanDelta::from_bytes(&delta.to_bytes()).unwrap();
+        assert_eq!(decoded, delta);
+        assert_eq!(decoded.apply(&ubm).unwrap(), adapted);
+    }
+
+    #[test]
+    fn unmoved_components_are_omitted() {
+        let mut rng = SimRng::from_seed(12);
+        let ubm = random_gmm(&mut rng, 8, 3);
+        // Identity adaptation: no data, nothing moves.
+        let same = GmmMeanDelta::encode(&ubm, &ubm.clone()).unwrap();
+        assert_eq!(same.moved_components(), 0);
+        assert!(same.to_bytes().len() < 64, "empty delta stays tiny");
+    }
+
+    #[test]
+    fn non_means_only_mixtures_are_refused() {
+        let mut rng = SimRng::from_seed(13);
+        let ubm = random_gmm(&mut rng, 4, 3);
+        let other = random_gmm(&mut SimRng::from_seed(14), 4, 3);
+        assert_eq!(
+            GmmMeanDelta::encode(&ubm, &other),
+            Err(DeltaError::NotMeansOnly)
+        );
+        let smaller = random_gmm(&mut rng, 3, 3);
+        assert!(matches!(
+            GmmMeanDelta::encode(&ubm, &smaller),
+            Err(DeltaError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_prior_is_refused_by_fingerprint() {
+        let mut rng = SimRng::from_seed(15);
+        let ubm = random_gmm(&mut rng, 5, 3);
+        let data = random_frames(&mut rng, 40, 3);
+        let adapted = ubm.map_adapt_means(&data, 16.0);
+        let delta = GmmMeanDelta::encode(&ubm, &adapted).unwrap();
+        let impostor = random_gmm(&mut SimRng::from_seed(16), 5, 3);
+        assert!(matches!(
+            delta.apply(&impostor),
+            Err(DeltaError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_input_yields_typed_errors() {
+        let mut rng = SimRng::from_seed(17);
+        let ubm = random_gmm(&mut rng, 4, 3);
+        let adapted = ubm.map_adapt_means(&random_frames(&mut rng, 30, 3), 16.0);
+        let delta = GmmMeanDelta::encode(&ubm, &adapted).unwrap();
+        assert_hostile_input_fails::<GmmMeanDelta>(&delta.to_bytes());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Delta encode → decode → apply reconstructs a MAP-adapted
+        /// mixture bit-identically across component counts, feature
+        /// dimensions and adaptation strengths.
+        #[test]
+        fn delta_round_trip_is_bit_identical(
+            seed in 0u64..u64::MAX,
+            k in 1usize..9,
+            dim in 1usize..7,
+            frames in 0usize..120,
+            relevance in 0.5f64..64.0,
+        ) {
+            let mut rng = SimRng::from_seed(seed);
+            let ubm = random_gmm(&mut rng, k, dim);
+            let data = random_frames(&mut rng, frames, dim);
+            let adapted = ubm.map_adapt_means(&data, relevance);
+            let delta = GmmMeanDelta::encode(&ubm, &adapted).unwrap();
+            let wire = GmmMeanDelta::from_bytes(&delta.to_bytes()).unwrap();
+            let back = wire.apply(&ubm).unwrap();
+            for (a, b) in adapted.weights().iter().zip(back.weights()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in adapted.means().iter().zip(back.means()) {
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            for (a, b) in adapted.variances().iter().zip(back.variances()) {
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -25,10 +25,13 @@
 //! * [`metrics`] — FAR/FRR sweeps, equal error rate and DET curves, the
 //!   metrics every table and figure of the evaluation reports;
 //! * [`codec`] — the versioned, checksummed binary artifact format every
-//!   trained model serializes through (train once, serve many).
+//!   trained model serializes through (train once, serve many);
+//! * [`delta`] — sparse, bit-exact mean-delta encoding of MAP-adapted
+//!   mixtures against their UBM prior (durable-store WAL records).
 
 pub mod circlefit;
 pub mod codec;
+pub mod delta;
 pub mod gmm;
 pub mod kmeans;
 pub mod metrics;

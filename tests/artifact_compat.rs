@@ -17,10 +17,23 @@
 //! Both were produced by the `train_bundle` example:
 //! `cargo run --example train_bundle -- --tiny --seed 424242
 //!  --notes "golden artifact vN" --out results/golden_bundle_vN.bin`.
+//!
+//! A third golden covers the durable store's on-disk format:
+//!
+//! - `golden_wal_v1.bin` — a write-ahead log of three delta enrollments
+//!   (speakers 9001–9003) on top of `golden_bundle_v2.bin`, produced by
+//!   the deterministic demo-store builder:
+//!   `cargo run --example store_admin -- demo DIR
+//!    --bundle results/golden_bundle_v2.bin` (then commit `DIR/wal.log`).
+//!   It must keep replaying to the pinned generation and speaker set,
+//!   and re-encoding every record must reproduce the file byte for byte.
 
 use magshield::core::artifact::ModelBundle;
 use magshield::core::pipeline::DefenseSystem;
 use magshield::core::registry::ModelRegistry;
+use magshield::core::store::admin::{DEMO_SEED, DEMO_SPEAKERS};
+use magshield::core::store::wal::scan_wal;
+use magshield::core::store::{GoldenBase, TailStatus, BASE_FILE, WAL_FILE};
 use magshield::core::trainer::TRAINER_PRODUCER;
 use magshield::ml::codec::BinaryCodec;
 
@@ -91,4 +104,68 @@ fn golden_bundles_boot_a_serving_system() {
         assert_eq!(system.generation(), ModelRegistry::FIRST_GENERATION);
         assert!(system.is_enrolled(speaker));
     }
+}
+
+const GOLDEN_WAL: &[u8] = include_bytes!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/results/golden_wal_v1.bin"
+));
+
+/// Reassembles the committed store from its two goldens (the v2 bundle
+/// as base, the WAL fixture as log) in a scratch directory.
+fn golden_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("magshield-goldenwal-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let base = GoldenBase {
+        generation: ModelRegistry::FIRST_GENERATION,
+        bundle: ModelBundle::from_bytes(GOLDEN_V2).expect("v2 bundle decodes"),
+    };
+    std::fs::write(dir.join(BASE_FILE), base.to_bytes()).expect("write base");
+    std::fs::write(dir.join(WAL_FILE), GOLDEN_WAL).expect("write wal");
+    dir
+}
+
+#[test]
+fn golden_wal_replays_to_the_pinned_state() {
+    // Replay compatibility: the committed log must keep recovering the
+    // exact generation and speaker set it was written with. A failure
+    // means a WAL format or replay-semantics change broke recovery of
+    // already-shipped stores — bump the record format version (and keep
+    // a decode path) instead.
+    let dir = golden_store_dir("replay");
+    let (system, recovered) = DefenseSystem::open_durable(&dir)
+        .expect("store format break: the committed golden WAL no longer replays");
+    assert_eq!(
+        recovered.generation,
+        ModelRegistry::FIRST_GENERATION + DEMO_SPEAKERS.len() as u64
+    );
+    assert_eq!(recovered.records_replayed, DEMO_SPEAKERS.len());
+    assert_eq!(recovered.torn_bytes_truncated, 0);
+    for id in DEMO_SPEAKERS {
+        assert!(
+            system.is_enrolled(id),
+            "speaker {id} lost from the golden WAL (demo seed {DEMO_SEED})"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn golden_wal_reencodes_byte_identically() {
+    // Determinism gate for the current record layout: every frame in the
+    // committed log must be a decode → encode fixpoint, and the frames
+    // must tile the file exactly (header included).
+    let scan = scan_wal(GOLDEN_WAL).expect("golden WAL scans");
+    assert_eq!(scan.tail, TailStatus::Clean);
+    let mut reencoded = scan.header.to_bytes();
+    for rec in &scan.records {
+        assert_eq!(rec.offset, reencoded.len(), "frames tile the log");
+        reencoded.extend_from_slice(&rec.record.to_bytes());
+    }
+    assert_eq!(
+        reencoded, GOLDEN_WAL,
+        "encoder no longer reproduces the committed WAL layout"
+    );
 }

@@ -1,0 +1,342 @@
+//! Kill-point crash-recovery suite for the durable model store
+//! (DESIGN.md §16): a served mutation history is cut off at every record
+//! boundary and mid-record, the store is reopened, and the recovered
+//! system must land on the exact surviving generation and serve verdicts
+//! bit-identical to the system that produced that generation — durability
+//! is invisible to the cascade.
+
+use magshield::core::artifact::{BundleMeta, ModelBundle};
+use magshield::core::pipeline::{BootstrapConfig, DefenseSystem};
+use magshield::core::registry::ModelRegistry;
+use magshield::core::scenario::{bootstrap_with, ScenarioBuilder, UserContext};
+use magshield::core::server::VerificationServer;
+use magshield::core::session::SessionData;
+use magshield::core::store::wal::scan_wal;
+use magshield::core::store::{BASE_FILE, WAL_FILE};
+use magshield::core::verdict::DefenseVerdict;
+use magshield::ml::codec::BinaryCodec;
+use magshield::simkit::rng::SimRng;
+use magshield::voice::profile::SpeakerProfile;
+use magshield::voice::synth::{FormantSynthesizer, SessionEffects};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("magshield-durable-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn meta(notes: &str) -> BundleMeta {
+    BundleMeta {
+        producer: "durable-store-tests".to_string(),
+        ubm_speakers: 3,
+        ubm_components: 8,
+        em_iters: 4,
+        use_isv: false,
+        notes: notes.to_string(),
+    }
+}
+
+fn utterance(speaker_id: u32, take: u64) -> Vec<f64> {
+    let profile = SpeakerProfile::sample(speaker_id, &SimRng::from_seed(9_000 + speaker_id as u64));
+    FormantSynthesizer::default().render_digits(
+        &profile,
+        "271828",
+        SessionEffects::neutral(),
+        &SimRng::from_seed(9_500 + take),
+    )
+}
+
+/// The master history every kill point is cut from: a durable store that
+/// served four mutations (enroll, enroll, swap, enroll — generations 2
+/// through 5), plus the probe verdicts the live system produced at
+/// *every* generation along the way.
+struct MasterHistory {
+    dir: PathBuf,
+    user: UserContext,
+    probes: Vec<SessionData>,
+    /// `verdicts_by_generation[g - 1]` = probe verdicts served at
+    /// generation `g` (1 = the golden base, 5 = the final state).
+    verdicts_by_generation: Vec<Vec<DefenseVerdict>>,
+}
+
+fn master() -> &'static MasterHistory {
+    static M: OnceLock<MasterHistory> = OnceLock::new();
+    M.get_or_init(|| {
+        let (trained, user) = bootstrap_with(&SimRng::from_seed(5151), BootstrapConfig::tiny());
+        let bundle = ModelBundle::from_snapshot(meta("golden base"), &trained.models());
+        let dir = tempdir("master");
+        let system = DefenseSystem::create_durable(bundle, &dir).expect("create store");
+
+        let probes: Vec<SessionData> = (0..2u64)
+            .map(|i| ScenarioBuilder::genuine(&user).capture(&SimRng::from_seed(8_700 + i)))
+            .collect();
+        let serve = |sys: &DefenseSystem| probes.iter().map(|s| sys.verify(s)).collect();
+
+        let mut verdicts_by_generation: Vec<Vec<DefenseVerdict>> = vec![serve(&system)];
+        for speaker_id in [9001u32, 9002] {
+            let u = utterance(speaker_id, speaker_id as u64);
+            system
+                .try_enroll_speaker(speaker_id, &[&u])
+                .expect("journaled enrollment");
+            verdicts_by_generation.push(serve(&system));
+        }
+        let swap = ModelBundle::from_snapshot(meta("mid-history swap"), &system.models());
+        system.try_swap_bundle(swap).expect("journaled swap");
+        verdicts_by_generation.push(serve(&system));
+        let u = utterance(9003, 3);
+        system
+            .try_enroll_speaker(9003, &[&u])
+            .expect("journaled enrollment");
+        verdicts_by_generation.push(serve(&system));
+
+        assert_eq!(
+            system.generation(),
+            5,
+            "history publishes generations 2..=5"
+        );
+        MasterHistory {
+            dir,
+            user,
+            probes,
+            verdicts_by_generation,
+        }
+    })
+}
+
+/// Copies the master base plus the first `wal_len` bytes of the master
+/// WAL into a fresh directory — one simulated crash image.
+fn crash_image(tag: &str, wal_len: usize) -> PathBuf {
+    let m = master();
+    let dir = tempdir(tag);
+    std::fs::copy(m.dir.join(BASE_FILE), dir.join(BASE_FILE)).expect("copy base");
+    let wal = std::fs::read(m.dir.join(WAL_FILE)).expect("read master wal");
+    assert!(wal_len <= wal.len());
+    std::fs::write(dir.join(WAL_FILE), &wal[..wal_len]).expect("write cut wal");
+    dir
+}
+
+/// Reopens a crash image and checks the recovered system against the
+/// reference verdicts for `expected_generation`.
+fn assert_recovers(dir: &Path, expected_generation: u64, expected_torn: usize) {
+    let m = master();
+    let (system, recovered) = DefenseSystem::open_durable(dir).expect("recovery");
+    assert_eq!(recovered.generation, expected_generation);
+    assert_eq!(recovered.torn_bytes_truncated, expected_torn);
+    assert_eq!(system.generation(), expected_generation);
+    let reference = &m.verdicts_by_generation[(expected_generation - 1) as usize];
+    for (i, (probe, want)) in m.probes.iter().zip(reference).enumerate() {
+        let got = system.verify(probe);
+        assert_eq!(
+            &got, want,
+            "probe {i}: recovery at generation {expected_generation} changed the verdict"
+        );
+    }
+}
+
+/// The tentpole acceptance test: cut the WAL at every record boundary
+/// and in the middle of every record, reopen, and require the exact
+/// surviving generation with bit-identical verdicts. A boundary cut is a
+/// clean shutdown at that generation; a mid-record cut is a torn append
+/// whose partial bytes must be truncated away.
+#[test]
+fn every_kill_point_recovers_the_surviving_generation() {
+    let m = master();
+    let wal = std::fs::read(m.dir.join(WAL_FILE)).expect("read master wal");
+    let scan = scan_wal(&wal).expect("master wal scans");
+    assert_eq!(scan.records.len(), 4, "four journaled mutations");
+
+    for (i, rec) in scan.records.iter().enumerate() {
+        // Crash exactly before this record hit the disk.
+        let dir = crash_image(&format!("boundary-{i}"), rec.offset);
+        assert_recovers(&dir, 1 + i as u64, 0);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Crash with this record half-written (torn tail).
+        let cut = rec.offset + rec.frame_len / 2;
+        let dir = crash_image(&format!("torn-{i}"), cut);
+        assert_recovers(&dir, 1 + i as u64, cut - rec.offset);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // No crash at all: the full log replays to the final generation.
+    let dir = crash_image("clean", wal.len());
+    assert_recovers(&dir, 5, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corruption (a flipped bit mid-log, not a torn tail) stops replay at
+/// the corrupt record: everything before it survives, everything from it
+/// on is truncated away.
+#[test]
+fn corrupt_record_truncates_from_the_corruption() {
+    let m = master();
+    let wal = std::fs::read(m.dir.join(WAL_FILE)).expect("read master wal");
+    let scan = scan_wal(&wal).expect("master wal scans");
+    let victim = &scan.records[2];
+
+    let dir = tempdir("bitflip");
+    std::fs::copy(m.dir.join(BASE_FILE), dir.join(BASE_FILE)).expect("copy base");
+    let mut bytes = wal.clone();
+    bytes[victim.offset + victim.frame_len / 2] ^= 0x40;
+    std::fs::write(dir.join(WAL_FILE), &bytes).expect("write corrupt wal");
+
+    // Records 0 and 1 replay (generation 3); the corrupt record and the
+    // valid one after it are both gone.
+    assert_recovers(&dir, 3, bytes.len() - victim.offset);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Recovery is idempotent: reopening an already-recovered store (which
+/// truncated its torn tail) replays to the same state with nothing left
+/// to truncate.
+#[test]
+fn recovery_is_idempotent() {
+    let m = master();
+    let wal = std::fs::read(m.dir.join(WAL_FILE)).expect("read master wal");
+    let scan = scan_wal(&wal).expect("master wal scans");
+    let rec = &scan.records[3];
+    let cut = rec.offset + rec.frame_len - 1; // one byte short of complete
+    let dir = crash_image("idempotent", cut);
+    assert_recovers(&dir, 4, cut - rec.offset);
+    // Second open: the tail is already gone.
+    assert_recovers(&dir, 4, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The storage claim of the delta format: journaling an enrollment costs
+/// at least 10× less than re-exporting the full bundle would.
+#[test]
+fn delta_records_are_ten_times_smaller_than_a_bundle_export() {
+    let (trained, _) = bootstrap_with(&SimRng::from_seed(5252), BootstrapConfig::tiny());
+    let bundle = ModelBundle::from_snapshot(meta("size probe"), &trained.models());
+    let dir = tempdir("size");
+    let system = DefenseSystem::create_durable(bundle, &dir).expect("create store");
+
+    let before = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+    let u = utterance(9010, 10);
+    system.try_enroll_speaker(9010, &[&u]).expect("journaled");
+    let after = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+    let record_bytes = after - before;
+
+    let full_export = ModelBundle::from_snapshot(meta("full re-export"), &system.models())
+        .to_bytes()
+        .len() as u64;
+    assert!(
+        full_export >= 10 * record_bytes,
+        "delta record is {record_bytes} B but a full export is {full_export} B (< 10x)"
+    );
+
+    // And the record really is a delta, not the full-model fallback.
+    let scan = scan_wal(&std::fs::read(dir.join(WAL_FILE)).unwrap()).expect("scans");
+    assert_eq!(scan.records[0].record.op.kind(), "enroll-delta");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Recover-then-serve: a server spawned from a crash image serves the
+/// recovered tenants, journals new enrollments over the wire, and those
+/// enrollments survive the *next* crash.
+#[test]
+fn server_recovers_then_serves_and_new_enrollments_survive() {
+    let m = master();
+    let wal_len = std::fs::read(m.dir.join(WAL_FILE)).unwrap().len();
+    let dir = crash_image("server", wal_len);
+
+    let (server, recovered) = VerificationServer::spawn_durable(&dir, 2).expect("recover");
+    assert_eq!(recovered.generation, 5);
+    assert_eq!(recovered.records_replayed, 4);
+    let client = server.client();
+    let verdict = client
+        .verify(&ScenarioBuilder::genuine(&m.user).capture(&SimRng::from_seed(8_710)))
+        .expect("verdict");
+    assert_eq!(
+        verdict.generation,
+        Some(5),
+        "serves the recovered generation"
+    );
+
+    let generation = client
+        .enroll(9020, &[utterance(9020, 20)])
+        .expect("journaled enrollment over the wire");
+    assert_eq!(generation, 6);
+    server.shutdown();
+
+    // The ack was written ahead: a second recovery still has speaker 9020.
+    let (revived, recovered) = DefenseSystem::open_durable(&dir).expect("second recovery");
+    assert_eq!(recovered.generation, 6);
+    assert!(revived.is_enrolled(9020));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Compaction after recovery folds the replayed history into the golden
+/// base without changing a single verdict.
+#[test]
+fn compaction_after_recovery_preserves_verdicts() {
+    let m = master();
+    let wal_len = std::fs::read(m.dir.join(WAL_FILE)).unwrap().len();
+    let dir = crash_image("compact", wal_len);
+
+    let (system, _) = DefenseSystem::open_durable(&dir).expect("recovery");
+    assert_eq!(system.compact_store().expect("compaction"), 5);
+    // Reopen the compacted store: nothing to replay, same verdicts.
+    assert_recovers(&dir, 5, 0);
+    let scan = scan_wal(&std::fs::read(dir.join(WAL_FILE)).unwrap()).expect("scans");
+    assert!(scan.records.is_empty(), "compaction emptied the log");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decision identity at *arbitrary* kill points: cutting the WAL at
+    /// any byte offset past the header yields a recoverable store whose
+    /// generation is the number of complete records before the cut and
+    /// whose verdicts are bit-identical to the reference history at that
+    /// generation. Checksums make a partial frame indistinguishable from
+    /// garbage — no cut can fabricate a record that was never journaled.
+    #[test]
+    fn any_cut_point_recovers_a_served_generation(fraction in 0.0f64..1.0) {
+        let m = master();
+        let wal = std::fs::read(m.dir.join(WAL_FILE)).expect("read master wal");
+        let scan = scan_wal(&wal).expect("master wal scans");
+        let header_end = scan.records.first().map(|r| r.offset).unwrap_or(wal.len());
+        let cut = header_end + ((wal.len() - header_end) as f64 * fraction) as usize;
+
+        let survivors = scan
+            .records
+            .iter()
+            .take_while(|r| r.offset + r.frame_len <= cut)
+            .count();
+        let expected_generation = 1 + survivors as u64;
+        let torn = cut
+            - scan
+                .records
+                .get(survivors)
+                .map(|r| r.offset)
+                .unwrap_or(cut);
+
+        let dir = crash_image(&format!("prop-{cut}"), cut);
+        let (system, recovered) = DefenseSystem::open_durable(&dir).expect("recovery");
+        prop_assert_eq!(recovered.generation, expected_generation);
+        prop_assert_eq!(recovered.torn_bytes_truncated, torn);
+        let reference = &m.verdicts_by_generation[(expected_generation - 1) as usize];
+        for (probe, want) in m.probes.iter().zip(reference) {
+            prop_assert_eq!(&system.verify(probe), want);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Keep the master history's registry metadata honest: first generation
+/// is the golden base's.
+#[test]
+fn master_history_starts_at_first_generation() {
+    let m = master();
+    let base = std::fs::read(m.dir.join(BASE_FILE)).unwrap();
+    let golden = magshield::core::store::GoldenBase::from_bytes(&base).expect("decodes");
+    assert_eq!(golden.generation, ModelRegistry::FIRST_GENERATION);
+    assert_eq!(m.verdicts_by_generation.len(), 5);
+}
