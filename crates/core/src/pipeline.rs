@@ -179,21 +179,75 @@ impl DefenseSystem {
     /// Enrolls an additional speaker from raw utterances and publishes a
     /// new registry generation (returned). Visible to every clone of this
     /// system — server workers see the new tenant on their next pin.
+    ///
+    /// Exactly [`DefenseSystem::try_enroll_speaker`]: on a durable system
+    /// the enrollment is journaled too — there is no unjournaled side
+    /// door that would desynchronize the write-ahead log from the served
+    /// generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when journaling to an attached durable store fails;
+    /// fallible callers (servers) use
+    /// [`DefenseSystem::try_enroll_speaker`].
     pub fn enroll_speaker(&self, speaker_id: u32, utterances: &[&[f64]]) -> u64 {
-        let snapshot = self.registry.snapshot();
-        let model = snapshot.engine.enroll(speaker_id, utterances);
-        let generation = self.registry.enroll(model);
-        self.publish_registry_gauges();
-        generation
+        self.try_enroll_speaker(speaker_id, utterances)
+            .expect("journaling the enrollment failed (use try_enroll_speaker to handle this)")
     }
 
     /// Atomically replaces every served model with `bundle`'s, returning
     /// the new generation. In-flight verifications (including whole
     /// batches) finish on the generation they pinned; no verification
     /// ever mixes models from two generations.
+    ///
+    /// Exactly [`DefenseSystem::try_swap_bundle`]: on a durable system
+    /// the swap is journaled too.
+    ///
+    /// # Panics
+    ///
+    /// Panics when journaling to an attached durable store fails;
+    /// fallible callers (servers) use [`DefenseSystem::try_swap_bundle`].
     pub fn swap_bundle(&self, bundle: ModelBundle) -> Result<u64, ConfigError> {
-        bundle.validate()?;
-        let generation = self.registry.swap(bundle.into_snapshot());
+        self.try_swap_bundle(bundle).map_err(|e| match e {
+            StoreError::Config(e) => e,
+            other => panic!(
+                "journaling the bundle swap failed (use try_swap_bundle to handle this): {other}"
+            ),
+        })
+    }
+
+    /// [`DefenseSystem::enroll_speaker`] with durability: when a store is
+    /// attached, the new model is journaled to the write-ahead log (as a
+    /// kilobyte delta record off the UBM the registry serves at journal
+    /// time) and fsynced *before* the registry publishes it, so the
+    /// returned generation survives a crash. Without a store this just
+    /// enrolls into the in-memory registry.
+    pub fn try_enroll_speaker(
+        &self,
+        speaker_id: u32,
+        utterances: &[&[f64]],
+    ) -> Result<u64, StoreError> {
+        let snapshot = self.registry.snapshot();
+        let model = snapshot.engine.enroll(speaker_id, utterances);
+        let generation = match &self.durable {
+            Some(store) => store.journal_enroll(&self.registry, model)?,
+            None => self.registry.enroll(model),
+        };
+        self.publish_registry_gauges();
+        Ok(generation)
+    }
+
+    /// [`DefenseSystem::swap_bundle`] with durability: the full bundle is
+    /// journaled and fsynced before the registry swaps to it. Without an
+    /// attached store this validates and swaps in memory only.
+    pub fn try_swap_bundle(&self, bundle: ModelBundle) -> Result<u64, StoreError> {
+        let generation = match &self.durable {
+            Some(store) => store.journal_swap(&self.registry, bundle)?,
+            None => {
+                bundle.validate()?;
+                self.registry.swap(bundle.into_snapshot())
+            }
+        };
         self.obs.registry.counter("registry.swap").inc();
         // Labeled twin: which generation each swap published.
         self.obs
@@ -204,55 +258,6 @@ impl DefenseSystem {
             )
             .inc();
         self.publish_registry_gauges();
-        Ok(generation)
-    }
-
-    /// [`DefenseSystem::enroll_speaker`] with durability: when a store is
-    /// attached, the new model is journaled to the write-ahead log (as a
-    /// kilobyte delta record off the serving UBM) and fsynced *before*
-    /// the registry publishes it, so the returned generation survives a
-    /// crash. Without a store this is exactly `enroll_speaker`.
-    pub fn try_enroll_speaker(
-        &self,
-        speaker_id: u32,
-        utterances: &[&[f64]],
-    ) -> Result<u64, StoreError> {
-        let generation = match &self.durable {
-            Some(store) => {
-                let snapshot = self.registry.snapshot();
-                let model = snapshot.engine.enroll(speaker_id, utterances);
-                store.journal_enroll(&self.registry, snapshot.engine.ubm(), model)?
-            }
-            None => {
-                let snapshot = self.registry.snapshot();
-                let model = snapshot.engine.enroll(speaker_id, utterances);
-                self.registry.enroll(model)
-            }
-        };
-        self.publish_registry_gauges();
-        Ok(generation)
-    }
-
-    /// [`DefenseSystem::swap_bundle`] with durability: the full bundle is
-    /// journaled and fsynced before the registry swaps to it. Without an
-    /// attached store this validates and swaps exactly like
-    /// `swap_bundle`.
-    pub fn try_swap_bundle(&self, bundle: ModelBundle) -> Result<u64, StoreError> {
-        let generation = match &self.durable {
-            Some(store) => store.journal_swap(&self.registry, bundle)?,
-            None => self.swap_bundle(bundle).map_err(StoreError::Config)?,
-        };
-        if self.durable.is_some() {
-            self.obs.registry.counter("registry.swap").inc();
-            self.obs
-                .registry
-                .counter_with(
-                    "registry.swaps",
-                    &magshield_obs::labels::Labels::new().generation(generation),
-                )
-                .inc();
-            self.publish_registry_gauges();
-        }
         Ok(generation)
     }
 

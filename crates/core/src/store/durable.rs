@@ -71,12 +71,20 @@ pub struct RecoveredState {
     pub torn_bytes_truncated: usize,
 }
 
-/// State every mutation serializes through: the append handle plus the
-/// provenance the next compaction will stamp its golden base with.
+/// State every mutation serializes through: the append handle, the
+/// provenance the next compaction will stamp its golden base with, and
+/// the last generation the log accounts for.
 #[derive(Debug)]
 struct StoreState {
     appender: WalAppender,
     meta: BundleMeta,
+    /// Generation the WAL replays to: base generation at creation,
+    /// recovered generation at open, bumped by every journaled record.
+    /// Journaling refuses ([`StoreError::GenerationSkew`]) when the
+    /// registry's generation disagrees — that means a mutation reached
+    /// the registry without going through the journal, and any further
+    /// record would replay as a [`StoreError::GenerationGap`].
+    last_generation: u64,
 }
 
 /// The durability layer under a served model registry.
@@ -123,11 +131,14 @@ impl DurableStore {
                 base_generation: base.generation,
             },
         )?;
+        // The WAL's directory entry must survive power loss too.
+        fsync_dir(dir)?;
         Ok(Self {
             dir: dir.to_path_buf(),
             state: Mutex::new(StoreState {
                 appender,
                 meta: bundle.meta.clone(),
+                last_generation: base.generation,
             }),
             metrics,
         })
@@ -162,10 +173,9 @@ impl DurableStore {
         let torn_bytes_truncated = match scan.tail {
             TailStatus::Clean => 0,
             TailStatus::Torn { offset, bytes } => {
-                fs::OpenOptions::new()
-                    .write(true)
-                    .open(&wal_path)?
-                    .set_len(offset as u64)?;
+                let wal_file = fs::OpenOptions::new().write(true).open(&wal_path)?;
+                wal_file.set_len(offset as u64)?;
+                wal_file.sync_all()?;
                 bytes
             }
         };
@@ -198,6 +208,7 @@ impl DurableStore {
             state: Mutex::new(StoreState {
                 appender: WalAppender::open_end(&wal_path)?,
                 meta: meta.clone(),
+                last_generation: generation,
             }),
             metrics,
         };
@@ -216,24 +227,37 @@ impl DurableStore {
     }
 
     /// Journals an enrollment, then publishes it to `registry` —
-    /// returning the new generation. The model ships as a sparse delta
-    /// against `ubm` when it is a means-only adaptation of it (always
-    /// true for engine-produced enrollments), as a full model otherwise.
+    /// returning the new generation.
+    ///
+    /// The model ships as a sparse delta against the UBM `registry`
+    /// serves *at journal time, under the store lock* — which is exactly
+    /// the UBM replay will have reconstructed when it reaches this
+    /// record, because every UBM-changing swap is journaled through the
+    /// same lock. A model adapted from an older engine (its enrollment
+    /// raced a swap) refuses to delta-encode and ships as a full,
+    /// UBM-independent record instead.
     pub fn journal_enroll(
         &self,
         registry: &ModelRegistry,
-        ubm: &magshield_ml::gmm::DiagonalGmm,
         model: SpeakerModel,
     ) -> Result<u64, StoreError> {
         let mut state = self.state.lock();
-        let generation = registry.generation() + 1;
-        let op = match DeltaSpeakerRecord::encode(ubm, &model) {
+        let generation = Self::next_generation(&state, registry)?;
+        let serving = registry.snapshot();
+        let op = match DeltaSpeakerRecord::encode(serving.engine.ubm(), &model) {
             Ok(delta) => WalOp::EnrollDelta(delta),
             Err(_) => WalOp::EnrollFull(Box::new(model.clone())),
         };
+        drop(serving);
         self.append(&mut state, WalRecord { generation, op })?;
+        state.last_generation = generation;
         let published = registry.enroll(model);
-        debug_assert_eq!(published, generation, "journaled generation must match");
+        if published != generation {
+            return Err(StoreError::GenerationSkew {
+                wal: generation,
+                registry: published,
+            });
+        }
         Ok(published)
     }
 
@@ -246,7 +270,7 @@ impl DurableStore {
     ) -> Result<u64, StoreError> {
         bundle.validate()?;
         let mut state = self.state.lock();
-        let generation = registry.generation() + 1;
+        let generation = Self::next_generation(&state, registry)?;
         self.append(
             &mut state,
             WalRecord {
@@ -254,24 +278,55 @@ impl DurableStore {
                 op: WalOp::Swap(Box::new(bundle.clone())),
             },
         )?;
+        state.last_generation = generation;
         state.meta = bundle.meta.clone();
         let published = registry.swap(bundle.into_snapshot());
-        debug_assert_eq!(published, generation, "journaled generation must match");
+        if published != generation {
+            return Err(StoreError::GenerationSkew {
+                wal: generation,
+                registry: published,
+            });
+        }
         Ok(published)
+    }
+
+    /// The generation the next record will journal, verifying (in release
+    /// builds too) that the registry has not moved without a WAL record —
+    /// journaling on top of an unjournaled mutation would write a record
+    /// replay rejects as a [`StoreError::GenerationGap`].
+    fn next_generation(state: &StoreState, registry: &ModelRegistry) -> Result<u64, StoreError> {
+        let published = registry.generation();
+        if published != state.last_generation {
+            return Err(StoreError::GenerationSkew {
+                wal: state.last_generation,
+                registry: published,
+            });
+        }
+        Ok(state.last_generation + 1)
     }
 
     /// Folds the registry's current state into a fresh golden base and
     /// truncates the WAL to just a header — bounding replay cost.
     /// Returns the generation the base was exported at.
     ///
-    /// Crash-ordering: the new base is renamed into place **before**
-    /// the WAL is rewritten. A crash between the two leaves old records
-    /// alongside a newer base; replay skips records at or below the
-    /// base generation, so recovery lands on the same state either way.
+    /// Crash-ordering: the new base is renamed into place **and made
+    /// durable** (file + directory fsync) *before* the WAL is rewritten.
+    /// A crash between the two leaves old records alongside a newer
+    /// base; replay skips records at or below the base generation, so
+    /// recovery lands on the same state either way. The directory fsync
+    /// is what makes the ordering real: without it a power loss could
+    /// persist the WAL rename but not the base rename, a state replay
+    /// refuses as [`StoreError::HeaderAheadOfBase`].
     pub fn compact(&self, registry: &ModelRegistry) -> Result<u64, StoreError> {
         let t = Instant::now();
         let mut state = self.state.lock();
         let (generation, snapshot) = registry.load();
+        if generation != state.last_generation {
+            return Err(StoreError::GenerationSkew {
+                wal: state.last_generation,
+                registry: generation,
+            });
+        }
         let bundle = ModelBundle::from_snapshot(state.meta.clone(), &snapshot);
         let base = GoldenBase { generation, bundle };
         write_atomically(&self.dir.join(BASE_FILE), &base.to_bytes())?;
@@ -330,9 +385,11 @@ fn apply(
     Ok(())
 }
 
-/// Writes `bytes` to `path` via a same-directory temp file + rename, so
-/// the file is either the old content or the new content, never a torn
-/// mix.
+/// Writes `bytes` to `path` via a same-directory temp file + rename +
+/// directory fsync, so the file is either the old content or the new
+/// content (never a torn mix) **and** the rename itself survives power
+/// loss before the caller's next step — compaction's base-before-WAL
+/// ordering depends on this barrier.
 fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
@@ -341,7 +398,18 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.write_all(bytes)?;
         f.sync_data()?;
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    fsync_dir(path.parent().unwrap_or_else(|| Path::new(".")))
+}
+
+/// Fsyncs a directory, making its entry mutations (renames, newly
+/// created files) durable — data fsyncs alone do not cover them.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir; // Windows has no directory fsync; renames are best-effort.
+    Ok(())
 }
 
 #[cfg(test)]
@@ -377,13 +445,12 @@ mod tests {
         let bundle = fixture_bundle("v0");
         let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
         let registry = ModelRegistry::new(bundle.clone().into_snapshot());
-        let ubm = bundle.engine.ubm().clone();
         let g2 = store
-            .journal_enroll(&registry, &ubm, enrollable_model(&bundle, 7001))
+            .journal_enroll(&registry, enrollable_model(&bundle, 7001))
             .unwrap();
         let g3 = store.journal_swap(&registry, fixture_bundle("v1")).unwrap();
         let g4 = store
-            .journal_enroll(&registry, &ubm, enrollable_model(&bundle, 7002))
+            .journal_enroll(&registry, enrollable_model(&bundle, 7002))
             .unwrap();
         assert_eq!((g2, g3, g4), (2, 3, 4));
 
@@ -404,9 +471,8 @@ mod tests {
         let bundle = fixture_bundle("v0");
         let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
         let registry = ModelRegistry::new(bundle.clone().into_snapshot());
-        let ubm = bundle.engine.ubm().clone();
         store
-            .journal_enroll(&registry, &ubm, enrollable_model(&bundle, 7001))
+            .journal_enroll(&registry, enrollable_model(&bundle, 7001))
             .unwrap();
         drop(store);
         // Simulate a crash mid-append: garbage after the last record.
@@ -430,10 +496,9 @@ mod tests {
         let bundle = fixture_bundle("v0");
         let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
         let registry = ModelRegistry::new(bundle.clone().into_snapshot());
-        let ubm = bundle.engine.ubm().clone();
         for id in [7001, 7002, 7003] {
             store
-                .journal_enroll(&registry, &ubm, enrollable_model(&bundle, id))
+                .journal_enroll(&registry, enrollable_model(&bundle, id))
                 .unwrap();
         }
         let wal_before = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
@@ -443,7 +508,7 @@ mod tests {
 
         // Appends continue on the compacted log and replay correctly.
         store
-            .journal_enroll(&registry, &ubm, enrollable_model(&bundle, 7004))
+            .journal_enroll(&registry, enrollable_model(&bundle, 7004))
             .unwrap();
         let (_, recovered) = DurableStore::open(&dir, StoreMetrics::detached()).unwrap();
         assert_eq!(recovered.generation, 5);
@@ -462,10 +527,9 @@ mod tests {
         let bundle = fixture_bundle("v0");
         let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
         let registry = ModelRegistry::new(bundle.clone().into_snapshot());
-        let ubm = bundle.engine.ubm().clone();
         for id in [7001, 7002] {
             store
-                .journal_enroll(&registry, &ubm, enrollable_model(&bundle, id))
+                .journal_enroll(&registry, enrollable_model(&bundle, id))
                 .unwrap();
         }
         let old_wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
@@ -489,10 +553,9 @@ mod tests {
         let bundle = fixture_bundle("v0");
         let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
         let registry = ModelRegistry::new(bundle.clone().into_snapshot());
-        let ubm = bundle.engine.ubm().clone();
         for id in [7001, 7002, 7003] {
             store
-                .journal_enroll(&registry, &ubm, enrollable_model(&bundle, id))
+                .journal_enroll(&registry, enrollable_model(&bundle, id))
                 .unwrap();
         }
         drop(store);
@@ -511,6 +574,39 @@ mod tests {
             }
             other => panic!("expected GenerationGap, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unjournaled_registry_mutation_is_refused_as_skew() {
+        // A mutation that bypasses the journal desynchronizes the
+        // registry from the WAL; the next journaled call must refuse
+        // (in release builds too) instead of appending a record that
+        // replay would reject as a generation gap.
+        let dir = tempdir("durable-skew");
+        let bundle = fixture_bundle("v0");
+        let store = DurableStore::create(&dir, &bundle, StoreMetrics::detached()).unwrap();
+        let registry = ModelRegistry::new(bundle.clone().into_snapshot());
+        registry.enroll(enrollable_model(&bundle, 7001));
+
+        match store.journal_enroll(&registry, enrollable_model(&bundle, 7002)) {
+            Err(StoreError::GenerationSkew { wal, registry }) => {
+                assert_eq!((wal, registry), (1, 2));
+            }
+            other => panic!("expected GenerationSkew, got {other:?}"),
+        }
+        match store.journal_swap(&registry, fixture_bundle("v1")) {
+            Err(StoreError::GenerationSkew { .. }) => {}
+            other => panic!("expected GenerationSkew, got {other:?}"),
+        }
+        match store.compact(&registry) {
+            Err(StoreError::GenerationSkew { .. }) => {}
+            other => panic!("expected GenerationSkew, got {other:?}"),
+        }
+        // Nothing was appended: the store still replays to the base.
+        let (_, recovered) = DurableStore::open(&dir, StoreMetrics::detached()).unwrap();
+        assert_eq!(recovered.generation, 1);
+        assert_eq!(recovered.records_replayed, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -31,7 +31,11 @@
 //! 1. *Journal before publish.* A mutation is appended and fsynced to
 //!    the WAL before the registry publishes it, under one lock, so WAL
 //!    order equals publication order and no served generation can be
-//!    lost by a crash.
+//!    lost by a crash. Delta enrollments resolve their UBM prior *under
+//!    that lock* (a model adapted from an older engine falls back to a
+//!    full record), and a registry that moved without a WAL record is
+//!    refused with [`StoreError::GenerationSkew`] rather than journaled
+//!    over.
 //! 2. *Torn tails are data loss of at most the in-flight record.* Every
 //!    frame is length-prefixed and FNV-1a/64 checksummed; replay stops
 //!    at the first bad frame and truncates it away. Anything before it
@@ -40,9 +44,11 @@
 //!    the exact pre-crash generation, and the recovered models serve
 //!    verdicts bit-identical to the pre-crash system.
 //! 4. *Compaction is crash-ordered.* [`DurableStore::compact`] renames
-//!    the new golden base into place **before** rewriting the WAL, and
-//!    replay skips records at or below the base generation — a crash
-//!    between the two renames recovers to the same state.
+//!    the new golden base into place **before** rewriting the WAL, with
+//!    a directory fsync after each rename so the ordering survives
+//!    power loss, and replay skips records at or below the base
+//!    generation — a crash between the two renames recovers to the
+//!    same state.
 //!
 //! [`DefenseSystem::open_durable`]: crate::pipeline::DefenseSystem::open_durable
 //! [`ModelBundle`]: crate::artifact::ModelBundle
@@ -109,6 +115,16 @@ pub enum StoreError {
         /// Base generation the WAL header claims.
         header: u64,
     },
+    /// The registry's generation diverged from the write-ahead log's —
+    /// a mutation reached the registry without being journaled. The
+    /// store refuses further journaling rather than writing records
+    /// that replay would reject as a [`StoreError::GenerationGap`].
+    GenerationSkew {
+        /// Last generation the write-ahead log accounts for.
+        wal: u64,
+        /// Generation the registry actually published.
+        registry: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -128,6 +144,11 @@ impl fmt::Display for StoreError {
             Self::HeaderAheadOfBase { base, header } => write!(
                 f,
                 "WAL header claims base generation {header} but the golden base is at {base}"
+            ),
+            Self::GenerationSkew { wal, registry } => write!(
+                f,
+                "registry generation {registry} diverged from the write-ahead log's {wal}: \
+                 a mutation bypassed the journal"
             ),
         }
     }

@@ -271,6 +271,110 @@ fn server_recovers_then_serves_and_new_enrollments_survive() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Regression: an enrollment whose model was adapted from the pre-swap
+/// UBM but journaled *after* a UBM-changing swap must ship as a full
+/// record — a delta fingerprinted against the dead UBM would be ordered
+/// after the swap record and fail reconstruction on replay, leaving the
+/// store permanently unrecoverable.
+#[test]
+fn stale_engine_enrollment_after_ubm_swap_journals_a_full_record() {
+    use magshield::core::store::{DurableStore, StoreMetrics};
+
+    let (a, _) = bootstrap_with(&SimRng::from_seed(6161), BootstrapConfig::tiny());
+    let (b, _) = bootstrap_with(&SimRng::from_seed(6262), BootstrapConfig::tiny());
+    let bundle_a = ModelBundle::from_snapshot(meta("ubm A"), &a.models());
+    let bundle_b = ModelBundle::from_snapshot(meta("ubm B"), &b.models());
+    let dir = tempdir("stale-delta");
+    let store = DurableStore::create(&dir, &bundle_a, StoreMetrics::detached()).expect("create");
+    let registry = ModelRegistry::new(bundle_a.clone().into_snapshot());
+
+    // The enrollment pipeline adapts a model off UBM A (its pinned
+    // pre-swap snapshot)...
+    let u = utterance(9050, 50);
+    let stale = bundle_a.engine.enroll(9050, &[&u]);
+    // ...but a swap to UBM B wins the journal lock first.
+    store
+        .journal_swap(&registry, bundle_b)
+        .expect("journaled swap");
+    let generation = store
+        .journal_enroll(&registry, stale)
+        .expect("journaled enroll");
+    assert_eq!(generation, 3);
+
+    // The stale model could not delta-encode against the new serving
+    // UBM, so it fell back to a UBM-independent full record.
+    let scan = scan_wal(&std::fs::read(dir.join(WAL_FILE)).unwrap()).expect("scans");
+    assert_eq!(scan.records[1].record.op.kind(), "enroll-full");
+    drop(store);
+
+    let (revived, recovered) = DefenseSystem::open_durable(&dir).expect("recovers");
+    assert_eq!(recovered.generation, 3);
+    assert!(revived.is_enrolled(9050));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: concurrent `try_enroll_speaker` + UBM-changing
+/// `try_swap_bundle` traffic must leave the store recoverable whatever
+/// the interleaving — the delta prior is resolved under the store lock,
+/// never from a pre-swap snapshot.
+#[test]
+fn concurrent_enroll_and_ubm_changing_swap_stays_recoverable() {
+    let (a, _) = bootstrap_with(&SimRng::from_seed(6363), BootstrapConfig::tiny());
+    let (b, _) = bootstrap_with(&SimRng::from_seed(6464), BootstrapConfig::tiny());
+    let dir = tempdir("enroll-swap-race");
+    let system =
+        DefenseSystem::create_durable(ModelBundle::from_snapshot(meta("ubm A"), &a.models()), &dir)
+            .expect("create store");
+    let other = ModelBundle::from_snapshot(meta("ubm B"), &b.models());
+
+    std::thread::scope(|s| {
+        let enroller = system.clone();
+        s.spawn(move || {
+            for (i, id) in (9060u32..9064).enumerate() {
+                let u = utterance(id, 60 + i as u64);
+                enroller
+                    .try_enroll_speaker(id, &[&u])
+                    .expect("journaled enroll");
+            }
+        });
+        let swapper = system.clone();
+        s.spawn(move || {
+            swapper.try_swap_bundle(other).expect("journaled swap");
+        });
+    });
+
+    let final_generation = system.generation();
+    assert_eq!(final_generation, 6, "four enrolls + one swap");
+    drop(system);
+    let (_, recovered) =
+        DefenseSystem::open_durable(&dir).expect("recoverable whatever the interleaving");
+    assert_eq!(recovered.generation, final_generation);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The convenience mutators journal too: a durable system has no
+/// unjournaled side door that advances the generation without a WAL
+/// record (which would poison every later record with a generation gap).
+#[test]
+fn convenience_mutators_journal_on_a_durable_system() {
+    let (trained, _) = bootstrap_with(&SimRng::from_seed(5353), BootstrapConfig::tiny());
+    let bundle = ModelBundle::from_snapshot(meta("side door"), &trained.models());
+    let dir = tempdir("side-door");
+    let system = DefenseSystem::create_durable(bundle, &dir).expect("create store");
+
+    let u = utterance(9030, 30);
+    assert_eq!(system.enroll_speaker(9030, &[&u]), 2);
+    let swap = ModelBundle::from_snapshot(meta("side-door swap"), &system.models());
+    assert_eq!(system.swap_bundle(swap).expect("valid bundle"), 3);
+    drop(system);
+
+    let (revived, recovered) = DefenseSystem::open_durable(&dir).expect("recovery");
+    assert_eq!(recovered.generation, 3);
+    assert_eq!(recovered.records_replayed, 2);
+    assert!(revived.is_enrolled(9030));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Compaction after recovery folds the replayed history into the golden
 /// base without changing a single verdict.
 #[test]
